@@ -1,0 +1,104 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* differentiation scheme of the stability plot (central differences on the
+  log grid vs. smoothing spline) — accuracy of the recovered peak;
+* frequency-grid density (points per decade) vs. peak-location and
+  peak-value error, with and without the local refinement pass.
+
+Neither table exists in the paper; they quantify the numerical choices
+this implementation makes on top of the published method.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import FrequencySweep, log_sweep
+from repro.circuits import parallel_rlc_for
+from repro.core import (
+    SecondOrderSystem,
+    SingleNodeOptions,
+    analyze_node,
+    dominant_negative_peak,
+    find_peaks,
+    stability_plot,
+)
+
+ZETA = 0.2
+FN = 3.3e6
+
+
+def test_ablation_derivative_scheme(benchmark):
+    """Gradient vs. smoothing-spline differentiation on noisy magnitude data."""
+    system = SecondOrderSystem(ZETA, FN)
+    freqs = log_sweep(1e5, 1e8, 200)
+    rng = np.random.default_rng(7)
+    clean = np.abs(system.transfer(1j * 2 * np.pi * freqs))
+    noisy = clean * (1.0 + rng.normal(scale=2e-3, size=len(freqs)))
+
+    def run():
+        rows = []
+        for method in ("gradient", "smoothed"):
+            for label, magnitude in (("clean", clean), ("0.2% noise", noisy)):
+                plot = stability_plot(magnitude, frequencies=freqs, method=method)
+                peak = dominant_negative_peak(find_peaks(plot))
+                rows.append((method, label, peak.value, peak.frequency_hz))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    truth = -1.0 / ZETA ** 2
+    lines = ["Ablation - stability-plot differentiation scheme (truth: peak "
+             f"{truth:.1f} at {FN:.2e} Hz)",
+             f"{'method':<12}{'data':<12}{'peak':>10}{'freq [Hz]':>14}", "-" * 48]
+    for method, label, value, freq in rows:
+        lines.append(f"{method:<12}{label:<12}{value:>10.2f}{freq:>14.3e}")
+    write_result("ablation_derivative.txt", "\n".join(lines) + "\n")
+
+    by_key = {(m, l): (v, f) for m, l, v, f in rows}
+    # On clean simulator data both schemes recover the analytic peak value
+    # and frequency; this is the normal operating regime of the tool.
+    for method in ("gradient", "smoothed"):
+        assert by_key[(method, "clean")][0] == pytest.approx(truth, rel=0.15)
+        assert by_key[(method, "clean")][1] == pytest.approx(FN, rel=0.05)
+    # With 0.2 % multiplicative noise (measured rather than simulated data)
+    # the peak *depth* becomes unreliable for both schemes — the table above
+    # records by how much — but the default central-difference scheme still
+    # locates the resonant frequency to within a few percent, which is what
+    # the loop-identification step needs.
+    assert by_key[("gradient", "0.2% noise")][1] == pytest.approx(FN, rel=0.10)
+
+
+def test_ablation_grid_density(benchmark):
+    """Points-per-decade of the coarse sweep vs. accuracy, with/without refine."""
+    design = parallel_rlc_for(FN, ZETA)
+    truth = -1.0 / ZETA ** 2
+
+    def run():
+        rows = []
+        for ppd in (10, 20, 40, 80):
+            for refine in (False, True):
+                options = SingleNodeOptions(sweep=FrequencySweep(1e5, 1e8, ppd),
+                                            refine=refine)
+                result = analyze_node(design.circuit, design.node, options)
+                rows.append((ppd, refine, result.performance_index,
+                             result.natural_frequency_hz))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"Ablation - sweep density vs. accuracy (truth: peak {truth:.1f} at {FN:.2e} Hz)",
+             f"{'pts/decade':>11}{'refine':>8}{'peak':>10}{'peak err %':>12}{'freq err %':>12}",
+             "-" * 53]
+    for ppd, refine, peak, freq in rows:
+        peak_err = 100 * abs(peak - truth) / abs(truth)
+        freq_err = 100 * abs(freq - FN) / FN
+        lines.append(f"{ppd:>11d}{str(refine):>8}{peak:>10.2f}{peak_err:>12.1f}{freq_err:>12.2f}")
+    write_result("ablation_grid.txt", "\n".join(lines) + "\n")
+
+    refined = {ppd: peak for ppd, refine, peak, _ in rows if refine}
+    coarse = {ppd: peak for ppd, refine, peak, _ in rows if not refine}
+    # With refinement even a 10-points-per-decade coarse scan recovers the
+    # peak within a few percent; without it the coarse grids underestimate.
+    assert refined[10] == pytest.approx(truth, rel=0.05)
+    assert abs(coarse[10] - truth) >= abs(refined[10] - truth)
+    # Denser coarse grids converge towards the analytic value.
+    assert abs(coarse[80] - truth) <= abs(coarse[10] - truth)

@@ -1,0 +1,57 @@
+"""Fig. 3 — open-loop gain/phase plot of the op-amp (broken main loop).
+
+The paper's traditional baseline: break the main feedback loop, sweep the
+loop gain and read off ~20 degrees of phase margin at the 0 dB crossover
+(~2.4 MHz) and the 180-degree phase-lag frequency (~3.5 MHz).  The
+stability-plot natural frequency must land between those two frequencies
+(the consistency observation of section 3).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import FrequencySweep
+from repro.circuits import opamp_open_loop
+from repro.core import open_loop_response
+
+
+def test_fig3_open_loop_margins(benchmark, opamp_stability):
+    design = opamp_open_loop()
+
+    def run():
+        return open_loop_response(design.circuit, design.output_node,
+                                  sweep=FrequencySweep(10, 1e9, 30), invert=True)
+
+    measurement = benchmark.pedantic(run, rounds=1, iterations=1)
+    margins = measurement.margins
+
+    # Regenerate the gain/phase series (a compressed Bode listing).
+    gain_db = measurement.loop_gain.db20()
+    phase = measurement.loop_gain.phase_deg()
+    lines = ["Fig. 3 - open-loop gain/phase of the op-amp (L/C loop break)",
+             f"{'freq [Hz]':>14}{'gain [dB]':>12}{'phase [deg]':>13}", "-" * 39]
+    for frequency in (1e2, 1e3, 1e4, 1e5, 1e6, 2e6, 3e6, 5e6, 1e7, 1e8):
+        lines.append(f"{frequency:>14.3e}{float(np.real(gain_db.at(frequency))):>12.1f}"
+                     f"{float(np.real(phase.at(frequency))):>13.1f}")
+    lines += [
+        "",
+        f"DC gain:                {margins.dc_gain_db:7.1f} dB",
+        f"0 dB crossover:         {margins.unity_gain_frequency_hz:10.3e} Hz   (paper: ~2.4 MHz)",
+        f"phase margin:           {margins.phase_margin_deg:7.1f} deg  (paper: ~20 deg)",
+        f"180-deg lag frequency:  {margins.phase_crossover_frequency_hz:10.3e} Hz   (paper: ~3.5 MHz)",
+        f"stability-plot fn:      {opamp_stability.natural_frequency_hz:10.3e} Hz   "
+        "(must fall between the two frequencies above)",
+    ]
+    write_result("fig3_gain_phase.txt", "\n".join(lines) + "\n")
+
+    # Shape checks: marginal phase margin, crossover in the low MHz, and the
+    # 180-degree frequency above the crossover.
+    assert margins.phase_margin_deg == pytest.approx(20.0, abs=6.0)
+    assert 1.5e6 < margins.unity_gain_frequency_hz < 3.0e6
+    assert margins.phase_crossover_frequency_hz > margins.unity_gain_frequency_hz
+    assert margins.dc_gain_db > 80.0
+    # Section-3 consistency: fn between the 0 dB and 180-degree frequencies.
+    assert (margins.unity_gain_frequency_hz * 0.9
+            <= opamp_stability.natural_frequency_hz
+            <= margins.phase_crossover_frequency_hz * 1.1)

@@ -1,0 +1,50 @@
+"""Section 3 consistency claim — the three methods agree on the main loop.
+
+The paper's experimental argument is that the stability plot (closed-loop,
+no loop breaking) predicts the same damping ratio / phase margin /
+overshoot as the two traditional measurements.  This benchmark runs all
+three on the same op-amp and tabulates the agreement.
+"""
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.analysis import FrequencySweep
+from repro.circuits import opamp_open_loop
+from repro.core import compare_methods, open_loop_response, step_overshoot
+
+
+def test_method_agreement(benchmark, opamp_design, opamp_operating_point, opamp_stability):
+    def run():
+        bode = open_loop_response(opamp_open_loop().circuit, "output",
+                                  sweep=FrequencySweep(10, 1e9, 30), invert=True)
+        step = step_overshoot(opamp_design.circuit, opamp_design.input_source,
+                              opamp_design.output_node,
+                              expected_frequency_hz=opamp_stability.natural_frequency_hz,
+                              op=opamp_operating_point)
+        return bode, step
+
+    bode, step = benchmark.pedantic(run, rounds=1, iterations=1)
+    agreement = compare_methods(opamp_stability.performance_index,
+                                opamp_stability.natural_frequency_hz,
+                                step_measurement=step,
+                                open_loop_measurement=bode)
+
+    text = "\n".join([
+        "Section 3 - agreement between the stability plot and the traditional methods",
+        f"{'method':<34}{'zeta estimate':>14}",
+        "-" * 48,
+        f"{'stability plot (eq. 1.3/1.4)':<34}{agreement.damping_from_stability_plot:>14.3f}",
+        f"{'transient step overshoot':<34}{agreement.damping_from_overshoot:>14.3f}",
+        f"{'broken-loop phase margin':<34}{agreement.damping_from_phase_margin:>14.3f}",
+        "",
+        f"stability-plot natural frequency: {agreement.natural_frequency_hz:.3e} Hz",
+        f"0 dB crossover:                   {agreement.unity_gain_frequency_hz:.3e} Hz",
+        f"180-degree lag frequency:         {agreement.phase_crossover_frequency_hz:.3e} Hz",
+        f"natural frequency bracketed:      {agreement.natural_frequency_bracketed()}",
+        f"largest zeta disagreement:        {agreement.damping_spread():.3f}",
+    ]) + "\n"
+    write_result("method_agreement.txt", text)
+
+    assert agreement.damping_spread() < 0.06
+    assert agreement.natural_frequency_bracketed()

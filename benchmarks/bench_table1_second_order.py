@@ -1,0 +1,73 @@
+"""Table 1 — key performance characteristics of a second-order system.
+
+Regenerates the paper's Table 1 (damping ratio vs. percent overshoot,
+phase margin, closed-loop magnitude peak and performance index) from the
+analytic second-order relations and checks every row against the values
+printed in the paper.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import write_result
+from repro.core import PAPER_TABLE_1, table_1_rows
+
+
+def _format_table(rows):
+    lines = ["Table 1 - key performance characteristics of a second-order system",
+             f"{'zeta':>6}{'overshoot %':>14}{'PM (exact) deg':>16}{'PM (100*z) deg':>16}"
+             f"{'max magnitude':>16}{'perf. index':>14}",
+             "-" * 82]
+    for row in rows:
+        mp = "inf" if math.isinf(row.max_magnitude) else f"{row.max_magnitude:.2f}"
+        pi = "-inf" if math.isinf(row.performance_index) else f"{row.performance_index:.1f}"
+        lines.append(f"{row.damping:>6.1f}{row.overshoot_percent:>14.1f}"
+                     f"{row.phase_margin_deg:>16.1f}{min(100 * row.damping, 90):>16.1f}"
+                     f"{mp:>16}{pi:>14}")
+    return "\n".join(lines) + "\n"
+
+
+def test_table1_regeneration(benchmark):
+    rows = benchmark(table_1_rows)
+    write_result("table1.txt", _format_table(rows))
+
+    by_damping = {row.damping: row for row in rows}
+    for paper in PAPER_TABLE_1:
+        generated = by_damping[paper.damping]
+        if math.isfinite(paper.performance_index):
+            assert generated.performance_index == pytest.approx(
+                paper.performance_index, rel=0.05, abs=0.06)
+        assert generated.overshoot_percent == pytest.approx(paper.overshoot_percent, abs=2.0)
+        if paper.max_magnitude is not None and math.isfinite(paper.max_magnitude):
+            assert generated.max_magnitude == pytest.approx(paper.max_magnitude, rel=0.03)
+        if paper.phase_margin_deg is not None:
+            # The paper's PM column follows the 100*zeta rule of thumb.
+            assert generated.phase_margin_deg == pytest.approx(paper.phase_margin_deg, abs=6.5)
+
+
+def test_table1_performance_index_from_simulated_prototype(benchmark):
+    """Same table, but with the performance index *measured* by running the
+    stability plot on the analytic prototype's response — the full method
+    rather than the closed-form relation."""
+    from repro.analysis import log_sweep
+    from repro.core import SecondOrderSystem, dominant_negative_peak, find_peaks, stability_plot
+
+    dampings = [0.7, 0.5, 0.4, 0.3, 0.2, 0.1]
+
+    def measure():
+        measured = {}
+        for zeta in dampings:
+            system = SecondOrderSystem(zeta, 1e6)
+            response = system.response(log_sweep(1e4, 1e8, 400))
+            peak = dominant_negative_peak(find_peaks(stability_plot(response)))
+            measured[zeta] = peak.value
+        return measured
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = ["Table 1 (measured column) - stability-plot peak vs analytic -1/zeta^2",
+             f"{'zeta':>6}{'measured peak':>16}{'analytic':>12}", "-" * 36]
+    for zeta in dampings:
+        lines.append(f"{zeta:>6.1f}{measured[zeta]:>16.2f}{-1.0 / zeta ** 2:>12.2f}")
+        assert measured[zeta] == pytest.approx(-1.0 / zeta ** 2, rel=0.03)
+    write_result("table1_measured.txt", "\n".join(lines) + "\n")

@@ -1,0 +1,66 @@
+"""Table 2 — stability-plot peak values for all circuit nodes, grouped by loop.
+
+The paper's all-nodes report on the complete example circuit: every node's
+stability peak and natural frequency, sorted and grouped by the loop it
+belongs to — the main loop in the low MHz plus local bias-cell loops at
+higher frequencies.  This benchmark runs the all-nodes analysis on the
+assembled op-amp + bias circuit and regenerates the table.
+"""
+
+import pytest
+
+from benchmarks.conftest import BENCH_SWEEP, write_result
+from repro.core import AllNodesOptions, analyze_all_nodes, format_all_nodes_report, report_rows
+
+
+def test_table2_all_nodes_report(benchmark, full_circuit_design):
+    design = full_circuit_design
+
+    def run():
+        return analyze_all_nodes(design.circuit, AllNodesOptions(sweep=BENCH_SWEEP))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result("table2_all_nodes.txt",
+                 format_all_nodes_report(result, title="op-amp buffer + zero-TC bias")
+                 + "\npaper reference: main loop at ~3.3 MHz over the output/compensation "
+                 "nodes, plus local loops at a few tens of MHz inside the bias circuit\n")
+
+    rows = report_rows(result)
+    assert rows, "the report must contain at least one node row"
+
+    # Shape of the paper's Table 2:
+    # (1) a main loop in the low MHz containing the output/compensation nodes,
+    main = result.loops[0]
+    assert 1e6 < main.natural_frequency_hz < 4e6
+    for node in ("output", "first", "zx"):
+        assert node in main.node_names
+    # with stability peaks well above 10 (deeply under-damped, ~20 deg PM);
+    assert main.worst_node.stability_peak_magnitude > 10.0
+    # (2) at least one local loop at a clearly higher frequency involving
+    #     only bias-cell nodes,
+    local = [loop for loop in result.loops[1:]
+             if any(n.startswith("bias_") for n in loop.node_names)]
+    assert local
+    assert local[0].natural_frequency_hz > 3 * main.natural_frequency_hz
+    assert all(n.startswith("bias_") for n in local[0].node_names)
+    # (3) rows are grouped by loop and sorted by natural frequency.
+    loop_freqs = [row["loop_frequency_hz"] for row in rows]
+    assert loop_freqs == sorted(loop_freqs)
+    # (4) the main loop is the least damped one (it needs the designer's
+    #     attention first), exactly as in the paper's example.
+    assert result.worst_loop() is main
+
+
+def test_table2_node_count_and_coverage(benchmark, full_circuit_design):
+    """Every non-supply node of the flattened circuit appears in the run."""
+    design = full_circuit_design
+
+    def run():
+        return analyze_all_nodes(design.circuit, AllNodesOptions(sweep=BENCH_SWEEP))
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    flat_nodes = set(design.circuit.flattened().nodes())
+    analysed = {r.node for r in result.results}
+    skipped = set(result.skipped_nodes)
+    assert analysed | skipped >= flat_nodes
+    assert not result.failed_nodes

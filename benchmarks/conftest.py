@@ -1,0 +1,63 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark module regenerates one table or figure of the paper's
+evaluation.  The circuits and the frequency sweep used throughout are
+defined here so every experiment runs on exactly the same workload, and a
+``report`` helper prints the regenerated rows/series (visible with
+``pytest benchmarks/ --benchmark-only -s``) while also collecting them in
+``benchmarks/results/`` as plain text for EXPERIMENTS.md.
+"""
+
+import os
+
+import pytest
+
+from repro.analysis import FrequencySweep
+
+#: Frequency sweep used by every stability run in the benchmarks: wide
+#: enough to cover both the ~2 MHz main loop and the tens-of-MHz local
+#: loops, at the tool's default resolution.
+BENCH_SWEEP = FrequencySweep(1e3, 1e10, 30)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result(name: str, text: str) -> str:
+    """Print a regenerated table/series and save it under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+    print("\n" + text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def opamp_design():
+    from repro.circuits import opamp_buffer
+
+    return opamp_buffer()
+
+
+@pytest.fixture(scope="session")
+def opamp_operating_point(opamp_design):
+    from repro.analysis import operating_point
+
+    return operating_point(opamp_design.circuit)
+
+
+@pytest.fixture(scope="session")
+def opamp_stability(opamp_design, opamp_operating_point):
+    """Fig. 4 single-node result, shared by several experiments."""
+    from repro.core import SingleNodeOptions, analyze_node
+
+    return analyze_node(opamp_design.circuit, opamp_design.output_node,
+                        SingleNodeOptions(sweep=BENCH_SWEEP),
+                        op=opamp_operating_point)
+
+
+@pytest.fixture(scope="session")
+def full_circuit_design():
+    from repro.circuits import opamp_with_bias
+
+    return opamp_with_bias()

@@ -1,0 +1,77 @@
+"""Push-button tool on a SPICE netlist, plus corner and temperature sweeps.
+
+Demonstrates the workflow a user of the original DFII tool would follow:
+
+1. read the design from a (SPICE-style) netlist instead of Python code;
+2. configure a simulation environment (sweep, temperature, variables);
+3. push the button: the all-nodes report, annotated netlist and CSV rows
+   are written to the session's result directory;
+4. re-run across corners and a temperature sweep (the "features in
+   development" of the paper, implemented here).
+
+Run with:  python examples/corners_and_netlists.py
+"""
+
+import tempfile
+
+from repro.analysis import FrequencySweep
+from repro.circuit import parse_netlist
+from repro.tool import Corner, SimulationEnvironment, StabilityAnalysisTool
+
+#: A capacitively-loaded emitter follower behind an RC-filtered reference —
+#: the classic overlooked local loop, written as a plain SPICE netlist.
+NETLIST = """
+* buffered reference driving a decoupling capacitor
+.model qn NPN(IS=2e-16 BF=150 VAF=80 CJE=0.5p CJC=0.25p TF=0.35n)
+.param rfilt=8k cdec=10p
+VCC vcc 0 DC 5
+IREF vcc ref DC 50u
+Q1 ref ref mid qn
+Q2 mid mid 0 qn
+RFILT ref fbase {rfilt}
+QF vcc fbase bline qn 2
+RPULL bline 0 6.8k
+CDEC bline 0 {cdec}
+"""
+
+
+def main() -> None:
+    circuit = parse_netlist(NETLIST, title="buffered reference (netlist input)")
+
+    environment = SimulationEnvironment(
+        name="netlist-demo",
+        temperature=27.0,
+        sweep=FrequencySweep(1e4, 1e10, 30),
+        result_root=tempfile.mkdtemp(prefix="stability_results_"),
+    )
+    tool = StabilityAnalysisTool(environment)
+
+    # ------------------------------------------------------------------
+    # Push-button all-nodes run.
+    # ------------------------------------------------------------------
+    run = tool.run_all_nodes(circuit)
+    print(run.report)
+    print(f"Report files written to: {run.result_directory}\n")
+
+    # ------------------------------------------------------------------
+    # Corners: nominal, hot, and a what-if with a larger decoupling cap.
+    # ------------------------------------------------------------------
+    corners = [
+        Corner("nominal", temperature=27.0),
+        Corner("hot", temperature=125.0),
+        Corner("bigger_cdec", temperature=27.0, variables={"cdec": 22e-12}),
+    ]
+    corner_run = tool.run_corners(circuit, corners)
+    print("Corner comparison (loop frequency / peak / damping / phase margin):")
+    print(corner_run.report)
+
+    # ------------------------------------------------------------------
+    # Temperature sweep ("in-tool sweeps (TEMP etc.)").
+    # ------------------------------------------------------------------
+    sweep_run = tool.run_temperature_sweep(circuit, [-40.0, 27.0, 125.0])
+    print("Temperature sweep:")
+    print(sweep_run.report)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""The paper's running example: the 2 MHz op-amp buffer, three ways.
+
+1. Single-node stability run at the output (Fig. 4): peak, damping ratio,
+   estimated phase margin — without breaking the loop.
+2. Traditional baselines: broken-loop Bode plot (Fig. 3) and transient
+   step overshoot (Fig. 2).
+3. Agreement table showing that all three give the same damping estimate.
+
+Run with:  python examples/opamp_stability_report.py
+"""
+
+from repro.analysis import FrequencySweep
+from repro.circuits import opamp_buffer, opamp_open_loop
+from repro.core import (
+    SingleNodeOptions,
+    analyze_node,
+    compare_methods,
+    format_single_node_report,
+    open_loop_response,
+    step_overshoot,
+)
+
+SWEEP = FrequencySweep(1e3, 1e10, 30)
+
+
+def main() -> None:
+    design = opamp_buffer()
+
+    # --- the paper's method: stability plot at the output node ----------
+    stability = analyze_node(design.circuit, design.output_node,
+                             SingleNodeOptions(sweep=SWEEP))
+    print("=" * 70)
+    print("Stability-plot analysis of the closed-loop buffer (no loop breaking)")
+    print("=" * 70)
+    print(format_single_node_report(stability))
+
+    # --- traditional baseline 1: broken-loop Bode plot ------------------
+    open_loop = opamp_open_loop()
+    bode = open_loop_response(open_loop.circuit, open_loop.output_node,
+                              sweep=FrequencySweep(10, 1e9, 30), invert=True)
+    print("=" * 70)
+    print("Traditional baseline: open-loop Bode analysis (loop broken with L/C)")
+    print("=" * 70)
+    print(f"  DC loop gain:          {bode.margins.dc_gain_db:6.1f} dB")
+    print(f"  0 dB crossover:        {bode.unity_gain_frequency_hz / 1e6:6.2f} MHz")
+    print(f"  phase margin:          {bode.phase_margin_deg:6.1f} deg")
+    print(f"  180-deg lag frequency: {bode.phase_crossover_frequency_hz / 1e6:6.2f} MHz")
+    print()
+
+    # --- traditional baseline 2: transient step overshoot ---------------
+    step = step_overshoot(design.circuit, design.input_source, design.output_node,
+                          expected_frequency_hz=stability.natural_frequency_hz)
+    print("=" * 70)
+    print("Traditional baseline: closed-loop step response")
+    print("=" * 70)
+    print(f"  measured overshoot:    {step.overshoot_percent:6.1f} %")
+    print(f"  equivalent damping:    {step.equivalent_damping:6.3f}")
+    print()
+
+    # --- agreement --------------------------------------------------------
+    agreement = compare_methods(stability.performance_index,
+                                stability.natural_frequency_hz,
+                                step_measurement=step, open_loop_measurement=bode)
+    print("=" * 70)
+    print("Do the three methods agree? (the paper's section-3 argument)")
+    print("=" * 70)
+    print(f"  zeta from stability plot:   {agreement.damping_from_stability_plot:.3f}")
+    print(f"  zeta from step overshoot:   {agreement.damping_from_overshoot:.3f}")
+    print(f"  zeta from phase margin:     {agreement.damping_from_phase_margin:.3f}")
+    print(f"  largest disagreement:       {agreement.damping_spread():.3f}")
+    print(f"  fn between 0 dB and 180-deg frequencies: "
+          f"{agreement.natural_frequency_bracketed()}")
+
+
+if __name__ == "__main__":
+    main()

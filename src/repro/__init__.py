@@ -1,0 +1,20 @@
+"""repro — AC-stability analysis of continuous-time closed-loop circuits.
+
+Python reproduction of Milev & Burt, "A Tool and Methodology for
+AC-Stability Analysis of Continuous-Time Closed-Loop Systems" (DATE 2005).
+
+The package is organised in layers:
+
+* :mod:`repro.circuit` — circuit description (elements, netlists, parser);
+* :mod:`repro.analysis` — MNA simulation engines (OP, AC, transient, poles);
+* :mod:`repro.waveform` — waveform calculator and measurements;
+* :mod:`repro.core` — the paper's method: stability plot, single-node and
+  all-nodes analyses, loop identification, reports, baselines;
+* :mod:`repro.tool` — the push-button tool layer: sessions, corners, jobs;
+* :mod:`repro.circuits` — reference circuits used by examples, tests and
+  benchmarks.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

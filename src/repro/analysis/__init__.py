@@ -1,0 +1,41 @@
+"""Circuit analysis engines (the Spectre stand-in).
+
+Modified Nodal Analysis based DC operating point, AC small-signal sweep,
+transient integration and pole analysis, all operating on
+:class:`repro.circuit.Circuit` objects.
+"""
+
+from repro.analysis.ac import ac_analysis
+from repro.analysis.context import AnalysisContext
+from repro.analysis.mna import MNASystem, SolutionView
+from repro.analysis.op import NewtonOptions, operating_point
+from repro.analysis.pz import pole_analysis
+from repro.analysis.results import ACResult, OPResult, PoleZeroResult, TransientResult
+from repro.analysis.sweeps import (
+    FrequencySweep,
+    around,
+    decade_sweep,
+    lin_sweep,
+    log_sweep,
+)
+from repro.analysis.transient import transient_analysis
+
+__all__ = [
+    "AnalysisContext",
+    "MNASystem",
+    "SolutionView",
+    "NewtonOptions",
+    "operating_point",
+    "ac_analysis",
+    "transient_analysis",
+    "pole_analysis",
+    "OPResult",
+    "ACResult",
+    "TransientResult",
+    "PoleZeroResult",
+    "FrequencySweep",
+    "log_sweep",
+    "lin_sweep",
+    "decade_sweep",
+    "around",
+]

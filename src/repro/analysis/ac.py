@@ -1,0 +1,86 @@
+"""AC (small-signal) frequency-domain analysis.
+
+The circuit is linearised at its DC operating point and the complex MNA
+system ``(G + j*2*pi*f*C) X = B_ac`` is solved at every frequency of the
+requested sweep.  This is the analysis the stability tool runs after
+attaching an AC current stimulus to the node under test.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.mna import MNASystem
+from repro.analysis.op import NewtonOptions, operating_point
+from repro.analysis.results import ACResult, OPResult
+from repro.analysis.sweeps import FrequencySweep
+from repro.circuit.netlist import Circuit
+from repro.exceptions import AnalysisError, SingularMatrixError
+
+__all__ = ["ac_analysis"]
+
+
+def ac_analysis(circuit: Circuit,
+                sweep: Union[FrequencySweep, Sequence[float], None] = None,
+                temperature: float = 27.0,
+                gmin: float = 1e-12,
+                variables: Optional[Dict[str, float]] = None,
+                op: Optional[OPResult] = None,
+                options: Optional[NewtonOptions] = None) -> ACResult:
+    """Run a small-signal AC sweep and return an :class:`ACResult`.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit containing at least one source with an AC stimulus.
+    sweep:
+        A :class:`FrequencySweep`, an explicit array of frequencies, or
+        ``None`` for the default wide log sweep.
+    op:
+        A previously computed operating point.  When omitted it is
+        computed here.  Passing one is how the all-nodes stability run
+        avoids recomputing the bias point for every node.
+    """
+    sweep = FrequencySweep.coerce(sweep)
+    ctx = AnalysisContext(temperature=temperature, gmin=gmin,
+                          variables=dict(circuit.variables))
+    if variables:
+        ctx.update_variables(variables)
+    system = MNASystem(circuit, ctx)
+    system.stamp()
+
+    if not np.any(system.b_ac):
+        raise AnalysisError("AC analysis needs at least one source with a "
+                            "non-zero AC magnitude")
+
+    if op is None:
+        op = operating_point(circuit, options=options, system=system)
+        x_op = op.x
+    else:
+        # The caller's OP may have been computed on a different (but
+        # structurally compatible) system; map values by variable name so
+        # that extra elements (e.g. an injected AC current source) do not
+        # disturb the bias point.
+        x_op = np.zeros(system.size)
+        for i, name in enumerate(system.variable_names):
+            if op.has(name):
+                x_op[i] = op.current(name) if name.startswith("#branch:") else op.voltage(name)
+
+    G_ss, C_ss = system.small_signal_matrices(x_op)
+
+    frequencies = sweep.frequencies
+    data = np.zeros((len(frequencies), system.size), dtype=complex)
+    b_ac = system.b_ac
+    for k, frequency in enumerate(frequencies):
+        omega = 2.0 * np.pi * frequency
+        matrix = G_ss + 1j * omega * C_ss
+        try:
+            data[k, :] = np.linalg.solve(matrix, b_ac)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                f"AC system is singular at {frequency:g} Hz: {exc}") from exc
+
+    return ACResult(system.variable_names, frequencies, data, op=op)

@@ -1,0 +1,132 @@
+"""Analysis context: temperature, convergence aids and design variables.
+
+A single :class:`AnalysisContext` instance is threaded through every stamp
+call so that device models can query the simulation temperature, the
+``gmin`` convergence conductance and the values of design variables, and
+so that they can keep per-solve limiting state without storing it on the
+element objects themselves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Union
+
+from repro.circuit.units import parse_value
+from repro.exceptions import NetlistError
+
+__all__ = ["AnalysisContext"]
+
+#: Names usable inside parameter expressions, besides design variables.
+_SAFE_FUNCTIONS = {
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "log10": math.log10,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "pi": math.pi,
+    "e": math.e,
+}
+
+
+class AnalysisContext:
+    """Carries simulation conditions and resolves symbolic parameters.
+
+    Parameters
+    ----------
+    temperature:
+        Simulation temperature in degrees Celsius.
+    gmin:
+        Convergence conductance placed across nonlinear junctions [S].
+    variables:
+        Design-variable values; element parameters given as strings may
+        reference them by name or in arithmetic expressions.
+    """
+
+    def __init__(self, temperature: float = 27.0, gmin: float = 1e-12,
+                 variables: Optional[Mapping[str, float]] = None):
+        self.temperature = float(temperature)
+        self.gmin = float(gmin)
+        self.variables: Dict[str, float] = dict(variables or {})
+        self._device_states: Dict[str, Dict] = {}
+        self._expr_cache: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    def copy(self, **overrides) -> "AnalysisContext":
+        """Copy the context, optionally overriding temperature/gmin/variables."""
+        ctx = AnalysisContext(
+            temperature=overrides.get("temperature", self.temperature),
+            gmin=overrides.get("gmin", self.gmin),
+            variables=overrides.get("variables", dict(self.variables)),
+        )
+        return ctx
+
+    # ------------------------------------------------------------------
+    # Device state (Newton limiting memory)
+    # ------------------------------------------------------------------
+    def device_state(self, name: str) -> Dict:
+        """Mutable per-device dictionary, reset by :meth:`reset_device_states`."""
+        return self._device_states.setdefault(name, {})
+
+    def reset_device_states(self) -> None:
+        """Forget all device limiting state (called at the start of a solve)."""
+        self._device_states.clear()
+
+    # ------------------------------------------------------------------
+    # Parameter evaluation
+    # ------------------------------------------------------------------
+    def eval_param(self, value: Union[str, float, int]) -> float:
+        """Resolve an element parameter.
+
+        Accepts numbers, SPICE literals (``"2.2u"``), design-variable names
+        (``"cload"``) and arithmetic expressions (``"cload*2 + 1p"``).
+        """
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        text = str(value).strip()
+        if text in self._expr_cache:
+            return self._expr_cache[text]
+        # Plain SPICE number?
+        try:
+            result = parse_value(text)
+        except Exception:
+            result = None
+        if result is None:
+            # Direct variable reference?
+            if text in self.variables:
+                result = float(self.variables[text])
+            else:
+                result = self._eval_expression(text)
+        self._expr_cache[text] = result
+        return result
+
+    def _eval_expression(self, text: str) -> float:
+        namespace = dict(_SAFE_FUNCTIONS)
+        namespace.update(self.variables)
+        try:
+            result = eval(compile(text, "<param>", "eval"), {"__builtins__": {}}, namespace)
+        except Exception as exc:
+            raise NetlistError(
+                f"cannot evaluate parameter expression {text!r}: {exc}") from exc
+        if not isinstance(result, (int, float)) or isinstance(result, bool):
+            raise NetlistError(f"parameter expression {text!r} is not numeric")
+        return float(result)
+
+    def set_variable(self, name: str, value: float) -> None:
+        """Set a design variable (invalidates the expression cache)."""
+        self.variables[str(name)] = float(value)
+        self._expr_cache.clear()
+
+    def update_variables(self, values: Mapping[str, float]) -> None:
+        for name, value in values.items():
+            self.variables[str(name)] = float(value)
+        self._expr_cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<AnalysisContext T={self.temperature}C gmin={self.gmin:g} "
+                f"{len(self.variables)} variables>")

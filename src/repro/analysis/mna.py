@@ -1,0 +1,297 @@
+"""Modified Nodal Analysis system assembly.
+
+:class:`MNASystem` owns the unknown ordering (node voltages followed by
+branch currents), the static matrices stamped once per analysis and the
+per-iteration matrices refilled by nonlinear devices during Newton
+iterations.  It is the "stamper" object that element ``stamp_*`` methods
+receive.
+
+The MNA formulation is::
+
+    C * dx/dt + G * x = b(t)
+
+with ``G``/``C`` split into a static part (linear elements) and an
+iteration/operating-point part (nonlinear device companions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.circuit.elements.base import Element, is_ground
+from repro.circuit.netlist import Circuit, SubcircuitInstance
+from repro.exceptions import NetlistError, SingularMatrixError
+from repro.analysis.context import AnalysisContext
+
+__all__ = ["MNASystem", "SolutionView"]
+
+
+class SolutionView:
+    """Read-only view of a solution vector addressed by node/branch names."""
+
+    def __init__(self, system: "MNASystem", x: np.ndarray):
+        self._system = system
+        self._x = x
+
+    @property
+    def vector(self) -> np.ndarray:
+        return self._x
+
+    def voltage(self, node: str) -> float:
+        """Voltage of ``node`` (0 for ground, hierarchical names allowed)."""
+        index = self._system.index_of(node)
+        if index is None:
+            return 0.0
+        return float(np.real(self._x[index]))
+
+    def current(self, branch_key: str) -> float:
+        """Branch current of an element that owns a branch unknown."""
+        index = self._system.index_of(branch_key)
+        if index is None:
+            raise NetlistError(f"unknown branch {branch_key!r}")
+        return float(np.real(self._x[index]))
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages as a dictionary."""
+        return {node: self.voltage(node) for node in self._system.node_names}
+
+
+class MNASystem:
+    """Assembled MNA matrices for one flat circuit and one context."""
+
+    def __init__(self, circuit: Circuit, ctx: Optional[AnalysisContext] = None):
+        if any(isinstance(e, SubcircuitInstance) for e in circuit):
+            circuit = circuit.flattened()
+        self.circuit = circuit
+        self.ctx = ctx if ctx is not None else AnalysisContext(variables=circuit.variables)
+        # Make sure circuit-level design variables are visible even when a
+        # caller supplied its own context.
+        for name, value in circuit.variables.items():
+            self.ctx.variables.setdefault(name, value)
+
+        self._index: Dict[str, int] = {}
+        self.node_names: List[str] = []
+        self.branch_names: List[str] = []
+        self._build_index()
+
+        n = self.size
+        self.G = np.zeros((n, n))
+        self.C = np.zeros((n, n))
+        self.b_dc = np.zeros(n)
+        self.b_ac = np.zeros(n, dtype=complex)
+        # Per-iteration (nonlinear companion) arrays.
+        self.G_iter = np.zeros((n, n))
+        self.b_iter = np.zeros(n)
+        # Operating-point incremental capacitances.
+        self.C_op = np.zeros((n, n))
+        # Transient right-hand-side deltas.
+        self.b_tran = np.zeros(n)
+        # Initial conditions recorded by elements (node pair / branch -> value).
+        self.initial_voltage_conditions: List[Tuple[str, str, float]] = []
+        self.initial_current_conditions: List[Tuple[str, float]] = []
+        # Sources with time-dependent values (registered during stamping).
+        self.time_sources: List[Element] = []
+
+        self.nonlinear_elements: List[Element] = [
+            e for e in self.circuit if e.is_nonlinear]
+
+        self._stamped = False
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def _build_index(self) -> None:
+        for element in self.circuit:
+            for node in element.nodes:
+                if is_ground(node):
+                    continue
+                if node not in self._index:
+                    self._index[node] = len(self._index)
+                    self.node_names.append(node)
+        for element in self.circuit:
+            for branch in element.branches():
+                if branch in self._index:
+                    raise NetlistError(f"duplicate branch unknown {branch!r}")
+                self._index[branch] = len(self._index)
+                self.branch_names.append(branch)
+        if not self._index:
+            raise NetlistError("circuit has no unknowns (only ground nodes?)")
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    @property
+    def variable_names(self) -> List[str]:
+        return self.node_names + self.branch_names
+
+    def index_of(self, variable: str) -> Optional[int]:
+        """Index of a node or branch unknown; ``None`` for ground."""
+        if is_ground(variable):
+            return None
+        try:
+            return self._index[variable]
+        except KeyError:
+            raise NetlistError(f"unknown node or branch {variable!r}") from None
+
+    def has_variable(self, variable: str) -> bool:
+        return is_ground(variable) or variable in self._index
+
+    # ------------------------------------------------------------------
+    # Stamping API used by elements
+    # ------------------------------------------------------------------
+    def add_G(self, vi: str, vj: str, value: float) -> None:
+        i, j = self.index_of(vi), self.index_of(vj)
+        if i is not None and j is not None:
+            self.G[i, j] += value
+
+    def add_C(self, vi: str, vj: str, value: float) -> None:
+        i, j = self.index_of(vi), self.index_of(vj)
+        if i is not None and j is not None:
+            self.C[i, j] += value
+
+    def conductance(self, node_a: str, node_b: str, g: float) -> None:
+        """Two-terminal conductance stamp into the static G matrix."""
+        self._two_terminal(self.G, node_a, node_b, g)
+
+    def capacitance(self, node_a: str, node_b: str, c: float) -> None:
+        """Two-terminal capacitance stamp into the static C matrix."""
+        self._two_terminal(self.C, node_a, node_b, c)
+
+    def capacitance_op(self, node_a: str, node_b: str, c: float) -> None:
+        """Two-terminal capacitance stamp into the operating-point C matrix."""
+        self._two_terminal(self.C_op, node_a, node_b, c)
+
+    def _two_terminal(self, matrix: np.ndarray, node_a: str, node_b: str, value: float) -> None:
+        i, j = self.index_of(node_a), self.index_of(node_b)
+        if i is not None:
+            matrix[i, i] += value
+        if j is not None:
+            matrix[j, j] += value
+        if i is not None and j is not None:
+            matrix[i, j] -= value
+            matrix[j, i] -= value
+
+    def add_rhs_dc(self, variable: str, value: float) -> None:
+        index = self.index_of(variable)
+        if index is not None:
+            self.b_dc[index] += value
+
+    def add_rhs_ac(self, variable: str, value: complex) -> None:
+        index = self.index_of(variable)
+        if index is not None:
+            self.b_ac[index] += value
+
+    def add_G_iter(self, vi: str, vj: str, value: float) -> None:
+        i, j = self.index_of(vi), self.index_of(vj)
+        if i is not None and j is not None:
+            self.G_iter[i, j] += value
+
+    def add_rhs_iter(self, variable: str, value: float) -> None:
+        index = self.index_of(variable)
+        if index is not None:
+            self.b_iter[index] += value
+
+    def add_C_op(self, vi: str, vj: str, value: float) -> None:
+        i, j = self.index_of(vi), self.index_of(vj)
+        if i is not None and j is not None:
+            self.C_op[i, j] += value
+
+    def add_rhs_tran(self, variable: str, value: float) -> None:
+        index = self.index_of(variable)
+        if index is not None:
+            self.b_tran[index] += value
+
+    def initial_condition_voltage(self, node_a: str, node_b: str, value: float) -> None:
+        self.initial_voltage_conditions.append((node_a, node_b, value))
+
+    def initial_condition_current(self, branch: str, value: float) -> None:
+        self.initial_current_conditions.append((branch, value))
+
+    def register_time_source(self, element: Element) -> None:
+        self.time_sources.append(element)
+
+    def require_variable(self, variable: str, owner: str = "") -> None:
+        """Assert that ``variable`` exists (used by current-controlled sources
+        that reference the branch of a named voltage source)."""
+        if not self.has_variable(variable):
+            raise NetlistError(
+                f"element {owner!r} references missing branch {variable!r} "
+                "(is the controlling voltage source present?)")
+
+    # ------------------------------------------------------------------
+    # Assembly entry points used by the analysis engines
+    # ------------------------------------------------------------------
+    def stamp(self) -> "MNASystem":
+        """Stamp all linear element contributions (idempotent)."""
+        if self._stamped:
+            return self
+        for element in self.circuit:
+            element.stamp_linear(self, self.ctx)
+        self._stamped = True
+        return self
+
+    def newton_matrices(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (G, b) of the linearised system at candidate solution x."""
+        self.stamp()
+        self.G_iter[:] = 0.0
+        self.b_iter[:] = 0.0
+        view = SolutionView(self, x)
+        for element in self.nonlinear_elements:
+            element.stamp_nonlinear(self, view, self.ctx)
+        return self.G + self.G_iter, self.b_dc + self.b_iter
+
+    def small_signal_matrices(self, x_op: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (G_ss, C_ss) linearised at the operating point ``x_op``."""
+        self.stamp()
+        self.G_iter[:] = 0.0
+        self.b_iter[:] = 0.0
+        self.C_op[:] = 0.0
+        view = SolutionView(self, x_op)
+        for element in self.nonlinear_elements:
+            element.stamp_nonlinear(self, view, self.ctx)
+            element.stamp_dynamic_nonlinear(self, view, self.ctx)
+        return self.G + self.G_iter, self.C + self.C_op
+
+    def transient_rhs(self, time: float) -> np.ndarray:
+        """DC right-hand side adjusted to the source waveform values at ``time``."""
+        self.stamp()
+        self.b_tran[:] = 0.0
+        for source in self.time_sources:
+            delta = getattr(source, "stamp_transient_delta", None)
+            if delta is not None:
+                delta(self, time, self.ctx)
+        return self.b_dc + self.b_tran
+
+    def breakpoints(self) -> List[float]:
+        """Source waveform breakpoints (for the transient step controller)."""
+        self.stamp()
+        points = set()
+        for source in self.time_sources:
+            waveform = getattr(source, "waveform", None)
+            if waveform is not None:
+                points.update(waveform.breakpoints())
+        return sorted(points)
+
+    def solution_view(self, x: np.ndarray) -> SolutionView:
+        return SolutionView(self, x)
+
+    # ------------------------------------------------------------------
+    # Linear algebra helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """Dense solve with a helpful error on singular systems."""
+        try:
+            return np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                "MNA matrix is singular: check for floating nodes, loops of "
+                f"ideal sources or missing DC paths ({exc})") from exc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<MNASystem {len(self.node_names)} nodes, "
+                f"{len(self.branch_names)} branches, "
+                f"{len(self.nonlinear_elements)} nonlinear devices>")

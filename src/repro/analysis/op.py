@@ -1,0 +1,267 @@
+"""DC operating-point analysis.
+
+The solver is a classic SPICE-style ladder of strategies:
+
+1. plain Newton-Raphson with per-device junction-voltage limiting;
+2. **gmin stepping** — solve with a large conductance to ground on every
+   node and progressively reduce it to the target ``gmin``;
+3. **source stepping** — ramp all independent sources from zero to their
+   full values, re-using each converged point as the next initial guess.
+
+Linear circuits are solved directly (a single factorisation).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.mna import MNASystem
+from repro.analysis.results import OPResult
+from repro.circuit.netlist import Circuit
+from repro.exceptions import ConvergenceError, SingularMatrixError
+
+__all__ = ["operating_point", "NewtonOptions"]
+
+
+class NewtonOptions:
+    """Convergence/iteration options for the Newton solver."""
+
+    def __init__(self, max_iterations: int = 150, reltol: float = 1e-4,
+                 vntol: float = 1e-7, abstol: float = 1e-11,
+                 gmin_steps: int = 10, gmin_start: float = 1e-2,
+                 source_steps: int = 10, gshunt: float = 0.0,
+                 current_limit: float = 1e3):
+        self.max_iterations = int(max_iterations)
+        self.reltol = float(reltol)
+        self.vntol = float(vntol)
+        self.abstol = float(abstol)
+        self.gmin_steps = int(gmin_steps)
+        self.gmin_start = float(gmin_start)
+        self.source_steps = int(source_steps)
+        #: Optional conductance from every node to ground (helps circuits
+        #: with truly floating DC nodes, e.g. nodes between capacitors).
+        self.gshunt = float(gshunt)
+        #: Largest branch current accepted as a physical solution [A].
+        #: Solutions beyond it (which can appear when the overflow-safe
+        #: exponential linearises far above any real bias point) are
+        #: rejected so the homotopy strategies take over.
+        self.current_limit = float(current_limit)
+
+
+def operating_point(circuit: Circuit,
+                    temperature: float = 27.0,
+                    gmin: float = 1e-12,
+                    variables: Optional[Dict[str, float]] = None,
+                    options: Optional[NewtonOptions] = None,
+                    initial_guess: Optional[Dict[str, float]] = None,
+                    context: Optional[AnalysisContext] = None,
+                    system: Optional[MNASystem] = None) -> OPResult:
+    """Compute the DC operating point of ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to solve (hierarchical circuits are flattened).
+    temperature:
+        Simulation temperature in Celsius.
+    gmin:
+        Junction convergence conductance.
+    variables:
+        Design-variable overrides applied on top of the circuit defaults.
+    options:
+        Newton iteration / homotopy options.
+    initial_guess:
+        Optional mapping of node name to initial voltage guess.
+    context, system:
+        Pre-built analysis context / MNA system (used internally by the
+        other engines to avoid building things twice).
+    """
+    options = options or NewtonOptions()
+    if system is None:
+        ctx = context or AnalysisContext(temperature=temperature, gmin=gmin,
+                                         variables=dict(circuit.variables))
+        if variables:
+            ctx.update_variables(variables)
+        system = MNASystem(circuit, ctx)
+    else:
+        ctx = system.ctx
+    system.stamp()
+
+    n = system.size
+    x0 = np.zeros(n)
+    if initial_guess:
+        for name, value in initial_guess.items():
+            index = system.index_of(name)
+            if index is not None:
+                x0[index] = value
+
+    device_info_strategy = "linear"
+    if not system.nonlinear_elements:
+        matrix = system.G.copy()
+        if options.gshunt:
+            matrix[np.diag_indices_from(matrix)] += options.gshunt
+        x = system.solve(matrix, system.b_dc)
+        iterations = 0
+    else:
+        x, iterations, device_info_strategy = _solve_nonlinear(system, x0, options)
+
+    device_info = _collect_device_info(system, x)
+    return OPResult(system.variable_names, x, device_info=device_info,
+                    iterations=iterations, strategy=device_info_strategy,
+                    temperature=ctx.temperature)
+
+
+# ----------------------------------------------------------------------
+# Newton machinery
+# ----------------------------------------------------------------------
+
+def _newton_loop(system: MNASystem, x0: np.ndarray, options: NewtonOptions,
+                 gmin_override: Optional[float] = None,
+                 source_scale: float = 1.0,
+                 gshunt: float = 0.0) -> np.ndarray:
+    """Run Newton-Raphson to convergence or raise ConvergenceError."""
+    ctx = system.ctx
+    saved_gmin = ctx.gmin
+    if gmin_override is not None:
+        ctx.gmin = gmin_override
+    ctx.reset_device_states()
+    x = x0.copy()
+    delta_converged = False
+    try:
+        for iteration in range(1, options.max_iterations + 1):
+            G, b = system.newton_matrices(x)
+            if source_scale != 1.0:
+                b = b - (1.0 - source_scale) * system.b_dc
+            if gshunt:
+                G = G.copy()
+                G[np.diag_indices_from(G)] += gshunt
+            if delta_converged:
+                # The voltages stopped moving on the previous iteration;
+                # accept only when the freshly stamped companions (which
+                # reflect any remaining junction-voltage limiting) agree
+                # with the solution, i.e. the KCL residual is small.
+                residual = np.abs(G @ x - b)
+                current_scale = np.maximum(np.abs(G @ x), np.abs(b))
+                if np.all(residual <= options.reltol * current_scale + options.abstol):
+                    _check_physical(system, x, options)
+                    _LAST_ITERATIONS[0] = iteration
+                    return x
+            x_new = system.solve(G, b)
+            delta = np.abs(x_new - x)
+            tol = options.reltol * np.maximum(np.abs(x_new), np.abs(x)) + options.vntol
+            delta_converged = bool(np.all(delta <= tol))
+            x = x_new
+        worst = int(np.argmax(delta / np.maximum(tol, 1e-30)))
+        raise ConvergenceError("Newton iteration did not converge",
+                               iterations=options.max_iterations,
+                               worst_node=system.variable_names[worst],
+                               residual=float(delta[worst]))
+    finally:
+        ctx.gmin = saved_gmin
+
+
+_LAST_ITERATIONS = [0]
+
+
+def _check_physical(system: MNASystem, x: np.ndarray, options: NewtonOptions) -> None:
+    """Reject converged points with absurd branch currents.
+
+    The overflow-safe exponential used by the junction devices becomes
+    linear far above any real bias voltage, which creates spurious
+    "everything is a short" solutions carrying astronomically large
+    currents.  Such a point satisfies the modified equations, so it must be
+    rejected explicitly; the homotopy strategies then find the real one.
+    """
+    if system.branch_names:
+        start = len(system.node_names)
+        branch_currents = np.abs(x[start:])
+        if branch_currents.size and float(np.max(branch_currents)) > options.current_limit:
+            worst = int(np.argmax(branch_currents))
+            raise ConvergenceError(
+                "converged to a non-physical operating point",
+                worst_node=system.branch_names[worst],
+                residual=float(branch_currents[worst]))
+    # Evaluate the true (non-companion) device currents at the solution:
+    # a junction pushed into the linearised-exponential region reports an
+    # absurd current here even when the companion equations look balanced.
+    view = system.solution_view(x)
+    for element in system.nonlinear_elements:
+        info_getter = getattr(element, "operating_point_info", None)
+        if info_getter is None:
+            continue
+        try:
+            info = info_getter(view, system.ctx)
+        except Exception:
+            continue
+        for key in ("id", "ic", "ib", "ie"):
+            value = info.get(key)
+            if value is not None and abs(float(value)) > options.current_limit:
+                raise ConvergenceError(
+                    "converged to a non-physical operating point",
+                    worst_node=element.name, residual=float(value))
+
+
+def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
+    """Try Newton, then gmin stepping, then source stepping."""
+    total_iterations = 0
+
+    # Strategy 1: plain Newton.
+    try:
+        x = _newton_loop(system, x0, options, gshunt=options.gshunt)
+        return x, _LAST_ITERATIONS[0], "newton"
+    except (ConvergenceError, SingularMatrixError):
+        pass
+
+    # Strategy 2: gmin stepping.
+    try:
+        x = x0.copy()
+        gmin_target = system.ctx.gmin
+        start = max(options.gmin_start, gmin_target * 10)
+        steps = np.geomspace(start, gmin_target, options.gmin_steps)
+        for gmin_value in steps:
+            x = _newton_loop(system, x, options, gmin_override=float(gmin_value),
+                             gshunt=options.gshunt + float(gmin_value))
+            total_iterations += _LAST_ITERATIONS[0]
+        # Final solve at the target gmin without the shunt.
+        x = _newton_loop(system, x, options, gshunt=options.gshunt)
+        total_iterations += _LAST_ITERATIONS[0]
+        return x, total_iterations, "gmin-stepping"
+    except (ConvergenceError, SingularMatrixError):
+        pass
+
+    # Strategy 3: source stepping.
+    x = x0.copy()
+    total_iterations = 0
+    last_error: Optional[Exception] = None
+    scales = np.linspace(1.0 / options.source_steps, 1.0, options.source_steps)
+    try:
+        for scale in scales:
+            x = _newton_loop(system, x, options, source_scale=float(scale),
+                             gshunt=options.gshunt)
+            total_iterations += _LAST_ITERATIONS[0]
+        return x, total_iterations, "source-stepping"
+    except (ConvergenceError, SingularMatrixError) as exc:
+        last_error = exc
+
+    raise ConvergenceError(
+        "operating point failed to converge with Newton, gmin stepping and "
+        f"source stepping: {last_error}")
+
+
+def _collect_device_info(system: MNASystem, x: np.ndarray) -> Dict[str, Dict[str, float]]:
+    """Gather per-device operating-point summaries where available."""
+    info: Dict[str, Dict[str, float]] = {}
+    view = system.solution_view(x)
+    for element in system.circuit:
+        collect = getattr(element, "operating_point_info", None)
+        if collect is None:
+            continue
+        try:
+            info[element.name] = collect(view, system.ctx)
+        except Exception:  # pragma: no cover - diagnostics must never break a solve
+            continue
+    return info

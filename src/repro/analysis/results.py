@@ -1,0 +1,193 @@
+"""Result containers for the analysis engines.
+
+The containers give name-based access (``result.voltage("out")``) and
+hand back :class:`~repro.waveform.waveform.Waveform` objects where a
+quantity varies over frequency or time, so that downstream code (the
+stability tool, the baseline measurements, the examples) never touches raw
+index arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.exceptions import AnalysisError
+
+__all__ = ["OPResult", "ACResult", "TransientResult", "PoleZeroResult"]
+
+
+class _NamedVectorResult:
+    """Shared machinery: map node/branch names to columns of a data array."""
+
+    def __init__(self, variable_names: List[str]):
+        self._variables = list(variable_names)
+        self._positions = {name: i for i, name in enumerate(self._variables)}
+
+    @property
+    def variable_names(self) -> List[str]:
+        return list(self._variables)
+
+    def _column(self, name: str) -> int:
+        if name in ("0", "gnd", "GND"):
+            raise AnalysisError("ground is the reference node; its value is 0 by definition")
+        try:
+            return self._positions[name]
+        except KeyError:
+            raise AnalysisError(f"no node or branch named {name!r} in the results") from None
+
+    def has(self, name: str) -> bool:
+        return name in self._positions
+
+
+class OPResult(_NamedVectorResult):
+    """DC operating point: node voltages, branch currents, device info."""
+
+    def __init__(self, variable_names: List[str], x: np.ndarray,
+                 device_info: Optional[Dict[str, Dict[str, float]]] = None,
+                 iterations: int = 0, strategy: str = "newton",
+                 temperature: float = 27.0):
+        super().__init__(variable_names)
+        self.x = np.asarray(x, dtype=float)
+        self.device_info = device_info or {}
+        self.iterations = iterations
+        self.strategy = strategy
+        self.temperature = temperature
+
+    def voltage(self, node: str) -> float:
+        if node in ("0", "gnd", "GND"):
+            return 0.0
+        return float(self.x[self._column(node)])
+
+    def current(self, branch: str) -> float:
+        return float(self.x[self._column(branch)])
+
+    def voltages(self) -> Dict[str, float]:
+        return {name: float(self.x[i]) for i, name in enumerate(self._variables)
+                if not name.startswith("#branch:")}
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<OPResult {len(self._variables)} unknowns, "
+                f"{self.iterations} iterations, strategy={self.strategy!r}>")
+
+
+class ACResult(_NamedVectorResult):
+    """Small-signal frequency sweep: complex response per node/branch."""
+
+    def __init__(self, variable_names: List[str], frequencies: np.ndarray,
+                 data: np.ndarray, op: Optional[OPResult] = None):
+        super().__init__(variable_names)
+        self.frequencies = np.asarray(frequencies, dtype=float)
+        #: data[k, i] = complex response of variable i at frequency k
+        self.data = np.asarray(data, dtype=complex)
+        self.op = op
+        if self.data.shape != (len(self.frequencies), len(self._variables)):
+            raise AnalysisError("AC result data shape does not match frequencies/variables")
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Complex voltage phasor vs. frequency for ``node``."""
+        if node in ("0", "gnd", "GND"):
+            return np.zeros_like(self.frequencies, dtype=complex)
+        return self.data[:, self._column(node)]
+
+    def current(self, branch: str) -> np.ndarray:
+        return self.data[:, self._column(branch)]
+
+    def magnitude(self, node: str) -> np.ndarray:
+        return np.abs(self.voltage(node))
+
+    def phase_deg(self, node: str, unwrap: bool = True) -> np.ndarray:
+        angles = np.angle(self.voltage(node))
+        if unwrap:
+            angles = np.unwrap(angles)
+        return np.degrees(angles)
+
+    def waveform(self, node: str):
+        """Return the complex response as a :class:`Waveform` (x = frequency)."""
+        from repro.waveform.waveform import Waveform
+
+        return Waveform(self.frequencies, self.voltage(node),
+                        name=f"V({node})", x_unit="Hz", y_unit="V")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<ACResult {len(self.frequencies)} points "
+                f"{self.frequencies[0]:g}..{self.frequencies[-1]:g} Hz, "
+                f"{len(self._variables)} variables>")
+
+
+class TransientResult(_NamedVectorResult):
+    """Time-domain waveforms for every node/branch."""
+
+    def __init__(self, variable_names: List[str], times: np.ndarray,
+                 data: np.ndarray, op: Optional[OPResult] = None):
+        super().__init__(variable_names)
+        self.times = np.asarray(times, dtype=float)
+        #: data[k, i] = value of variable i at time k
+        self.data = np.asarray(data, dtype=float)
+        self.op = op
+        if self.data.shape != (len(self.times), len(self._variables)):
+            raise AnalysisError("transient result data shape does not match times/variables")
+
+    def voltage(self, node: str) -> np.ndarray:
+        if node in ("0", "gnd", "GND"):
+            return np.zeros_like(self.times)
+        return self.data[:, self._column(node)]
+
+    def current(self, branch: str) -> np.ndarray:
+        return self.data[:, self._column(branch)]
+
+    def waveform(self, node: str):
+        """Return the node voltage vs. time as a :class:`Waveform`."""
+        from repro.waveform.waveform import Waveform
+
+        return Waveform(self.times, self.voltage(node),
+                        name=f"v({node})", x_unit="s", y_unit="V")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<TransientResult {len(self.times)} points "
+                f"0..{self.times[-1]:g} s, {len(self._variables)} variables>")
+
+
+class PoleZeroResult:
+    """Natural frequencies (poles) of the linearised network."""
+
+    def __init__(self, poles: np.ndarray, op: Optional[OPResult] = None):
+        self.poles = np.asarray(poles, dtype=complex)
+        self.op = op
+
+    def complex_pole_pairs(self) -> List[complex]:
+        """One representative (positive imaginary part) per complex pair."""
+        return [p for p in self.poles if p.imag > 1e-3 * abs(p.real + 1e-30)
+                and p.imag > 0]
+
+    def real_poles(self) -> List[float]:
+        return [float(p.real) for p in self.poles
+                if abs(p.imag) <= 1e-3 * abs(p.real + 1e-30)]
+
+    def dominant_complex_pair(self) -> Optional[complex]:
+        """The complex pole pair with the lowest natural frequency."""
+        pairs = self.complex_pole_pairs()
+        if not pairs:
+            return None
+        return min(pairs, key=lambda p: abs(p))
+
+    @staticmethod
+    def natural_frequency(pole: complex) -> float:
+        """Natural frequency (Hz) of a complex pole."""
+        return float(abs(pole) / (2.0 * np.pi))
+
+    @staticmethod
+    def damping_ratio(pole: complex) -> float:
+        """Damping ratio of a complex pole pair."""
+        magnitude = abs(pole)
+        if magnitude == 0:
+            return 1.0
+        return float(-pole.real / magnitude)
+
+    def unstable_poles(self) -> List[complex]:
+        """Poles in the right half-plane (positive real part)."""
+        return [p for p in self.poles if p.real > 0]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<PoleZeroResult {len(self.poles)} poles>"

@@ -1,0 +1,116 @@
+"""Frequency / value sweep generation helpers."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import SweepError
+
+__all__ = ["log_sweep", "lin_sweep", "decade_sweep", "around", "FrequencySweep"]
+
+
+def log_sweep(start: float, stop: float, points_per_decade: int = 20) -> np.ndarray:
+    """Logarithmically spaced sweep from ``start`` to ``stop`` (inclusive)."""
+    if start <= 0 or stop <= 0:
+        raise SweepError("log sweep bounds must be positive")
+    if stop <= start:
+        raise SweepError("log sweep stop must be greater than start")
+    if points_per_decade < 1:
+        raise SweepError("points_per_decade must be at least 1")
+    decades = np.log10(stop / start)
+    n = max(int(np.ceil(decades * points_per_decade)) + 1, 2)
+    return np.logspace(np.log10(start), np.log10(stop), n)
+
+
+def lin_sweep(start: float, stop: float, points: int = 101) -> np.ndarray:
+    """Linearly spaced sweep from ``start`` to ``stop`` (inclusive)."""
+    if points < 2:
+        raise SweepError("linear sweep needs at least 2 points")
+    if stop <= start:
+        raise SweepError("linear sweep stop must be greater than start")
+    return np.linspace(start, stop, points)
+
+
+def decade_sweep(start_decade: int, stop_decade: int, points_per_decade: int = 20) -> np.ndarray:
+    """Sweep between powers of ten, e.g. ``decade_sweep(0, 9)`` = 1 Hz..1 GHz."""
+    return log_sweep(10.0 ** start_decade, 10.0 ** stop_decade, points_per_decade)
+
+
+def around(center: float, span_decades: float = 1.0, points_per_decade: int = 50) -> np.ndarray:
+    """Dense log sweep centred (geometrically) on ``center``."""
+    if center <= 0:
+        raise SweepError("center frequency must be positive")
+    half = 10.0 ** (span_decades / 2.0)
+    return log_sweep(center / half, center * half, points_per_decade)
+
+
+class FrequencySweep:
+    """A named frequency sweep specification (start/stop/points-per-decade).
+
+    This mirrors the frequency-range fields of the original tool's GUI and
+    is the object the stability analyses accept; it can also be constructed
+    directly from an explicit array of frequencies.
+    """
+
+    #: Default range used by the stability tool: wide enough to catch both
+    #: audio-range main loops and RF-range local loops.
+    DEFAULT_START = 1.0
+    DEFAULT_STOP = 10e9
+    DEFAULT_POINTS_PER_DECADE = 40
+
+    def __init__(self, start: float = DEFAULT_START, stop: float = DEFAULT_STOP,
+                 points_per_decade: int = DEFAULT_POINTS_PER_DECADE,
+                 frequencies: Sequence[float] | None = None):
+        if frequencies is not None:
+            arr = np.asarray(list(frequencies), dtype=float)
+            if arr.ndim != 1 or len(arr) < 2:
+                raise SweepError("explicit frequency list needs at least 2 points")
+            if np.any(arr <= 0):
+                raise SweepError("frequencies must be positive")
+            if np.any(np.diff(arr) <= 0):
+                raise SweepError("frequencies must be strictly increasing")
+            self._frequencies = arr
+            self.start = float(arr[0])
+            self.stop = float(arr[-1])
+            self.points_per_decade = 0
+        else:
+            self.start = float(start)
+            self.stop = float(stop)
+            self.points_per_decade = int(points_per_decade)
+            self._frequencies = log_sweep(self.start, self.stop, self.points_per_decade)
+
+    @property
+    def frequencies(self) -> np.ndarray:
+        return self._frequencies
+
+    def __len__(self) -> int:
+        return len(self._frequencies)
+
+    def __iter__(self):
+        return iter(self._frequencies)
+
+    @classmethod
+    def coerce(cls, value) -> "FrequencySweep":
+        """Accept a FrequencySweep, an array of frequencies or None (default)."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        return cls(frequencies=np.asarray(value, dtype=float))
+
+    def refined(self, factor: int = 4) -> "FrequencySweep":
+        """Return a sweep with ``factor`` times more points per decade."""
+        if self.points_per_decade:
+            return FrequencySweep(self.start, self.stop,
+                                  self.points_per_decade * factor)
+        # Explicit list: refine by geometric interpolation.
+        logs = np.log10(self._frequencies)
+        fine = np.interp(np.linspace(0, len(logs) - 1, factor * (len(logs) - 1) + 1),
+                         np.arange(len(logs)), logs)
+        return FrequencySweep(frequencies=10.0 ** fine)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<FrequencySweep {self.start:g}..{self.stop:g} Hz, "
+                f"{len(self._frequencies)} points>")

@@ -1,0 +1,73 @@
+"""Circuit description substrate: elements, netlists, parser, builder, units.
+
+This package is the stand-in for the schematic database (DFII/Composer)
+that the original tool reads its designs from: a :class:`Circuit` holds
+named elements, node connectivity, design variables and subcircuit
+hierarchy, and can be produced either programmatically
+(:class:`CircuitBuilder`) or from SPICE-style netlist text
+(:func:`parse_netlist`).
+"""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.elements import (
+    BJT,
+    BJTModel,
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Element,
+    Inductor,
+    MOSFET,
+    MOSFETModel,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Step,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    branch_key,
+    is_ground,
+)
+from repro.circuit.netlist import Circuit, SubcircuitDefinition, SubcircuitInstance
+from repro.circuit.parser import parse_file, parse_netlist
+from repro.circuit.units import format_si, format_value, parse_value, thermal_voltage
+
+__all__ = [
+    "Circuit",
+    "CircuitBuilder",
+    "SubcircuitDefinition",
+    "SubcircuitInstance",
+    "parse_netlist",
+    "parse_file",
+    "parse_value",
+    "format_value",
+    "format_si",
+    "thermal_voltage",
+    "Element",
+    "branch_key",
+    "is_ground",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Pulse",
+    "Sine",
+    "Step",
+    "PiecewiseLinear",
+    "VCVS",
+    "VCCS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "DiodeModel",
+    "BJT",
+    "BJTModel",
+    "MOSFET",
+    "MOSFETModel",
+]

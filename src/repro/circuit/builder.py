@@ -1,0 +1,158 @@
+"""Fluent programmatic circuit construction.
+
+The :class:`CircuitBuilder` is a thin convenience layer over
+:class:`~repro.circuit.netlist.Circuit` used throughout the reference
+circuit library (:mod:`repro.circuits`).  It auto-generates element names,
+accepts SPICE-style value strings and returns the created element so that
+further tweaking is easy::
+
+    b = CircuitBuilder("RC low-pass")
+    b.voltage_source("in", "0", dc=1.0, ac=1.0)
+    b.resistor("in", "out", "1k")
+    b.capacitor("out", "0", "1u")
+    circuit = b.circuit
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.circuit.elements import (
+    BJT,
+    BJTModel,
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    MOSFET,
+    MOSFETModel,
+    Resistor,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    Waveform,
+)
+from repro.circuit.netlist import Circuit, SubcircuitDefinition
+
+__all__ = ["CircuitBuilder"]
+
+Value = Union[float, int, str]
+
+
+class CircuitBuilder:
+    """Incrementally build a :class:`Circuit` with auto-named elements."""
+
+    def __init__(self, title: str = "untitled circuit", circuit: Optional[Circuit] = None):
+        self.circuit = circuit if circuit is not None else Circuit(title=title)
+
+    # ------------------------------------------------------------------
+    def _name(self, prefix: str, name: Optional[str]) -> str:
+        return name if name else self.circuit.unique_name(prefix)
+
+    # ------------------------------------------------------------------
+    # Passives
+    # ------------------------------------------------------------------
+    def resistor(self, node_pos: str, node_neg: str, value: Value,
+                 name: Optional[str] = None, **kwargs) -> Resistor:
+        return self.circuit.add(Resistor(self._name("R", name), node_pos, node_neg, value, **kwargs))
+
+    def capacitor(self, node_pos: str, node_neg: str, value: Value,
+                  name: Optional[str] = None, **kwargs) -> Capacitor:
+        return self.circuit.add(Capacitor(self._name("C", name), node_pos, node_neg, value, **kwargs))
+
+    def inductor(self, node_pos: str, node_neg: str, value: Value,
+                 name: Optional[str] = None, **kwargs) -> Inductor:
+        return self.circuit.add(Inductor(self._name("L", name), node_pos, node_neg, value, **kwargs))
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def voltage_source(self, node_pos: str, node_neg: str, dc: Value = 0.0,
+                       ac: float = 0.0, ac_phase: float = 0.0,
+                       waveform: Optional[Waveform] = None,
+                       name: Optional[str] = None) -> VoltageSource:
+        return self.circuit.add(VoltageSource(self._name("V", name), node_pos, node_neg,
+                                              dc=dc, ac_mag=ac, ac_phase=ac_phase,
+                                              waveform=waveform))
+
+    def current_source(self, node_pos: str, node_neg: str, dc: Value = 0.0,
+                       ac: float = 0.0, ac_phase: float = 0.0,
+                       waveform: Optional[Waveform] = None,
+                       name: Optional[str] = None) -> CurrentSource:
+        return self.circuit.add(CurrentSource(self._name("I", name), node_pos, node_neg,
+                                              dc=dc, ac_mag=ac, ac_phase=ac_phase,
+                                              waveform=waveform))
+
+    # ------------------------------------------------------------------
+    # Controlled sources
+    # ------------------------------------------------------------------
+    def vcvs(self, node_pos: str, node_neg: str, ctrl_pos: str, ctrl_neg: str,
+             gain: Value, name: Optional[str] = None) -> VCVS:
+        return self.circuit.add(VCVS(self._name("E", name), node_pos, node_neg,
+                                     ctrl_pos, ctrl_neg, gain))
+
+    def vccs(self, node_pos: str, node_neg: str, ctrl_pos: str, ctrl_neg: str,
+             gm: Value, name: Optional[str] = None) -> VCCS:
+        return self.circuit.add(VCCS(self._name("G", name), node_pos, node_neg,
+                                     ctrl_pos, ctrl_neg, gm))
+
+    def cccs(self, node_pos: str, node_neg: str, control_source: str, gain: Value,
+             name: Optional[str] = None) -> CCCS:
+        return self.circuit.add(CCCS(self._name("F", name), node_pos, node_neg,
+                                     control_source, gain))
+
+    def ccvs(self, node_pos: str, node_neg: str, control_source: str, r: Value,
+             name: Optional[str] = None) -> CCVS:
+        return self.circuit.add(CCVS(self._name("H", name), node_pos, node_neg,
+                                     control_source, r))
+
+    # ------------------------------------------------------------------
+    # Semiconductors
+    # ------------------------------------------------------------------
+    def diode(self, anode: str, cathode: str, model: Optional[DiodeModel] = None,
+              area: float = 1.0, name: Optional[str] = None) -> Diode:
+        return self.circuit.add(Diode(self._name("D", name), anode, cathode, model, area=area))
+
+    def bjt(self, collector: str, base: str, emitter: str,
+            model: Optional[BJTModel] = None, area: float = 1.0,
+            name: Optional[str] = None) -> BJT:
+        return self.circuit.add(BJT(self._name("Q", name), collector, base, emitter,
+                                    model, area=area))
+
+    def mosfet(self, drain: str, gate: str, source: str, bulk: str,
+               model: Optional[MOSFETModel] = None, width: float = 10e-6,
+               length: float = 1e-6, m: float = 1.0,
+               name: Optional[str] = None) -> MOSFET:
+        return self.circuit.add(MOSFET(self._name("M", name), drain, gate, source, bulk,
+                                       model, width=width, length=length, m=m))
+
+    # ------------------------------------------------------------------
+    # Hierarchy, variables, misc
+    # ------------------------------------------------------------------
+    def subcircuit(self, name: str, ports: Sequence[str],
+                   parameters: Optional[Dict[str, float]] = None) -> "CircuitBuilder":
+        """Define a subcircuit and return a builder for its body."""
+        definition = SubcircuitDefinition(name, ports, parameters=parameters)
+        self.circuit.define_subcircuit(definition)
+        return CircuitBuilder(title=name, circuit=definition.circuit)
+
+    def instance(self, name: str, definition_name: str, nodes: Sequence[str],
+                 parameters: Optional[Dict[str, float]] = None):
+        return self.circuit.instantiate(name, definition_name, nodes, parameters)
+
+    def variable(self, name: str, value: float) -> None:
+        self.circuit.set_variable(name, value)
+
+    def variables(self, **values: float) -> None:
+        self.circuit.set_variables(**values)
+
+    def alias(self, alias: str, node: str) -> None:
+        self.circuit.add_alias(alias, node)
+
+    def build(self) -> Circuit:
+        """Return the constructed circuit (validates it first)."""
+        self.circuit.validate()
+        return self.circuit

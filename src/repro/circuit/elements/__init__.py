@@ -1,0 +1,46 @@
+"""Circuit element classes (devices) used to build netlists."""
+
+from repro.circuit.elements.base import Element, TwoTerminal, branch_key, is_ground
+from repro.circuit.elements.bjt import BJT, BJTModel
+from repro.circuit.elements.controlled import CCCS, CCVS, VCCS, VCVS
+from repro.circuit.elements.diode import Diode, DiodeModel
+from repro.circuit.elements.mosfet import MOSFET, MOSFETModel
+from repro.circuit.elements.nonlinear import NonlinearDevice
+from repro.circuit.elements.passive import Capacitor, Inductor, Resistor
+from repro.circuit.elements.sources import (
+    CurrentSource,
+    PiecewiseLinear,
+    Pulse,
+    Sine,
+    Step,
+    VoltageSource,
+    Waveform,
+)
+
+__all__ = [
+    "Element",
+    "TwoTerminal",
+    "NonlinearDevice",
+    "branch_key",
+    "is_ground",
+    "Resistor",
+    "Capacitor",
+    "Inductor",
+    "VoltageSource",
+    "CurrentSource",
+    "Waveform",
+    "Pulse",
+    "Sine",
+    "Step",
+    "PiecewiseLinear",
+    "VCVS",
+    "VCCS",
+    "CCCS",
+    "CCVS",
+    "Diode",
+    "DiodeModel",
+    "BJT",
+    "BJTModel",
+    "MOSFET",
+    "MOSFETModel",
+]

@@ -1,0 +1,175 @@
+"""Element base classes and the stamping interface.
+
+Every circuit element knows how to *stamp* itself into the Modified Nodal
+Analysis (MNA) system
+
+    C * dx/dt + G * x = b(t)
+
+where ``x`` contains the node voltages (ground excluded) followed by the
+branch currents requested by the elements (voltage sources, inductors,
+voltage-controlled voltage sources...).
+
+The engine in :mod:`repro.analysis` hands each element a
+:class:`Stamper`-like object (see :mod:`repro.analysis.stamps`) that
+resolves node names and branch keys to matrix indices.  Elements never see
+raw matrix indices; they refer to their own node names and to branch keys
+produced by :func:`branch_key`.
+
+Three stamping hooks exist:
+
+``stamp_linear(stamper, ctx)``
+    Time-invariant linear contributions: conductances into ``G``,
+    capacitances/inductances into ``C``, DC source values into the DC
+    right-hand side and AC stimulus values into the AC right-hand side.
+    Called once per analysis.
+
+``stamp_nonlinear(stamper, x, ctx)``
+    Called on every Newton-Raphson iteration of a DC or transient solve
+    with the candidate solution ``x``.  Nonlinear elements stamp their
+    linearised companion model (conductances plus equivalent current
+    sources).  Linear elements do not override it.
+
+``stamp_dynamic_nonlinear(stamper, x, ctx)``
+    Called after the operating point has been found, with the converged
+    solution.  Nonlinear elements stamp their small-signal (incremental)
+    capacitances into ``C`` for AC, pole-zero and transient analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.circuit.units import parse_value
+from repro.exceptions import NetlistError
+
+__all__ = [
+    "GROUND_NAMES",
+    "is_ground",
+    "branch_key",
+    "Element",
+    "TwoTerminal",
+    "ParamValue",
+]
+
+#: Node names that are treated as the global reference (ground).
+GROUND_NAMES = frozenset({"0", "gnd", "gnd!", "vss!", "ground"})
+
+#: Type accepted for element parameters: a number, or a string that is
+#: either a SPICE-style number ("2.2u") or an expression of design
+#: variables ("cload*2").
+ParamValue = Union[float, int, str]
+
+
+def is_ground(node: str) -> bool:
+    """Return True when ``node`` names the global reference node."""
+    return str(node).lower() in GROUND_NAMES
+
+
+def branch_key(element_name: str, suffix: str = "") -> str:
+    """Key identifying an extra branch-current unknown owned by an element.
+
+    The key lives in the same namespace as node names inside the MNA
+    index map but cannot collide with them because of the ``#branch:``
+    prefix (``#`` is not a legal first character for a node name).
+    """
+    if suffix:
+        return f"#branch:{element_name}:{suffix}"
+    return f"#branch:{element_name}"
+
+
+class Element:
+    """Base class for all circuit elements.
+
+    Parameters
+    ----------
+    name:
+        Unique (per circuit) instance name, e.g. ``"R1"`` or ``"Q3"``.
+    nodes:
+        Names of the nodes this element connects to, in the element's
+        canonical terminal order.
+    """
+
+    #: Prefix used when auto-naming instances of this element type.
+    prefix = "X"
+    #: True when the element's current/charge depends nonlinearly on x.
+    is_nonlinear = False
+
+    def __init__(self, name: str, nodes: Sequence[str]):
+        if not name:
+            raise NetlistError("element name must be a non-empty string")
+        self.name = str(name)
+        self.nodes: Tuple[str, ...] = tuple(str(n) for n in nodes)
+        if not self.nodes:
+            raise NetlistError(f"element {self.name!r} must connect to at least one node")
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def branches(self) -> Sequence[str]:
+        """Branch-current unknowns required by this element (may be empty)."""
+        return ()
+
+    def terminals(self) -> Dict[str, str]:
+        """Mapping of terminal role -> node name (for reports/annotation)."""
+        return {f"t{i}": node for i, node in enumerate(self.nodes)}
+
+    # ------------------------------------------------------------------
+    # Stamping hooks
+    # ------------------------------------------------------------------
+    def stamp_linear(self, stamper, ctx) -> None:  # pragma: no cover - interface
+        """Stamp time-invariant linear contributions (G, C, DC/AC rhs)."""
+
+    def stamp_nonlinear(self, stamper, x, ctx) -> None:  # pragma: no cover - interface
+        """Stamp the Newton companion model at candidate solution ``x``."""
+
+    def stamp_dynamic_nonlinear(self, stamper, x, ctx) -> None:  # pragma: no cover
+        """Stamp operating-point incremental capacitances into ``C``."""
+
+    # ------------------------------------------------------------------
+    # Parameter helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _value(value: ParamValue, ctx=None) -> float:
+        """Resolve a parameter that may be a number, a SPICE literal or an
+        expression of design variables (when a context is supplied)."""
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        if ctx is not None:
+            return ctx.eval_param(value)
+        return parse_value(value)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def rename_nodes(self, mapping: Dict[str, str]) -> None:
+        """Replace node names according to ``mapping`` (used by subcircuit
+        flattening).  Nodes not present in the mapping are kept."""
+        self.nodes = tuple(mapping.get(n, n) for n in self.nodes)
+
+    def clone(self) -> "Element":
+        """Shallow-ish copy used when instantiating subcircuits."""
+        import copy
+
+        return copy.deepcopy(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        nodes = " ".join(self.nodes)
+        return f"<{type(self).__name__} {self.name} ({nodes})>"
+
+
+class TwoTerminal(Element):
+    """Convenience base class for two-terminal elements."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str):
+        super().__init__(name, (node_pos, node_neg))
+
+    @property
+    def node_pos(self) -> str:
+        return self.nodes[0]
+
+    @property
+    def node_neg(self) -> str:
+        return self.nodes[1]
+
+    def terminals(self) -> Dict[str, str]:
+        return {"pos": self.node_pos, "neg": self.node_neg}

@@ -1,0 +1,164 @@
+"""Linear controlled sources: VCVS (E), VCCS (G), CCCS (F), CCVS (H).
+
+These are the building blocks of the op-amp macromodels in
+:mod:`repro.circuits.second_order` and of the loop-breaking baseline in
+:mod:`repro.core.baselines`.  The current-controlled sources reference the
+branch current of a named :class:`~repro.circuit.elements.sources.VoltageSource`
+exactly as in SPICE.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements.base import Element, ParamValue, branch_key
+from repro.exceptions import NetlistError
+
+__all__ = ["VCVS", "VCCS", "CCCS", "CCVS"]
+
+
+class VCCS(Element):
+    """Voltage-controlled current source (SPICE ``G`` element).
+
+    A current ``gm * (V(ctrl_pos) - V(ctrl_neg))`` flows from ``node_pos``
+    through the source to ``node_neg``.
+    """
+
+    prefix = "G"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, transconductance: ParamValue):
+        super().__init__(name, (node_pos, node_neg, ctrl_pos, ctrl_neg))
+        self.transconductance = transconductance
+
+    node_pos = property(lambda self: self.nodes[0])
+    node_neg = property(lambda self: self.nodes[1])
+    ctrl_pos = property(lambda self: self.nodes[2])
+    ctrl_neg = property(lambda self: self.nodes[3])
+
+    def terminals(self):
+        return {"pos": self.node_pos, "neg": self.node_neg,
+                "ctrl_pos": self.ctrl_pos, "ctrl_neg": self.ctrl_neg}
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        gm = self._value(self.transconductance, ctx)
+        a, b, c, d = self.node_pos, self.node_neg, self.ctrl_pos, self.ctrl_neg
+        stamper.add_G(a, c, +gm)
+        stamper.add_G(a, d, -gm)
+        stamper.add_G(b, c, -gm)
+        stamper.add_G(b, d, +gm)
+
+
+class VCVS(Element):
+    """Voltage-controlled voltage source (SPICE ``E`` element).
+
+    Forces ``V(node_pos) - V(node_neg) = gain * (V(ctrl_pos) - V(ctrl_neg))``.
+    """
+
+    prefix = "E"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 ctrl_pos: str, ctrl_neg: str, gain: ParamValue):
+        super().__init__(name, (node_pos, node_neg, ctrl_pos, ctrl_neg))
+        self.gain = gain
+
+    node_pos = property(lambda self: self.nodes[0])
+    node_neg = property(lambda self: self.nodes[1])
+    ctrl_pos = property(lambda self: self.nodes[2])
+    ctrl_neg = property(lambda self: self.nodes[3])
+
+    @property
+    def branch(self) -> str:
+        return branch_key(self.name)
+
+    def branches(self):
+        return (self.branch,)
+
+    def terminals(self):
+        return {"pos": self.node_pos, "neg": self.node_neg,
+                "ctrl_pos": self.ctrl_pos, "ctrl_neg": self.ctrl_neg}
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        gain = self._value(self.gain, ctx)
+        a, b, c, d = self.node_pos, self.node_neg, self.ctrl_pos, self.ctrl_neg
+        br = self.branch
+        stamper.add_G(a, br, 1.0)
+        stamper.add_G(b, br, -1.0)
+        stamper.add_G(br, a, 1.0)
+        stamper.add_G(br, b, -1.0)
+        stamper.add_G(br, c, -gain)
+        stamper.add_G(br, d, +gain)
+
+
+class CCCS(Element):
+    """Current-controlled current source (SPICE ``F`` element).
+
+    The output current ``gain * I(control_source)`` flows from ``node_pos``
+    through the source to ``node_neg``; ``control_source`` is the name of a
+    voltage source whose branch current is the controlling quantity.
+    """
+
+    prefix = "F"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 control_source: str, gain: ParamValue):
+        super().__init__(name, (node_pos, node_neg))
+        if not control_source:
+            raise NetlistError(f"CCCS {name!r} needs a controlling voltage source name")
+        self.control_source = str(control_source)
+        self.gain = gain
+
+    node_pos = property(lambda self: self.nodes[0])
+    node_neg = property(lambda self: self.nodes[1])
+
+    @property
+    def control_branch(self) -> str:
+        return branch_key(self.control_source)
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        gain = self._value(self.gain, ctx)
+        br = self.control_branch
+        stamper.require_variable(br, owner=self.name)
+        stamper.add_G(self.node_pos, br, +gain)
+        stamper.add_G(self.node_neg, br, -gain)
+
+
+class CCVS(Element):
+    """Current-controlled voltage source (SPICE ``H`` element).
+
+    Forces ``V(node_pos) - V(node_neg) = r * I(control_source)``.
+    """
+
+    prefix = "H"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 control_source: str, transresistance: ParamValue):
+        super().__init__(name, (node_pos, node_neg))
+        if not control_source:
+            raise NetlistError(f"CCVS {name!r} needs a controlling voltage source name")
+        self.control_source = str(control_source)
+        self.transresistance = transresistance
+
+    node_pos = property(lambda self: self.nodes[0])
+    node_neg = property(lambda self: self.nodes[1])
+
+    @property
+    def branch(self) -> str:
+        return branch_key(self.name)
+
+    @property
+    def control_branch(self) -> str:
+        return branch_key(self.control_source)
+
+    def branches(self):
+        return (self.branch,)
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        r = self._value(self.transresistance, ctx)
+        a, b = self.node_pos, self.node_neg
+        br = self.branch
+        ctrl = self.control_branch
+        stamper.require_variable(ctrl, owner=self.name)
+        stamper.add_G(a, br, 1.0)
+        stamper.add_G(b, br, -1.0)
+        stamper.add_G(br, a, 1.0)
+        stamper.add_G(br, b, -1.0)
+        stamper.add_G(br, ctrl, -r)

@@ -1,0 +1,181 @@
+"""Shared machinery for nonlinear devices (diode, BJT, MOSFET).
+
+Two pieces live here:
+
+* **Safe exponential and junction-voltage limiting.**  Newton-Raphson on
+  exponential device equations diverges unless candidate junction voltages
+  are limited between iterations (the classic SPICE ``pnjlim``) and the
+  exponential itself is linearised above a threshold (``limexp``).
+
+* **Complex-step differentiation.**  Device Jacobians (conductances) and
+  incremental capacitances are obtained by evaluating the current/charge
+  equations with a tiny imaginary perturbation, which yields derivatives
+  that are exact to machine precision and keeps the device code free of
+  hand-derived (and easily wrong) derivative expressions.  The device
+  equations are written to accept complex arguments; any region selection
+  is done on the real part.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.circuit.elements.base import Element
+
+__all__ = [
+    "limexp",
+    "pnjlim",
+    "fetlim",
+    "cstep_derivative",
+    "cstep_gradient",
+    "NonlinearDevice",
+]
+
+#: Exponent above which ``exp`` is linearised to avoid overflow.
+_EXP_LIMIT = 80.0
+_EXP_AT_LIMIT = math.exp(_EXP_LIMIT)
+
+#: Step used for complex-step differentiation.
+_CSTEP = 1e-100
+
+
+def limexp(x):
+    """Exponential that grows linearly above ``x = 80`` (overflow-safe).
+
+    Works for real and complex arguments; the region test uses the real
+    part so the function stays compatible with complex-step
+    differentiation.
+    """
+    xr = x.real if isinstance(x, complex) else x
+    if xr <= _EXP_LIMIT:
+        return cmath.exp(x) if isinstance(x, complex) else math.exp(x)
+    # First-order continuation: exp(L) * (1 + (x - L))
+    return _EXP_AT_LIMIT * (1.0 + (x - _EXP_LIMIT))
+
+
+def pnjlim(vnew: float, vold: float, vt: float, vcrit: float) -> float:
+    """SPICE p-n junction voltage limiting.
+
+    Restricts the per-iteration change of a forward-biased junction voltage
+    so that the exponential does not overshoot catastrophically.
+    """
+    if vnew > vcrit and abs(vnew - vold) > 2.0 * vt:
+        if vold > 0.0:
+            arg = 1.0 + (vnew - vold) / vt
+            if arg > 0.0:
+                vnew = vold + vt * math.log(arg)
+            else:
+                vnew = vcrit
+        else:
+            vnew = vt * math.log(max(vnew / vt, 1e-30))
+    return vnew
+
+
+def fetlim(vnew: float, vold: float, vto: float) -> float:
+    """SPICE FET gate-voltage limiting (limits vgs excursions around vto)."""
+    vtsthi = abs(2.0 * (vold - vto)) + 2.0
+    vtstlo = vtsthi / 2.0 + 2.0
+    vtox = vto + 3.5
+    delv = vnew - vold
+    if vold >= vto:
+        if vold >= vtox:
+            if delv <= 0:
+                if vnew >= vtox:
+                    if -delv > vtstlo:
+                        vnew = vold - vtstlo
+                else:
+                    vnew = max(vnew, vto + 2.0)
+            else:
+                if delv > vtsthi:
+                    vnew = vold + vtsthi
+        else:
+            if delv <= 0:
+                if vnew < vto - 0.5:
+                    vnew = vto - 0.5
+            else:
+                if vnew > vtox + 0.5:
+                    vnew = vtox + 0.5
+    else:
+        if delv <= 0:
+            if -delv > vtsthi:
+                vnew = vold - vtsthi
+        else:
+            vtemp = vto + 0.5
+            if vnew <= vtemp:
+                if delv > vtstlo:
+                    vnew = vold + vtstlo
+            else:
+                vnew = vtemp
+    return vnew
+
+
+def cstep_derivative(func: Callable, value: float) -> float:
+    """Derivative of a scalar function via complex-step differentiation."""
+    return (func(complex(value, _CSTEP))).imag / _CSTEP
+
+
+def cstep_gradient(func: Callable, values: Sequence[float]) -> List[float]:
+    """Gradient of ``func(*values)`` (scalar-valued) via complex step."""
+    grad = []
+    vals = list(values)
+    for k, v in enumerate(vals):
+        perturbed = list(vals)
+        perturbed[k] = complex(v, _CSTEP)
+        grad.append(func(*perturbed).imag / _CSTEP)
+    return grad
+
+
+class NonlinearDevice(Element):
+    """Base class for nonlinear devices.
+
+    Provides the generic "stamp a multi-terminal companion model" helper
+    used by the diode, BJT and MOSFET: given the terminal currents and the
+    Jacobian with respect to the terminal voltages, it stamps the
+    conductance matrix entries and the Newton equivalent current sources.
+    """
+
+    is_nonlinear = True
+
+    # ------------------------------------------------------------------
+    def device_state(self, ctx) -> Dict:
+        """Per-solve mutable state (used for junction-voltage limiting)."""
+        return ctx.device_state(self.name)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _terminal_voltages(x, nodes: Sequence[str]) -> List[float]:
+        return [x.voltage(n) for n in nodes]
+
+    def stamp_companion(self, stamper, nodes: Sequence[str],
+                        currents: Sequence[float],
+                        jacobian: Sequence[Sequence[float]],
+                        voltages: Sequence[float]) -> None:
+        """Stamp the linearised companion model.
+
+        ``currents[i]`` is the current flowing *out of node i into the
+        device* evaluated at ``voltages``; ``jacobian[i][j]`` is its
+        derivative with respect to the voltage of node ``j``.
+        """
+        n = len(nodes)
+        for i in range(n):
+            ieq = currents[i]
+            for j in range(n):
+                gij = jacobian[i][j]
+                if gij:
+                    stamper.add_G_iter(nodes[i], nodes[j], gij)
+                ieq -= gij * voltages[j]
+            if ieq:
+                stamper.add_rhs_iter(nodes[i], -ieq)
+
+    def stamp_capacitance_matrix(self, stamper, nodes: Sequence[str],
+                                 cap_jacobian: Sequence[Sequence[float]]) -> None:
+        """Stamp an incremental capacitance Jacobian dQ_i/dV_j into the
+        operating-point capacitance matrix (``add_C_op`` target)."""
+        n = len(nodes)
+        for i in range(n):
+            for j in range(n):
+                cij = cap_jacobian[i][j]
+                if cij:
+                    stamper.add_C_op(nodes[i], nodes[j], cij)

@@ -1,0 +1,122 @@
+"""Linear passive elements: resistor, capacitor, inductor.
+
+All three are linear and therefore only implement ``stamp_linear``.  The
+resistor supports a first/second-order temperature coefficient so that the
+corner/temperature-sweep machinery in :mod:`repro.tool.corners` has a real
+effect on passive-dominated loops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.circuit.elements.base import ParamValue, TwoTerminal, branch_key
+from repro.exceptions import NetlistError
+
+__all__ = ["Resistor", "Capacitor", "Inductor"]
+
+
+class Resistor(TwoTerminal):
+    """Ideal resistor with optional linear/quadratic temperature coefficients.
+
+    The effective resistance at simulation temperature ``T`` is::
+
+        R(T) = R * (1 + tc1*(T - tnom) + tc2*(T - tnom)**2)
+    """
+
+    prefix = "R"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 resistance: ParamValue, tc1: float = 0.0, tc2: float = 0.0,
+                 tnom: float = 27.0):
+        super().__init__(name, node_pos, node_neg)
+        self.resistance = resistance
+        self.tc1 = float(tc1)
+        self.tc2 = float(tc2)
+        self.tnom = float(tnom)
+
+    def resistance_at(self, ctx) -> float:
+        """Resistance evaluated at the context temperature."""
+        base = self._value(self.resistance, ctx)
+        if base == 0.0:
+            raise NetlistError(f"resistor {self.name!r} has zero resistance")
+        delta = ctx.temperature - self.tnom
+        return base * (1.0 + self.tc1 * delta + self.tc2 * delta * delta)
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        g = 1.0 / self.resistance_at(ctx)
+        stamper.conductance(self.node_pos, self.node_neg, g)
+
+
+class Capacitor(TwoTerminal):
+    """Ideal linear capacitor with an optional initial condition.
+
+    The initial condition is honoured by the transient analysis when it is
+    started with ``use_ic=True``; AC and pole-zero analyses only use the
+    capacitance value.
+    """
+
+    prefix = "C"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 capacitance: ParamValue, ic: Optional[float] = None):
+        super().__init__(name, node_pos, node_neg)
+        self.capacitance = capacitance
+        self.ic = ic
+
+    def capacitance_at(self, ctx) -> float:
+        value = self._value(self.capacitance, ctx)
+        if value < 0.0:
+            raise NetlistError(f"capacitor {self.name!r} has negative capacitance")
+        return value
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        c = self.capacitance_at(ctx)
+        stamper.capacitance(self.node_pos, self.node_neg, c)
+        if self.ic is not None:
+            stamper.initial_condition_voltage(self.node_pos, self.node_neg, float(self.ic))
+
+
+class Inductor(TwoTerminal):
+    """Ideal linear inductor.
+
+    The inductor introduces its branch current as an extra MNA unknown so
+    that it behaves as a short circuit at DC without any conductance
+    tricks.  The branch equation is ``v_pos - v_neg - L * dI/dt = 0`` and
+    the branch current flows from ``node_pos`` through the element to
+    ``node_neg``.
+    """
+
+    prefix = "L"
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 inductance: ParamValue, ic: Optional[float] = None):
+        super().__init__(name, node_pos, node_neg)
+        self.inductance = inductance
+        self.ic = ic
+
+    @property
+    def branch(self) -> str:
+        return branch_key(self.name)
+
+    def branches(self):
+        return (self.branch,)
+
+    def inductance_at(self, ctx) -> float:
+        value = self._value(self.inductance, ctx)
+        if value < 0.0:
+            raise NetlistError(f"inductor {self.name!r} has negative inductance")
+        return value
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        ell = self.inductance_at(ctx)
+        br = self.branch
+        # KCL contributions of the branch current.
+        stamper.add_G(self.node_pos, br, 1.0)
+        stamper.add_G(self.node_neg, br, -1.0)
+        # Branch equation: v_pos - v_neg - L dI/dt = 0
+        stamper.add_G(br, self.node_pos, 1.0)
+        stamper.add_G(br, self.node_neg, -1.0)
+        stamper.add_C(br, br, -ell)
+        if self.ic is not None:
+            stamper.initial_condition_current(br, float(self.ic))

@@ -1,0 +1,253 @@
+"""Independent voltage and current sources and their time-domain waveforms.
+
+Each source carries up to three descriptions, exactly as in SPICE:
+
+* a DC value, used by the operating-point analysis;
+* an AC magnitude/phase, used only by the AC (small-signal) analysis;
+* an optional transient waveform (:class:`Pulse`, :class:`Sine`,
+  :class:`PiecewiseLinear`, :class:`Step`), used by the transient
+  analysis.  When no waveform is given the DC value is used.
+
+Sign conventions follow SPICE:
+
+* ``VoltageSource(name, npos, nneg, v)`` forces ``V(npos) - V(nneg) = v``;
+  its branch current is the current flowing from ``npos`` through the
+  source to ``nneg``.
+* ``CurrentSource(name, npos, nneg, i)`` pushes the current ``i`` from
+  ``npos`` through the source to ``nneg`` — i.e. a positive value pulls
+  current *out of* the ``npos`` node and *into* the ``nneg`` node.  To
+  inject current into a node ``n``, connect the source as
+  ``CurrentSource("Iinj", "0", n, value)``.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+from typing import Optional, Sequence, Tuple
+
+from repro.circuit.elements.base import ParamValue, TwoTerminal, branch_key
+from repro.exceptions import NetlistError
+
+__all__ = [
+    "Waveform",
+    "Pulse",
+    "Sine",
+    "PiecewiseLinear",
+    "Step",
+    "VoltageSource",
+    "CurrentSource",
+]
+
+
+class Waveform:
+    """Base class for transient source waveforms."""
+
+    def value_at(self, time: float) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def breakpoints(self) -> Sequence[float]:
+        """Times at which the waveform has corners; the transient engine
+        makes sure a time step lands on each of them."""
+        return ()
+
+
+class Pulse(Waveform):
+    """SPICE ``PULSE(v1 v2 td tr tf pw per)`` waveform."""
+
+    def __init__(self, v1: float, v2: float, delay: float = 0.0,
+                 rise: float = 1e-9, fall: float = 1e-9,
+                 width: float = 1e-3, period: Optional[float] = None):
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.delay = float(delay)
+        self.rise = max(float(rise), 1e-15)
+        self.fall = max(float(fall), 1e-15)
+        self.width = float(width)
+        self.period = float(period) if period is not None else None
+
+    def value_at(self, time: float) -> float:
+        if time < self.delay:
+            return self.v1
+        t = time - self.delay
+        if self.period is not None and self.period > 0:
+            t = math.fmod(t, self.period)
+        if t < self.rise:
+            return self.v1 + (self.v2 - self.v1) * t / self.rise
+        t -= self.rise
+        if t < self.width:
+            return self.v2
+        t -= self.width
+        if t < self.fall:
+            return self.v2 + (self.v1 - self.v2) * t / self.fall
+        return self.v1
+
+    def breakpoints(self) -> Sequence[float]:
+        start = self.delay
+        points = [start, start + self.rise, start + self.rise + self.width,
+                  start + self.rise + self.width + self.fall]
+        return tuple(points)
+
+
+class Step(Waveform):
+    """An ideal-ish step from ``v1`` to ``v2`` at ``time`` with rise ``rise``."""
+
+    def __init__(self, v1: float, v2: float, time: float = 0.0, rise: float = 1e-9):
+        self.v1 = float(v1)
+        self.v2 = float(v2)
+        self.time = float(time)
+        self.rise = max(float(rise), 1e-15)
+
+    def value_at(self, time: float) -> float:
+        if time <= self.time:
+            return self.v1
+        if time >= self.time + self.rise:
+            return self.v2
+        return self.v1 + (self.v2 - self.v1) * (time - self.time) / self.rise
+
+    def breakpoints(self) -> Sequence[float]:
+        return (self.time, self.time + self.rise)
+
+
+class Sine(Waveform):
+    """SPICE ``SIN(vo va freq td theta)`` waveform."""
+
+    def __init__(self, offset: float, amplitude: float, frequency: float,
+                 delay: float = 0.0, damping: float = 0.0):
+        self.offset = float(offset)
+        self.amplitude = float(amplitude)
+        self.frequency = float(frequency)
+        self.delay = float(delay)
+        self.damping = float(damping)
+
+    def value_at(self, time: float) -> float:
+        if time < self.delay:
+            return self.offset
+        t = time - self.delay
+        decay = math.exp(-self.damping * t) if self.damping else 1.0
+        return self.offset + self.amplitude * decay * math.sin(2.0 * math.pi * self.frequency * t)
+
+    def breakpoints(self) -> Sequence[float]:
+        return (self.delay,)
+
+
+class PiecewiseLinear(Waveform):
+    """SPICE ``PWL(t1 v1 t2 v2 ...)`` waveform."""
+
+    def __init__(self, points: Sequence[Tuple[float, float]]):
+        pts = [(float(t), float(v)) for t, v in points]
+        if not pts:
+            raise NetlistError("PWL waveform needs at least one point")
+        for (t0, _), (t1, _) in zip(pts, pts[1:]):
+            if t1 <= t0:
+                raise NetlistError("PWL time points must be strictly increasing")
+        self.points = pts
+
+    def value_at(self, time: float) -> float:
+        pts = self.points
+        if time <= pts[0][0]:
+            return pts[0][1]
+        if time >= pts[-1][0]:
+            return pts[-1][1]
+        for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
+            if t0 <= time <= t1:
+                return v0 + (v1 - v0) * (time - t0) / (t1 - t0)
+        return pts[-1][1]  # pragma: no cover - unreachable
+
+    def breakpoints(self) -> Sequence[float]:
+        return tuple(t for t, _ in self.points)
+
+
+class _IndependentSource(TwoTerminal):
+    """Shared behaviour of V and I sources (DC / AC / transient values)."""
+
+    def __init__(self, name: str, node_pos: str, node_neg: str,
+                 dc: ParamValue = 0.0, ac_mag: float = 0.0, ac_phase: float = 0.0,
+                 waveform: Optional[Waveform] = None):
+        super().__init__(name, node_pos, node_neg)
+        self.dc = dc
+        self.ac_mag = float(ac_mag)
+        self.ac_phase = float(ac_phase)
+        self.waveform = waveform
+
+    # -- values --------------------------------------------------------
+    def dc_value(self, ctx=None) -> float:
+        return self._value(self.dc, ctx)
+
+    def ac_value(self) -> complex:
+        """Complex AC phasor (magnitude / phase in degrees)."""
+        if self.ac_mag == 0.0:
+            return 0.0 + 0.0j
+        return cmath.rect(self.ac_mag, math.radians(self.ac_phase))
+
+    def transient_value(self, time: float, ctx=None) -> float:
+        if self.waveform is not None:
+            return self.waveform.value_at(time)
+        return self.dc_value(ctx)
+
+    def zero_ac(self) -> None:
+        """Remove the AC stimulus from this source (used by the tool's
+        "auto-zero all AC sources" feature before a stability run)."""
+        self.ac_mag = 0.0
+        self.ac_phase = 0.0
+
+    @property
+    def has_ac(self) -> bool:
+        return self.ac_mag != 0.0
+
+
+class VoltageSource(_IndependentSource):
+    """Independent voltage source (branch-current MNA formulation)."""
+
+    prefix = "V"
+
+    @property
+    def branch(self) -> str:
+        return branch_key(self.name)
+
+    def branches(self):
+        return (self.branch,)
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        br = self.branch
+        stamper.add_G(self.node_pos, br, 1.0)
+        stamper.add_G(self.node_neg, br, -1.0)
+        stamper.add_G(br, self.node_pos, 1.0)
+        stamper.add_G(br, self.node_neg, -1.0)
+        stamper.add_rhs_dc(br, self.dc_value(ctx))
+        ac = self.ac_value()
+        if ac != 0:
+            stamper.add_rhs_ac(br, ac)
+        stamper.register_time_source(self)
+
+    def stamp_transient_delta(self, stamper, time: float, ctx) -> None:
+        """Adjust the transient right-hand side by the difference between
+        the waveform value at ``time`` and the already-stamped DC value."""
+        delta = self.transient_value(time, ctx) - self.dc_value(ctx)
+        if delta:
+            stamper.add_rhs_tran(self.branch, delta)
+
+
+class CurrentSource(_IndependentSource):
+    """Independent current source (no extra branch unknown needed)."""
+
+    prefix = "I"
+
+    def stamp_linear(self, stamper, ctx) -> None:
+        i_dc = self.dc_value(ctx)
+        # Positive current flows npos -> through source -> nneg, i.e. it
+        # leaves the npos node: KCL rhs gets -i at npos, +i at nneg.
+        stamper.add_rhs_dc(self.node_pos, -i_dc)
+        stamper.add_rhs_dc(self.node_neg, +i_dc)
+        ac = self.ac_value()
+        if ac != 0:
+            stamper.add_rhs_ac(self.node_pos, -ac)
+            stamper.add_rhs_ac(self.node_neg, +ac)
+        stamper.register_time_source(self)
+
+    def stamp_transient_delta(self, stamper, time: float, ctx) -> None:
+        """Adjust the transient right-hand side by the waveform-vs-DC delta."""
+        delta = self.transient_value(time, ctx) - self.dc_value(ctx)
+        if delta:
+            stamper.add_rhs_tran(self.node_pos, -delta)
+            stamper.add_rhs_tran(self.node_neg, +delta)

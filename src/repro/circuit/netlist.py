@@ -1,0 +1,341 @@
+"""Circuit data model: the :class:`Circuit` container and hierarchy support.
+
+A :class:`Circuit` is an ordered collection of uniquely named elements plus
+the circuit-level metadata the stability tool needs: design variables
+(symbolic parameters that element values may reference), node aliases and
+an optional title.  Hierarchy is expressed with
+:class:`SubcircuitDefinition` / :class:`SubcircuitInstance`; the analysis
+engines operate on flat circuits, so :meth:`Circuit.flattened` expands all
+instances, prefixing internal node and element names with the instance
+path (``X1.net5``), which is also how the original DFII tool reports
+hierarchical nets.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.circuit.elements.base import Element, is_ground
+from repro.circuit.elements.sources import CurrentSource, VoltageSource, _IndependentSource
+from repro.exceptions import NetlistError
+
+__all__ = ["Circuit", "SubcircuitDefinition", "SubcircuitInstance", "HIER_SEP"]
+
+#: Separator used when flattening hierarchical names ("X1.net5").
+HIER_SEP = "."
+
+
+class SubcircuitDefinition:
+    """A reusable circuit block with a list of port nodes.
+
+    The body is itself a :class:`Circuit`; the ``ports`` are the names of
+    the body nodes that get connected when the subcircuit is instantiated.
+    """
+
+    def __init__(self, name: str, ports: Sequence[str],
+                 circuit: Optional["Circuit"] = None,
+                 parameters: Optional[Dict[str, float]] = None):
+        if not name:
+            raise NetlistError("subcircuit definition needs a name")
+        self.name = str(name)
+        self.ports = tuple(str(p) for p in ports)
+        if len(set(self.ports)) != len(self.ports):
+            raise NetlistError(f"subcircuit {name!r}: duplicate port names")
+        self.circuit = circuit if circuit is not None else Circuit(title=name)
+        self.parameters = dict(parameters or {})
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<SubcircuitDefinition {self.name} ports={self.ports}>"
+
+
+class SubcircuitInstance(Element):
+    """An instance of a :class:`SubcircuitDefinition` inside a circuit.
+
+    Instances are placeholders: they never stamp anything themselves, they
+    are expanded by :meth:`Circuit.flattened` before any analysis runs.
+    """
+
+    prefix = "X"
+
+    def __init__(self, name: str, nodes: Sequence[str], definition: SubcircuitDefinition,
+                 parameters: Optional[Dict[str, float]] = None):
+        super().__init__(name, nodes)
+        if len(nodes) != len(definition.ports):
+            raise NetlistError(
+                f"subcircuit instance {name!r}: {len(nodes)} connections for "
+                f"{len(definition.ports)} ports of {definition.name!r}")
+        self.definition = definition
+        self.parameters = dict(parameters or {})
+
+    def port_map(self) -> Dict[str, str]:
+        """Mapping from definition port name to the instance's outer node."""
+        return dict(zip(self.definition.ports, self.nodes))
+
+
+class Circuit:
+    """An ordered, named collection of circuit elements.
+
+    Parameters
+    ----------
+    title:
+        Free-form description used in reports.
+    """
+
+    def __init__(self, title: str = "untitled circuit"):
+        self.title = title
+        self._elements: Dict[str, Element] = {}
+        #: Design variables: name -> default numeric value.  Element
+        #: parameters given as strings may reference these by name.
+        self.variables: Dict[str, float] = {}
+        #: Node aliases (alias -> canonical node name).
+        self.aliases: Dict[str, str] = {}
+        #: Subcircuit definitions available to this circuit.
+        self.subcircuits: Dict[str, SubcircuitDefinition] = {}
+
+    # ------------------------------------------------------------------
+    # Element management
+    # ------------------------------------------------------------------
+    def add(self, element: Element) -> Element:
+        """Add an element; its name must be unique within the circuit."""
+        if not isinstance(element, Element):
+            raise NetlistError(f"cannot add {element!r}: not an Element")
+        key = element.name.lower()
+        if key in self._elements:
+            raise NetlistError(f"duplicate element name {element.name!r}")
+        self._elements[key] = element
+        return element
+
+    def add_all(self, elements: Iterable[Element]) -> None:
+        for element in elements:
+            self.add(element)
+
+    def remove(self, name: str) -> Element:
+        """Remove and return the element called ``name``."""
+        key = name.lower()
+        try:
+            return self._elements.pop(key)
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def replace(self, element: Element) -> Element:
+        """Replace an existing element of the same name (or add it)."""
+        self._elements[element.name.lower()] = element
+        return element
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._elements
+
+    def __getitem__(self, name: str) -> Element:
+        try:
+            return self._elements[name.lower()]
+        except KeyError:
+            raise NetlistError(f"no element named {name!r}") from None
+
+    def get(self, name: str, default=None):
+        return self._elements.get(name.lower(), default)
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self._elements.values())
+
+    def __len__(self) -> int:
+        return len(self._elements)
+
+    @property
+    def elements(self) -> List[Element]:
+        return list(self._elements.values())
+
+    def elements_of_type(self, cls) -> List[Element]:
+        """All elements that are instances of ``cls`` (class or tuple)."""
+        return [e for e in self._elements.values() if isinstance(e, cls)]
+
+    def unique_name(self, prefix: str) -> str:
+        """Generate an element name with the given prefix that is not in use."""
+        index = 1
+        while f"{prefix}{index}".lower() in self._elements:
+            index += 1
+        return f"{prefix}{index}"
+
+    # ------------------------------------------------------------------
+    # Design variables and aliases
+    # ------------------------------------------------------------------
+    def set_variable(self, name: str, value: float) -> None:
+        """Define or update a design variable."""
+        self.variables[str(name)] = float(value)
+
+    def set_variables(self, **values: float) -> None:
+        for name, value in values.items():
+            self.set_variable(name, value)
+
+    def add_alias(self, alias: str, node: str) -> None:
+        """Declare ``alias`` as an alternative name for ``node``."""
+        self.aliases[str(alias)] = str(node)
+
+    def resolve_node(self, node: str) -> str:
+        """Resolve aliases (a single level is enough for our use)."""
+        return self.aliases.get(node, node)
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+    def nodes(self, include_ground: bool = False,
+              include_internal: bool = True) -> List[str]:
+        """All node names referenced by the elements, in first-use order.
+
+        ``include_internal`` keeps nodes created by subcircuit flattening
+        (those containing the hierarchy separator).
+        """
+        seen: Dict[str, None] = {}
+        for element in self._elements.values():
+            for node in element.nodes:
+                if not include_ground and is_ground(node):
+                    continue
+                if not include_internal and HIER_SEP in node:
+                    continue
+                seen.setdefault(node, None)
+        return list(seen.keys())
+
+    def node_elements(self, node: str) -> List[Element]:
+        """Elements connected to ``node``."""
+        node = self.resolve_node(node)
+        return [e for e in self._elements.values() if node in e.nodes]
+
+    def has_node(self, node: str) -> bool:
+        node = self.resolve_node(node)
+        return any(node in e.nodes for e in self._elements.values())
+
+    def connectivity(self) -> Dict[str, List[str]]:
+        """Node -> list of element names touching it (ground included)."""
+        table: Dict[str, List[str]] = {}
+        for element in self._elements.values():
+            for node in element.nodes:
+                table.setdefault(node, []).append(element.name)
+        return table
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def independent_sources(self) -> List[_IndependentSource]:
+        return [e for e in self._elements.values()
+                if isinstance(e, (VoltageSource, CurrentSource))]
+
+    def ac_sources(self) -> List[_IndependentSource]:
+        """Independent sources that carry a non-zero AC stimulus."""
+        return [s for s in self.independent_sources() if s.has_ac]
+
+    def zero_all_ac_sources(self) -> List[str]:
+        """Remove every AC stimulus in the circuit (tool feature
+        "Auto-zero all AC sources prior to running the analysis").
+
+        Returns the names of the sources that were modified.
+        """
+        modified = []
+        for source in self.ac_sources():
+            source.zero_ac()
+            modified.append(source.name)
+        return modified
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> List[str]:
+        """Run structural checks; returns a list of warnings and raises
+        :class:`NetlistError` on fatal problems."""
+        warnings: List[str] = []
+        if not self._elements:
+            raise NetlistError("circuit is empty")
+        has_ground = any(is_ground(n) for e in self._elements.values() for n in e.nodes)
+        if not has_ground:
+            raise NetlistError("circuit has no ground node ('0')")
+        # Nodes with a single connection are usually mistakes.
+        counts: Dict[str, int] = {}
+        for element in self._elements.values():
+            if isinstance(element, SubcircuitInstance):
+                continue
+            for node in element.nodes:
+                if not is_ground(node):
+                    counts[node] = counts.get(node, 0) + 1
+        for node, count in counts.items():
+            if count < 2:
+                warnings.append(f"node {node!r} has a single connection")
+        return warnings
+
+    # ------------------------------------------------------------------
+    # Hierarchy
+    # ------------------------------------------------------------------
+    def define_subcircuit(self, definition: SubcircuitDefinition) -> SubcircuitDefinition:
+        self.subcircuits[definition.name.lower()] = definition
+        return definition
+
+    def instantiate(self, name: str, definition_name: str, nodes: Sequence[str],
+                    parameters: Optional[Dict[str, float]] = None) -> SubcircuitInstance:
+        """Add an instance of a previously defined subcircuit."""
+        key = definition_name.lower()
+        if key not in self.subcircuits:
+            raise NetlistError(f"unknown subcircuit {definition_name!r}")
+        instance = SubcircuitInstance(name, nodes, self.subcircuits[key], parameters)
+        return self.add(instance)
+
+    def flattened(self, max_depth: int = 20) -> "Circuit":
+        """Return a copy of the circuit with every subcircuit instance
+        expanded into prefixed elements ("X1.R3" connected to "X1.net7")."""
+        flat = Circuit(title=self.title)
+        flat.variables = dict(self.variables)
+        flat.aliases = dict(self.aliases)
+        self._flatten_into(flat, prefix="", depth=0, max_depth=max_depth,
+                           outer_map={}, extra_vars={})
+        return flat
+
+    def _flatten_into(self, flat: "Circuit", prefix: str, depth: int, max_depth: int,
+                      outer_map: Dict[str, str], extra_vars: Dict[str, float]) -> None:
+        if depth > max_depth:
+            raise NetlistError("subcircuit nesting exceeds the maximum depth "
+                               f"({max_depth}); recursive definition?")
+        for element in self._elements.values():
+            if isinstance(element, SubcircuitInstance):
+                inst_prefix = f"{prefix}{element.name}{HIER_SEP}"
+                port_map = {}
+                for port, outer in element.port_map().items():
+                    resolved = outer_map.get(outer, f"{prefix}{outer}" if prefix and not is_ground(outer) else outer)
+                    port_map[port] = resolved
+                inner_vars = dict(element.definition.parameters)
+                inner_vars.update(element.parameters)
+                body = element.definition.circuit
+                body._flatten_into(flat, inst_prefix, depth + 1, max_depth,
+                                   outer_map=port_map, extra_vars=inner_vars)
+                continue
+            clone = element.clone()
+            mapping = {}
+            for node in clone.nodes:
+                if node in outer_map:
+                    mapping[node] = outer_map[node]
+                elif is_ground(node):
+                    mapping[node] = node
+                elif prefix:
+                    mapping[node] = f"{prefix}{node}"
+            clone.rename_nodes(mapping)
+            if prefix:
+                clone.name = f"{prefix}{clone.name}"
+            flat.add(clone)
+        # Subcircuit parameters become design variables scoped by prefix-free
+        # name; instance parameters override definition defaults.
+        for name, value in extra_vars.items():
+            flat.variables.setdefault(name, value)
+
+    # ------------------------------------------------------------------
+    # Copy / export
+    # ------------------------------------------------------------------
+    def copy(self) -> "Circuit":
+        """Deep copy (elements are cloned; definitions are shared copies)."""
+        return copy.deepcopy(self)
+
+    def summary(self) -> Dict[str, int]:
+        """Element-type histogram used in reports."""
+        histogram: Dict[str, int] = {}
+        for element in self._elements.values():
+            histogram[type(element).__name__] = histogram.get(type(element).__name__, 0) + 1
+        return histogram
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Circuit {self.title!r}: {len(self._elements)} elements, "
+                f"{len(self.nodes())} nodes>")

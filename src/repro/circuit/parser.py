@@ -1,0 +1,475 @@
+"""SPICE-style netlist text parser.
+
+The parser understands the subset of SPICE syntax needed to describe the
+circuits this library targets (linear/precision analog blocks):
+
+* element cards: ``R``, ``C``, ``L``, ``V``, ``I``, ``E`` (VCVS), ``G``
+  (VCCS), ``F`` (CCCS), ``H`` (CCVS), ``D``, ``Q``, ``M``, ``X``
+  (subcircuit instance);
+* control cards: ``.model``, ``.subckt`` / ``.ends``, ``.param``,
+  ``.global`` (ignored but accepted), ``.end``;
+* ``*`` comments, ``;`` trailing comments and ``+`` continuation lines;
+* SPICE number suffixes (``1k``, ``2.2u``, ``3MEG``) and ``name=value``
+  parameters;
+* value expressions in braces (``{cload*2}``), stored symbolically and
+  resolved against the circuit's design variables at analysis time.
+
+Source cards accept ``DC <v>``, ``AC <mag> [phase]`` and one transient
+specification (``PULSE``, ``SIN``, ``PWL``, ``STEP``).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.circuit.elements import (
+    BJT,
+    BJTModel,
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    DiodeModel,
+    Inductor,
+    MOSFET,
+    MOSFETModel,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Step,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.circuit.netlist import Circuit, SubcircuitDefinition
+from repro.circuit.units import parse_value
+from repro.exceptions import ModelError, ParseError
+
+__all__ = ["parse_netlist", "parse_file", "NetlistParser"]
+
+
+def parse_netlist(text: str, title: Optional[str] = None,
+                  first_line_title: bool = False) -> Circuit:
+    """Parse SPICE-style netlist text into a :class:`Circuit`."""
+    return NetlistParser().parse(text, title=title, first_line_title=first_line_title)
+
+
+def parse_file(path: str, first_line_title: bool = True) -> Circuit:
+    """Parse a netlist file (SPICE convention: the first line is the title)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_netlist(text, first_line_title=first_line_title)
+
+
+_FUNC_RE = re.compile(r"^(PULSE|SIN|PWL|STEP)\s*\((.*)\)$", re.IGNORECASE)
+
+
+class _Line:
+    """A logical netlist line (continuations folded) with its origin."""
+
+    def __init__(self, number: int, text: str):
+        self.number = number
+        self.text = text
+
+    def __repr__(self):  # pragma: no cover
+        return f"<Line {self.number}: {self.text!r}>"
+
+
+class NetlistParser:
+    """Stateful parser; create one per parse call via :func:`parse_netlist`."""
+
+    def __init__(self):
+        self._models: Dict[str, object] = {}
+        self._circuit_stack: List[Circuit] = []
+        self._subckt_stack: List[SubcircuitDefinition] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def _circuit(self) -> Circuit:
+        return self._circuit_stack[-1]
+
+    # ------------------------------------------------------------------
+    def parse(self, text: str, title: Optional[str] = None,
+              first_line_title: bool = False) -> Circuit:
+        lines = self._logical_lines(text, skip_first=first_line_title)
+        if first_line_title and title is None:
+            stripped = text.splitlines()
+            title = stripped[0].strip() if stripped else "untitled circuit"
+        top = Circuit(title=title or "untitled circuit")
+        self._circuit_stack = [top]
+        self._subckt_stack = []
+        self._models = {}
+
+        for line in lines:
+            try:
+                self._dispatch(line)
+            except ParseError:
+                raise
+            except (ModelError, Exception) as exc:
+                if isinstance(exc, (ValueError, KeyError, IndexError, ModelError)):
+                    raise ParseError(str(exc), line.number, line.text) from exc
+                raise
+        if self._subckt_stack:
+            raise ParseError(f"unterminated .subckt {self._subckt_stack[-1].name!r}")
+        return top
+
+    # ------------------------------------------------------------------
+    # Tokenisation
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _logical_lines(text: str, skip_first: bool = False) -> List[_Line]:
+        logical: List[_Line] = []
+        for number, raw in enumerate(text.splitlines(), start=1):
+            if skip_first and number == 1:
+                continue
+            line = raw.split(";", 1)[0].rstrip()
+            if not line.strip():
+                continue
+            if line.lstrip().startswith("*"):
+                continue
+            if line.lstrip().startswith("+"):
+                if not logical:
+                    raise ParseError("continuation line with nothing to continue",
+                                     number, raw)
+                logical[-1].text += " " + line.lstrip()[1:].strip()
+                continue
+            logical.append(_Line(number, line.strip()))
+        return logical
+
+    @staticmethod
+    def _tokenize(text: str) -> List[str]:
+        """Split a card into tokens, keeping parenthesised groups and braced
+        expressions together."""
+        tokens: List[str] = []
+        buffer = ""
+        depth = 0
+        for char in text:
+            if char in "({":
+                depth += 1
+                buffer += char
+            elif char in ")}":
+                depth -= 1
+                buffer += char
+            elif char.isspace() and depth == 0:
+                if buffer:
+                    tokens.append(buffer)
+                    buffer = ""
+            elif char == "," and depth > 0:
+                buffer += " "
+            else:
+                buffer += char
+        if buffer:
+            tokens.append(buffer)
+        return tokens
+
+    @staticmethod
+    def _split_params(tokens: Sequence[str]) -> Tuple[List[str], Dict[str, str]]:
+        """Separate positional tokens from name=value parameters."""
+        positional: List[str] = []
+        params: Dict[str, str] = {}
+        for token in tokens:
+            if "=" in token and not token.startswith(("{", "(")):
+                name, value = token.split("=", 1)
+                params[name.strip().lower()] = value.strip()
+            else:
+                positional.append(token)
+        return positional, params
+
+    @staticmethod
+    def _value_or_expr(token: str):
+        """Return a float for plain numbers, or the expression string for
+        braced/symbolic values (resolved later against design variables)."""
+        token = token.strip()
+        if token.startswith("{") and token.endswith("}"):
+            return token[1:-1].strip()
+        if token.startswith("'") and token.endswith("'"):
+            return token[1:-1].strip()
+        try:
+            return parse_value(token)
+        except Exception:
+            # Bare identifier / expression referencing a design variable.
+            return token
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, line: _Line) -> None:
+        tokens = self._tokenize(line.text)
+        if not tokens:
+            return
+        head = tokens[0]
+        if head.startswith("."):
+            self._control_card(head.lower(), tokens, line)
+            return
+        letter = head[0].upper()
+        handler = getattr(self, f"_card_{letter}", None)
+        if handler is None:
+            raise ParseError(f"unsupported element card {head!r}", line.number, line.text)
+        handler(tokens, line)
+
+    # ------------------------------------------------------------------
+    # Control cards
+    # ------------------------------------------------------------------
+    def _control_card(self, card: str, tokens: List[str], line: _Line) -> None:
+        if card == ".model":
+            self._parse_model(tokens, line)
+        elif card == ".subckt":
+            if len(tokens) < 3:
+                raise ParseError(".subckt needs a name and at least one port",
+                                 line.number, line.text)
+            positional, params = self._split_params(tokens[1:])
+            name, ports = positional[0], positional[1:]
+            numeric_params = {k: self._value_or_expr(v) for k, v in params.items()}
+            definition = SubcircuitDefinition(name, ports, parameters=numeric_params)
+            self._circuit.define_subcircuit(definition)
+            self._subckt_stack.append(definition)
+            self._circuit_stack.append(definition.circuit)
+        elif card == ".ends":
+            if not self._subckt_stack:
+                raise ParseError(".ends without .subckt", line.number, line.text)
+            self._subckt_stack.pop()
+            self._circuit_stack.pop()
+        elif card == ".param":
+            _, params = self._split_params(tokens[1:])
+            for name, value in params.items():
+                resolved = self._value_or_expr(value)
+                if isinstance(resolved, str):
+                    raise ParseError(f".param {name} must be numeric", line.number, line.text)
+                self._circuit.set_variable(name, resolved)
+        elif card in (".end", ".global", ".options", ".option", ".temp",
+                      ".op", ".ac", ".tran", ".dc", ".include", ".lib",
+                      ".save", ".probe", ".print"):
+            # Analysis/bookkeeping cards are accepted and ignored: analyses
+            # are requested through the Python API.
+            return
+        else:
+            raise ParseError(f"unsupported control card {card!r}", line.number, line.text)
+
+    def _parse_model(self, tokens: List[str], line: _Line) -> None:
+        if len(tokens) < 3:
+            raise ParseError(".model needs a name and a type", line.number, line.text)
+        name = tokens[1]
+        type_token = tokens[2]
+        # Accept both ".model NAME NPN(IS=..)" and ".model NAME NPN IS=.."
+        match = re.match(r"^(\w+)\s*(?:\((.*)\))?$", type_token, re.DOTALL)
+        if not match:
+            raise ParseError(f"malformed .model type {type_token!r}", line.number, line.text)
+        mtype = match.group(1).lower()
+        param_text = match.group(2) or ""
+        param_tokens = self._tokenize(param_text) + tokens[3:]
+        _, params = self._split_params(param_tokens)
+        numeric = {}
+        for key, value in params.items():
+            resolved = self._value_or_expr(value)
+            if isinstance(resolved, str):
+                raise ParseError(f"model parameter {key}={value!r} must be numeric",
+                                 line.number, line.text)
+            numeric[key.upper()] = resolved
+
+        if mtype == "d":
+            self._models[name.lower()] = DiodeModel(name=name, **self._known(numeric, DiodeModel))
+        elif mtype in ("npn", "pnp"):
+            self._models[name.lower()] = BJTModel(name=name, polarity=mtype,
+                                                  **self._known(numeric, BJTModel))
+        elif mtype in ("nmos", "pmos"):
+            self._models[name.lower()] = MOSFETModel(name=name, polarity=mtype,
+                                                     **self._known(numeric, MOSFETModel))
+        else:
+            raise ParseError(f"unsupported model type {mtype!r}", line.number, line.text)
+
+    @staticmethod
+    def _known(params: Dict[str, float], model_cls) -> Dict[str, float]:
+        import dataclasses
+
+        fields = {f.name for f in dataclasses.fields(model_cls)}
+        return {k: v for k, v in params.items() if k in fields}
+
+    def _model(self, name: str, expected, line: _Line):
+        model = self._models.get(name.lower())
+        if model is None:
+            raise ParseError(f"unknown model {name!r}", line.number, line.text)
+        if not isinstance(model, expected):
+            raise ParseError(f"model {name!r} has the wrong type for this element",
+                             line.number, line.text)
+        return model
+
+    # ------------------------------------------------------------------
+    # Element cards
+    # ------------------------------------------------------------------
+    def _card_R(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 4:
+            raise ParseError("resistor card needs: Rxxx n+ n- value", line.number, line.text)
+        name, npos, nneg, value = positional[:4]
+        self._circuit.add(Resistor(name, npos, nneg, self._value_or_expr(value),
+                                   tc1=float(params.get("tc1", 0.0)),
+                                   tc2=float(params.get("tc2", 0.0))))
+
+    def _card_C(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 4:
+            raise ParseError("capacitor card needs: Cxxx n+ n- value", line.number, line.text)
+        name, npos, nneg, value = positional[:4]
+        ic = params.get("ic")
+        self._circuit.add(Capacitor(name, npos, nneg, self._value_or_expr(value),
+                                    ic=None if ic is None else parse_value(ic)))
+
+    def _card_L(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 4:
+            raise ParseError("inductor card needs: Lxxx n+ n- value", line.number, line.text)
+        name, npos, nneg, value = positional[:4]
+        ic = params.get("ic")
+        self._circuit.add(Inductor(name, npos, nneg, self._value_or_expr(value),
+                                   ic=None if ic is None else parse_value(ic)))
+
+    # -- independent sources -------------------------------------------
+    def _parse_source(self, tokens: List[str], line: _Line):
+        positional, _ = self._split_params(tokens)
+        if len(positional) < 3:
+            raise ParseError("source card needs: Xxxx n+ n- [DC v] [AC mag [ph]] [PULSE/SIN/PWL(...)]",
+                             line.number, line.text)
+        name, npos, nneg = positional[:3]
+        rest = positional[3:]
+        dc = 0.0
+        ac_mag = 0.0
+        ac_phase = 0.0
+        waveform = None
+        index = 0
+        while index < len(rest):
+            token = rest[index]
+            upper = token.upper()
+            func = _FUNC_RE.match(token)
+            if upper == "DC":
+                dc = self._value_or_expr(rest[index + 1])
+                index += 2
+            elif upper == "AC":
+                ac_mag = parse_value(rest[index + 1])
+                if index + 2 < len(rest):
+                    try:
+                        ac_phase = parse_value(rest[index + 2])
+                        index += 3
+                        continue
+                    except Exception:
+                        pass
+                index += 2
+            elif func:
+                kind = func.group(1).upper()
+                args = [parse_value(v) for v in self._tokenize(func.group(2))]
+                waveform = self._make_waveform(kind, args, line)
+                index += 1
+            else:
+                # Bare value: DC level.
+                dc = self._value_or_expr(token)
+                index += 1
+        return name, npos, nneg, dc, ac_mag, ac_phase, waveform
+
+    @staticmethod
+    def _make_waveform(kind: str, args: List[float], line: _Line):
+        if kind == "PULSE":
+            return Pulse(*args)
+        if kind == "SIN":
+            return Sine(*args)
+        if kind == "STEP":
+            return Step(*args)
+        if kind == "PWL":
+            if len(args) % 2 != 0:
+                raise ParseError("PWL needs an even number of values", line.number, line.text)
+            points = list(zip(args[0::2], args[1::2]))
+            return PiecewiseLinear(points)
+        raise ParseError(f"unsupported waveform {kind!r}", line.number, line.text)
+
+    def _card_V(self, tokens: List[str], line: _Line) -> None:
+        name, npos, nneg, dc, ac_mag, ac_phase, waveform = self._parse_source(tokens, line)
+        self._circuit.add(VoltageSource(name, npos, nneg, dc=dc, ac_mag=ac_mag,
+                                        ac_phase=ac_phase, waveform=waveform))
+
+    def _card_I(self, tokens: List[str], line: _Line) -> None:
+        name, npos, nneg, dc, ac_mag, ac_phase, waveform = self._parse_source(tokens, line)
+        self._circuit.add(CurrentSource(name, npos, nneg, dc=dc, ac_mag=ac_mag,
+                                        ac_phase=ac_phase, waveform=waveform))
+
+    # -- controlled sources --------------------------------------------
+    def _card_E(self, tokens: List[str], line: _Line) -> None:
+        positional, _ = self._split_params(tokens)
+        if len(positional) < 6:
+            raise ParseError("VCVS card needs: Exxx n+ n- nc+ nc- gain", line.number, line.text)
+        name, npos, nneg, cpos, cneg, gain = positional[:6]
+        self._circuit.add(VCVS(name, npos, nneg, cpos, cneg, self._value_or_expr(gain)))
+
+    def _card_G(self, tokens: List[str], line: _Line) -> None:
+        positional, _ = self._split_params(tokens)
+        if len(positional) < 6:
+            raise ParseError("VCCS card needs: Gxxx n+ n- nc+ nc- gm", line.number, line.text)
+        name, npos, nneg, cpos, cneg, gm = positional[:6]
+        self._circuit.add(VCCS(name, npos, nneg, cpos, cneg, self._value_or_expr(gm)))
+
+    def _card_F(self, tokens: List[str], line: _Line) -> None:
+        positional, _ = self._split_params(tokens)
+        if len(positional) < 5:
+            raise ParseError("CCCS card needs: Fxxx n+ n- Vname gain", line.number, line.text)
+        name, npos, nneg, vname, gain = positional[:5]
+        self._circuit.add(CCCS(name, npos, nneg, vname, self._value_or_expr(gain)))
+
+    def _card_H(self, tokens: List[str], line: _Line) -> None:
+        positional, _ = self._split_params(tokens)
+        if len(positional) < 5:
+            raise ParseError("CCVS card needs: Hxxx n+ n- Vname r", line.number, line.text)
+        name, npos, nneg, vname, r = positional[:5]
+        self._circuit.add(CCVS(name, npos, nneg, vname, self._value_or_expr(r)))
+
+    # -- semiconductor devices -----------------------------------------
+    def _card_D(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 4:
+            raise ParseError("diode card needs: Dxxx anode cathode model [area]",
+                             line.number, line.text)
+        name, anode, cathode, model_name = positional[:4]
+        area = parse_value(positional[4]) if len(positional) > 4 else float(params.get("area", 1.0))
+        model = self._model(model_name, DiodeModel, line)
+        self._circuit.add(Diode(name, anode, cathode, model, area=area))
+
+    def _card_Q(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 5:
+            raise ParseError("BJT card needs: Qxxx c b e model [area]", line.number, line.text)
+        name, collector, base, emitter, model_name = positional[:5]
+        area = parse_value(positional[5]) if len(positional) > 5 else float(params.get("area", 1.0))
+        model = self._model(model_name, BJTModel, line)
+        self._circuit.add(BJT(name, collector, base, emitter, model, area=area))
+
+    def _card_M(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 6:
+            raise ParseError("MOSFET card needs: Mxxx d g s b model [W= L= m=]",
+                             line.number, line.text)
+        name, drain, gate, source, bulk, model_name = positional[:6]
+        model = self._model(model_name, MOSFETModel, line)
+        width = parse_value(params.get("w", "10u"))
+        length = parse_value(params.get("l", "1u"))
+        mult = parse_value(params.get("m", 1.0))
+        self._circuit.add(MOSFET(name, drain, gate, source, bulk, model,
+                                 width=width, length=length, m=mult))
+
+    # -- subcircuit instances ------------------------------------------
+    def _card_X(self, tokens: List[str], line: _Line) -> None:
+        positional, params = self._split_params(tokens)
+        if len(positional) < 3:
+            raise ParseError("subcircuit card needs: Xxxx node... subname",
+                             line.number, line.text)
+        name = positional[0]
+        nodes = positional[1:-1]
+        subname = positional[-1]
+        numeric_params = {k: self._value_or_expr(v) for k, v in params.items()}
+        # Subcircuit definitions live on the top-level circuit.
+        top = self._circuit_stack[0]
+        key = subname.lower()
+        if key not in top.subcircuits and key not in self._circuit.subcircuits:
+            raise ParseError(f"unknown subcircuit {subname!r}", line.number, line.text)
+        definition = self._circuit.subcircuits.get(key) or top.subcircuits[key]
+        from repro.circuit.netlist import SubcircuitInstance
+
+        self._circuit.add(SubcircuitInstance(name, nodes, definition, numeric_params))

@@ -1,0 +1,175 @@
+"""SPICE-style engineering number parsing and formatting.
+
+Circuit descriptions use the classic SPICE suffix notation (``1k``,
+``2.2u``, ``3MEG``, ``10nF``...).  This module converts between those
+strings and floats, and provides a few physical constants and temperature
+helpers used by the device models.
+
+The parser is case-insensitive, as in SPICE, which means ``M`` is *milli*
+and mega must be written ``MEG`` (or ``X``).  Trailing unit names such as
+``F``, ``Ohm``, ``V``, ``A``, ``Hz``, ``s`` are ignored, with the usual
+SPICE caveat handled correctly: ``1F`` parses as 1 femto only when the
+``f`` is a genuine suffix (``1f``), while ``1Farad`` style unit text after
+a recognised suffix is dropped.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Union
+
+from repro.exceptions import UnitError
+
+__all__ = [
+    "parse_value",
+    "format_value",
+    "format_si",
+    "BOLTZMANN",
+    "ELECTRON_CHARGE",
+    "ZERO_CELSIUS",
+    "DEFAULT_TEMPERATURE_C",
+    "thermal_voltage",
+    "celsius_to_kelvin",
+    "kelvin_to_celsius",
+]
+
+#: Boltzmann constant [J/K]
+BOLTZMANN = 1.380649e-23
+#: Elementary charge [C]
+ELECTRON_CHARGE = 1.602176634e-19
+#: 0 degrees Celsius in Kelvin
+ZERO_CELSIUS = 273.15
+#: SPICE default simulation temperature [C]
+DEFAULT_TEMPERATURE_C = 27.0
+
+# Scale factors, longest suffix first so that "MEG" wins over "M".
+_SUFFIXES = (
+    ("MEG", 1e6),
+    ("MIL", 25.4e-6),
+    ("T", 1e12),
+    ("G", 1e9),
+    ("X", 1e6),
+    ("K", 1e3),
+    ("M", 1e-3),
+    ("U", 1e-6),
+    ("N", 1e-9),
+    ("P", 1e-12),
+    ("F", 1e-15),
+    ("A", 1e-18),
+)
+
+_NUMBER_RE = re.compile(
+    r"^\s*([+-]?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)\s*([a-zA-Z%]*)\s*$"
+)
+
+
+def parse_value(text: Union[str, float, int]) -> float:
+    """Parse a SPICE-style number (``'2.2u'``, ``'3MEG'``, ``'1e-9'``).
+
+    Numeric inputs are passed through unchanged.  Raises
+    :class:`~repro.exceptions.UnitError` for malformed input.
+
+    >>> parse_value("2.2u")
+    2.2e-06
+    >>> parse_value("3MEG")
+    3000000.0
+    >>> parse_value("10nF")
+    1e-08
+    """
+    if isinstance(text, bool):
+        raise UnitError(f"cannot interpret boolean {text!r} as a value")
+    if isinstance(text, (int, float)):
+        return float(text)
+    if not isinstance(text, str):
+        raise UnitError(f"cannot interpret {text!r} as a value")
+
+    match = _NUMBER_RE.match(text)
+    if not match:
+        raise UnitError(f"malformed number: {text!r}")
+
+    mantissa = float(match.group(1))
+    tail = match.group(2).upper()
+    if not tail or tail == "%":
+        return mantissa * (0.01 if tail == "%" else 1.0)
+
+    for suffix, scale in _SUFFIXES:
+        if tail.startswith(suffix):
+            return mantissa * scale
+    # No recognised scale suffix: the tail is a plain unit name (V, OHM,
+    # HZ, S, VOLT...), which SPICE ignores.
+    if tail.isalpha():
+        return mantissa
+    raise UnitError(f"malformed number: {text!r}")
+
+
+_SI_PREFIXES = (
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "MEG"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+    (1e-12, "p"),
+    (1e-15, "f"),
+    (1e-18, "a"),
+)
+
+
+def format_value(value: float, digits: int = 4) -> str:
+    """Format ``value`` with a SPICE scale suffix (``3.3e6`` -> ``'3.3MEG'``).
+
+    The result round-trips through :func:`parse_value` to within the
+    requested number of significant digits.
+    """
+    if value == 0:
+        return "0"
+    if not math.isfinite(value):
+        return str(value)
+    magnitude = abs(value)
+    for scale, suffix in _SI_PREFIXES:
+        if magnitude >= scale:
+            scaled = value / scale
+            text = f"{scaled:.{digits}g}"
+            return f"{text}{suffix}"
+    # Smaller than 1e-18: fall back to scientific notation.
+    return f"{value:.{digits}g}"
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Human-readable engineering formatting, e.g. ``format_si(3.16e6, 'Hz')
+    == '3.16 MHz'`` (uses ``M`` for mega, unlike the SPICE form)."""
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    if not math.isfinite(value):
+        return f"{value} {unit}".rstrip()
+    prefixes = (
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k"), (1.0, ""),
+        (1e-3, "m"), (1e-6, "u"), (1e-9, "n"), (1e-12, "p"), (1e-15, "f"),
+    )
+    magnitude = abs(value)
+    for scale, prefix in prefixes:
+        if magnitude >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}".rstrip()
+    return f"{value:.{digits}g} {unit}".rstrip()
+
+
+def celsius_to_kelvin(temp_c: float) -> float:
+    """Convert degrees Celsius to Kelvin."""
+    return temp_c + ZERO_CELSIUS
+
+
+def kelvin_to_celsius(temp_k: float) -> float:
+    """Convert Kelvin to degrees Celsius."""
+    return temp_k - ZERO_CELSIUS
+
+
+def thermal_voltage(temp_c: float = DEFAULT_TEMPERATURE_C) -> float:
+    """Thermal voltage kT/q at the given temperature in Celsius.
+
+    >>> round(thermal_voltage(27.0), 6)
+    0.025865
+    """
+    return BOLTZMANN * celsius_to_kelvin(temp_c) / ELECTRON_CHARGE

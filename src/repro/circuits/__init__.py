@@ -1,0 +1,44 @@
+"""Reference circuit library used by the examples, tests and benchmarks.
+
+* :mod:`repro.circuits.models` — shared BJT/MOSFET/diode models;
+* :mod:`repro.circuits.rlc` — RLC standards with closed-form poles;
+* :mod:`repro.circuits.second_order` — macromodel loops with exact poles;
+* :mod:`repro.circuits.opamp_2mhz` — the paper's Fig. 1 op-amp buffer
+  (transistor level) and its broken-loop variant;
+* :mod:`repro.circuits.bias_zero_tc` — the zero-TC bias cell with the
+  under-damped local loop of Fig. 5;
+* :mod:`repro.circuits.opamp_full` — op-amp + bias assembled (Table 2);
+* :mod:`repro.circuits.mirrors` / :mod:`repro.circuits.followers` —
+  smaller local-loop case studies.
+"""
+
+from repro.circuits.bias_zero_tc import DEFAULT_BIAS_VARIABLES, BiasDesign, bias_circuit
+from repro.circuits.followers import FollowerDesign, emitter_follower, source_follower
+from repro.circuits.mirrors import MirrorDesign, buffered_mirror, simple_mirror
+from repro.circuits.models import DIODE, NMOS, NPN, NPN_SMALL, PMOS, PNP, PNP_SMALL
+from repro.circuits.opamp_2mhz import (
+    DEFAULT_DESIGN_VARIABLES,
+    OpAmpDesign,
+    opamp_buffer,
+    opamp_open_loop,
+)
+from repro.circuits.opamp_full import FullCircuitDesign, opamp_with_bias
+from repro.circuits.rlc import RLCDesign, parallel_rlc, parallel_rlc_for, series_rlc_divider
+from repro.circuits.second_order import (
+    MacroOpAmpDesign,
+    closed_loop_damping_for_two_pole,
+    two_pole_opamp_buffer,
+    two_pole_open_loop,
+)
+
+__all__ = [
+    "NPN", "PNP", "NPN_SMALL", "PNP_SMALL", "NMOS", "PMOS", "DIODE",
+    "RLCDesign", "parallel_rlc", "parallel_rlc_for", "series_rlc_divider",
+    "MacroOpAmpDesign", "two_pole_opamp_buffer", "two_pole_open_loop",
+    "closed_loop_damping_for_two_pole",
+    "OpAmpDesign", "opamp_buffer", "opamp_open_loop", "DEFAULT_DESIGN_VARIABLES",
+    "BiasDesign", "bias_circuit", "DEFAULT_BIAS_VARIABLES",
+    "FullCircuitDesign", "opamp_with_bias",
+    "MirrorDesign", "simple_mirror", "buffered_mirror",
+    "FollowerDesign", "emitter_follower", "source_follower",
+]

@@ -1,0 +1,85 @@
+"""Follower circuits with local-instability behaviour.
+
+Emitter (and source) followers driving capacitive loads through resistive
+sources are the canonical "local loop you forgot to check": the follower's
+output impedance turns inductive at high frequency and, together with the
+load capacitance, forms an under-damped resonance that never shows up in a
+main-loop Bode plot.  The paper's introduction calls these out explicitly
+as the kind of problem the all-nodes analysis catches.
+
+Both factories return the built circuit plus the node where the ringing is
+observable and a rough expectation of its natural frequency / damping for
+wide-tolerance tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.models import NMOS, NPN_SMALL
+
+__all__ = ["FollowerDesign", "emitter_follower", "source_follower"]
+
+
+@dataclass
+class FollowerDesign:
+    """A follower circuit plus its observation node and rough expectations."""
+
+    circuit: Circuit
+    output_node: str
+    input_node: str
+    expected_frequency_hz: float
+    expected_damping: float
+
+
+def emitter_follower(source_resistance: float = 5e3,
+                     load_capacitance: float = 10e-12,
+                     pull_down_resistance: float = 10e3,
+                     bias_voltage: float = 1.5) -> FollowerDesign:
+    """NPN emitter follower driving a capacitive load from a resistive source.
+
+    With the default values the follower rings around 30 MHz with a damping
+    ratio near 0.45 — the classic overlooked local loop.
+    """
+    builder = CircuitBuilder("emitter follower driving a capacitive load")
+    builder.voltage_source("vcc", "0", dc=5.0, name="VCC")
+    builder.voltage_source("vb", "0", dc=bias_voltage, ac=1.0, name="VB")
+    builder.resistor("vb", "base", source_resistance, name="Rs")
+    builder.bjt("vcc", "base", "out", NPN_SMALL, name="QF")
+    builder.resistor("out", "0", pull_down_resistance, name="Rpull")
+    builder.capacitor("out", "0", load_capacitance, name="CL")
+    return FollowerDesign(
+        circuit=builder.build(),
+        output_node="out",
+        input_node="base",
+        expected_frequency_hz=29e6,
+        expected_damping=0.44,
+    )
+
+
+def source_follower(source_resistance: float = 20e3,
+                    load_capacitance: float = 5e-12,
+                    bias_current: float = 200e-6,
+                    width: float = 100e-6,
+                    bias_voltage: float = 2.5) -> FollowerDesign:
+    """NMOS source follower driving a capacitive load from a resistive source.
+
+    The MOS version of the same story; the gate capacitance plays the role
+    of the BJT's diffusion capacitance.
+    """
+    builder = CircuitBuilder("source follower driving a capacitive load")
+    builder.voltage_source("vdd", "0", dc=5.0, name="VDD")
+    builder.voltage_source("vg", "0", dc=bias_voltage, ac=1.0, name="VG")
+    builder.resistor("vg", "gate", source_resistance, name="Rs")
+    builder.mosfet("vdd", "gate", "out", "0", NMOS, width=width, length=1e-6, name="MF")
+    builder.current_source("out", "0", dc=bias_current, name="Ipull")
+    builder.capacitor("out", "0", load_capacitance, name="CL")
+    return FollowerDesign(
+        circuit=builder.build(),
+        output_node="out",
+        input_node="gate",
+        expected_frequency_hz=30e6,
+        expected_damping=0.6,
+    )

@@ -1,0 +1,86 @@
+"""Current-mirror circuits used as small stability-analysis workloads.
+
+The paper's introduction lists current mirrors among the places where
+local instability loops hide.  Two mirrors are provided:
+
+* a plain 1:N mirror with a capacitively loaded output (well behaved —
+  used as a negative control in tests: the analysis should *not* report a
+  problem);
+* a mirror whose base line is buffered by an emitter follower and
+  decoupled with a capacitor ("beta-helper-with-decoupling"), which
+  inherits the follower resonance and does ring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.models import NPN_SMALL
+
+__all__ = ["MirrorDesign", "simple_mirror", "buffered_mirror"]
+
+
+@dataclass
+class MirrorDesign:
+    """A mirror circuit plus the nodes tests and examples look at."""
+
+    circuit: Circuit
+    output_node: str
+    base_line_node: str
+    expects_ringing: bool
+    expected_frequency_hz: Optional[float] = None
+
+
+def simple_mirror(reference_current: float = 50e-6, ratio: float = 4.0,
+                  load_resistance: float = 20e3,
+                  load_capacitance: float = 2e-12) -> MirrorDesign:
+    """Plain diode-connected NPN mirror: no under-damped behaviour expected."""
+    builder = CircuitBuilder("simple NPN current mirror")
+    builder.voltage_source("vcc", "0", dc=5.0, name="VCC")
+    builder.current_source("vcc", "ref", dc=reference_current, name="Iref")
+    builder.bjt("ref", "ref", "0", NPN_SMALL, name="Q1")
+    builder.bjt("out", "ref", "0", NPN_SMALL, name="Q2", area=ratio)
+    builder.resistor("vcc", "out", load_resistance, name="Rload")
+    builder.capacitor("out", "0", load_capacitance, name="Cload")
+    return MirrorDesign(
+        circuit=builder.build(),
+        output_node="out",
+        base_line_node="ref",
+        expects_ringing=False,
+    )
+
+
+def buffered_mirror(reference_current: float = 50e-6, ratio: float = 4.0,
+                    base_line_capacitance: float = 10e-12,
+                    filter_resistance: float = 8e3,
+                    load_resistance: float = 20e3) -> MirrorDesign:
+    """Mirror whose base line is driven through an RC-filtered emitter follower.
+
+    The follower/decoupling combination resonates in the tens of MHz, so
+    the all-nodes analysis flags the base-line and follower nodes while the
+    output branch itself looks innocent at DC.
+    """
+    builder = CircuitBuilder("buffered (follower-driven) NPN current mirror")
+    builder.voltage_source("vcc", "0", dc=5.0, name="VCC")
+    builder.current_source("vcc", "ref", dc=reference_current, name="Iref")
+    # Reference branch: two stacked diodes give the follower base its 2*VBE.
+    builder.bjt("ref", "ref", "reflow", NPN_SMALL, name="Q1")
+    builder.bjt("reflow", "reflow", "0", NPN_SMALL, name="Q1B")
+    # Follower buffers the (filtered) reference onto the mirror base line.
+    builder.resistor("ref", "fbase", filter_resistance, name="Rfilt")
+    builder.bjt("vcc", "fbase", "bline", NPN_SMALL, name="QF", area=2.0)
+    builder.resistor("bline", "0", 6.8e3, name="Rbline")
+    builder.capacitor("bline", "0", base_line_capacitance, name="Cline")
+    # Mirror output device driven from the buffered line.
+    builder.bjt("out", "bline", "0", NPN_SMALL, name="Q2", area=ratio)
+    builder.resistor("vcc", "out", load_resistance, name="Rload")
+    return MirrorDesign(
+        circuit=builder.build(),
+        output_node="out",
+        base_line_node="bline",
+        expects_ringing=True,
+        expected_frequency_hz=20e6,
+    )

@@ -1,0 +1,62 @@
+"""Shared device models for the reference circuit library.
+
+The models describe a generic 5 V complementary-bipolar / CMOS process in
+the spirit of the precision-linear designs the paper analyses.  They are
+deliberately simple (the level of detail of a first-order hand analysis)
+but carry the junction and diffusion capacitances that create the local
+high-frequency loops the stability tool is designed to find.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.elements import BJTModel, DiodeModel, MOSFETModel
+
+__all__ = ["NPN", "PNP", "NPN_SMALL", "PNP_SMALL", "NMOS", "PMOS", "DIODE"]
+
+#: Workhorse vertical NPN: beta 150, fT a few hundred MHz at 100 uA.
+NPN = BJTModel(
+    name="npn_std", polarity="npn",
+    IS=5e-16, BF=150.0, BR=2.0, VAF=80.0,
+    CJE=1.2e-12, VJE=0.8, MJE=0.35,
+    CJC=0.6e-12, VJC=0.65, MJC=0.4,
+    TF=0.45e-9, TR=30e-9,
+    XTB=1.5,
+)
+
+#: Lateral/complementary PNP: lower beta, slower (larger TF).
+PNP = BJTModel(
+    name="pnp_std", polarity="pnp",
+    IS=2e-16, BF=60.0, BR=2.0, VAF=50.0,
+    CJE=1.5e-12, VJE=0.75, MJE=0.35,
+    CJC=1.0e-12, VJC=0.6, MJC=0.4,
+    TF=1.8e-9, TR=60e-9,
+    XTB=1.5,
+)
+
+#: Minimum-geometry NPN used in bias cells (smaller junctions).
+NPN_SMALL = NPN.with_updates(name="npn_small", IS=2e-16, CJE=0.5e-12,
+                             CJC=0.25e-12, TF=0.35e-9)
+
+#: Minimum-geometry PNP used in bias cells.
+PNP_SMALL = PNP.with_updates(name="pnp_small", IS=1e-16, CJE=0.6e-12,
+                             CJC=0.4e-12, TF=1.2e-9)
+
+#: 0.5 um-class NMOS (level 1).
+NMOS = MOSFETModel(
+    name="nmos_std", polarity="nmos",
+    VTO=0.65, KP=120e-6, LAMBDA=0.05, GAMMA=0.4, PHI=0.7,
+    COX=2.5e-3, CGSO=0.3e-9, CGDO=0.3e-9, CBD=2e-15, CBS=2e-15,
+    VTOTC=-1e-3,
+)
+
+#: 0.5 um-class PMOS (level 1).
+PMOS = MOSFETModel(
+    name="pmos_std", polarity="pmos",
+    VTO=0.75, KP=40e-6, LAMBDA=0.06, GAMMA=0.5, PHI=0.7,
+    COX=2.5e-3, CGSO=0.3e-9, CGDO=0.3e-9, CBD=3e-15, CBS=3e-15,
+    VTOTC=-1.2e-3,
+)
+
+#: General-purpose junction diode.
+DIODE = DiodeModel(name="d_std", IS=2e-15, N=1.0, CJO=0.8e-12, VJ=0.7, M=0.4,
+                   TT=5e-9)

@@ -1,0 +1,170 @@
+"""The "simple 2 MHz op-amp connected as a buffer" (paper Fig. 1 stand-in).
+
+A two-stage bipolar Miller op-amp in unity-gain feedback, deliberately
+compensated on the edge (around 20 degrees of phase margin) so that it
+reproduces the regime of the paper's running example:
+
+* gain-bandwidth in the low MHz ("2 MHz op-amp"),
+* closed-loop dominant complex pole pair around 2 MHz with a damping
+  ratio near 0.19 — i.e. a stability-plot peak around -28 (paper Fig. 4
+  reports -28.9 at 3.2 MHz on the original TI design),
+* roughly 20 degrees of phase margin in the broken-loop Bode plot
+  (paper Fig. 3),
+* 50-55 % overshoot in the closed-loop step response (paper Fig. 2).
+
+The three knobs the paper calls out — ``rzero``, ``c1`` (Miller capacitor)
+and ``cload`` — are design variables of the returned circuit, so corner /
+what-if sweeps can retune the compensation without rebuilding the netlist.
+
+Topology (all names are circuit nodes):
+
+* ``inp``    — non-inverting input (driven by ``Vin``),
+* ``tail``   — common emitters of the PNP input pair,
+* ``first``  — first-stage output (input-pair collector / mirror output),
+* ``mirror`` — diode side of the NPN mirror load,
+* ``zx``     — junction of ``rzero`` and ``c1`` inside the Miller network,
+* ``output`` — op-amp output, tied back to the inverting input (buffer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.models import NPN, PNP
+
+__all__ = ["OpAmpDesign", "DEFAULT_DESIGN_VARIABLES", "opamp_buffer", "opamp_open_loop"]
+
+#: Nominal values of the paper's three design variables plus the bias knobs.
+DEFAULT_DESIGN_VARIABLES: Dict[str, float] = {
+    "rzero": 130.0,      #: Miller zero-nulling resistor [ohm]
+    "c1": 17e-12,        #: Miller compensation capacitor [F]
+    "cload": 1.0e-9,     #: output load capacitance [F]
+    "itail": 40e-6,      #: input-pair tail current [A]
+    "istage2": 200e-6,   #: second-stage bias current [A]
+    "vsupply": 5.0,      #: supply voltage [V]
+    "vcm": 2.5,          #: input common-mode voltage [V]
+}
+
+
+@dataclass
+class OpAmpDesign:
+    """A built op-amp circuit plus the node/source names analyses need."""
+
+    circuit: Circuit
+    output_node: str
+    input_source: str
+    inverting_node: str
+    first_stage_node: str
+    variables: Dict[str, float]
+    #: Approximate expectations of the nominal design (used by tests to
+    #: assert the circuit is in the intended regime, with wide tolerances).
+    expected_natural_frequency_hz: float = 2.2e6
+    expected_damping: float = 0.19
+
+
+def _merge_variables(overrides: Optional[Dict[str, float]]) -> Dict[str, float]:
+    variables = dict(DEFAULT_DESIGN_VARIABLES)
+    if overrides:
+        unknown = set(overrides) - set(variables)
+        if unknown:
+            raise ValueError(f"unknown op-amp design variables: {sorted(unknown)}")
+        variables.update(overrides)
+    return variables
+
+
+def _build_core(builder: CircuitBuilder, inverting_input_node: str,
+                variables: Dict[str, float]) -> None:
+    """The op-amp core shared by the closed-loop and open-loop variants.
+
+    The non-inverting input is the ``inp`` node; the inverting input is
+    whatever node the caller passes (the output for the buffer, a bias
+    replica for the broken loop).
+    """
+    builder.variables(**{k: float(v) for k, v in variables.items()})
+
+    # Supplies and input drive.
+    builder.voltage_source("vcc", "0", dc="vsupply", name="VCC")
+    builder.voltage_source("inp", "0", dc="vcm", ac=1.0, name="Vin")
+
+    # Input stage: PNP differential pair with an NPN mirror load.  The
+    # inverting input is the base of Q1 (mirror/diode side), so the signal
+    # path from `inp` to the first-stage output is non-inverting.
+    builder.current_source("vcc", "tail", dc="itail", name="Itail")
+    builder.bjt("mirror", inverting_input_node, "tail", PNP, name="Q1")
+    builder.bjt("first", "inp", "tail", PNP, name="Q2")
+    builder.bjt("mirror", "mirror", "0", NPN, name="Q3")
+    builder.bjt("first", "mirror", "0", NPN, name="Q4")
+
+    # Second stage: NPN common emitter with an ideal current-source load.
+    builder.bjt("output", "first", "0", NPN, name="Q5", area=4.0)
+    builder.current_source("vcc", "output", dc="istage2", name="Istage2")
+
+    # Miller compensation with the zero-nulling resistor.
+    builder.resistor("output", "zx", "rzero", name="Rzero")
+    builder.capacitor("zx", "first", "c1", name="C1")
+
+    # Load capacitance at the output.
+    builder.capacitor("output", "0", "cload", name="Cload")
+
+
+def opamp_buffer(variables: Optional[Dict[str, float]] = None) -> OpAmpDesign:
+    """The op-amp connected as a unity-gain buffer (paper Fig. 1).
+
+    ``variables`` overrides any of :data:`DEFAULT_DESIGN_VARIABLES`
+    (e.g. ``{"cload": 2e-9}``); they become design variables of the
+    returned circuit and can also be swept at analysis time.
+    """
+    merged = _merge_variables(variables)
+    builder = CircuitBuilder("2 MHz op-amp as unity-gain buffer")
+    _build_core(builder, inverting_input_node="output", variables=merged)
+    circuit = builder.build()
+    return OpAmpDesign(
+        circuit=circuit,
+        output_node="output",
+        input_source="Vin",
+        inverting_node="output",
+        first_stage_node="first",
+        variables=merged,
+    )
+
+
+def opamp_open_loop(variables: Optional[Dict[str, float]] = None,
+                    break_inductance: float = 1e6,
+                    injection_capacitance: float = 1e3) -> OpAmpDesign:
+    """The same amplifier with the feedback loop broken for the Bode baseline.
+
+    The loop is opened with the classic L/C technique: the inverting input
+    stays DC-connected to the output through an enormous inductor (so the
+    bias point is *exactly* the closed-loop one) while the AC test signal
+    is injected into the inverting input through an enormous capacitor.
+    Above a few mHz the inductor is open and the capacitor is a short, so
+    the AC loop gain is simply ``-V(output)`` for a 1 V AC injection
+    (the inverting input inverts once more inside the amplifier).
+
+    Use :func:`repro.core.baselines.open_loop_response` with
+    ``invert=True`` on the result to get the loop gain with the
+    conventional sign.
+    """
+    merged = _merge_variables(variables)
+    builder = CircuitBuilder("2 MHz op-amp with the main loop broken (L/C)")
+    _build_core(builder, inverting_input_node="fb", variables=merged)
+    # DC path output -> inverting input: keeps the exact closed-loop bias.
+    builder.inductor("output", "fb", break_inductance, name="Lbreak")
+    # AC injection into the inverting input.
+    builder.voltage_source("inj", "0", dc=0.0, ac=1.0, name="Vinj")
+    builder.capacitor("inj", "fb", injection_capacitance, name="Cinj")
+    circuit = builder.build()
+    # The input drive keeps its DC level but must not excite the forward
+    # path during the loop-gain measurement.
+    circuit["Vin"].zero_ac()
+    return OpAmpDesign(
+        circuit=circuit,
+        output_node="output",
+        input_source="Vinj",
+        inverting_node="fb",
+        first_stage_node="first",
+        variables=merged,
+    )

@@ -1,0 +1,113 @@
+"""Full circuit: the 2 MHz op-amp buffer biased from the zero-TC bias cell.
+
+This is the Table-2 workload: one circuit that contains both the op-amp's
+main loop (a couple of MHz, marginally damped) and the bias cell's local
+loop (tens of MHz), so an all-nodes stability run produces a report with
+several loops at well-separated natural frequencies — the situation the
+paper uses to argue that the method finds problems that the black-box
+main-loop measurements miss.
+
+Compared to :mod:`repro.circuits.opamp_2mhz`, the ideal tail and
+second-stage current sources are replaced by PNP mirror devices whose
+bases sit on the bias cell's PNP mirror line (``bias_pb``), which is how a
+real precision amplifier would be biased and which couples the two blocks
+at AC exactly the way the paper's example is coupled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuits.bias_zero_tc import DEFAULT_BIAS_VARIABLES, build_bias_into
+from repro.circuits.models import NPN, PNP
+from repro.circuits.opamp_2mhz import DEFAULT_DESIGN_VARIABLES
+
+__all__ = ["FullCircuitDesign", "opamp_with_bias"]
+
+
+@dataclass
+class FullCircuitDesign:
+    """The assembled op-amp + bias circuit and its notable nodes."""
+
+    circuit: Circuit
+    output_node: str
+    input_source: str
+    #: Nodes expected to belong to the op-amp's main loop.
+    main_loop_nodes: tuple
+    #: Nodes expected to belong to the bias cell's local loop.
+    bias_loop_nodes: tuple
+    variables: Dict[str, float]
+
+
+def opamp_with_bias(opamp_variables: Optional[Dict[str, float]] = None,
+                    bias_variables: Optional[Dict[str, float]] = None,
+                    bias_ccomp: Optional[float] = None) -> FullCircuitDesign:
+    """Build the op-amp buffer together with its zero-TC bias cell.
+
+    ``bias_ccomp`` adds the compensation capacitor to the bias cell's local
+    loop (the paper's fix) without touching the rest of the design.
+    """
+    opamp_vars = dict(DEFAULT_DESIGN_VARIABLES)
+    if opamp_variables:
+        unknown = set(opamp_variables) - set(opamp_vars)
+        if unknown:
+            raise ValueError(f"unknown op-amp design variables: {sorted(unknown)}")
+        opamp_vars.update(opamp_variables)
+
+    bias_vars = dict(DEFAULT_BIAS_VARIABLES)
+    if bias_variables:
+        unknown = set(bias_variables) - set(bias_vars)
+        if unknown:
+            raise ValueError(f"unknown bias design variables: {sorted(unknown)}")
+        bias_vars.update(bias_variables)
+    if bias_ccomp is not None:
+        bias_vars["ccomp"] = float(bias_ccomp)
+    # Both blocks share the same supply rail / supply variable.
+    bias_vars["vsupply"] = opamp_vars["vsupply"]
+
+    builder = CircuitBuilder("2 MHz op-amp buffer with zero-TC bias cell")
+
+    # ------------------------------------------------------------------
+    # Bias cell (prefixed "bias_"), provides the PNP mirror line 'bias_pb'.
+    # ------------------------------------------------------------------
+    build_bias_into(builder, bias_vars, prefix="bias_", supply_node="vcc",
+                    add_supply=True)
+
+    # ------------------------------------------------------------------
+    # Op-amp core, biased from the bias cell instead of ideal sources.
+    # ------------------------------------------------------------------
+    builder.variables(**{k: float(v) for k, v in opamp_vars.items()})
+    builder.voltage_source("inp", "0", dc="vcm", ac=1.0, name="Vin")
+
+    # Tail and second-stage currents from PNP mirrors on the bias line.
+    # The bias cell's PTAT branch runs ~10 uA, so area ratios of 4 and 20
+    # reproduce the 40 uA tail / 200 uA second-stage design currents.
+    builder.bjt("tail", "bias_pb", "vcc", PNP, name="QTAIL", area=4.0)
+    builder.bjt("output", "bias_pb", "vcc", PNP, name="QLOAD2", area=20.0)
+
+    # Input stage: PNP pair, NPN mirror load; inverting input = output (buffer).
+    builder.bjt("mirror", "output", "tail", PNP, name="Q1")
+    builder.bjt("first", "inp", "tail", PNP, name="Q2")
+    builder.bjt("mirror", "mirror", "0", NPN, name="Q3")
+    builder.bjt("first", "mirror", "0", NPN, name="Q4")
+
+    # Second stage with Miller compensation.
+    builder.bjt("output", "first", "0", NPN, name="Q5", area=4.0)
+    builder.resistor("output", "zx", "rzero", name="Rzero")
+    builder.capacitor("zx", "first", "c1", name="C1")
+    builder.capacitor("output", "0", "cload", name="Cload")
+
+    circuit = builder.build()
+    variables = dict(bias_vars)
+    variables.update(opamp_vars)
+    return FullCircuitDesign(
+        circuit=circuit,
+        output_node="output",
+        input_source="Vin",
+        main_loop_nodes=("output", "zx", "first", "mirror", "tail"),
+        bias_loop_nodes=("bias_bline", "bias_fbase", "bias_vref", "bias_nref"),
+        variables=variables,
+    )

@@ -1,0 +1,87 @@
+"""RLC reference circuits with analytically known poles.
+
+These are the calibration standards of the test suite: the damping ratio
+and natural frequency of each circuit follow directly from R, L and C, so
+the stability-plot pipeline can be checked end-to-end against closed-form
+values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+__all__ = ["RLCDesign", "parallel_rlc", "series_rlc_divider", "parallel_rlc_for"]
+
+
+@dataclass
+class RLCDesign:
+    """A built RLC circuit together with its analytic expectations."""
+
+    circuit: Circuit
+    node: str                     #: the node whose driving-point impedance rings
+    natural_frequency_hz: float
+    damping_ratio: float
+    resistance: float
+    inductance: float
+    capacitance: float
+
+
+def parallel_rlc(resistance: float = 1e3, inductance: float = 1e-3,
+                 capacitance: float = 1e-9) -> RLCDesign:
+    """Parallel RLC tank from node ``tank`` to ground.
+
+    Driving the tank node with a current source gives a second-order
+    band-pass impedance with::
+
+        wn   = 1 / sqrt(L C)
+        zeta = (1 / (2 R)) * sqrt(L / C)
+    """
+    builder = CircuitBuilder("parallel RLC tank")
+    builder.resistor("tank", "0", resistance, name="R1")
+    builder.inductor("tank", "0", inductance, name="L1")
+    builder.capacitor("tank", "0", capacitance, name="C1")
+    # A DC source referenced far away keeps the validator happy about a
+    # ground reference being present and exercises the auto-zero feature.
+    builder.voltage_source("vref", "0", dc=1.0, ac=1.0, name="Vref")
+    builder.resistor("vref", "tank", 1e9, name="Rtie")
+    circuit = builder.build()
+
+    wn = 1.0 / math.sqrt(inductance * capacitance)
+    zeta = 0.5 * math.sqrt(inductance / capacitance) / resistance
+    return RLCDesign(circuit=circuit, node="tank",
+                     natural_frequency_hz=wn / (2.0 * math.pi),
+                     damping_ratio=zeta, resistance=resistance,
+                     inductance=inductance, capacitance=capacitance)
+
+
+def parallel_rlc_for(natural_frequency_hz: float, damping_ratio: float,
+                     capacitance: float = 1e-9) -> RLCDesign:
+    """Parallel RLC sized to hit a requested (fn, zeta) pair exactly."""
+    wn = 2.0 * math.pi * natural_frequency_hz
+    inductance = 1.0 / (wn * wn * capacitance)
+    resistance = 0.5 * math.sqrt(inductance / capacitance) / damping_ratio
+    return parallel_rlc(resistance=resistance, inductance=inductance,
+                        capacitance=capacitance)
+
+
+def series_rlc_divider(resistance: float = 100.0, inductance: float = 1e-3,
+                       capacitance: float = 1e-9) -> RLCDesign:
+    """Series R-L-C driven by a voltage source; the capacitor voltage is the
+    classic second-order low-pass with ``zeta = (R/2) * sqrt(C/L)``."""
+    builder = CircuitBuilder("series RLC divider")
+    builder.voltage_source("in", "0", dc=0.0, ac=1.0, name="Vin")
+    builder.resistor("in", "mid", resistance, name="R1")
+    builder.inductor("mid", "out", inductance, name="L1")
+    builder.capacitor("out", "0", capacitance, name="C1")
+    circuit = builder.build()
+
+    wn = 1.0 / math.sqrt(inductance * capacitance)
+    zeta = 0.5 * resistance * math.sqrt(capacitance / inductance)
+    return RLCDesign(circuit=circuit, node="out",
+                     natural_frequency_hz=wn / (2.0 * math.pi),
+                     damping_ratio=zeta, resistance=resistance,
+                     inductance=inductance, capacitance=capacitance)

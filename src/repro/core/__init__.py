@@ -1,0 +1,111 @@
+"""The paper's core contribution: AC-stability analysis without breaking the loop.
+
+* :mod:`repro.core.second_order` — eqs. 1.1-1.4 and Table 1;
+* :mod:`repro.core.stability_plot` — the stability-plot function (eq. 1.3);
+* :mod:`repro.core.peaks` — peak detection and special-case classification;
+* :mod:`repro.core.single_node` / :mod:`repro.core.all_nodes` — the two run
+  modes of the tool;
+* :mod:`repro.core.loops` — loop identification from the per-node peaks;
+* :mod:`repro.core.report` / :mod:`repro.core.annotate` — Table-2 style
+  reports and schematic-style annotations;
+* :mod:`repro.core.baselines` — the traditional overshoot / Bode baselines.
+"""
+
+from repro.core.all_nodes import AllNodesOptions, AllNodesResult, analyze_all_nodes
+from repro.core.annotate import annotate_netlist, element_annotations, node_annotations
+from repro.core.baselines import (
+    MethodAgreement,
+    OpenLoopMeasurement,
+    StepResponseMeasurement,
+    compare_methods,
+    open_loop_response,
+    step_overshoot,
+)
+from repro.core.excitation import excitable_nodes, prepare_excited_circuit
+from repro.core.impedance import ImpedanceSweeper
+from repro.core.loops import Loop, identify_loops
+from repro.core.peaks import PeakType, StabilityPeak, dominant_negative_peak, find_peaks
+from repro.core.report import (
+    format_all_nodes_report,
+    format_loop_summary,
+    format_node_table,
+    format_single_node_report,
+    format_special_cases,
+    report_rows,
+)
+from repro.core.second_order import (
+    PAPER_TABLE_1,
+    SecondOrderSystem,
+    Table1Row,
+    damping_from_max_magnitude,
+    damping_from_overshoot,
+    damping_from_performance_index,
+    damping_from_phase_margin,
+    max_magnitude_from_damping,
+    overshoot_from_damping,
+    performance_index_from_damping,
+    phase_margin_from_damping,
+    table_1_rows,
+)
+from repro.core.single_node import (
+    NodeStabilityResult,
+    SingleNodeOptions,
+    analyze_node,
+    build_node_result,
+)
+from repro.core.stability_plot import log_log_curvature, stability_plot, stability_plot_arrays
+
+__all__ = [
+    # second-order theory
+    "SecondOrderSystem",
+    "Table1Row",
+    "PAPER_TABLE_1",
+    "table_1_rows",
+    "performance_index_from_damping",
+    "damping_from_performance_index",
+    "overshoot_from_damping",
+    "damping_from_overshoot",
+    "phase_margin_from_damping",
+    "damping_from_phase_margin",
+    "max_magnitude_from_damping",
+    "damping_from_max_magnitude",
+    # stability plot & peaks
+    "stability_plot",
+    "stability_plot_arrays",
+    "log_log_curvature",
+    "PeakType",
+    "StabilityPeak",
+    "find_peaks",
+    "dominant_negative_peak",
+    # excitation & impedance
+    "prepare_excited_circuit",
+    "excitable_nodes",
+    "ImpedanceSweeper",
+    # run modes
+    "SingleNodeOptions",
+    "NodeStabilityResult",
+    "analyze_node",
+    "build_node_result",
+    "AllNodesOptions",
+    "AllNodesResult",
+    "analyze_all_nodes",
+    # loops, reports, annotation
+    "Loop",
+    "identify_loops",
+    "format_all_nodes_report",
+    "format_node_table",
+    "format_loop_summary",
+    "format_special_cases",
+    "format_single_node_report",
+    "report_rows",
+    "node_annotations",
+    "annotate_netlist",
+    "element_annotations",
+    # baselines
+    "step_overshoot",
+    "StepResponseMeasurement",
+    "open_loop_response",
+    "OpenLoopMeasurement",
+    "compare_methods",
+    "MethodAgreement",
+]

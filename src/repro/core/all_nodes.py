@@ -1,0 +1,227 @@
+"""All-nodes stability analysis (the tool's "All Nodes" run mode).
+
+Runs the single-node analysis on every node of the circuit (the operating
+point is computed once and reused — injecting a zero-DC current source
+does not move the bias point), clusters the results into feedback loops
+and carries everything needed to print the Table-2 style report, annotate
+the circuit and compare against the black-box baselines.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.op import operating_point
+from repro.analysis.results import OPResult
+from repro.analysis.sweeps import FrequencySweep, log_sweep
+from repro.circuit.netlist import Circuit
+from repro.core.excitation import excitable_nodes
+from repro.core.impedance import ImpedanceSweeper
+from repro.core.loops import Loop, identify_loops
+from repro.core.peaks import PeakType
+from repro.core.single_node import (
+    NodeStabilityResult,
+    SingleNodeOptions,
+    analyze_node,
+    build_node_result,
+)
+from repro.exceptions import StabilityAnalysisError
+from repro.waveform.waveform import Waveform
+
+__all__ = ["AllNodesOptions", "AllNodesResult", "analyze_all_nodes"]
+
+
+@dataclass
+class AllNodesOptions(SingleNodeOptions):
+    """Options of the all-nodes run (extends the single-node options)."""
+
+    #: Nodes to skip (ideal supply rails etc.).  Nodes driven directly by
+    #: ideal voltage sources have zero driving-point impedance and produce
+    #: no useful plot; they are skipped automatically unless listed here.
+    skip_nodes: Sequence[str] = field(default_factory=tuple)
+    #: Include nodes created by subcircuit flattening ("X1.net5").
+    include_internal_nodes: bool = True
+    #: Automatically skip nodes that an ideal voltage source ties to a
+    #: fixed potential (their response is identically zero).
+    skip_source_driven_nodes: bool = True
+    #: Relative natural-frequency tolerance used for loop clustering.
+    loop_frequency_tolerance: float = 0.25
+    #: Minimum |performance index| for a node to join a loop.
+    loop_min_peak: float = 0.05
+    #: Optional progress callback ``f(index, total, node_name)``.
+    progress: Optional[Callable[[int, int, str], None]] = None
+    #: Continue with the remaining nodes when one node's analysis fails.
+    continue_on_error: bool = True
+    #: Use the shared-factorisation impedance solver (one LU per frequency
+    #: for all nodes) instead of one AC analysis per node.  Results are
+    #: numerically identical; the reference per-node path remains available
+    #: for cross-checking.
+    use_fast_solver: bool = True
+
+
+@dataclass
+class AllNodesResult:
+    """Outcome of an all-nodes stability run."""
+
+    circuit_title: str
+    results: List[NodeStabilityResult]
+    loops: List[Loop]
+    skipped_nodes: List[str]
+    failed_nodes: Dict[str, str]
+    op: Optional[OPResult]
+    elapsed_seconds: float = 0.0
+    temperature: float = 27.0
+
+    # ------------------------------------------------------------------
+    def node_result(self, node: str) -> NodeStabilityResult:
+        for result in self.results:
+            if result.node == node:
+                return result
+        raise StabilityAnalysisError(f"no analysis result for node {node!r}")
+
+    def nodes_with_peaks(self) -> List[NodeStabilityResult]:
+        return [r for r in self.results if r.has_complex_pole]
+
+    def special_cases(self) -> List[NodeStabilityResult]:
+        """Nodes whose dominant peak carries a special-case classification."""
+        return [r for r in self.results
+                if r.peak_type in (PeakType.END_OF_RANGE, PeakType.MIN_MAX)]
+
+    def problematic_loops(self) -> List[Loop]:
+        return [loop for loop in self.loops if loop.is_problematic]
+
+    def worst_loop(self) -> Optional[Loop]:
+        """The loop with the deepest performance index (least damped)."""
+        if not self.loops:
+            return None
+        return min(self.loops, key=lambda loop: loop.performance_index)
+
+    def sorted_by_frequency(self) -> List[NodeStabilityResult]:
+        """Per-node results sorted by natural frequency (the report order)."""
+        with_peaks = self.nodes_with_peaks()
+        return sorted(with_peaks, key=lambda r: r.natural_frequency_hz)
+
+    def summary(self) -> str:
+        lines = [f"All-nodes stability analysis of {self.circuit_title!r}:",
+                 f"  {len(self.results)} nodes analysed, "
+                 f"{len(self.skipped_nodes)} skipped, {len(self.failed_nodes)} failed",
+                 f"  {len(self.loops)} loop(s) identified"]
+        for loop in self.loops:
+            lines.append("  " + loop.summary())
+        return "\n".join(lines)
+
+
+def analyze_all_nodes(circuit: Circuit,
+                      options: Optional[AllNodesOptions] = None,
+                      op: Optional[OPResult] = None) -> AllNodesResult:
+    """Run the stability analysis on every (eligible) node of ``circuit``."""
+    options = options or AllNodesOptions()
+    start = time.time()
+
+    flat = circuit.flattened()
+    skipped: List[str] = []
+    if options.skip_source_driven_nodes:
+        skipped.extend(_source_driven_nodes(flat))
+    skipped.extend(circuit.resolve_node(n) for n in options.skip_nodes)
+    nodes = excitable_nodes(flat, include_internal=options.include_internal_nodes,
+                            skip_nodes=skipped)
+    if not nodes:
+        raise StabilityAnalysisError("no nodes eligible for stability analysis")
+
+    if op is None:
+        op = operating_point(flat, temperature=options.temperature,
+                             variables=options.variables, options=options.newton)
+
+    results: List[NodeStabilityResult] = []
+    failures: Dict[str, str] = {}
+    if options.use_fast_solver:
+        results, failures = _run_fast(flat, nodes, options, op)
+    else:
+        total = len(nodes)
+        for index, node in enumerate(nodes, start=1):
+            if options.progress is not None:
+                options.progress(index, total, node)
+            try:
+                results.append(analyze_node(flat, node, options=options, op=op))
+            except Exception as exc:
+                if not options.continue_on_error:
+                    raise
+                failures[node] = str(exc)
+
+    loops = identify_loops(results,
+                           frequency_tolerance=options.loop_frequency_tolerance,
+                           min_peak_magnitude=options.loop_min_peak)
+
+    return AllNodesResult(
+        circuit_title=circuit.title,
+        results=results,
+        loops=loops,
+        skipped_nodes=sorted(set(skipped)),
+        failed_nodes=failures,
+        op=op,
+        elapsed_seconds=time.time() - start,
+        temperature=options.temperature,
+    )
+
+
+def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
+              op: OPResult):
+    """All-nodes run using the shared-factorisation impedance solver."""
+    results: List[NodeStabilityResult] = []
+    failures: Dict[str, str] = {}
+
+    sweeper = ImpedanceSweeper(flat, temperature=options.temperature,
+                               variables=options.variables, op=op,
+                               newton=options.newton)
+    sweep = FrequencySweep.coerce(options.sweep)
+    coarse = sweeper.impedance_waveforms(nodes, sweep.frequencies)
+
+    # Refinement windows are shared between nodes: responses over a dense
+    # window are computed lazily, once per distinct centre frequency, for
+    # every node at the same time.
+    refine_cache: Dict[float, Dict[str, Waveform]] = {}
+
+    def refiner(node: str, center_hz: float, span_decades: float,
+                points_per_decade: int) -> Waveform:
+        key = round(math.log10(center_hz), 3)
+        if key not in refine_cache:
+            half_span = 10.0 ** (span_decades / 2.0)
+            window = log_sweep(center_hz / half_span, center_hz * half_span,
+                               points_per_decade)
+            refine_cache[key] = sweeper.impedance_waveforms(nodes, window)
+        return refine_cache[key][node].magnitude()
+
+    total = len(nodes)
+    for index, node in enumerate(nodes, start=1):
+        if options.progress is not None:
+            options.progress(index, total, node)
+        try:
+            response = coarse[node].magnitude()
+            response.name = f"|Z({node})|"
+            results.append(build_node_result(node, response, options, op=op,
+                                             refiner=refiner))
+        except Exception as exc:
+            if not options.continue_on_error:
+                raise
+            failures[node] = str(exc)
+    return results, failures
+
+
+def _source_driven_nodes(circuit: Circuit) -> List[str]:
+    """Nodes held at a fixed potential by an ideal voltage source connected
+    to ground (supply rails, references): their driving-point impedance is
+    identically zero and the stability plot is undefined there."""
+    from repro.circuit.elements import VoltageSource
+    from repro.circuit.elements.base import is_ground
+
+    driven = []
+    for source in circuit.elements_of_type(VoltageSource):
+        pos, neg = source.node_pos, source.node_neg
+        if is_ground(neg) and not is_ground(pos):
+            driven.append(pos)
+        elif is_ground(pos) and not is_ground(neg):
+            driven.append(neg)
+    return driven

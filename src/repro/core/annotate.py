@@ -1,0 +1,86 @@
+"""Annotation of stability results onto the circuit (paper Fig. 5).
+
+The original tool back-annotates each schematic net with its stability-plot
+peak value.  Without a schematic canvas, the equivalents provided here are
+
+* a per-node annotation map (node -> short label string),
+* an annotated netlist listing: every element line followed by the
+  annotations of the nodes it touches,
+* a per-element view that lists, for each device, the worst loop its
+  terminals participate in (useful to find "which transistor do I
+  compensate").
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Optional
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.units import format_si
+from repro.core.all_nodes import AllNodesResult
+
+__all__ = ["node_annotations", "annotate_netlist", "element_annotations"]
+
+
+def node_annotations(result: AllNodesResult,
+                     only_nodes_with_peaks: bool = True) -> Dict[str, str]:
+    """Map each analysed node to a short annotation label.
+
+    The label format matches what the paper's Fig. 5 shows next to each
+    net: the stability-peak magnitude and the natural frequency.
+    """
+    annotations: Dict[str, str] = {}
+    for node_result in result.results:
+        if node_result.has_complex_pole:
+            annotations[node_result.node] = (
+                f"peak={node_result.stability_peak_magnitude:.2f} @ "
+                f"{format_si(node_result.natural_frequency_hz, 'Hz')}")
+        elif not only_nodes_with_peaks:
+            annotations[node_result.node] = "no complex pole"
+    return annotations
+
+
+def annotate_netlist(circuit: Circuit, result: AllNodesResult) -> str:
+    """Textual netlist of ``circuit`` with per-node stability annotations."""
+    annotations = node_annotations(result, only_nodes_with_peaks=True)
+    out = io.StringIO()
+    out.write(f"* {circuit.title} - annotated with AC-stability results\n")
+    for element in circuit.flattened():
+        nodes = " ".join(element.nodes)
+        out.write(f"{element.name} {nodes}\n")
+        for node in element.nodes:
+            if node in annotations:
+                out.write(f"*   {node}: {annotations[node]}\n")
+    out.write("\n* Loop summary:\n")
+    for loop in result.loops:
+        out.write(f"*   Loop at {format_si(loop.natural_frequency_hz, 'Hz')}: "
+                  f"nodes {', '.join(loop.node_names)}\n")
+    return out.getvalue()
+
+
+def element_annotations(circuit: Circuit, result: AllNodesResult) -> Dict[str, Optional[str]]:
+    """For every element, the summary of the *worst* loop its nodes join.
+
+    Elements whose nodes show no under-damped behaviour map to ``None``.
+    This answers the practical question "which device is inside the
+    problematic loop" that drives compensation decisions.
+    """
+    loop_by_node: Dict[str, object] = {}
+    for loop in result.loops:
+        for node_result in loop.nodes:
+            existing = loop_by_node.get(node_result.node)
+            if existing is None or loop.performance_index < existing.performance_index:
+                loop_by_node[node_result.node] = loop
+
+    annotations: Dict[str, Optional[str]] = {}
+    for element in circuit.flattened():
+        loops = [loop_by_node[n] for n in element.nodes if n in loop_by_node]
+        if not loops:
+            annotations[element.name] = None
+            continue
+        worst = min(loops, key=lambda loop: loop.performance_index)
+        annotations[element.name] = (
+            f"loop at {format_si(worst.natural_frequency_hz, 'Hz')} "
+            f"(peak {worst.performance_index:.2f}, zeta {worst.damping_ratio:.2f})")
+    return annotations

@@ -1,0 +1,257 @@
+"""Traditional ("black-box") stability measurements used as baselines.
+
+The paper compares its stability-plot method against the two classic
+approaches (section 3, Figs 2-3):
+
+* **transient step overshoot** — drive the closed-loop circuit with a small
+  step and measure the percent overshoot of the output ("node pulsing");
+* **open-loop Bode analysis** — break the main feedback loop, sweep the
+  open-loop gain and read the phase margin at the 0 dB crossover and the
+  frequency of the 180-degree phase lag.
+
+Both are implemented here on top of the simulation engines, together with
+an agreement check that converts every measurement into an equivalent
+damping ratio so the three views (stability plot, overshoot, phase margin)
+can be compared on the same axis — that comparison is the paper's central
+experimental claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.ac import ac_analysis
+from repro.analysis.results import OPResult
+from repro.analysis.sweeps import FrequencySweep
+from repro.analysis.transient import transient_analysis
+from repro.circuit.elements import Step, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.core.second_order import (
+    damping_from_overshoot,
+    damping_from_phase_margin,
+    damping_from_performance_index,
+)
+from repro.exceptions import StabilityAnalysisError
+from repro.waveform.measurements import (
+    LoopGainMargins,
+    loop_gain_margins,
+    overshoot_percent,
+)
+from repro.waveform.waveform import Waveform
+
+__all__ = [
+    "StepResponseMeasurement",
+    "step_overshoot",
+    "OpenLoopMeasurement",
+    "open_loop_response",
+    "MethodAgreement",
+    "compare_methods",
+]
+
+
+# ----------------------------------------------------------------------
+# Transient overshoot (Fig. 2)
+# ----------------------------------------------------------------------
+
+@dataclass
+class StepResponseMeasurement:
+    """Result of the closed-loop step-response baseline."""
+
+    waveform: Waveform
+    overshoot_percent: float
+    equivalent_damping: float
+    input_source: str
+    output_node: str
+    step_amplitude: float
+
+
+def step_overshoot(circuit: Circuit, input_source: str, output_node: str,
+                   step_amplitude: float = 1e-3,
+                   settle_periods: float = 12.0,
+                   points_per_period: int = 60,
+                   expected_frequency_hz: Optional[float] = None,
+                   linearize: bool = True,
+                   temperature: float = 27.0,
+                   variables: Optional[Dict[str, float]] = None,
+                   op: Optional[OPResult] = None) -> StepResponseMeasurement:
+    """Measure the closed-loop step overshoot at ``output_node``.
+
+    A copy of the circuit is made, the named input voltage source gets a
+    small step added on top of its DC value, and a (by default linearised)
+    transient analysis is run long enough for ``settle_periods`` periods of
+    the expected ringing frequency.
+
+    ``expected_frequency_hz`` sets the time scale of the simulation; when
+    omitted a quick single-node stability analysis of the output node is
+    run first to find the loop's natural frequency.
+    """
+    working = circuit.copy()
+    source = working.get(input_source)
+    if source is None or not isinstance(source, VoltageSource):
+        raise StabilityAnalysisError(
+            f"input source {input_source!r} is not a voltage source of the circuit")
+
+    if expected_frequency_hz is None:
+        from repro.core.single_node import SingleNodeOptions, analyze_node
+
+        probe = analyze_node(circuit, output_node,
+                             options=SingleNodeOptions(temperature=temperature,
+                                                       variables=variables,
+                                                       refine=False), op=op)
+        if not probe.has_complex_pole:
+            raise StabilityAnalysisError(
+                "cannot infer the ringing frequency: the output node shows no "
+                "complex pole; pass expected_frequency_hz explicitly")
+        expected_frequency_hz = probe.natural_frequency_hz
+
+    period = 1.0 / expected_frequency_hz
+    stop_time = settle_periods * period
+    time_step = period / points_per_period
+    delay = 2.0 * time_step
+
+    # The source's DC level may be a design-variable expression; resolve it
+    # against the circuit's variables (plus any overrides) before building
+    # the step waveform.
+    from repro.analysis.context import AnalysisContext
+
+    resolve_ctx = AnalysisContext(temperature=temperature,
+                                  variables=dict(working.variables))
+    if variables:
+        resolve_ctx.update_variables(variables)
+    dc_value = source.dc_value(resolve_ctx)
+    source.waveform = Step(dc_value, dc_value + step_amplitude, time=delay,
+                           rise=time_step / 10.0)
+
+    tran = transient_analysis(working, stop_time=stop_time, time_step=time_step,
+                              temperature=temperature, variables=variables,
+                              linearize=linearize, op=op)
+    response = tran.waveform(circuit.resolve_node(output_node))
+    # Ignore the pre-step samples so the initial value is the true baseline.
+    settled = response.clipped(x_min=delay / 2.0)
+    initial = response.at(delay / 2.0)
+    over = overshoot_percent(settled, initial_value=initial)
+    return StepResponseMeasurement(
+        waveform=response,
+        overshoot_percent=over,
+        equivalent_damping=damping_from_overshoot(over),
+        input_source=input_source,
+        output_node=output_node,
+        step_amplitude=step_amplitude,
+    )
+
+
+# ----------------------------------------------------------------------
+# Open-loop Bode analysis (Fig. 3)
+# ----------------------------------------------------------------------
+
+@dataclass
+class OpenLoopMeasurement:
+    """Result of the broken-loop Bode baseline."""
+
+    loop_gain: Waveform
+    margins: LoopGainMargins
+    equivalent_damping: float
+
+    @property
+    def phase_margin_deg(self) -> Optional[float]:
+        return self.margins.phase_margin_deg
+
+    @property
+    def unity_gain_frequency_hz(self) -> Optional[float]:
+        return self.margins.unity_gain_frequency_hz
+
+    @property
+    def phase_crossover_frequency_hz(self) -> Optional[float]:
+        return self.margins.phase_crossover_frequency_hz
+
+
+def open_loop_response(open_loop_circuit: Circuit, output_node: str,
+                       input_magnitude: float = 1.0,
+                       sweep: Union[FrequencySweep, Sequence[float], None] = None,
+                       invert: bool = False,
+                       temperature: float = 27.0,
+                       variables: Optional[Dict[str, float]] = None,
+                       op: Optional[OPResult] = None) -> OpenLoopMeasurement:
+    """Measure the loop gain of an *already broken* loop.
+
+    ``open_loop_circuit`` must contain exactly one AC stimulus driving the
+    broken loop input (the circuit library's op-amps provide an
+    ``open_loop()`` factory that does the breaking while preserving the
+    bias point).  The loop gain is ``V(output_node) / input_magnitude``,
+    optionally negated for loops whose sense is inverting at the break.
+    """
+    sweep = FrequencySweep.coerce(sweep)
+    ac = ac_analysis(open_loop_circuit, sweep, temperature=temperature,
+                     variables=variables, op=op)
+    gain = ac.waveform(open_loop_circuit.resolve_node(output_node)) / input_magnitude
+    if invert:
+        gain = -gain
+    gain.name = "T(loop)"
+    margins = loop_gain_margins(gain)
+    damping = (damping_from_phase_margin(margins.phase_margin_deg)
+               if margins.phase_margin_deg is not None else 1.0)
+    return OpenLoopMeasurement(loop_gain=gain, margins=margins,
+                               equivalent_damping=damping)
+
+
+# ----------------------------------------------------------------------
+# Agreement between the methods (the paper's section 3 argument)
+# ----------------------------------------------------------------------
+
+@dataclass
+class MethodAgreement:
+    """Damping-ratio estimates from the three methods, for comparison."""
+
+    damping_from_stability_plot: Optional[float]
+    damping_from_overshoot: Optional[float]
+    damping_from_phase_margin: Optional[float]
+    natural_frequency_hz: Optional[float]
+    unity_gain_frequency_hz: Optional[float]
+    phase_crossover_frequency_hz: Optional[float]
+
+    def damping_spread(self) -> Optional[float]:
+        """Largest pairwise difference between the available zeta estimates."""
+        values = [z for z in (self.damping_from_stability_plot,
+                              self.damping_from_overshoot,
+                              self.damping_from_phase_margin) if z is not None]
+        if len(values) < 2:
+            return None
+        return max(values) - min(values)
+
+    def natural_frequency_bracketed(self) -> Optional[bool]:
+        """Paper's consistency check: the stability-plot natural frequency
+        should fall between the 0 dB crossover and the 180-degree frequency
+        of the open-loop response."""
+        if None in (self.natural_frequency_hz, self.unity_gain_frequency_hz,
+                    self.phase_crossover_frequency_hz):
+            return None
+        low = min(self.unity_gain_frequency_hz, self.phase_crossover_frequency_hz)
+        high = max(self.unity_gain_frequency_hz, self.phase_crossover_frequency_hz)
+        return low * 0.9 <= self.natural_frequency_hz <= high * 1.1
+
+
+def compare_methods(stability_performance_index: Optional[float],
+                    stability_natural_frequency_hz: Optional[float],
+                    step_measurement: Optional[StepResponseMeasurement] = None,
+                    open_loop_measurement: Optional[OpenLoopMeasurement] = None
+                    ) -> MethodAgreement:
+    """Bundle the three methods' results into a :class:`MethodAgreement`."""
+    zeta_plot = (damping_from_performance_index(stability_performance_index)
+                 if stability_performance_index is not None else None)
+    zeta_step = (step_measurement.equivalent_damping
+                 if step_measurement is not None else None)
+    zeta_bode = (open_loop_measurement.equivalent_damping
+                 if open_loop_measurement is not None else None)
+    return MethodAgreement(
+        damping_from_stability_plot=zeta_plot,
+        damping_from_overshoot=zeta_step,
+        damping_from_phase_margin=zeta_bode,
+        natural_frequency_hz=stability_natural_frequency_hz,
+        unity_gain_frequency_hz=(open_loop_measurement.unity_gain_frequency_hz
+                                 if open_loop_measurement else None),
+        phase_crossover_frequency_hz=(open_loop_measurement.phase_crossover_frequency_hz
+                                      if open_loop_measurement else None),
+    )

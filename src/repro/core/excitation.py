@@ -1,0 +1,86 @@
+"""Node excitation: attach the AC current stimulus without touching the loop.
+
+The essence of the method (paper section 2) is that an AC *current* source
+can be connected from ground to any node of the closed-loop circuit
+without modifying the circuit at all: at DC it injects nothing (the bias
+point is untouched) and in AC it has infinite output impedance, so no loop
+is loaded or broken.  The node's small-signal response to that current is
+its driving-point impedance, whose complex poles are the closed-loop
+natural frequencies the node participates in.
+
+The tool also "auto-zeroes" every pre-existing AC stimulus in the design
+before a stability run (paper section 4.1), so that the injected current
+is the only excitation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.circuit.elements import CurrentSource
+from repro.circuit.netlist import Circuit
+from repro.exceptions import StabilityAnalysisError
+
+__all__ = ["STIMULUS_NAME", "prepare_excited_circuit", "excitable_nodes"]
+
+#: Name given to the injected AC current source.
+STIMULUS_NAME = "Istab_probe"
+
+#: Default AC magnitude of the stimulus.  The circuit is linear in small
+#: signal, so the value only scales the response and cancels out of the
+#: stability plot (which uses logarithmic derivatives); 1 A keeps the
+#: response numerically equal to the driving-point impedance in ohms.
+DEFAULT_STIMULUS_AMPLITUDE = 1.0
+
+
+def excitable_nodes(circuit: Circuit, include_internal: bool = True,
+                    skip_nodes: Optional[List[str]] = None) -> List[str]:
+    """Nodes eligible for excitation: every non-ground circuit node, minus
+    any explicitly skipped ones (e.g. ideal-source-driven rails, which have
+    zero impedance by construction and carry no stability information)."""
+    skip = {n.lower() for n in (skip_nodes or [])}
+    nodes = [n for n in circuit.nodes(include_ground=False,
+                                      include_internal=include_internal)
+             if n.lower() not in skip]
+    return nodes
+
+
+def prepare_excited_circuit(circuit: Circuit, node: str,
+                            amplitude: float = DEFAULT_STIMULUS_AMPLITUDE,
+                            zero_existing_ac: bool = True,
+                            stimulus_name: str = STIMULUS_NAME) -> Tuple[Circuit, str]:
+    """Return a copy of ``circuit`` with the AC current stimulus attached.
+
+    Parameters
+    ----------
+    circuit:
+        The closed-loop circuit under test (never modified).
+    node:
+        The node to excite.  Hierarchical (flattened) names are accepted.
+    amplitude:
+        AC magnitude of the injected current.
+    zero_existing_ac:
+        When True (the tool's default), every other AC stimulus in the
+        design is zeroed so the injected current is the only excitation.
+
+    Returns
+    -------
+    (excited_circuit, stimulus_name)
+    """
+    node = circuit.resolve_node(node)
+    working = circuit.copy()
+    if not working.has_node(node):
+        raise StabilityAnalysisError(f"node {node!r} does not exist in circuit "
+                                     f"{circuit.title!r}")
+    if zero_existing_ac:
+        working.zero_all_ac_sources()
+
+    if stimulus_name in working:
+        raise StabilityAnalysisError(
+            f"circuit already contains an element named {stimulus_name!r}")
+
+    # CurrentSource convention: positive current flows from node_pos through
+    # the source into node_neg, so (ground -> node) injects current INTO the
+    # tested node.
+    working.add(CurrentSource(stimulus_name, "0", node, dc=0.0, ac_mag=amplitude))
+    return working, stimulus_name

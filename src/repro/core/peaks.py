@@ -1,0 +1,170 @@
+"""Peak detection and classification on stability plots.
+
+The stability plot of a node exhibits a negative peak at the natural
+frequency of every complex pole pair the node can "see" and a positive
+peak at every complex zero pair.  This module finds those peaks and
+classifies them the way the original tool's "All Nodes" report does:
+
+* ``NORMAL`` — a clean interior negative peak: a complex pole pair;
+* ``END_OF_RANGE`` — the most negative value sits at the first or last
+  sweep point, i.e. the sweep did not bracket the resonance (the user
+  should widen the frequency range);
+* ``MIN_MAX`` — the negative peak is accompanied by a positive peak of
+  comparable size at a nearby frequency, i.e. a complex pole/zero doublet:
+  the zero partially masks the pole and the damping estimate should be
+  interpreted with care (paper footnote 2);
+* ``POSITIVE`` — an isolated positive peak (complex zeros only).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.exceptions import StabilityAnalysisError
+from repro.waveform.waveform import Waveform
+
+__all__ = ["PeakType", "StabilityPeak", "find_peaks", "dominant_negative_peak"]
+
+
+class PeakType(enum.Enum):
+    """Classification of a stability-plot peak (tool "special cases")."""
+
+    NORMAL = "normal"
+    END_OF_RANGE = "end-of-range"
+    MIN_MAX = "min/max"
+    POSITIVE = "positive"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class StabilityPeak:
+    """One detected peak of a stability plot."""
+
+    frequency_hz: float
+    value: float                   #: signed stability-plot value at the peak
+    peak_type: PeakType
+    index: int                     #: sample index in the originating plot
+    prominence: float = 0.0        #: depth relative to the surrounding baseline
+    companion_frequency_hz: Optional[float] = None  #: paired zero/pole for MIN_MAX
+
+    @property
+    def is_negative(self) -> bool:
+        return self.value < 0
+
+    @property
+    def magnitude(self) -> float:
+        """|value| — what the paper's Table 2 lists as "Stability Peak"."""
+        return abs(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<StabilityPeak {self.value:+.3f} @ {self.frequency_hz:.4g} Hz "
+                f"({self.peak_type})>")
+
+
+def _local_extrema(values: np.ndarray, find_minima: bool) -> List[int]:
+    """Indices of strict local minima (or maxima) of a 1-D array."""
+    y = values if find_minima else -values
+    indices: List[int] = []
+    n = len(y)
+    for i in range(1, n - 1):
+        left = y[i - 1]
+        right = y[i + 1]
+        if y[i] < left and y[i] <= right:
+            indices.append(i)
+    return indices
+
+
+def find_peaks(plot: Waveform,
+               threshold: float = 0.05,
+               min_max_window_decades: float = 0.5,
+               min_max_ratio: float = 0.3) -> List[StabilityPeak]:
+    """Find and classify all significant peaks of a stability plot.
+
+    Parameters
+    ----------
+    plot:
+        Stability-plot waveform (x = frequency, y = curvature values).
+    threshold:
+        Minimum |value| for a peak to be reported.  The curvature of pure
+        real poles/zeros never exceeds ~0.5 in magnitude but is spread out;
+        a small threshold keeps the report complete while suppressing
+        numerical noise.
+    min_max_window_decades:
+        Frequency window (in decades) within which a positive peak is
+        considered the companion of a negative peak (pole/zero doublet).
+    min_max_ratio:
+        Minimum ratio of companion-peak to main-peak magnitude for the
+        doublet classification.
+    """
+    freq = plot.x
+    values = np.real(plot.y)
+    if len(values) < 5:
+        raise StabilityAnalysisError("stability plot has too few points for peak detection")
+
+    peaks: List[StabilityPeak] = []
+
+    minima = _local_extrema(values, find_minima=True)
+    maxima = _local_extrema(values, find_minima=False)
+
+    positive_candidates = [(i, values[i]) for i in maxima if values[i] > threshold]
+
+    # --- negative peaks (complex poles) --------------------------------
+    for i in minima:
+        value = values[i]
+        if value > -threshold:
+            continue
+        # Prominence: depth below the higher of the two flanking "shoulders".
+        left_max = np.max(values[:i]) if i > 0 else values[i]
+        right_max = np.max(values[i + 1:]) if i + 1 < len(values) else values[i]
+        prominence = min(left_max, right_max) - value
+
+        peak_type = PeakType.NORMAL
+        companion = None
+        for j, positive_value in positive_candidates:
+            distance_decades = abs(math.log10(freq[j] / freq[i]))
+            if distance_decades <= min_max_window_decades and \
+                    positive_value >= min_max_ratio * abs(value):
+                peak_type = PeakType.MIN_MAX
+                companion = float(freq[j])
+                break
+        peaks.append(StabilityPeak(frequency_hz=float(freq[i]), value=float(value),
+                                   peak_type=peak_type, index=int(i),
+                                   prominence=float(prominence),
+                                   companion_frequency_hz=companion))
+
+    # --- positive peaks (complex zeros) ---------------------------------
+    for i, value in positive_candidates:
+        peaks.append(StabilityPeak(frequency_hz=float(freq[i]), value=float(value),
+                                   peak_type=PeakType.POSITIVE, index=int(i)))
+
+    # --- end-of-range special case --------------------------------------
+    global_min_index = int(np.argmin(values))
+    if values[global_min_index] < -threshold and \
+            (global_min_index == 0 or global_min_index == len(values) - 1):
+        peaks.append(StabilityPeak(frequency_hz=float(freq[global_min_index]),
+                                   value=float(values[global_min_index]),
+                                   peak_type=PeakType.END_OF_RANGE,
+                                   index=global_min_index))
+
+    peaks.sort(key=lambda p: p.frequency_hz)
+    return peaks
+
+
+def dominant_negative_peak(peaks: Sequence[StabilityPeak]) -> Optional[StabilityPeak]:
+    """The most negative (deepest) peak — the node's dominant complex pole.
+
+    END_OF_RANGE peaks participate: a deep end-of-range minimum is still
+    the strongest instability indication the sweep has found, and the
+    report flags its special type.
+    """
+    negative = [p for p in peaks if p.is_negative]
+    if not negative:
+        return None
+    return min(negative, key=lambda p: p.value)

@@ -1,0 +1,172 @@
+"""Report generation for stability runs (the tool's "All Nodes run report").
+
+The flagship report mirrors the paper's Table 2: every node's stability
+peak and natural frequency, sorted and grouped by loop, with special-case
+notices ("end-of-range", "min/max") appended — plus a loop summary with the
+estimated damping ratio, phase margin and equivalent transient overshoot of
+each loop, which is the actionable part of the diagnosis.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Optional, Sequence
+
+from repro.circuit.units import format_si
+from repro.core.all_nodes import AllNodesResult
+from repro.core.loops import Loop
+from repro.core.peaks import PeakType
+from repro.core.single_node import NodeStabilityResult
+
+__all__ = [
+    "format_node_table",
+    "format_loop_summary",
+    "format_special_cases",
+    "format_all_nodes_report",
+    "format_single_node_report",
+    "report_rows",
+]
+
+
+def report_rows(result: AllNodesResult) -> List[dict]:
+    """Table-2 rows as dictionaries (for programmatic/CSV consumption).
+
+    Each row: ``{"loop", "node", "stability_peak", "natural_frequency_hz",
+    "peak_type"}`` — stability_peak is the magnitude |P| as printed in the
+    paper's table.
+    """
+    rows: List[dict] = []
+    for loop in result.loops:
+        loop_label = f"Loop at {format_si(loop.natural_frequency_hz, 'Hz')}"
+        for node_result in loop.nodes:
+            rows.append({
+                "loop": loop_label,
+                "loop_frequency_hz": loop.natural_frequency_hz,
+                "node": node_result.node,
+                "stability_peak": node_result.stability_peak_magnitude,
+                "natural_frequency_hz": node_result.natural_frequency_hz,
+                "peak_type": str(node_result.peak_type),
+            })
+    return rows
+
+
+def format_node_table(result: AllNodesResult, column_width: int = 22) -> str:
+    """Table 2 of the paper: per-node stability peaks grouped by loop."""
+    out = io.StringIO()
+    header = f"{'Node':<{column_width}}{'Stability Peak':>{column_width}}{'Natural Frequency, Hz':>{column_width + 4}}"
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    if not result.loops:
+        out.write("(no under-damped loops detected)\n")
+        return out.getvalue()
+    for loop in result.loops:
+        out.write(f"Loop at {format_si(loop.natural_frequency_hz, 'Hz')}\n")
+        for node_result in loop.nodes:
+            marker = ""
+            if node_result.peak_type is PeakType.END_OF_RANGE:
+                marker = "  (end-of-range)"
+            elif node_result.peak_type is PeakType.MIN_MAX:
+                marker = "  (min/max)"
+            out.write(
+                f"{node_result.node:<{column_width}}"
+                f"{node_result.stability_peak_magnitude:>{column_width}.6f}"
+                f"{node_result.natural_frequency_hz:>{column_width + 4}.3E}"
+                f"{marker}\n")
+        out.write("\n")
+    return out.getvalue()
+
+
+def format_loop_summary(loops: Sequence[Loop]) -> str:
+    """Loop-by-loop interpretation: zeta, phase margin, equivalent overshoot."""
+    out = io.StringIO()
+    header = (f"{'Loop':<20}{'Worst node':<22}{'Peak':>10}{'zeta':>8}"
+              f"{'PM [deg]':>10}{'Overshoot [%]':>15}{'Flag':>18}")
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for loop in loops:
+        flag = "needs attention" if loop.is_problematic else ""
+        out.write(
+            f"{format_si(loop.natural_frequency_hz, 'Hz'):<20}"
+            f"{loop.worst_node.node:<22}"
+            f"{loop.performance_index:>10.2f}"
+            f"{loop.damping_ratio:>8.3f}"
+            f"{loop.phase_margin_deg:>10.1f}"
+            f"{loop.overshoot_percent:>15.1f}"
+            f"{flag:>18}\n")
+    return out.getvalue()
+
+
+def format_special_cases(result: AllNodesResult) -> str:
+    """Notices for end-of-range and min/max peaks (tool section 4.1)."""
+    special = result.special_cases()
+    if not special:
+        return "No special cases: every reported peak is a clean interior minimum.\n"
+    out = io.StringIO()
+    out.write("Special-case notices:\n")
+    for node_result in special:
+        if node_result.peak_type is PeakType.END_OF_RANGE:
+            out.write(
+                f"  {node_result.node}: deepest value sits at the edge of the swept "
+                f"range ({format_si(node_result.natural_frequency_hz, 'Hz')}) - widen "
+                "the frequency sweep to bracket this resonance.\n")
+        elif node_result.peak_type is PeakType.MIN_MAX:
+            companion = node_result.dominant_peak.companion_frequency_hz
+            companion_text = (f" (companion zero near {format_si(companion, 'Hz')})"
+                              if companion else "")
+            out.write(
+                f"  {node_result.node}: pole/zero doublet{companion_text} - the damping "
+                "estimate may understate the pole; inspect the full plot.\n")
+    return out.getvalue()
+
+
+def format_all_nodes_report(result: AllNodesResult, title: Optional[str] = None) -> str:
+    """The full text report produced after an all-nodes run."""
+    out = io.StringIO()
+    out.write("=" * 78 + "\n")
+    out.write(f"AC-stability analysis report: {title or result.circuit_title}\n")
+    out.write(f"Temperature: {result.temperature:g} C    "
+              f"Nodes analysed: {len(result.results)}    "
+              f"Loops found: {len(result.loops)}    "
+              f"Elapsed: {result.elapsed_seconds:.2f} s\n")
+    out.write("=" * 78 + "\n\n")
+
+    out.write("Per-node stability peaks (sorted by loop natural frequency)\n\n")
+    out.write(format_node_table(result))
+    out.write("\nLoop interpretation\n\n")
+    out.write(format_loop_summary(result.loops))
+    out.write("\n")
+    out.write(format_special_cases(result))
+
+    if result.skipped_nodes:
+        out.write(f"\nSkipped nodes (source-driven or excluded): "
+                  f"{', '.join(result.skipped_nodes)}\n")
+    if result.failed_nodes:
+        out.write("\nFailed nodes:\n")
+        for node, reason in result.failed_nodes.items():
+            out.write(f"  {node}: {reason}\n")
+    return out.getvalue()
+
+
+def format_single_node_report(result: NodeStabilityResult) -> str:
+    """Report for a single-node run (stability peak, estimated phase margin)."""
+    out = io.StringIO()
+    out.write(f"Single-node stability analysis: {result.node}\n")
+    out.write("-" * 60 + "\n")
+    if not result.has_complex_pole:
+        out.write("No complex pole detected: the node does not participate in any\n"
+                  "under-damped loop within the swept frequency range.\n")
+        return out.getvalue()
+    out.write(f"Stability peak (performance index): {result.performance_index:.3f}\n")
+    out.write(f"Natural frequency:                  "
+              f"{format_si(result.natural_frequency_hz, 'Hz')}\n")
+    out.write(f"Damping ratio (eq. 1.4):            {result.damping_ratio:.3f}\n")
+    out.write(f"Estimated phase margin:             {result.phase_margin_deg:.1f} deg\n")
+    out.write(f"Equivalent step overshoot:          {result.overshoot_percent:.1f} %\n")
+    out.write(f"Peak classification:                {result.peak_type}\n")
+    other_peaks = [p for p in result.peaks if p is not result.dominant_peak]
+    if other_peaks:
+        out.write("Other features:\n")
+        for peak in other_peaks:
+            out.write(f"  {peak.value:+8.2f} at {format_si(peak.frequency_hz, 'Hz')}"
+                      f" ({peak.peak_type})\n")
+    return out.getvalue()

@@ -1,0 +1,299 @@
+"""Second-order system theory (paper section 1.2, eqs. 1.1-1.4, Table 1).
+
+The method assumes that around each natural frequency the closed-loop
+response is adequately described by the normalised second-order prototype
+
+    T(s) = 1 / (s^2 + 2*zeta*s + 1)                         (eq. 1.1)
+
+All the classic relations between the damping ratio ``zeta`` and the
+familiar stability figures live here:
+
+* percent overshoot of the step response,
+* phase margin of the corresponding open-loop system,
+* closed-loop magnitude peaking ``Mp``,
+* and the paper's **performance index** ``P(wn) = -1/zeta**2`` (eq. 1.4),
+  i.e. the value of the stability plot at the natural frequency.
+
+:func:`table_1_rows` regenerates the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.exceptions import StabilityAnalysisError
+
+__all__ = [
+    "SecondOrderSystem",
+    "performance_index_from_damping",
+    "damping_from_performance_index",
+    "overshoot_from_damping",
+    "damping_from_overshoot",
+    "phase_margin_from_damping",
+    "damping_from_phase_margin",
+    "max_magnitude_from_damping",
+    "damping_from_max_magnitude",
+    "Table1Row",
+    "table_1_rows",
+    "PAPER_TABLE_1",
+]
+
+
+# ----------------------------------------------------------------------
+# zeta <-> performance index (paper eq. 1.4)
+# ----------------------------------------------------------------------
+
+def performance_index_from_damping(zeta: float) -> float:
+    """Stability-plot value at the natural frequency: ``P(wn) = -1/zeta**2``."""
+    if zeta < 0:
+        raise StabilityAnalysisError("damping ratio must be non-negative")
+    if zeta == 0:
+        return -math.inf
+    return -1.0 / (zeta * zeta)
+
+
+def damping_from_performance_index(performance_index: float) -> float:
+    """Inverse of eq. (1.4): ``zeta = sqrt(-1/P)`` for a negative peak value.
+
+    Peaks shallower than -1 (``P > -1``) correspond to (nearly) critically
+    damped or over-damped behaviour; they are clamped to ``zeta = 1``.
+    """
+    if performance_index >= 0:
+        raise StabilityAnalysisError(
+            "the performance index of a complex pole peak must be negative "
+            f"(got {performance_index:g})")
+    zeta = math.sqrt(-1.0 / performance_index)
+    return min(zeta, 1.0)
+
+
+# ----------------------------------------------------------------------
+# zeta <-> percent overshoot
+# ----------------------------------------------------------------------
+
+def overshoot_from_damping(zeta: float) -> float:
+    """Percent overshoot of the unit-step response of the prototype."""
+    if zeta < 0:
+        raise StabilityAnalysisError("damping ratio must be non-negative")
+    if zeta >= 1.0:
+        return 0.0
+    if zeta == 0.0:
+        return 100.0
+    return 100.0 * math.exp(-math.pi * zeta / math.sqrt(1.0 - zeta * zeta))
+
+
+def damping_from_overshoot(overshoot_percent: float) -> float:
+    """Damping ratio that produces the given percent overshoot."""
+    if overshoot_percent <= 0:
+        return 1.0
+    if overshoot_percent >= 100:
+        return 0.0
+    ln_os = math.log(overshoot_percent / 100.0)
+    return -ln_os / math.sqrt(math.pi ** 2 + ln_os ** 2)
+
+
+# ----------------------------------------------------------------------
+# zeta <-> phase margin
+# ----------------------------------------------------------------------
+
+def phase_margin_from_damping(zeta: float) -> float:
+    """Phase margin (degrees) of the unity-feedback loop whose closed loop
+    is the second-order prototype (Dorf & Bishop, eq. for PM vs zeta)."""
+    if zeta <= 0:
+        return 0.0
+    # Open loop: L(s) = wn^2 / (s (s + 2 zeta wn)); gain crossover at
+    # wc = wn * sqrt(sqrt(1 + 4 zeta^4) - 2 zeta^2).
+    wc = math.sqrt(math.sqrt(1.0 + 4.0 * zeta ** 4) - 2.0 * zeta ** 2)
+    if wc == 0:
+        return 90.0
+    return math.degrees(math.atan2(2.0 * zeta, wc))
+
+
+def damping_from_phase_margin(phase_margin_deg: float) -> float:
+    """Numerical inverse of :func:`phase_margin_from_damping`."""
+    if phase_margin_deg <= 0:
+        return 0.0
+    if phase_margin_deg >= phase_margin_from_damping(1.0):
+        return 1.0
+    lo, hi = 1e-9, 1.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if phase_margin_from_damping(mid) < phase_margin_deg:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+# ----------------------------------------------------------------------
+# zeta <-> closed-loop magnitude peaking
+# ----------------------------------------------------------------------
+
+def max_magnitude_from_damping(zeta: float) -> float:
+    """Peak closed-loop magnitude ``Mp`` (relative to DC).
+
+    For ``zeta >= 1/sqrt(2)`` the magnitude response has no peak and the
+    function returns 1.0; for ``zeta == 0`` it returns ``inf``.
+    """
+    if zeta < 0:
+        raise StabilityAnalysisError("damping ratio must be non-negative")
+    if zeta == 0.0:
+        return math.inf
+    if zeta >= 1.0 / math.sqrt(2.0):
+        return 1.0
+    return 1.0 / (2.0 * zeta * math.sqrt(1.0 - zeta * zeta))
+
+
+def damping_from_max_magnitude(max_magnitude: float) -> float:
+    """Inverse of :func:`max_magnitude_from_damping` (smaller-zeta branch)."""
+    if max_magnitude <= 1.0:
+        return 1.0 / math.sqrt(2.0)
+    if math.isinf(max_magnitude):
+        return 0.0
+    # Mp = 1/(2 z sqrt(1-z^2))  =>  z^2 (1 - z^2) = 1/(4 Mp^2)
+    discriminant = 1.0 - 1.0 / (max_magnitude ** 2)
+    z_squared = 0.5 * (1.0 - math.sqrt(discriminant))
+    return math.sqrt(z_squared)
+
+
+# ----------------------------------------------------------------------
+# The prototype system itself
+# ----------------------------------------------------------------------
+
+class SecondOrderSystem:
+    """Second-order prototype ``T(s) = wn^2 / (s^2 + 2 zeta wn s + wn^2)``.
+
+    Used both as the analytic reference in tests (the stability plot of
+    its magnitude must peak at ``wn`` with value ``-1/zeta**2``) and as a
+    macromodel ingredient in :mod:`repro.circuits.second_order`.
+    """
+
+    def __init__(self, damping: float, natural_frequency_hz: float = 1.0 / (2.0 * math.pi),
+                 dc_gain: float = 1.0):
+        if damping < 0:
+            raise StabilityAnalysisError("damping ratio must be non-negative")
+        if natural_frequency_hz <= 0:
+            raise StabilityAnalysisError("natural frequency must be positive")
+        self.damping = float(damping)
+        self.natural_frequency_hz = float(natural_frequency_hz)
+        self.dc_gain = float(dc_gain)
+
+    @property
+    def wn(self) -> float:
+        """Natural frequency in rad/s."""
+        return 2.0 * math.pi * self.natural_frequency_hz
+
+    def transfer(self, s: Union[complex, np.ndarray]) -> Union[complex, np.ndarray]:
+        """T(s) evaluated at complex frequency s."""
+        wn = self.wn
+        return self.dc_gain * wn * wn / (s * s + 2.0 * self.damping * wn * s + wn * wn)
+
+    def magnitude(self, frequency_hz: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """|T(j 2 pi f)|."""
+        s = 1j * 2.0 * np.pi * np.asarray(frequency_hz, dtype=float)
+        return np.abs(self.transfer(s))
+
+    def response(self, frequencies_hz: Sequence[float]):
+        """Complex response as a :class:`~repro.waveform.waveform.Waveform`."""
+        from repro.waveform.waveform import Waveform
+
+        freqs = np.asarray(frequencies_hz, dtype=float)
+        return Waveform(freqs, self.transfer(1j * 2.0 * np.pi * freqs),
+                        name=f"T(zeta={self.damping:g})", x_unit="Hz")
+
+    def step_response(self, times: Sequence[float]) -> np.ndarray:
+        """Unit-step response samples (under- and over-damped cases)."""
+        t = np.asarray(times, dtype=float)
+        z, wn = self.damping, self.wn
+        if z < 1.0:
+            wd = wn * math.sqrt(1.0 - z * z)
+            phi = math.acos(z)
+            y = 1.0 - np.exp(-z * wn * t) / math.sqrt(1.0 - z * z) * np.sin(wd * t + phi)
+        elif z == 1.0:
+            y = 1.0 - np.exp(-wn * t) * (1.0 + wn * t)
+        else:
+            s1 = -wn * (z - math.sqrt(z * z - 1.0))
+            s2 = -wn * (z + math.sqrt(z * z - 1.0))
+            y = 1.0 + (s2 * np.exp(s1 * t) - s1 * np.exp(s2 * t)) / (s1 - s2)
+        return self.dc_gain * y
+
+    def poles(self) -> List[complex]:
+        """The two poles of the prototype."""
+        z, wn = self.damping, self.wn
+        if z < 1.0:
+            wd = wn * math.sqrt(1.0 - z * z)
+            return [complex(-z * wn, wd), complex(-z * wn, -wd)]
+        root = wn * math.sqrt(z * z - 1.0)
+        return [complex(-z * wn + root, 0.0), complex(-z * wn - root, 0.0)]
+
+    # Derived stability figures ----------------------------------------
+    @property
+    def performance_index(self) -> float:
+        return performance_index_from_damping(self.damping)
+
+    @property
+    def overshoot_percent(self) -> float:
+        return overshoot_from_damping(self.damping)
+
+    @property
+    def phase_margin_deg(self) -> float:
+        return phase_margin_from_damping(self.damping)
+
+    @property
+    def max_magnitude(self) -> float:
+        return max_magnitude_from_damping(self.damping)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SecondOrderSystem zeta={self.damping:g} "
+                f"fn={self.natural_frequency_hz:g} Hz>")
+
+
+# ----------------------------------------------------------------------
+# Table 1
+# ----------------------------------------------------------------------
+
+@dataclass
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    damping: float
+    overshoot_percent: float
+    phase_margin_deg: Optional[float]
+    max_magnitude: Optional[float]
+    performance_index: float
+
+
+#: The values printed in the paper (dashes encoded as ``None``); used by the
+#: Table 1 benchmark to check the regenerated table against the original.
+PAPER_TABLE_1: List[Table1Row] = [
+    Table1Row(1.0, 0.0, None, None, -1.0),
+    Table1Row(0.9, 0.0, None, None, -1.2),
+    Table1Row(0.8, 2.0, None, None, -1.6),
+    Table1Row(0.7, 5.0, 70.0, 1.01, -2.0),
+    Table1Row(0.6, 10.0, 60.0, 1.04, -2.8),
+    Table1Row(0.5, 16.0, 50.0, 1.15, -4.0),
+    Table1Row(0.4, 25.0, 40.0, 1.4, -6.3),
+    Table1Row(0.3, 37.0, 30.0, 1.8, -11.0),
+    Table1Row(0.2, 53.0, 20.0, 2.6, -25.0),
+    Table1Row(0.1, 73.0, 10.0, 5.0, -100.0),
+    Table1Row(0.0, 100.0, 0.0, math.inf, -math.inf),
+]
+
+
+def table_1_rows(dampings: Optional[Sequence[float]] = None) -> List[Table1Row]:
+    """Regenerate the paper's Table 1 from the analytic relations."""
+    if dampings is None:
+        dampings = [row.damping for row in PAPER_TABLE_1]
+    rows = []
+    for zeta in dampings:
+        rows.append(Table1Row(
+            damping=zeta,
+            overshoot_percent=overshoot_from_damping(zeta),
+            phase_margin_deg=phase_margin_from_damping(zeta),
+            max_magnitude=max_magnitude_from_damping(zeta),
+            performance_index=performance_index_from_damping(zeta),
+        ))
+    return rows

@@ -1,0 +1,82 @@
+"""Exception hierarchy shared across the repro packages.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers (in particular the push-button tool in :mod:`repro.tool`) can catch
+library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class UnitError(ReproError, ValueError):
+    """A SPICE-style number or unit suffix could not be parsed."""
+
+
+class NetlistError(ReproError):
+    """The circuit description is malformed (bad connectivity, duplicate
+    names, unknown nodes and similar structural problems)."""
+
+
+class ParseError(NetlistError):
+    """A netlist text file could not be parsed."""
+
+    def __init__(self, message: str, line_no: int | None = None, line: str | None = None):
+        self.line_no = line_no
+        self.line = line
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        if line is not None:
+            message = f"{message}\n    >>> {line.strip()}"
+        super().__init__(message)
+
+
+class ModelError(NetlistError):
+    """A device model card is missing or carries invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Base class for simulation-engine failures."""
+
+
+class SingularMatrixError(AnalysisError):
+    """The MNA matrix is singular (floating node, loop of ideal sources...)."""
+
+
+class ConvergenceError(AnalysisError):
+    """Newton-Raphson iteration failed to converge."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 worst_node: str | None = None, residual: float | None = None):
+        self.iterations = iterations
+        self.worst_node = worst_node
+        self.residual = residual
+        details = []
+        if iterations is not None:
+            details.append(f"iterations={iterations}")
+        if worst_node is not None:
+            details.append(f"worst node={worst_node!r}")
+        if residual is not None:
+            details.append(f"residual={residual:.3e}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+
+
+class SweepError(AnalysisError):
+    """A frequency/time/parameter sweep specification is invalid."""
+
+
+class WaveformError(ReproError):
+    """Invalid waveform data or measurement request."""
+
+
+class StabilityAnalysisError(ReproError):
+    """The stability analysis (core contribution) could not be completed."""
+
+
+class ToolError(ReproError):
+    """Failures in the push-button tool layer (session, jobs, corners)."""

@@ -1,0 +1,115 @@
+"""Job control: local serial execution and a thread-pool "compute farm".
+
+The original tool lists "remote simulation / distributed / computer farm
+run capability" among the features in development.  The equivalent here is
+a small job-control layer that runs a batch of independent simulation jobs
+either serially or on a thread pool (numpy/scipy release the GIL inside
+the dense solves, so corner sweeps do benefit from threads), with per-job
+status tracking and failure isolation.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.exceptions import ToolError
+
+__all__ = ["Job", "JobResult", "JobRunner"]
+
+
+@dataclass
+class Job:
+    """A named unit of work: ``callable(*args, **kwargs)``."""
+
+    name: str
+    target: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job."""
+
+    name: str
+    status: str                   #: "done" or "failed"
+    result: Any = None
+    error: Optional[str] = None
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+
+class JobRunner:
+    """Runs a batch of jobs serially or on a local thread pool.
+
+    Parameters
+    ----------
+    max_workers:
+        1 (default) runs serially in submission order; higher values use a
+        thread pool ("local farm").
+    continue_on_error:
+        When False the first failure aborts the remaining jobs.
+    """
+
+    def __init__(self, max_workers: int = 1, continue_on_error: bool = True):
+        if max_workers < 1:
+            raise ToolError("max_workers must be at least 1")
+        self.max_workers = int(max_workers)
+        self.continue_on_error = bool(continue_on_error)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: List[Job],
+            progress: Optional[Callable[[int, int, JobResult], None]] = None
+            ) -> List[JobResult]:
+        """Execute ``jobs`` and return one :class:`JobResult` per job, in order."""
+        if not jobs:
+            return []
+        names = [job.name for job in jobs]
+        if len(set(names)) != len(names):
+            raise ToolError("job names must be unique within a batch")
+        if self.max_workers == 1:
+            return self._run_serial(jobs, progress)
+        return self._run_pool(jobs, progress)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _execute(job: Job) -> JobResult:
+        start = time.time()
+        try:
+            value = job.target(*job.args, **job.kwargs)
+            return JobResult(name=job.name, status="done", result=value,
+                             elapsed_seconds=time.time() - start)
+        except Exception as exc:
+            return JobResult(name=job.name, status="failed", error=str(exc),
+                             elapsed_seconds=time.time() - start)
+
+    def _run_serial(self, jobs: List[Job], progress) -> List[JobResult]:
+        results: List[JobResult] = []
+        for index, job in enumerate(jobs, start=1):
+            outcome = self._execute(job)
+            results.append(outcome)
+            if progress is not None:
+                progress(index, len(jobs), outcome)
+            if not outcome.ok and not self.continue_on_error:
+                break
+        return results
+
+    def _run_pool(self, jobs: List[Job], progress) -> List[JobResult]:
+        results: Dict[str, JobResult] = {}
+        completed = 0
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+            futures = {pool.submit(self._execute, job): job for job in jobs}
+            for future in concurrent.futures.as_completed(futures):
+                outcome = future.result()
+                results[outcome.name] = outcome
+                completed += 1
+                if progress is not None:
+                    progress(completed, len(jobs), outcome)
+        # Preserve submission order in the returned list.
+        return [results[job.name] for job in jobs if job.name in results]

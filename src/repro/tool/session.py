@@ -1,0 +1,176 @@
+"""Simulation-environment/session management (the Analog Artist stand-in).
+
+The original tool pulls its simulation setup (design variables, model
+setup, result directories, saved states) from the current Analog Artist
+session; here the :class:`SimulationEnvironment` object plays that role:
+
+* it owns the design variables and simulation conditions (temperature,
+  gmin, frequency sweep);
+* it manages a result directory per run and can save/restore its complete
+  state as JSON (the equivalent of ``sevSaveState``/``sevLoadState``);
+* it remembers and restores the previous result-directory setting, which
+  is the tool feature "save and restore original Analog Artist result
+  directory settings".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+from repro.analysis.sweeps import FrequencySweep
+from repro.exceptions import ToolError
+
+__all__ = ["SimulationEnvironment", "SessionState"]
+
+
+@dataclass
+class SessionState:
+    """Serialisable snapshot of a simulation environment."""
+
+    name: str
+    temperature: float
+    gmin: float
+    sweep_start: float
+    sweep_stop: float
+    sweep_points_per_decade: int
+    design_variables: Dict[str, float] = field(default_factory=dict)
+    model_files: List[str] = field(default_factory=list)
+    result_directory: Optional[str] = None
+    created: float = field(default_factory=time.time)
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SessionState":
+        data = json.loads(text)
+        known = {f for f in cls.__dataclass_fields__}  # type: ignore[attr-defined]
+        return cls(**{k: v for k, v in data.items() if k in known})
+
+
+class SimulationEnvironment:
+    """Holds everything a stability run needs besides the circuit itself."""
+
+    def __init__(self, name: str = "default",
+                 temperature: float = 27.0,
+                 gmin: float = 1e-12,
+                 sweep: Optional[FrequencySweep] = None,
+                 design_variables: Optional[Dict[str, float]] = None,
+                 result_root: Optional[str] = None):
+        self.name = name
+        self.temperature = float(temperature)
+        self.gmin = float(gmin)
+        self.sweep = sweep if sweep is not None else FrequencySweep()
+        self.design_variables: Dict[str, float] = dict(design_variables or {})
+        #: Model files are accepted for interface parity with the original
+        #: tool ("Automatic & Manual Model Setup"); models in this library
+        #: are Python objects, so the list is informational.
+        self.model_files: List[str] = []
+        self._result_root = result_root
+        self._result_directory: Optional[str] = None
+        self._previous_result_directory: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Design variables ("Design Variables Support")
+    # ------------------------------------------------------------------
+    def set_variable(self, name: str, value: float) -> None:
+        self.design_variables[str(name)] = float(value)
+
+    def update_variables(self, values: Dict[str, float]) -> None:
+        for name, value in values.items():
+            self.set_variable(name, value)
+
+    def import_variables_from(self, circuit) -> Dict[str, float]:
+        """Import the circuit's design variables that the session does not
+        already override (mirrors the tool's variable-import GUI)."""
+        imported = {}
+        for name, value in getattr(circuit, "variables", {}).items():
+            if name not in self.design_variables:
+                self.design_variables[name] = float(value)
+                imported[name] = float(value)
+        return imported
+
+    # ------------------------------------------------------------------
+    # Model setup
+    # ------------------------------------------------------------------
+    def add_model_file(self, path: str) -> None:
+        """Register a model file path (informational; see class docstring)."""
+        self.model_files.append(str(path))
+
+    # ------------------------------------------------------------------
+    # Result directories
+    # ------------------------------------------------------------------
+    def result_directory(self, create: bool = True) -> str:
+        """The directory where reports of this session are written."""
+        if self._result_directory is None:
+            root = self._result_root or os.path.join(os.getcwd(), "stability_results")
+            stamp = time.strftime("%Y%m%d_%H%M%S")
+            self._result_directory = os.path.join(root, f"{self.name}_{stamp}")
+        if create:
+            os.makedirs(self._result_directory, exist_ok=True)
+        return self._result_directory
+
+    def use_result_directory(self, path: str) -> None:
+        """Point the session at an explicit result directory, remembering the
+        previous setting so it can be restored afterwards."""
+        self._previous_result_directory = self._result_directory
+        self._result_directory = str(path)
+
+    def restore_result_directory(self) -> Optional[str]:
+        """Restore the previously active result directory (tool feature)."""
+        self._result_directory, self._previous_result_directory = (
+            self._previous_result_directory, self._result_directory)
+        return self._result_directory
+
+    # ------------------------------------------------------------------
+    # State save / restore (sevSaveState / sevLoadState equivalents)
+    # ------------------------------------------------------------------
+    def state(self) -> SessionState:
+        return SessionState(
+            name=self.name,
+            temperature=self.temperature,
+            gmin=self.gmin,
+            sweep_start=self.sweep.start,
+            sweep_stop=self.sweep.stop,
+            sweep_points_per_decade=self.sweep.points_per_decade or 40,
+            design_variables=dict(self.design_variables),
+            model_files=list(self.model_files),
+            result_directory=self._result_directory,
+        )
+
+    def save_state(self, path: str) -> str:
+        """Write the session state to a JSON file and return the path."""
+        state = self.state()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(state.to_json())
+        return path
+
+    @classmethod
+    def load_state(cls, path: str) -> "SimulationEnvironment":
+        """Re-create a session from a saved state file."""
+        if not os.path.exists(path):
+            raise ToolError(f"no saved session state at {path!r}")
+        with open(path, "r", encoding="utf-8") as handle:
+            state = SessionState.from_json(handle.read())
+        environment = cls(
+            name=state.name,
+            temperature=state.temperature,
+            gmin=state.gmin,
+            sweep=FrequencySweep(state.sweep_start, state.sweep_stop,
+                                 state.sweep_points_per_decade),
+            design_variables=state.design_variables,
+        )
+        environment.model_files = list(state.model_files)
+        if state.result_directory:
+            environment._result_directory = state.result_directory
+        return environment
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<SimulationEnvironment {self.name!r} T={self.temperature}C "
+                f"{len(self.design_variables)} variables>")

@@ -1,0 +1,31 @@
+"""Waveform calculator: the stand-in for Analog Artist's calculator tool."""
+
+from repro.waveform.measurements import (
+    LoopGainMargins,
+    gain_margin_db,
+    loop_gain_margins,
+    magnitude_peaking,
+    overshoot_percent,
+    peak_to_peak,
+    phase_crossover_frequency,
+    phase_margin,
+    rise_time,
+    settling_time,
+    unity_gain_frequency,
+)
+from repro.waveform.waveform import Waveform
+
+__all__ = [
+    "Waveform",
+    "overshoot_percent",
+    "rise_time",
+    "settling_time",
+    "peak_to_peak",
+    "unity_gain_frequency",
+    "phase_crossover_frequency",
+    "phase_margin",
+    "gain_margin_db",
+    "magnitude_peaking",
+    "LoopGainMargins",
+    "loop_gain_margins",
+]

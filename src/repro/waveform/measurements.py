@@ -1,0 +1,175 @@
+"""Measurements on waveforms: the "traditional" stability quantities.
+
+These functions implement the black-box measurements the paper compares
+its method against: transient step overshoot (Fig. 2), open-loop gain and
+phase margins from a Bode plot (Fig. 3), closed-loop magnitude peaking
+(Table 1 "max magnitude"), plus generic rise/settling-time helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import WaveformError
+from repro.waveform.waveform import Waveform
+
+__all__ = [
+    "overshoot_percent",
+    "rise_time",
+    "settling_time",
+    "peak_to_peak",
+    "unity_gain_frequency",
+    "phase_crossover_frequency",
+    "phase_margin",
+    "gain_margin_db",
+    "magnitude_peaking",
+    "LoopGainMargins",
+    "loop_gain_margins",
+]
+
+
+# ----------------------------------------------------------------------
+# Time-domain measurements
+# ----------------------------------------------------------------------
+
+def overshoot_percent(step_response: Waveform, initial_value: Optional[float] = None,
+                      final_value: Optional[float] = None) -> float:
+    """Percent overshoot of a step response.
+
+    ``initial_value`` defaults to the first sample, ``final_value`` to the
+    last sample (assumed settled).  Returns 0 for monotonic responses.
+    """
+    y = np.real(step_response.y)
+    v0 = float(y[0]) if initial_value is None else float(initial_value)
+    v1 = step_response.final_value() if final_value is None else float(final_value)
+    swing = v1 - v0
+    if abs(swing) < 1e-300:
+        raise WaveformError("step response has no net transition; cannot compute overshoot")
+    if swing > 0:
+        peak = float(np.max(y))
+        over = peak - v1
+    else:
+        peak = float(np.min(y))
+        over = v1 - peak
+    return max(0.0, 100.0 * over / abs(swing))
+
+
+def rise_time(step_response: Waveform, low: float = 0.1, high: float = 0.9) -> float:
+    """10 %-90 % (by default) rise time of a step response."""
+    y = np.real(step_response.y)
+    v0, v1 = float(y[0]), step_response.final_value()
+    swing = v1 - v0
+    if abs(swing) < 1e-300:
+        raise WaveformError("step response has no net transition; cannot compute rise time")
+    t_low = step_response.first_crossing(v0 + low * swing,
+                                         rising=swing > 0)
+    t_high = step_response.first_crossing(v0 + high * swing,
+                                          rising=swing > 0)
+    if t_low is None or t_high is None:
+        raise WaveformError("step response never reaches the requested levels")
+    return t_high - t_low
+
+
+def settling_time(step_response: Waveform, tolerance: float = 0.02) -> float:
+    """Time after which the response stays within ``tolerance`` of the final value."""
+    y = np.real(step_response.y)
+    v0, v1 = float(y[0]), step_response.final_value()
+    swing = abs(v1 - v0)
+    if swing < 1e-300:
+        raise WaveformError("step response has no net transition; cannot compute settling time")
+    band = tolerance * swing
+    outside = np.abs(y - v1) > band
+    if not np.any(outside):
+        return float(step_response.x[0])
+    last_outside = int(np.max(np.nonzero(outside)))
+    if last_outside + 1 >= len(y):
+        raise WaveformError("response has not settled within the simulated time")
+    return float(step_response.x[last_outside + 1])
+
+
+def peak_to_peak(waveform: Waveform) -> float:
+    y = np.real(waveform.y)
+    return float(np.max(y) - np.min(y))
+
+
+# ----------------------------------------------------------------------
+# Frequency-domain measurements
+# ----------------------------------------------------------------------
+
+def unity_gain_frequency(loop_gain: Waveform) -> Optional[float]:
+    """Frequency where |T| crosses 1 (0 dB), i.e. the gain crossover."""
+    crossings = loop_gain.db20().crossings(0.0, rising=False)
+    if crossings:
+        return crossings[0]
+    crossings = loop_gain.db20().crossings(0.0)
+    return crossings[0] if crossings else None
+
+
+def phase_crossover_frequency(loop_gain: Waveform,
+                              phase_lag_deg: float = -180.0) -> Optional[float]:
+    """Frequency where the loop phase reaches ``phase_lag_deg`` (default -180)."""
+    phase = loop_gain.phase_deg(unwrap=True)
+    crossings = phase.crossings(phase_lag_deg)
+    return crossings[0] if crossings else None
+
+
+def phase_margin(loop_gain: Waveform) -> Optional[float]:
+    """Phase margin in degrees: 180 + phase(T) at the gain crossover.
+
+    Returns ``None`` when the loop gain never crosses 0 dB within the
+    sweep (unconditionally stable or insufficient sweep range).
+    """
+    f_unity = unity_gain_frequency(loop_gain)
+    if f_unity is None:
+        return None
+    phase_at_crossover = float(np.real(loop_gain.phase_deg(unwrap=True).at(f_unity)))
+    return 180.0 + phase_at_crossover
+
+
+def gain_margin_db(loop_gain: Waveform) -> Optional[float]:
+    """Gain margin in dB: -|T|dB at the -180 degree phase crossover."""
+    f_180 = phase_crossover_frequency(loop_gain)
+    if f_180 is None:
+        return None
+    return -float(np.real(loop_gain.db20().at(f_180)))
+
+
+def magnitude_peaking(closed_loop: Waveform) -> float:
+    """Peak of |H| relative to its DC (lowest-frequency) value (linear ratio)."""
+    mag = np.abs(closed_loop.y)
+    reference = mag[0]
+    if reference <= 0:
+        raise WaveformError("closed-loop response has zero DC magnitude")
+    return float(np.max(mag) / reference)
+
+
+@dataclass
+class LoopGainMargins:
+    """Summary of the classic Bode stability figures for a loop gain."""
+
+    unity_gain_frequency_hz: Optional[float]
+    phase_crossover_frequency_hz: Optional[float]
+    phase_margin_deg: Optional[float]
+    gain_margin_db: Optional[float]
+    dc_gain_db: float
+
+    def is_stable(self) -> bool:
+        """Basic Bode criterion (sufficient for minimum-phase loops)."""
+        if self.phase_margin_deg is None:
+            return True
+        return self.phase_margin_deg > 0
+
+
+def loop_gain_margins(loop_gain: Waveform) -> LoopGainMargins:
+    """Compute all Bode-plot stability figures for a complex loop-gain sweep."""
+    return LoopGainMargins(
+        unity_gain_frequency_hz=unity_gain_frequency(loop_gain),
+        phase_crossover_frequency_hz=phase_crossover_frequency(loop_gain),
+        phase_margin_deg=phase_margin(loop_gain),
+        gain_margin_db=gain_margin_db(loop_gain),
+        dc_gain_db=float(np.real(loop_gain.db20().y[0])),
+    )

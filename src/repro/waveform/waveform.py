@@ -1,0 +1,244 @@
+"""Waveform container — the stand-in for the Analog Artist waveform calculator.
+
+A :class:`Waveform` is an (x, y) pair of equally long arrays with y either
+real (transient data) or complex (AC data), plus a handful of calculator
+operations: arithmetic, dB/phase conversion, derivatives (including the
+log-log derivatives the stability plot needs), interpolation and crossing
+detection.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.exceptions import WaveformError
+
+__all__ = ["Waveform"]
+
+Number = Union[int, float, complex]
+
+
+class Waveform:
+    """Sampled waveform y(x) with x strictly increasing."""
+
+    def __init__(self, x: Sequence[float], y: Sequence[Number],
+                 name: str = "", x_unit: str = "", y_unit: str = ""):
+        x_arr = np.asarray(x, dtype=float)
+        y_arr = np.asarray(y)
+        if x_arr.ndim != 1 or y_arr.ndim != 1:
+            raise WaveformError("waveform x and y must be one-dimensional")
+        if len(x_arr) != len(y_arr):
+            raise WaveformError(
+                f"waveform x and y lengths differ ({len(x_arr)} vs {len(y_arr)})")
+        if len(x_arr) < 2:
+            raise WaveformError("waveform needs at least two points")
+        if np.any(np.diff(x_arr) <= 0):
+            raise WaveformError("waveform x values must be strictly increasing")
+        if not np.iscomplexobj(y_arr):
+            y_arr = y_arr.astype(float)
+        self.x = x_arr
+        self.y = y_arr
+        self.name = name
+        self.x_unit = x_unit
+        self.y_unit = y_unit
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.x)
+
+    @property
+    def is_complex(self) -> bool:
+        return np.iscomplexobj(self.y)
+
+    def copy(self, y: Optional[np.ndarray] = None, name: Optional[str] = None,
+             y_unit: Optional[str] = None) -> "Waveform":
+        return Waveform(self.x.copy(),
+                        self.y.copy() if y is None else y,
+                        name=self.name if name is None else name,
+                        x_unit=self.x_unit,
+                        y_unit=self.y_unit if y_unit is None else y_unit)
+
+    # ------------------------------------------------------------------
+    # Arithmetic (element-wise; scalars and same-grid waveforms supported)
+    # ------------------------------------------------------------------
+    def _other_y(self, other) -> np.ndarray:
+        if isinstance(other, Waveform):
+            if len(other) != len(self) or not np.allclose(other.x, self.x):
+                raise WaveformError("waveform arithmetic requires identical x grids")
+            return other.y
+        return np.asarray(other)
+
+    def __add__(self, other) -> "Waveform":
+        return self.copy(y=self.y + self._other_y(other))
+
+    def __radd__(self, other) -> "Waveform":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "Waveform":
+        return self.copy(y=self.y - self._other_y(other))
+
+    def __rsub__(self, other) -> "Waveform":
+        return self.copy(y=self._other_y(other) - self.y)
+
+    def __mul__(self, other) -> "Waveform":
+        return self.copy(y=self.y * self._other_y(other))
+
+    def __rmul__(self, other) -> "Waveform":
+        return self.__mul__(other)
+
+    def __truediv__(self, other) -> "Waveform":
+        return self.copy(y=self.y / self._other_y(other))
+
+    def __rtruediv__(self, other) -> "Waveform":
+        return self.copy(y=self._other_y(other) / self.y)
+
+    def __neg__(self) -> "Waveform":
+        return self.copy(y=-self.y)
+
+    def apply(self, func: Callable[[np.ndarray], np.ndarray], name: str = "") -> "Waveform":
+        """Apply an arbitrary vectorised function to y."""
+        return self.copy(y=func(self.y), name=name or self.name)
+
+    # ------------------------------------------------------------------
+    # Calculator operations
+    # ------------------------------------------------------------------
+    def magnitude(self) -> "Waveform":
+        """|y| (identity for real waveforms)."""
+        return self.copy(y=np.abs(self.y), name=f"mag({self.name})")
+
+    def db20(self) -> "Waveform":
+        """20*log10(|y|)."""
+        mag = np.abs(self.y)
+        mag = np.where(mag <= 0, 1e-300, mag)
+        return self.copy(y=20.0 * np.log10(mag), name=f"dB20({self.name})", y_unit="dB")
+
+    def phase_deg(self, unwrap: bool = True) -> "Waveform":
+        """Phase in degrees (optionally unwrapped)."""
+        angles = np.angle(self.y)
+        if unwrap:
+            angles = np.unwrap(angles)
+        return self.copy(y=np.degrees(angles), name=f"phase({self.name})", y_unit="deg")
+
+    def real(self) -> "Waveform":
+        return self.copy(y=np.real(self.y), name=f"re({self.name})")
+
+    def imag(self) -> "Waveform":
+        return self.copy(y=np.imag(self.y), name=f"im({self.name})")
+
+    def derivative(self) -> "Waveform":
+        """dy/dx via central differences."""
+        return self.copy(y=np.gradient(self.y, self.x), name=f"deriv({self.name})")
+
+    def log_derivative(self) -> "Waveform":
+        """d(y)/d(ln x): derivative with respect to the natural log of x.
+
+        Requires strictly positive x values (frequency axes qualify).
+        """
+        if np.any(self.x <= 0):
+            raise WaveformError("log_derivative requires positive x values")
+        return self.copy(y=np.gradient(self.y, np.log(self.x)),
+                         name=f"dlnx({self.name})")
+
+    def loglog_slope(self) -> "Waveform":
+        """d(ln|y|)/d(ln x): the local slope on a log-log plot."""
+        if np.any(self.x <= 0):
+            raise WaveformError("loglog_slope requires positive x values")
+        mag = np.abs(self.y)
+        if np.any(mag <= 0):
+            raise WaveformError("loglog_slope requires non-zero y values")
+        return self.copy(y=np.gradient(np.log(mag), np.log(self.x)),
+                         name=f"slope({self.name})")
+
+    def integral(self) -> float:
+        """Trapezoidal integral of y over x."""
+        trapezoid = getattr(np, "trapezoid", None) or np.trapz
+        return float(trapezoid(np.real(self.y), self.x))
+
+    # ------------------------------------------------------------------
+    # Sampling / slicing
+    # ------------------------------------------------------------------
+    def at(self, x_value: float) -> Number:
+        """Interpolated value of y at ``x_value`` (linear interpolation)."""
+        if x_value < self.x[0] or x_value > self.x[-1]:
+            raise WaveformError(
+                f"x={x_value:g} outside waveform range [{self.x[0]:g}, {self.x[-1]:g}]")
+        if self.is_complex:
+            return complex(np.interp(x_value, self.x, self.y.real),
+                           np.interp(x_value, self.x, self.y.imag))
+        return float(np.interp(x_value, self.x, self.y))
+
+    def clipped(self, x_min: Optional[float] = None, x_max: Optional[float] = None) -> "Waveform":
+        """Sub-waveform restricted to [x_min, x_max]."""
+        lo = self.x[0] if x_min is None else x_min
+        hi = self.x[-1] if x_max is None else x_max
+        mask = (self.x >= lo) & (self.x <= hi)
+        if mask.sum() < 2:
+            raise WaveformError("clipped range keeps fewer than 2 points")
+        return Waveform(self.x[mask], self.y[mask], name=self.name,
+                        x_unit=self.x_unit, y_unit=self.y_unit)
+
+    def resampled(self, new_x: Sequence[float]) -> "Waveform":
+        """Linear re-interpolation onto a new x grid."""
+        new_x = np.asarray(new_x, dtype=float)
+        if self.is_complex:
+            y = (np.interp(new_x, self.x, self.y.real)
+                 + 1j * np.interp(new_x, self.x, self.y.imag))
+        else:
+            y = np.interp(new_x, self.x, self.y)
+        return Waveform(new_x, y, name=self.name, x_unit=self.x_unit, y_unit=self.y_unit)
+
+    # ------------------------------------------------------------------
+    # Extrema and crossings
+    # ------------------------------------------------------------------
+    def value_min(self) -> Tuple[float, float]:
+        """(x, y) of the minimum (real part for complex waveforms)."""
+        index = int(np.argmin(np.real(self.y)))
+        return float(self.x[index]), float(np.real(self.y[index]))
+
+    def value_max(self) -> Tuple[float, float]:
+        """(x, y) of the maximum (real part for complex waveforms)."""
+        index = int(np.argmax(np.real(self.y)))
+        return float(self.x[index]), float(np.real(self.y[index]))
+
+    def crossings(self, level: float = 0.0, rising: Optional[bool] = None) -> List[float]:
+        """x positions where the (real) waveform crosses ``level``.
+
+        ``rising=True`` keeps only upward crossings, ``False`` only downward
+        ones, ``None`` keeps both.  Positions are linearly interpolated.
+        """
+        y = np.real(self.y) - level
+        result: List[float] = []
+        for i in range(len(y) - 1):
+            y0, y1 = y[i], y[i + 1]
+            if y0 == 0.0:
+                crossing_dir = None
+            if (y0 < 0 <= y1) or (y0 > 0 >= y1) or (y0 == 0 and y1 != 0):
+                if y1 == y0:
+                    continue
+                t = -y0 / (y1 - y0)
+                if not (0.0 <= t <= 1.0):
+                    continue
+                direction_up = y1 > y0
+                if rising is True and not direction_up:
+                    continue
+                if rising is False and direction_up:
+                    continue
+                result.append(float(self.x[i] + t * (self.x[i + 1] - self.x[i])))
+        return result
+
+    def first_crossing(self, level: float = 0.0, rising: Optional[bool] = None) -> Optional[float]:
+        found = self.crossings(level, rising)
+        return found[0] if found else None
+
+    def final_value(self) -> float:
+        """Last sample (real part)."""
+        return float(np.real(self.y[-1]))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        kind = "complex" if self.is_complex else "real"
+        return (f"<Waveform {self.name!r} {len(self)} points "
+                f"[{self.x[0]:g}..{self.x[-1]:g} {self.x_unit}] {kind}>")

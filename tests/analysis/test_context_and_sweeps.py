@@ -1,0 +1,131 @@
+"""Tests for the analysis context (parameter evaluation) and sweep helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.sweeps import FrequencySweep, around, decade_sweep, lin_sweep, log_sweep
+from repro.exceptions import NetlistError, SweepError
+
+
+class TestAnalysisContext:
+    def test_numbers_pass_through(self):
+        ctx = AnalysisContext()
+        assert ctx.eval_param(3.3) == 3.3
+        assert ctx.eval_param("2.2u") == pytest.approx(2.2e-6)
+
+    def test_variable_lookup(self):
+        ctx = AnalysisContext(variables={"cload": 1e-9})
+        assert ctx.eval_param("cload") == 1e-9
+
+    def test_expression_evaluation(self):
+        ctx = AnalysisContext(variables={"cload": 1e-9, "mult": 3})
+        assert ctx.eval_param("cload*mult") == pytest.approx(3e-9)
+        assert ctx.eval_param("sqrt(4)+1") == pytest.approx(3.0)
+
+    def test_expression_cache_invalidation(self):
+        ctx = AnalysisContext(variables={"x": 1.0})
+        assert ctx.eval_param("x*2") == 2.0
+        ctx.set_variable("x", 5.0)
+        assert ctx.eval_param("x*2") == 10.0
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(NetlistError):
+            AnalysisContext().eval_param("not_defined*2")
+
+    def test_non_numeric_expression_raises(self):
+        ctx = AnalysisContext(variables={"x": 1.0})
+        with pytest.raises(NetlistError):
+            ctx.eval_param("'abc'")
+
+    def test_device_state_reset(self):
+        ctx = AnalysisContext()
+        state = ctx.device_state("Q1")
+        state["vbe"] = 0.7
+        assert ctx.device_state("Q1")["vbe"] == 0.7
+        ctx.reset_device_states()
+        assert ctx.device_state("Q1") == {}
+
+    def test_copy_with_overrides(self):
+        ctx = AnalysisContext(temperature=27.0, variables={"a": 1.0})
+        other = ctx.copy(temperature=125.0)
+        assert other.temperature == 125.0 and other.variables == {"a": 1.0}
+        other.set_variable("a", 2.0)
+        assert ctx.variables["a"] == 1.0
+
+
+class TestSweeps:
+    def test_log_sweep_bounds_and_monotonic(self):
+        freqs = log_sweep(1.0, 1e6, 10)
+        assert freqs[0] == pytest.approx(1.0) and freqs[-1] == pytest.approx(1e6)
+        assert np.all(np.diff(freqs) > 0)
+        assert len(freqs) == 61
+
+    def test_log_sweep_errors(self):
+        with pytest.raises(SweepError):
+            log_sweep(0.0, 1e3)
+        with pytest.raises(SweepError):
+            log_sweep(1e3, 1e3)
+        with pytest.raises(SweepError):
+            log_sweep(1.0, 10.0, 0)
+
+    def test_lin_sweep(self):
+        values = lin_sweep(0.0, 1.0, 11)
+        assert len(values) == 11 and values[5] == pytest.approx(0.5)
+        with pytest.raises(SweepError):
+            lin_sweep(1.0, 0.0)
+
+    def test_decade_sweep(self):
+        freqs = decade_sweep(0, 3, 5)
+        assert freqs[0] == pytest.approx(1.0) and freqs[-1] == pytest.approx(1000.0)
+
+    def test_around_centres_geometrically(self):
+        freqs = around(1e6, span_decades=2.0, points_per_decade=10)
+        assert freqs[0] == pytest.approx(1e5, rel=1e-9)
+        assert freqs[-1] == pytest.approx(1e7, rel=1e-9)
+
+    @given(st.floats(min_value=1e-3, max_value=1e9),
+           st.floats(min_value=1.1, max_value=1e4))
+    def test_log_sweep_endpoints_property(self, start, ratio):
+        freqs = log_sweep(start, start * ratio, 7)
+        assert freqs[0] == pytest.approx(start, rel=1e-9)
+        assert freqs[-1] == pytest.approx(start * ratio, rel=1e-9)
+        assert np.all(np.diff(np.log(freqs)) > 0)
+
+
+class TestFrequencySweep:
+    def test_default_range(self):
+        sweep = FrequencySweep()
+        assert sweep.start == FrequencySweep.DEFAULT_START
+        assert sweep.stop == FrequencySweep.DEFAULT_STOP
+        assert len(sweep) > 100
+
+    def test_coerce_accepts_arrays_and_none(self):
+        assert isinstance(FrequencySweep.coerce(None), FrequencySweep)
+        sweep = FrequencySweep.coerce([1.0, 10.0, 100.0])
+        assert list(sweep.frequencies) == [1.0, 10.0, 100.0]
+        same = FrequencySweep(10, 1e3, 5)
+        assert FrequencySweep.coerce(same) is same
+
+    def test_explicit_list_validation(self):
+        with pytest.raises(SweepError):
+            FrequencySweep(frequencies=[1.0])
+        with pytest.raises(SweepError):
+            FrequencySweep(frequencies=[1.0, 1.0, 2.0])
+        with pytest.raises(SweepError):
+            FrequencySweep(frequencies=[-1.0, 1.0])
+
+    def test_refined_increases_density(self):
+        sweep = FrequencySweep(1.0, 1e3, 10)
+        fine = sweep.refined(4)
+        assert len(fine) > 3 * len(sweep)
+        assert fine.start == pytest.approx(sweep.start)
+        assert fine.stop == pytest.approx(sweep.stop)
+
+    def test_refined_explicit_list(self):
+        sweep = FrequencySweep(frequencies=[1.0, 10.0, 100.0])
+        fine = sweep.refined(4)
+        assert len(fine) == 9
+        assert fine.frequencies[0] == pytest.approx(1.0)
+        assert fine.frequencies[-1] == pytest.approx(100.0)

@@ -1,0 +1,126 @@
+"""Tests for MNA assembly and the linear-algebra layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.context import AnalysisContext
+from repro.analysis.mna import MNASystem
+from repro.circuit import CircuitBuilder
+from repro.circuit.elements import CCCS, Resistor, VoltageSource, branch_key
+from repro.circuit.netlist import Circuit
+from repro.exceptions import NetlistError, SingularMatrixError
+
+
+def divider() -> Circuit:
+    builder = CircuitBuilder("divider")
+    builder.voltage_source("in", "0", dc=2.0, name="V1")
+    builder.resistor("in", "out", 1e3, name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    return builder.build()
+
+
+class TestIndexing:
+    def test_nodes_then_branches(self):
+        system = MNASystem(divider())
+        assert system.node_names == ["in", "out"]
+        assert system.branch_names == [branch_key("V1")]
+        assert system.size == 3
+
+    def test_ground_maps_to_none(self):
+        system = MNASystem(divider())
+        assert system.index_of("0") is None
+        assert system.index_of("gnd") is None
+
+    def test_unknown_variable_raises(self):
+        system = MNASystem(divider())
+        with pytest.raises(NetlistError):
+            system.index_of("nothere")
+
+    def test_duplicate_branch_rejected(self):
+        circuit = Circuit("dup")
+        circuit.add(VoltageSource("V1", "a", "0", dc=1.0))
+        # A second element claiming the same branch name.
+        rogue = VoltageSource("v1x", "a", "0", dc=1.0)
+        rogue.branches = lambda: (branch_key("V1"),)
+        circuit.add(rogue)
+        with pytest.raises(NetlistError):
+            MNASystem(circuit)
+
+    def test_empty_circuit_rejected(self):
+        circuit = Circuit("only ground")
+        circuit.add(Resistor("R1", "0", "gnd", 1.0))
+        with pytest.raises(NetlistError):
+            MNASystem(circuit)
+
+
+class TestStamps:
+    def test_conductance_stamp_symmetry(self):
+        system = MNASystem(divider()).stamp()
+        i = system.index_of("in")
+        o = system.index_of("out")
+        assert system.G[i, i] == pytest.approx(1e-3)
+        assert system.G[o, o] == pytest.approx(2e-3)
+        assert system.G[i, o] == pytest.approx(-1e-3)
+        assert system.G[o, i] == pytest.approx(-1e-3)
+
+    def test_voltage_source_branch_rows(self):
+        system = MNASystem(divider()).stamp()
+        br = system.index_of(branch_key("V1"))
+        i = system.index_of("in")
+        assert system.G[br, i] == 1.0 and system.G[i, br] == 1.0
+        assert system.b_dc[br] == pytest.approx(2.0)
+
+    def test_divider_solution(self):
+        system = MNASystem(divider()).stamp()
+        x = system.solve(system.G, system.b_dc)
+        view = system.solution_view(x)
+        assert view.voltage("out") == pytest.approx(1.0)
+        assert view.voltage("in") == pytest.approx(2.0)
+        # 1 mA flows from the + terminal through the source.
+        assert view.current(branch_key("V1")) == pytest.approx(-1e-3)
+
+    def test_capacitance_goes_to_C(self):
+        builder = CircuitBuilder("rc")
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.resistor("in", "out", 1e3)
+        builder.capacitor("out", "0", 1e-9, name="C1")
+        system = MNASystem(builder.build()).stamp()
+        o = system.index_of("out")
+        assert system.C[o, o] == pytest.approx(1e-9)
+        assert system.G[o, o] == pytest.approx(1e-3)
+
+    def test_cccs_requires_control_branch(self):
+        circuit = Circuit("bad cccs")
+        circuit.add(Resistor("R1", "a", "0", 1e3))
+        circuit.add(CCCS("F1", "a", "0", "Vmissing", 2.0))
+        with pytest.raises(NetlistError):
+            MNASystem(circuit).stamp()
+
+    def test_singular_matrix_reported(self):
+        circuit = Circuit("floating node")
+        circuit.add(VoltageSource("V1", "in", "0", dc=1.0))
+        circuit.add(Resistor("R1", "in", "0", 1e3))
+        circuit.add(Resistor("R2", "a", "b", 1e3))   # disconnected island
+        system = MNASystem(circuit).stamp()
+        with pytest.raises(SingularMatrixError):
+            system.solve(system.G, system.b_dc)
+
+    def test_hierarchical_circuit_is_flattened_automatically(self):
+        builder = CircuitBuilder("top")
+        cell = builder.subcircuit("rcell", ["p"])
+        cell.resistor("p", "0", 1e3)
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.instance("X1", "rcell", ["in"])
+        system = MNASystem(builder.circuit)
+        assert "in" in system.node_names
+
+    def test_context_variables_visible(self):
+        builder = CircuitBuilder("var")
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.resistor("in", "0", "rload")
+        builder.variable("rload", 500.0)
+        circuit = builder.build()
+        system = MNASystem(circuit, AnalysisContext())
+        system.stamp()
+        i = system.index_of("in")
+        assert system.G[i, i] == pytest.approx(1.0 / 500.0)

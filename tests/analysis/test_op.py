@@ -1,0 +1,201 @@
+"""Tests for the DC operating-point solver."""
+
+import math
+
+import pytest
+
+from repro.analysis import NewtonOptions, operating_point
+from repro.circuit import CircuitBuilder
+from repro.circuit.elements import BJTModel, DiodeModel, MOSFETModel
+from repro.circuit.units import thermal_voltage
+from repro.circuits.models import NPN, PNP
+from repro.exceptions import ConvergenceError
+
+
+class TestLinearCircuits:
+    def test_divider(self):
+        builder = CircuitBuilder("divider")
+        builder.voltage_source("in", "0", dc=10.0)
+        builder.resistor("in", "out", 1e3)
+        builder.resistor("out", "0", 4e3)
+        op = operating_point(builder.build())
+        assert op.voltage("out") == pytest.approx(8.0)
+        assert op.strategy == "linear"
+        assert op.iterations == 0
+
+    def test_current_source_into_resistor(self):
+        builder = CircuitBuilder("ir")
+        builder.current_source("0", "out", dc=1e-3)   # inject 1 mA into 'out'
+        builder.resistor("out", "0", 2e3)
+        op = operating_point(builder.build())
+        assert op.voltage("out") == pytest.approx(2.0)
+
+    def test_vcvs_gain(self):
+        builder = CircuitBuilder("vcvs")
+        builder.voltage_source("in", "0", dc=0.1)
+        builder.resistor("in", "0", 1e3)
+        builder.vcvs("out", "0", "in", "0", 25.0)
+        builder.resistor("out", "0", 1e3)
+        op = operating_point(builder.build())
+        assert op.voltage("out") == pytest.approx(2.5)
+
+    def test_cccs_mirror(self):
+        builder = CircuitBuilder("cccs")
+        builder.voltage_source("in", "0", dc=1.0, name="Vin")
+        builder.voltage_source("sense", "mid", dc=0.0, name="Vsense")
+        builder.resistor("in", "sense", 1e3)
+        builder.resistor("mid", "0", 1.0)
+        builder.cccs("0", "out", "Vsense", 2.0)
+        builder.resistor("out", "0", 1e3)
+        op = operating_point(builder.build())
+        # ~1 mA through Vsense, doubled into 1 kOhm -> ~2 V.
+        assert op.voltage("out") == pytest.approx(2.0, rel=1e-2)
+
+    def test_inductor_is_dc_short(self):
+        builder = CircuitBuilder("lr")
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.inductor("in", "out", 1e-3)
+        builder.resistor("out", "0", 1e3)
+        op = operating_point(builder.build())
+        assert op.voltage("out") == pytest.approx(1.0)
+
+    def test_branch_current_accessor(self):
+        builder = CircuitBuilder("branch")
+        builder.voltage_source("in", "0", dc=1.0, name="V1")
+        builder.resistor("in", "0", 1e3)
+        op = operating_point(builder.build())
+        from repro.circuit.elements import branch_key
+
+        assert op.current(branch_key("V1")) == pytest.approx(-1e-3)
+
+    def test_voltages_dictionary_excludes_branches(self):
+        builder = CircuitBuilder("dict")
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.resistor("in", "0", 1e3)
+        voltages = operating_point(builder.build()).voltages()
+        assert set(voltages) == {"in"}
+
+
+class TestNonlinearCircuits:
+    def test_diode_resistor(self):
+        builder = CircuitBuilder("d")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.resistor("vcc", "a", 1e3)
+        builder.diode("a", "0", DiodeModel(IS=1e-14))
+        op = operating_point(builder.build())
+        vd = op.voltage("a")
+        current = (5.0 - vd) / 1e3
+        # The solution must satisfy the diode equation itself.
+        assert current == pytest.approx(1e-14 * (math.exp(vd / thermal_voltage()) - 1),
+                                        rel=1e-3)
+        assert 0.6 < vd < 0.8
+
+    def test_diode_reverse_biased(self):
+        builder = CircuitBuilder("drev")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.resistor("vcc", "a", 1e3)
+        builder.diode("0", "a", DiodeModel(IS=1e-14))   # reversed
+        op = operating_point(builder.build())
+        assert op.voltage("a") == pytest.approx(5.0, abs=1e-3)
+
+    def test_bjt_current_mirror_ratio(self):
+        builder = CircuitBuilder("mirror")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.current_source("vcc", "ref", dc=100e-6)
+        builder.bjt("ref", "ref", "0", NPN, name="Q1")
+        builder.bjt("out", "ref", "0", NPN, name="Q2", area=2.0)
+        builder.resistor("vcc", "out", 10e3)
+        op = operating_point(builder.build())
+        ratio = op.device_info["Q2"]["ic"] / op.device_info["Q1"]["ic"]
+        assert ratio == pytest.approx(2.0, rel=0.1)
+
+    def test_bjt_operating_point_info(self):
+        builder = CircuitBuilder("ce")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.voltage_source("vb", "0", dc=0.65)
+        builder.resistor("vcc", "c", 10e3)
+        builder.bjt("c", "vb", "0", NPN, name="Q1")
+        op = operating_point(builder.build())
+        info = op.device_info["Q1"]
+        # gm = Ic/Vt for a BJT in forward active.
+        assert info["gm"] == pytest.approx(info["ic"] / thermal_voltage(), rel=0.05)
+        assert info["rpi"] == pytest.approx(NPN.BF / info["gm"], rel=0.1)
+
+    def test_pnp_polarity(self):
+        builder = CircuitBuilder("pnp")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.resistor("c", "0", 10e3)
+        builder.bjt("c", "b", "vcc", PNP, name="Q1")
+        builder.voltage_source("b", "0", dc=4.35)
+        op = operating_point(builder.build())
+        ic = op.device_info["Q1"]["ic"]
+        assert ic > 1e-6
+        # The collector current flows out of the PNP collector into the
+        # 10 kOhm resistor, so v(c) = ic * 10k.
+        assert op.voltage("c") == pytest.approx(ic * 10e3, rel=0.02)
+
+    def test_mosfet_saturation_square_law(self):
+        model = MOSFETModel(VTO=0.7, KP=100e-6, LAMBDA=0.0)
+        builder = CircuitBuilder("nmos")
+        builder.voltage_source("vdd", "0", dc=3.3)
+        builder.voltage_source("vg", "0", dc=1.2)
+        builder.resistor("vdd", "d", 1e3)
+        builder.mosfet("d", "vg", "0", "0", model, width=10e-6, length=1e-6, name="M1")
+        op = operating_point(builder.build())
+        info = op.device_info["M1"]
+        expected = 0.5 * 100e-6 * 10 * (1.2 - 0.7) ** 2
+        assert info["region"] == "saturation"
+        assert info["id"] == pytest.approx(expected, rel=1e-3)
+        assert op.voltage("d") == pytest.approx(3.3 - expected * 1e3, rel=1e-3)
+
+    def test_mosfet_source_drain_swap(self):
+        model = MOSFETModel(VTO=0.7, KP=100e-6, LAMBDA=0.0)
+        builder = CircuitBuilder("swap")
+        builder.voltage_source("vdd", "0", dc=2.0)
+        builder.voltage_source("vg", "0", dc=3.0)
+        # Source terminal wired to the higher potential: device conducts
+        # "backwards" and the model must swap roles internally.
+        builder.mosfet("0", "vg", "d", "0", model, width=10e-6, length=1e-6, name="M1")
+        builder.resistor("vdd", "d", 10e3)
+        op = operating_point(builder.build())
+        assert op.device_info["M1"]["swapped"] is True
+        assert op.voltage("d") < 2.0
+
+    def test_diode_bridge_needs_homotopy_or_converges(self):
+        # Two stacked junctions from a high supply: a classic case where
+        # plain Newton needs limiting; the solver must find ~1.4 V.
+        builder = CircuitBuilder("stack")
+        builder.voltage_source("vcc", "0", dc=10.0)
+        builder.resistor("vcc", "a", 1e3)
+        builder.diode("a", "b", DiodeModel(IS=1e-15))
+        builder.diode("b", "0", DiodeModel(IS=1e-15))
+        op = operating_point(builder.build())
+        assert 1.2 < op.voltage("a") < 1.7
+        assert op.voltage("b") == pytest.approx(op.voltage("a") / 2, rel=0.05)
+
+    def test_initial_guess_honoured(self):
+        builder = CircuitBuilder("guess")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.resistor("vcc", "a", 1e3)
+        builder.diode("a", "0", DiodeModel())
+        op = operating_point(builder.build(), initial_guess={"a": 0.7})
+        assert 0.6 < op.voltage("a") < 0.8
+
+    def test_non_physical_solution_rejected(self):
+        # The zero-TC bias cell at -40 C tempts plain Newton into the
+        # linearised-exponential false solution; the solver must fall back
+        # to a homotopy and deliver physical currents.
+        from repro.circuits import bias_circuit
+
+        op = operating_point(bias_circuit().circuit, temperature=-40.0)
+        assert op.device_info["QN2"]["ic"] < 1e-3
+        assert 0.5 < op.voltage("nb") < 1.0
+
+    def test_convergence_error_reports_details(self):
+        builder = CircuitBuilder("hard")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.resistor("vcc", "a", 1e3)
+        builder.diode("a", "0", DiodeModel(IS=1e-14))
+        options = NewtonOptions(max_iterations=1, gmin_steps=1, source_steps=1)
+        with pytest.raises(ConvergenceError):
+            operating_point(builder.build(), options=options)

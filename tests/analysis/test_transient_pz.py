@@ -1,0 +1,168 @@
+"""Tests for the transient integrator and the pole analysis."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    FrequencySweep,
+    operating_point,
+    pole_analysis,
+    transient_analysis,
+)
+from repro.circuit import CircuitBuilder
+from repro.circuit.elements import DiodeModel, Pulse, Sine, Step
+from repro.circuits.models import NPN
+from repro.exceptions import AnalysisError
+from repro.waveform import overshoot_percent
+
+
+def rc_step(r=1e3, c=100e-9, v=1.0, delay=1e-6):
+    builder = CircuitBuilder("rc step")
+    builder.voltage_source("in", "0", dc=0.0,
+                           waveform=Step(0.0, v, time=delay, rise=1e-9), name="Vin")
+    builder.resistor("in", "out", r)
+    builder.capacitor("out", "0", c)
+    return builder.build()
+
+
+class TestTransientLinear:
+    def test_rc_charging_curve(self):
+        tau = 1e3 * 100e-9
+        tran = transient_analysis(rc_step(), stop_time=10 * tau, time_step=tau / 50)
+        out = tran.waveform("out")
+        t_probe = 1e-6 + tau
+        assert out.at(t_probe) == pytest.approx(1 - math.exp(-1), rel=0.02)
+        assert out.at(1e-6 + 5 * tau) == pytest.approx(1 - math.exp(-5), rel=0.02)
+
+    def test_argument_validation(self):
+        with pytest.raises(AnalysisError):
+            transient_analysis(rc_step(), stop_time=0.0, time_step=1e-9)
+        with pytest.raises(AnalysisError):
+            transient_analysis(rc_step(), stop_time=1e-6, time_step=1e-5)
+
+    def test_initial_condition_is_operating_point(self):
+        builder = CircuitBuilder("precharged")
+        builder.voltage_source("in", "0", dc=2.0, name="Vin")
+        builder.resistor("in", "out", 1e3)
+        builder.capacitor("out", "0", 1e-9)
+        tran = transient_analysis(builder.build(), stop_time=1e-5, time_step=1e-7)
+        assert np.allclose(tran.voltage("out"), 2.0, atol=1e-6)
+
+    def test_sine_steady_state_amplitude(self):
+        builder = CircuitBuilder("sine")
+        builder.voltage_source("in", "0", dc=0.0,
+                               waveform=Sine(0.0, 1.0, 1e3), name="Vin")
+        builder.resistor("in", "out", 1e3)
+        builder.resistor("out", "0", 1e3)
+        tran = transient_analysis(builder.build(), stop_time=2e-3, time_step=1e-6)
+        out = tran.voltage("out")
+        assert np.max(out) == pytest.approx(0.5, rel=0.01)
+        assert np.min(out) == pytest.approx(-0.5, rel=0.01)
+
+    def test_pulse_breakpoints_resolved(self):
+        builder = CircuitBuilder("pulse")
+        builder.voltage_source("in", "0", dc=0.0,
+                               waveform=Pulse(0, 1, delay=1e-6, rise=1e-9, fall=1e-9,
+                                              width=2e-6), name="Vin")
+        builder.resistor("in", "out", 10.0)
+        builder.resistor("out", "0", 1e6)
+        tran = transient_analysis(builder.build(), stop_time=5e-6, time_step=0.5e-6)
+        out = tran.waveform("out")
+        assert out.at(2e-6) == pytest.approx(1.0, rel=1e-3)
+        assert out.at(4.5e-6) == pytest.approx(0.0, abs=1e-3)
+
+    def test_rlc_overshoot_matches_second_order_theory(self):
+        # Series RLC low-pass with zeta = 0.3 -> ~37 % overshoot.
+        zeta, f0 = 0.3, 1e5
+        ell = 1e-3
+        c = 1.0 / ((2 * math.pi * f0) ** 2 * ell)
+        r = 2 * zeta * math.sqrt(ell / c)
+        builder = CircuitBuilder("rlc")
+        builder.voltage_source("in", "0", dc=0.0,
+                               waveform=Step(0, 1, time=1e-6, rise=1e-9), name="Vin")
+        builder.resistor("in", "a", r)
+        builder.inductor("a", "out", ell)
+        builder.capacitor("out", "0", c)
+        period = 1.0 / f0
+        tran = transient_analysis(builder.build(), stop_time=20 * period,
+                                  time_step=period / 100)
+        over = overshoot_percent(tran.waveform("out"))
+        assert over == pytest.approx(37.2, abs=2.5)
+
+
+class TestTransientNonlinear:
+    def test_diode_rectifier(self):
+        builder = CircuitBuilder("rectifier")
+        builder.voltage_source("in", "0", dc=0.0,
+                               waveform=Sine(0.0, 5.0, 1e3), name="Vin")
+        builder.diode("in", "out", DiodeModel(IS=1e-14))
+        builder.resistor("out", "0", 10e3)
+        tran = transient_analysis(builder.build(), stop_time=2e-3, time_step=2e-6)
+        out = tran.voltage("out")
+        assert np.max(out) == pytest.approx(5.0 - 0.6, abs=0.3)
+        assert np.min(out) > -0.1
+
+    def test_linearized_matches_nonlinear_for_small_signals(self):
+        def build():
+            builder = CircuitBuilder("ce small signal")
+            builder.voltage_source("vcc", "0", dc=5.0)
+            builder.voltage_source("vb", "0", dc=0.65,
+                                   waveform=Step(0.65, 0.6505, time=1e-7, rise=1e-9),
+                                   name="Vb")
+            builder.resistor("vcc", "c", 10e3)
+            builder.bjt("c", "vb", "0", NPN, name="Q1")
+            return builder.build()
+
+        full = transient_analysis(build(), stop_time=2e-6, time_step=5e-9,
+                                  linearize=False)
+        lin = transient_analysis(build(), stop_time=2e-6, time_step=5e-9,
+                                 linearize=True)
+        delta_full = full.voltage("c")[-1] - full.voltage("c")[0]
+        delta_lin = lin.voltage("c")[-1] - lin.voltage("c")[0]
+        assert delta_full == pytest.approx(delta_lin, rel=0.05)
+        assert delta_full < 0  # inverting stage
+
+
+class TestPoleAnalysis:
+    def test_rc_single_pole(self):
+        builder = CircuitBuilder("rc")
+        builder.voltage_source("in", "0", dc=1.0, name="Vin")
+        builder.resistor("in", "out", 1e3)
+        builder.capacitor("out", "0", 1e-9)
+        pz = pole_analysis(builder.build())
+        real_poles = pz.real_poles()
+        expected = -1.0 / (1e3 * 1e-9)
+        assert any(p == pytest.approx(expected, rel=1e-6) for p in real_poles)
+
+    def test_parallel_rlc_pair(self):
+        builder = CircuitBuilder("rlc")
+        builder.current_source("0", "tank", dc=0.0, ac=1.0)
+        builder.resistor("tank", "0", 1e3)
+        builder.inductor("tank", "0", 1e-3)
+        builder.capacitor("tank", "0", 1e-9)
+        pz = pole_analysis(builder.build())
+        pair = pz.dominant_complex_pair()
+        assert pair is not None
+        assert pz.natural_frequency(pair) == pytest.approx(1.0 / (2 * math.pi * math.sqrt(1e-3 * 1e-9)), rel=1e-6)
+        assert pz.damping_ratio(pair) == pytest.approx(0.5 * math.sqrt(1e-3 / 1e-9) / 1e3, rel=1e-6)
+
+    def test_no_unstable_poles_in_stable_circuit(self):
+        builder = CircuitBuilder("stable")
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.resistor("in", "out", 1e3)
+        builder.capacitor("out", "0", 1e-9)
+        assert pole_analysis(builder.build()).unstable_poles() == []
+
+    def test_positive_feedback_rhp_pole(self):
+        # A VCCS feeding its own controlling node with gm > 1/R produces a
+        # right-half-plane (unstable) real pole.
+        builder = CircuitBuilder("latch")
+        builder.resistor("x", "0", 1e3)
+        builder.capacitor("x", "0", 1e-9)
+        builder.vccs("0", "x", "x", "0", 2e-3)   # current 2m*v(x) INTO x
+        builder.voltage_source("ref", "0", dc=1.0)
+        builder.resistor("ref", "x", 1e6)
+        pz = pole_analysis(builder.build())
+        assert len(pz.unstable_poles()) == 1

@@ -1,0 +1,163 @@
+"""Tests for element construction, terminals, branches and source waveforms."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.circuit.elements import (
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    Step,
+    VCCS,
+    VCVS,
+    VoltageSource,
+    branch_key,
+    is_ground,
+)
+from repro.exceptions import NetlistError
+
+
+class TestBasics:
+    def test_ground_names(self):
+        for name in ("0", "gnd", "GND", "vss!", "ground"):
+            assert is_ground(name)
+        assert not is_ground("out")
+
+    def test_branch_key_is_namespaced(self):
+        assert branch_key("V1").startswith("#branch:")
+        assert branch_key("V1", "aux") != branch_key("V1")
+
+    def test_element_requires_name(self):
+        with pytest.raises(NetlistError):
+            Resistor("", "a", "b", 1.0)
+
+    def test_two_terminal_terminals(self):
+        r = Resistor("R1", "a", "b", "1k")
+        assert r.terminals() == {"pos": "a", "neg": "b"}
+        assert r.node_pos == "a" and r.node_neg == "b"
+
+    def test_rename_nodes(self):
+        r = Resistor("R1", "a", "b", 1.0)
+        r.rename_nodes({"a": "x1.a"})
+        assert r.nodes == ("x1.a", "b")
+
+    def test_clone_is_independent(self):
+        r = Resistor("R1", "a", "b", 1.0)
+        clone = r.clone()
+        clone.name = "R2"
+        clone.rename_nodes({"a": "c"})
+        assert r.name == "R1" and r.nodes == ("a", "b")
+
+
+class TestPassives:
+    def test_inductor_and_voltage_source_have_branches(self):
+        assert Inductor("L1", "a", "b", 1e-3).branches() == (branch_key("L1"),)
+        assert VoltageSource("V1", "a", "0", dc=1.0).branches() == (branch_key("V1"),)
+        assert Resistor("R1", "a", "b", 1.0).branches() == ()
+        assert Capacitor("C1", "a", "b", 1e-9).branches() == ()
+
+    def test_capacitor_ic_stored(self):
+        c = Capacitor("C1", "a", "0", "1u", ic=2.5)
+        assert c.ic == 2.5
+
+
+class TestSources:
+    def test_ac_phasor(self):
+        v = VoltageSource("V1", "a", "0", dc=1.0, ac_mag=2.0, ac_phase=90.0)
+        assert v.ac_value() == pytest.approx(2j, abs=1e-12)
+
+    def test_zero_ac(self):
+        v = VoltageSource("V1", "a", "0", ac_mag=1.0)
+        assert v.has_ac
+        v.zero_ac()
+        assert not v.has_ac and v.ac_value() == 0
+
+    def test_transient_value_defaults_to_dc(self):
+        i = CurrentSource("I1", "a", "0", dc=3.0)
+        assert i.transient_value(1e-3) == 3.0
+
+    def test_transient_value_uses_waveform(self):
+        v = VoltageSource("V1", "a", "0", dc=0.0,
+                          waveform=Step(0.0, 1.0, time=1e-6, rise=1e-9))
+        assert v.transient_value(0.0) == 0.0
+        assert v.transient_value(2e-6) == 1.0
+
+
+class TestWaveforms:
+    def test_pulse_shape(self):
+        p = Pulse(0.0, 1.0, delay=1e-6, rise=1e-7, fall=1e-7, width=1e-6)
+        assert p.value_at(0.0) == 0.0
+        assert p.value_at(1.05e-6) == pytest.approx(0.5)
+        assert p.value_at(1.5e-6) == 1.0
+        assert p.value_at(2.15e-6) == pytest.approx(0.5)
+        assert p.value_at(5e-6) == 0.0
+
+    def test_pulse_periodic(self):
+        p = Pulse(0.0, 1.0, delay=0.0, rise=1e-9, fall=1e-9, width=0.5e-6, period=1e-6)
+        assert p.value_at(0.25e-6) == 1.0
+        assert p.value_at(1.25e-6) == 1.0
+        assert p.value_at(0.75e-6) == 0.0
+
+    def test_pulse_breakpoints_sorted(self):
+        p = Pulse(0.0, 1.0, delay=1e-6, rise=1e-7, fall=1e-7, width=1e-6)
+        bp = list(p.breakpoints())
+        assert bp == sorted(bp) and len(bp) == 4
+
+    def test_step(self):
+        s = Step(1.0, 2.0, time=1e-3, rise=1e-6)
+        assert s.value_at(0.0) == 1.0
+        assert s.value_at(1e-3 + 0.5e-6) == pytest.approx(1.5)
+        assert s.value_at(2e-3) == 2.0
+
+    def test_sine(self):
+        s = Sine(offset=1.0, amplitude=0.5, frequency=1e3)
+        assert s.value_at(0.0) == pytest.approx(1.0)
+        assert s.value_at(0.25e-3) == pytest.approx(1.5)
+        assert s.value_at(0.75e-3) == pytest.approx(0.5)
+
+    def test_sine_damping(self):
+        s = Sine(offset=0.0, amplitude=1.0, frequency=1e3, damping=1e3)
+        assert abs(s.value_at(5.25e-3)) < 1.0 * math.exp(-5)
+
+    def test_pwl(self):
+        w = PiecewiseLinear([(0.0, 0.0), (1e-3, 1.0), (2e-3, -1.0)])
+        assert w.value_at(-1.0) == 0.0
+        assert w.value_at(0.5e-3) == pytest.approx(0.5)
+        assert w.value_at(1.5e-3) == pytest.approx(0.0)
+        assert w.value_at(10.0) == -1.0
+
+    def test_pwl_requires_increasing_times(self):
+        with pytest.raises(NetlistError):
+            PiecewiseLinear([(0.0, 0.0), (0.0, 1.0)])
+
+    def test_pwl_requires_points(self):
+        with pytest.raises(NetlistError):
+            PiecewiseLinear([])
+
+
+class TestControlledSources:
+    def test_vcvs_vccs_have_four_nodes(self):
+        e = VCVS("E1", "o", "0", "a", "b", 10.0)
+        g = VCCS("G1", "o", "0", "a", "b", 1e-3)
+        assert e.ctrl_pos == "a" and e.ctrl_neg == "b"
+        assert g.node_pos == "o" and g.ctrl_neg == "b"
+        assert e.branches() and not g.branches()
+
+    def test_cccs_ccvs_reference_control_source(self):
+        f = CCCS("F1", "o", "0", "Vsense", 5.0)
+        h = CCVS("H1", "o", "0", "Vsense", 1e3)
+        assert f.control_branch == branch_key("Vsense")
+        assert h.control_branch == branch_key("Vsense")
+        assert h.branches() == (branch_key("H1"),)
+
+    def test_cccs_requires_control_name(self):
+        with pytest.raises(NetlistError):
+            CCCS("F1", "o", "0", "", 1.0)

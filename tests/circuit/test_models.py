@@ -1,0 +1,101 @@
+"""Tests for semiconductor device models (parameter validation, temperature)."""
+
+import math
+
+import pytest
+
+from repro.circuit.elements import (
+    BJT,
+    BJTModel,
+    Diode,
+    DiodeModel,
+    MOSFET,
+    MOSFETModel,
+)
+from repro.exceptions import ModelError
+
+
+class TestDiodeModel:
+    def test_defaults_are_valid(self):
+        model = DiodeModel()
+        assert model.IS > 0 and 0 < model.FC < 1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"IS": 0.0}, {"IS": -1e-15}, {"N": 0.0}, {"FC": 1.5},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            DiodeModel(**kwargs)
+
+    def test_saturation_current_increases_with_temperature(self):
+        model = DiodeModel(IS=1e-14)
+        assert model.saturation_current(100.0) > model.saturation_current(27.0)
+        assert model.saturation_current(27.0) == pytest.approx(1e-14, rel=1e-6)
+
+    def test_with_updates_returns_copy(self):
+        model = DiodeModel(IS=1e-14)
+        updated = model.with_updates(IS=2e-14)
+        assert updated.IS == 2e-14 and model.IS == 1e-14
+
+    def test_area_must_be_positive(self):
+        with pytest.raises(ModelError):
+            Diode("D1", "a", "c", DiodeModel(), area=0.0)
+
+
+class TestBJTModel:
+    def test_polarity_validation(self):
+        assert BJTModel(polarity="npn").sign == 1.0
+        assert BJTModel(polarity="PNP").sign == -1.0
+        with pytest.raises(ModelError):
+            BJTModel(polarity="mosfet")
+
+    @pytest.mark.parametrize("kwargs", [
+        {"IS": 0.0}, {"BF": 0.0}, {"BR": -1.0}, {"VAF": 0.0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            BJTModel(**kwargs)
+
+    def test_beta_temperature_scaling(self):
+        model = BJTModel(BF=100.0, XTB=1.5)
+        assert model.beta_forward(125.0) > 100.0
+        assert model.beta_forward(-40.0) < 100.0
+        flat = BJTModel(BF=100.0, XTB=0.0)
+        assert flat.beta_forward(125.0) == pytest.approx(100.0)
+
+    def test_terminals(self):
+        q = BJT("Q1", "c", "b", "e", BJTModel())
+        assert q.terminals() == {"collector": "c", "base": "b", "emitter": "e"}
+        assert q.is_nonlinear
+
+    def test_bjt_area_must_be_positive(self):
+        with pytest.raises(ModelError):
+            BJT("Q1", "c", "b", "e", BJTModel(), area=-1.0)
+
+
+class TestMOSFETModel:
+    def test_polarity_validation(self):
+        assert MOSFETModel(polarity="nmos").sign == 1.0
+        assert MOSFETModel(polarity="pmos").sign == -1.0
+        with pytest.raises(ModelError):
+            MOSFETModel(polarity="npn")
+
+    @pytest.mark.parametrize("kwargs", [{"KP": 0.0}, {"PHI": -0.1}])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            MOSFETModel(**kwargs)
+
+    def test_temperature_coefficients(self):
+        model = MOSFETModel(KP=100e-6, KPTC=-2e-3, VTO=0.7, VTOTC=-1e-3)
+        assert model.kp_at(127.0) == pytest.approx(100e-6 * (1 - 2e-3 * 100))
+        assert model.vto_at(127.0) == pytest.approx(0.7 - 0.1)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ModelError):
+            MOSFET("M1", "d", "g", "s", "b", MOSFETModel(), width=0.0)
+        with pytest.raises(ModelError):
+            MOSFET("M1", "d", "g", "s", "b", MOSFETModel(), length=-1e-6)
+
+    def test_terminals(self):
+        m = MOSFET("M1", "d", "g", "s", "b", MOSFETModel())
+        assert m.terminals() == {"drain": "d", "gate": "g", "source": "s", "bulk": "b"}

@@ -1,0 +1,202 @@
+"""Tests for the Circuit container and subcircuit hierarchy."""
+
+import pytest
+
+from repro.circuit import (
+    Capacitor,
+    Circuit,
+    CircuitBuilder,
+    CurrentSource,
+    Resistor,
+    SubcircuitDefinition,
+    VoltageSource,
+)
+from repro.exceptions import NetlistError
+
+
+def simple_rc() -> Circuit:
+    circuit = Circuit("rc")
+    circuit.add(VoltageSource("V1", "in", "0", dc=1.0, ac_mag=1.0))
+    circuit.add(Resistor("R1", "in", "out", 1e3))
+    circuit.add(Capacitor("C1", "out", "0", 1e-9))
+    return circuit
+
+
+class TestElementManagement:
+    def test_add_and_lookup_case_insensitive(self):
+        circuit = simple_rc()
+        assert "r1" in circuit and "R1" in circuit
+        assert circuit["r1"] is circuit["R1"]
+
+    def test_duplicate_names_rejected(self):
+        circuit = simple_rc()
+        with pytest.raises(NetlistError):
+            circuit.add(Resistor("r1", "a", "b", 1.0))
+
+    def test_remove(self):
+        circuit = simple_rc()
+        removed = circuit.remove("C1")
+        assert removed.name == "C1" and "C1" not in circuit
+        with pytest.raises(NetlistError):
+            circuit.remove("C1")
+
+    def test_getitem_unknown_raises(self):
+        with pytest.raises(NetlistError):
+            simple_rc()["R99"]
+
+    def test_elements_of_type(self):
+        circuit = simple_rc()
+        assert len(circuit.elements_of_type(Resistor)) == 1
+        assert len(circuit.elements_of_type((Resistor, Capacitor))) == 2
+
+    def test_unique_name(self):
+        circuit = simple_rc()
+        assert circuit.unique_name("R") == "R2"
+        assert circuit.unique_name("Q") == "Q1"
+
+    def test_summary_histogram(self):
+        summary = simple_rc().summary()
+        assert summary == {"VoltageSource": 1, "Resistor": 1, "Capacitor": 1}
+
+    def test_len_and_iteration(self):
+        circuit = simple_rc()
+        assert len(circuit) == 3
+        assert {e.name for e in circuit} == {"V1", "R1", "C1"}
+
+
+class TestNodes:
+    def test_nodes_exclude_ground_by_default(self):
+        assert set(simple_rc().nodes()) == {"in", "out"}
+
+    def test_nodes_include_ground(self):
+        assert "0" in simple_rc().nodes(include_ground=True)
+
+    def test_node_elements(self):
+        circuit = simple_rc()
+        names = {e.name for e in circuit.node_elements("out")}
+        assert names == {"R1", "C1"}
+
+    def test_aliases_resolve(self):
+        circuit = simple_rc()
+        circuit.add_alias("vout", "out")
+        assert circuit.resolve_node("vout") == "out"
+        assert {e.name for e in circuit.node_elements("vout")} == {"R1", "C1"}
+
+    def test_connectivity_table(self):
+        table = simple_rc().connectivity()
+        assert set(table["out"]) == {"R1", "C1"}
+
+
+class TestValidationAndSources:
+    def test_empty_circuit_invalid(self):
+        with pytest.raises(NetlistError):
+            Circuit("empty").validate()
+
+    def test_missing_ground_invalid(self):
+        circuit = Circuit("floating")
+        circuit.add(Resistor("R1", "a", "b", 1.0))
+        circuit.add(Resistor("R2", "a", "b", 1.0))
+        with pytest.raises(NetlistError):
+            circuit.validate()
+
+    def test_single_connection_warning(self):
+        circuit = simple_rc()
+        circuit.add(Resistor("R2", "dangling", "0", 1.0))
+        warnings = circuit.validate()
+        assert any("dangling" in w for w in warnings)
+
+    def test_zero_all_ac_sources(self):
+        circuit = simple_rc()
+        circuit.add(CurrentSource("I1", "0", "out", ac_mag=2.0))
+        modified = circuit.zero_all_ac_sources()
+        assert set(modified) == {"V1", "I1"}
+        assert not circuit.ac_sources()
+
+    def test_design_variables(self):
+        circuit = simple_rc()
+        circuit.set_variables(cload=1e-9, rzero=100.0)
+        assert circuit.variables["cload"] == 1e-9
+
+
+class TestHierarchy:
+    def _rc_subckt(self) -> SubcircuitDefinition:
+        body = Circuit("rc cell")
+        body.add(Resistor("R1", "a", "b", 1e3))
+        body.add(Capacitor("C1", "b", "0", 1e-9))
+        return SubcircuitDefinition("rccell", ["a", "b"], body)
+
+    def test_instantiate_and_flatten(self):
+        top = Circuit("top")
+        top.add(VoltageSource("V1", "in", "0", dc=1.0))
+        top.define_subcircuit(self._rc_subckt())
+        top.instantiate("X1", "rccell", ["in", "mid"])
+        top.instantiate("X2", "rccell", ["mid", "out"])
+        flat = top.flattened()
+        assert "X1.R1" in flat and "X2.C1" in flat
+        nodes = set(flat.nodes())
+        assert {"in", "mid", "out"} <= nodes
+        # internal ground stays global, port nodes are shared not prefixed
+        assert flat["X1.R1"].nodes == ("in", "mid")
+        assert flat["X2.C1"].nodes == ("out", "0")
+
+    def test_port_count_mismatch(self):
+        top = Circuit("top")
+        top.define_subcircuit(self._rc_subckt())
+        with pytest.raises(NetlistError):
+            top.instantiate("X1", "rccell", ["a"])
+
+    def test_unknown_subcircuit(self):
+        with pytest.raises(NetlistError):
+            Circuit("top").instantiate("X1", "nothere", ["a", "b"])
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(NetlistError):
+            SubcircuitDefinition("bad", ["a", "a"])
+
+    def test_flatten_keeps_variables(self):
+        top = Circuit("top")
+        top.set_variable("cload", 2e-9)
+        top.add(Resistor("R1", "a", "0", 1.0))
+        flat = top.flattened()
+        assert flat.variables["cload"] == 2e-9
+
+    def test_copy_is_deep(self):
+        circuit = simple_rc()
+        duplicate = circuit.copy()
+        duplicate["R1"].rename_nodes({"in": "other"})
+        assert circuit["R1"].nodes == ("in", "out")
+
+
+class TestBuilder:
+    def test_auto_naming(self):
+        builder = CircuitBuilder("auto")
+        r1 = builder.resistor("a", "0", 1.0)
+        r2 = builder.resistor("a", "0", 2.0)
+        assert r1.name == "R1" and r2.name == "R2"
+
+    def test_build_validates(self):
+        builder = CircuitBuilder("nofloat")
+        builder.resistor("a", "b", 1.0)
+        with pytest.raises(NetlistError):
+            builder.build()
+
+    def test_builder_variables_and_alias(self):
+        builder = CircuitBuilder("vars")
+        builder.voltage_source("in", "0", dc=1.0)
+        builder.resistor("in", "out", "rval")
+        builder.resistor("out", "0", 1e3)
+        builder.variable("rval", 2.2e3)
+        builder.alias("vo", "out")
+        circuit = builder.build()
+        assert circuit.variables["rval"] == 2.2e3
+        assert circuit.resolve_node("vo") == "out"
+
+    def test_builder_subcircuit(self):
+        builder = CircuitBuilder("top")
+        cell = builder.subcircuit("divider", ["top", "mid"])
+        cell.resistor("top", "mid", 1e3)
+        cell.resistor("mid", "0", 1e3)
+        builder.voltage_source("in", "0", dc=2.0)
+        builder.instance("X1", "divider", ["in", "out"])
+        flat = builder.circuit.flattened()
+        assert "X1.R1" in flat and flat["X1.R2"].nodes == ("out", "0")

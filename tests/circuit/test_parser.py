@@ -1,0 +1,210 @@
+"""Tests for the SPICE-style netlist parser."""
+
+import pytest
+
+from repro.circuit import parse_netlist
+from repro.circuit.elements import (
+    BJT,
+    CCCS,
+    CCVS,
+    Capacitor,
+    CurrentSource,
+    Diode,
+    Inductor,
+    MOSFET,
+    PiecewiseLinear,
+    Pulse,
+    Resistor,
+    Sine,
+    VCCS,
+    VCVS,
+    VoltageSource,
+)
+from repro.exceptions import ParseError
+
+
+class TestBasicCards:
+    def test_rc_divider(self):
+        circuit = parse_netlist("""
+            V1 in 0 DC 5 AC 1
+            R1 in out 1k
+            C1 out 0 100n
+        """)
+        assert isinstance(circuit["R1"], Resistor)
+        assert circuit["R1"].resistance == pytest.approx(1e3)
+        assert circuit["C1"].capacitance == pytest.approx(100e-9)
+        assert circuit["V1"].dc == pytest.approx(5.0)
+        assert circuit["V1"].ac_mag == 1.0
+
+    def test_inductor_with_ic(self):
+        circuit = parse_netlist("L1 a 0 10u ic=1m")
+        assert isinstance(circuit["L1"], Inductor)
+        assert circuit["L1"].ic == pytest.approx(1e-3)
+
+    def test_resistor_temperature_coefficients(self):
+        circuit = parse_netlist("R1 a 0 1k tc1=1e-3 tc2=1e-6")
+        assert circuit["R1"].tc1 == pytest.approx(1e-3)
+        assert circuit["R1"].tc2 == pytest.approx(1e-6)
+
+    def test_comments_and_continuations(self):
+        circuit = parse_netlist("""
+            * a comment line
+            R1 a 0
+            + 2k   ; trailing comment
+            R2 a 0 1k
+        """)
+        assert circuit["R1"].resistance == pytest.approx(2e3)
+        assert len(circuit) == 2
+
+    def test_first_line_title(self):
+        circuit = parse_netlist("My Amplifier\nR1 a 0 1k\n", first_line_title=True)
+        assert circuit.title == "My Amplifier"
+        assert "R1" in circuit
+
+    def test_bare_value_is_dc(self):
+        circuit = parse_netlist("V1 in 0 3.3\nR1 in 0 1k")
+        assert circuit["V1"].dc == pytest.approx(3.3)
+
+
+class TestSources:
+    def test_current_source_with_ac_phase(self):
+        circuit = parse_netlist("I1 0 out DC 1u AC 1 45\nR1 out 0 1k")
+        source = circuit["I1"]
+        assert isinstance(source, CurrentSource)
+        assert source.ac_mag == 1.0 and source.ac_phase == pytest.approx(45.0)
+
+    def test_pulse_waveform(self):
+        circuit = parse_netlist("V1 in 0 DC 0 PULSE(0 1 1u 1n 1n 5u 10u)\nR1 in 0 1k")
+        assert isinstance(circuit["V1"].waveform, Pulse)
+        assert circuit["V1"].waveform.width == pytest.approx(5e-6)
+
+    def test_sin_waveform(self):
+        circuit = parse_netlist("V1 in 0 SIN(2.5 0.1 1MEG)\nR1 in 0 1k")
+        wave = circuit["V1"].waveform
+        assert isinstance(wave, Sine) and wave.frequency == pytest.approx(1e6)
+
+    def test_pwl_waveform(self):
+        circuit = parse_netlist("V1 in 0 PWL(0 0 1u 1 2u 0)\nR1 in 0 1k")
+        assert isinstance(circuit["V1"].waveform, PiecewiseLinear)
+
+    def test_pwl_odd_values_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist("V1 in 0 PWL(0 0 1u)\nR1 in 0 1k")
+
+
+class TestControlledSources:
+    def test_all_four_kinds(self):
+        circuit = parse_netlist("""
+            Vsense a b 0
+            E1 out 0 c d 1e5
+            G1 out 0 c d 1m
+            F1 out 0 Vsense 10
+            H1 x 0 Vsense 2k
+            R1 out 0 1k
+            R2 x 0 1k
+            R3 c d 1k
+            R4 a 0 1k
+            R5 b 0 1k
+        """)
+        assert isinstance(circuit["E1"], VCVS)
+        assert isinstance(circuit["G1"], VCCS)
+        assert isinstance(circuit["F1"], CCCS)
+        assert isinstance(circuit["H1"], CCVS)
+        assert circuit["F1"].control_source == "Vsense"
+
+    def test_vcvs_needs_six_tokens(self):
+        with pytest.raises(ParseError):
+            parse_netlist("E1 out 0 c d")
+
+
+class TestDevices:
+    def test_models_and_devices(self):
+        circuit = parse_netlist("""
+            .model dio D(IS=2e-15 CJO=1p)
+            .model qn NPN(IS=1e-16 BF=120 VAF=60)
+            .model qp PNP IS=2e-16 BF=40
+            .model mn NMOS(VTO=0.6 KP=150u LAMBDA=0.04)
+            D1 a 0 dio 2
+            Q1 c b 0 qn
+            Q2 c2 b 0 qp 4
+            M1 d g 0 0 mn W=20u L=2u
+            R1 a c 1k
+            R2 b c2 1k
+            R3 d g 1k
+        """)
+        d1 = circuit["D1"]
+        assert isinstance(d1, Diode) and d1.area == 2.0 and d1.model.CJO == pytest.approx(1e-12)
+        q1 = circuit["Q1"]
+        assert isinstance(q1, BJT) and q1.model.BF == 120 and q1.model.polarity == "npn"
+        q2 = circuit["Q2"]
+        assert q2.model.polarity == "pnp" and q2.area == 4.0
+        m1 = circuit["M1"]
+        assert isinstance(m1, MOSFET)
+        assert m1.width == pytest.approx(20e-6) and m1.length == pytest.approx(2e-6)
+        assert m1.model.KP == pytest.approx(150e-6)
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist("D1 a 0 nomodel")
+
+    def test_wrong_model_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".model dio D(IS=1e-15)\nQ1 c b 0 dio")
+
+    def test_unsupported_model_type_rejected(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".model x JFET(BETA=1m)")
+
+
+class TestHierarchyAndParams:
+    def test_subcircuit_roundtrip(self):
+        circuit = parse_netlist("""
+            .param rload=2k
+            .subckt divider top mid
+            R1 top mid {rload}
+            R2 mid 0 {rload}
+            .ends
+            V1 in 0 DC 1
+            X1 in out divider
+        """)
+        assert circuit.variables["rload"] == pytest.approx(2e3)
+        flat = circuit.flattened()
+        assert "X1.R1" in flat
+        assert flat["X1.R2"].nodes == ("out", "0")
+
+    def test_unterminated_subckt(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".subckt cell a b\nR1 a b 1k")
+
+    def test_ends_without_subckt(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".ends")
+
+    def test_unknown_subcircuit_instance(self):
+        with pytest.raises(ParseError):
+            parse_netlist("X1 a b nocell")
+
+    def test_braced_expression_stored_symbolically(self):
+        circuit = parse_netlist("R1 a 0 {rval*2}")
+        assert circuit["R1"].resistance == "rval*2"
+
+    def test_analysis_cards_ignored(self):
+        circuit = parse_netlist("""
+            R1 a 0 1k
+            .op
+            .ac dec 10 1 1MEG
+            .tran 1n 1u
+            .end
+        """)
+        assert len(circuit) == 1
+
+    def test_unsupported_cards_raise(self):
+        with pytest.raises(ParseError):
+            parse_netlist(".nonsense foo")
+        with pytest.raises(ParseError):
+            parse_netlist("Z1 a b 1k")
+
+    def test_parse_error_reports_line_number(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_netlist("R1 a 0 1k\nE1 out 0 c\n")
+        assert "line 3" in str(excinfo.value) or "line 2" in str(excinfo.value)

@@ -1,0 +1,121 @@
+"""Tests for SPICE-style number parsing and formatting."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.circuit.units import (
+    DEFAULT_TEMPERATURE_C,
+    celsius_to_kelvin,
+    format_si,
+    format_value,
+    kelvin_to_celsius,
+    parse_value,
+    thermal_voltage,
+)
+from repro.exceptions import UnitError
+
+
+class TestParseValue:
+    @pytest.mark.parametrize("text,expected", [
+        ("1", 1.0),
+        ("1.5", 1.5),
+        ("-3.3", -3.3),
+        ("+2", 2.0),
+        ("1e3", 1000.0),
+        ("1E-9", 1e-9),
+        (".5", 0.5),
+        ("2.2u", 2.2e-6),
+        ("100n", 100e-9),
+        ("10p", 10e-12),
+        ("3f", 3e-15),
+        ("1k", 1e3),
+        ("4.7K", 4.7e3),
+        ("3MEG", 3e6),
+        ("3meg", 3e6),
+        ("2X", 2e6),
+        ("1G", 1e9),
+        ("2T", 2e12),
+        ("5m", 5e-3),
+        ("5M", 5e-3),          # SPICE: M is milli, not mega
+        ("1a", 1e-18),
+        ("1MIL", 25.4e-6),
+    ])
+    def test_suffixes(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    @pytest.mark.parametrize("text,expected", [
+        ("10nF", 1e-8),
+        ("1kOhm", 1e3),
+        ("2.5V", 2.5),
+        ("100Hz", 100.0),
+        ("3uA", 3e-6),
+        ("10MEGHz", 10e6),
+    ])
+    def test_trailing_unit_names_ignored(self, text, expected):
+        assert parse_value(text) == pytest.approx(expected, rel=1e-12)
+
+    def test_numbers_pass_through(self):
+        assert parse_value(42) == 42.0
+        assert parse_value(4.2e-9) == 4.2e-9
+
+    def test_percent(self):
+        assert parse_value("5%") == pytest.approx(0.05)
+
+    @pytest.mark.parametrize("bad", ["", "abc", "1..2", "--3", "1k2k", None, [1], True])
+    def test_malformed_raises(self, bad):
+        with pytest.raises(UnitError):
+            parse_value(bad)
+
+    def test_whitespace_tolerated(self):
+        assert parse_value("  3.3k ") == pytest.approx(3300.0)
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize("value,expected", [
+        (0.0, "0"),
+        (1000.0, "1k"),
+        (3.3e6, "3.3MEG"),
+        (2.2e-6, "2.2u"),
+        (1e-12, "1p"),
+    ])
+    def test_representative_values(self, value, expected):
+        assert format_value(value) == expected
+
+    @given(st.floats(min_value=1e-17, max_value=1e12, allow_nan=False,
+                     allow_infinity=False))
+    def test_round_trip(self, value):
+        text = format_value(value, digits=9)
+        assert parse_value(text) == pytest.approx(value, rel=1e-6)
+
+    @given(st.floats(min_value=1e-17, max_value=1e12))
+    def test_round_trip_negative(self, value):
+        text = format_value(-value, digits=9)
+        assert parse_value(text) == pytest.approx(-value, rel=1e-6)
+
+    def test_non_finite(self):
+        assert format_value(math.inf) == "inf"
+
+
+class TestFormatSi:
+    def test_mega_uses_single_letter(self):
+        assert format_si(3.16e6, "Hz") == "3.16 MHz"
+
+    def test_small_values(self):
+        assert format_si(4.7e-9, "F") == "4.7 nF"
+
+    def test_zero(self):
+        assert format_si(0.0, "Hz") == "0 Hz"
+
+
+class TestTemperature:
+    def test_thermal_voltage_at_room_temperature(self):
+        assert thermal_voltage(DEFAULT_TEMPERATURE_C) == pytest.approx(0.025865, rel=1e-3)
+
+    def test_thermal_voltage_scales_linearly_with_kelvin(self):
+        ratio = thermal_voltage(127.0) / thermal_voltage(27.0)
+        assert ratio == pytest.approx(400.15 / 300.15, rel=1e-9)
+
+    def test_celsius_kelvin_round_trip(self):
+        assert kelvin_to_celsius(celsius_to_kelvin(33.0)) == pytest.approx(33.0)

@@ -1,0 +1,211 @@
+"""Tests for the paper's circuits: the 2 MHz op-amp, the bias cell and the
+full assembly.  These encode the qualitative claims of the paper's
+experimental section with generous tolerances (the absolute numbers belong
+to a proprietary TI design; the regime must match)."""
+
+import pytest
+
+from repro.analysis import FrequencySweep, operating_point, pole_analysis
+from repro.circuits import (
+    bias_circuit,
+    opamp_buffer,
+    opamp_open_loop,
+    opamp_with_bias,
+)
+from repro.core import (
+    AllNodesOptions,
+    SingleNodeOptions,
+    analyze_all_nodes,
+    analyze_node,
+    open_loop_response,
+    step_overshoot,
+)
+
+SWEEP = FrequencySweep(1e3, 1e10, 30)
+
+
+@pytest.fixture(scope="module")
+def buffer_design():
+    return opamp_buffer()
+
+
+@pytest.fixture(scope="module")
+def buffer_op(buffer_design):
+    return operating_point(buffer_design.circuit)
+
+
+@pytest.fixture(scope="module")
+def buffer_stability(buffer_design, buffer_op):
+    return analyze_node(buffer_design.circuit, buffer_design.output_node,
+                        SingleNodeOptions(sweep=SWEEP), op=buffer_op)
+
+
+class TestOpAmpBuffer:
+    def test_operating_point_is_a_follower(self, buffer_design, buffer_op):
+        # The buffer output must sit at the input common-mode voltage.
+        assert buffer_op.voltage("output") == pytest.approx(2.5, abs=0.05)
+        assert buffer_op.strategy in ("newton", "gmin-stepping", "source-stepping")
+        # Second stage carries its design current.
+        assert buffer_op.device_info["Q5"]["ic"] == pytest.approx(200e-6, rel=0.15)
+
+    def test_dominant_pair_in_marginal_regime(self, buffer_design, buffer_op):
+        pz = pole_analysis(buffer_design.circuit, op=buffer_op)
+        pair = pz.dominant_complex_pair()
+        assert pair is not None
+        fn = pz.natural_frequency(pair)
+        zeta = pz.damping_ratio(pair)
+        assert 1e6 < fn < 4e6                       # "2 MHz op-amp"
+        assert 0.13 < zeta < 0.25                   # ~20 deg phase margin regime
+        assert not pz.unstable_poles()
+
+    def test_stability_plot_peak_matches_paper_regime(self, buffer_stability):
+        # Paper Fig. 4: peak ~ -29 at 3.2 MHz on the original design.
+        assert buffer_stability.performance_index == pytest.approx(-28.3, abs=6.0)
+        assert 1.5e6 < buffer_stability.natural_frequency_hz < 3.5e6
+        assert 15.0 < buffer_stability.phase_margin_deg < 28.0
+
+    def test_stability_plot_agrees_with_pole_analysis(self, buffer_design, buffer_op,
+                                                      buffer_stability):
+        pz = pole_analysis(buffer_design.circuit, op=buffer_op)
+        pair = pz.dominant_complex_pair()
+        assert buffer_stability.natural_frequency_hz == pytest.approx(
+            pz.natural_frequency(pair), rel=0.05)
+        assert buffer_stability.damping_ratio == pytest.approx(
+            pz.damping_ratio(pair), abs=0.03)
+
+    def test_design_variable_override_shifts_the_loop(self, buffer_design):
+        heavier = analyze_node(buffer_design.circuit, "output",
+                               SingleNodeOptions(sweep=SWEEP,
+                                                 variables={"cload": 3e-9}))
+        nominal = analyze_node(buffer_design.circuit, "output",
+                               SingleNodeOptions(sweep=SWEEP))
+        assert heavier.natural_frequency_hz < nominal.natural_frequency_hz
+        assert heavier.damping_ratio < nominal.damping_ratio + 0.05
+
+    def test_unknown_design_variable_rejected(self):
+        with pytest.raises(ValueError):
+            opamp_buffer(variables={"nonsense": 1.0})
+
+
+class TestOpAmpOpenLoop:
+    def test_bias_matches_closed_loop(self, buffer_op):
+        design = opamp_open_loop()
+        op = operating_point(design.circuit)
+        # The L/C break preserves the closed-loop bias point.
+        assert op.voltage("output") == pytest.approx(buffer_op.voltage("output"), abs=0.02)
+        assert op.voltage("first") == pytest.approx(buffer_op.voltage("first"), abs=0.02)
+
+    def test_phase_margin_and_crossover(self, buffer_stability):
+        design = opamp_open_loop()
+        measurement = open_loop_response(design.circuit, design.output_node,
+                                         sweep=FrequencySweep(10, 1e9, 30), invert=True)
+        # Paper Fig. 3: ~20 degrees of phase margin, 0 dB crossover in the
+        # low MHz, 180-degree lag a bit above it.
+        assert measurement.phase_margin_deg == pytest.approx(20.0, abs=6.0)
+        assert 1.5e6 < measurement.unity_gain_frequency_hz < 3e6
+        assert measurement.margins.dc_gain_db > 80.0
+        f180 = measurement.phase_crossover_frequency_hz
+        assert f180 is not None and f180 > measurement.unity_gain_frequency_hz
+        # Natural frequency from the stability plot falls between the 0 dB
+        # crossover and the 180-degree frequency (paper's consistency check).
+        assert (measurement.unity_gain_frequency_hz * 0.9
+                <= buffer_stability.natural_frequency_hz
+                <= f180 * 1.1)
+
+    def test_phase_margin_agrees_with_stability_plot_estimate(self, buffer_stability):
+        design = opamp_open_loop()
+        measurement = open_loop_response(design.circuit, design.output_node,
+                                         sweep=FrequencySweep(10, 1e9, 30), invert=True)
+        assert buffer_stability.phase_margin_deg == pytest.approx(
+            measurement.phase_margin_deg, abs=5.0)
+
+
+class TestOpAmpStepResponse:
+    def test_overshoot_in_paper_band(self, buffer_design, buffer_op, buffer_stability):
+        measurement = step_overshoot(buffer_design.circuit, buffer_design.input_source,
+                                     buffer_design.output_node,
+                                     expected_frequency_hz=buffer_stability.natural_frequency_hz,
+                                     op=buffer_op)
+        # Paper Fig. 2: ~50-55 % overshoot.
+        assert measurement.overshoot_percent == pytest.approx(53.0, abs=8.0)
+        # The overshoot-implied damping matches the stability-plot damping.
+        assert measurement.equivalent_damping == pytest.approx(
+            buffer_stability.damping_ratio, abs=0.04)
+
+
+class TestBiasCell:
+    def test_ptat_core_current_tracks_absolute_temperature(self):
+        design = bias_circuit()
+        ptat = {}
+        vbe_core = {}
+        for temperature in (-40.0, 27.0, 125.0):
+            op = operating_point(design.circuit, temperature=temperature)
+            ptat[temperature] = op.device_info["QN2"]["ic"]
+            vbe_core[temperature] = op.voltage("nb")
+        # PTAT core: I = VT*ln(8)/Re rises proportionally to absolute
+        # temperature (the emitter-resistor drop is the PTAT voltage)...
+        assert ptat[125.0] > ptat[27.0] > ptat[-40.0]
+        assert ptat[125.0] / ptat[-40.0] == pytest.approx(398.15 / 233.15, rel=0.15)
+        # ...while the core VBE (the CTAT ingredient) falls with temperature.
+        assert vbe_core[-40.0] > vbe_core[27.0] > vbe_core[125.0]
+
+    def test_local_loop_present_and_compensable(self):
+        nominal = bias_circuit()
+        compensated = bias_circuit(ccomp=1e-12)
+        pz_nom = pole_analysis(nominal.circuit)
+        pz_comp = pole_analysis(compensated.circuit)
+        pair_nom = pz_nom.dominant_complex_pair()
+        assert pair_nom is not None
+        assert pz_nom.natural_frequency(pair_nom) == pytest.approx(
+            nominal.expected_local_loop_hz, rel=0.35)
+        assert pz_nom.damping_ratio(pair_nom) == pytest.approx(
+            nominal.expected_local_damping, abs=0.1)
+        pair_comp = pz_comp.dominant_complex_pair()
+        if pair_comp is not None:
+            assert pz_comp.damping_ratio(pair_comp) > pz_nom.damping_ratio(pair_nom) + 0.2
+
+    def test_unknown_bias_variable_rejected(self):
+        with pytest.raises(ValueError):
+            bias_circuit(variables={"bogus": 1.0})
+
+
+class TestFullCircuit:
+    @pytest.fixture(scope="class")
+    def full_result(self):
+        design = opamp_with_bias()
+        result = analyze_all_nodes(design.circuit, AllNodesOptions(sweep=SWEEP))
+        return design, result
+
+    def test_finds_main_and_local_loops(self, full_result):
+        design, result = full_result
+        assert len(result.loops) >= 2
+        main = result.loops[0]
+        assert 1e6 < main.natural_frequency_hz < 4e6
+        assert design.output_node in main.node_names
+        # At least one local loop sits well above the main loop and involves
+        # the bias cell's nodes.
+        local = [loop for loop in result.loops[1:]
+                 if any(node.startswith("bias_") for node in loop.node_names)]
+        assert local
+        assert local[0].natural_frequency_hz > 3 * main.natural_frequency_hz
+
+    def test_main_loop_is_the_least_damped(self, full_result):
+        _, result = full_result
+        worst = result.worst_loop()
+        assert worst is result.loops[0]
+        assert worst.is_problematic
+
+    def test_compensation_damps_the_bias_loop(self, full_result):
+        design, result = full_result
+        local_nominal = [loop for loop in result.loops
+                         if any(n.startswith("bias_") for n in loop.node_names)
+                         and loop.natural_frequency_hz > 5e6]
+        assert local_nominal
+        compensated = opamp_with_bias(bias_ccomp=1e-12)
+        comp_result = analyze_all_nodes(compensated.circuit, AllNodesOptions(sweep=SWEEP))
+        local_comp = [loop for loop in comp_result.loops
+                      if any(n.startswith("bias_") for n in loop.node_names)
+                      and loop.natural_frequency_hz > 5e6]
+        nominal_zeta = local_nominal[0].damping_ratio
+        comp_zeta = local_comp[0].damping_ratio if local_comp else 1.0
+        assert comp_zeta > nominal_zeta + 0.15

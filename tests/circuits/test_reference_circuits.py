@@ -1,0 +1,113 @@
+"""Tests for the reference circuit library (RLC, macromodels, mirrors, followers)."""
+
+import math
+
+import pytest
+
+from repro.analysis import FrequencySweep, operating_point, pole_analysis
+from repro.circuits import (
+    buffered_mirror,
+    closed_loop_damping_for_two_pole,
+    emitter_follower,
+    parallel_rlc,
+    parallel_rlc_for,
+    series_rlc_divider,
+    simple_mirror,
+    source_follower,
+    two_pole_opamp_buffer,
+)
+from repro.core import AllNodesOptions, SingleNodeOptions, analyze_all_nodes, analyze_node
+
+
+class TestRLCStandards:
+    def test_parallel_rlc_matches_formulas(self):
+        design = parallel_rlc(resistance=2e3, inductance=1e-3, capacitance=1e-9)
+        pz = pole_analysis(design.circuit)
+        pair = pz.dominant_complex_pair()
+        assert pz.natural_frequency(pair) == pytest.approx(design.natural_frequency_hz, rel=1e-4)
+        assert pz.damping_ratio(pair) == pytest.approx(design.damping_ratio, rel=1e-4)
+
+    def test_parallel_rlc_for_requested_design(self):
+        design = parallel_rlc_for(2.5e6, 0.33)
+        assert design.natural_frequency_hz == pytest.approx(2.5e6, rel=1e-9)
+        assert design.damping_ratio == pytest.approx(0.33, rel=1e-9)
+        pz = pole_analysis(design.circuit)
+        pair = pz.dominant_complex_pair()
+        assert pz.natural_frequency(pair) == pytest.approx(2.5e6, rel=1e-6)
+
+    def test_series_rlc_divider(self):
+        design = series_rlc_divider(resistance=500.0)
+        pz = pole_analysis(design.circuit)
+        pair = pz.dominant_complex_pair()
+        assert pz.damping_ratio(pair) == pytest.approx(design.damping_ratio, rel=1e-6)
+
+
+class TestMacromodel:
+    def test_closed_loop_formula_matches_pole_analysis(self):
+        design = two_pole_opamp_buffer()
+        pz = pole_analysis(design.circuit)
+        pair = pz.dominant_complex_pair()
+        assert pz.natural_frequency(pair) == pytest.approx(
+            design.closed_loop_natural_frequency_hz, rel=0.01)
+        assert pz.damping_ratio(pair) == pytest.approx(design.closed_loop_damping, rel=0.02)
+
+    def test_formula_helper(self):
+        fn, zeta = closed_loop_damping_for_two_pole(1e4, 240.0, 350e3)
+        assert fn == pytest.approx(math.sqrt(1e4 * 240.0 * 350e3), rel=0.01)
+        assert 0.1 < zeta < 0.3
+
+    def test_buffer_follows_input_at_dc(self):
+        design = two_pole_opamp_buffer()
+        op = operating_point(design.circuit)
+        assert op.voltage("out") == pytest.approx(2.5, abs=1e-3)
+
+
+class TestMirrorsAndFollowers:
+    def test_simple_mirror_is_well_behaved(self):
+        design = simple_mirror()
+        result = analyze_all_nodes(design.circuit,
+                                   AllNodesOptions(sweep=FrequencySweep(1e4, 1e10, 25)))
+        assert not result.problematic_loops()
+
+    def test_buffered_mirror_rings(self):
+        design = buffered_mirror()
+        result = analyze_all_nodes(design.circuit,
+                                   AllNodesOptions(sweep=FrequencySweep(1e4, 1e10, 25)))
+        assert result.loops
+        worst = result.worst_loop()
+        assert design.base_line_node in worst.node_names
+        assert worst.natural_frequency_hz > 3e6
+        assert worst.damping_ratio < 0.9
+
+    def test_emitter_follower_rings_at_expected_frequency(self):
+        design = emitter_follower()
+        pz = pole_analysis(design.circuit)
+        pair = pz.dominant_complex_pair()
+        assert pair is not None
+        assert pz.natural_frequency(pair) == pytest.approx(design.expected_frequency_hz, rel=0.25)
+        assert pz.damping_ratio(pair) == pytest.approx(design.expected_damping, abs=0.15)
+
+    def test_emitter_follower_stability_plot_agrees_with_poles(self):
+        design = emitter_follower()
+        pz = pole_analysis(design.circuit)
+        pair = pz.dominant_complex_pair()
+        result = analyze_node(design.circuit, design.output_node,
+                              SingleNodeOptions(sweep=FrequencySweep(1e5, 1e10, 40)))
+        assert result.natural_frequency_hz == pytest.approx(pz.natural_frequency(pair), rel=0.05)
+        assert result.damping_ratio == pytest.approx(pz.damping_ratio(pair), abs=0.06)
+
+    def test_source_follower_has_complex_pair(self):
+        design = source_follower()
+        pz = pole_analysis(design.circuit)
+        assert pz.dominant_complex_pair() is not None
+
+    def test_follower_damping_improves_with_smaller_source_resistance(self):
+        ringy = emitter_follower(source_resistance=5e3)
+        damped = emitter_follower(source_resistance=500.0)
+        z_ringy = pole_analysis(ringy.circuit).dominant_complex_pair()
+        pair_damped = pole_analysis(damped.circuit).dominant_complex_pair()
+        if pair_damped is None:
+            return  # fully damped: even better
+        from repro.analysis.results import PoleZeroResult
+
+        assert PoleZeroResult.damping_ratio(pair_damped) > PoleZeroResult.damping_ratio(z_ringy)

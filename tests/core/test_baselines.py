@@ -1,0 +1,125 @@
+"""Tests for the traditional (black-box) baselines and method agreement.
+
+The macromodel loop has analytically known damping, natural frequency and
+phase margin, so all three measurement routes — stability plot, transient
+overshoot, broken-loop Bode — can be checked against the same ground truth
+and against each other.  This is the paper's section-3 argument in test
+form.
+"""
+
+import pytest
+
+from repro.analysis import FrequencySweep
+from repro.circuits import two_pole_opamp_buffer, two_pole_open_loop
+from repro.core import (
+    SingleNodeOptions,
+    analyze_node,
+    compare_methods,
+    open_loop_response,
+    step_overshoot,
+)
+from repro.core.second_order import overshoot_from_damping
+from repro.exceptions import StabilityAnalysisError
+
+SWEEP = FrequencySweep(10, 1e9, 30)
+
+
+@pytest.fixture(scope="module")
+def macro_buffer():
+    return two_pole_opamp_buffer()
+
+
+@pytest.fixture(scope="module")
+def macro_stability(macro_buffer):
+    return analyze_node(macro_buffer.circuit, macro_buffer.output_node,
+                        SingleNodeOptions(sweep=SWEEP))
+
+
+@pytest.fixture(scope="module")
+def macro_step(macro_buffer):
+    return step_overshoot(macro_buffer.circuit, macro_buffer.input_source,
+                          macro_buffer.output_node,
+                          expected_frequency_hz=macro_buffer.closed_loop_natural_frequency_hz)
+
+
+@pytest.fixture(scope="module")
+def macro_bode():
+    design = two_pole_open_loop()
+    return design, open_loop_response(design.circuit, design.output_node, sweep=SWEEP)
+
+
+class TestStepOvershoot:
+    def test_overshoot_matches_analytic_damping(self, macro_buffer, macro_step):
+        expected = overshoot_from_damping(macro_buffer.closed_loop_damping)
+        assert macro_step.overshoot_percent == pytest.approx(expected, abs=2.0)
+        assert macro_step.equivalent_damping == pytest.approx(
+            macro_buffer.closed_loop_damping, abs=0.02)
+
+    def test_waveform_settles_to_step_target(self, macro_step):
+        final = macro_step.waveform.final_value()
+        initial = float(macro_step.waveform.y[0])
+        assert final - initial == pytest.approx(macro_step.step_amplitude, rel=0.05)
+
+    def test_unknown_source_rejected(self, macro_buffer):
+        with pytest.raises(StabilityAnalysisError):
+            step_overshoot(macro_buffer.circuit, "Vnope", macro_buffer.output_node,
+                           expected_frequency_hz=1e6)
+
+    def test_ringing_frequency_can_be_inferred(self, macro_buffer):
+        measurement = step_overshoot(macro_buffer.circuit, macro_buffer.input_source,
+                                     macro_buffer.output_node)
+        expected = overshoot_from_damping(macro_buffer.closed_loop_damping)
+        assert measurement.overshoot_percent == pytest.approx(expected, abs=3.0)
+
+
+class TestOpenLoopBaseline:
+    def test_phase_margin_matches_analytic(self, macro_bode):
+        design, measurement = macro_bode
+        assert measurement.phase_margin_deg == pytest.approx(design.phase_margin_deg, abs=1.0)
+        assert measurement.unity_gain_frequency_hz == pytest.approx(
+            design.unity_gain_frequency_hz, rel=0.02)
+
+    def test_dc_gain(self, macro_bode):
+        design, measurement = macro_bode
+        assert measurement.margins.dc_gain_db == pytest.approx(80.0, abs=0.5)
+
+    def test_equivalent_damping_from_phase_margin(self, macro_bode):
+        design, measurement = macro_bode
+        assert measurement.equivalent_damping == pytest.approx(
+            design.closed_loop_damping, abs=0.02)
+
+
+class TestMethodAgreement:
+    def test_three_methods_agree_on_damping(self, macro_buffer, macro_stability,
+                                            macro_step, macro_bode):
+        _, bode = macro_bode
+        agreement = compare_methods(
+            macro_stability.performance_index,
+            macro_stability.natural_frequency_hz,
+            step_measurement=macro_step,
+            open_loop_measurement=bode,
+        )
+        truth = macro_buffer.closed_loop_damping
+        assert agreement.damping_from_stability_plot == pytest.approx(truth, abs=0.02)
+        assert agreement.damping_from_overshoot == pytest.approx(truth, abs=0.02)
+        assert agreement.damping_from_phase_margin == pytest.approx(truth, abs=0.02)
+        assert agreement.damping_spread() < 0.04
+
+    def test_natural_frequency_bracketing_claim(self, macro_stability, macro_bode):
+        # Paper section 3: the stability-plot natural frequency must fall
+        # between the 0 dB crossover and the 180-degree-lag frequency of
+        # the open-loop response (a two-pole loop never reaches -180, so
+        # only the lower bracket applies and the check returns None).
+        _, bode = macro_bode
+        agreement = compare_methods(macro_stability.performance_index,
+                                    macro_stability.natural_frequency_hz,
+                                    open_loop_measurement=bode)
+        assert agreement.natural_frequency_hz > 0.9 * bode.unity_gain_frequency_hz
+        assert agreement.natural_frequency_bracketed() in (None, True)
+
+    def test_partial_information(self, macro_stability):
+        agreement = compare_methods(macro_stability.performance_index,
+                                    macro_stability.natural_frequency_hz)
+        assert agreement.damping_from_overshoot is None
+        assert agreement.damping_spread() is None
+        assert agreement.natural_frequency_bracketed() is None

@@ -1,0 +1,115 @@
+"""Tests for node excitation and the fast multi-node impedance sweeper."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import FrequencySweep, ac_analysis, operating_point
+from repro.circuit import CircuitBuilder
+from repro.circuit.elements import CurrentSource
+from repro.circuits import opamp_buffer, parallel_rlc
+from repro.core.excitation import (
+    STIMULUS_NAME,
+    excitable_nodes,
+    prepare_excited_circuit,
+)
+from repro.core.impedance import ImpedanceSweeper
+from repro.exceptions import StabilityAnalysisError
+
+
+def rc_network():
+    builder = CircuitBuilder("rc network")
+    builder.voltage_source("in", "0", dc=1.0, ac=1.0, name="Vin")
+    builder.resistor("in", "a", 1e3)
+    builder.capacitor("a", "0", 1e-9)
+    builder.resistor("a", "b", 2e3)
+    builder.capacitor("b", "0", 2e-9)
+    return builder.build()
+
+
+class TestExcitation:
+    def test_original_circuit_untouched(self):
+        circuit = rc_network()
+        excited, name = prepare_excited_circuit(circuit, "a")
+        assert name == STIMULUS_NAME
+        assert STIMULUS_NAME not in circuit
+        assert STIMULUS_NAME in excited
+        # Auto-zero feature: the original AC source keeps its AC in the
+        # original circuit but is zeroed in the excited copy.
+        assert circuit["Vin"].has_ac
+        assert not excited["Vin"].has_ac
+
+    def test_stimulus_injects_into_requested_node(self):
+        excited, name = prepare_excited_circuit(rc_network(), "b", amplitude=2.0)
+        stimulus = excited[name]
+        assert isinstance(stimulus, CurrentSource)
+        assert stimulus.node_neg == "b" and stimulus.ac_mag == 2.0
+        assert stimulus.dc_value() == 0.0
+
+    def test_keep_existing_ac_optionally(self):
+        excited, _ = prepare_excited_circuit(rc_network(), "a", zero_existing_ac=False)
+        assert excited["Vin"].has_ac
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(StabilityAnalysisError):
+            prepare_excited_circuit(rc_network(), "nothere")
+
+    def test_alias_resolution(self):
+        circuit = rc_network()
+        circuit.add_alias("middle", "a")
+        excited, name = prepare_excited_circuit(circuit, "middle")
+        assert excited[name].node_neg == "a"
+
+    def test_name_collision_rejected(self):
+        circuit = rc_network()
+        circuit.add(CurrentSource(STIMULUS_NAME, "0", "a", dc=0.0))
+        with pytest.raises(StabilityAnalysisError):
+            prepare_excited_circuit(circuit, "a")
+
+    def test_excitable_nodes_skips_requested(self):
+        nodes = excitable_nodes(rc_network(), skip_nodes=["in"])
+        assert "in" not in nodes and {"a", "b"} <= set(nodes)
+
+
+class TestImpedanceSweeper:
+    def test_matches_per_node_ac_analysis(self):
+        design = parallel_rlc()
+        circuit = design.circuit
+        sweep = FrequencySweep(1e3, 1e7, 15)
+        sweeper = ImpedanceSweeper(circuit)
+        fast = sweeper.impedances([design.node], sweep.frequencies)[design.node]
+
+        excited, _ = prepare_excited_circuit(circuit, design.node)
+        op = operating_point(circuit)
+        slow = ac_analysis(excited, sweep, op=op).voltage(design.node)
+        assert np.allclose(fast, slow, rtol=1e-9, atol=1e-12)
+
+    def test_matches_on_transistor_circuit(self):
+        design = opamp_buffer()
+        sweep = FrequencySweep(1e4, 1e8, 8)
+        op = operating_point(design.circuit)
+        sweeper = ImpedanceSweeper(design.circuit, op=op)
+        fast = sweeper.impedances(["output", "first"], sweep.frequencies)
+
+        excited, _ = prepare_excited_circuit(design.circuit, "output")
+        slow = ac_analysis(excited, sweep, op=op).voltage("output")
+        assert np.allclose(fast["output"], slow, rtol=1e-6)
+
+    def test_many_nodes_single_call(self):
+        circuit = rc_network()
+        sweeper = ImpedanceSweeper(circuit)
+        result = sweeper.impedance_waveforms(["a", "b"], FrequencySweep(10, 1e6, 10).frequencies)
+        assert set(result) == {"a", "b"}
+        assert result["a"].is_complex and len(result["a"]) == len(result["b"])
+        # At low frequency the caps are open: Z(a) is R1 || (R2 + ...) etc.,
+        # dominated by the 1 kOhm path back to the source.
+        assert abs(result["a"].y[0]) == pytest.approx(1e3, rel=0.05)
+
+    def test_unknown_node_rejected(self):
+        sweeper = ImpedanceSweeper(rc_network())
+        with pytest.raises(StabilityAnalysisError):
+            sweeper.impedances(["missing"], [1e3, 1e4])
+
+    def test_node_listing(self):
+        sweeper = ImpedanceSweeper(rc_network())
+        assert sweeper.has_node("a") and not sweeper.has_node("zz")
+        assert {"in", "a", "b"} <= set(sweeper.node_names)

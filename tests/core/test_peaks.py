@@ -1,0 +1,99 @@
+"""Tests for stability-plot peak detection and classification."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sweeps import log_sweep
+from repro.core.peaks import PeakType, StabilityPeak, dominant_negative_peak, find_peaks
+from repro.core.second_order import SecondOrderSystem
+from repro.core.stability_plot import stability_plot
+from repro.exceptions import StabilityAnalysisError
+from repro.waveform import Waveform
+
+
+def gaussian_peak(freqs, center, width_decades, amplitude):
+    u = np.log10(freqs)
+    return amplitude * np.exp(-0.5 * ((u - np.log10(center)) / width_decades) ** 2)
+
+
+def synthetic_plot(freqs, *bumps):
+    values = np.zeros_like(freqs)
+    for center, width, amplitude in bumps:
+        values += gaussian_peak(freqs, center, width, amplitude)
+    return Waveform(freqs, values, x_unit="Hz")
+
+
+FREQS = log_sweep(1e3, 1e9, 60)
+
+
+class TestDetection:
+    def test_single_negative_peak(self):
+        plot = synthetic_plot(FREQS, (1e6, 0.1, -20.0))
+        peaks = find_peaks(plot)
+        assert len(peaks) == 1
+        peak = peaks[0]
+        assert peak.peak_type is PeakType.NORMAL
+        assert peak.frequency_hz == pytest.approx(1e6, rel=0.05)
+        assert peak.value == pytest.approx(-20.0, rel=0.01)
+        assert peak.is_negative and peak.magnitude == pytest.approx(20.0, rel=0.01)
+
+    def test_positive_peak_classified(self):
+        plot = synthetic_plot(FREQS, (1e7, 0.1, +8.0))
+        peaks = find_peaks(plot)
+        assert len(peaks) == 1 and peaks[0].peak_type is PeakType.POSITIVE
+
+    def test_min_max_doublet(self):
+        plot = synthetic_plot(FREQS, (1e6, 0.08, -10.0), (2e6, 0.08, +6.0))
+        peaks = find_peaks(plot)
+        negative = [p for p in peaks if p.is_negative]
+        assert negative[0].peak_type is PeakType.MIN_MAX
+        assert negative[0].companion_frequency_hz == pytest.approx(2e6, rel=0.1)
+        # The companion zero is still reported as a positive peak in its own right.
+        assert sum(1 for p in peaks if p.peak_type is PeakType.POSITIVE) == 1
+
+    def test_distant_positive_peak_does_not_trigger_min_max(self):
+        plot = synthetic_plot(FREQS, (1e5, 0.08, -10.0), (1e8, 0.08, +6.0))
+        negative = [p for p in find_peaks(plot) if p.is_negative]
+        assert negative[0].peak_type is PeakType.NORMAL
+
+    def test_end_of_range_peak(self):
+        # Deepest value at the last sweep point: resonance above the sweep.
+        values = -np.linspace(0.0, 30.0, len(FREQS)) ** 2 / 30.0
+        plot = Waveform(FREQS, values)
+        peaks = find_peaks(plot)
+        assert any(p.peak_type is PeakType.END_OF_RANGE for p in peaks)
+        eor = [p for p in peaks if p.peak_type is PeakType.END_OF_RANGE][0]
+        assert eor.frequency_hz == pytest.approx(FREQS[-1])
+
+    def test_threshold_suppresses_noise(self):
+        rng = np.random.default_rng(42)
+        plot = Waveform(FREQS, rng.normal(scale=0.01, size=len(FREQS)))
+        assert find_peaks(plot, threshold=0.1) == []
+
+    def test_multiple_loops_sorted_by_frequency(self):
+        plot = synthetic_plot(FREQS, (5e7, 0.08, -4.0), (1e5, 0.08, -25.0))
+        peaks = [p for p in find_peaks(plot) if p.is_negative]
+        assert [round(p.frequency_hz, -3) for p in peaks] == sorted(
+            round(p.frequency_hz, -3) for p in peaks)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(StabilityAnalysisError):
+            find_peaks(Waveform([1, 2, 3], [0, -1, 0]))
+
+
+class TestDominantPeak:
+    def test_deepest_peak_wins(self):
+        plot = synthetic_plot(FREQS, (1e5, 0.08, -5.0), (1e7, 0.08, -30.0))
+        dominant = dominant_negative_peak(find_peaks(plot))
+        assert dominant.frequency_hz == pytest.approx(1e7, rel=0.05)
+
+    def test_none_when_no_negative_peaks(self):
+        plot = synthetic_plot(FREQS, (1e6, 0.1, +3.0))
+        assert dominant_negative_peak(find_peaks(plot)) is None
+
+    def test_prominence_recorded_for_interior_peak(self):
+        system = SecondOrderSystem(0.25, 1e6)
+        freqs = log_sweep(1e4, 1e8, 300)
+        plot = stability_plot(system.response(freqs))
+        dominant = dominant_negative_peak(find_peaks(plot))
+        assert dominant.prominence > abs(dominant.value) * 0.5

@@ -1,0 +1,166 @@
+"""Tests for the second-order theory (paper eqs. 1.1-1.4 and Table 1)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.second_order import (
+    PAPER_TABLE_1,
+    SecondOrderSystem,
+    damping_from_max_magnitude,
+    damping_from_overshoot,
+    damping_from_performance_index,
+    damping_from_phase_margin,
+    max_magnitude_from_damping,
+    overshoot_from_damping,
+    performance_index_from_damping,
+    phase_margin_from_damping,
+    table_1_rows,
+)
+from repro.exceptions import StabilityAnalysisError
+
+
+class TestPerformanceIndex:
+    @pytest.mark.parametrize("zeta,expected", [
+        (1.0, -1.0), (0.5, -4.0), (0.2, -25.0), (0.1, -100.0),
+    ])
+    def test_equation_1_4(self, zeta, expected):
+        assert performance_index_from_damping(zeta) == pytest.approx(expected)
+
+    def test_zero_damping_is_minus_infinity(self):
+        assert performance_index_from_damping(0.0) == -math.inf
+
+    def test_negative_damping_rejected(self):
+        with pytest.raises(StabilityAnalysisError):
+            performance_index_from_damping(-0.1)
+
+    @given(st.floats(min_value=0.05, max_value=1.0))
+    def test_round_trip(self, zeta):
+        index = performance_index_from_damping(zeta)
+        assert damping_from_performance_index(index) == pytest.approx(zeta, rel=1e-9)
+
+    def test_shallow_peaks_clamp_to_critical_damping(self):
+        assert damping_from_performance_index(-0.5) == 1.0
+
+    def test_positive_index_rejected(self):
+        with pytest.raises(StabilityAnalysisError):
+            damping_from_performance_index(2.0)
+
+
+class TestOvershootAndPhaseMargin:
+    def test_overshoot_limits(self):
+        assert overshoot_from_damping(1.0) == 0.0
+        assert overshoot_from_damping(0.0) == 100.0
+        assert overshoot_from_damping(0.5) == pytest.approx(16.3, abs=0.2)
+
+    @given(st.floats(min_value=0.02, max_value=0.95))
+    def test_overshoot_round_trip(self, zeta):
+        assert damping_from_overshoot(overshoot_from_damping(zeta)) == pytest.approx(zeta, rel=1e-6)
+
+    def test_phase_margin_known_values(self):
+        # Exact relation: PM(0.707) ~ 65.5 deg, PM(0.2) ~ 22.6 deg.
+        assert phase_margin_from_damping(1 / math.sqrt(2)) == pytest.approx(65.5, abs=0.3)
+        assert phase_margin_from_damping(0.2) == pytest.approx(22.6, abs=0.3)
+        assert phase_margin_from_damping(0.0) == 0.0
+
+    @given(st.floats(min_value=0.02, max_value=0.98))
+    def test_phase_margin_round_trip(self, zeta):
+        assert damping_from_phase_margin(phase_margin_from_damping(zeta)) == pytest.approx(zeta, abs=1e-4)
+
+    def test_phase_margin_monotonic_in_damping(self):
+        values = [phase_margin_from_damping(z) for z in np.linspace(0.01, 1.0, 50)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_rule_of_thumb_pm_approx_100_zeta(self):
+        # The paper's Table 1 uses the PM ~ 100*zeta rule; the exact curve
+        # stays within a few degrees of it below zeta = 0.6.
+        for zeta in (0.1, 0.2, 0.3, 0.4, 0.5):
+            assert phase_margin_from_damping(zeta) == pytest.approx(100 * zeta, abs=6.0)
+
+
+class TestMaxMagnitude:
+    def test_no_peaking_above_0p707(self):
+        assert max_magnitude_from_damping(0.8) == 1.0
+        assert max_magnitude_from_damping(0.0) == math.inf
+
+    @pytest.mark.parametrize("zeta,expected", [(0.5, 1.155), (0.2, 2.552), (0.1, 5.025)])
+    def test_known_values(self, zeta, expected):
+        assert max_magnitude_from_damping(zeta) == pytest.approx(expected, abs=0.01)
+
+    @given(st.floats(min_value=0.05, max_value=0.7))
+    def test_round_trip(self, zeta):
+        assert damping_from_max_magnitude(max_magnitude_from_damping(zeta)) == pytest.approx(zeta, rel=1e-6)
+
+
+class TestSecondOrderSystem:
+    def test_validation(self):
+        with pytest.raises(StabilityAnalysisError):
+            SecondOrderSystem(-0.1, 1e6)
+        with pytest.raises(StabilityAnalysisError):
+            SecondOrderSystem(0.5, 0.0)
+
+    def test_dc_gain_and_magnitude(self):
+        system = SecondOrderSystem(0.5, 1e6, dc_gain=2.0)
+        assert abs(system.transfer(0)) == pytest.approx(2.0)
+        assert system.magnitude(1e3) == pytest.approx(2.0, rel=1e-3)
+
+    def test_poles_underdamped(self):
+        system = SecondOrderSystem(0.3, 1e6)
+        poles = system.poles()
+        assert len(poles) == 2
+        assert poles[0].conjugate() == pytest.approx(poles[1])
+        assert abs(poles[0]) == pytest.approx(system.wn, rel=1e-9)
+        assert -poles[0].real / abs(poles[0]) == pytest.approx(0.3, rel=1e-9)
+
+    def test_poles_overdamped_are_real(self):
+        poles = SecondOrderSystem(2.0, 1e3).poles()
+        assert all(p.imag == 0 for p in poles)
+
+    def test_step_response_final_value_and_overshoot(self):
+        system = SecondOrderSystem(0.2, 1e5)
+        t = np.linspace(0, 40 / 1e5, 8000)
+        y = system.step_response(t)
+        assert y[-1] == pytest.approx(1.0, abs=0.01)
+        assert np.max(y) - 1.0 == pytest.approx(overshoot_from_damping(0.2) / 100, abs=0.01)
+
+    def test_step_response_critically_and_over_damped(self):
+        t = np.linspace(0, 1e-3, 1000)
+        assert np.max(SecondOrderSystem(1.0, 1e4).step_response(t)) <= 1.0 + 1e-9
+        assert np.max(SecondOrderSystem(2.0, 1e4).step_response(t)) <= 1.0 + 1e-9
+
+    def test_derived_properties(self):
+        system = SecondOrderSystem(0.2, 1e6)
+        assert system.performance_index == pytest.approx(-25.0)
+        assert system.overshoot_percent == pytest.approx(52.7, abs=0.5)
+        assert system.max_magnitude == pytest.approx(2.55, abs=0.01)
+
+
+class TestTable1:
+    def test_generated_rows_match_paper(self):
+        rows = {row.damping: row for row in table_1_rows()}
+        for paper in PAPER_TABLE_1:
+            generated = rows[paper.damping]
+            # Performance index: the paper rounds to ~2 significant digits.
+            if math.isfinite(paper.performance_index):
+                assert generated.performance_index == pytest.approx(
+                    paper.performance_index, rel=0.05, abs=0.06)
+            else:
+                assert generated.performance_index == -math.inf
+            # Overshoot: within 2 percentage points of the printed integers.
+            assert generated.overshoot_percent == pytest.approx(
+                paper.overshoot_percent, abs=2.0)
+            # Max magnitude where the paper lists one (within rounding).
+            if paper.max_magnitude is not None and math.isfinite(paper.max_magnitude):
+                assert generated.max_magnitude == pytest.approx(
+                    paper.max_magnitude, rel=0.03)
+            # Phase margin column of the paper follows the 100*zeta rule.
+            if paper.phase_margin_deg is not None:
+                assert generated.phase_margin_deg == pytest.approx(
+                    paper.phase_margin_deg, abs=6.5)
+
+    def test_custom_damping_list(self):
+        rows = table_1_rows([0.25])
+        assert len(rows) == 1
+        assert rows[0].performance_index == pytest.approx(-16.0)

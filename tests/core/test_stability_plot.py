@@ -1,0 +1,134 @@
+"""Tests for the stability-plot function (paper eq. 1.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.sweeps import log_sweep
+from repro.core.peaks import dominant_negative_peak, find_peaks
+from repro.core.second_order import SecondOrderSystem
+from repro.core.stability_plot import stability_plot, stability_plot_arrays
+from repro.exceptions import StabilityAnalysisError
+from repro.waveform import Waveform
+
+
+def plot_for_system(zeta, fn=1e6, span=(1e4, 1e8), ppd=400, method="gradient"):
+    system = SecondOrderSystem(zeta, fn)
+    freqs = log_sweep(span[0], span[1], ppd)
+    return stability_plot(system.response(freqs), method=method)
+
+
+class TestSecondOrderPrototype:
+    @pytest.mark.parametrize("zeta", [0.1, 0.2, 0.3, 0.5, 0.7])
+    def test_peak_value_is_minus_one_over_zeta_squared(self, zeta):
+        plot = plot_for_system(zeta)
+        peak = dominant_negative_peak(find_peaks(plot))
+        assert peak is not None
+        assert peak.value == pytest.approx(-1.0 / zeta ** 2, rel=0.03)
+
+    @pytest.mark.parametrize("fn", [1e3, 1e6, 5e7])
+    def test_peak_frequency_is_natural_frequency(self, fn):
+        plot = plot_for_system(0.25, fn=fn, span=(fn / 1e2, fn * 1e2))
+        peak = dominant_negative_peak(find_peaks(plot))
+        assert peak.frequency_hz == pytest.approx(fn, rel=0.02)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.floats(min_value=0.08, max_value=0.8))
+    def test_equation_1_4_property(self, zeta):
+        plot = plot_for_system(zeta)
+        peak = dominant_negative_peak(find_peaks(plot))
+        assert peak.value == pytest.approx(-1.0 / zeta ** 2, rel=0.05)
+
+    def test_result_invariant_to_magnitude_scale(self):
+        system = SecondOrderSystem(0.3, 1e6, dc_gain=1.0)
+        freqs = log_sweep(1e4, 1e8, 200)
+        base = stability_plot(system.response(freqs))
+        scaled = stability_plot(system.response(freqs) * 1234.5)
+        assert np.allclose(base.y, scaled.y, atol=1e-9)
+
+    def test_result_invariant_to_frequency_unit(self):
+        # Using omega instead of f must not change the plot values.
+        system = SecondOrderSystem(0.3, 1e6)
+        freqs = log_sweep(1e4, 1e8, 200)
+        magnitude = np.abs(system.transfer(1j * 2 * np.pi * freqs))
+        in_hz = stability_plot_arrays(freqs, magnitude)
+        in_rad = stability_plot_arrays(2 * np.pi * freqs, magnitude)
+        assert np.allclose(in_hz, in_rad, atol=1e-9)
+
+
+class TestRealAndComplexFeatures:
+    def test_real_poles_produce_only_shallow_features(self):
+        freqs = log_sweep(1.0, 1e9, 100)
+        response = 1.0 / ((1 + 1j * freqs / 1e3) * (1 + 1j * freqs / 1e6))
+        plot = stability_plot(Waveform(freqs, response))
+        # A single real pole contributes at most 0.5 of log-log curvature.
+        assert np.min(plot.y) > -0.6
+        assert np.max(np.abs(plot.y)) < 0.6
+
+    def test_complex_zero_gives_positive_peak(self):
+        freqs = log_sweep(1e4, 1e8, 400)
+        s = 1j * 2 * np.pi * freqs
+        wz = 2 * np.pi * 1e6
+        zeta_z = 0.25
+        response = (s ** 2 + 2 * zeta_z * wz * s + wz ** 2) / wz ** 2 / (1 + s / (2 * np.pi * 10.0)) ** 2
+        plot = stability_plot(Waveform(freqs, response))
+        peaks = find_peaks(plot)
+        positive = [p for p in peaks if p.value > 1.0]
+        assert positive
+        best = max(positive, key=lambda p: p.value)
+        assert best.frequency_hz == pytest.approx(1e6, rel=0.05)
+        assert best.value == pytest.approx(1.0 / zeta_z ** 2, rel=0.05)
+
+    def test_two_separated_loops_both_detected(self):
+        freqs = log_sweep(1e3, 1e9, 300)
+        low = SecondOrderSystem(0.2, 1e5).transfer(1j * 2 * np.pi * freqs)
+        high = SecondOrderSystem(0.4, 2e7).transfer(1j * 2 * np.pi * freqs)
+        plot = stability_plot(Waveform(freqs, low * high))
+        negative = [p for p in find_peaks(plot) if p.is_negative]
+        frequencies = sorted(p.frequency_hz for p in negative)
+        assert len(frequencies) >= 2
+        assert frequencies[0] == pytest.approx(1e5, rel=0.1)
+        assert frequencies[-1] == pytest.approx(2e7, rel=0.1)
+
+
+class TestMethodsAndValidation:
+    def test_smoothed_method_agrees_for_moderate_damping(self):
+        gradient = plot_for_system(0.4, method="gradient")
+        smoothed = plot_for_system(0.4, method="smoothed")
+        peak_g = dominant_negative_peak(find_peaks(gradient))
+        peak_s = dominant_negative_peak(find_peaks(smoothed))
+        assert peak_s.frequency_hz == pytest.approx(peak_g.frequency_hz, rel=0.05)
+        assert peak_s.value == pytest.approx(peak_g.value, rel=0.15)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(StabilityAnalysisError):
+            plot_for_system(0.4, method="nonsense")
+
+    def test_requires_positive_magnitude(self):
+        with pytest.raises(StabilityAnalysisError):
+            stability_plot_arrays([1, 2, 3, 4, 5], [1, 1, 0, 1, 1])
+
+    def test_requires_positive_increasing_frequencies(self):
+        with pytest.raises(StabilityAnalysisError):
+            stability_plot_arrays([0, 1, 2, 3, 4], [1, 1, 1, 1, 1])
+        with pytest.raises(StabilityAnalysisError):
+            stability_plot_arrays([1, 2, 2, 3, 4], [1, 1, 1, 1, 1])
+
+    def test_requires_enough_points(self):
+        with pytest.raises(StabilityAnalysisError):
+            stability_plot_arrays([1, 2, 3], [1, 1, 1])
+
+    def test_requires_matching_lengths(self):
+        with pytest.raises(StabilityAnalysisError):
+            stability_plot_arrays([1, 2, 3, 4, 5], [1, 1, 1, 1])
+
+    def test_plain_array_needs_frequencies(self):
+        with pytest.raises(StabilityAnalysisError):
+            stability_plot(np.ones(10))
+
+    def test_accepts_plain_arrays_with_frequencies(self):
+        freqs = log_sweep(1e4, 1e8, 100)
+        response = SecondOrderSystem(0.3, 1e6).transfer(1j * 2 * np.pi * freqs)
+        plot = stability_plot(response, frequencies=freqs)
+        assert isinstance(plot, Waveform)
+        assert len(plot) == len(freqs)

@@ -1,0 +1,95 @@
+"""End-to-end integration tests: the paper's experimental story in one place.
+
+These tests tie all layers together the way the paper's section 3 does:
+
+1. the op-amp buffer's stability plot predicts damping / phase margin /
+   overshoot from a single closed-loop AC run;
+2. the traditional measurements (broken-loop Bode, transient overshoot)
+   agree with those predictions;
+3. the all-nodes run on the full circuit additionally uncovers the bias
+   cell's local loop, which the traditional main-loop measurements cannot
+   see, and the ~1 pF compensation fixes it.
+"""
+
+import pytest
+
+from repro.analysis import FrequencySweep
+from repro.circuits import opamp_buffer, opamp_open_loop, opamp_with_bias
+from repro.core import (
+    AllNodesOptions,
+    SingleNodeOptions,
+    analyze_all_nodes,
+    analyze_node,
+    compare_methods,
+    open_loop_response,
+    step_overshoot,
+)
+
+SWEEP = FrequencySweep(1e3, 1e10, 30)
+
+
+@pytest.fixture(scope="module")
+def paper_story():
+    """Run the whole measurement suite once for the module."""
+    buffer_design = opamp_buffer()
+    stability = analyze_node(buffer_design.circuit, buffer_design.output_node,
+                             SingleNodeOptions(sweep=SWEEP))
+    bode = open_loop_response(opamp_open_loop().circuit, "output",
+                              sweep=FrequencySweep(10, 1e9, 30), invert=True)
+    step = step_overshoot(buffer_design.circuit, buffer_design.input_source,
+                          buffer_design.output_node,
+                          expected_frequency_hz=stability.natural_frequency_hz)
+    return buffer_design, stability, bode, step
+
+
+class TestPaperStory:
+    def test_stability_plot_vs_traditional_methods(self, paper_story):
+        _, stability, bode, step = paper_story
+        agreement = compare_methods(stability.performance_index,
+                                    stability.natural_frequency_hz,
+                                    step_measurement=step,
+                                    open_loop_measurement=bode)
+        # All three damping estimates lie within a few hundredths of each
+        # other (paper: -29 peak <-> ~20 deg PM <-> ~53 % overshoot).
+        assert agreement.damping_spread() < 0.06
+        assert agreement.natural_frequency_bracketed()
+
+    def test_predicted_overshoot_matches_measured(self, paper_story):
+        _, stability, _, step = paper_story
+        assert stability.overshoot_percent == pytest.approx(step.overshoot_percent, abs=6.0)
+
+    def test_predicted_phase_margin_matches_bode(self, paper_story):
+        _, stability, bode, _ = paper_story
+        assert stability.phase_margin_deg == pytest.approx(bode.phase_margin_deg, abs=5.0)
+
+    def test_full_circuit_reveals_local_loop_invisible_to_bode(self, paper_story):
+        _, _, bode, _ = paper_story
+        full = opamp_with_bias()
+        result = analyze_all_nodes(full.circuit, AllNodesOptions(sweep=SWEEP))
+        local_loops = [loop for loop in result.loops
+                       if any(node.startswith("bias_") for node in loop.node_names)
+                       and loop.natural_frequency_hz > 5e6]
+        assert local_loops, "the all-nodes run must expose the bias local loop"
+        local = local_loops[0]
+        # The local loop sits far above the main loop's crossover, where the
+        # open-loop Bode measurement of the main loop says nothing at all.
+        assert local.natural_frequency_hz > 3 * bode.unity_gain_frequency_hz
+
+    def test_compensation_experiment(self):
+        nominal = analyze_all_nodes(opamp_with_bias().circuit,
+                                    AllNodesOptions(sweep=SWEEP))
+        fixed = analyze_all_nodes(opamp_with_bias(bias_ccomp=1e-12).circuit,
+                                  AllNodesOptions(sweep=SWEEP))
+
+        def bias_loop_damping(result):
+            loops = [loop for loop in result.loops
+                     if any(n.startswith("bias_") for n in loop.node_names)
+                     and loop.natural_frequency_hz > 5e6]
+            return min((loop.damping_ratio for loop in loops), default=1.0)
+
+        assert bias_loop_damping(fixed) > bias_loop_damping(nominal) + 0.15
+        # The main loop is untouched by the bias-cell fix.
+        assert fixed.loops[0].natural_frequency_hz == pytest.approx(
+            nominal.loops[0].natural_frequency_hz, rel=0.05)
+        assert fixed.loops[0].damping_ratio == pytest.approx(
+            nominal.loops[0].damping_ratio, abs=0.03)

@@ -1,0 +1,172 @@
+"""Tests for the session, job-control and diagnostics layers."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.analysis import FrequencySweep
+from repro.circuits import parallel_rlc_for
+from repro.exceptions import ToolError
+from repro.tool import (
+    DiagnosticLog,
+    Job,
+    JobRunner,
+    SessionState,
+    SimulationEnvironment,
+)
+
+
+class TestSimulationEnvironment:
+    def test_variables_and_import(self):
+        env = SimulationEnvironment(design_variables={"cload": 1e-9})
+        design = parallel_rlc_for(1e6, 0.3)
+        design.circuit.set_variable("cload", 5e-9)    # session value wins
+        design.circuit.set_variable("extra", 2.0)
+        imported = env.import_variables_from(design.circuit)
+        assert imported == {"extra": 2.0}
+        assert env.design_variables["cload"] == 1e-9
+
+    def test_result_directory_lifecycle(self, tmp_path):
+        env = SimulationEnvironment(name="run", result_root=str(tmp_path))
+        directory = env.result_directory()
+        assert os.path.isdir(directory) and "run_" in os.path.basename(directory)
+        # Explicit directory + restore (the tool's save/restore feature).
+        env.use_result_directory(str(tmp_path / "explicit"))
+        assert env.result_directory(create=False).endswith("explicit")
+        env.restore_result_directory()
+        assert env.result_directory(create=False) == directory
+
+    def test_state_round_trip(self, tmp_path):
+        env = SimulationEnvironment(name="roundtrip", temperature=85.0,
+                                    sweep=FrequencySweep(1e2, 1e8, 25),
+                                    design_variables={"rzero": 130.0})
+        env.add_model_file("models/bjt.lib")
+        path = str(tmp_path / "state.json")
+        env.save_state(path)
+        restored = SimulationEnvironment.load_state(path)
+        assert restored.name == "roundtrip"
+        assert restored.temperature == 85.0
+        assert restored.design_variables == {"rzero": 130.0}
+        assert restored.sweep.start == pytest.approx(1e2)
+        assert restored.model_files == ["models/bjt.lib"]
+
+    def test_state_is_valid_json(self, tmp_path):
+        env = SimulationEnvironment()
+        path = str(tmp_path / "state.json")
+        env.save_state(path)
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert "temperature" in data and "design_variables" in data
+
+    def test_load_missing_state(self, tmp_path):
+        with pytest.raises(ToolError):
+            SimulationEnvironment.load_state(str(tmp_path / "missing.json"))
+
+    def test_session_state_ignores_unknown_fields(self):
+        state = SessionState.from_json(json.dumps({
+            "name": "x", "temperature": 27.0, "gmin": 1e-12,
+            "sweep_start": 1.0, "sweep_stop": 1e9, "sweep_points_per_decade": 10,
+            "future_field": 123,
+        }))
+        assert state.name == "x"
+
+
+class TestJobRunner:
+    def test_serial_execution_order(self):
+        order = []
+
+        def work(tag):
+            order.append(tag)
+            return tag * 2
+
+        jobs = [Job(name=f"j{i}", target=work, args=(i,)) for i in range(5)]
+        results = JobRunner(max_workers=1).run(jobs)
+        assert order == [0, 1, 2, 3, 4]
+        assert [r.result for r in results] == [0, 2, 4, 6, 8]
+        assert all(r.ok for r in results)
+
+    def test_failure_isolation(self):
+        def sometimes_fail(i):
+            if i == 1:
+                raise RuntimeError("boom")
+            return i
+
+        jobs = [Job(name=f"j{i}", target=sometimes_fail, args=(i,)) for i in range(3)]
+        results = JobRunner().run(jobs)
+        assert [r.ok for r in results] == [True, False, True]
+        assert "boom" in results[1].error
+
+    def test_stop_on_first_error(self):
+        def fail(_):
+            raise RuntimeError("boom")
+
+        jobs = [Job(name=f"j{i}", target=fail, args=(i,)) for i in range(3)]
+        results = JobRunner(continue_on_error=False).run(jobs)
+        assert len(results) == 1
+
+    def test_thread_pool_returns_submission_order(self):
+        def work(i):
+            time.sleep(0.01 * (3 - i))
+            return i
+
+        jobs = [Job(name=f"j{i}", target=work, args=(i,)) for i in range(3)]
+        results = JobRunner(max_workers=3).run(jobs)
+        assert [r.name for r in results] == ["j0", "j1", "j2"]
+        assert [r.result for r in results] == [0, 1, 2]
+
+    def test_duplicate_names_rejected(self):
+        jobs = [Job(name="same", target=lambda: 1), Job(name="same", target=lambda: 2)]
+        with pytest.raises(ToolError):
+            JobRunner().run(jobs)
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ToolError):
+            JobRunner(max_workers=0)
+
+    def test_progress_callback(self):
+        seen = []
+        jobs = [Job(name=f"j{i}", target=lambda i=i: i) for i in range(3)]
+        JobRunner().run(jobs, progress=lambda done, total, res: seen.append((done, total)))
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_empty_batch(self):
+        assert JobRunner().run([]) == []
+
+
+class TestDiagnostics:
+    def test_records_and_severities(self):
+        log = DiagnosticLog()
+        log.info("setup", "starting")
+        log.warning("simulation", "node skipped", node="x1")
+        assert not log.has_errors
+        log.error("simulation", "failed", exception=ValueError("bad"))
+        assert log.has_errors and len(log.errors()) == 1
+        text = log.format()
+        assert "[ERROR]" in text and "node skipped" in text and "ValueError" in text
+
+    def test_notifier_callback(self):
+        log = DiagnosticLog()
+        received = []
+        log.add_notifier(received.append)
+        log.info("stage", "hello")
+        assert len(received) == 1 and received[0].message == "hello"
+
+    def test_broken_notifier_does_not_break_logging(self):
+        log = DiagnosticLog()
+        log.add_notifier(lambda record: 1 / 0)
+        log.info("stage", "still fine")
+        assert len(log.records) == 1
+
+    def test_write_to_directory(self, tmp_path):
+        log = DiagnosticLog()
+        log.error("run", "problem", reason="testing")
+        path = log.write(str(tmp_path))
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data[0]["severity"] == "error"
+        assert data[0]["details"]["reason"] == "testing"
+
+    def test_empty_log_format(self):
+        assert "no diagnostics" in DiagnosticLog().format()

@@ -1,0 +1,149 @@
+"""Tests for the push-button tool and the corner/temperature sweeps."""
+
+import os
+
+import pytest
+
+from repro.analysis import FrequencySweep
+from repro.circuits import bias_circuit, opamp_buffer, parallel_rlc_for
+from repro.core import AllNodesOptions
+from repro.exceptions import ToolError
+from repro.tool import (
+    Corner,
+    SimulationEnvironment,
+    StabilityAnalysisTool,
+    default_corners,
+    format_corner_table,
+    run_corners,
+    temperature_sweep,
+)
+
+SWEEP = FrequencySweep(1e4, 1e10, 25)
+
+
+@pytest.fixture()
+def tool(tmp_path):
+    environment = SimulationEnvironment(name="test", sweep=SWEEP,
+                                        result_root=str(tmp_path))
+    return StabilityAnalysisTool(environment)
+
+
+class TestSingleNodeMode:
+    def test_push_button_single_node(self, tool):
+        design = parallel_rlc_for(1e6, 0.25)
+        run = tool.run_single_node(design.circuit, design.node)
+        assert run.ok and run.mode == "single-node"
+        assert run.single_node_result.damping_ratio == pytest.approx(0.25, rel=0.1)
+        assert "Estimated phase margin" in run.report
+        assert run.report_path and os.path.exists(run.report_path)
+
+    def test_option_override(self, tool):
+        design = parallel_rlc_for(1e6, 0.25)
+        run = tool.run_single_node(design.circuit, design.node, refine=False)
+        assert run.single_node_result.refined_plot is None
+
+    def test_unknown_option_rejected(self, tool):
+        design = parallel_rlc_for(1e6, 0.25)
+        with pytest.raises(ToolError):
+            tool.run_single_node(design.circuit, design.node, bogus=True)
+
+    def test_failure_is_captured_not_raised(self, tool):
+        design = parallel_rlc_for(1e6, 0.25)
+        run = tool.run_single_node(design.circuit, "no-such-node")
+        assert not run.ok
+        assert "failed" in run.report
+        assert tool.diagnostics.has_errors
+
+
+class TestAllNodesMode:
+    def test_push_button_all_nodes(self, tool):
+        design = bias_circuit()
+        run = tool.run_all_nodes(design.circuit)
+        assert run.ok and run.all_nodes_result is not None
+        assert run.all_nodes_result.loops
+        assert design.bias_line_node in run.annotations
+        # Result files are written to the session's result directory.
+        files = os.listdir(run.result_directory)
+        assert "all_nodes_report.txt" in files
+        assert "all_nodes_rows.csv" in files
+        assert "annotated_netlist.txt" in files
+        assert "diagnostics.json" in files
+
+    def test_reports_can_be_disabled(self, tmp_path):
+        environment = SimulationEnvironment(name="noreports", sweep=SWEEP,
+                                            result_root=str(tmp_path))
+        tool = StabilityAnalysisTool(environment, write_reports=False)
+        run = tool.run_all_nodes(parallel_rlc_for(1e6, 0.3).circuit)
+        assert run.ok and run.report_path is None
+
+    def test_environment_variables_flow_into_analysis(self, tmp_path):
+        environment = SimulationEnvironment(name="vars", sweep=SWEEP,
+                                            result_root=str(tmp_path),
+                                            design_variables={"cload": 3e-9})
+        tool = StabilityAnalysisTool(environment)
+        design = opamp_buffer()
+        run = tool.run_single_node(design.circuit, design.output_node)
+        heavier = run.single_node_result
+        nominal = StabilityAnalysisTool(
+            SimulationEnvironment(name="nom", sweep=SWEEP, result_root=str(tmp_path))
+        ).run_single_node(design.circuit, design.output_node).single_node_result
+        assert heavier.natural_frequency_hz < nominal.natural_frequency_hz
+
+
+class TestCorners:
+    def test_default_corner_set(self):
+        corners = default_corners()
+        assert [c.name for c in corners] == ["nominal", "cold", "hot"]
+
+    def test_run_corners_on_bias_cell(self):
+        design = bias_circuit()
+        corners = [Corner("nominal", 27.0), Corner("hot", 125.0),
+                   Corner("compensated", 27.0, variables={"ccomp": 1e-12})]
+        results = run_corners(design.circuit, corners,
+                              options=AllNodesOptions(sweep=SWEEP))
+        assert all(r.ok for r in results)
+        by_name = {r.corner.name: r for r in results}
+        nominal_loops = by_name["nominal"].loop_summary()
+        comp_loops = by_name["compensated"].loop_summary()
+        nominal_worst = min(row["damping_ratio"] for row in nominal_loops)
+        comp_worst = min(row["damping_ratio"] for row in comp_loops) if comp_loops else 1.0
+        assert comp_worst > nominal_worst
+        table = format_corner_table(results)
+        assert "nominal" in table and "compensated" in table
+
+    def test_temperature_sweep_via_tool(self, tool):
+        design = bias_circuit()
+        run = tool.run_temperature_sweep(design.circuit, [0.0, 85.0])
+        assert run.mode == "temperature-sweep"
+        assert len(run.corner_results) == 2
+        assert all(r.ok for r in run.corner_results)
+        assert "T=0C" in run.report and "T=85C" in run.report
+
+    def test_corner_run_via_tool_with_failure(self, tool):
+        design = bias_circuit()
+        # A corner with an impossible supply makes the operating point fail;
+        # the tool must report it and keep the other corner.
+        corners = [Corner("ok", 27.0),
+                   Corner("broken", 27.0, variables={"vsupply": -5.0})]
+        run = tool.run_corners(design.circuit, corners)
+        by_name = {r.corner.name: r for r in run.corner_results}
+        assert by_name["ok"].ok
+        # Either the corner fails outright or it completes with no loops;
+        # both are acceptable, but a failure must be recorded as such.
+        if not by_name["broken"].ok:
+            assert tool.diagnostics.has_errors
+
+    def test_parallel_corner_execution_matches_serial(self):
+        design = parallel_rlc_for(1e6, 0.3)
+        corners = temperature_sweep(design.circuit, [0.0, 50.0],
+                                    options=AllNodesOptions(sweep=SWEEP))
+        parallel = temperature_sweep(design.circuit, [0.0, 50.0],
+                                     options=AllNodesOptions(sweep=SWEEP),
+                                     max_workers=2)
+        for serial_result, parallel_result in zip(corners, parallel):
+            assert serial_result.ok and parallel_result.ok
+            s = serial_result.loop_summary()
+            p = parallel_result.loop_summary()
+            assert len(s) == len(p)
+            if s:
+                assert s[0]["damping_ratio"] == pytest.approx(p[0]["damping_ratio"], rel=1e-9)

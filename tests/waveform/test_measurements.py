@@ -1,0 +1,127 @@
+"""Tests for the black-box stability measurements (overshoot, margins...)."""
+
+import numpy as np
+import pytest
+
+from repro.core.second_order import SecondOrderSystem, phase_margin_from_damping
+from repro.exceptions import WaveformError
+from repro.waveform import (
+    Waveform,
+    gain_margin_db,
+    loop_gain_margins,
+    magnitude_peaking,
+    overshoot_percent,
+    peak_to_peak,
+    phase_crossover_frequency,
+    phase_margin,
+    rise_time,
+    settling_time,
+    unity_gain_frequency,
+)
+
+
+def second_order_step(zeta, fn=1e6, periods=20, points=4000):
+    system = SecondOrderSystem(zeta, fn)
+    t = np.linspace(0, periods / fn, points)
+    return Waveform(t, system.step_response(t))
+
+
+def two_pole_loop_gain(a0=1e4, p1=100.0, p2=1e5, fmax=1e8):
+    freqs = np.logspace(0, np.log10(fmax), 2000)
+    response = a0 / ((1 + 1j * freqs / p1) * (1 + 1j * freqs / p2))
+    return Waveform(freqs, response)
+
+
+class TestTimeDomain:
+    @pytest.mark.parametrize("zeta,expected", [(0.2, 52.7), (0.5, 16.3), (0.7, 4.6)])
+    def test_overshoot_of_second_order_step(self, zeta, expected):
+        assert overshoot_percent(second_order_step(zeta)) == pytest.approx(expected, abs=1.0)
+
+    def test_overshoot_zero_for_overdamped(self):
+        assert overshoot_percent(second_order_step(1.0)) == pytest.approx(0.0, abs=0.5)
+
+    def test_overshoot_requires_transition(self):
+        flat = Waveform([0, 1, 2], [1.0, 1.0, 1.0])
+        with pytest.raises(WaveformError):
+            overshoot_percent(flat)
+
+    def test_overshoot_for_falling_step(self):
+        rising = second_order_step(0.3)
+        falling = Waveform(rising.x, 1.0 - rising.y)
+        assert overshoot_percent(falling) == pytest.approx(overshoot_percent(rising), rel=1e-6)
+
+    def test_rise_time_first_order(self):
+        tau = 1e-3
+        t = np.linspace(0, 10 * tau, 5000)
+        w = Waveform(t, 1 - np.exp(-t / tau))
+        assert rise_time(w) == pytest.approx(tau * np.log(9), rel=0.01)
+
+    def test_settling_time_decreases_with_damping(self):
+        assert settling_time(second_order_step(0.7)) < settling_time(second_order_step(0.2))
+
+    def test_peak_to_peak(self):
+        t = np.linspace(0, 1, 100)
+        assert peak_to_peak(Waveform(t, np.sin(2 * np.pi * t))) == pytest.approx(2.0, rel=1e-2)
+
+
+class TestFrequencyDomain:
+    def test_unity_gain_frequency_one_pole(self):
+        # Single pole: |A| = 1 at ~ a0 * p1 (gain-bandwidth product).
+        freqs = np.logspace(0, 8, 2000)
+        response = 1e4 / (1 + 1j * freqs / 100.0)
+        w = Waveform(freqs, response)
+        assert unity_gain_frequency(w) == pytest.approx(1e6, rel=0.01)
+
+    def test_phase_margin_single_pole_is_90(self):
+        freqs = np.logspace(0, 8, 2000)
+        w = Waveform(freqs, 1e4 / (1 + 1j * freqs / 100.0))
+        assert phase_margin(w) == pytest.approx(90.0, abs=1.0)
+
+    def test_two_pole_margins(self):
+        w = two_pole_loop_gain()
+        measured = phase_margin(w)
+        # Analytic: crossover ~ sqrt(a0 p1 p2) when well above p2.
+        wc = unity_gain_frequency(w)
+        expected = 180 - np.degrees(np.arctan(wc / 100.0)) - np.degrees(np.arctan(wc / 1e5))
+        assert measured == pytest.approx(expected, abs=1.0)
+
+    def test_phase_margin_none_when_no_crossover(self):
+        freqs = np.logspace(0, 4, 100)
+        w = Waveform(freqs, 0.5 / (1 + 1j * freqs / 100.0))
+        assert phase_margin(w) is None
+
+    def test_gain_margin_three_pole(self):
+        freqs = np.logspace(0, 8, 4000)
+        p = 1e4
+        response = 30.0 / (1 + 1j * freqs / p) ** 3
+        w = Waveform(freqs, response)
+        f180 = phase_crossover_frequency(w)
+        # Three coincident poles reach -180 at sqrt(3)*p.
+        assert f180 == pytest.approx(np.sqrt(3) * p, rel=0.02)
+        # |T| there is 30/8, so the gain margin is negative (unstable loop).
+        assert gain_margin_db(w) == pytest.approx(-20 * np.log10(30 / 8.0), abs=0.3)
+
+    def test_magnitude_peaking_matches_second_order(self):
+        zeta = 0.3
+        system = SecondOrderSystem(zeta, 1e5)
+        freqs = np.logspace(3, 7, 2000)
+        w = system.response(freqs)
+        assert magnitude_peaking(w) == pytest.approx(system.max_magnitude, rel=0.01)
+
+    def test_loop_gain_margins_bundle(self):
+        margins = loop_gain_margins(two_pole_loop_gain())
+        assert margins.dc_gain_db == pytest.approx(80.0, abs=0.1)
+        assert margins.is_stable()
+        assert margins.unity_gain_frequency_hz is not None
+        # Two poles only: phase never reaches -180 degrees.
+        assert margins.phase_crossover_frequency_hz is None
+
+    def test_phase_margin_consistency_with_damping_theory(self):
+        # A two-pole unity-feedback loop with known closed-loop zeta: its
+        # measured PM must match the analytic PM(zeta) relation.
+        a0, p1 = 1e4, 100.0
+        gbw = a0 * p1
+        zeta = 0.4
+        p2 = gbw * 4 * zeta ** 2 / (1 - 2 * zeta ** 2 / a0)   # wn=sqrt(a0 p1 p2): zeta=(p1+p2)/2wn ~ 0.5 sqrt(p2/gbw)
+        w = two_pole_loop_gain(a0=a0, p1=p1, p2=p2)
+        assert phase_margin(w) == pytest.approx(phase_margin_from_damping(zeta), abs=2.0)

@@ -1,0 +1,156 @@
+"""Tests for the Waveform container and calculator operations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import WaveformError
+from repro.waveform import Waveform
+
+
+def make(x=None, y=None, **kwargs):
+    if x is None:
+        x = np.linspace(0.0, 1.0, 11)
+    if y is None:
+        y = np.sin(2 * np.pi * x)
+    return Waveform(x, y, **kwargs)
+
+
+class TestConstruction:
+    def test_lengths_must_match(self):
+        with pytest.raises(WaveformError):
+            Waveform([0, 1, 2], [0, 1])
+
+    def test_x_must_increase(self):
+        with pytest.raises(WaveformError):
+            Waveform([0, 1, 1], [0, 1, 2])
+
+    def test_needs_two_points(self):
+        with pytest.raises(WaveformError):
+            Waveform([0], [1])
+
+    def test_complex_detection(self):
+        assert not make().is_complex
+        assert Waveform([1, 2], [1 + 1j, 2]).is_complex
+
+
+class TestArithmetic:
+    def test_scalar_operations(self):
+        w = make(y=np.ones(11))
+        assert np.allclose((w * 3 + 1).y, 4.0)
+        assert np.allclose((1 - w).y, 0.0)
+        assert np.allclose((2 / (w * 2)).y, 1.0)
+        assert np.allclose((-w).y, -1.0)
+
+    def test_waveform_operations_require_same_grid(self):
+        w1 = make(y=np.ones(11))
+        w2 = make(y=2 * np.ones(11))
+        assert np.allclose((w1 + w2).y, 3.0)
+        other = Waveform(np.linspace(0, 2, 11), np.ones(11))
+        with pytest.raises(WaveformError):
+            _ = w1 + other
+
+    def test_apply(self):
+        w = make(y=np.full(11, 4.0))
+        assert np.allclose(w.apply(np.sqrt).y, 2.0)
+
+
+class TestCalculator:
+    def test_db20_and_magnitude(self):
+        w = Waveform([1, 10, 100], [1.0, 0.1, 10.0])
+        assert np.allclose(w.db20().y, [0.0, -20.0, 20.0])
+        assert np.allclose(w.magnitude().y, [1.0, 0.1, 10.0])
+
+    def test_phase_unwrap(self):
+        freqs = np.logspace(0, 4, 200)
+        # Two coincident poles produce up to -180 degrees of lag; unwrapped
+        # phase must be monotonic instead of jumping by 360.
+        response = 1.0 / (1 + 1j * freqs / 10.0) ** 2
+        w = Waveform(freqs, response)
+        phase = w.phase_deg(unwrap=True).y
+        assert phase[-1] == pytest.approx(-180.0, abs=2.0)
+        assert np.all(np.diff(phase) <= 1e-9)
+
+    def test_derivative_of_line(self):
+        w = Waveform(np.linspace(0, 1, 21), 3.0 * np.linspace(0, 1, 21) + 1.0)
+        assert np.allclose(w.derivative().y, 3.0)
+
+    def test_loglog_slope_of_power_law(self):
+        x = np.logspace(0, 3, 100)
+        w = Waveform(x, 5.0 * x ** -2)
+        assert np.allclose(w.loglog_slope().y, -2.0, atol=1e-6)
+
+    @given(st.floats(min_value=-3, max_value=3),
+           st.floats(min_value=0.1, max_value=100))
+    def test_loglog_slope_property(self, exponent, scale):
+        x = np.logspace(0, 2, 50)
+        w = Waveform(x, scale * x ** exponent)
+        assert np.allclose(w.loglog_slope().y, exponent, atol=1e-6)
+
+    def test_loglog_slope_requires_positive(self):
+        with pytest.raises(WaveformError):
+            Waveform([-1.0, 1.0], [1.0, 1.0]).loglog_slope()
+        with pytest.raises(WaveformError):
+            Waveform([1.0, 2.0], [0.0, 1.0]).loglog_slope()
+
+    def test_real_imag(self):
+        w = Waveform([1, 2], [1 + 2j, 3 - 4j])
+        assert np.allclose(w.real().y, [1, 3])
+        assert np.allclose(w.imag().y, [2, -4])
+
+    def test_integral(self):
+        w = Waveform(np.linspace(0, 1, 101), np.linspace(0, 1, 101))
+        assert w.integral() == pytest.approx(0.5, rel=1e-3)
+
+
+class TestSampling:
+    def test_at_interpolates(self):
+        w = Waveform([0.0, 1.0], [0.0, 10.0])
+        assert w.at(0.25) == pytest.approx(2.5)
+
+    def test_at_complex(self):
+        w = Waveform([0.0, 1.0], [0.0 + 0.0j, 1.0 + 2.0j])
+        assert w.at(0.5) == pytest.approx(0.5 + 1.0j)
+
+    def test_at_out_of_range(self):
+        with pytest.raises(WaveformError):
+            make().at(2.0)
+
+    def test_clipped(self):
+        w = make()
+        clipped = w.clipped(0.2, 0.8)
+        assert clipped.x[0] >= 0.2 and clipped.x[-1] <= 0.8
+        with pytest.raises(WaveformError):
+            w.clipped(0.99, 1.0)
+
+    def test_resampled(self):
+        w = Waveform([0.0, 1.0], [0.0, 1.0])
+        fine = w.resampled(np.linspace(0, 1, 5))
+        assert np.allclose(fine.y, [0, 0.25, 0.5, 0.75, 1.0])
+
+
+class TestCrossingsAndExtrema:
+    def test_crossings_directions(self):
+        x = np.linspace(0, 1, 1001)
+        w = Waveform(x, np.sin(2 * np.pi * x))
+        both = w.crossings(0.0)
+        rising = w.crossings(0.0, rising=True)
+        falling = w.crossings(0.0, rising=False)
+        assert len(rising) + len(falling) == len(both)
+        assert any(abs(c - 0.5) < 1e-3 for c in falling)
+
+    def test_first_crossing_level(self):
+        w = Waveform([0, 1, 2], [0.0, 1.0, 0.0])
+        assert w.first_crossing(0.5, rising=True) == pytest.approx(0.5)
+        assert w.first_crossing(5.0) is None
+
+    def test_extrema(self):
+        x = np.linspace(0, 1, 1001)
+        w = Waveform(x, np.sin(2 * np.pi * x))
+        x_max, y_max = w.value_max()
+        x_min, y_min = w.value_min()
+        assert x_max == pytest.approx(0.25, abs=1e-3) and y_max == pytest.approx(1.0, abs=1e-4)
+        assert x_min == pytest.approx(0.75, abs=1e-3) and y_min == pytest.approx(-1.0, abs=1e-4)
+
+    def test_final_value(self):
+        assert Waveform([0, 1], [1.0, 42.0]).final_value() == 42.0
