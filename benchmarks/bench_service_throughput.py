@@ -1,0 +1,95 @@
+"""Service throughput — cold vs. cached all-nodes request latency.
+
+The acceptance bar of the screening service: re-submitting an identical
+all-nodes request must be served from the content-addressed result cache
+at least 10x faster than the cold (computed) run.  This benchmark
+measures both paths on the full op-amp + bias circuit and additionally
+reports the Monte Carlo batch throughput on the process pool.
+"""
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_SWEEP, write_result
+from repro.service import (
+    AnalysisRequest,
+    BatchEngine,
+    Distribution,
+    ResultCache,
+    ScenarioSpec,
+    StabilityService,
+)
+
+
+def _request(design):
+    return AnalysisRequest(
+        mode="all-nodes", circuit=design.circuit,
+        sweep_start=BENCH_SWEEP.start, sweep_stop=BENCH_SWEEP.stop,
+        sweep_points_per_decade=BENCH_SWEEP.points_per_decade)
+
+
+def test_cold_vs_cached_latency(benchmark, full_circuit_design, tmp_path):
+    service = StabilityService(cache=ResultCache(str(tmp_path)),
+                               engine=BatchEngine(backend="serial"))
+
+    start = time.perf_counter()
+    cold = service.submit(_request(full_circuit_design))
+    cold_seconds = time.perf_counter() - start
+    assert cold.ok and not cold.cached
+
+    def cached_run():
+        return service.submit(_request(full_circuit_design))
+
+    warm = benchmark.pedantic(cached_run, rounds=5, iterations=1)
+    assert warm.ok and warm.cached
+
+    start = time.perf_counter()
+    service.submit(_request(full_circuit_design))
+    warm_seconds = time.perf_counter() - start
+    speedup = cold_seconds / max(warm_seconds, 1e-9)
+
+    write_result(
+        "service_throughput.txt",
+        "Cold vs. cached all-nodes request (op-amp + bias)\n"
+        f"  cold (computed):    {1e3 * cold_seconds:8.2f} ms\n"
+        f"  warm (cache hit):   {1e3 * warm_seconds:8.2f} ms\n"
+        f"  speedup:            {speedup:8.1f}x\n")
+    assert speedup >= 10.0, (
+        f"cache hit must be >= 10x faster than the cold run "
+        f"(got {speedup:.1f}x)")
+
+
+def test_monte_carlo_process_pool_throughput(benchmark, full_circuit_design,
+                                             tmp_path):
+    """16 sampled variants fanned out over the process pool."""
+    service = StabilityService(
+        cache=ResultCache(str(tmp_path)),
+        engine=BatchEngine(max_workers=4, backend="process"))
+    spec = ScenarioSpec(
+        variables={"cload": Distribution.loguniform(20e-12, 500e-12)},
+        temperature=Distribution.uniform(-40.0, 125.0),
+        samples=16, seed=42)
+
+    def screen():
+        return service.screen(spec, circuit=full_circuit_design.circuit,
+                              base=_request(full_circuit_design))
+
+    report = benchmark.pedantic(screen, rounds=1, iterations=1)
+    assert report.summary.samples == 16
+    assert report.summary.errors == 0
+
+    # A second pass over the same spec must be answered from cache.
+    start = time.perf_counter()
+    rerun = service.screen(spec, circuit=full_circuit_design.circuit,
+                           base=_request(full_circuit_design))
+    rerun_seconds = time.perf_counter() - start
+    assert rerun.cached_count == 16
+
+    write_result(
+        "service_monte_carlo.txt",
+        "Monte Carlo batch (16 samples, process pool, 4 workers)\n"
+        f"  cold batch:   {report.elapsed_seconds:6.2f} s "
+        f"({report.summary.samples / max(report.elapsed_seconds, 1e-9):.1f} samples/s)\n"
+        f"  cached batch: {rerun_seconds:6.2f} s\n"
+        + report.summary.format())

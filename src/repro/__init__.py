@@ -11,6 +11,9 @@ The package is organised in layers:
 * :mod:`repro.core` — the paper's method: stability plot, single-node and
   all-nodes analyses, loop identification, reports, baselines;
 * :mod:`repro.tool` — the push-button tool layer: sessions, corners, jobs;
+* :mod:`repro.service` — the batch screening service: content-addressed
+  result cache, process-pool batch engine, Monte Carlo yield screening
+  (``python -m repro.service``);
 * :mod:`repro.circuits` — reference circuits used by examples, tests and
   benchmarks.
 """

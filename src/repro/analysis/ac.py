@@ -20,7 +20,60 @@ from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.netlist import Circuit
 from repro.exceptions import AnalysisError, SingularMatrixError
 
-__all__ = ["ac_analysis"]
+__all__ = ["ac_analysis", "solve_ac_stacked"]
+
+#: Frequencies per stacked solve.  Bounds the size of the (K, n, n) matrix
+#: stack so wide sweeps of large circuits stay within a few tens of MB.
+_STACK_CHUNK = 128
+
+
+def solve_ac_stacked(G: np.ndarray, C: np.ndarray, rhs: np.ndarray,
+                     frequencies, chunk_size: int = _STACK_CHUNK) -> np.ndarray:
+    """Solve ``(G + j*2*pi*f*C) X = rhs`` for every frequency at once.
+
+    Instead of one ``np.linalg.solve`` per frequency, the system matrices
+    are stacked into a ``(K, n, n)`` array and handed to LAPACK as a batch,
+    which removes the Python-loop overhead of the AC hot path.  ``rhs`` may
+    be a single vector ``(n,)`` (one stimulus — the AC analysis) or a matrix
+    ``(n, m)`` (one column per injection site — the multi-node impedance
+    sweep); the result has a leading frequency axis: ``(K, n)`` or
+    ``(K, n, m)``.
+
+    If any matrix in a chunk is singular the chunk is re-solved one
+    frequency at a time to report the exact offending frequency.
+    """
+    freq = np.asarray(frequencies, dtype=float)
+    if freq.ndim != 1 or len(freq) < 1:
+        raise AnalysisError("at least one frequency is required")
+    # LAPACK's batched gesv returns NaN solutions (without raising) for
+    # non-finite inputs; guard once up front so a pathological linearisation
+    # fails loudly instead of poisoning every downstream waveform.
+    if not (np.all(np.isfinite(G)) and np.all(np.isfinite(C))):
+        raise SingularMatrixError(
+            "AC system matrices contain non-finite entries "
+            "(bad operating point or device model)")
+    rhs = np.asarray(rhs, dtype=complex)
+    single_rhs = rhs.ndim == 1
+    B = rhs[:, None] if single_rhs else rhs
+    n, m = B.shape
+    out = np.empty((len(freq), n, m), dtype=complex)
+    for start in range(0, len(freq), chunk_size):
+        block = freq[start:start + chunk_size]
+        omega = (2j * np.pi) * block
+        stack = G[None, :, :] + omega[:, None, None] * C[None, :, :]
+        try:
+            out[start:start + len(block)] = np.linalg.solve(
+                stack, np.broadcast_to(B, (len(block), n, m)))
+        except np.linalg.LinAlgError:
+            # Locate the singular frequency for a precise diagnostic.
+            for offset, frequency in enumerate(block):
+                matrix = G + (2j * np.pi * frequency) * C
+                try:
+                    out[start + offset] = np.linalg.solve(matrix, B)
+                except np.linalg.LinAlgError as exc:
+                    raise SingularMatrixError(
+                        f"AC system is singular at {frequency:g} Hz: {exc}") from exc
+    return out[:, :, 0] if single_rhs else out
 
 
 def ac_analysis(circuit: Circuit,
@@ -72,15 +125,5 @@ def ac_analysis(circuit: Circuit,
     G_ss, C_ss = system.small_signal_matrices(x_op)
 
     frequencies = sweep.frequencies
-    data = np.zeros((len(frequencies), system.size), dtype=complex)
-    b_ac = system.b_ac
-    for k, frequency in enumerate(frequencies):
-        omega = 2.0 * np.pi * frequency
-        matrix = G_ss + 1j * omega * C_ss
-        try:
-            data[k, :] = np.linalg.solve(matrix, b_ac)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                f"AC system is singular at {frequency:g} Hz: {exc}") from exc
-
+    data = solve_ac_stacked(G_ss, C_ss, system.b_ac, frequencies)
     return ACResult(system.variable_names, frequencies, data, op=op)

@@ -67,6 +67,33 @@ class OPResult(_NamedVectorResult):
         return {name: float(self.x[i]) for i, name in enumerate(self._variables)
                 if not name.startswith("#branch:")}
 
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip for the result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation of the operating point."""
+        return {
+            "variable_names": list(self._variables),
+            "x": self.x.tolist(),
+            "device_info": {name: dict(info)
+                            for name, info in self.device_info.items()},
+            "iterations": self.iterations,
+            "strategy": self.strategy,
+            "temperature": self.temperature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "OPResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            variable_names=list(data["variable_names"]),
+            x=np.asarray(data["x"], dtype=float),
+            device_info=data.get("device_info") or {},
+            iterations=int(data.get("iterations", 0)),
+            strategy=data.get("strategy", "newton"),
+            temperature=float(data.get("temperature", 27.0)),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<OPResult {len(self._variables)} unknowns, "
                 f"{self.iterations} iterations, strategy={self.strategy!r}>")

@@ -100,6 +100,16 @@ class FrequencySweep:
             return value
         return cls(frequencies=np.asarray(value, dtype=float))
 
+    def canonical_data(self) -> dict:
+        """Deterministic content description used by request fingerprinting
+        (see :mod:`repro.circuit.canonical`).  Explicit point lists carry
+        the full grid; generated sweeps are described by their parameters."""
+        data = {"__class__": "FrequencySweep", "start": self.start,
+                "stop": self.stop, "points_per_decade": self.points_per_decade}
+        if not self.points_per_decade:
+            data["frequencies"] = [float(f) for f in self._frequencies]
+        return data
+
     def refined(self, factor: int = 4) -> "FrequencySweep":
         """Return a sweep with ``factor`` times more points per decade."""
         if self.points_per_decade:

@@ -9,6 +9,13 @@ hierarchy, and can be produced either programmatically
 """
 
 from repro.circuit.builder import CircuitBuilder
+from repro.circuit.canonical import (
+    canonical_circuit_data,
+    canonical_netlist,
+    canonical_value,
+    circuit_fingerprint,
+    fingerprint_data,
+)
 from repro.circuit.elements import (
     BJT,
     BJTModel,
@@ -40,6 +47,11 @@ from repro.circuit.units import format_si, format_value, parse_value, thermal_vo
 __all__ = [
     "Circuit",
     "CircuitBuilder",
+    "canonical_circuit_data",
+    "canonical_netlist",
+    "canonical_value",
+    "circuit_fingerprint",
+    "fingerprint_data",
     "SubcircuitDefinition",
     "SubcircuitInstance",
     "parse_netlist",

@@ -1,0 +1,174 @@
+"""Canonical circuit serialization and content-addressed fingerprints.
+
+The batch screening service (:mod:`repro.service`) caches analysis results
+by the *content* of the request: two requests that describe the same
+electrical circuit under the same analysis conditions must map to the same
+key, regardless of element insertion order, node aliasing, subcircuit
+hierarchy or cosmetic metadata (titles, labels).
+
+The canonical form is built from the **flattened** circuit:
+
+* elements are sorted by (lower-cased) name;
+* node names are alias-resolved and every ground spelling ("0", "gnd",
+  "vss!", ...) collapses to ``"0"``;
+* element parameters are taken from the element's public attributes and
+  serialised recursively (models and source waveforms by value, numpy
+  scalars/arrays as plain lists, enums by value);
+* the circuit title is *excluded* — it never changes the electrical
+  behaviour;
+* design variables are included because string-valued element parameters
+  ("cload*2") are resolved against them at analysis time.
+
+:func:`fingerprint_data` hashes any canonical structure with SHA-256 over
+its compact, key-sorted JSON encoding, which is deterministic across
+processes and Python versions (``repr`` of floats is exact round-trip in
+Python 3).
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.elements.base import is_ground
+from repro.circuit.netlist import Circuit
+from repro.exceptions import NetlistError
+
+__all__ = [
+    "canonical_value",
+    "canonical_circuit_data",
+    "canonical_netlist",
+    "circuit_fingerprint",
+    "fingerprint_data",
+]
+
+#: Bump when the canonical schema changes so stale cache entries miss.
+CANONICAL_SCHEMA_VERSION = 1
+
+_PRIMITIVES = (bool, int, str, type(None))
+
+
+def canonical_value(value: Any) -> Any:
+    """Convert ``value`` into a deterministic JSON-able structure.
+
+    Handles primitives, numpy scalars/arrays, complex numbers, sequences,
+    dicts (key-sorted) and plain objects (public attributes, tagged with
+    the class name).  Callables are rejected: they have no stable content
+    representation and must be stripped by the caller (e.g. progress
+    callbacks on option objects).
+    """
+    if isinstance(value, _PRIMITIVES):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, np.generic):
+        return canonical_value(value.item())
+    if isinstance(value, np.ndarray):
+        return [canonical_value(item) for item in value.tolist()]
+    if isinstance(value, complex):
+        return {"__complex__": [value.real, value.imag]}
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): canonical_value(val)
+                for key, val in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, Circuit):
+        return canonical_circuit_data(value)
+    if hasattr(value, "canonical_data"):
+        # Objects whose content is not fully visible through public
+        # attributes (e.g. FrequencySweep with an explicit point list)
+        # provide their own canonical form.
+        return canonical_value(value.canonical_data())
+    if callable(value):
+        raise NetlistError(
+            f"cannot canonicalise callable {value!r}; strip callbacks before hashing")
+    if hasattr(value, "__dict__"):
+        payload: Dict[str, Any] = {"__class__": type(value).__name__}
+        for key in sorted(vars(value)):
+            if key.startswith("_"):
+                continue
+            attr = vars(value)[key]
+            if callable(attr):
+                continue
+            payload[key] = canonical_value(attr)
+        return payload
+    raise NetlistError(f"cannot canonicalise value of type {type(value).__name__}")
+
+
+def _canonical_node(circuit: Circuit, node: str) -> str:
+    resolved = circuit.resolve_node(node)
+    return "0" if is_ground(resolved) else resolved
+
+
+def canonical_circuit_data(circuit: Circuit) -> Dict[str, Any]:
+    """Canonical, order-independent description of ``circuit``.
+
+    The circuit is flattened first, so hierarchical and pre-flattened
+    descriptions of the same network agree.  Titles are excluded.
+    """
+    flat = circuit.flattened()
+    elements: List[Dict[str, Any]] = []
+    for element in sorted(flat.elements, key=lambda e: e.name.lower()):
+        params: Dict[str, Any] = {}
+        for key in sorted(vars(element)):
+            if key.startswith("_") or key in ("name", "nodes"):
+                continue
+            attr = vars(element)[key]
+            if callable(attr):
+                continue
+            params[key] = canonical_value(attr)
+        elements.append({
+            "type": type(element).__name__,
+            "name": element.name.lower(),
+            "nodes": [_canonical_node(flat, node) for node in element.nodes],
+            "params": params,
+        })
+    return {
+        "schema": CANONICAL_SCHEMA_VERSION,
+        "elements": elements,
+        "variables": {str(k): float(v) for k, v in sorted(flat.variables.items())},
+    }
+
+
+def canonical_netlist(circuit: Circuit) -> str:
+    """Human-readable canonical listing (one line per element, sorted).
+
+    This is a debugging/inspection aid: the fingerprint is computed from
+    :func:`canonical_circuit_data`, and this listing renders the same data.
+    """
+    data = canonical_circuit_data(circuit)
+    lines = []
+    for entry in data["elements"]:
+        params = json.dumps(entry["params"], sort_keys=True, default=str)
+        lines.append(f"{entry['type']} {entry['name']} "
+                     f"({' '.join(entry['nodes'])}) {params}")
+    for name, value in data["variables"].items():
+        lines.append(f".param {name}={value!r}")
+    return "\n".join(lines) + "\n"
+
+
+def fingerprint_data(data: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON encoding of ``data``."""
+    encoded = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def circuit_fingerprint(circuit: Circuit,
+                        extra: Optional[Dict[str, Any]] = None) -> str:
+    """Content hash of a circuit, optionally mixed with analysis conditions.
+
+    ``extra`` is canonicalised and hashed together with the circuit; the
+    service layer passes the analysis mode, temperature, sweep and design
+    variable overrides here so that each distinct request is addressed
+    separately.
+    """
+    payload: Dict[str, Any] = {"circuit": canonical_circuit_data(circuit)}
+    if extra:
+        payload["extra"] = canonical_value(extra)
+    return fingerprint_data(payload)

@@ -104,6 +104,46 @@ class AllNodesResult:
         with_peaks = self.nodes_with_peaks()
         return sorted(with_peaks, key=lambda r: r.natural_frequency_hz)
 
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip for the result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Complete JSON-able representation.
+
+        The operating point (shared by every per-node result) is stored
+        once; loops are stored as lists of member node names.
+        """
+        return {
+            "circuit_title": self.circuit_title,
+            "results": [r.to_dict(include_op=False) for r in self.results],
+            "loops": [loop.to_dict() for loop in self.loops],
+            "skipped_nodes": list(self.skipped_nodes),
+            "failed_nodes": dict(self.failed_nodes),
+            "op": self.op.to_dict() if self.op is not None else None,
+            "elapsed_seconds": self.elapsed_seconds,
+            "temperature": self.temperature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AllNodesResult":
+        """Inverse of :meth:`to_dict` (loop members keep their identity with
+        the entries of ``results``)."""
+        op = OPResult.from_dict(data["op"]) if data.get("op") is not None else None
+        results = [NodeStabilityResult.from_dict(entry, op=op)
+                   for entry in data["results"]]
+        by_node = {result.node: result for result in results}
+        loops = [Loop.from_dict(entry, by_node) for entry in data["loops"]]
+        return cls(
+            circuit_title=data["circuit_title"],
+            results=results,
+            loops=loops,
+            skipped_nodes=list(data.get("skipped_nodes", [])),
+            failed_nodes=dict(data.get("failed_nodes", {})),
+            op=op,
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            temperature=float(data.get("temperature", 27.0)),
+        )
+
     def summary(self) -> str:
         lines = [f"All-nodes stability analysis of {self.circuit_title!r}:",
                  f"  {len(self.results)} nodes analysed, "
@@ -133,7 +173,8 @@ def analyze_all_nodes(circuit: Circuit,
 
     if op is None:
         op = operating_point(flat, temperature=options.temperature,
-                             variables=options.variables, options=options.newton)
+                             gmin=options.gmin, variables=options.variables,
+                             options=options.newton)
 
     results: List[NodeStabilityResult] = []
     failures: Dict[str, str] = {}
@@ -174,8 +215,8 @@ def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
     failures: Dict[str, str] = {}
 
     sweeper = ImpedanceSweeper(flat, temperature=options.temperature,
-                               variables=options.variables, op=op,
-                               newton=options.newton)
+                               gmin=options.gmin, variables=options.variables,
+                               op=op, newton=options.newton)
     sweep = FrequencySweep.coerce(options.sweep)
     coarse = sweeper.impedance_waveforms(nodes, sweep.frequencies)
 

@@ -4,10 +4,12 @@ The all-nodes run needs the self-response of *every* node to an injected
 AC current.  Done naively that is one AC analysis per node, each of which
 factorises the same ``(G + jwC)`` matrix at every frequency.  Because the
 matrix does not depend on where the current is injected — only the
-right-hand side does — a single LU factorisation per frequency can serve
-all nodes at once.  This gives results numerically identical to the
-one-node-at-a-time path (which the tests verify) at a fraction of the
-cost, and is the engine behind ``AllNodesOptions(use_fast_solver=True)``.
+right-hand side does — a single factorisation per frequency can serve all
+nodes at once, and the whole sweep is handed to LAPACK as one stacked
+batch (:func:`repro.analysis.ac.solve_ac_stacked`).  This gives results
+numerically identical to the one-node-at-a-time path (which the tests
+verify) at a fraction of the cost, and is the engine behind
+``AllNodesOptions(use_fast_solver=True)``.
 """
 
 from __future__ import annotations
@@ -15,14 +17,14 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
-import scipy.linalg
 
+from repro.analysis.ac import solve_ac_stacked
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.op import NewtonOptions, operating_point
 from repro.analysis.results import OPResult
 from repro.circuit.netlist import Circuit
-from repro.exceptions import SingularMatrixError, StabilityAnalysisError
+from repro.exceptions import StabilityAnalysisError
 from repro.waveform.waveform import Waveform
 
 __all__ = ["ImpedanceSweeper"]
@@ -33,8 +35,9 @@ class ImpedanceSweeper:
 
     The circuit is copied, every existing AC stimulus is zeroed (the tool's
     auto-zero feature) and the copy is linearised at its DC operating
-    point once.  Each call to :meth:`impedances` then costs one complex LU
-    factorisation per frequency regardless of how many nodes are requested.
+    point once.  Each call to :meth:`impedances` then costs one batched
+    complex solve over all frequencies regardless of how many nodes are
+    requested.
     """
 
     def __init__(self, circuit: Circuit,
@@ -99,18 +102,10 @@ class ImpedanceSweeper:
         for column, index in enumerate(indices):
             rhs[index, column] = 1.0
 
-        data = np.zeros((len(freq), len(nodes)), dtype=complex)
-        for k, frequency in enumerate(freq):
-            matrix = self._G + 1j * (2.0 * np.pi * frequency) * self._C
-            try:
-                lu, piv = scipy.linalg.lu_factor(matrix)
-            except (ValueError, scipy.linalg.LinAlgError) as exc:
-                raise SingularMatrixError(
-                    f"AC system is singular at {frequency:g} Hz: {exc}") from exc
-            solution = scipy.linalg.lu_solve((lu, piv), rhs)
-            for column, index in enumerate(indices):
-                data[k, column] = solution[index, column]
-
+        # One batched solve over all frequencies and all injection columns;
+        # Z(node_c) at frequency k is the diagonal entry solution[k, i_c, c].
+        solution = solve_ac_stacked(self._G, self._C, rhs, freq)
+        data = solution[:, indices, np.arange(len(nodes))]
         return {node: data[:, column] for column, node in enumerate(nodes)}
 
     def impedance_waveforms(self, nodes: Sequence[str],

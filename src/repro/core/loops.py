@@ -66,6 +66,23 @@ class Loop:
         compensation, and 45-60 degrees is the usual design floor."""
         return self.damping_ratio < 0.5
 
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip for the result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation: members are stored by node name and
+        re-linked against the per-node results on :meth:`from_dict`."""
+        return {"natural_frequency_hz": self.natural_frequency_hz,
+                "nodes": [r.node for r in self.nodes]}
+
+    @classmethod
+    def from_dict(cls, data: dict,
+                  results_by_node: dict) -> "Loop":
+        """Inverse of :meth:`to_dict`; ``results_by_node`` maps node name ->
+        :class:`NodeStabilityResult` (member order is preserved)."""
+        return cls(natural_frequency_hz=float(data["natural_frequency_hz"]),
+                   nodes=[results_by_node[name] for name in data["nodes"]])
+
     def summary(self) -> str:
         from repro.circuit.units import format_si
 

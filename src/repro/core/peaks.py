@@ -63,6 +63,29 @@ class StabilityPeak:
         """|value| — what the paper's Table 2 lists as "Stability Peak"."""
         return abs(self.value)
 
+    def to_dict(self) -> dict:
+        """JSON-able representation (the enum goes by value)."""
+        return {
+            "frequency_hz": self.frequency_hz,
+            "value": self.value,
+            "peak_type": self.peak_type.value,
+            "index": self.index,
+            "prominence": self.prominence,
+            "companion_frequency_hz": self.companion_frequency_hz,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StabilityPeak":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            frequency_hz=float(data["frequency_hz"]),
+            value=float(data["value"]),
+            peak_type=PeakType(data["peak_type"]),
+            index=int(data["index"]),
+            prominence=float(data.get("prominence", 0.0)),
+            companion_frequency_hz=data.get("companion_frequency_hz"),
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<StabilityPeak {self.value:+.3f} @ {self.frequency_hz:.4g} Hz "
                 f"({self.peak_type})>")

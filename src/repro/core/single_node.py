@@ -20,8 +20,6 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
-import numpy as np
-
 from repro.analysis.ac import ac_analysis
 from repro.analysis.op import NewtonOptions, operating_point
 from repro.analysis.results import ACResult, OPResult
@@ -50,6 +48,8 @@ class SingleNodeOptions:
     sweep: Optional[FrequencySweep] = None
     #: Simulation temperature in Celsius.
     temperature: float = 27.0
+    #: Junction convergence conductance of the underlying analyses.
+    gmin: float = 1e-12
     #: AC magnitude of the injected current.
     stimulus_amplitude: float = DEFAULT_STIMULUS_AMPLITUDE
     #: Zero all pre-existing AC stimuli before the run (tool default).
@@ -110,6 +110,58 @@ class NodeStabilityResult:
         if self.performance_index is None:
             return None
         return abs(self.performance_index)
+
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip for the result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self, include_op: bool = True) -> dict:
+        """JSON-able representation of the full per-node result.
+
+        The all-nodes container passes ``include_op=False`` and stores the
+        (shared) operating point once at its own level.
+        """
+        return {
+            "node": self.node,
+            "plot": self.plot.to_dict(),
+            "response": self.response.to_dict(),
+            "peaks": [peak.to_dict() for peak in self.peaks],
+            "dominant_peak": (self.dominant_peak.to_dict()
+                              if self.dominant_peak is not None else None),
+            "performance_index": self.performance_index,
+            "natural_frequency_hz": self.natural_frequency_hz,
+            "damping_ratio": self.damping_ratio,
+            "phase_margin_deg": self.phase_margin_deg,
+            "overshoot_percent": self.overshoot_percent,
+            "peak_type": self.peak_type.value if self.peak_type is not None else None,
+            "refined_plot": (self.refined_plot.to_dict()
+                             if self.refined_plot is not None else None),
+            "op": (self.op.to_dict()
+                   if include_op and self.op is not None else None),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, op: Optional[OPResult] = None) -> "NodeStabilityResult":
+        """Inverse of :meth:`to_dict`; ``op`` re-attaches a shared OP."""
+        if op is None and data.get("op") is not None:
+            op = OPResult.from_dict(data["op"])
+        return cls(
+            node=data["node"],
+            plot=Waveform.from_dict(data["plot"]),
+            response=Waveform.from_dict(data["response"]),
+            peaks=[StabilityPeak.from_dict(peak) for peak in data["peaks"]],
+            dominant_peak=(StabilityPeak.from_dict(data["dominant_peak"])
+                           if data.get("dominant_peak") is not None else None),
+            performance_index=data.get("performance_index"),
+            natural_frequency_hz=data.get("natural_frequency_hz"),
+            damping_ratio=data.get("damping_ratio"),
+            phase_margin_deg=data.get("phase_margin_deg"),
+            overshoot_percent=data.get("overshoot_percent"),
+            peak_type=(PeakType(data["peak_type"])
+                       if data.get("peak_type") is not None else None),
+            refined_plot=(Waveform.from_dict(data["refined_plot"])
+                          if data.get("refined_plot") is not None else None),
+            op=op,
+        )
 
     def summary(self) -> str:
         """One-line human-readable summary (used by reports and examples)."""
@@ -205,13 +257,14 @@ def analyze_node(circuit: Circuit, node: str,
 
     if op is None:
         op = operating_point(circuit, temperature=options.temperature,
-                             variables=options.variables, options=options.newton)
+                             gmin=options.gmin, variables=options.variables,
+                             options=options.newton)
 
     node_name = circuit.resolve_node(node)
 
     def sweep_response(frequencies) -> Waveform:
         ac = ac_analysis(excited, frequencies, temperature=options.temperature,
-                         variables=options.variables, op=op)
+                         gmin=options.gmin, variables=options.variables, op=op)
         response = ac.waveform(node_name).magnitude()
         response.name = f"|Z({node_name})|"
         return response

@@ -1,0 +1,293 @@
+"""Command-line front end of the batch screening service.
+
+Usage examples::
+
+    # One-shot (cached-or-fresh) all-nodes screening of a netlist:
+    python -m repro.service analyze opamp.sp
+
+    # Several netlists fanned out over the process pool:
+    python -m repro.service analyze a.sp b.sp c.sp --workers 4
+
+    # Single-node mode at a corner temperature:
+    python -m repro.service analyze opamp.sp --mode single-node \\
+        --node out --temperature 125 --set cload=2e-12
+
+    # Monte Carlo screening, 64 samples on the pool:
+    python -m repro.service montecarlo opamp.sp --samples 64 \\
+        --vary "cload=normal:1e-12:10%" --temperature "uniform:-40:125" \\
+        --min-pm 45
+
+    # Cache inspection / maintenance:
+    python -m repro.service cache stats
+    python -m repro.service cache clear
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, List, Optional
+
+from repro.analysis.sweeps import FrequencySweep
+from repro.circuit.units import parse_value
+from repro.exceptions import ReproError, ToolError
+from repro.service.cache import ResultCache
+from repro.service.requests import AnalysisRequest
+from repro.service.scenarios import Distribution, ScenarioSpec, StabilityCriteria
+from repro.service.service import StabilityService
+
+#: Default disk-cache root, under the session result directory the tool
+#: layer also writes to (see repro.tool.session.SimulationEnvironment).
+DEFAULT_CACHE_DIR = os.path.join("stability_results", "service_cache")
+
+
+def _parse_assignment(text: str) -> tuple:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=VALUE, got {text!r}")
+    name, _, value = text.partition("=")
+    try:
+        return name.strip(), parse_value(value.strip())
+    except ReproError:
+        raise argparse.ArgumentTypeError(
+            f"value of {name!r} is not a number: {value!r}") from None
+
+
+def _parse_distribution(text: str, reference: Optional[float] = None) -> Distribution:
+    """Parse ``kind:param[:param...]``; "10%" params scale ``reference``."""
+    parts = text.split(":")
+    kind, raw_params = parts[0].strip().lower(), parts[1:]
+    params: List[float] = []
+    for raw in raw_params:
+        raw = raw.strip()
+        if raw.endswith("%"):
+            if reference is None:
+                raise ToolError(f"percentage parameter {raw!r} needs a "
+                                "reference value (use mean:percent forms)")
+            params.append(abs(reference) * float(raw[:-1]) / 100.0)
+        else:
+            params.append(parse_value(raw))
+        if kind == "normal" and reference is None and len(params) == 1:
+            reference = params[0]
+    if kind == "normal":
+        return Distribution.normal(*params)
+    if kind == "uniform":
+        return Distribution.uniform(*params)
+    if kind == "loguniform":
+        return Distribution.loguniform(*params)
+    if kind == "choice":
+        return Distribution.choice(*params)
+    raise ToolError(f"unknown distribution {kind!r} "
+                    "(expected normal/uniform/loguniform/choice)")
+
+
+def _parse_vary(text: str) -> tuple:
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=kind:params, got {text!r}")
+    name, _, spec = text.partition("=")
+    return name.strip(), spec.strip()
+
+
+def _parse_sweep(text: str) -> tuple:
+    parts = text.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected START:STOP:POINTS_PER_DECADE, got {text!r}")
+    return float(parts[0]), float(parts[1]), int(parts[2])
+
+
+def _read_netlist(path: str) -> str:
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _make_service(args) -> StabilityService:
+    cache_dir = None if args.no_cache else args.cache_dir
+    cache = ResultCache(cache_dir)
+    return StabilityService(cache=cache, max_workers=args.workers,
+                            backend=args.backend)
+
+
+def _add_service_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help=f"disk cache root (default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the result cache for this invocation")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size (default: CPU count, capped at 8)")
+    parser.add_argument("--backend", choices=("process", "thread", "serial"),
+                        default="process", help="batch execution backend")
+    parser.add_argument("--json", action="store_true",
+                        help="print raw JSON responses instead of reports")
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(done, total, response):
+        origin = "cache" if response.cached else f"{response.elapsed_seconds:.2f}s"
+        status = "ok" if response.ok else "FAILED"
+        label = response.label or response.fingerprint[:12] or "?"
+        print(f"  [{done}/{total}] {label}: {status} ({origin})",
+              file=sys.stderr)
+    return progress
+
+
+def cmd_analyze(args) -> int:
+    service = _make_service(args)
+    requests = []
+    for path in args.netlists:
+        requests.append(AnalysisRequest(
+            mode=args.mode,
+            netlist=_read_netlist(path),
+            node=args.node,
+            temperature=args.temperature,
+            gmin=args.gmin,
+            variables=dict(args.set or []),
+            sweep_start=args.sweep[0], sweep_stop=args.sweep[1],
+            sweep_points_per_decade=args.sweep[2],
+            label=os.path.basename(path),
+        ))
+    responses = service.submit_batch(requests,
+                                     progress=_progress_printer(args.quiet))
+    failures = 0
+    for response in responses:
+        if args.json:
+            print(json.dumps(response.to_dict()))
+            continue
+        origin = ("served from cache" if response.cached
+                  else f"computed in {response.elapsed_seconds:.2f}s")
+        print(f"=== {response.label} ({origin}) ===")
+        if response.ok:
+            print(response.report)
+        else:
+            failures += 1
+            print(f"analysis failed: {response.error}")
+            if args.verbose and response.traceback:
+                print(response.traceback)
+    return 1 if failures else 0
+
+
+def cmd_montecarlo(args) -> int:
+    service = _make_service(args)
+    netlist = _read_netlist(args.netlist)
+    variables: Dict[str, Distribution] = {}
+    for name, spec in args.vary or []:
+        variables[name] = _parse_distribution(spec)
+    temperature = (_parse_distribution(args.temperature)
+                   if args.temperature else None)
+    gmin = _parse_distribution(args.gmin) if args.gmin else None
+    spec = ScenarioSpec(variables=variables, temperature=temperature,
+                        gmin=gmin, samples=args.samples, seed=args.seed)
+    criteria = StabilityCriteria(min_phase_margin_deg=args.min_pm,
+                                 min_damping_ratio=args.min_zeta)
+    base = AnalysisRequest(mode="all-nodes", netlist=netlist,
+                           sweep_start=args.sweep[0], sweep_stop=args.sweep[1],
+                           sweep_points_per_decade=args.sweep[2])
+    report = service.screen(spec, base=base, criteria=criteria,
+                            progress=_progress_printer(args.quiet))
+    if args.json:
+        print(json.dumps({
+            "summary": {
+                "samples": report.summary.samples,
+                "analysed": report.summary.analysed,
+                "errors": report.summary.errors,
+                "passed": report.summary.passed,
+                "yield_fraction": report.summary.yield_fraction,
+                "phase_margin": report.summary.phase_margin_stats(),
+            },
+            "responses": [r.to_dict() for r in report.responses],
+        }))
+    else:
+        print(report.format())
+    return 0 if report.summary.errors == 0 else 1
+
+
+def cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "stats":
+        print(json.dumps({
+            "directory": cache.directory,
+            "disk_entries": cache.disk_entries(),
+        }, indent=2))
+        return 0
+    cache.clear(disk=True)
+    print(f"cleared {args.cache_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Batch stability-screening service")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser("analyze", help="screen one or more netlists")
+    analyze.add_argument("netlists", nargs="+", help="SPICE netlist file(s)")
+    analyze.add_argument("--mode", choices=("all-nodes", "single-node"),
+                         default="all-nodes")
+    analyze.add_argument("--node", help="node name for single-node mode")
+    analyze.add_argument("--temperature", type=float, default=27.0)
+    analyze.add_argument("--gmin", type=float, default=1e-12,
+                         help="junction convergence conductance")
+    analyze.add_argument("--set", metavar="NAME=VALUE", action="append",
+                         type=_parse_assignment,
+                         help="design-variable override (repeatable)")
+    analyze.add_argument("--sweep", type=_parse_sweep,
+                         default=(FrequencySweep.DEFAULT_START,
+                                  FrequencySweep.DEFAULT_STOP,
+                                  FrequencySweep.DEFAULT_POINTS_PER_DECADE),
+                         metavar="START:STOP:PPD")
+    analyze.add_argument("--quiet", action="store_true")
+    analyze.add_argument("--verbose", action="store_true",
+                         help="print tracebacks of failed analyses")
+    _add_service_options(analyze)
+    analyze.set_defaults(func=cmd_analyze)
+
+    mc = sub.add_parser("montecarlo", help="Monte Carlo stability screening")
+    mc.add_argument("netlist", help="SPICE netlist file")
+    mc.add_argument("--samples", type=int, default=32)
+    mc.add_argument("--seed", type=int, default=2005)
+    mc.add_argument("--vary", metavar="NAME=KIND:PARAMS", action="append",
+                    type=_parse_vary,
+                    help="e.g. cload=normal:1e-12:1e-13 or rload=uniform:1e3:1e5")
+    mc.add_argument("--temperature", metavar="KIND:PARAMS",
+                    help="temperature distribution, e.g. uniform:-40:125")
+    mc.add_argument("--gmin", metavar="KIND:PARAMS",
+                    help="gmin distribution, e.g. loguniform:1e-14:1e-10")
+    mc.add_argument("--min-pm", type=float, default=45.0,
+                    help="pass criterion: minimum loop phase margin [deg]")
+    mc.add_argument("--min-zeta", type=float, default=None,
+                    help="pass criterion: minimum loop damping ratio")
+    mc.add_argument("--sweep", type=_parse_sweep,
+                    default=(FrequencySweep.DEFAULT_START,
+                             FrequencySweep.DEFAULT_STOP,
+                             FrequencySweep.DEFAULT_POINTS_PER_DECADE),
+                    metavar="START:STOP:PPD")
+    mc.add_argument("--quiet", action="store_true")
+    _add_service_options(mc)
+    mc.set_defaults(func=cmd_montecarlo)
+
+    cache = sub.add_parser("cache", help="inspect or clear the disk cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    cache.set_defaults(func=cmd_cache)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""Two-tier content-addressed result cache (memory LRU + disk JSON store).
+
+Tier 1 is a bounded in-process LRU keyed by request fingerprint; tier 2 is
+an on-disk JSON object store laid out like a git object database::
+
+    <cache root>/
+        objects/
+            <first two hex chars>/
+                <full 64-char fingerprint>.json
+
+A memory hit costs a dict lookup; a disk hit additionally parses the JSON
+file and promotes the entry back into the memory tier.  Writes go to both
+tiers (disk writes are atomic: temp file + ``os.replace``).  The cache
+stores plain payload dicts — the service layer passes
+``AnalysisResponse.to_dict()`` — so the disk format is independent of the
+in-process object layout.  All operations are thread-safe.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional
+
+__all__ = ["CacheStats", "ResultCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from either tier (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def as_dict(self) -> dict:
+        data = asdict(self)
+        data["hit_rate"] = self.hit_rate
+        return data
+
+
+class ResultCache:
+    """Content-addressed result store: in-memory LRU over a disk JSON tier.
+
+    Parameters
+    ----------
+    directory:
+        Root of the on-disk store.  ``None`` disables the disk tier (the
+        cache then lives purely in memory).
+    max_memory_entries:
+        Bound of the LRU tier; the least recently used entry is evicted
+        (it remains on disk) when the bound is exceeded.
+    """
+
+    def __init__(self, directory: Optional[str] = None,
+                 max_memory_entries: int = 64):
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be at least 1")
+        self.directory = directory
+        self.max_memory_entries = int(max_memory_entries)
+        self._memory: "OrderedDict[str, dict]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _object_path(self, key: str) -> str:
+        return os.path.join(self.directory, "objects", key[:2], f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Optional[dict]:
+        """Payload stored under ``key``, or None.  Disk hits are promoted
+        into the memory tier."""
+        with self._lock:
+            if key in self._memory:
+                self._memory.move_to_end(key)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return self._memory[key]
+            if self.directory is not None:
+                path = self._object_path(key)
+                if os.path.exists(path):
+                    try:
+                        with open(path, "r", encoding="utf-8") as handle:
+                            payload = json.load(handle)
+                    except (OSError, ValueError):
+                        # A truncated/corrupt entry is treated as a miss;
+                        # the fresh run will overwrite it.
+                        self.stats.misses += 1
+                        return None
+                    self._remember(key, payload)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    return payload
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store ``payload`` under ``key`` in both tiers."""
+        with self._lock:
+            self._remember(key, payload)
+            self.stats.stores += 1
+            if self.directory is None:
+                return
+            path = self._object_path(key)
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            fd, temp_path = tempfile.mkstemp(dir=os.path.dirname(path),
+                                             suffix=".tmp")
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    json.dump(payload, handle)
+                os.replace(temp_path, path)
+            except OSError:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+
+    def _remember(self, key: str, payload: dict) -> None:
+        self._memory[key] = payload
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    def contains(self, key: str) -> bool:
+        """True when ``key`` is present in either tier (no stats impact)."""
+        with self._lock:
+            if key in self._memory:
+                return True
+            return (self.directory is not None
+                    and os.path.exists(self._object_path(key)))
+
+    def __len__(self) -> int:
+        """Number of entries in the memory tier."""
+        with self._lock:
+            return len(self._memory)
+
+    def disk_entries(self) -> int:
+        """Number of objects in the disk tier (0 when disabled)."""
+        if self.directory is None:
+            return 0
+        root = os.path.join(self.directory, "objects")
+        count = 0
+        for _dirpath, _dirnames, filenames in os.walk(root):
+            count += sum(1 for name in filenames if name.endswith(".json"))
+        return count
+
+    def clear(self, disk: bool = True) -> None:
+        """Drop the memory tier and (optionally) delete every disk object."""
+        with self._lock:
+            self._memory.clear()
+            if disk and self.directory is not None:
+                root = os.path.join(self.directory, "objects")
+                for dirpath, _dirnames, filenames in os.walk(root):
+                    for name in filenames:
+                        if name.endswith(".json"):
+                            try:
+                                os.unlink(os.path.join(dirpath, name))
+                            except OSError:
+                                pass

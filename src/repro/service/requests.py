@@ -1,0 +1,240 @@
+"""JSON request/response schema of the batch screening service.
+
+An :class:`AnalysisRequest` describes one unit of work — "run this
+analysis mode on this circuit under these conditions" — in a form that is
+
+* **content-addressable**: :meth:`AnalysisRequest.fingerprint` hashes the
+  canonical circuit plus every behaviour-affecting option (mode, node,
+  temperature, variable overrides, sweep), so identical requests map to
+  the same cache key regardless of how they were constructed;
+* **transportable**: requests round-trip through JSON (netlist-backed
+  requests) and pickle cleanly onto a process pool (both netlist- and
+  Circuit-backed requests).
+
+An :class:`AnalysisResponse` carries the outcome: the serialized result
+payload (see ``AllNodesResult.to_dict``), the formatted text report,
+failure details (message + full traceback) and timing, plus a ``cached``
+flag set by the service when the response was served from the result
+cache instead of being recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.sweeps import FrequencySweep
+from repro.circuit.canonical import circuit_fingerprint
+from repro.circuit.netlist import Circuit
+from repro.circuit.parser import parse_netlist
+from repro.core.all_nodes import AllNodesOptions, AllNodesResult
+from repro.core.single_node import NodeStabilityResult, SingleNodeOptions
+from repro.exceptions import ToolError
+
+__all__ = ["AnalysisRequest", "AnalysisResponse", "expand_corners",
+           "REQUEST_SCHEMA_VERSION"]
+
+#: Bumping this invalidates every existing cache entry (fingerprints change).
+REQUEST_SCHEMA_VERSION = 1
+
+_MODES = ("all-nodes", "single-node")
+
+
+@dataclass
+class AnalysisRequest:
+    """One analysis to run: circuit + mode + conditions.
+
+    Exactly one of ``netlist`` (SPICE text) or ``circuit`` (a
+    :class:`Circuit` object) must be provided; netlist-backed requests can
+    additionally round-trip through JSON.  ``label`` is cosmetic (batch
+    display, Monte Carlo sample names) and never enters the fingerprint.
+    """
+
+    mode: str = "all-nodes"
+    netlist: Optional[str] = None
+    circuit: Optional[Circuit] = None
+    node: Optional[str] = None
+    temperature: float = 27.0
+    gmin: float = 1e-12
+    variables: Dict[str, float] = field(default_factory=dict)
+    sweep_start: float = FrequencySweep.DEFAULT_START
+    sweep_stop: float = FrequencySweep.DEFAULT_STOP
+    sweep_points_per_decade: int = FrequencySweep.DEFAULT_POINTS_PER_DECADE
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ToolError(f"unknown analysis mode {self.mode!r}; "
+                            f"expected one of {_MODES}")
+        if self.netlist is None and self.circuit is None:
+            raise ToolError("request needs either netlist text or a Circuit")
+        if self.mode == "single-node" and not self.node:
+            raise ToolError("single-node requests must name the node")
+        self.variables = {str(k): float(v) for k, v in self.variables.items()}
+
+    # ------------------------------------------------------------------
+    def resolved_circuit(self) -> Circuit:
+        """The circuit to analyse (netlist text is parsed once, lazily)."""
+        if self.circuit is None:
+            self.circuit = parse_netlist(self.netlist, first_line_title=True)
+        return self.circuit
+
+    def sweep(self) -> FrequencySweep:
+        return FrequencySweep(self.sweep_start, self.sweep_stop,
+                              self.sweep_points_per_decade)
+
+    def analysis_options(self):
+        """Build the per-mode options object for the core analyses."""
+        common = dict(sweep=self.sweep(), temperature=self.temperature,
+                      gmin=self.gmin, variables=dict(self.variables) or None)
+        if self.mode == "single-node":
+            return SingleNodeOptions(**common)
+        return AllNodesOptions(**common)
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content hash identifying this request (the cache key)."""
+        circuit = self.resolved_circuit()
+        return circuit_fingerprint(circuit, extra={
+            "schema": REQUEST_SCHEMA_VERSION,
+            "mode": self.mode,
+            # Alias-resolved so two spellings of the same electrical node
+            # share a cache entry, matching the canonical circuit form.
+            "node": circuit.resolve_node(self.node) if self.node else None,
+            "temperature": self.temperature,
+            "gmin": self.gmin,
+            "variables": self.variables,
+            "sweep": self.sweep().canonical_data(),
+        })
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation (netlist-backed requests only)."""
+        if self.netlist is None:
+            raise ToolError("request built from a Circuit object cannot be "
+                            "exported to JSON; provide netlist text instead")
+        return {
+            "schema": REQUEST_SCHEMA_VERSION,
+            "mode": self.mode,
+            "netlist": self.netlist,
+            "node": self.node,
+            "temperature": self.temperature,
+            "gmin": self.gmin,
+            "variables": dict(self.variables),
+            "sweep_start": self.sweep_start,
+            "sweep_stop": self.sweep_stop,
+            "sweep_points_per_decade": self.sweep_points_per_decade,
+            "label": self.label,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisRequest":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            mode=data.get("mode", "all-nodes"),
+            netlist=data["netlist"],
+            node=data.get("node"),
+            temperature=float(data.get("temperature", 27.0)),
+            gmin=float(data.get("gmin", 1e-12)),
+            variables=data.get("variables") or {},
+            sweep_start=float(data.get("sweep_start", FrequencySweep.DEFAULT_START)),
+            sweep_stop=float(data.get("sweep_stop", FrequencySweep.DEFAULT_STOP)),
+            sweep_points_per_decade=int(data.get(
+                "sweep_points_per_decade", FrequencySweep.DEFAULT_POINTS_PER_DECADE)),
+            label=data.get("label"),
+        )
+
+
+@dataclass
+class AnalysisResponse:
+    """Outcome of one request: result payload, report, failure details."""
+
+    fingerprint: str
+    mode: str
+    status: str                        #: "done" or "failed"
+    label: Optional[str] = None
+    result: Optional[dict] = None      #: serialized analysis result
+    report: Optional[str] = None       #: formatted text report
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    elapsed_seconds: float = 0.0
+    cached: bool = False               #: served from the result cache
+    created: float = field(default_factory=time.time)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "done"
+
+    # ------------------------------------------------------------------
+    def all_nodes_result(self) -> AllNodesResult:
+        """Rehydrate the full :class:`AllNodesResult` from the payload."""
+        if not self.ok or self.result is None or self.mode != "all-nodes":
+            raise ToolError("response carries no all-nodes result")
+        return AllNodesResult.from_dict(self.result)
+
+    def node_result(self) -> NodeStabilityResult:
+        """Rehydrate the :class:`NodeStabilityResult` from the payload."""
+        if not self.ok or self.result is None or self.mode != "single-node":
+            raise ToolError("response carries no single-node result")
+        return NodeStabilityResult.from_dict(self.result)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation (what the disk cache stores)."""
+        return {
+            "schema": REQUEST_SCHEMA_VERSION,
+            "fingerprint": self.fingerprint,
+            "mode": self.mode,
+            "status": self.status,
+            "label": self.label,
+            "result": self.result,
+            "report": self.report,
+            "error": self.error,
+            "traceback": self.traceback,
+            "elapsed_seconds": self.elapsed_seconds,
+            "created": self.created,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AnalysisResponse":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            fingerprint=data["fingerprint"],
+            mode=data["mode"],
+            status=data["status"],
+            label=data.get("label"),
+            result=data.get("result"),
+            report=data.get("report"),
+            error=data.get("error"),
+            traceback=data.get("traceback"),
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            created=float(data.get("created", 0.0)),
+        )
+
+
+def expand_corners(request: AnalysisRequest, corners: Sequence) -> List[AnalysisRequest]:
+    """One request per corner: temperature and variable overrides applied.
+
+    ``corners`` is a sequence of :class:`repro.tool.corners.Corner` (or any
+    object with ``name``/``temperature``/``variables``); each derived
+    request is labelled with the corner name.
+    """
+    requests = []
+    for corner in corners:
+        variables = dict(request.variables)
+        variables.update(corner.variables)
+        requests.append(AnalysisRequest(
+            mode=request.mode,
+            netlist=request.netlist,
+            circuit=request.circuit,
+            node=request.node,
+            temperature=float(corner.temperature),
+            gmin=request.gmin,
+            variables=variables,
+            sweep_start=request.sweep_start,
+            sweep_stop=request.sweep_stop,
+            sweep_points_per_decade=request.sweep_points_per_decade,
+            label=corner.name,
+        ))
+    return requests

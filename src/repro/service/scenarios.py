@@ -1,0 +1,313 @@
+"""Monte Carlo scenario generation and stability-yield statistics.
+
+The paper's tool answers "is this one schematic stable?"; a screening
+service must answer "what fraction of the plausible design/condition space
+is stable?".  This module samples design-variable and temperature
+distributions into batches of :class:`~repro.service.requests.AnalysisRequest`
+objects and reduces the batch results into a :class:`YieldSummary` — the
+stability yield (fraction of samples whose every identified loop meets the
+phase-margin/damping criteria) plus worst-case statistics.
+
+Sampling is deterministic: a :class:`ScenarioSpec` carries its own seed,
+variables are drawn in sorted-name order, and one ``random.Random`` stream
+drives the whole batch, so a spec reproduces the same scenarios on every
+machine.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.all_nodes import AllNodesResult
+from repro.exceptions import ToolError
+from repro.service.requests import AnalysisRequest, AnalysisResponse
+
+__all__ = [
+    "Distribution",
+    "ScenarioSpec",
+    "Scenario",
+    "StabilityCriteria",
+    "SampleOutcome",
+    "YieldSummary",
+    "generate_scenarios",
+    "scenario_requests",
+    "stability_yield",
+]
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """A one-dimensional sampling distribution for a scenario quantity."""
+
+    kind: str                    #: "normal", "uniform", "loguniform", "choice"
+    params: Tuple[float, ...]
+
+    @classmethod
+    def normal(cls, mean: float, sigma: float) -> "Distribution":
+        """Gaussian spread, e.g. a process-like tolerance on a component."""
+        return cls("normal", (float(mean), float(sigma)))
+
+    @classmethod
+    def uniform(cls, low: float, high: float) -> "Distribution":
+        """Flat spread between bounds, e.g. an operating-temperature range."""
+        return cls("uniform", (float(low), float(high)))
+
+    @classmethod
+    def loguniform(cls, low: float, high: float) -> "Distribution":
+        """Log-flat spread for quantities that vary over decades (loads)."""
+        if low <= 0 or high <= low:
+            raise ToolError("loguniform needs 0 < low < high")
+        return cls("loguniform", (float(low), float(high)))
+
+    @classmethod
+    def choice(cls, *values: float) -> "Distribution":
+        """Discrete pick from explicit values (supply corners etc.)."""
+        if not values:
+            raise ToolError("choice needs at least one value")
+        return cls("choice", tuple(float(v) for v in values))
+
+    def sample(self, rng: random.Random) -> float:
+        if self.kind == "normal":
+            mean, sigma = self.params
+            return rng.gauss(mean, sigma)
+        if self.kind == "uniform":
+            low, high = self.params
+            return rng.uniform(low, high)
+        if self.kind == "loguniform":
+            low, high = self.params
+            return math.exp(rng.uniform(math.log(low), math.log(high)))
+        if self.kind == "choice":
+            return rng.choice(self.params)
+        raise ToolError(f"unknown distribution kind {self.kind!r}")
+
+
+@dataclass
+class ScenarioSpec:
+    """What to vary and how many samples to draw."""
+
+    #: Design-variable name -> sampling distribution.
+    variables: Dict[str, Distribution] = field(default_factory=dict)
+    #: Temperature distribution; None keeps ``base_temperature`` fixed.
+    temperature: Optional[Distribution] = None
+    base_temperature: float = 27.0
+    #: gmin distribution (stability-vs-gmin robustness screening);
+    #: None keeps ``base_gmin`` fixed.
+    gmin: Optional[Distribution] = None
+    base_gmin: float = 1e-12
+    samples: int = 32
+    seed: int = 2005
+
+    def __post_init__(self):
+        if self.samples < 1:
+            raise ToolError("a scenario spec needs at least one sample")
+
+
+@dataclass
+class Scenario:
+    """One sampled condition: a named (temperature, variables) point."""
+
+    index: int
+    name: str
+    temperature: float
+    variables: Dict[str, float]
+    gmin: float = 1e-12
+
+
+def generate_scenarios(spec: ScenarioSpec) -> List[Scenario]:
+    """Draw ``spec.samples`` scenarios from one deterministic RNG stream."""
+    rng = random.Random(spec.seed)
+    names = sorted(spec.variables)
+    scenarios = []
+    for index in range(spec.samples):
+        variables = {name: spec.variables[name].sample(rng) for name in names}
+        temperature = (spec.temperature.sample(rng)
+                       if spec.temperature is not None
+                       else spec.base_temperature)
+        gmin = (spec.gmin.sample(rng) if spec.gmin is not None
+                else spec.base_gmin)
+        scenarios.append(Scenario(index=index, name=f"mc{index:04d}",
+                                  temperature=temperature, variables=variables,
+                                  gmin=gmin))
+    return scenarios
+
+
+def scenario_requests(spec: ScenarioSpec,
+                      netlist: Optional[str] = None,
+                      circuit=None,
+                      base: Optional[AnalysisRequest] = None
+                      ) -> Tuple[List[Scenario], List[AnalysisRequest]]:
+    """Sample the spec and build one all-nodes request per scenario.
+
+    ``base`` (optional) supplies the sweep settings and baseline variable
+    overrides; scenario values override base values of the same name.
+    """
+    if base is None:
+        base = AnalysisRequest(mode="all-nodes", netlist=netlist, circuit=circuit)
+    scenarios = generate_scenarios(spec)
+    requests = []
+    for scenario in scenarios:
+        variables = dict(base.variables)
+        variables.update(scenario.variables)
+        requests.append(AnalysisRequest(
+            mode="all-nodes",
+            netlist=base.netlist,
+            circuit=base.circuit,
+            temperature=scenario.temperature,
+            gmin=scenario.gmin,
+            variables=variables,
+            sweep_start=base.sweep_start,
+            sweep_stop=base.sweep_stop,
+            sweep_points_per_decade=base.sweep_points_per_decade,
+            label=scenario.name,
+        ))
+    return scenarios, requests
+
+
+# ----------------------------------------------------------------------
+# Yield statistics
+# ----------------------------------------------------------------------
+@dataclass
+class StabilityCriteria:
+    """Pass/fail rule applied to every identified loop of a sample."""
+
+    min_phase_margin_deg: float = 45.0
+    min_damping_ratio: Optional[float] = None
+
+    def passes(self, result: AllNodesResult) -> bool:
+        for loop in result.loops:
+            if loop.phase_margin_deg < self.min_phase_margin_deg:
+                return False
+            if (self.min_damping_ratio is not None
+                    and loop.damping_ratio < self.min_damping_ratio):
+                return False
+        return True
+
+
+@dataclass
+class SampleOutcome:
+    """Verdict for one scenario."""
+
+    scenario: Scenario
+    status: str                        #: "pass", "fail" or "error"
+    min_phase_margin_deg: Optional[float] = None
+    worst_loop_frequency_hz: Optional[float] = None
+    error: Optional[str] = None
+
+
+@dataclass
+class YieldSummary:
+    """Stability yield of a Monte Carlo batch."""
+
+    outcomes: List[SampleOutcome]
+    criteria: StabilityCriteria
+
+    @property
+    def samples(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "error")
+
+    @property
+    def analysed(self) -> int:
+        return self.samples - self.errors
+
+    @property
+    def passed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "pass")
+
+    @property
+    def yield_fraction(self) -> float:
+        """Passing fraction of the *analysed* samples (0.0 when none ran)."""
+        if not self.analysed:
+            return 0.0
+        return self.passed / self.analysed
+
+    def phase_margin_stats(self) -> Optional[Dict[str, float]]:
+        """mean/std/min/max of the per-sample worst phase margin."""
+        margins = [o.min_phase_margin_deg for o in self.outcomes
+                   if o.min_phase_margin_deg is not None]
+        if not margins:
+            return None
+        mean = sum(margins) / len(margins)
+        variance = sum((m - mean) ** 2 for m in margins) / len(margins)
+        return {"mean": mean, "std": math.sqrt(variance),
+                "min": min(margins), "max": max(margins)}
+
+    def worst_sample(self) -> Optional[SampleOutcome]:
+        scored = [o for o in self.outcomes if o.min_phase_margin_deg is not None]
+        if not scored:
+            return None
+        return min(scored, key=lambda o: o.min_phase_margin_deg)
+
+    def format(self) -> str:
+        """Human-readable yield report."""
+        lines = [
+            f"Monte Carlo stability screening: {self.samples} samples",
+            f"  analysed: {self.analysed}   analysis errors: {self.errors}",
+            f"  passing (PM >= {self.criteria.min_phase_margin_deg:g} deg"
+            + (f", zeta >= {self.criteria.min_damping_ratio:g}"
+               if self.criteria.min_damping_ratio is not None else "")
+            + f"): {self.passed}",
+            f"  stability yield: {100.0 * self.yield_fraction:.1f}%",
+        ]
+        stats = self.phase_margin_stats()
+        if stats is not None:
+            lines.append(
+                f"  worst-loop phase margin: mean {stats['mean']:.1f} deg, "
+                f"std {stats['std']:.1f}, min {stats['min']:.1f}, "
+                f"max {stats['max']:.1f}")
+        worst = self.worst_sample()
+        if worst is not None:
+            conditions = ", ".join(f"{k}={v:.4g}"
+                                   for k, v in worst.scenario.variables.items())
+            lines.append(
+                f"  worst sample: {worst.scenario.name} "
+                f"(T={worst.scenario.temperature:.1f}C"
+                + (f", {conditions}" if conditions else "")
+                + f") -> PM {worst.min_phase_margin_deg:.1f} deg")
+        for outcome in self.outcomes:
+            if outcome.status == "error":
+                lines.append(f"  {outcome.scenario.name}: "
+                             f"analysis failed: {outcome.error}")
+        return "\n".join(lines) + "\n"
+
+
+def stability_yield(scenarios: Sequence[Scenario],
+                    responses: Sequence[AnalysisResponse],
+                    criteria: Optional[StabilityCriteria] = None) -> YieldSummary:
+    """Reduce per-sample responses into a :class:`YieldSummary`."""
+    if len(scenarios) != len(responses):
+        raise ToolError("scenario and response counts differ")
+    criteria = criteria or StabilityCriteria()
+    outcomes = []
+    for scenario, response in zip(scenarios, responses):
+        if not response.ok:
+            outcomes.append(SampleOutcome(scenario=scenario, status="error",
+                                          error=response.error))
+            continue
+        result = response.all_nodes_result()
+        if result.failed_nodes:
+            # Zero identified loops on a sample where nodes *failed* is
+            # not evidence of stability; counting such samples as passing
+            # would silently inflate the yield.
+            failed = ", ".join(sorted(result.failed_nodes))
+            outcomes.append(SampleOutcome(
+                scenario=scenario, status="error",
+                error=f"{len(result.failed_nodes)} node analyses failed: {failed}"))
+            continue
+        margins = [loop.phase_margin_deg for loop in result.loops]
+        worst = min(result.loops, key=lambda l: l.phase_margin_deg) \
+            if result.loops else None
+        outcomes.append(SampleOutcome(
+            scenario=scenario,
+            status="pass" if criteria.passes(result) else "fail",
+            min_phase_margin_deg=min(margins) if margins else None,
+            worst_loop_frequency_hz=(worst.natural_frequency_hz
+                                     if worst is not None else None),
+        ))
+    return YieldSummary(outcomes=outcomes, criteria=criteria)

@@ -1,0 +1,184 @@
+"""The batch stability-screening service: cache + engine + scenarios.
+
+:class:`StabilityService` is the front door of the subsystem: submit one
+request or a batch, and every response is either served from the two-tier
+result cache (``response.cached == True``) or computed — batches on the
+process pool — and stored for next time.  Failed analyses are never
+cached, so a transient failure does not poison the key.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.service.cache import ResultCache
+from repro.service.engine import BatchEngine, ProgressCallback, execute_request
+from repro.service.requests import AnalysisRequest, AnalysisResponse
+from repro.service.scenarios import (
+    Scenario,
+    ScenarioSpec,
+    StabilityCriteria,
+    YieldSummary,
+    scenario_requests,
+    stability_yield,
+)
+
+__all__ = ["StabilityService", "MonteCarloReport"]
+
+
+@dataclass
+class MonteCarloReport:
+    """Outcome of one Monte Carlo screening run."""
+
+    scenarios: List[Scenario]
+    responses: List[AnalysisResponse]
+    summary: YieldSummary
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for r in self.responses if r.cached)
+
+    def format(self) -> str:
+        text = self.summary.format()
+        return (text + f"  ({self.cached_count}/{len(self.responses)} samples "
+                       f"from cache, batch took {self.elapsed_seconds:.2f}s)\n")
+
+
+class StabilityService:
+    """Content-addressed, pool-backed screening front end.
+
+    Parameters
+    ----------
+    cache_directory:
+        Root of the on-disk cache tier; ``None`` keeps results in memory
+        only.  Ignored when an explicit ``cache`` is given.
+    max_workers / backend:
+        Forwarded to :class:`BatchEngine` unless ``engine`` is given.
+    """
+
+    def __init__(self,
+                 cache: Optional[ResultCache] = None,
+                 engine: Optional[BatchEngine] = None,
+                 cache_directory: Optional[str] = None,
+                 max_workers: Optional[int] = None,
+                 backend: str = "process"):
+        self.cache = cache if cache is not None else ResultCache(cache_directory)
+        self.engine = engine if engine is not None else BatchEngine(
+            max_workers=max_workers, backend=backend)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _fingerprint(request: AnalysisRequest) -> Optional[str]:
+        try:
+            return request.fingerprint()
+        except Exception:
+            # Unparsable request: let the execution path produce the
+            # detailed failure response (which is never cached anyway).
+            return None
+
+    def _lookup(self, request: AnalysisRequest) -> Optional[AnalysisResponse]:
+        key = self._fingerprint(request)
+        if key is None:
+            return None
+        payload = self.cache.get(key)
+        if payload is None:
+            return None
+        response = AnalysisResponse.from_dict(payload)
+        response.cached = True
+        return response
+
+    def _store(self, response: AnalysisResponse) -> None:
+        if response.ok and response.fingerprint:
+            self.cache.put(response.fingerprint, response.to_dict())
+
+    # ------------------------------------------------------------------
+    def submit(self, request: AnalysisRequest) -> AnalysisResponse:
+        """Serve one request: from cache when possible, else run inline."""
+        cached = self._lookup(request)
+        if cached is not None:
+            return cached
+        response = execute_request(request)
+        self._store(response)
+        return response
+
+    def submit_batch(self, requests: Sequence[AnalysisRequest],
+                     progress: Optional[ProgressCallback] = None
+                     ) -> List[AnalysisResponse]:
+        """Serve a batch: cache hits immediately, misses on the pool.
+
+        Identical requests within the batch (same fingerprint) are
+        computed once and shared.  Responses are returned in submission
+        order; the progress callback sees cached responses first, then
+        fresh ones as they complete.
+        """
+        requests = list(requests)
+        responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
+        done = 0
+
+        def emit(response: AnalysisResponse) -> None:
+            nonlocal done
+            done += 1
+            if progress is not None:
+                progress(done, len(requests), response)
+
+        to_run: List[int] = []                  # one index per unique miss
+        duplicates: Dict[int, List[int]] = {}   # representative -> clones
+        first_seen: Dict[str, int] = {}
+        for index, request in enumerate(requests):
+            key = self._fingerprint(request)
+            if key is not None:
+                payload = self.cache.get(key)
+                if payload is not None:
+                    cached = AnalysisResponse.from_dict(payload)
+                    cached.cached = True
+                    responses[index] = cached
+                    emit(cached)
+                    continue
+                if key in first_seen:
+                    duplicates.setdefault(first_seen[key], []).append(index)
+                    continue
+                first_seen[key] = index
+            to_run.append(index)
+
+        if to_run:
+            fresh = self.engine.run([requests[i] for i in to_run],
+                                    progress=lambda _c, _t, r: emit(r))
+            for index, response in zip(to_run, fresh):
+                responses[index] = response
+                self._store(response)
+                for clone_index in duplicates.get(index, ()):
+                    clone = replace(response,
+                                    label=requests[clone_index].label,
+                                    cached=True)
+                    responses[clone_index] = clone
+                    emit(clone)
+        return responses  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def screen(self, spec: ScenarioSpec,
+               netlist: Optional[str] = None,
+               circuit=None,
+               base: Optional[AnalysisRequest] = None,
+               criteria: Optional[StabilityCriteria] = None,
+               progress: Optional[ProgressCallback] = None) -> MonteCarloReport:
+        """Monte Carlo screening: sample, run the batch, reduce to yield."""
+        started = time.time()
+        scenarios, requests = scenario_requests(spec, netlist=netlist,
+                                                circuit=circuit, base=base)
+        responses = self.submit_batch(requests, progress=progress)
+        summary = stability_yield(scenarios, responses, criteria)
+        return MonteCarloReport(scenarios=scenarios, responses=responses,
+                                summary=summary,
+                                elapsed_seconds=time.time() - started)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Cache statistics plus tier sizes (for the CLI and monitoring)."""
+        data = self.cache.stats.as_dict()
+        data["memory_entries"] = len(self.cache)
+        data["disk_entries"] = self.cache.disk_entries()
+        data["directory"] = self.cache.directory
+        return data

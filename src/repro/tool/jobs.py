@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import time
+import traceback as _traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -35,14 +36,20 @@ class JobResult:
     """Outcome of one job."""
 
     name: str
-    status: str                   #: "done" or "failed"
+    status: str                   #: "done", "failed" or "cancelled"
     result: Any = None
     error: Optional[str] = None
+    #: Full formatted traceback of the failure (None unless status=="failed").
+    traceback: Optional[str] = None
     elapsed_seconds: float = 0.0
 
     @property
     def ok(self) -> bool:
         return self.status == "done"
+
+    @property
+    def cancelled(self) -> bool:
+        return self.status == "cancelled"
 
 
 class JobRunner:
@@ -54,7 +61,10 @@ class JobRunner:
         1 (default) runs serially in submission order; higher values use a
         thread pool ("local farm").
     continue_on_error:
-        When False the first failure aborts the remaining jobs.
+        When False the first failure aborts the remaining jobs.  Serial
+        execution stops and returns the results produced so far; the pool
+        cancels the not-yet-started jobs and reports them with status
+        "cancelled".
     """
 
     def __init__(self, max_workers: int = 1, continue_on_error: bool = True):
@@ -87,6 +97,7 @@ class JobRunner:
                              elapsed_seconds=time.time() - start)
         except Exception as exc:
             return JobResult(name=job.name, status="failed", error=str(exc),
+                             traceback=_traceback.format_exc(),
                              elapsed_seconds=time.time() - start)
 
     def _run_serial(self, jobs: List[Job], progress) -> List[JobResult]:
@@ -111,5 +122,24 @@ class JobRunner:
                 completed += 1
                 if progress is not None:
                     progress(completed, len(jobs), outcome)
+                if not outcome.ok and not self.continue_on_error:
+                    # Abort the batch: not-yet-started jobs are reported
+                    # with status "cancelled" so callers can tell "never
+                    # ran" apart from "ran and failed".
+                    for pending, job in futures.items():
+                        if pending.cancel():
+                            cancelled = JobResult(
+                                name=job.name, status="cancelled",
+                                error=f"cancelled after {outcome.name!r} failed")
+                            results[job.name] = cancelled
+                            completed += 1
+                            if progress is not None:
+                                progress(completed, len(jobs), cancelled)
+                    break
+        # Jobs already running when the batch was aborted finish during the
+        # pool shutdown above; collect their outcomes too.
+        for future, job in futures.items():
+            if job.name not in results and future.done() and not future.cancelled():
+                results[job.name] = future.result()
         # Preserve submission order in the returned list.
         return [results[job.name] for job in jobs if job.name in results]

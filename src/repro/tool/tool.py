@@ -88,6 +88,7 @@ class StabilityAnalysisTool:
         options = SingleNodeOptions(
             sweep=self.environment.sweep,
             temperature=self.environment.temperature,
+            gmin=self.environment.gmin,
             variables=dict(self.environment.design_variables) or None,
         )
         for key, value in overrides.items():
@@ -100,6 +101,7 @@ class StabilityAnalysisTool:
         options = AllNodesOptions(
             sweep=self.environment.sweep,
             temperature=self.environment.temperature,
+            gmin=self.environment.gmin,
             variables=dict(self.environment.design_variables) or None,
         )
         for key, value in overrides.items():

@@ -63,6 +63,32 @@ class Waveform:
                         y_unit=self.y_unit if y_unit is None else y_unit)
 
     # ------------------------------------------------------------------
+    # Serialization (JSON round-trip for the result cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation; complex data is split into re/im."""
+        data = {"x": self.x.tolist(), "name": self.name,
+                "x_unit": self.x_unit, "y_unit": self.y_unit}
+        if self.is_complex:
+            data["y_real"] = np.real(self.y).tolist()
+            data["y_imag"] = np.imag(self.y).tolist()
+        else:
+            data["y"] = self.y.tolist()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Waveform":
+        """Inverse of :meth:`to_dict`."""
+        if "y" in data:
+            y = np.asarray(data["y"], dtype=float)
+        else:
+            y = (np.asarray(data["y_real"], dtype=float)
+                 + 1j * np.asarray(data["y_imag"], dtype=float))
+        return cls(np.asarray(data["x"], dtype=float), y,
+                   name=data.get("name", ""), x_unit=data.get("x_unit", ""),
+                   y_unit=data.get("y_unit", ""))
+
+    # ------------------------------------------------------------------
     # Arithmetic (element-wise; scalars and same-grid waveforms supported)
     # ------------------------------------------------------------------
     def _other_y(self, other) -> np.ndarray:

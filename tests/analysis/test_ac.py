@@ -125,3 +125,48 @@ class TestSmallSignalLinearisation:
         # Both match the degenerated common-emitter gain RL/(RE + 1/gm).
         assert gain_lo == pytest.approx(predicted_lo, rel=0.1)
         assert gain_hi == pytest.approx(predicted_hi, rel=0.1)
+
+
+class TestSolveAcStacked:
+    def test_matches_per_frequency_solve(self):
+        from repro.analysis.ac import solve_ac_stacked
+
+        rng = np.random.default_rng(3)
+        n = 5
+        G = rng.standard_normal((n, n)) + n * np.eye(n)
+        C = rng.standard_normal((n, n)) * 1e-9
+        b = rng.standard_normal(n)
+        freqs = np.logspace(0, 9, 37)
+        stacked = solve_ac_stacked(G, C, b, freqs, chunk_size=8)
+        for k, f in enumerate(freqs):
+            direct = np.linalg.solve(G + 2j * np.pi * f * C, b)
+            assert np.allclose(stacked[k], direct)
+
+    def test_matrix_rhs_shape(self):
+        from repro.analysis.ac import solve_ac_stacked
+
+        G, C = 2.0 * np.eye(3), 1e-9 * np.eye(3)
+        rhs = np.eye(3)[:, :2]
+        out = solve_ac_stacked(G, C, rhs, [1.0, 10.0])
+        assert out.shape == (2, 3, 2)
+
+    def test_singular_frequency_is_named(self):
+        from repro.analysis.ac import solve_ac_stacked
+        from repro.exceptions import SingularMatrixError
+
+        # Pure LC at resonance: G singular, G + jwC singular at w where
+        # det(G + jwC) = 0.  A zero G makes f -> 0 produce a singular
+        # matrix while other frequencies are fine.
+        G = np.zeros((2, 2))
+        C = np.eye(2)
+        with pytest.raises(SingularMatrixError, match="singular at 0"):
+            solve_ac_stacked(G, C, np.ones(2), [0.0, 1.0])
+
+    def test_non_finite_matrices_rejected(self):
+        from repro.analysis.ac import solve_ac_stacked
+        from repro.exceptions import SingularMatrixError
+
+        G = np.eye(2)
+        G[0, 0] = np.nan
+        with pytest.raises(SingularMatrixError, match="non-finite"):
+            solve_ac_stacked(G, np.eye(2), np.ones(2), [1.0])

@@ -1,0 +1,137 @@
+"""Tests for canonical circuit serialization and fingerprints."""
+
+import pytest
+
+from repro.circuit import (
+    CircuitBuilder,
+    canonical_circuit_data,
+    canonical_netlist,
+    canonical_value,
+    circuit_fingerprint,
+    fingerprint_data,
+    parse_netlist,
+)
+from repro.analysis.sweeps import FrequencySweep
+from repro.circuits import opamp_with_bias, parallel_rlc
+from repro.exceptions import NetlistError
+
+
+def _rlc(order="rlc", title="tank", ground="0"):
+    builder = CircuitBuilder(title)
+    steps = {
+        "r": lambda: builder.resistor("tank", ground, 1e3, name="R1"),
+        "l": lambda: builder.inductor("tank", ground, 1e-3, name="L1"),
+        "c": lambda: builder.capacitor("tank", ground, 1e-9, name="C1"),
+    }
+    for key in order:
+        steps[key]()
+    builder.voltage_source("vref", ground, dc=1.0, ac=1.0, name="Vref")
+    builder.resistor("vref", "tank", 1e9, name="Rtie")
+    return builder.build()
+
+
+class TestCircuitFingerprint:
+    def test_deterministic(self):
+        assert circuit_fingerprint(_rlc()) == circuit_fingerprint(_rlc())
+        assert len(circuit_fingerprint(_rlc())) == 64
+
+    def test_insertion_order_independent(self):
+        assert circuit_fingerprint(_rlc("rlc")) == circuit_fingerprint(_rlc("clr"))
+
+    def test_title_is_cosmetic(self):
+        assert (circuit_fingerprint(_rlc(title="a"))
+                == circuit_fingerprint(_rlc(title="b")))
+
+    def test_ground_spelling_is_canonical(self):
+        assert (circuit_fingerprint(_rlc(ground="0"))
+                == circuit_fingerprint(_rlc(ground="gnd")))
+
+    def test_value_changes_hash(self):
+        base = _rlc()
+        other = _rlc()
+        other["R1"].resistance = 2e3
+        assert circuit_fingerprint(base) != circuit_fingerprint(other)
+
+    def test_topology_changes_hash(self):
+        other = _rlc()
+        other["C1"].rename_nodes({"tank": "vref"})
+        assert circuit_fingerprint(_rlc()) != circuit_fingerprint(other)
+
+    def test_variables_enter_hash(self):
+        base = _rlc()
+        other = _rlc()
+        other.set_variable("cload", 1e-12)
+        assert circuit_fingerprint(base) != circuit_fingerprint(other)
+
+    def test_hierarchy_equals_flat(self):
+        design = opamp_with_bias()
+        assert (circuit_fingerprint(design.circuit)
+                == circuit_fingerprint(design.circuit.flattened()))
+
+    def test_extra_conditions_change_hash(self):
+        circuit = _rlc()
+        assert (circuit_fingerprint(circuit, extra={"temperature": 27.0})
+                != circuit_fingerprint(circuit, extra={"temperature": 85.0}))
+
+    def test_parsed_netlist_matches_builder(self):
+        text = """tank
+R1 tank 0 1k
+L1 tank 0 1m
+C1 tank 0 1n
+Vref vref 0 DC 1 AC 1
+Rtie vref tank 1G
+.end
+"""
+        parsed = parse_netlist(text, first_line_title=True)
+        assert circuit_fingerprint(parsed) == circuit_fingerprint(_rlc())
+
+    def test_nonlinear_model_enters_hash(self):
+        design_a = parallel_rlc()
+        fingerprint_a = circuit_fingerprint(design_a.circuit)
+        design_b = opamp_with_bias()
+        assert fingerprint_a != circuit_fingerprint(design_b.circuit)
+
+
+class TestCanonicalValue:
+    def test_primitives_and_containers(self):
+        value = canonical_value({"b": (1, 2.5), "a": None, "c": "x"})
+        assert value == {"a": None, "b": [1, 2.5], "c": "x"}
+
+    def test_complex_and_numpy(self):
+        import numpy as np
+
+        assert canonical_value(np.float64(2.0)) == 2.0
+        assert canonical_value(np.arange(3)) == [0, 1, 2]
+        assert canonical_value(1 + 2j) == {"__complex__": [1.0, 2.0]}
+
+    def test_objects_by_public_attributes(self):
+        sweep = FrequencySweep(10.0, 1e6, 20)
+        data = canonical_value(sweep)
+        assert data["__class__"] == "FrequencySweep"
+        assert data["start"] == 10.0 and data["points_per_decade"] == 20
+
+    def test_explicit_sweep_points_are_captured(self):
+        a = FrequencySweep(frequencies=[1.0, 10.0, 100.0])
+        b = FrequencySweep(frequencies=[1.0, 50.0, 100.0])
+        assert canonical_value(a) != canonical_value(b)
+        assert (fingerprint_data(canonical_value(a))
+                != fingerprint_data(canonical_value(b)))
+
+    def test_callables_rejected(self):
+        with pytest.raises(NetlistError):
+            canonical_value(lambda: None)
+
+
+class TestCanonicalListing:
+    def test_listing_contains_sorted_elements(self):
+        listing = canonical_netlist(_rlc())
+        lines = listing.strip().splitlines()
+        names = [line.split()[1] for line in lines if not line.startswith(".param")]
+        assert names == sorted(names)
+        assert "c1" in names and "vref" in names
+
+    def test_data_is_json_clean(self):
+        import json
+
+        data = canonical_circuit_data(opamp_with_bias().circuit)
+        json.dumps(data)  # must not raise

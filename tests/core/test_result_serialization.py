@@ -1,0 +1,99 @@
+"""Round-trip (to_dict/from_dict) tests for the analysis result containers."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.results import OPResult
+from repro.circuits import opamp_with_bias, parallel_rlc
+from repro.core.all_nodes import AllNodesResult, analyze_all_nodes
+from repro.core.peaks import PeakType, StabilityPeak
+from repro.core.report import format_all_nodes_report, format_single_node_report
+from repro.core.single_node import NodeStabilityResult, analyze_node
+from repro.waveform.waveform import Waveform
+
+
+def _json_round_trip(data):
+    """Force a real JSON pass so numpy leftovers fail loudly."""
+    return json.loads(json.dumps(data))
+
+
+class TestWaveformSerialization:
+    def test_real_round_trip(self):
+        wave = Waveform([1.0, 2.0, 3.0], [0.5, -1.0, 2.0], name="w",
+                        x_unit="Hz", y_unit="V")
+        back = Waveform.from_dict(_json_round_trip(wave.to_dict()))
+        assert np.allclose(back.x, wave.x) and np.allclose(back.y, wave.y)
+        assert back.name == "w" and back.y_unit == "V"
+        assert not back.is_complex
+
+    def test_complex_round_trip(self):
+        wave = Waveform([1.0, 2.0], [1 + 2j, -3 - 4j])
+        back = Waveform.from_dict(_json_round_trip(wave.to_dict()))
+        assert back.is_complex
+        assert np.allclose(back.y, wave.y)
+
+
+class TestPeakSerialization:
+    def test_round_trip(self):
+        peak = StabilityPeak(frequency_hz=1e6, value=-4.2,
+                             peak_type=PeakType.MIN_MAX, index=17,
+                             prominence=1.5, companion_frequency_hz=2e6)
+        back = StabilityPeak.from_dict(_json_round_trip(peak.to_dict()))
+        assert back == peak
+
+
+class TestOPResultSerialization:
+    def test_round_trip(self):
+        op = OPResult(["a", "#branch:V1"], np.array([1.5, -0.25]),
+                      device_info={"Q1": {"gm": 0.01}}, iterations=7,
+                      strategy="gmin-stepping", temperature=85.0)
+        back = OPResult.from_dict(_json_round_trip(op.to_dict()))
+        assert back.voltage("a") == pytest.approx(1.5)
+        assert back.current("#branch:V1") == pytest.approx(-0.25)
+        assert back.device_info == {"Q1": {"gm": 0.01}}
+        assert back.iterations == 7 and back.strategy == "gmin-stepping"
+        assert back.temperature == 85.0
+
+
+class TestNodeResultSerialization:
+    def test_single_node_round_trip(self):
+        design = parallel_rlc()
+        result = analyze_node(design.circuit, design.node)
+        back = NodeStabilityResult.from_dict(
+            _json_round_trip(result.to_dict()))
+        assert back.node == result.node
+        assert back.performance_index == pytest.approx(result.performance_index)
+        assert back.damping_ratio == pytest.approx(result.damping_ratio)
+        assert back.peak_type is result.peak_type
+        assert np.allclose(back.plot.y, result.plot.y)
+        assert back.op is not None
+        assert format_single_node_report(back) == format_single_node_report(result)
+
+
+class TestAllNodesSerialization:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return analyze_all_nodes(opamp_with_bias().circuit)
+
+    def test_full_round_trip(self, result):
+        back = AllNodesResult.from_dict(_json_round_trip(result.to_dict()))
+        assert [r.node for r in back.results] == [r.node for r in result.results]
+        assert len(back.loops) == len(result.loops)
+        assert back.skipped_nodes == result.skipped_nodes
+        assert back.failed_nodes == result.failed_nodes
+        assert back.temperature == result.temperature
+        assert format_all_nodes_report(back) == format_all_nodes_report(result)
+
+    def test_loops_keep_identity_with_results(self, result):
+        back = AllNodesResult.from_dict(result.to_dict())
+        for loop in back.loops:
+            for member in loop.nodes:
+                assert member is back.node_result(member.node)
+
+    def test_shared_op_is_rehydrated_once(self, result):
+        back = AllNodesResult.from_dict(result.to_dict())
+        assert back.op is not None
+        ops = {id(r.op) for r in back.results if r.op is not None}
+        assert ops == {id(back.op)}

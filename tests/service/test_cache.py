@@ -1,0 +1,101 @@
+"""Tests for the two-tier content-addressed result cache."""
+
+import json
+import os
+
+import pytest
+
+from repro.service.cache import ResultCache
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+KEY_C = "c" * 64
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self):
+        cache = ResultCache()
+        assert cache.get(KEY_A) is None
+        cache.put(KEY_A, {"v": 1})
+        assert cache.get(KEY_A) == {"v": 1}
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        assert cache.stats.memory_hits == 1
+
+    def test_lru_eviction_order(self):
+        cache = ResultCache(max_memory_entries=2)
+        cache.put(KEY_A, {"v": "a"})
+        cache.put(KEY_B, {"v": "b"})
+        cache.get(KEY_A)                 # A is now most recently used
+        cache.put(KEY_C, {"v": "c"})     # evicts B
+        assert cache.get(KEY_B) is None
+        assert cache.get(KEY_A) == {"v": "a"}
+        assert cache.stats.evictions == 1
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(max_memory_entries=0)
+
+
+class TestDiskTier:
+    def test_layout_is_sharded_by_prefix(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        expected = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.json"
+        assert expected.exists()
+        assert json.loads(expected.read_text()) == {"v": 1}
+
+    def test_persists_across_instances(self, tmp_path):
+        ResultCache(str(tmp_path)).put(KEY_A, {"v": 42})
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(KEY_A) == {"v": 42}
+        assert fresh.stats.disk_hits == 1
+        # The disk hit is promoted into the memory tier.
+        assert fresh.get(KEY_A) == {"v": 42}
+        assert fresh.stats.memory_hits == 1
+
+    def test_eviction_keeps_disk_copy(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_memory_entries=1)
+        cache.put(KEY_A, {"v": "a"})
+        cache.put(KEY_B, {"v": "b"})     # evicts A from memory only
+        assert len(cache) == 1
+        assert cache.get(KEY_A) == {"v": "a"}
+        assert cache.stats.disk_hits == 1
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        path = tmp_path / "objects" / KEY_A[:2] / f"{KEY_A}.json"
+        path.write_text("{truncated")
+        fresh = ResultCache(str(tmp_path))
+        assert fresh.get(KEY_A) is None
+        assert fresh.stats.misses == 1
+
+    def test_disk_entries_and_clear(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_B, {"v": 2})
+        assert cache.disk_entries() == 2
+        cache.clear(disk=True)
+        assert cache.disk_entries() == 0
+        assert cache.get(KEY_A) is None
+
+    def test_contains_checks_both_tiers(self, tmp_path):
+        cache = ResultCache(str(tmp_path), max_memory_entries=1)
+        cache.put(KEY_A, {"v": 1})
+        cache.put(KEY_B, {"v": 2})
+        assert cache.contains(KEY_A) and cache.contains(KEY_B)
+        assert not cache.contains(KEY_C)
+        # contains() must not skew the hit/miss statistics.
+        assert cache.stats.lookups == 0
+
+
+class TestStats:
+    def test_hit_rate(self):
+        cache = ResultCache()
+        assert cache.stats.hit_rate == 0.0
+        cache.put(KEY_A, {})
+        cache.get(KEY_A)
+        cache.get(KEY_B)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        data = cache.stats.as_dict()
+        assert data["hits"] == 1 and data["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,185 @@
+"""Tests for the request/response schema and the batch engine."""
+
+import json
+
+import pytest
+
+from repro.circuits import parallel_rlc
+from repro.exceptions import ToolError
+from repro.service.engine import BatchEngine, execute_request
+from repro.service.requests import AnalysisRequest, AnalysisResponse, expand_corners
+from repro.tool.corners import Corner
+
+RLC_NETLIST = """tank standard
+.param rval=1k
+R1 tank 0 {rval}
+L1 tank 0 1m
+C1 tank 0 1n
+Vref vref 0 DC 1 AC 1
+Rtie vref tank 1G
+.end
+"""
+
+BROKEN_NETLIST = """broken
+R1 a 0 {undefined_variable}
+C1 a 0 1n
+I1 0 a DC 1u
+.end
+"""
+
+
+class TestAnalysisRequest:
+    def test_requires_circuit_or_netlist(self):
+        with pytest.raises(ToolError):
+            AnalysisRequest(mode="all-nodes")
+
+    def test_single_node_requires_node(self):
+        with pytest.raises(ToolError):
+            AnalysisRequest(mode="single-node", netlist=RLC_NETLIST)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ToolError):
+            AnalysisRequest(mode="sideways", netlist=RLC_NETLIST)
+
+    def test_json_round_trip(self):
+        request = AnalysisRequest(mode="single-node", netlist=RLC_NETLIST,
+                                  node="tank", temperature=85.0,
+                                  variables={"rval": 2e3}, label="x")
+        back = AnalysisRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert back.mode == "single-node" and back.node == "tank"
+        assert back.temperature == 85.0 and back.variables == {"rval": 2e3}
+        assert back.fingerprint() == request.fingerprint()
+
+    def test_circuit_backed_request_has_no_json_form(self):
+        request = AnalysisRequest(circuit=parallel_rlc().circuit)
+        with pytest.raises(ToolError):
+            request.to_dict()
+
+    def test_fingerprint_is_content_addressed(self):
+        a = AnalysisRequest(netlist=RLC_NETLIST)
+        b = AnalysisRequest(netlist=RLC_NETLIST, label="different label")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_tracks_conditions(self):
+        base = AnalysisRequest(netlist=RLC_NETLIST)
+        assert (base.fingerprint()
+                != AnalysisRequest(netlist=RLC_NETLIST,
+                                   temperature=85.0).fingerprint())
+        assert (base.fingerprint()
+                != AnalysisRequest(netlist=RLC_NETLIST,
+                                   variables={"rval": 5e3}).fingerprint())
+        assert (base.fingerprint()
+                != AnalysisRequest(netlist=RLC_NETLIST,
+                                   sweep_points_per_decade=10).fingerprint())
+        assert (base.fingerprint()
+                != AnalysisRequest(netlist=RLC_NETLIST, mode="single-node",
+                                   node="tank").fingerprint())
+        assert (base.fingerprint()
+                != AnalysisRequest(netlist=RLC_NETLIST,
+                                   gmin=1e-10).fingerprint())
+
+    def test_fingerprint_resolves_node_aliases(self):
+        design = parallel_rlc()
+        aliased = design.circuit.copy()
+        aliased.add_alias("ring", "tank")
+        direct = AnalysisRequest(mode="single-node", circuit=design.circuit,
+                                 node="tank")
+        via_alias = AnalysisRequest(mode="single-node", circuit=aliased,
+                                    node="ring")
+        assert direct.fingerprint() == via_alias.fingerprint()
+
+
+class TestExecuteRequest:
+    def test_all_nodes_success(self):
+        response = execute_request(AnalysisRequest(netlist=RLC_NETLIST))
+        assert response.ok and response.mode == "all-nodes"
+        assert "tank" in response.report
+        result = response.all_nodes_result()
+        assert result.loops and result.loops[0].damping_ratio == pytest.approx(0.5, rel=0.05)
+
+    def test_single_node_success(self):
+        response = execute_request(AnalysisRequest(
+            mode="single-node", netlist=RLC_NETLIST, node="tank"))
+        assert response.ok
+        assert response.node_result().node == "tank"
+
+    def test_failure_is_a_response_not_an_exception(self):
+        response = execute_request(AnalysisRequest(netlist=BROKEN_NETLIST))
+        assert not response.ok
+        assert "undefined_variable" in response.error
+        assert response.traceback and "Traceback" in response.traceback
+
+    def test_variable_override_changes_result(self):
+        nominal = execute_request(AnalysisRequest(netlist=RLC_NETLIST))
+        damped = execute_request(AnalysisRequest(netlist=RLC_NETLIST,
+                                                 variables={"rval": 100.0}))
+        zeta_nominal = nominal.all_nodes_result().loops[0].damping_ratio
+        # rval=100 gives zeta=5: overdamped, no complex-pole loop reported.
+        assert not damped.all_nodes_result().loops or \
+            damped.all_nodes_result().loops[0].damping_ratio > zeta_nominal
+
+    def test_response_json_round_trip(self):
+        response = execute_request(AnalysisRequest(netlist=RLC_NETLIST))
+        back = AnalysisResponse.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert back.ok and back.fingerprint == response.fingerprint
+        assert back.report == response.report
+        assert (back.all_nodes_result().loops[0].performance_index
+                == pytest.approx(response.all_nodes_result().loops[0].performance_index))
+
+
+class TestBatchEngine:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ToolError):
+            BatchEngine(backend="quantum")
+        with pytest.raises(ToolError):
+            BatchEngine(max_workers=0)
+
+    def test_empty_batch(self):
+        assert BatchEngine(backend="serial").run([]) == []
+
+    @pytest.mark.parametrize("backend", ["serial", "thread"])
+    def test_order_and_isolation(self, backend):
+        engine = BatchEngine(max_workers=2, backend=backend)
+        requests = [
+            AnalysisRequest(netlist=RLC_NETLIST, label="good-1"),
+            AnalysisRequest(netlist=BROKEN_NETLIST, label="bad"),
+            AnalysisRequest(netlist=RLC_NETLIST, label="good-2",
+                            temperature=85.0),
+        ]
+        responses = engine.run(requests)
+        assert [r.label for r in responses] == ["good-1", "bad", "good-2"]
+        assert [r.ok for r in responses] == [True, False, True]
+        assert responses[1].traceback is not None
+
+    def test_progress_callback(self):
+        engine = BatchEngine(backend="serial")
+        seen = []
+        engine.run([AnalysisRequest(netlist=RLC_NETLIST),
+                    AnalysisRequest(netlist=RLC_NETLIST, temperature=0.0)],
+                   progress=lambda done, total, r: seen.append((done, total, r.ok)))
+        assert seen == [(1, 2, True), (2, 2, True)]
+
+    def test_process_pool_runs_circuit_backed_requests(self):
+        # Circuit objects must pickle onto the pool workers.
+        engine = BatchEngine(max_workers=2, backend="process")
+        design = parallel_rlc()
+        responses = engine.run([
+            AnalysisRequest(circuit=design.circuit, label="a"),
+            AnalysisRequest(circuit=design.circuit, temperature=100.0, label="b"),
+        ])
+        assert [r.ok for r in responses] == [True, True]
+        assert responses[0].all_nodes_result().loops
+
+
+class TestExpandCorners:
+    def test_one_request_per_corner(self):
+        base = AnalysisRequest(netlist=RLC_NETLIST, variables={"rval": 1e3})
+        corners = [Corner("cold", temperature=-40.0),
+                   Corner("hot", temperature=125.0,
+                          variables={"rval": 2e3})]
+        requests = expand_corners(base, corners)
+        assert [r.label for r in requests] == ["cold", "hot"]
+        assert requests[0].temperature == -40.0
+        assert requests[0].variables == {"rval": 1e3}
+        assert requests[1].variables == {"rval": 2e3}
+        assert requests[0].fingerprint() != requests[1].fingerprint()

@@ -1,0 +1,240 @@
+"""Tests for Monte Carlo scenario generation and the service facade."""
+
+import pytest
+
+from repro.exceptions import ToolError
+from repro.service import (
+    AnalysisRequest,
+    BatchEngine,
+    Distribution,
+    ResultCache,
+    ScenarioSpec,
+    StabilityCriteria,
+    StabilityService,
+    generate_scenarios,
+    scenario_requests,
+    stability_yield,
+)
+
+RLC_NETLIST = """tank standard
+.param rval=1k
+R1 tank 0 {rval}
+L1 tank 0 1m
+C1 tank 0 1n
+Vref vref 0 DC 1 AC 1
+Rtie vref tank 1G
+.end
+"""
+
+BROKEN_NETLIST = """broken
+R1 a 0 {undefined_variable}
+C1 a 0 1n
+I1 0 a DC 1u
+.end
+"""
+
+
+def _service(tmp_path=None, backend="serial", **kwargs):
+    cache = ResultCache(str(tmp_path) if tmp_path is not None else None)
+    return StabilityService(cache=cache,
+                            engine=BatchEngine(max_workers=2, backend=backend),
+                            **kwargs)
+
+
+class TestDistributions:
+    def test_deterministic_sampling(self):
+        spec = ScenarioSpec(variables={"r": Distribution.normal(1e3, 100.0),
+                                       "c": Distribution.loguniform(1e-12, 1e-9)},
+                            temperature=Distribution.uniform(-40, 125),
+                            samples=8, seed=11)
+        first = generate_scenarios(spec)
+        second = generate_scenarios(spec)
+        assert [s.variables for s in first] == [s.variables for s in second]
+        assert [s.temperature for s in first] == [s.temperature for s in second]
+        assert [s.name for s in first] == [f"mc{i:04d}" for i in range(8)]
+
+    def test_seed_changes_draws(self):
+        base = ScenarioSpec(variables={"r": Distribution.normal(1e3, 100.0)},
+                            samples=4, seed=1)
+        other = ScenarioSpec(variables={"r": Distribution.normal(1e3, 100.0)},
+                            samples=4, seed=2)
+        assert ([s.variables for s in generate_scenarios(base)]
+                != [s.variables for s in generate_scenarios(other)])
+
+    def test_distribution_bounds(self):
+        import random
+        rng = random.Random(0)
+        for _ in range(50):
+            value = Distribution.uniform(1.0, 2.0).sample(rng)
+            assert 1.0 <= value <= 2.0
+            value = Distribution.loguniform(1e2, 1e4).sample(rng)
+            assert 1e2 <= value <= 1e4
+            assert Distribution.choice(3.0, 5.0).sample(rng) in (3.0, 5.0)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ToolError):
+            Distribution.loguniform(0.0, 1.0)
+        with pytest.raises(ToolError):
+            Distribution.choice()
+        with pytest.raises(ToolError):
+            ScenarioSpec(samples=0)
+
+    def test_gmin_sampling(self):
+        spec = ScenarioSpec(variables={},
+                            gmin=Distribution.loguniform(1e-14, 1e-10),
+                            samples=6, seed=9)
+        scenarios = generate_scenarios(spec)
+        assert all(1e-14 <= s.gmin <= 1e-10 for s in scenarios)
+        assert len({s.gmin for s in scenarios}) > 1
+        _, requests = scenario_requests(spec, netlist=RLC_NETLIST)
+        assert [r.gmin for r in requests] == [s.gmin for s in scenarios]
+        # Fixed gmin when no distribution is given.
+        fixed = generate_scenarios(ScenarioSpec(samples=2, base_gmin=1e-11))
+        assert all(s.gmin == 1e-11 for s in fixed)
+
+    def test_scenario_requests_merge_base_variables(self):
+        spec = ScenarioSpec(variables={"rval": Distribution.choice(2e3)},
+                            samples=2, seed=3)
+        base = AnalysisRequest(netlist=RLC_NETLIST,
+                               variables={"other": 1.0})
+        scenarios, requests = scenario_requests(spec, base=base)
+        assert len(scenarios) == len(requests) == 2
+        assert requests[0].variables == {"other": 1.0, "rval": 2e3}
+        assert requests[0].label == "mc0000"
+
+
+class TestServiceCaching:
+    def test_identical_request_served_from_cache(self, tmp_path):
+        service = _service(tmp_path)
+        request = AnalysisRequest(netlist=RLC_NETLIST)
+        cold = service.submit(request)
+        warm = service.submit(AnalysisRequest(netlist=RLC_NETLIST))
+        assert cold.ok and not cold.cached
+        assert warm.ok and warm.cached
+        assert warm.fingerprint == cold.fingerprint
+        assert warm.report == cold.report
+
+    def test_cache_survives_service_restart(self, tmp_path):
+        _service(tmp_path).submit(AnalysisRequest(netlist=RLC_NETLIST))
+        warm = _service(tmp_path).submit(AnalysisRequest(netlist=RLC_NETLIST))
+        assert warm.cached
+
+    def test_failures_are_not_cached(self, tmp_path):
+        service = _service(tmp_path)
+        first = service.submit(AnalysisRequest(netlist=BROKEN_NETLIST))
+        second = service.submit(AnalysisRequest(netlist=BROKEN_NETLIST))
+        assert not first.ok and not second.ok
+        assert not second.cached
+        assert service.cache.disk_entries() == 0
+
+    def test_batch_mixes_cached_and_fresh(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(AnalysisRequest(netlist=RLC_NETLIST))
+        seen = []
+        responses = service.submit_batch(
+            [AnalysisRequest(netlist=RLC_NETLIST, label="hit"),
+             AnalysisRequest(netlist=RLC_NETLIST, temperature=85.0,
+                             label="miss")],
+            progress=lambda done, total, r: seen.append((done, total)))
+        assert [r.cached for r in responses] == [True, False]
+        assert seen == [(1, 2), (2, 2)]
+        # label comes from the cached payload's original submission
+        assert responses[0].ok and responses[1].ok
+
+    def test_batch_dedups_identical_requests(self, tmp_path):
+        service = _service(tmp_path)
+        responses = service.submit_batch([
+            AnalysisRequest(netlist=RLC_NETLIST, label="first"),
+            AnalysisRequest(netlist=RLC_NETLIST, label="twin"),
+            AnalysisRequest(netlist=RLC_NETLIST, temperature=85.0,
+                            label="distinct"),
+        ])
+        assert all(r.ok for r in responses)
+        # The twin is served from the first computation, not recomputed.
+        assert not responses[0].cached and responses[1].cached
+        assert responses[1].label == "twin"
+        assert responses[1].report == responses[0].report
+        assert not responses[2].cached
+        assert service.cache.stats.stores == 2
+
+    def test_stats_snapshot(self, tmp_path):
+        service = _service(tmp_path)
+        service.submit(AnalysisRequest(netlist=RLC_NETLIST))
+        service.submit(AnalysisRequest(netlist=RLC_NETLIST))
+        stats = service.stats()
+        assert stats["hits"] == 1 and stats["stores"] == 1
+        assert stats["disk_entries"] == 1
+        assert stats["directory"] == str(tmp_path)
+
+
+class TestMonteCarloScreening:
+    def test_yield_with_failure_isolation_on_process_pool(self, tmp_path):
+        # The acceptance scenario: >= 16 sampled variants on a process
+        # pool, each sample isolated, reduced to a yield summary.
+        cache = ResultCache(str(tmp_path))
+        service = StabilityService(
+            cache=cache, engine=BatchEngine(max_workers=4, backend="process"))
+        spec = ScenarioSpec(
+            variables={"rval": Distribution.loguniform(200.0, 20e3)},
+            temperature=Distribution.uniform(-40.0, 125.0),
+            samples=16, seed=7)
+        report = service.screen(spec, netlist=RLC_NETLIST,
+                                criteria=StabilityCriteria(min_phase_margin_deg=50.0))
+        assert report.summary.samples == 16
+        assert report.summary.errors == 0
+        assert 0.0 < report.summary.yield_fraction < 1.0
+        stats = report.summary.phase_margin_stats()
+        assert stats["min"] <= stats["mean"] <= stats["max"]
+        text = report.format()
+        assert "stability yield" in text and "worst sample" in text
+
+    def test_rerun_is_fully_cached(self, tmp_path):
+        service = _service(tmp_path)
+        spec = ScenarioSpec(variables={"rval": Distribution.choice(1e3, 5e3)},
+                            samples=4, seed=5)
+        first = service.screen(spec, netlist=RLC_NETLIST)
+        second = service.screen(spec, netlist=RLC_NETLIST)
+        assert first.cached_count < len(first.responses)
+        assert second.cached_count == len(second.responses)
+        assert (second.summary.yield_fraction
+                == first.summary.yield_fraction)
+
+    def test_error_samples_counted_separately(self):
+        service = _service()
+        spec = ScenarioSpec(variables={"x": Distribution.choice(1.0)},
+                            samples=3, seed=1)
+        report = service.screen(spec, netlist=BROKEN_NETLIST)
+        assert report.summary.errors == 3
+        assert report.summary.analysed == 0
+        assert report.summary.yield_fraction == 0.0
+        assert "analysis failed" in report.summary.format()
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ToolError):
+            stability_yield([], [object()])
+
+    def test_samples_with_failed_nodes_do_not_inflate_yield(self):
+        # A sample whose nodes *failed* to analyse must not count as
+        # passing just because no loops were identified.
+        service = _service()
+        response = service.submit(AnalysisRequest(netlist=RLC_NETLIST))
+        poisoned = response.to_dict()
+        poisoned["result"]["failed_nodes"] = {"tank": "solver blew up"}
+        poisoned_response = type(response).from_dict(poisoned)
+        scenarios = generate_scenarios(
+            ScenarioSpec(variables={}, samples=1, seed=1))
+        summary = stability_yield(scenarios, [poisoned_response])
+        assert summary.errors == 1 and summary.passed == 0
+        assert "solver blew up" not in (summary.outcomes[0].error or "")
+        assert "node analyses failed" in summary.outcomes[0].error
+
+
+class TestCriteria:
+    def test_damping_criterion(self, tmp_path):
+        service = _service(tmp_path)
+        response = service.submit(AnalysisRequest(netlist=RLC_NETLIST))
+        result = response.all_nodes_result()
+        assert StabilityCriteria(min_phase_margin_deg=10.0).passes(result)
+        assert not StabilityCriteria(min_phase_margin_deg=80.0).passes(result)
+        assert not StabilityCriteria(min_phase_margin_deg=0.0,
+                                     min_damping_ratio=0.9).passes(result)

@@ -64,6 +64,32 @@ class TestSimulationEnvironment:
         with pytest.raises(ToolError):
             SimulationEnvironment.load_state(str(tmp_path / "missing.json"))
 
+    def test_full_state_round_trip_with_gmin_and_result_directory(self, tmp_path):
+        # The sevSaveState analogue must restore *everything* the next
+        # session needs: conditions, variables, models and the active
+        # result directory.
+        env = SimulationEnvironment(name="full", temperature=-40.0, gmin=1e-10,
+                                    sweep=FrequencySweep(10.0, 1e7, 15),
+                                    design_variables={"cload": 2e-12, "rz": 50.0})
+        env.add_model_file("models/a.lib")
+        env.use_result_directory(str(tmp_path / "explicit_dir"))
+        path = str(tmp_path / "state.json")
+        env.save_state(path)
+        restored = SimulationEnvironment.load_state(path)
+        assert restored.gmin == pytest.approx(1e-10)
+        assert restored.temperature == -40.0
+        assert restored.design_variables == {"cload": 2e-12, "rz": 50.0}
+        assert restored.sweep.stop == pytest.approx(1e7)
+        assert restored.sweep.points_per_decade == 15
+        assert restored.result_directory(create=False).endswith("explicit_dir")
+        # Saving the restored state reproduces the original byte-for-byte
+        # (modulo the creation timestamp).
+        first = env.state().to_json()
+        second = restored.state().to_json()
+        strip = lambda text: "\n".join(line for line in text.splitlines()
+                                       if '"created"' not in line)
+        assert strip(first) == strip(second)
+
     def test_session_state_ignores_unknown_fields(self):
         state = SessionState.from_json(json.dumps({
             "name": "x", "temperature": 27.0, "gmin": 1e-12,
@@ -115,6 +141,74 @@ class TestJobRunner:
         results = JobRunner(max_workers=3).run(jobs)
         assert [r.name for r in results] == ["j0", "j1", "j2"]
         assert [r.result for r in results] == [0, 1, 2]
+
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_failure_isolation_serial_and_threaded(self, workers):
+        def sometimes_fail(i):
+            if i % 2 == 1:
+                raise ValueError(f"boom {i}")
+            return i
+
+        jobs = [Job(name=f"j{i}", target=sometimes_fail, args=(i,))
+                for i in range(6)]
+        results = JobRunner(max_workers=workers).run(jobs)
+        assert [r.ok for r in results] == [True, False] * 3
+        for result in results:
+            if not result.ok:
+                assert result.status == "failed"
+                assert "boom" in result.error
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_traceback_propagated(self, workers):
+        def fail():
+            raise KeyError("missing-node")
+
+        results = JobRunner(max_workers=workers).run(
+            [Job(name="a", target=fail), Job(name="b", target=lambda: 1)])
+        failed = results[0]
+        assert not failed.ok
+        assert failed.traceback is not None
+        assert "KeyError" in failed.traceback
+        assert "missing-node" in failed.traceback
+        assert "in fail" in failed.traceback          # the offending frame
+        assert results[1].traceback is None
+
+    def test_pool_abort_marks_cancelled(self):
+        import threading
+        release = threading.Event()
+
+        def fail_fast():
+            raise RuntimeError("boom")
+
+        def wait_for_release():
+            release.wait(timeout=5.0)
+            return "done"
+
+        # Two workers start on "blocker" and "fails"; the failure aborts
+        # the batch while the blockers keep both workers busy, so at
+        # least the deepest queued job must come back "cancelled" rather
+        # than silently vanish.  The release event fires from the
+        # progress callback once the cancellation is recorded, which
+        # also guarantees no worker can reach "queued2" first.
+        def progress(_done, _total, outcome):
+            if outcome.cancelled:
+                release.set()
+
+        jobs = [Job(name="blocker", target=wait_for_release),
+                Job(name="fails", target=fail_fast),
+                Job(name="queued1", target=wait_for_release),
+                Job(name="queued2", target=wait_for_release)]
+        runner = JobRunner(max_workers=2, continue_on_error=False)
+        results = runner.run(jobs, progress=progress)
+        release.set()
+        by_name = {r.name: r for r in results}
+        assert by_name["fails"].status == "failed"
+        cancelled = [r for r in results if r.cancelled]
+        assert cancelled, "aborted batch must report cancelled jobs"
+        assert by_name["queued2"].cancelled
+        for result in cancelled:
+            assert "cancelled after" in result.error
+            assert not result.ok
 
     def test_duplicate_names_rejected(self):
         jobs = [Job(name="same", target=lambda: 1), Job(name="same", target=lambda: 2)]
