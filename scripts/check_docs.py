@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Execute the code blocks of README.md and docs/*.md (the docs CI job).
+
+Every fenced block tagged exactly ```` ```python ```` is executed; blocks
+in the same file share one namespace (so examples can build on each
+other, doctest-session style) and run inside a temporary working
+directory (so examples that write result files do not litter the repo).
+Blocks tagged ```` ```python no-run ```` are only compiled, which still
+catches syntax rot.  Shell blocks are not executed.
+
+The module doctests that documentation links to (currently
+``repro.analysis.ac``) run as part of the same job.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_docs.py [files...]
+"""
+
+from __future__ import annotations
+
+import doctest
+import os
+import re
+import sys
+import tempfile
+import traceback
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Modules whose docstring examples the docs rely on.
+DOCTEST_MODULES = ["repro.analysis.ac"]
+
+_FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def markdown_files() -> list:
+    files = [os.path.join(REPO_ROOT, "README.md")]
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    if os.path.isdir(docs_dir):
+        for name in sorted(os.listdir(docs_dir)):
+            if name.endswith(".md"):
+                files.append(os.path.join(docs_dir, name))
+    return files
+
+
+def extract_blocks(text: str) -> list:
+    """[(info_string, code, line_number), ...] for every fenced block."""
+    blocks = []
+    for match in _FENCE.finditer(text):
+        info = match.group(1).strip().lower()
+        line = text[:match.start()].count("\n") + 2  # first code line
+        blocks.append((info, match.group(2), line))
+    return blocks
+
+
+def check_file(path: str) -> list:
+    """Run one markdown file's python blocks; return a list of failures."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    rel = os.path.relpath(path, REPO_ROOT)
+    failures = []
+    namespace: dict = {"__name__": f"docs_check:{rel}"}
+    executed = compiled = 0
+    cwd = os.getcwd()
+    with tempfile.TemporaryDirectory(prefix="docs_check_") as workdir:
+        os.chdir(workdir)
+        try:
+            for info, code, line in extract_blocks(text):
+                if info not in ("python", "python no-run"):
+                    continue
+                label = f"{rel}:{line}"
+                try:
+                    compiled_code = compile(code, label, "exec")
+                except SyntaxError:
+                    failures.append((label, traceback.format_exc()))
+                    continue
+                if info == "python no-run":
+                    compiled += 1
+                    continue
+                try:
+                    exec(compiled_code, namespace)  # noqa: S102 - the point
+                    executed += 1
+                except Exception:
+                    failures.append((label, traceback.format_exc()))
+        finally:
+            os.chdir(cwd)
+    print(f"  {rel}: {executed} executed, {compiled} compile-only, "
+          f"{len(failures)} failed")
+    return failures
+
+
+def run_doctests() -> list:
+    failures = []
+    for module_name in DOCTEST_MODULES:
+        module = __import__(module_name, fromlist=["_"])
+        result = doctest.testmod(module, verbose=False)
+        print(f"  doctest {module_name}: {result.attempted} examples, "
+              f"{result.failed} failed")
+        if result.failed:
+            failures.append((module_name, f"{result.failed} doctest failure(s)"))
+    return failures
+
+
+def main(argv) -> int:
+    files = [os.path.abspath(f) for f in argv[1:]] or markdown_files()
+    print("Checking documentation code blocks:")
+    failures = []
+    for path in files:
+        failures.extend(check_file(path))
+    failures.extend(run_doctests())
+    if failures:
+        print(f"\n{len(failures)} failing block(s):", file=sys.stderr)
+        for label, details in failures:
+            print(f"\n--- {label} ---\n{details}", file=sys.stderr)
+        return 1
+    print("All documentation code blocks pass.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

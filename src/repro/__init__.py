@@ -6,6 +6,8 @@ AC-Stability Analysis of Continuous-Time Closed-Loop Systems" (DATE 2005).
 The package is organised in layers:
 
 * :mod:`repro.circuit` — circuit description (elements, netlists, parser);
+* :mod:`repro.linalg` — pluggable linear-solver backends (dense LAPACK /
+  sparse SuperLU) behind the :class:`~repro.linalg.LinearSystem` seam;
 * :mod:`repro.analysis` — MNA simulation engines (OP, AC, transient, poles);
 * :mod:`repro.waveform` — waveform calculator and measurements;
 * :mod:`repro.core` — the paper's method: stability plot, single-node and

@@ -4,6 +4,12 @@ The circuit is linearised at its DC operating point and the complex MNA
 system ``(G + j*2*pi*f*C) X = B_ac`` is solved at every frequency of the
 requested sweep.  This is the analysis the stability tool runs after
 attaching an AC current stimulus to the node under test.
+
+Two solver paths exist behind the same interface (see
+``docs/solver-backends.md``): the dense path stacks the per-frequency
+matrices into one batched LAPACK call, the sparse path factorizes
+``G + j*omega*C`` with SuperLU per frequency and reuses each
+factorization for every right-hand-side column at once.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from repro.analysis.results import ACResult, OPResult
 from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.netlist import Circuit
 from repro.exceptions import AnalysisError, SingularMatrixError
+from repro.linalg import LinearSystem, SolverBackend, matrix_stats, resolve_backend
 
 __all__ = ["ac_analysis", "solve_ac_stacked"]
 
@@ -27,34 +34,78 @@ __all__ = ["ac_analysis", "solve_ac_stacked"]
 _STACK_CHUNK = 128
 
 
-def solve_ac_stacked(G: np.ndarray, C: np.ndarray, rhs: np.ndarray,
-                     frequencies, chunk_size: int = _STACK_CHUNK) -> np.ndarray:
+def solve_ac_stacked(G, C, rhs: np.ndarray, frequencies,
+                     chunk_size: int = _STACK_CHUNK,
+                     backend: Union[str, SolverBackend, None] = None,
+                     names: Optional[Sequence[str]] = None) -> np.ndarray:
     """Solve ``(G + j*2*pi*f*C) X = rhs`` for every frequency at once.
 
-    Instead of one ``np.linalg.solve`` per frequency, the system matrices
-    are stacked into a ``(K, n, n)`` array and handed to LAPACK as a batch,
-    which removes the Python-loop overhead of the AC hot path.  ``rhs`` may
-    be a single vector ``(n,)`` (one stimulus — the AC analysis) or a matrix
-    ``(n, m)`` (one column per injection site — the multi-node impedance
-    sweep); the result has a leading frequency axis: ``(K, n)`` or
-    ``(K, n, m)``.
+    The chunked-solve contract: ``rhs`` may be a single vector ``(n,)``
+    (one stimulus — the AC analysis) or a matrix ``(n, m)`` (one column
+    per injection site — the multi-node impedance sweep); the result has
+    a leading frequency axis, ``(K, n)`` or ``(K, n, m)``, regardless of
+    how the frequencies were chunked internally::
 
-    If any matrix in a chunk is singular the chunk is re-solved one
-    frequency at a time to report the exact offending frequency.
+        >>> import numpy as np
+        >>> G = np.array([[2.0, -1.0], [-1.0, 2.0]])   # conductances
+        >>> C = np.array([[1e-3, 0.0], [0.0, 1e-3]])   # capacitances
+        >>> rhs = np.array([1.0, 0.0])                 # one stimulus
+        >>> X = solve_ac_stacked(G, C, rhs, [1.0, 10.0, 100.0], chunk_size=2)
+        >>> X.shape                                    # (K frequencies, n)
+        (3, 2)
+        >>> direct = np.linalg.solve(G + 2j * np.pi * 10.0 * C, rhs)
+        >>> bool(np.allclose(X[1], direct))            # chunking is invisible
+        True
+
+    On the dense backend the system matrices are stacked into a
+    ``(K, n, n)`` array per chunk and handed to LAPACK as a batch, which
+    removes the Python-loop overhead of the AC hot path; if any matrix in
+    a chunk is singular the chunk is re-solved one frequency at a time to
+    report the exact offending frequency.  On the sparse backend (chosen
+    automatically for large sparse systems, or explicitly via
+    ``backend="sparse"``; ``G``/``C`` may then be scipy sparse matrices)
+    each ``G + j*omega*C`` is factorized once with SuperLU and solved for
+    every RHS column.  ``names`` (MNA unknown names) improve singularity
+    diagnostics.
     """
     freq = np.asarray(frequencies, dtype=float)
     if freq.ndim != 1 or len(freq) < 1:
         raise AnalysisError("at least one frequency is required")
-    # LAPACK's batched gesv returns NaN solutions (without raising) for
-    # non-finite inputs; guard once up front so a pathological linearisation
-    # fails loudly instead of poisoning every downstream waveform.
-    if not (np.all(np.isfinite(G)) and np.all(np.isfinite(C))):
+    sparse_input = hasattr(G, "tocsc") or hasattr(C, "tocsc")
+    if backend is None and sparse_input:
+        backend_obj = resolve_backend("sparse")
+    else:
+        n_unknowns, g_density = matrix_stats(G)
+        backend_obj = resolve_backend(backend, size=n_unknowns,
+                                      density=max(g_density, matrix_stats(C)[1]))
+
+    # Batched solvers return NaN solutions (without raising) for non-finite
+    # inputs; guard once up front so a pathological linearisation fails
+    # loudly instead of poisoning every downstream waveform.
+    G_data = G.data if hasattr(G, "tocsc") else G
+    C_data = C.data if hasattr(C, "tocsc") else C
+    if not (np.all(np.isfinite(G_data)) and np.all(np.isfinite(C_data))):
         raise SingularMatrixError(
             "AC system matrices contain non-finite entries "
             "(bad operating point or device model)")
+
     rhs = np.asarray(rhs, dtype=complex)
     single_rhs = rhs.ndim == 1
     B = rhs[:, None] if single_rhs else rhs
+
+    if backend_obj.name == "sparse":
+        out = _solve_ac_sparse(G, C, B, freq, backend_obj, names)
+    else:
+        out = _solve_ac_dense_stacked(G, C, B, freq, chunk_size, backend_obj)
+    return out[:, :, 0] if single_rhs else out
+
+
+def _solve_ac_dense_stacked(G, C, B: np.ndarray, freq: np.ndarray,
+                            chunk_size: int,
+                            backend: SolverBackend) -> np.ndarray:
+    """Dense path: one batched LAPACK call per frequency chunk."""
+    G = backend.matrix(G)
+    C = backend.matrix(C)
     n, m = B.shape
     out = np.empty((len(freq), n, m), dtype=complex)
     for start in range(0, len(freq), chunk_size):
@@ -73,7 +124,27 @@ def solve_ac_stacked(G: np.ndarray, C: np.ndarray, rhs: np.ndarray,
                 except np.linalg.LinAlgError as exc:
                     raise SingularMatrixError(
                         f"AC system is singular at {frequency:g} Hz: {exc}") from exc
-    return out[:, :, 0] if single_rhs else out
+    return out
+
+
+def _solve_ac_sparse(G, C, B: np.ndarray, freq: np.ndarray,
+                     backend: SolverBackend,
+                     names: Optional[Sequence[str]]) -> np.ndarray:
+    """Sparse path: one SuperLU factorization per frequency, all RHS columns
+    solved against it at once."""
+    G = backend.matrix(G)
+    C = backend.matrix(C)
+    n, m = B.shape
+    out = np.empty((len(freq), n, m), dtype=complex)
+    for k, frequency in enumerate(freq):
+        matrix = (G + (2j * np.pi * frequency) * C).tocsc()
+        try:
+            out[k] = LinearSystem(matrix, backend=backend, names=names,
+                                  dtype=complex).solve(B)
+        except SingularMatrixError as exc:
+            raise SingularMatrixError(
+                f"AC system is singular at {frequency:g} Hz: {exc}") from exc
+    return out
 
 
 def ac_analysis(circuit: Circuit,
@@ -82,7 +153,8 @@ def ac_analysis(circuit: Circuit,
                 gmin: float = 1e-12,
                 variables: Optional[Dict[str, float]] = None,
                 op: Optional[OPResult] = None,
-                options: Optional[NewtonOptions] = None) -> ACResult:
+                options: Optional[NewtonOptions] = None,
+                backend: Union[str, SolverBackend, None] = None) -> ACResult:
     """Run a small-signal AC sweep and return an :class:`ACResult`.
 
     Parameters
@@ -96,13 +168,16 @@ def ac_analysis(circuit: Circuit,
         A previously computed operating point.  When omitted it is
         computed here.  Passing one is how the all-nodes stability run
         avoids recomputing the bias point for every node.
+    backend:
+        Linear-solver backend: ``"dense"``, ``"sparse"`` or ``None``/
+        ``"auto"`` (size/density heuristic; ``REPRO_BACKEND`` overrides).
     """
     sweep = FrequencySweep.coerce(sweep)
     ctx = AnalysisContext(temperature=temperature, gmin=gmin,
                           variables=dict(circuit.variables))
     if variables:
         ctx.update_variables(variables)
-    system = MNASystem(circuit, ctx)
+    system = MNASystem(circuit, ctx, backend=backend)
     system.stamp()
 
     if not np.any(system.b_ac):
@@ -122,8 +197,11 @@ def ac_analysis(circuit: Circuit,
             if op.has(name):
                 x_op[i] = op.current(name) if name.startswith("#branch:") else op.voltage(name)
 
-    G_ss, C_ss = system.small_signal_matrices(x_op)
+    form = "sparse" if system.backend.name == "sparse" else "dense"
+    G_ss, C_ss = system.small_signal_matrices(x_op, form=form)
 
     frequencies = sweep.frequencies
-    data = solve_ac_stacked(G_ss, C_ss, system.b_ac, frequencies)
+    data = solve_ac_stacked(G_ss, C_ss, system.b_ac, frequencies,
+                            backend=system.backend,
+                            names=system.variable_names)
     return ACResult(system.variable_names, frequencies, data, op=op)

@@ -12,11 +12,19 @@ The MNA formulation is::
 
 with ``G``/``C`` split into a static part (linear elements) and an
 iteration/operating-point part (nonlinear device companions).
+
+Assembly is **triplet (COO) based**: element stamps are accumulated as
+``(row, col, value)`` contributions (:class:`repro.linalg.TripletMatrix`)
+so that either solver backend can consume them — the dense backend
+replays them into NumPy arrays (bit-for-bit identical to stamping
+straight into ``G[i, j]``), the sparse backend converts them to CSR/CSC
+without ever building a dense matrix.  The ``G``/``C`` attributes remain
+plain ndarrays (densified lazily and cached) for all existing callers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -24,6 +32,7 @@ from repro.circuit.elements.base import Element, is_ground
 from repro.circuit.netlist import Circuit, SubcircuitInstance
 from repro.exceptions import NetlistError, SingularMatrixError
 from repro.analysis.context import AnalysisContext
+from repro.linalg import LinearSystem, SolverBackend, TripletMatrix, resolve_backend
 
 __all__ = ["MNASystem", "SolutionView"]
 
@@ -59,9 +68,16 @@ class SolutionView:
 
 
 class MNASystem:
-    """Assembled MNA matrices for one flat circuit and one context."""
+    """Assembled MNA matrices for one flat circuit and one context.
 
-    def __init__(self, circuit: Circuit, ctx: Optional[AnalysisContext] = None):
+    ``backend`` selects the linear-solver backend used by the analyses
+    operating on this system: ``"dense"``, ``"sparse"`` or ``None``/
+    ``"auto"`` (size/density heuristic, overridable with the
+    ``REPRO_BACKEND`` environment variable).
+    """
+
+    def __init__(self, circuit: Circuit, ctx: Optional[AnalysisContext] = None,
+                 backend: Union[str, SolverBackend, None] = None):
         if any(isinstance(e, SubcircuitInstance) for e in circuit):
             circuit = circuit.flattened()
         self.circuit = circuit
@@ -77,15 +93,18 @@ class MNASystem:
         self._build_index()
 
         n = self.size
-        self.G = np.zeros((n, n))
-        self.C = np.zeros((n, n))
+        # Static matrices, accumulated as triplets and densified on demand.
+        self._G_trip = TripletMatrix(n)
+        self._C_trip = TripletMatrix(n)
+        self._G_dense: Optional[np.ndarray] = None
+        self._C_dense: Optional[np.ndarray] = None
         self.b_dc = np.zeros(n)
         self.b_ac = np.zeros(n, dtype=complex)
-        # Per-iteration (nonlinear companion) arrays.
-        self.G_iter = np.zeros((n, n))
+        # Per-iteration (nonlinear companion) matrices/vectors.
+        self._G_iter_trip = TripletMatrix(n)
         self.b_iter = np.zeros(n)
         # Operating-point incremental capacitances.
-        self.C_op = np.zeros((n, n))
+        self._C_op_trip = TripletMatrix(n)
         # Transient right-hand-side deltas.
         self.b_tran = np.zeros(n)
         # Initial conditions recorded by elements (node pair / branch -> value).
@@ -97,6 +116,8 @@ class MNASystem:
         self.nonlinear_elements: List[Element] = [
             e for e in self.circuit if e.is_nonlinear]
 
+        self._backend_request = backend
+        self._backend: Optional[SolverBackend] = None
         self._stamped = False
 
     # ------------------------------------------------------------------
@@ -140,39 +161,102 @@ class MNASystem:
         return is_ground(variable) or variable in self._index
 
     # ------------------------------------------------------------------
+    # Dense views of the triplet-assembled matrices (cached)
+    # ------------------------------------------------------------------
+    @property
+    def G(self) -> np.ndarray:
+        """Static conductance matrix as a dense ndarray."""
+        if self._G_dense is None:
+            self._G_dense = self._G_trip.to_dense()
+        return self._G_dense
+
+    @property
+    def C(self) -> np.ndarray:
+        """Static capacitance matrix as a dense ndarray."""
+        if self._C_dense is None:
+            self._C_dense = self._C_trip.to_dense()
+        return self._C_dense
+
+    @property
+    def G_iter(self) -> np.ndarray:
+        """Per-iteration companion conductances (densified on access)."""
+        return self._G_iter_trip.to_dense()
+
+    @property
+    def C_op(self) -> np.ndarray:
+        """Operating-point incremental capacitances (densified on access)."""
+        return self._C_op_trip.to_dense()
+
+    # ------------------------------------------------------------------
+    # Solver-backend seam
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> SolverBackend:
+        """The resolved solver backend for this system.
+
+        Resolution is lazy (the auto heuristic needs the stamp count) and
+        cached; an explicit ``backend=`` constructor argument or the
+        ``REPRO_BACKEND`` environment variable overrides the heuristic.
+        """
+        if self._backend is None:
+            self.stamp()
+            density = max(self._G_trip.density(), self._C_trip.density())
+            self._backend = resolve_backend(self._backend_request,
+                                            size=self.size, density=density)
+        return self._backend
+
+    def static_sparse(self, which: str = "G"):
+        """Static ``G`` or ``C`` as CSC, straight from the triplets."""
+        self.stamp()
+        trip = self._G_trip if which == "G" else self._C_trip
+        return trip.to_csc()
+
+    def linear_system(self, matrix, dtype=float) -> LinearSystem:
+        """Wrap a matrix in a :class:`LinearSystem` on this system's backend
+        (factorization cached inside; unknown names attached for
+        diagnostics)."""
+        return LinearSystem(matrix, backend=self.backend,
+                            names=self.variable_names, dtype=dtype)
+
+    # ------------------------------------------------------------------
     # Stamping API used by elements
     # ------------------------------------------------------------------
     def add_G(self, vi: str, vj: str, value: float) -> None:
         i, j = self.index_of(vi), self.index_of(vj)
         if i is not None and j is not None:
-            self.G[i, j] += value
+            self._G_trip.add(i, j, value)
+            self._G_dense = None
 
     def add_C(self, vi: str, vj: str, value: float) -> None:
         i, j = self.index_of(vi), self.index_of(vj)
         if i is not None and j is not None:
-            self.C[i, j] += value
+            self._C_trip.add(i, j, value)
+            self._C_dense = None
 
     def conductance(self, node_a: str, node_b: str, g: float) -> None:
         """Two-terminal conductance stamp into the static G matrix."""
-        self._two_terminal(self.G, node_a, node_b, g)
+        self._two_terminal(self._G_trip, node_a, node_b, g)
+        self._G_dense = None
 
     def capacitance(self, node_a: str, node_b: str, c: float) -> None:
         """Two-terminal capacitance stamp into the static C matrix."""
-        self._two_terminal(self.C, node_a, node_b, c)
+        self._two_terminal(self._C_trip, node_a, node_b, c)
+        self._C_dense = None
 
     def capacitance_op(self, node_a: str, node_b: str, c: float) -> None:
         """Two-terminal capacitance stamp into the operating-point C matrix."""
-        self._two_terminal(self.C_op, node_a, node_b, c)
+        self._two_terminal(self._C_op_trip, node_a, node_b, c)
 
-    def _two_terminal(self, matrix: np.ndarray, node_a: str, node_b: str, value: float) -> None:
+    def _two_terminal(self, matrix: TripletMatrix, node_a: str, node_b: str,
+                      value: float) -> None:
         i, j = self.index_of(node_a), self.index_of(node_b)
         if i is not None:
-            matrix[i, i] += value
+            matrix.add(i, i, value)
         if j is not None:
-            matrix[j, j] += value
+            matrix.add(j, j, value)
         if i is not None and j is not None:
-            matrix[i, j] -= value
-            matrix[j, i] -= value
+            matrix.add(i, j, -value)
+            matrix.add(j, i, -value)
 
     def add_rhs_dc(self, variable: str, value: float) -> None:
         index = self.index_of(variable)
@@ -187,7 +271,7 @@ class MNASystem:
     def add_G_iter(self, vi: str, vj: str, value: float) -> None:
         i, j = self.index_of(vi), self.index_of(vj)
         if i is not None and j is not None:
-            self.G_iter[i, j] += value
+            self._G_iter_trip.add(i, j, value)
 
     def add_rhs_iter(self, variable: str, value: float) -> None:
         index = self.index_of(variable)
@@ -197,7 +281,7 @@ class MNASystem:
     def add_C_op(self, vi: str, vj: str, value: float) -> None:
         i, j = self.index_of(vi), self.index_of(vj)
         if i is not None and j is not None:
-            self.C_op[i, j] += value
+            self._C_op_trip.add(i, j, value)
 
     def add_rhs_tran(self, variable: str, value: float) -> None:
         index = self.index_of(variable)
@@ -233,27 +317,39 @@ class MNASystem:
         self._stamped = True
         return self
 
-    def newton_matrices(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (G, b) of the linearised system at candidate solution x."""
+    def _stamp_nonlinear(self, x: np.ndarray, dynamic: bool = False) -> None:
+        """Refill the per-iteration matrices at candidate solution ``x``."""
         self.stamp()
-        self.G_iter[:] = 0.0
+        self._G_iter_trip.clear()
         self.b_iter[:] = 0.0
+        if dynamic:
+            self._C_op_trip.clear()
         view = SolutionView(self, x)
         for element in self.nonlinear_elements:
             element.stamp_nonlinear(self, view, self.ctx)
-        return self.G + self.G_iter, self.b_dc + self.b_iter
+            if dynamic:
+                element.stamp_dynamic_nonlinear(self, view, self.ctx)
 
-    def small_signal_matrices(self, x_op: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Return (G_ss, C_ss) linearised at the operating point ``x_op``."""
-        self.stamp()
-        self.G_iter[:] = 0.0
-        self.b_iter[:] = 0.0
-        self.C_op[:] = 0.0
-        view = SolutionView(self, x_op)
-        for element in self.nonlinear_elements:
-            element.stamp_nonlinear(self, view, self.ctx)
-            element.stamp_dynamic_nonlinear(self, view, self.ctx)
-        return self.G + self.G_iter, self.C + self.C_op
+    def newton_matrices(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (G, b) of the linearised system at candidate solution x."""
+        self._stamp_nonlinear(x, dynamic=False)
+        return self.G + self._G_iter_trip.to_dense(), self.b_dc + self.b_iter
+
+    def small_signal_matrices(self, x_op: np.ndarray,
+                              form: str = "dense") -> Tuple:
+        """Return (G_ss, C_ss) linearised at the operating point ``x_op``.
+
+        ``form="dense"`` (default) returns ndarrays exactly as the dense
+        analyses always consumed them; ``form="sparse"`` returns CSR
+        matrices assembled straight from the triplets without densifying
+        (the sparse AC/impedance path).
+        """
+        self._stamp_nonlinear(x_op, dynamic=True)
+        if form == "sparse":
+            return (self._G_trip.to_csr(self._G_iter_trip),
+                    self._C_trip.to_csr(self._C_op_trip))
+        return (self.G + self._G_iter_trip.to_dense(),
+                self.C + self._C_op_trip.to_dense())
 
     def transient_rhs(self, time: float) -> np.ndarray:
         """DC right-hand side adjusted to the source waveform values at ``time``."""
@@ -281,15 +377,16 @@ class MNASystem:
     # ------------------------------------------------------------------
     # Linear algebra helpers
     # ------------------------------------------------------------------
-    @staticmethod
-    def solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
-        """Dense solve with a helpful error on singular systems."""
-        try:
-            return np.linalg.solve(matrix, rhs)
-        except np.linalg.LinAlgError as exc:
-            raise SingularMatrixError(
-                "MNA matrix is singular: check for floating nodes, loops of "
-                f"ideal sources or missing DC paths ({exc})") from exc
+    def solve(self, matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+        """One-shot dense solve with node-name diagnostics on singularity.
+
+        This is the Newton-iteration kernel: the matrix changes on every
+        call (companion stamps move), so there is nothing to reuse and the
+        dense LAPACK path is used regardless of the configured backend.
+        """
+        from repro.linalg import DenseBackend
+
+        return DenseBackend().solve_once(matrix, rhs, names=self.variable_names)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<MNASystem {len(self.node_names)} nodes, "

@@ -59,7 +59,8 @@ def operating_point(circuit: Circuit,
                     options: Optional[NewtonOptions] = None,
                     initial_guess: Optional[Dict[str, float]] = None,
                     context: Optional[AnalysisContext] = None,
-                    system: Optional[MNASystem] = None) -> OPResult:
+                    system: Optional[MNASystem] = None,
+                    backend: Optional[str] = None) -> OPResult:
     """Compute the DC operating point of ``circuit``.
 
     Parameters
@@ -79,6 +80,12 @@ def operating_point(circuit: Circuit,
     context, system:
         Pre-built analysis context / MNA system (used internally by the
         other engines to avoid building things twice).
+    backend:
+        Linear-solver backend ("dense"/"sparse"/None for auto).  Linear
+        circuits are solved directly on the selected backend; the Newton
+        iteration of nonlinear circuits always uses the dense kernel (its
+        matrix changes every iteration, so there is nothing to reuse, and
+        every nonlinear circuit in this library is small).
     """
     options = options or NewtonOptions()
     if system is None:
@@ -86,7 +93,7 @@ def operating_point(circuit: Circuit,
                                          variables=dict(circuit.variables))
         if variables:
             ctx.update_variables(variables)
-        system = MNASystem(circuit, ctx)
+        system = MNASystem(circuit, ctx, backend=backend)
     else:
         ctx = system.ctx
     system.stamp()
@@ -101,10 +108,7 @@ def operating_point(circuit: Circuit,
 
     device_info_strategy = "linear"
     if not system.nonlinear_elements:
-        matrix = system.G.copy()
-        if options.gshunt:
-            matrix[np.diag_indices_from(matrix)] += options.gshunt
-        x = system.solve(matrix, system.b_dc)
+        x = _solve_linear_dc(system, options)
         iterations = 0
     else:
         x, iterations, device_info_strategy = _solve_nonlinear(system, x0, options)
@@ -113,6 +117,22 @@ def operating_point(circuit: Circuit,
     return OPResult(system.variable_names, x, device_info=device_info,
                     iterations=iterations, strategy=device_info_strategy,
                     temperature=ctx.temperature)
+
+
+def _solve_linear_dc(system: MNASystem, options: NewtonOptions) -> np.ndarray:
+    """Direct DC solve of a linear circuit on the system's backend."""
+    if system.backend.name == "sparse":
+        import scipy.sparse
+
+        matrix = system.static_sparse("G")
+        if options.gshunt:
+            matrix = matrix + options.gshunt * scipy.sparse.identity(
+                system.size, format="csc")
+        return system.linear_system(matrix).solve(system.b_dc)
+    matrix = system.G.copy()
+    if options.gshunt:
+        matrix[np.diag_indices_from(matrix)] += options.gshunt
+    return system.solve(matrix, system.b_dc)
 
 
 # ----------------------------------------------------------------------

@@ -20,7 +20,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 import numpy as np
-import scipy.linalg
 
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
@@ -41,12 +40,16 @@ def transient_analysis(circuit: Circuit,
                        linearize: bool = False,
                        op: Optional[OPResult] = None,
                        options: Optional[NewtonOptions] = None,
-                       max_newton_per_step: int = 50) -> TransientResult:
+                       max_newton_per_step: int = 50,
+                       backend: Optional[str] = None) -> TransientResult:
     """Integrate the circuit from 0 to ``stop_time`` with step ``time_step``.
 
     The initial condition is the DC operating point (source waveforms are
     expected to start from their DC values; use a small non-zero delay on
-    step/pulse stimuli).
+    step/pulse stimuli).  ``backend`` selects the linear-solver backend of
+    the linearised integration path ("dense"/"sparse"/None for auto); the
+    companion matrix ``G + (2/h) C`` is factorized once per distinct step
+    size and reused across every timestep.
     """
     if stop_time <= 0 or time_step <= 0:
         raise AnalysisError("stop_time and time_step must be positive")
@@ -57,7 +60,7 @@ def transient_analysis(circuit: Circuit,
                           variables=dict(circuit.variables))
     if variables:
         ctx.update_variables(variables)
-    system = MNASystem(circuit, ctx)
+    system = MNASystem(circuit, ctx, backend=backend)
     system.stamp()
 
     if op is None:
@@ -96,12 +99,18 @@ def _time_grid(system: MNASystem, stop_time: float, time_step: float) -> np.ndar
 
 
 def _integrate_linear(system: MNASystem, x0: np.ndarray, times: np.ndarray) -> np.ndarray:
-    """Trapezoidal integration of the linearised system (single LU per step size)."""
-    G, C = system.small_signal_matrices(x0)
+    """Trapezoidal integration of the linearised system.
+
+    The companion matrix ``G + (2/h) C`` is wrapped in a
+    :class:`~repro.linalg.LinearSystem` per distinct step size, so one
+    factorization (dense LU or SuperLU, per the system's backend) serves
+    every timestep taken with that step size.
+    """
+    sparse = system.backend.name == "sparse"
+    G, C = system.small_signal_matrices(x0, form="sparse" if sparse else "dense")
     n = system.size
     data = np.zeros((len(times), n))
     data[0] = x0
-    x = x0.copy()
     xdot = np.zeros(n)
 
     lu_cache: Dict[float, object] = {}
@@ -114,13 +123,15 @@ def _integrate_linear(system: MNASystem, x0: np.ndarray, times: np.ndarray) -> n
         h = times[k] - times[k - 1]
         key = round(h, 18)
         if key not in lu_cache:
-            lu_cache[key] = scipy.linalg.lu_factor(G + (2.0 / h) * C)
+            matrix = G + (2.0 / h) * C
+            lu_cache[key] = system.linear_system(
+                matrix.tocsc() if sparse else matrix)
         lu = lu_cache[key]
         b_t = system.transient_rhs(times[k])
         delta_b = b_t - b_dc
         prev_dx = data[k - 1] - x0
         rhs = delta_b + C @ ((2.0 / h) * prev_dx + xdot)
-        dx = scipy.linalg.lu_solve(lu, rhs)
+        dx = lu.solve(rhs)
         xdot = (2.0 / h) * (dx - prev_dx) - xdot
         data[k] = x0 + dx
     return data

@@ -9,11 +9,15 @@
   under-damped local loop of Fig. 5;
 * :mod:`repro.circuits.opamp_full` — op-amp + bias assembled (Table 2);
 * :mod:`repro.circuits.mirrors` / :mod:`repro.circuits.followers` —
-  smaller local-loop case studies.
+  smaller local-loop case studies;
+* :mod:`repro.circuits.ladders` — scalable synthetic families (RC/RLC
+  ladders, amplifier chains of parametric size N) for the solver-backend
+  benchmarks.
 """
 
 from repro.circuits.bias_zero_tc import DEFAULT_BIAS_VARIABLES, BiasDesign, bias_circuit
 from repro.circuits.followers import FollowerDesign, emitter_follower, source_follower
+from repro.circuits.ladders import LadderDesign, amplifier_chain, rc_ladder, rlc_ladder
 from repro.circuits.mirrors import MirrorDesign, buffered_mirror, simple_mirror
 from repro.circuits.models import DIODE, NMOS, NPN, NPN_SMALL, PMOS, PNP, PNP_SMALL
 from repro.circuits.opamp_2mhz import (
@@ -41,4 +45,5 @@ __all__ = [
     "FullCircuitDesign", "opamp_with_bias",
     "MirrorDesign", "simple_mirror", "buffered_mirror",
     "FollowerDesign", "emitter_follower", "source_follower",
+    "LadderDesign", "rc_ladder", "rlc_ladder", "amplifier_chain",
 ]

@@ -1,0 +1,143 @@
+"""Scalable synthetic benchmark circuits: ladders and amplifier chains.
+
+The paper's circuits top out at a few dozen MNA unknowns; these families
+grow to any requested size ``n`` while keeping a known, regular sparsity
+structure (a handful of stamps per node), which makes them the workload
+for the sparse-vs-dense solver benchmarks
+(``benchmarks/bench_linalg_backends.py``) and for any scaling experiment
+the service layer wants to run.
+
+* :func:`rc_ladder` — n-section RC transmission-line model (series R,
+  shunt C).  First-order sections only: no resonances, smooth roll-off.
+* :func:`rlc_ladder` — n-section lossy LC ladder (series R+L, shunt C).
+  A classic artificial delay line with a dense comb of under-damped
+  modes; its driving-point impedance is rich in stability-plot features.
+* :func:`amplifier_chain` — n cascaded transconductance gain stages with
+  RC interstage poles, optionally closed by a global feedback resistor.
+  A linear stand-in for the paper's multi-stage feedback amplifiers that
+  scales to arbitrary depth.
+
+Every function returns a :class:`LadderDesign` carrying the circuit, its
+interesting probe nodes and the expected MNA unknown count, so tests and
+benchmarks can size assertions without rebuilding the system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+
+__all__ = ["LadderDesign", "rc_ladder", "rlc_ladder", "amplifier_chain"]
+
+
+@dataclass
+class LadderDesign:
+    """A built ladder/chain circuit plus its structural expectations."""
+
+    circuit: Circuit
+    #: Node driven by the source (after any source resistance).
+    input_node: str
+    #: Far-end node — the interesting probe for impedance/stability runs.
+    output_node: str
+    #: Number of ladder sections / amplifier stages.
+    sections: int
+    #: Expected number of MNA unknowns (nodes + branch currents).
+    unknown_count: int
+    #: All ladder-interior node names, in order from input to output.
+    ladder_nodes: List[str] = None
+
+
+def rc_ladder(sections: int, resistance: float = 1e3,
+              capacitance: float = 1e-12) -> LadderDesign:
+    """n-section RC ladder: ``in -R- n1 -R- n2 ... -R- n<n>``, C to ground.
+
+    One node and ~2 two-terminal stamps per section: the MNA matrix is
+    tridiagonal, the canonical large-sparse benchmark system.
+    """
+    if sections < 1:
+        raise ValueError("an RC ladder needs at least one section")
+    builder = CircuitBuilder(f"RC ladder ({sections} sections)")
+    builder.voltage_source("in", "0", dc=1.0, ac=1.0, name="Vin")
+    nodes = []
+    previous = "in"
+    for k in range(1, sections + 1):
+        node = f"n{k}"
+        builder.resistor(previous, node, resistance, name=f"R{k}")
+        builder.capacitor(node, "0", capacitance, name=f"C{k}")
+        nodes.append(node)
+        previous = node
+    circuit = builder.build()
+    # Unknowns: "in" + n ladder nodes + the Vin branch current.
+    return LadderDesign(circuit=circuit, input_node="in", output_node=previous,
+                        sections=sections, unknown_count=sections + 2,
+                        ladder_nodes=nodes)
+
+
+def rlc_ladder(sections: int, resistance: float = 10.0,
+               inductance: float = 1e-6,
+               capacitance: float = 1e-12) -> LadderDesign:
+    """n-section lossy LC ladder (series R+L, shunt C): an artificial
+    delay line whose driving-point impedance carries a comb of
+    under-damped resonances — the stability-plot stress test at scale.
+
+    Two nodes (section midpoint + output) and one inductor branch
+    unknown per section.
+    """
+    if sections < 1:
+        raise ValueError("an RLC ladder needs at least one section")
+    builder = CircuitBuilder(f"RLC ladder ({sections} sections)")
+    builder.voltage_source("in", "0", dc=0.0, ac=1.0, name="Vin")
+    nodes = []
+    previous = "in"
+    for k in range(1, sections + 1):
+        mid, node = f"m{k}", f"n{k}"
+        builder.resistor(previous, mid, resistance, name=f"R{k}")
+        builder.inductor(mid, node, inductance, name=f"L{k}")
+        builder.capacitor(node, "0", capacitance, name=f"C{k}")
+        nodes.extend([mid, node])
+        previous = node
+    circuit = builder.build()
+    # Unknowns: "in" + 2n ladder nodes + Vin branch + n inductor branches.
+    return LadderDesign(circuit=circuit, input_node="in", output_node=previous,
+                        sections=sections, unknown_count=3 * sections + 2,
+                        ladder_nodes=nodes)
+
+
+def amplifier_chain(stages: int, gm: float = 1e-3,
+                    load_resistance: float = 10e3,
+                    load_capacitance: float = 1e-12,
+                    feedback_resistance: float = 0.0) -> LadderDesign:
+    """n cascaded inverting gm stages with RC interstage poles.
+
+    Each stage is a VCCS (``i = -gm * v_in``) into an R||C load — stage
+    gain ``gm * R`` with one pole at ``1/(2*pi*R*C)``.  With
+    ``feedback_resistance > 0`` the output is fed back to the input
+    summing node through a resistor, closing a global loop whose phase
+    margin shrinks as stages (poles) are added — the scalable analogue of
+    the paper's closed-loop op-amp circuits.  Use an odd ``stages`` count
+    so the loop feedback is negative at DC.
+    """
+    if stages < 1:
+        raise ValueError("an amplifier chain needs at least one stage")
+    builder = CircuitBuilder(f"amplifier chain ({stages} stages)")
+    builder.voltage_source("src", "0", dc=0.0, ac=1.0, name="Vin")
+    builder.resistor("src", "sum", 1e3, name="Rin")
+    nodes = ["sum"]
+    previous = "sum"
+    for k in range(1, stages + 1):
+        node = f"s{k}"
+        builder.vccs(node, "0", previous, "0", gm, name=f"G{k}")
+        builder.resistor(node, "0", load_resistance, name=f"RL{k}")
+        builder.capacitor(node, "0", load_capacitance, name=f"CL{k}")
+        nodes.append(node)
+        previous = node
+    if feedback_resistance > 0.0:
+        builder.resistor(previous, "sum", feedback_resistance, name="Rfb")
+    circuit = builder.build()
+    # Unknowns: src + sum + n stage nodes + the Vin branch current.
+    return LadderDesign(circuit=circuit, input_node="sum", output_node=previous,
+                        sections=stages, unknown_count=stages + 3,
+                        ladder_nodes=nodes)

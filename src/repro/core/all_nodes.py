@@ -174,7 +174,7 @@ def analyze_all_nodes(circuit: Circuit,
     if op is None:
         op = operating_point(flat, temperature=options.temperature,
                              gmin=options.gmin, variables=options.variables,
-                             options=options.newton)
+                             options=options.newton, backend=options.backend)
 
     results: List[NodeStabilityResult] = []
     failures: Dict[str, str] = {}
@@ -216,7 +216,8 @@ def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
 
     sweeper = ImpedanceSweeper(flat, temperature=options.temperature,
                                gmin=options.gmin, variables=options.variables,
-                               op=op, newton=options.newton)
+                               op=op, newton=options.newton,
+                               backend=options.backend)
     sweep = FrequencySweep.coerce(options.sweep)
     coarse = sweeper.impedance_waveforms(nodes, sweep.frequencies)
 

@@ -5,10 +5,13 @@ AC current.  Done naively that is one AC analysis per node, each of which
 factorises the same ``(G + jwC)`` matrix at every frequency.  Because the
 matrix does not depend on where the current is injected — only the
 right-hand side does — a single factorisation per frequency can serve all
-nodes at once, and the whole sweep is handed to LAPACK as one stacked
-batch (:func:`repro.analysis.ac.solve_ac_stacked`).  This gives results
-numerically identical to the one-node-at-a-time path (which the tests
-verify) at a fraction of the cost, and is the engine behind
+nodes at once, and the whole sweep is handed to the solver as one
+stacked batch (:func:`repro.analysis.ac.solve_ac_stacked`): a batched
+LAPACK call on the dense backend, one SuperLU factorization per
+frequency (shared by every injection column) on the sparse backend —
+see ``docs/solver-backends.md``.  This gives results numerically
+identical to the one-node-at-a-time path (which the tests verify) at a
+fraction of the cost, and is the engine behind
 ``AllNodesOptions(use_fast_solver=True)``.
 """
 
@@ -45,7 +48,8 @@ class ImpedanceSweeper:
                  gmin: float = 1e-12,
                  variables: Optional[Dict[str, float]] = None,
                  op: Optional[OPResult] = None,
-                 newton: Optional[NewtonOptions] = None):
+                 newton: Optional[NewtonOptions] = None,
+                 backend: Optional[str] = None):
         flat = circuit.flattened()
         working = flat.copy()
         working.zero_all_ac_sources()
@@ -54,7 +58,7 @@ class ImpedanceSweeper:
                               variables=dict(working.variables))
         if variables:
             ctx.update_variables(variables)
-        self._system = MNASystem(working, ctx)
+        self._system = MNASystem(working, ctx, backend=backend)
         self._system.stamp()
 
         if op is None:
@@ -68,7 +72,9 @@ class ImpedanceSweeper:
             if op.has(name):
                 x_op[i] = (op.current(name) if name.startswith("#branch:")
                            else op.voltage(name))
-        self._G, self._C = self._system.small_signal_matrices(x_op)
+        self._backend = self._system.backend
+        form = "sparse" if self._backend.name == "sparse" else "dense"
+        self._G, self._C = self._system.small_signal_matrices(x_op, form=form)
         self.temperature = temperature
 
     # ------------------------------------------------------------------
@@ -104,7 +110,9 @@ class ImpedanceSweeper:
 
         # One batched solve over all frequencies and all injection columns;
         # Z(node_c) at frequency k is the diagonal entry solution[k, i_c, c].
-        solution = solve_ac_stacked(self._G, self._C, rhs, freq)
+        solution = solve_ac_stacked(self._G, self._C, rhs, freq,
+                                    backend=self._backend,
+                                    names=self._system.variable_names)
         data = solution[:, indices, np.arange(len(nodes))]
         return {node: data[:, column] for column, node in enumerate(nodes)}
 

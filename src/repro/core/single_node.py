@@ -68,6 +68,9 @@ class SingleNodeOptions:
     variables: Optional[Dict[str, float]] = None
     #: Newton solver options for the operating point.
     newton: Optional[NewtonOptions] = None
+    #: Linear-solver backend: "dense", "sparse" or None/"auto" (size/density
+    #: heuristic; the REPRO_BACKEND environment variable overrides auto).
+    backend: Optional[str] = None
 
 
 @dataclass
@@ -258,13 +261,14 @@ def analyze_node(circuit: Circuit, node: str,
     if op is None:
         op = operating_point(circuit, temperature=options.temperature,
                              gmin=options.gmin, variables=options.variables,
-                             options=options.newton)
+                             options=options.newton, backend=options.backend)
 
     node_name = circuit.resolve_node(node)
 
     def sweep_response(frequencies) -> Waveform:
         ac = ac_analysis(excited, frequencies, temperature=options.temperature,
-                         gmin=options.gmin, variables=options.variables, op=op)
+                         gmin=options.gmin, variables=options.variables, op=op,
+                         backend=options.backend)
         response = ac.waveform(node_name).magnitude()
         response.name = f"|Z({node_name})|"
         return response

@@ -1,0 +1,52 @@
+"""Pluggable linear algebra for the MNA engines.
+
+The analyses assemble their matrices as COO triplets
+(:class:`~repro.linalg.triplets.TripletMatrix`) and solve them through a
+backend-agnostic :class:`~repro.linalg.backends.LinearSystem`:
+
+* :class:`~repro.linalg.backends.DenseBackend` — NumPy/LAPACK, the
+  right choice for the paper-sized circuits (tens of unknowns);
+* :class:`~repro.linalg.backends.SparseBackend` — ``scipy.sparse`` CSC +
+  SuperLU, which wins once circuits grow into the hundreds/thousands of
+  nodes (see ``benchmarks/bench_linalg_backends.py``).
+
+Backend selection (:func:`~repro.linalg.backends.resolve_backend`):
+explicit ``backend=`` option > ``REPRO_BACKEND`` environment variable >
+automatic size/density heuristic.  ``docs/solver-backends.md`` explains
+when each backend wins and how to add a new one.
+"""
+
+from repro.linalg.backends import (
+    AUTO_SPARSE_MAX_DENSITY,
+    AUTO_SPARSE_MIN_SIZE,
+    BACKEND_ENV_VAR,
+    DenseBackend,
+    Factorization,
+    LinearSystem,
+    SolveStats,
+    SolverBackend,
+    SparseBackend,
+    available_backends,
+    matrix_stats,
+    resolve_backend,
+)
+from repro.linalg.diagnostics import singular_system_message, suspect_unknowns
+from repro.linalg.triplets import TripletMatrix
+
+__all__ = [
+    "AUTO_SPARSE_MAX_DENSITY",
+    "AUTO_SPARSE_MIN_SIZE",
+    "BACKEND_ENV_VAR",
+    "DenseBackend",
+    "Factorization",
+    "LinearSystem",
+    "SolveStats",
+    "SolverBackend",
+    "SparseBackend",
+    "TripletMatrix",
+    "available_backends",
+    "matrix_stats",
+    "resolve_backend",
+    "singular_system_message",
+    "suspect_unknowns",
+]

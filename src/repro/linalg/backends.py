@@ -1,0 +1,315 @@
+"""Pluggable linear-solver backends behind the :class:`LinearSystem` seam.
+
+Every linear solve in the repro analyses goes through one of two
+interchangeable backends:
+
+* :class:`DenseBackend` — NumPy/LAPACK.  One-shot solves use
+  ``np.linalg.solve`` (bit-for-bit the historical behaviour); reusable
+  factorizations use ``scipy.linalg.lu_factor``/``lu_solve``.
+* :class:`SparseBackend` — ``scipy.sparse`` CSC + SuperLU (``splu``).
+  Assembly stays in triplet/CSC form end to end; one factorization serves
+  any number of right-hand sides (all columns of a matrix RHS at once).
+
+:func:`resolve_backend` picks one: an explicit name always wins, the
+``REPRO_BACKEND`` environment variable overrides the automatic choice,
+and otherwise systems that are large *and* sparse (``size >=
+AUTO_SPARSE_MIN_SIZE`` and ``density <= AUTO_SPARSE_MAX_DENSITY``) go to
+SuperLU while everything else stays on LAPACK — small dense MNA systems
+beat sparse machinery by a wide margin, large ladder-style systems lose
+O(n^3) vs O(n) by staying dense.
+
+:class:`LinearSystem` wraps one assembled matrix and caches its
+factorization, which is what makes reuse across Newton iterations at a
+fixed matrix, across transient timesteps with an unchanged ``G``/``C``
+and across AC right-hand sides free.  Both backends keep process-global
+:class:`SolveStats` counters so tests (and curious users) can observe how
+many factorizations a run actually paid for.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+import scipy.linalg
+
+from repro.exceptions import AnalysisError, SingularMatrixError
+from repro.linalg.diagnostics import singular_system_message
+from repro.linalg.triplets import TripletMatrix
+
+__all__ = [
+    "AUTO_SPARSE_MAX_DENSITY",
+    "AUTO_SPARSE_MIN_SIZE",
+    "BACKEND_ENV_VAR",
+    "DenseBackend",
+    "LinearSystem",
+    "SolveStats",
+    "SolverBackend",
+    "SparseBackend",
+    "available_backends",
+    "resolve_backend",
+]
+
+#: Environment variable that overrides the automatic backend choice
+#: (used by the CI matrix to run the whole suite on each backend).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Automatic selection: systems at least this large ...
+AUTO_SPARSE_MIN_SIZE = 200
+#: ... with at most this stamp density go to the sparse backend.
+AUTO_SPARSE_MAX_DENSITY = 0.05
+
+
+@dataclass
+class SolveStats:
+    """Process-global factorization/solve counters of one backend class."""
+
+    factorizations: int = 0
+    solves: int = 0
+
+    def reset(self) -> None:
+        self.factorizations = 0
+        self.solves = 0
+
+    def as_dict(self) -> dict:
+        return {"factorizations": self.factorizations, "solves": self.solves}
+
+
+class Factorization:
+    """A factorized matrix: cheap repeated solves against new RHS vectors."""
+
+    def __init__(self, backend: "SolverBackend", solve_fn):
+        self._backend = backend
+        self._solve_fn = solve_fn
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Back-substitute one RHS vector or matrix (columns = RHS set)."""
+        type(self._backend).stats.solves += 1
+        return self._solve_fn(rhs)
+
+
+class SolverBackend:
+    """Interface of a linear-solver backend.
+
+    Subclasses provide a native matrix form (:meth:`matrix`), a reusable
+    :meth:`factorize` and a one-shot :meth:`solve_once`.  To add a
+    backend, implement those three methods and register the class in
+    ``_BACKENDS`` (see ``docs/solver-backends.md`` for a walkthrough).
+    """
+
+    name = "abstract"
+    stats = SolveStats()
+
+    MatrixSource = Union[TripletMatrix, np.ndarray]
+
+    def matrix(self, source: MatrixSource, dtype=float):
+        """Convert triplets / arrays into this backend's native form."""
+        raise NotImplementedError
+
+    def factorize(self, matrix, names: Optional[Sequence[str]] = None) -> Factorization:
+        """Factorize a native-form matrix for repeated solves."""
+        raise NotImplementedError
+
+    def solve_once(self, matrix, rhs: np.ndarray,
+                   names: Optional[Sequence[str]] = None) -> np.ndarray:
+        """Factor-and-solve a matrix that will not be reused."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class DenseBackend(SolverBackend):
+    """NumPy/LAPACK dense solver (the historical behaviour)."""
+
+    name = "dense"
+    stats = SolveStats()
+
+    def matrix(self, source, dtype=float) -> np.ndarray:
+        if isinstance(source, TripletMatrix):
+            return source.to_dense(dtype=dtype)
+        if hasattr(source, "toarray"):  # scipy sparse handed to the dense path
+            return np.asarray(source.toarray(), dtype=dtype)
+        return np.asarray(source, dtype=dtype)
+
+    def factorize(self, matrix: np.ndarray,
+                  names: Optional[Sequence[str]] = None) -> Factorization:
+        import warnings
+
+        type(self).stats.factorizations += 1
+        try:
+            with warnings.catch_warnings():
+                # An exactly singular matrix only *warns* here; the zero-pivot
+                # check below turns it into a SingularMatrixError.
+                warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
+                lu_piv = scipy.linalg.lu_factor(matrix)
+        except (ValueError, scipy.linalg.LinAlgError) as exc:
+            raise SingularMatrixError(
+                singular_system_message(matrix, names, detail=str(exc))) from exc
+        # ``lu_factor`` only *warns* on an exactly singular matrix; a zero
+        # U-diagonal would silently poison every later back-substitution.
+        if not np.all(np.isfinite(lu_piv[0])) or np.any(np.diagonal(lu_piv[0]) == 0.0):
+            raise SingularMatrixError(singular_system_message(
+                matrix, names, detail="zero pivot in LU factorization"))
+        return Factorization(self, lambda rhs: scipy.linalg.lu_solve(lu_piv, rhs))
+
+    def solve_once(self, matrix: np.ndarray, rhs: np.ndarray,
+                   names: Optional[Sequence[str]] = None) -> np.ndarray:
+        type(self).stats.factorizations += 1
+        type(self).stats.solves += 1
+        try:
+            return np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise SingularMatrixError(
+                singular_system_message(matrix, names, detail=str(exc))) from exc
+
+
+class SparseBackend(SolverBackend):
+    """``scipy.sparse`` CSC + SuperLU backend for large, sparse systems."""
+
+    name = "sparse"
+    stats = SolveStats()
+
+    def matrix(self, source, dtype=float):
+        from scipy.sparse import csc_matrix, issparse
+
+        if isinstance(source, TripletMatrix):
+            matrix = source.to_csc()
+        elif issparse(source):
+            matrix = source.tocsc()
+        else:
+            return csc_matrix(np.asarray(source, dtype=dtype))
+        # astype always copies, even at matching dtype: guard the hot path
+        # (one matrix per AC frequency point goes through here).
+        return matrix.astype(dtype) if matrix.dtype != np.dtype(dtype) else matrix
+
+    def factorize(self, matrix, names: Optional[Sequence[str]] = None) -> Factorization:
+        from scipy.sparse.linalg import splu
+
+        type(self).stats.factorizations += 1
+        csc = matrix.tocsc() if matrix.format != "csc" else matrix
+        if csc.nnz and not np.all(np.isfinite(csc.data)):
+            raise SingularMatrixError(singular_system_message(
+                csc, names, detail="non-finite matrix entries"))
+        try:
+            factor = splu(csc)
+        except (RuntimeError, ValueError) as exc:
+            # SuperLU reports exact singularity as a RuntimeError.
+            raise SingularMatrixError(
+                singular_system_message(csc, names, detail=str(exc))) from exc
+
+        def solve(rhs: np.ndarray) -> np.ndarray:
+            solution = factor.solve(np.asarray(rhs))
+            if not np.all(np.isfinite(solution)):
+                raise SingularMatrixError(singular_system_message(
+                    csc, names, detail="non-finite solution (near-singular system)"))
+            return solution
+
+        return Factorization(self, solve)
+
+    def solve_once(self, matrix, rhs: np.ndarray,
+                   names: Optional[Sequence[str]] = None) -> np.ndarray:
+        return self.factorize(matrix, names=names).solve(rhs)
+
+
+_BACKENDS = {DenseBackend.name: DenseBackend, SparseBackend.name: SparseBackend}
+
+
+def available_backends() -> tuple:
+    """Names accepted by ``backend=`` options (plus ``"auto"``)."""
+    return tuple(sorted(_BACKENDS))
+
+
+def matrix_stats(matrix) -> tuple:
+    """(size, density) of a TripletMatrix / ndarray / scipy sparse matrix —
+    the inputs of the automatic backend selection."""
+    if isinstance(matrix, TripletMatrix):
+        return matrix.n, matrix.density()
+    if hasattr(matrix, "nnz"):
+        size = matrix.shape[0]
+        return size, matrix.nnz / float(max(size * size, 1))
+    matrix = np.asarray(matrix)
+    size = matrix.shape[0]
+    return size, np.count_nonzero(matrix) / float(max(matrix.size, 1))
+
+
+def _auto_choice(size: Optional[int], density: Optional[float]) -> SolverBackend:
+    if size is not None and size >= AUTO_SPARSE_MIN_SIZE:
+        if density is None or density <= AUTO_SPARSE_MAX_DENSITY:
+            return SparseBackend()
+    return DenseBackend()
+
+
+def resolve_backend(name: Union[str, SolverBackend, None] = None, *,
+                    size: Optional[int] = None,
+                    density: Optional[float] = None) -> SolverBackend:
+    """Resolve a backend request into a backend instance.
+
+    Precedence: an explicit ``name`` ("dense"/"sparse", or an already
+    constructed backend) wins; ``None``/"auto" consults the
+    ``REPRO_BACKEND`` environment variable; and without either the
+    size/density heuristic decides (defaulting to dense when the system
+    structure is unknown).
+    """
+    if isinstance(name, SolverBackend):
+        return name
+    if name is None or str(name).strip().lower() in ("", "auto"):
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+        if env in ("", "auto"):
+            return _auto_choice(size, density)
+        name = env
+    key = str(name).strip().lower()
+    try:
+        return _BACKENDS[key]()
+    except KeyError:
+        raise AnalysisError(
+            f"unknown linear-solver backend {name!r}; expected one of "
+            f"{available_backends()} or 'auto'") from None
+
+
+class LinearSystem:
+    """One assembled system matrix behind a backend, factorized at most once.
+
+    ``matrix`` may be a :class:`~repro.linalg.triplets.TripletMatrix`, a
+    dense ndarray or a scipy sparse matrix; it is converted to the
+    backend's native form up front.  The first :meth:`solve` pays for the
+    factorization; every further solve against the same matrix is a
+    back-substitution.  ``names`` (the MNA unknown names) make singular
+    systems report which node/branch looks responsible.
+    """
+
+    def __init__(self, matrix, backend: Union[str, SolverBackend, None] = None,
+                 names: Optional[Sequence[str]] = None, dtype=float):
+        size, density = matrix_stats(matrix)
+        self.backend = resolve_backend(backend, size=size, density=density)
+        self.names = names
+        self.size = size
+        self._native = self.backend.matrix(matrix, dtype=dtype)
+        self._factorization: Optional[Factorization] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def matrix(self):
+        """The matrix in the backend's native form."""
+        return self._native
+
+    @property
+    def is_factorized(self) -> bool:
+        return self._factorization is not None
+
+    def factorization(self) -> Factorization:
+        """The (cached) factorization; computed on first use."""
+        if self._factorization is None:
+            self._factorization = self.backend.factorize(self._native,
+                                                         names=self.names)
+        return self._factorization
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        """Solve ``A x = rhs`` reusing the cached factorization."""
+        return self.factorization().solve(rhs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "factorized" if self.is_factorized else "unfactorized"
+        return f"<LinearSystem n={self.size} backend={self.backend.name} {state}>"

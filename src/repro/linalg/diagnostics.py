@@ -1,0 +1,76 @@
+"""Shared diagnostics for singular MNA systems.
+
+Both solver backends funnel their "matrix is singular" failures through
+:func:`singular_system_message` so a failing solve names the *unknowns*
+(node voltages / branch currents) that look responsible, not just a bare
+LAPACK or SuperLU error.  A row or column of (numerical) zeros means the
+corresponding unknown has no equation coupling it to the rest of the
+circuit — the classic floating node or broken source loop.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["singular_system_message", "suspect_unknowns"]
+
+#: Report at most this many suspect unknowns in an error message.
+_MAX_SUSPECTS = 8
+
+
+def _row_col_maxima(matrix) -> tuple:
+    """(row_max, col_max) of |matrix| for dense arrays or scipy sparse."""
+    if hasattr(matrix, "tocoo"):  # scipy sparse (any format)
+        coo = matrix.tocoo()
+        n = matrix.shape[0]
+        row_max = np.zeros(n)
+        col_max = np.zeros(n)
+        if coo.nnz:
+            magnitude = np.abs(coo.data)
+            np.maximum.at(row_max, coo.row, magnitude)
+            np.maximum.at(col_max, coo.col, magnitude)
+        return row_max, col_max
+    dense = np.abs(np.asarray(matrix))
+    return dense.max(axis=1), dense.max(axis=0)
+
+
+def suspect_unknowns(matrix, names: Optional[Sequence[str]] = None) -> List[str]:
+    """Unknowns whose matrix row or column is (numerically) all zero.
+
+    ``matrix`` may be a dense ndarray or any scipy sparse matrix; ``names``
+    maps matrix indices to unknown names (``MNASystem.variable_names``).
+    Indices are reported as ``"#<index>"`` when no name list is given.
+    """
+    row_max, col_max = _row_col_maxima(matrix)
+    scale = float(max(row_max.max(initial=0.0), col_max.max(initial=0.0)))
+    threshold = scale * 1e-300  # exact zeros only, but scale-aware for inf
+    suspects = np.flatnonzero((row_max <= threshold) | (col_max <= threshold))
+    labels = []
+    for index in suspects[:_MAX_SUSPECTS]:
+        if names is not None and index < len(names):
+            labels.append(str(names[index]))
+        else:
+            labels.append(f"#{int(index)}")
+    return labels
+
+
+def singular_system_message(matrix=None,
+                            names: Optional[Sequence[str]] = None,
+                            detail: str = "") -> str:
+    """The error text for a :class:`~repro.exceptions.SingularMatrixError`.
+
+    Shared by the dense and sparse solve paths so both report the same
+    node-name diagnostics.  ``detail`` carries the backend's own error
+    string (LAPACK / SuperLU) for forensics.
+    """
+    message = ("MNA matrix is singular: check for floating nodes, loops of "
+               "ideal sources or missing DC paths")
+    if matrix is not None:
+        suspects = suspect_unknowns(matrix, names)
+        if suspects:
+            message += f"; suspect unknowns: {', '.join(repr(s) for s in suspects)}"
+    if detail:
+        message += f" ({detail})"
+    return message

@@ -33,10 +33,14 @@ from typing import Dict, List, Optional
 from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.units import parse_value
 from repro.exceptions import ReproError, ToolError
+from repro.linalg import available_backends
 from repro.service.cache import ResultCache
 from repro.service.requests import AnalysisRequest
 from repro.service.scenarios import Distribution, ScenarioSpec, StabilityCriteria
 from repro.service.service import StabilityService
+
+__all__ = ["DEFAULT_CACHE_DIR", "build_parser", "main",
+           "cmd_analyze", "cmd_montecarlo", "cmd_cache"]
 
 #: Default disk-cache root, under the session result directory the tool
 #: layer also writes to (see repro.tool.session.SimulationEnvironment).
@@ -120,6 +124,11 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         help="pool size (default: CPU count, capped at 8)")
     parser.add_argument("--backend", choices=("process", "thread", "serial"),
                         default="process", help="batch execution backend")
+    parser.add_argument("--solver-backend",
+                        choices=("auto",) + available_backends(),
+                        default=None, dest="solver_backend",
+                        help="linear-solver backend (default: auto — "
+                             "size/density heuristic, REPRO_BACKEND overrides)")
     parser.add_argument("--json", action="store_true",
                         help="print raw JSON responses instead of reports")
 
@@ -150,6 +159,7 @@ def cmd_analyze(args) -> int:
             variables=dict(args.set or []),
             sweep_start=args.sweep[0], sweep_stop=args.sweep[1],
             sweep_points_per_decade=args.sweep[2],
+            backend=args.solver_backend,
             label=os.path.basename(path),
         ))
     responses = service.submit_batch(requests,
@@ -187,7 +197,8 @@ def cmd_montecarlo(args) -> int:
                                  min_damping_ratio=args.min_zeta)
     base = AnalysisRequest(mode="all-nodes", netlist=netlist,
                            sweep_start=args.sweep[0], sweep_stop=args.sweep[1],
-                           sweep_points_per_decade=args.sweep[2])
+                           sweep_points_per_decade=args.sweep[2],
+                           backend=args.solver_backend)
     report = service.screen(spec, base=base, criteria=criteria,
                             progress=_progress_printer(args.quiet))
     if args.json:

@@ -20,6 +20,7 @@ cache instead of being recomputed.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
@@ -31,14 +32,17 @@ from repro.circuit.parser import parse_netlist
 from repro.core.all_nodes import AllNodesOptions, AllNodesResult
 from repro.core.single_node import NodeStabilityResult, SingleNodeOptions
 from repro.exceptions import ToolError
+from repro.linalg import BACKEND_ENV_VAR, available_backends
 
 __all__ = ["AnalysisRequest", "AnalysisResponse", "expand_corners",
            "REQUEST_SCHEMA_VERSION"]
 
 #: Bumping this invalidates every existing cache entry (fingerprints change).
-REQUEST_SCHEMA_VERSION = 1
+#: v2: the linear-solver backend joined the fingerprint.
+REQUEST_SCHEMA_VERSION = 2
 
 _MODES = ("all-nodes", "single-node")
+_SOLVER_BACKENDS = (None, "auto") + available_backends()
 
 
 @dataclass
@@ -61,12 +65,20 @@ class AnalysisRequest:
     sweep_start: float = FrequencySweep.DEFAULT_START
     sweep_stop: float = FrequencySweep.DEFAULT_STOP
     sweep_points_per_decade: int = FrequencySweep.DEFAULT_POINTS_PER_DECADE
+    #: Linear-solver backend ("dense"/"sparse"/"auto"/None).  Part of the
+    #: fingerprint: backends agree only to ~1e-9, and a content-addressed
+    #: cache must not conflate results computed along different numerical
+    #: paths.
+    backend: Optional[str] = None
     label: Optional[str] = None
 
     def __post_init__(self):
         if self.mode not in _MODES:
             raise ToolError(f"unknown analysis mode {self.mode!r}; "
                             f"expected one of {_MODES}")
+        if self.backend not in _SOLVER_BACKENDS:
+            raise ToolError(f"unknown solver backend {self.backend!r}; "
+                            f"expected one of {_SOLVER_BACKENDS}")
         if self.netlist is None and self.circuit is None:
             raise ToolError("request needs either netlist text or a Circuit")
         if self.mode == "single-node" and not self.node:
@@ -87,12 +99,28 @@ class AnalysisRequest:
     def analysis_options(self):
         """Build the per-mode options object for the core analyses."""
         common = dict(sweep=self.sweep(), temperature=self.temperature,
-                      gmin=self.gmin, variables=dict(self.variables) or None)
+                      gmin=self.gmin, variables=dict(self.variables) or None,
+                      backend=self.backend)
         if self.mode == "single-node":
             return SingleNodeOptions(**common)
         return AllNodesOptions(**common)
 
     # ------------------------------------------------------------------
+    def effective_backend(self) -> str:
+        """The backend value that determines the numerical path.
+
+        An explicit request wins; otherwise the ``REPRO_BACKEND``
+        environment override (which redirects every "auto" resolution)
+        must enter the fingerprint, or a shared cache would conflate
+        dense- and sparse-computed results across differently-configured
+        workers.  Plain "auto" is safe to record as such: the heuristic
+        is a pure function of the circuit, which is already hashed.
+        """
+        if self.backend not in (None, "auto"):
+            return self.backend
+        env = os.environ.get(BACKEND_ENV_VAR, "").strip().lower()
+        return env if env not in ("", "auto") else "auto"
+
     def fingerprint(self) -> str:
         """Content hash identifying this request (the cache key)."""
         circuit = self.resolved_circuit()
@@ -106,6 +134,7 @@ class AnalysisRequest:
             "gmin": self.gmin,
             "variables": self.variables,
             "sweep": self.sweep().canonical_data(),
+            "backend": self.effective_backend(),
         })
 
     # ------------------------------------------------------------------
@@ -125,6 +154,7 @@ class AnalysisRequest:
             "sweep_start": self.sweep_start,
             "sweep_stop": self.sweep_stop,
             "sweep_points_per_decade": self.sweep_points_per_decade,
+            "backend": self.backend,
             "label": self.label,
         }
 
@@ -142,6 +172,7 @@ class AnalysisRequest:
             sweep_stop=float(data.get("sweep_stop", FrequencySweep.DEFAULT_STOP)),
             sweep_points_per_decade=int(data.get(
                 "sweep_points_per_decade", FrequencySweep.DEFAULT_POINTS_PER_DECADE)),
+            backend=data.get("backend"),
             label=data.get("label"),
         )
 
@@ -232,6 +263,7 @@ def expand_corners(request: AnalysisRequest, corners: Sequence) -> List[Analysis
             temperature=float(corner.temperature),
             gmin=request.gmin,
             variables=variables,
+            backend=request.backend,
             sweep_start=request.sweep_start,
             sweep_stop=request.sweep_stop,
             sweep_points_per_decade=request.sweep_points_per_decade,

@@ -161,6 +161,7 @@ def scenario_requests(spec: ScenarioSpec,
             sweep_start=base.sweep_start,
             sweep_stop=base.sweep_stop,
             sweep_points_per_decade=base.sweep_points_per_decade,
+            backend=base.backend,
             label=scenario.name,
         ))
     return scenarios, requests

@@ -40,6 +40,7 @@ class SessionState:
     design_variables: Dict[str, float] = field(default_factory=dict)
     model_files: List[str] = field(default_factory=list)
     result_directory: Optional[str] = None
+    backend: Optional[str] = None
     created: float = field(default_factory=time.time)
 
     def to_json(self) -> str:
@@ -60,10 +61,14 @@ class SimulationEnvironment:
                  gmin: float = 1e-12,
                  sweep: Optional[FrequencySweep] = None,
                  design_variables: Optional[Dict[str, float]] = None,
-                 result_root: Optional[str] = None):
+                 result_root: Optional[str] = None,
+                 backend: Optional[str] = None):
         self.name = name
         self.temperature = float(temperature)
         self.gmin = float(gmin)
+        #: Linear-solver backend for every run of this session
+        #: ("dense"/"sparse"/None for auto).
+        self.backend = backend
         self.sweep = sweep if sweep is not None else FrequencySweep()
         self.design_variables: Dict[str, float] = dict(design_variables or {})
         #: Model files are accepted for interface parity with the original
@@ -140,6 +145,7 @@ class SimulationEnvironment:
             design_variables=dict(self.design_variables),
             model_files=list(self.model_files),
             result_directory=self._result_directory,
+            backend=self.backend,
         )
 
     def save_state(self, path: str) -> str:
@@ -165,6 +171,7 @@ class SimulationEnvironment:
             sweep=FrequencySweep(state.sweep_start, state.sweep_stop,
                                  state.sweep_points_per_decade),
             design_variables=state.design_variables,
+            backend=state.backend,
         )
         environment.model_files = list(state.model_files)
         if state.result_directory:

@@ -90,6 +90,7 @@ class StabilityAnalysisTool:
             temperature=self.environment.temperature,
             gmin=self.environment.gmin,
             variables=dict(self.environment.design_variables) or None,
+            backend=self.environment.backend,
         )
         for key, value in overrides.items():
             if not hasattr(options, key):
@@ -103,6 +104,7 @@ class StabilityAnalysisTool:
             temperature=self.environment.temperature,
             gmin=self.environment.gmin,
             variables=dict(self.environment.design_variables) or None,
+            backend=self.environment.backend,
         )
         for key, value in overrides.items():
             if not hasattr(options, key):

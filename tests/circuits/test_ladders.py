@@ -1,0 +1,87 @@
+"""Tests of the scalable ladder/chain circuit families."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import ac_analysis, operating_point
+from repro.analysis.mna import MNASystem
+from repro.circuits import amplifier_chain, rc_ladder, rlc_ladder
+
+
+class TestRCLadder:
+    def test_structure_scales_with_sections(self):
+        for sections in (1, 7, 50):
+            design = rc_ladder(sections)
+            system = MNASystem(design.circuit)
+            assert system.size == design.unknown_count
+            assert design.output_node == f"n{sections}"
+            assert len(design.ladder_nodes) == sections
+
+    def test_dc_transfer_is_unity(self):
+        design = rc_ladder(12)
+        op = operating_point(design.circuit)
+        assert op.voltage(design.output_node) == pytest.approx(1.0)
+
+    def test_single_section_matches_analytic_rc(self):
+        r, c = 1e3, 1e-9
+        design = rc_ladder(1, resistance=r, capacitance=c)
+        f0 = 1.0 / (2.0 * np.pi * r * c)
+        ac = ac_analysis(design.circuit, [f0 / 1000.0, f0])
+        low = abs(ac.waveform(design.output_node).y[0])
+        at_pole = abs(ac.waveform(design.output_node).y[1])
+        assert low == pytest.approx(1.0, rel=1e-6)
+        assert at_pole == pytest.approx(1.0 / np.sqrt(2.0), rel=1e-6)
+
+    def test_rejects_zero_sections(self):
+        with pytest.raises(ValueError):
+            rc_ladder(0)
+
+
+class TestRLCLadder:
+    def test_structure(self):
+        design = rlc_ladder(6)
+        system = MNASystem(design.circuit)
+        assert system.size == design.unknown_count
+        # One inductor branch unknown per section.
+        assert len(system.branch_names) == 6 + 1  # + Vin branch
+
+    def test_response_shows_resonances(self):
+        design = rlc_ladder(4)
+        frequencies = np.geomspace(1e6, 1e10, 200)
+        ac = ac_analysis(design.circuit, frequencies)
+        magnitude = np.abs(ac.waveform(design.output_node).y)
+        # A lossy delay line still peaks well above its DC transfer.
+        assert float(np.max(magnitude)) > 2.0
+
+    def test_rejects_zero_sections(self):
+        with pytest.raises(ValueError):
+            rlc_ladder(0)
+
+
+class TestAmplifierChain:
+    def test_structure(self):
+        design = amplifier_chain(5)
+        system = MNASystem(design.circuit)
+        assert system.size == design.unknown_count
+
+    def test_stage_gain_and_inversion(self):
+        gm, rl = 1e-3, 10e3
+        design = amplifier_chain(1, gm=gm, load_resistance=rl)
+        ac = ac_analysis(design.circuit, [1e3, 2e3])
+        v_in = ac.waveform(design.input_node).y[0]
+        v_out = ac.waveform(design.output_node).y[0]
+        assert v_out / v_in == pytest.approx(-gm * rl, rel=1e-3)
+
+    def test_feedback_closes_a_loop(self):
+        open_loop = amplifier_chain(3)
+        closed = amplifier_chain(3, feedback_resistance=100e3)
+        ac_open = ac_analysis(open_loop.circuit, [1e3, 2e3])
+        ac_closed = ac_analysis(closed.circuit, [1e3, 2e3])
+        gain_open = abs(ac_open.waveform(open_loop.output_node).y[0])
+        gain_closed = abs(ac_closed.waveform(closed.output_node).y[0])
+        # Negative feedback must reduce the low-frequency gain.
+        assert gain_closed < gain_open / 2.0
+
+    def test_rejects_zero_stages(self):
+        with pytest.raises(ValueError):
+            amplifier_chain(0)

@@ -1,0 +1,97 @@
+"""Backend-equivalence suite: dense and sparse must agree everywhere.
+
+For every circuit bundled in :mod:`repro.circuits` the two backends are
+run through the heaviest shared paths — the DC operating point and the
+multi-node driving-point impedance sweep — and must agree to 1e-9
+(relative).  A factorization-reuse regression rides along: a linearised
+transient run must pay for far fewer factorizations than solves.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import operating_point, transient_analysis
+from repro.analysis.sweeps import log_sweep
+from repro.core.impedance import ImpedanceSweeper
+from repro.linalg import DenseBackend, SparseBackend
+from repro import circuits
+
+RELATIVE_TOLERANCE = 1e-9
+
+#: name -> circuit factory; every family shipped in repro.circuits.
+CIRCUIT_FACTORIES = {
+    "parallel_rlc": lambda: circuits.parallel_rlc().circuit,
+    "series_rlc_divider": lambda: circuits.series_rlc_divider().circuit,
+    "two_pole_opamp_buffer": lambda: circuits.two_pole_opamp_buffer().circuit,
+    "two_pole_open_loop": lambda: circuits.two_pole_open_loop().circuit,
+    "opamp_buffer": lambda: circuits.opamp_buffer().circuit,
+    "opamp_open_loop": lambda: circuits.opamp_open_loop().circuit,
+    "opamp_with_bias": lambda: circuits.opamp_with_bias().circuit,
+    "bias_circuit": lambda: circuits.bias_circuit().circuit,
+    "simple_mirror": lambda: circuits.simple_mirror().circuit,
+    "buffered_mirror": lambda: circuits.buffered_mirror().circuit,
+    "emitter_follower": lambda: circuits.emitter_follower().circuit,
+    "source_follower": lambda: circuits.source_follower().circuit,
+    "rc_ladder": lambda: circuits.rc_ladder(25).circuit,
+    "rlc_ladder": lambda: circuits.rlc_ladder(10).circuit,
+    "amplifier_chain": lambda: circuits.amplifier_chain(
+        5, feedback_resistance=100e3).circuit,
+}
+
+SWEEP = log_sweep(1e3, 1e9, 4)
+
+
+@pytest.fixture(params=sorted(CIRCUIT_FACTORIES), scope="module")
+def circuit(request):
+    return CIRCUIT_FACTORIES[request.param]()
+
+
+def test_operating_point_backends_agree(circuit):
+    dense = operating_point(circuit, backend="dense")
+    sparse = operating_point(circuit, backend="sparse")
+    scale = max(float(np.max(np.abs(dense.x))), 1.0)
+    assert np.max(np.abs(dense.x - sparse.x)) <= RELATIVE_TOLERANCE * scale
+
+
+def test_impedance_sweep_backends_agree(circuit):
+    # Each sweeper computes its own operating point: the Newton iteration
+    # uses the dense kernel on both backends, so the linearisation point
+    # is identical and any divergence below comes from the solver path.
+    dense_sweeper = ImpedanceSweeper(circuit, backend="dense")
+    sparse_sweeper = ImpedanceSweeper(circuit, backend="sparse")
+    nodes = dense_sweeper.node_names[:4]
+    dense_z = dense_sweeper.impedances(nodes, SWEEP)
+    sparse_z = sparse_sweeper.impedances(nodes, SWEEP)
+    for node in nodes:
+        scale = max(float(np.max(np.abs(dense_z[node]))), 1e-30)
+        worst = float(np.max(np.abs(dense_z[node] - sparse_z[node])))
+        assert worst <= RELATIVE_TOLERANCE * scale, (
+            f"dense and sparse impedances diverge at node {node!r}")
+
+
+@pytest.mark.parametrize("backend,backend_class",
+                         [("dense", DenseBackend), ("sparse", SparseBackend)])
+def test_transient_reuses_factorization(backend, backend_class):
+    """One factorization per distinct step size, one solve per timestep."""
+    design = circuits.series_rlc_divider()
+    backend_class.stats.reset()
+    result = transient_analysis(design.circuit, stop_time=2e-6, time_step=2e-9,
+                                linearize=True, backend=backend)
+    steps = len(result.times) - 1
+    stats = backend_class.stats
+    assert stats.solves >= steps
+    # The uniform grid plus breakpoint insertion yields a handful of
+    # distinct step sizes; reuse must keep factorizations far below the
+    # solve count (the old behaviour was one factorization per step).
+    assert stats.factorizations <= 5
+    assert stats.factorizations < stats.solves / 50
+
+
+def test_transient_backends_agree():
+    design = circuits.series_rlc_divider()
+    dense = transient_analysis(design.circuit, 1e-6, 2e-9, linearize=True,
+                               backend="dense")
+    sparse = transient_analysis(design.circuit, 1e-6, 2e-9, linearize=True,
+                                backend="sparse")
+    scale = max(float(np.max(np.abs(dense.data))), 1.0)
+    assert np.max(np.abs(dense.data - sparse.data)) <= RELATIVE_TOLERANCE * scale

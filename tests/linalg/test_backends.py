@@ -1,0 +1,209 @@
+"""Unit tests of the repro.linalg package: triplets, backends, selection,
+factorization reuse and singular-system diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError, SingularMatrixError
+from repro.linalg import (
+    AUTO_SPARSE_MIN_SIZE,
+    BACKEND_ENV_VAR,
+    DenseBackend,
+    LinearSystem,
+    SparseBackend,
+    TripletMatrix,
+    available_backends,
+    resolve_backend,
+    singular_system_message,
+    suspect_unknowns,
+)
+
+
+class TestTripletMatrix:
+    def test_duplicates_sum_in_dense_and_sparse(self):
+        trip = TripletMatrix(2)
+        trip.add(0, 0, 1.0)
+        trip.add(0, 0, 2.0)
+        trip.add(0, 1, -1.5)
+        dense = trip.to_dense()
+        assert dense[0, 0] == 3.0 and dense[0, 1] == -1.5 and dense[1, 1] == 0.0
+        csr = trip.to_csr()
+        assert np.allclose(csr.toarray(), dense)
+
+    def test_dense_replay_matches_sequential_stamping(self):
+        rng = np.random.default_rng(7)
+        trip = TripletMatrix(5)
+        reference = np.zeros((5, 5))
+        for _ in range(200):
+            i, j = rng.integers(0, 5, size=2)
+            v = float(rng.standard_normal())
+            trip.add(int(i), int(j), v)
+            reference[i, j] += v
+        assert np.array_equal(trip.to_dense(), reference)
+
+    def test_extra_accumulator_merges(self):
+        a, b = TripletMatrix(2), TripletMatrix(2)
+        a.add(0, 0, 1.0)
+        b.add(0, 0, 2.0)
+        b.add(1, 1, 5.0)
+        assert np.allclose(a.to_csr(b).toarray(), [[3.0, 0.0], [0.0, 5.0]])
+
+    def test_clear_and_density(self):
+        trip = TripletMatrix(10)
+        trip.add(0, 0, 1.0)
+        assert trip.nnz == 1 and trip.density() == pytest.approx(0.01)
+        trip.clear()
+        assert trip.nnz == 0
+        assert np.count_nonzero(trip.to_dense()) == 0
+
+
+class TestBackendSelection:
+    def test_explicit_name_wins(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        assert resolve_backend("dense").name == "dense"
+
+    def test_env_overrides_auto(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        assert resolve_backend(None, size=3, density=1.0).name == "sparse"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dense")
+        assert resolve_backend("auto", size=10_000, density=1e-4).name == "dense"
+
+    def test_auto_heuristic(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None, size=10, density=0.5).name == "dense"
+        assert resolve_backend(None, size=AUTO_SPARSE_MIN_SIZE,
+                               density=0.01).name == "sparse"
+        # Large but dense systems stay on LAPACK.
+        assert resolve_backend(None, size=10_000, density=0.5).name == "dense"
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(AnalysisError, match="unknown linear-solver backend"):
+            resolve_backend("cuda")
+        monkeypatch.setenv(BACKEND_ENV_VAR, "banana")
+        with pytest.raises(AnalysisError, match="unknown linear-solver backend"):
+            resolve_backend(None)
+
+    def test_backend_instance_passes_through(self):
+        backend = SparseBackend()
+        assert resolve_backend(backend) is backend
+
+    def test_available_backends(self):
+        assert available_backends() == ("dense", "sparse")
+
+
+class TestLinearSystem:
+    def _matrix(self):
+        return np.array([[4.0, 1.0], [1.0, 3.0]])
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_solve_matches_numpy(self, backend):
+        rhs = np.array([1.0, 2.0])
+        system = LinearSystem(self._matrix(), backend=backend)
+        assert np.allclose(system.solve(rhs), np.linalg.solve(self._matrix(), rhs))
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_factorization_reused_across_solves(self, backend):
+        cls = DenseBackend if backend == "dense" else SparseBackend
+        cls.stats.reset()
+        system = LinearSystem(self._matrix(), backend=backend)
+        for k in range(5):
+            system.solve(np.array([1.0, float(k)]))
+        assert cls.stats.factorizations == 1
+        assert cls.stats.solves == 5
+        assert system.is_factorized
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_matrix_rhs_solves_all_columns(self, backend):
+        rhs = np.array([[1.0, 0.0], [0.0, 1.0]])
+        system = LinearSystem(self._matrix(), backend=backend)
+        assert np.allclose(system.solve(rhs), np.linalg.inv(self._matrix()),
+                           atol=1e-12)
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_from_triplets(self, backend):
+        trip = TripletMatrix(2)
+        trip.add(0, 0, 4.0)
+        trip.add(0, 1, 1.0)
+        trip.add(1, 0, 1.0)
+        trip.add(1, 1, 3.0)
+        system = LinearSystem(trip, backend=backend)
+        assert np.allclose(system.solve(np.array([1.0, 2.0])),
+                           np.linalg.solve(self._matrix(), np.array([1.0, 2.0])))
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_complex_systems(self, backend):
+        matrix = self._matrix() + 1j * np.eye(2)
+        system = LinearSystem(matrix, backend=backend, dtype=complex)
+        rhs = np.array([1.0 + 0j, -2.0j])
+        assert np.allclose(system.solve(rhs), np.linalg.solve(matrix, rhs))
+
+
+class TestSingularDiagnostics:
+    def _floating(self):
+        # Unknown 1 ("mid") has no coupling at all: a floating node.
+        return np.array([[1.0, 0.0, 0.0],
+                         [0.0, 0.0, 0.0],
+                         [0.0, 0.0, 2.0]])
+
+    def test_suspects_named_dense_and_sparse(self):
+        import scipy.sparse
+
+        names = ["in", "mid", "out"]
+        assert suspect_unknowns(self._floating(), names) == ["mid"]
+        sparse = scipy.sparse.csc_matrix(self._floating())
+        assert suspect_unknowns(sparse, names) == ["mid"]
+
+    @pytest.mark.parametrize("backend", ["dense", "sparse"])
+    def test_backends_report_same_node_diagnostics(self, backend):
+        names = ["in", "mid", "out"]
+        system = LinearSystem(self._floating(), backend=backend, names=names)
+        with pytest.raises(SingularMatrixError, match="'mid'"):
+            system.solve(np.ones(3))
+
+    def test_message_mentions_floating_nodes(self):
+        message = singular_system_message(self._floating(), ["a", "b", "c"],
+                                          detail="LAPACK says no")
+        assert "floating nodes" in message
+        assert "'b'" in message
+        assert "LAPACK says no" in message
+
+    def test_dense_one_shot_solve_raises_with_names(self):
+        backend = DenseBackend()
+        with pytest.raises(SingularMatrixError, match="singular"):
+            backend.solve_once(np.zeros((2, 2)), np.ones(2), names=["x", "y"])
+
+
+class TestSolveAcStackedMixedInputs:
+    """solve_ac_stacked accepts any mix of dense and scipy-sparse G/C."""
+
+    def _system(self):
+        G = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        C = np.array([[1e-3, 0.0], [0.0, 1e-3]])
+        return G, C, np.array([1.0, 0.0])
+
+    @pytest.mark.parametrize("backend", [None, "dense", "sparse"])
+    @pytest.mark.parametrize("g_sparse,c_sparse",
+                             [(True, False), (False, True), (True, True)])
+    def test_mixed_inputs_match_dense_reference(self, backend, g_sparse, c_sparse):
+        import scipy.sparse
+
+        from repro.analysis.ac import solve_ac_stacked
+
+        G, C, rhs = self._system()
+        reference = solve_ac_stacked(G, C, rhs, [1.0, 50.0])
+        mixed = solve_ac_stacked(
+            scipy.sparse.csr_matrix(G) if g_sparse else G,
+            scipy.sparse.csr_matrix(C) if c_sparse else C,
+            rhs, [1.0, 50.0], backend=backend)
+        assert np.allclose(mixed, reference, rtol=1e-9, atol=1e-15)
+
+    def test_nonfinite_sparse_entries_rejected(self):
+        import scipy.sparse
+
+        from repro.analysis.ac import solve_ac_stacked
+
+        G, C, rhs = self._system()
+        G = G.copy()
+        G[0, 0] = np.nan
+        with pytest.raises(SingularMatrixError, match="non-finite"):
+            solve_ac_stacked(scipy.sparse.csr_matrix(G), C, rhs, [1.0, 2.0])

@@ -55,6 +55,44 @@ class TestAnalysisRequest:
         with pytest.raises(ToolError):
             request.to_dict()
 
+    def test_unknown_solver_backend_rejected(self):
+        with pytest.raises(ToolError):
+            AnalysisRequest(netlist=RLC_NETLIST, backend="cuda")
+
+    def test_solver_backend_enters_fingerprint(self, monkeypatch):
+        from repro.linalg import BACKEND_ENV_VAR
+
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        auto = AnalysisRequest(netlist=RLC_NETLIST)
+        dense = AnalysisRequest(netlist=RLC_NETLIST, backend="dense")
+        sparse = AnalysisRequest(netlist=RLC_NETLIST, backend="sparse")
+        assert len({auto.fingerprint(), dense.fingerprint(),
+                    sparse.fingerprint()}) == 3
+        back = AnalysisRequest.from_dict(sparse.to_dict())
+        assert back.backend == "sparse"
+        assert back.fingerprint() == sparse.fingerprint()
+
+    def test_env_backend_override_enters_fingerprint(self, monkeypatch):
+        """REPRO_BACKEND redirects every 'auto' resolution, so two workers
+        with different env settings must never share a cache entry."""
+        from repro.linalg import BACKEND_ENV_VAR
+
+        request = AnalysisRequest(netlist=RLC_NETLIST)
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        key_auto = request.fingerprint()
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        key_sparse_env = request.fingerprint()
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dense")
+        key_dense_env = request.fingerprint()
+        assert len({key_auto, key_sparse_env, key_dense_env}) == 3
+        # The env matches what an explicit request would compute.
+        assert key_dense_env == AnalysisRequest(
+            netlist=RLC_NETLIST, backend="dense").fingerprint()
+        # An explicit backend is immune to the env override.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "sparse")
+        assert AnalysisRequest(netlist=RLC_NETLIST,
+                               backend="dense").fingerprint() == key_dense_env
+
     def test_fingerprint_is_content_addressed(self):
         a = AnalysisRequest(netlist=RLC_NETLIST)
         b = AnalysisRequest(netlist=RLC_NETLIST, label="different label")
