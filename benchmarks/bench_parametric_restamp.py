@@ -1,0 +1,164 @@
+"""Compile/restamp benchmark: scenario sweeps vs. rebuild-per-sample.
+
+The acceptance bar of the compiled-circuit parametric engine: on a
+500-sample scenario sweep, restamping a compiled structure
+(:class:`repro.analysis.CompiledCircuit`) must produce solver-ready
+matrices at least 5x faster than rebuilding the :class:`MNASystem` from
+scratch per sample — on both the paper's full op-amp (dense path,
+design-variable + temperature scatter) and a 1002-unknown RC ladder
+(sparse path, temperature scatter over tc1 resistors, i.e. every
+resistor re-evaluated per sample).  Equivalence is asserted before any
+timing: a fast wrong answer is worthless.
+
+A symbolic-reuse check rides along: same-pattern factorizations across
+restamps must hit the sparse backend's per-pattern ordering cache.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.analysis import AnalysisContext, CompiledCircuit, MNASystem
+from repro.circuit.builder import CircuitBuilder
+from repro.circuits import opamp_with_bias
+from repro.linalg import LinearSystem, SparseBackend
+
+SAMPLES = 500
+SPEEDUP_BAR = 5.0
+
+#: tc_rc_ladder(n) has n + 2 MNA unknowns, so this gives 1002 unknowns.
+LADDER_SECTIONS = 1000
+
+
+def tc_rc_ladder(sections: int):
+    """RC ladder whose resistors carry a temperature coefficient, so a
+    temperature sweep re-evaluates every section (the worst case for the
+    restamp pass — nothing is static except the capacitors and source)."""
+    builder = CircuitBuilder(f"tc RC ladder ({sections} sections)")
+    builder.voltage_source("in", "0", dc=1.0, ac=1.0, name="Vin")
+    previous = "in"
+    for k in range(1, sections + 1):
+        node = f"n{k}"
+        builder.resistor(previous, node, 1e3, name=f"R{k}", tc1=1e-3)
+        builder.capacitor(node, "0", 1e-12, name=f"C{k}")
+        previous = node
+    return builder.build()
+
+
+def _opamp_scenarios():
+    for index in range(SAMPLES):
+        yield (27.0 + 0.1 * index, {"cload": 2e-12 * (1.0 + 0.001 * index)})
+
+
+def _ladder_scenarios():
+    for index in range(SAMPLES):
+        yield (-40.0 + 0.33 * index, None)
+
+
+def _context(circuit, temperature, variables):
+    ctx = AnalysisContext(temperature=temperature,
+                          variables=dict(circuit.variables))
+    if variables:
+        ctx.update_variables(variables)
+    return ctx
+
+
+def _time_rebuild(circuit, scenarios, form):
+    start = time.perf_counter()
+    for temperature, variables in scenarios:
+        system = MNASystem(circuit, _context(circuit, temperature, variables))
+        system.stamp()
+        if form == "dense":
+            _, _, _ = system.G, system.C, system.b_dc
+        else:
+            _, _ = system.static_sparse("G"), system.b_dc
+    return time.perf_counter() - start
+
+
+def _time_restamp(compiled, scenarios, form):
+    start = time.perf_counter()
+    for temperature, variables in scenarios:
+        state = compiled.restamp(temperature=temperature, variables=variables)
+        if form == "dense":
+            _, _, _ = state.G_dense(), state.C_dense(), state.b_dc
+        else:
+            _, _ = state.G_csc(), state.b_dc
+    return time.perf_counter() - start
+
+
+def _assert_equivalent(circuit, compiled, temperature, variables):
+    fresh = MNASystem(circuit, _context(circuit, temperature, variables)).stamp()
+    state = compiled.restamp(temperature=temperature, variables=variables)
+    for reference, restamped in ((fresh.G, state.G_dense()),
+                                 (fresh.C, state.C_dense()),
+                                 (np.asarray(fresh.b_dc), state.b_dc)):
+        scale = max(float(np.max(np.abs(reference))), 1.0)
+        assert np.max(np.abs(reference - restamped)) <= 1e-12 * scale
+
+
+def _run_case(name, circuit, scenarios, form):
+    compiled = CompiledCircuit(circuit)
+    compiled.restamp()                      # compile outside the timed region
+    first = next(iter(scenarios()))
+    _assert_equivalent(circuit, compiled, *first)
+
+    rebuild_seconds = _time_rebuild(circuit, scenarios(), form)
+    restamp_seconds = _time_restamp(compiled, scenarios(), form)
+    speedup = rebuild_seconds / max(restamp_seconds, 1e-12)
+    line = (f"{name}: {SAMPLES} samples ({form} path, "
+            f"{compiled.dynamic_element_count()} dynamic elements)\n"
+            f"  rebuild per sample: {rebuild_seconds:8.3f} s total\n"
+            f"  restamp:            {restamp_seconds:8.3f} s total\n"
+            f"  speedup:            {speedup:8.1f}x  (bar: {SPEEDUP_BAR}x)\n")
+    return speedup, line
+
+
+def test_restamp_beats_rebuild_on_opamp_and_ladder():
+    opamp = opamp_with_bias().circuit
+    opamp_speedup, opamp_line = _run_case(
+        "full op-amp + bias", opamp, _opamp_scenarios, "dense")
+
+    ladder = tc_rc_ladder(LADDER_SECTIONS)
+    assert CompiledCircuit(ladder).size >= 1000
+    ladder_speedup, ladder_line = _run_case(
+        f"{LADDER_SECTIONS + 2}-unknown tc RC ladder", ladder,
+        _ladder_scenarios, "sparse")
+
+    write_result("parametric_restamp.txt",
+                 "Compile-once/restamp-per-scenario vs. rebuild-per-sample\n"
+                 + opamp_line + ladder_line)
+    assert opamp_speedup >= SPEEDUP_BAR, (
+        f"op-amp restamp must be >= {SPEEDUP_BAR}x faster "
+        f"(got {opamp_speedup:.1f}x)")
+    assert ladder_speedup >= SPEEDUP_BAR, (
+        f"ladder restamp must be >= {SPEEDUP_BAR}x faster "
+        f"(got {ladder_speedup:.1f}x)")
+
+
+def test_restamped_solves_reuse_symbolic_ordering():
+    """Across restamps of one topology, sparse DC solves pay the symbolic
+    analysis once: every later factorization reuses the cached ordering."""
+    ladder = tc_rc_ladder(200)
+    compiled = CompiledCircuit(ladder)
+    state = compiled.restamp()
+    SparseBackend.clear_symbolic_cache()
+    SparseBackend.stats.reset()
+
+    system = LinearSystem(state.G_csc(), backend="sparse",
+                          pattern_key=state.pattern_G.pattern_key())
+    solutions = []
+    for temperature in np.linspace(-40.0, 125.0, 8):
+        state = compiled.restamp(temperature=float(temperature))
+        system.refactor(state.G_csc().data)
+        solutions.append(system.solve(state.b_dc))
+    stats = SparseBackend.stats
+    assert stats.factorizations == 8
+    assert stats.symbolic_reuses == 7
+    # The DC answer itself must track the temperature-dependent resistors.
+    reference = MNASystem(ladder, AnalysisContext(temperature=125.0),
+                          backend="sparse").stamp()
+    direct = reference.linear_system(reference.static_sparse("G")).solve(
+        reference.b_dc)
+    scale = max(float(np.max(np.abs(direct))), 1.0)
+    assert np.max(np.abs(solutions[-1] - direct)) <= 1e-9 * scale

@@ -1,0 +1,138 @@
+"""Record the key performance numbers as one JSON snapshot.
+
+Runs the three headline benchmarks — compile/restamp speedup, Monte
+Carlo screening throughput and the sparse-vs-dense backend speedup — and
+writes ``BENCH_parametric.json`` so the performance trajectory of the
+repo is recorded per commit (CI runs this as a non-blocking job and
+uploads the file as an artifact).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_snapshot.py [--samples N]
+        [--output BENCH_parametric.json]
+
+The snapshot intentionally *records* rather than *gates*: the hard
+performance bars live in ``benchmarks/`` (pytest-enforced); this script
+must stay cheap enough to run on every push.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import subprocess
+import sys
+import time
+
+
+def _git_revision() -> str:
+    try:
+        return subprocess.check_output(
+            ["git", "rev-parse", "--short", "HEAD"],
+            text=True, stderr=subprocess.DEVNULL).strip()
+    except Exception:
+        return "unknown"
+
+
+def restamp_speedups(samples: int) -> dict:
+    """Compile/restamp vs. rebuild-per-sample (see bench_parametric_restamp)."""
+    from benchmarks.bench_parametric_restamp import (
+        LADDER_SECTIONS,
+        _run_case,
+        tc_rc_ladder,
+    )
+    from repro.circuits import opamp_with_bias
+
+    def opamp_scenarios():
+        for index in range(samples):
+            yield (27.0 + 0.1 * index,
+                   {"cload": 2e-12 * (1.0 + 0.001 * index)})
+
+    def ladder_scenarios():
+        for index in range(samples):
+            yield (-40.0 + 0.33 * index, None)
+
+    opamp_speedup, _ = _run_case("opamp", opamp_with_bias().circuit,
+                                 opamp_scenarios, "dense")
+    ladder_speedup, _ = _run_case("ladder", tc_rc_ladder(LADDER_SECTIONS),
+                                  ladder_scenarios, "sparse")
+    return {"samples": samples,
+            "opamp_dense_speedup": round(opamp_speedup, 2),
+            "ladder_sparse_speedup": round(ladder_speedup, 2)}
+
+
+def monte_carlo_throughput(samples: int) -> dict:
+    """Cold-cache Monte Carlo screening rate (samples/second, one process)."""
+    from repro.circuits import parallel_rlc
+    from repro.service import (
+        BatchEngine,
+        Distribution,
+        ScenarioSpec,
+        StabilityService,
+    )
+    from repro.service.cache import ResultCache
+
+    spec = ScenarioSpec(
+        variables={"rval": Distribution.uniform(200.0, 2000.0)},
+        temperature=Distribution.uniform(-40.0, 125.0),
+        samples=samples, seed=7)
+    service = StabilityService(cache=ResultCache(None),
+                               engine=BatchEngine(backend="serial"))
+    started = time.perf_counter()
+    report = service.screen(spec, circuit=parallel_rlc().circuit)
+    elapsed = time.perf_counter() - started
+    return {"samples": samples,
+            "elapsed_seconds": round(elapsed, 3),
+            "samples_per_second": round(samples / max(elapsed, 1e-9), 2),
+            "yield_fraction": round(report.summary.yield_fraction, 4)}
+
+
+def backend_speedup(sections: int = 1000) -> dict:
+    """Sparse vs. dense AC sweep on the big ladder (see bench_linalg_backends)."""
+    from repro.analysis import ac_analysis
+    from repro.analysis.sweeps import log_sweep
+    from repro.circuits import rc_ladder
+
+    circuit = rc_ladder(sections).circuit
+    sweep = log_sweep(1e3, 1e9, 5)
+    ac_analysis(circuit, [1e6, 1e7], backend="sparse")     # warm-up
+    started = time.perf_counter()
+    ac_analysis(circuit, sweep, backend="dense")
+    dense_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    ac_analysis(circuit, sweep, backend="sparse")
+    sparse_seconds = time.perf_counter() - started
+    return {"ladder_sections": sections,
+            "dense_seconds": round(dense_seconds, 3),
+            "sparse_seconds": round(sparse_seconds, 3),
+            "speedup": round(dense_seconds / max(sparse_seconds, 1e-9), 1)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--samples", type=int, default=200,
+                        help="scenario samples per benchmark (default 200)")
+    parser.add_argument("--output", default="BENCH_parametric.json",
+                        help="snapshot path (default BENCH_parametric.json)")
+    args = parser.parse_args(argv)
+
+    snapshot = {
+        "schema": 1,
+        "created_utc": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "revision": _git_revision(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "restamp": restamp_speedups(args.samples),
+        "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
+        "backends": backend_speedup(),
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps(snapshot, indent=2, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,6 +6,7 @@ transient integration and pole analysis, all operating on
 """
 
 from repro.analysis.ac import ac_analysis
+from repro.analysis.compiled import CompiledCircuit, StampState, compile_circuit
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem, SolutionView
 from repro.analysis.op import NewtonOptions, operating_point
@@ -22,6 +23,9 @@ from repro.analysis.transient import transient_analysis
 
 __all__ = [
     "AnalysisContext",
+    "CompiledCircuit",
+    "StampState",
+    "compile_circuit",
     "MNASystem",
     "SolutionView",
     "NewtonOptions",

@@ -18,6 +18,7 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.compiled import CompiledCircuit
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.op import NewtonOptions, operating_point
@@ -25,7 +26,13 @@ from repro.analysis.results import ACResult, OPResult
 from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.netlist import Circuit
 from repro.exceptions import AnalysisError, SingularMatrixError
-from repro.linalg import LinearSystem, SolverBackend, matrix_stats, resolve_backend
+from repro.linalg import (
+    LinearSystem,
+    SolverBackend,
+    csc_pattern_key,
+    matrix_stats,
+    resolve_backend,
+)
 
 __all__ = ["ac_analysis", "solve_ac_stacked"]
 
@@ -131,30 +138,41 @@ def _solve_ac_sparse(G, C, B: np.ndarray, freq: np.ndarray,
                      backend: SolverBackend,
                      names: Optional[Sequence[str]]) -> np.ndarray:
     """Sparse path: one SuperLU factorization per frequency, all RHS columns
-    solved against it at once."""
+    solved against it at once.
+
+    Every ``G + j*omega*C`` of one sweep shares the same sparsity pattern,
+    so the pattern key is hashed once and passed along — the per-frequency
+    factorizations then hit the symbolic-ordering cache without re-hashing
+    the structure each time.
+    """
     G = backend.matrix(G)
     C = backend.matrix(C)
     n, m = B.shape
     out = np.empty((len(freq), n, m), dtype=complex)
+    pattern_key = None
     for k, frequency in enumerate(freq):
         matrix = (G + (2j * np.pi * frequency) * C).tocsc()
+        if pattern_key is None:
+            pattern_key = csc_pattern_key(matrix)
         try:
             out[k] = LinearSystem(matrix, backend=backend, names=names,
-                                  dtype=complex).solve(B)
+                                  dtype=complex,
+                                  pattern_key=pattern_key).solve(B)
         except SingularMatrixError as exc:
             raise SingularMatrixError(
                 f"AC system is singular at {frequency:g} Hz: {exc}") from exc
     return out
 
 
-def ac_analysis(circuit: Circuit,
+def ac_analysis(circuit: Optional[Circuit],
                 sweep: Union[FrequencySweep, Sequence[float], None] = None,
                 temperature: float = 27.0,
                 gmin: float = 1e-12,
                 variables: Optional[Dict[str, float]] = None,
                 op: Optional[OPResult] = None,
                 options: Optional[NewtonOptions] = None,
-                backend: Union[str, SolverBackend, None] = None) -> ACResult:
+                backend: Union[str, SolverBackend, None] = None,
+                compiled: Optional[CompiledCircuit] = None) -> ACResult:
     """Run a small-signal AC sweep and return an :class:`ACResult`.
 
     Parameters
@@ -171,13 +189,22 @@ def ac_analysis(circuit: Circuit,
     backend:
         Linear-solver backend: ``"dense"``, ``"sparse"`` or ``None``/
         ``"auto"`` (size/density heuristic; ``REPRO_BACKEND`` overrides).
+    compiled:
+        A precompiled circuit structure — scenario sweeps compile the
+        topology once and restamp values per sample; ``circuit`` may
+        then be ``None``.
     """
     sweep = FrequencySweep.coerce(sweep)
+    if circuit is None:
+        if compiled is None:
+            raise AnalysisError("ac_analysis needs a circuit or a "
+                                "precompiled CompiledCircuit")
+        circuit = compiled.circuit
     ctx = AnalysisContext(temperature=temperature, gmin=gmin,
                           variables=dict(circuit.variables))
     if variables:
         ctx.update_variables(variables)
-    system = MNASystem(circuit, ctx, backend=backend)
+    system = MNASystem(circuit, ctx, backend=backend, compiled=compiled)
     system.stamp()
 
     if not np.any(system.b_ac):

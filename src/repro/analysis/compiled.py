@@ -1,0 +1,592 @@
+"""Compiled-circuit parametric assembly: structure once, values per scenario.
+
+Every Monte Carlo sample, corner or temperature point of one circuit
+shares the same matrix *structure* — flattening, the unknown index and
+the (row, col) position of every linear stamp are invariants of the
+topology.  Only the stamped *values* move between scenarios.  This module
+splits the two apart:
+
+* :class:`CompiledCircuit` runs the structural pass once per topology:
+  flatten, build the unknown index, and replay every element's
+  ``stamp_linear`` into a recording adapter that captures each stamp as a
+  **pattern slot** (fixed positions in a
+  :class:`~repro.linalg.triplets.CompiledPattern`) paired with the
+  element that provides its value.  Elements whose stamped values never
+  read the analysis context (plain-number resistors at tnom, ideal
+  sources, controlled sources with numeric gains — in practice most of a
+  circuit) are classified *static* and evaluated exactly once.
+
+* :meth:`CompiledCircuit.restamp` is the per-scenario pass: copy the
+  static base arrays and re-evaluate only the context-dependent elements
+  (their ``stamp_linear`` runs against a value-capture adapter — no name
+  resolution, no index lookups, no list building).  The result is a
+  :class:`StampState`: fresh ``G``/``C`` value arrays plus DC/AC
+  right-hand sides for one ``(variables, temperature)`` point, sharing
+  the compiled pattern.  Patterns carry a stable
+  :meth:`~repro.linalg.triplets.CompiledPattern.pattern_key`, which the
+  sparse backend uses to cache the symbolic factorization ordering, so
+  same-structure solves across scenarios pay only the numeric LU.
+
+Element ``stamp_linear`` implementations are untouched: during compile
+they stamp into the recording adapter, during restamp into the capture
+adapter, and both expose the exact stamper interface
+:class:`~repro.analysis.mna.MNASystem` always provided.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.context import AnalysisContext, parse_literal
+from repro.circuit.elements.base import Element, is_ground
+from repro.circuit.netlist import Circuit, SubcircuitInstance
+from repro.exceptions import AnalysisError, NetlistError
+from repro.linalg.triplets import CompiledPattern
+
+__all__ = ["CompiledCircuit", "StampState", "compile_circuit"]
+
+# Stamp-op targets.
+_G, _C, _BDC, _BAC = 0, 1, 2, 3
+
+
+class _StampOp:
+    """One recorded value-carrying stamp call: target array, fixed slots,
+    per-slot sign multipliers (e.g. the +g/+g/-g/-g fan of a two-terminal
+    conductance collapses to one op with four slots)."""
+
+    __slots__ = ("target", "slots", "signs")
+
+    def __init__(self, target: int, slots: Sequence[int], signs: Sequence[float]):
+        self.target = target
+        self.slots = np.asarray(slots, dtype=np.int64)
+        self.signs = np.asarray(signs, dtype=float)
+
+
+class _ElementProgram:
+    """The recorded stamp sequence of one element (+ its base values)."""
+
+    __slots__ = ("element", "ops", "values", "dynamic")
+
+    def __init__(self, element: Element):
+        self.element = element
+        self.ops: List[_StampOp] = []
+        self.values: List[complex] = []
+        self.dynamic = False
+
+
+class _ProbeContext:
+    """Context wrapper that records whether an element *read* the context.
+
+    An element whose ``stamp_linear`` never touches temperature, gmin or
+    a design variable cannot produce different values under a different
+    context — it is *static* and its compile-time values are reused by
+    every restamp.  Any context read (including any attribute this proxy
+    does not recognise, conservatively) marks the element *dynamic*.
+    """
+
+    __slots__ = ("_ctx", "touched")
+
+    def __init__(self, ctx: AnalysisContext):
+        self._ctx = ctx
+        self.touched = False
+
+    @property
+    def temperature(self) -> float:
+        self.touched = True
+        return self._ctx.temperature
+
+    @property
+    def gmin(self) -> float:
+        self.touched = True
+        return self._ctx.gmin
+
+    @property
+    def variables(self) -> Dict[str, float]:
+        self.touched = True
+        return self._ctx.variables
+
+    def eval_param(self, value) -> float:
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        # Plain SPICE literals ("2.2u") resolve without the context; only
+        # variable references and expressions make the element dynamic.
+        literal = parse_literal(value)
+        if literal is not None:
+            return literal
+        self.touched = True
+        return self._ctx.eval_param(value)
+
+    def __getattr__(self, name):
+        self.touched = True
+        return getattr(self._ctx, name)
+
+
+class _RecordingStamper:
+    """Compile-time stamper: resolves names once, records pattern slots."""
+
+    def __init__(self, compiled: "CompiledCircuit"):
+        self._compiled = compiled
+        self.g_rows: List[int] = []
+        self.g_cols: List[int] = []
+        self.c_rows: List[int] = []
+        self.c_cols: List[int] = []
+        self.initial_voltage_conditions: List[Tuple[str, str, float]] = []
+        self.initial_current_conditions: List[Tuple[str, float]] = []
+        self.time_sources: List[Element] = []
+        self._program: Optional[_ElementProgram] = None
+
+    def begin_element(self, program: _ElementProgram) -> None:
+        self._program = program
+
+    # -- matrix stamps --------------------------------------------------
+    def _record_matrix(self, target: int, entries, value) -> None:
+        """``entries`` = [(row, col, sign), ...] with grounds dropped."""
+        rows = self.g_rows if target == _G else self.c_rows
+        cols = self.g_cols if target == _G else self.c_cols
+        slots, signs = [], []
+        for row, col, sign in entries:
+            slots.append(len(rows))
+            rows.append(row)
+            cols.append(col)
+            signs.append(sign)
+        self._program.ops.append(_StampOp(target, slots, signs))
+        self._program.values.append(value)
+
+    def _add(self, target: int, vi: str, vj: str, value: float) -> None:
+        i, j = self._index_of(vi), self._index_of(vj)
+        entries = [(i, j, 1.0)] if i is not None and j is not None else []
+        self._record_matrix(target, entries, value)
+
+    def _two_terminal(self, target: int, node_a: str, node_b: str,
+                      value: float) -> None:
+        i, j = self._index_of(node_a), self._index_of(node_b)
+        entries = []
+        if i is not None:
+            entries.append((i, i, 1.0))
+        if j is not None:
+            entries.append((j, j, 1.0))
+        if i is not None and j is not None:
+            entries.append((i, j, -1.0))
+            entries.append((j, i, -1.0))
+        self._record_matrix(target, entries, value)
+
+    def add_G(self, vi: str, vj: str, value: float) -> None:
+        self._add(_G, vi, vj, value)
+
+    def add_C(self, vi: str, vj: str, value: float) -> None:
+        self._add(_C, vi, vj, value)
+
+    def conductance(self, node_a: str, node_b: str, g: float) -> None:
+        self._two_terminal(_G, node_a, node_b, g)
+
+    def capacitance(self, node_a: str, node_b: str, c: float) -> None:
+        self._two_terminal(_C, node_a, node_b, c)
+
+    # -- right-hand sides -----------------------------------------------
+    def _add_rhs(self, target: int, variable: str, value) -> None:
+        index = self._index_of(variable)
+        slots = [index] if index is not None else []
+        signs = [1.0] if index is not None else []
+        self._program.ops.append(_StampOp(target, slots, signs))
+        self._program.values.append(value)
+
+    def add_rhs_dc(self, variable: str, value: float) -> None:
+        self._add_rhs(_BDC, variable, value)
+
+    def add_rhs_ac(self, variable: str, value: complex) -> None:
+        self._add_rhs(_BAC, variable, value)
+
+    # -- structural side effects ----------------------------------------
+    def initial_condition_voltage(self, node_a: str, node_b: str, value: float) -> None:
+        self.initial_voltage_conditions.append((node_a, node_b, value))
+
+    def initial_condition_current(self, branch: str, value: float) -> None:
+        self.initial_current_conditions.append((branch, value))
+
+    def register_time_source(self, element: Element) -> None:
+        self.time_sources.append(element)
+
+    def require_variable(self, variable: str, owner: str = "") -> None:
+        if not self._compiled.has_variable(variable):
+            raise NetlistError(
+                f"element {owner!r} references missing branch {variable!r} "
+                "(is the controlling voltage source present?)")
+
+    # -- helpers ---------------------------------------------------------
+    def _index_of(self, variable: str) -> Optional[int]:
+        return self._compiled.index_of(variable)
+
+
+class _CaptureStamper:
+    """Restamp-time stamper: captures the value of each stamp call, in
+    order, and nothing else — names are never resolved again."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List[complex] = []
+
+    def add_G(self, vi, vj, value):
+        self.values.append(value)
+
+    def add_C(self, vi, vj, value):
+        self.values.append(value)
+
+    def conductance(self, node_a, node_b, g):
+        self.values.append(g)
+
+    def capacitance(self, node_a, node_b, c):
+        self.values.append(c)
+
+    def add_rhs_dc(self, variable, value):
+        self.values.append(value)
+
+    def add_rhs_ac(self, variable, value):
+        self.values.append(value)
+
+    def initial_condition_voltage(self, node_a, node_b, value):
+        pass
+
+    def initial_condition_current(self, branch, value):
+        pass
+
+    def register_time_source(self, element):
+        pass
+
+    def require_variable(self, variable, owner=""):
+        pass
+
+
+class _DynamicScatter:
+    """Vectorised routing of captured dynamic values into the value arrays.
+
+    One restamp captures all dynamic elements' stamp values into a single
+    flat vector (in compile order); these arrays then scatter that vector
+    into the G/C slot arrays (assignment — each matrix slot belongs to
+    exactly one stamp) and accumulate it into the right-hand sides
+    (``np.add.at`` — sources may share an index) in one numpy call per
+    target instead of one Python iteration per stamp.
+    """
+
+    __slots__ = ("g_slots", "g_vidx", "g_signs", "c_slots", "c_vidx",
+                 "c_signs", "bdc_slots", "bdc_vidx", "bdc_signs",
+                 "bac_slots", "bac_vidx", "bac_signs", "counts")
+
+    def __init__(self, programs: Sequence["_ElementProgram"]):
+        routes = {_G: ([], [], []), _C: ([], [], []),
+                  _BDC: ([], [], []), _BAC: ([], [], [])}
+        position = 0
+        self.counts: List[Tuple[Element, int]] = []
+        for program in programs:
+            self.counts.append((program.element, len(program.ops)))
+            for op in program.ops:
+                slots, vidx, signs = routes[op.target]
+                for slot, sign in zip(op.slots, op.signs):
+                    slots.append(int(slot))
+                    vidx.append(position)
+                    signs.append(float(sign))
+                position += 1
+        (self.g_slots, self.g_vidx, self.g_signs) = _as_route(routes[_G])
+        (self.c_slots, self.c_vidx, self.c_signs) = _as_route(routes[_C])
+        (self.bdc_slots, self.bdc_vidx, self.bdc_signs) = _as_route(routes[_BDC])
+        (self.bac_slots, self.bac_vidx, self.bac_signs) = _as_route(routes[_BAC])
+
+    def apply(self, values: np.ndarray, g: np.ndarray, c: np.ndarray,
+              b_dc: np.ndarray, b_ac: np.ndarray) -> None:
+        if len(self.g_slots):
+            g[self.g_slots] = (values[self.g_vidx] * self.g_signs).real
+        if len(self.c_slots):
+            c[self.c_slots] = (values[self.c_vidx] * self.c_signs).real
+        if len(self.bdc_slots):
+            np.add.at(b_dc, self.bdc_slots,
+                      (values[self.bdc_vidx] * self.bdc_signs).real)
+        if len(self.bac_slots):
+            np.add.at(b_ac, self.bac_slots,
+                      values[self.bac_vidx] * self.bac_signs)
+
+
+def _as_route(route: Tuple[List[int], List[int], List[float]]):
+    slots, vidx, signs = route
+    return (np.asarray(slots, dtype=np.int64),
+            np.asarray(vidx, dtype=np.int64),
+            np.asarray(signs, dtype=float))
+
+
+class _LinearProgram:
+    """The full compiled linear pass: patterns, base values, dynamic set."""
+
+    __slots__ = ("pattern_G", "pattern_C", "base_g", "base_c", "base_bdc",
+                 "base_bac", "dynamic", "scatter", "initial_voltage_conditions",
+                 "initial_current_conditions", "time_sources")
+
+
+class StampState:
+    """The value side of one scenario: fresh arrays over a shared pattern.
+
+    ``g_values``/``c_values`` hold one entry per recorded stamp slot (in
+    stamp order) of the compiled ``G``/``C`` patterns; ``b_dc``/``b_ac``
+    are fully assembled right-hand sides.  The structural artifacts
+    (patterns, initial conditions, time sources) are shared, immutable
+    references into the owning :class:`CompiledCircuit`.
+    """
+
+    __slots__ = ("compiled", "g_values", "c_values", "b_dc", "b_ac")
+
+    def __init__(self, compiled: "CompiledCircuit", g_values: np.ndarray,
+                 c_values: np.ndarray, b_dc: np.ndarray, b_ac: np.ndarray):
+        self.compiled = compiled
+        self.g_values = g_values
+        self.c_values = c_values
+        self.b_dc = b_dc
+        self.b_ac = b_ac
+
+    # Structural views (shared with the compiled circuit).
+    @property
+    def pattern_G(self) -> CompiledPattern:
+        return self.compiled.pattern_G
+
+    @property
+    def pattern_C(self) -> CompiledPattern:
+        return self.compiled.pattern_C
+
+    @property
+    def initial_voltage_conditions(self) -> List[Tuple[str, str, float]]:
+        return self.compiled.program.initial_voltage_conditions
+
+    @property
+    def initial_current_conditions(self) -> List[Tuple[str, float]]:
+        return self.compiled.program.initial_current_conditions
+
+    @property
+    def time_sources(self) -> List[Element]:
+        return self.compiled.program.time_sources
+
+    def G_dense(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.pattern_G.to_dense(self.g_values, out=out)
+
+    def C_dense(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.pattern_C.to_dense(self.c_values, out=out)
+
+    def G_csc(self, dtype=float):
+        return self.pattern_G.to_csc(self.g_values, dtype=dtype)
+
+    def C_csc(self, dtype=float):
+        return self.pattern_C.to_csc(self.c_values, dtype=dtype)
+
+
+class CompiledCircuit:
+    """One circuit topology, compiled for cheap per-scenario restamping.
+
+    Construction flattens the circuit and builds the MNA unknown index
+    (node voltages first, element branch currents after — the exact
+    ordering :class:`~repro.analysis.mna.MNASystem` always used).  The
+    structural recording pass runs lazily on the first :meth:`restamp`
+    (element stamps may legitimately raise, and should do so where a
+    fresh assembly would: at stamp time, not at construction).
+
+    A compiled circuit is immutable once recorded and safe to share
+    across threads and analyses; each :meth:`restamp` returns a private
+    :class:`StampState`.
+    """
+
+    def __init__(self, circuit: Circuit):
+        if any(isinstance(e, SubcircuitInstance) for e in circuit):
+            circuit = circuit.flattened()
+        self.circuit = circuit
+        self._index: Dict[str, int] = {}
+        self.node_names: List[str] = []
+        self.branch_names: List[str] = []
+        self._build_index()
+        self._program: Optional[_LinearProgram] = None
+        self._compile_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Unknown index (structure pass 1)
+    # ------------------------------------------------------------------
+    def _build_index(self) -> None:
+        for element in self.circuit:
+            for node in element.nodes:
+                if is_ground(node):
+                    continue
+                if node not in self._index:
+                    self._index[node] = len(self._index)
+                    self.node_names.append(node)
+        for element in self.circuit:
+            for branch in element.branches():
+                if branch in self._index:
+                    raise NetlistError(f"duplicate branch unknown {branch!r}")
+                self._index[branch] = len(self._index)
+                self.branch_names.append(branch)
+        if not self._index:
+            raise NetlistError("circuit has no unknowns (only ground nodes?)")
+
+    @property
+    def size(self) -> int:
+        return len(self._index)
+
+    @property
+    def variable_names(self) -> List[str]:
+        return self.node_names + self.branch_names
+
+    def index_of(self, variable: str) -> Optional[int]:
+        """Index of a node or branch unknown; ``None`` for ground."""
+        if is_ground(variable):
+            return None
+        try:
+            return self._index[variable]
+        except KeyError:
+            raise NetlistError(f"unknown node or branch {variable!r}") from None
+
+    def has_variable(self, variable: str) -> bool:
+        return is_ground(variable) or variable in self._index
+
+    # ------------------------------------------------------------------
+    # Structural recording (structure pass 2, lazy)
+    # ------------------------------------------------------------------
+    @property
+    def is_compiled(self) -> bool:
+        return self._program is not None
+
+    @property
+    def program(self) -> _LinearProgram:
+        if self._program is None:
+            raise AnalysisError("circuit is not compiled yet; call restamp() "
+                                "(or MNASystem.stamp()) first")
+        return self._program
+
+    @property
+    def pattern_G(self) -> CompiledPattern:
+        return self.program.pattern_G
+
+    @property
+    def pattern_C(self) -> CompiledPattern:
+        return self.program.pattern_C
+
+    def _ensure_compiled(self, ctx: AnalysisContext) -> _LinearProgram:
+        if self._program is None:
+            with self._compile_lock:
+                if self._program is None:
+                    self._program = self._record(ctx)
+        return self._program
+
+    def _record(self, ctx: AnalysisContext) -> _LinearProgram:
+        n = self.size
+        recorder = _RecordingStamper(self)
+        programs: List[_ElementProgram] = []
+        for element in self.circuit:
+            program = _ElementProgram(element)
+            recorder.begin_element(program)
+            probe = _ProbeContext(ctx)
+            element.stamp_linear(recorder, probe)
+            program.dynamic = probe.touched
+            programs.append(program)
+
+        linear = _LinearProgram()
+        linear.pattern_G = CompiledPattern(n, recorder.g_rows, recorder.g_cols)
+        linear.pattern_C = CompiledPattern(n, recorder.c_rows, recorder.c_cols)
+        linear.initial_voltage_conditions = recorder.initial_voltage_conditions
+        linear.initial_current_conditions = recorder.initial_current_conditions
+        linear.time_sources = recorder.time_sources
+        linear.dynamic = [p for p in programs if p.dynamic]
+        linear.scatter = _DynamicScatter(linear.dynamic)
+
+        # Base arrays: matrix slots carry every compile-time value (each
+        # slot is written by exactly one op, so dynamic slots are simply
+        # overwritten on restamp); the right-hand sides accumulate, so
+        # their base holds *static* contributions only.
+        base_g = np.zeros(linear.pattern_G.nnz)
+        base_c = np.zeros(linear.pattern_C.nnz)
+        base_bdc = np.zeros(n)
+        base_bac = np.zeros(n, dtype=complex)
+        for program in programs:
+            static = not program.dynamic
+            for op, value in zip(program.ops, program.values):
+                if op.target == _G:
+                    base_g[op.slots] = value * op.signs
+                elif op.target == _C:
+                    base_c[op.slots] = value * op.signs
+                elif static and op.target == _BDC:
+                    base_bdc[op.slots] += value * op.signs
+                elif static and op.target == _BAC:
+                    base_bac[op.slots] += value * op.signs
+        linear.base_g = base_g
+        linear.base_c = base_c
+        linear.base_bdc = base_bdc
+        linear.base_bac = base_bac
+        return linear
+
+    # ------------------------------------------------------------------
+    # Per-scenario value pass
+    # ------------------------------------------------------------------
+    def restamp(self, ctx: Optional[AnalysisContext] = None,
+                variables: Optional[Dict[str, float]] = None,
+                temperature: float = 27.0,
+                gmin: float = 1e-12) -> StampState:
+        """Refill the value arrays for one scenario; structure untouched.
+
+        Either pass a ready :class:`AnalysisContext` or let one be built
+        from ``variables``/``temperature``/``gmin`` on top of the
+        circuit's declared design-variable defaults.
+        """
+        if ctx is None:
+            ctx = AnalysisContext(temperature=temperature, gmin=gmin,
+                                  variables=dict(self.circuit.variables))
+            if variables:
+                ctx.update_variables(variables)
+        program = self._ensure_compiled(ctx)
+
+        g_values = program.base_g.copy()
+        c_values = program.base_c.copy()
+        b_dc = program.base_bdc.copy()
+        b_ac = program.base_bac.copy()
+        if program.dynamic:
+            capture = _CaptureStamper()
+            captured = capture.values
+            for element, expected in program.scatter.counts:
+                before = len(captured)
+                element.stamp_linear(capture, ctx)
+                if len(captured) - before != expected:
+                    raise AnalysisError(
+                        f"element {element.name!r} changed its stamp "
+                        f"structure between scenarios ({expected} recorded "
+                        f"stamps, {len(captured) - before} on restamp); "
+                        "compiled circuits require context-independent "
+                        "stamp structure")
+            program.scatter.apply(np.asarray(captured, dtype=complex),
+                                  g_values, c_values, b_dc, b_ac)
+        return StampState(self, g_values, c_values, b_dc, b_ac)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def system(self, ctx: Optional[AnalysisContext] = None,
+               variables: Optional[Dict[str, float]] = None,
+               temperature: float = 27.0, gmin: float = 1e-12,
+               backend: Union[str, None] = None):
+        """An :class:`~repro.analysis.mna.MNASystem` view over this
+        compiled structure for one scenario."""
+        from repro.analysis.mna import MNASystem
+
+        if ctx is None:
+            ctx = AnalysisContext(temperature=temperature, gmin=gmin,
+                                  variables=dict(self.circuit.variables))
+            if variables:
+                ctx.update_variables(variables)
+        return MNASystem(None, ctx, backend=backend, compiled=self)
+
+    def dynamic_element_count(self) -> int:
+        """Number of elements re-evaluated per restamp (after compiling)."""
+        return len(self.program.dynamic)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "compiled" if self.is_compiled else "indexed"
+        return (f"<CompiledCircuit {len(self.node_names)} nodes, "
+                f"{len(self.branch_names)} branches, {state}>")
+
+
+def compile_circuit(circuit: Circuit) -> CompiledCircuit:
+    """Compile ``circuit`` for repeated restamping (functional spelling)."""
+    return CompiledCircuit(circuit)

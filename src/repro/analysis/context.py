@@ -15,7 +15,7 @@ from typing import Dict, Mapping, Optional, Union
 from repro.circuit.units import parse_value
 from repro.exceptions import NetlistError
 
-__all__ = ["AnalysisContext"]
+__all__ = ["AnalysisContext", "parse_literal"]
 
 #: Names usable inside parameter expressions, besides design variables.
 _SAFE_FUNCTIONS = {
@@ -32,6 +32,28 @@ _SAFE_FUNCTIONS = {
     "pi": math.pi,
     "e": math.e,
 }
+
+
+#: Process-wide memo of SPICE-literal parse outcomes (text -> float, or
+#: None when the text is a variable/expression).  Bounded as a safety net
+#: against pathological netlists with unbounded distinct parameter texts.
+_LITERAL_CACHE: Dict[str, Optional[float]] = {}
+_LITERAL_CACHE_LIMIT = 4096
+
+
+def parse_literal(text: str) -> Optional[float]:
+    """Parse a plain SPICE literal ("2.2u"), memoised process-wide;
+    ``None`` when the text needs a context (variable or expression)."""
+    text = str(text).strip()
+    if text in _LITERAL_CACHE:
+        return _LITERAL_CACHE[text]
+    try:
+        result = parse_value(text)
+    except Exception:
+        result = None
+    if len(_LITERAL_CACHE) < _LITERAL_CACHE_LIMIT:
+        _LITERAL_CACHE[text] = result
+    return result
 
 
 class AnalysisContext:
@@ -91,11 +113,11 @@ class AnalysisContext:
         text = str(value).strip()
         if text in self._expr_cache:
             return self._expr_cache[text]
-        # Plain SPICE number?
-        try:
-            result = parse_value(text)
-        except Exception:
-            result = None
+        # Plain SPICE number?  Whether a string parses as a literal (and to
+        # what) is context-independent, so the outcome is memoised process-
+        # wide — scenario sweeps build a fresh context per sample and would
+        # otherwise re-run the parse regex for every parameter every time.
+        result = parse_literal(text)
         if result is None:
             # Direct variable reference?
             if text in self.variables:

@@ -1,36 +1,39 @@
 """Modified Nodal Analysis system assembly.
 
-:class:`MNASystem` owns the unknown ordering (node voltages followed by
-branch currents), the static matrices stamped once per analysis and the
-per-iteration matrices refilled by nonlinear devices during Newton
-iterations.  It is the "stamper" object that element ``stamp_*`` methods
-receive.
+:class:`MNASystem` is a thin per-scenario view over a
+:class:`~repro.analysis.compiled.CompiledCircuit` plus one
+:class:`~repro.analysis.context.AnalysisContext`: the compiled circuit
+owns the topology-invariant structure (flattening, the unknown ordering
+— node voltages followed by branch currents — and the pattern slots of
+every linear stamp), while the system owns the scenario's *values* (one
+:class:`~repro.analysis.compiled.StampState`) and the per-iteration
+matrices refilled by nonlinear devices during Newton iterations.
 
 The MNA formulation is::
 
     C * dx/dt + G * x = b(t)
 
-with ``G``/``C`` split into a static part (linear elements) and an
-iteration/operating-point part (nonlinear device companions).
+with ``G``/``C`` split into a static part (linear elements, compiled +
+restamped) and an iteration/operating-point part (nonlinear device
+companions, accumulated per Newton iteration as COO triplets).
 
-Assembly is **triplet (COO) based**: element stamps are accumulated as
-``(row, col, value)`` contributions (:class:`repro.linalg.TripletMatrix`)
-so that either solver backend can consume them — the dense backend
-replays them into NumPy arrays (bit-for-bit identical to stamping
-straight into ``G[i, j]``), the sparse backend converts them to CSR/CSC
-without ever building a dense matrix.  The ``G``/``C`` attributes remain
-plain ndarrays (densified lazily and cached) for all existing callers.
+Constructing ``MNASystem(circuit)`` compiles the circuit on the fly — a
+fresh build behaves exactly as it always did, bit-for-bit on the dense
+path.  Passing ``compiled=`` reuses an existing structure, which is the
+fast path for scenario sweeps: compile once per topology, restamp per
+``(variables, temperature)`` sample (see ``docs/architecture.md``).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.circuit.elements.base import Element, is_ground
-from repro.circuit.netlist import Circuit, SubcircuitInstance
-from repro.exceptions import NetlistError, SingularMatrixError
+from repro.circuit.elements.base import Element
+from repro.circuit.netlist import Circuit
+from repro.exceptions import NetlistError
+from repro.analysis.compiled import CompiledCircuit, StampState
 from repro.analysis.context import AnalysisContext
 from repro.linalg import LinearSystem, SolverBackend, TripletMatrix, resolve_backend
 
@@ -68,38 +71,47 @@ class SolutionView:
 
 
 class MNASystem:
-    """Assembled MNA matrices for one flat circuit and one context.
+    """Assembled MNA matrices for one compiled circuit and one context.
 
     ``backend`` selects the linear-solver backend used by the analyses
     operating on this system: ``"dense"``, ``"sparse"`` or ``None``/
     ``"auto"`` (size/density heuristic, overridable with the
     ``REPRO_BACKEND`` environment variable).
+
+    ``compiled`` reuses a previously compiled structure; ``circuit`` may
+    then be ``None``.  Without it the circuit is compiled here (flatten,
+    index build — structural netlist errors surface at construction
+    exactly as before).
     """
 
-    def __init__(self, circuit: Circuit, ctx: Optional[AnalysisContext] = None,
-                 backend: Union[str, SolverBackend, None] = None):
-        if any(isinstance(e, SubcircuitInstance) for e in circuit):
-            circuit = circuit.flattened()
-        self.circuit = circuit
-        self.ctx = ctx if ctx is not None else AnalysisContext(variables=circuit.variables)
+    def __init__(self, circuit: Optional[Circuit],
+                 ctx: Optional[AnalysisContext] = None,
+                 backend: Union[str, SolverBackend, None] = None,
+                 compiled: Optional[CompiledCircuit] = None):
+        if compiled is None:
+            if circuit is None:
+                raise NetlistError("MNASystem needs a circuit or a "
+                                   "CompiledCircuit")
+            compiled = CompiledCircuit(circuit)
+        self.compiled = compiled
+        self.circuit = compiled.circuit
+        self.ctx = ctx if ctx is not None else AnalysisContext(
+            variables=self.circuit.variables)
         # Make sure circuit-level design variables are visible even when a
         # caller supplied its own context.
-        for name, value in circuit.variables.items():
+        for name, value in self.circuit.variables.items():
             self.ctx.variables.setdefault(name, value)
 
-        self._index: Dict[str, int] = {}
-        self.node_names: List[str] = []
-        self.branch_names: List[str] = []
-        self._build_index()
+        # Structure: shared, immutable views into the compiled circuit.
+        self._index = compiled._index
+        self.node_names = compiled.node_names
+        self.branch_names = compiled.branch_names
 
         n = self.size
-        # Static matrices, accumulated as triplets and densified on demand.
-        self._G_trip = TripletMatrix(n)
-        self._C_trip = TripletMatrix(n)
+        # Scenario values (filled by stamp()).
+        self._state: Optional[StampState] = None
         self._G_dense: Optional[np.ndarray] = None
         self._C_dense: Optional[np.ndarray] = None
-        self.b_dc = np.zeros(n)
-        self.b_ac = np.zeros(n, dtype=complex)
         # Per-iteration (nonlinear companion) matrices/vectors.
         self._G_iter_trip = TripletMatrix(n)
         self.b_iter = np.zeros(n)
@@ -118,28 +130,10 @@ class MNASystem:
 
         self._backend_request = backend
         self._backend: Optional[SolverBackend] = None
-        self._stamped = False
 
     # ------------------------------------------------------------------
-    # Index management
+    # Index management (delegated to the compiled structure)
     # ------------------------------------------------------------------
-    def _build_index(self) -> None:
-        for element in self.circuit:
-            for node in element.nodes:
-                if is_ground(node):
-                    continue
-                if node not in self._index:
-                    self._index[node] = len(self._index)
-                    self.node_names.append(node)
-        for element in self.circuit:
-            for branch in element.branches():
-                if branch in self._index:
-                    raise NetlistError(f"duplicate branch unknown {branch!r}")
-                self._index[branch] = len(self._index)
-                self.branch_names.append(branch)
-        if not self._index:
-            raise NetlistError("circuit has no unknowns (only ground nodes?)")
-
     @property
     def size(self) -> int:
         return len(self._index)
@@ -150,31 +144,45 @@ class MNASystem:
 
     def index_of(self, variable: str) -> Optional[int]:
         """Index of a node or branch unknown; ``None`` for ground."""
-        if is_ground(variable):
-            return None
-        try:
-            return self._index[variable]
-        except KeyError:
-            raise NetlistError(f"unknown node or branch {variable!r}") from None
+        return self.compiled.index_of(variable)
 
     def has_variable(self, variable: str) -> bool:
-        return is_ground(variable) or variable in self._index
+        return self.compiled.has_variable(variable)
 
     # ------------------------------------------------------------------
-    # Dense views of the triplet-assembled matrices (cached)
+    # Scenario values
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> StampState:
+        """The scenario's stamped values (stamping on first access)."""
+        self.stamp()
+        return self._state
+
+    @property
+    def b_dc(self) -> np.ndarray:
+        """Static DC right-hand side."""
+        return self.state.b_dc
+
+    @property
+    def b_ac(self) -> np.ndarray:
+        """Static AC right-hand side (complex phasors)."""
+        return self.state.b_ac
+
+    # ------------------------------------------------------------------
+    # Dense views of the stamped matrices (cached)
     # ------------------------------------------------------------------
     @property
     def G(self) -> np.ndarray:
         """Static conductance matrix as a dense ndarray."""
         if self._G_dense is None:
-            self._G_dense = self._G_trip.to_dense()
+            self._G_dense = self.state.G_dense()
         return self._G_dense
 
     @property
     def C(self) -> np.ndarray:
         """Static capacitance matrix as a dense ndarray."""
         if self._C_dense is None:
-            self._C_dense = self._C_trip.to_dense()
+            self._C_dense = self.state.C_dense()
         return self._C_dense
 
     @property
@@ -194,22 +202,21 @@ class MNASystem:
     def backend(self) -> SolverBackend:
         """The resolved solver backend for this system.
 
-        Resolution is lazy (the auto heuristic needs the stamp count) and
-        cached; an explicit ``backend=`` constructor argument or the
+        Resolution is lazy (the auto heuristic needs the stamp pattern)
+        and cached; an explicit ``backend=`` constructor argument or the
         ``REPRO_BACKEND`` environment variable overrides the heuristic.
         """
         if self._backend is None:
-            self.stamp()
-            density = max(self._G_trip.density(), self._C_trip.density())
+            state = self.state
+            density = max(state.pattern_G.density(), state.pattern_C.density())
             self._backend = resolve_backend(self._backend_request,
                                             size=self.size, density=density)
         return self._backend
 
     def static_sparse(self, which: str = "G"):
-        """Static ``G`` or ``C`` as CSC, straight from the triplets."""
-        self.stamp()
-        trip = self._G_trip if which == "G" else self._C_trip
-        return trip.to_csc()
+        """Static ``G`` or ``C`` as CSC, straight from the compiled pattern."""
+        state = self.state
+        return state.G_csc() if which == "G" else state.C_csc()
 
     def linear_system(self, matrix, dtype=float) -> LinearSystem:
         """Wrap a matrix in a :class:`LinearSystem` on this system's backend
@@ -219,55 +226,8 @@ class MNASystem:
                             names=self.variable_names, dtype=dtype)
 
     # ------------------------------------------------------------------
-    # Stamping API used by elements
+    # Stamping API used by nonlinear elements (Newton companions)
     # ------------------------------------------------------------------
-    def add_G(self, vi: str, vj: str, value: float) -> None:
-        i, j = self.index_of(vi), self.index_of(vj)
-        if i is not None and j is not None:
-            self._G_trip.add(i, j, value)
-            self._G_dense = None
-
-    def add_C(self, vi: str, vj: str, value: float) -> None:
-        i, j = self.index_of(vi), self.index_of(vj)
-        if i is not None and j is not None:
-            self._C_trip.add(i, j, value)
-            self._C_dense = None
-
-    def conductance(self, node_a: str, node_b: str, g: float) -> None:
-        """Two-terminal conductance stamp into the static G matrix."""
-        self._two_terminal(self._G_trip, node_a, node_b, g)
-        self._G_dense = None
-
-    def capacitance(self, node_a: str, node_b: str, c: float) -> None:
-        """Two-terminal capacitance stamp into the static C matrix."""
-        self._two_terminal(self._C_trip, node_a, node_b, c)
-        self._C_dense = None
-
-    def capacitance_op(self, node_a: str, node_b: str, c: float) -> None:
-        """Two-terminal capacitance stamp into the operating-point C matrix."""
-        self._two_terminal(self._C_op_trip, node_a, node_b, c)
-
-    def _two_terminal(self, matrix: TripletMatrix, node_a: str, node_b: str,
-                      value: float) -> None:
-        i, j = self.index_of(node_a), self.index_of(node_b)
-        if i is not None:
-            matrix.add(i, i, value)
-        if j is not None:
-            matrix.add(j, j, value)
-        if i is not None and j is not None:
-            matrix.add(i, j, -value)
-            matrix.add(j, i, -value)
-
-    def add_rhs_dc(self, variable: str, value: float) -> None:
-        index = self.index_of(variable)
-        if index is not None:
-            self.b_dc[index] += value
-
-    def add_rhs_ac(self, variable: str, value: complex) -> None:
-        index = self.index_of(variable)
-        if index is not None:
-            self.b_ac[index] += value
-
     def add_G_iter(self, vi: str, vj: str, value: float) -> None:
         i, j = self.index_of(vi), self.index_of(vj)
         if i is not None and j is not None:
@@ -283,39 +243,51 @@ class MNASystem:
         if i is not None and j is not None:
             self._C_op_trip.add(i, j, value)
 
+    def capacitance_op(self, node_a: str, node_b: str, c: float) -> None:
+        """Two-terminal capacitance stamp into the operating-point C matrix."""
+        i, j = self.index_of(node_a), self.index_of(node_b)
+        if i is not None:
+            self._C_op_trip.add(i, i, c)
+        if j is not None:
+            self._C_op_trip.add(j, j, c)
+        if i is not None and j is not None:
+            self._C_op_trip.add(i, j, -c)
+            self._C_op_trip.add(j, i, -c)
+
     def add_rhs_tran(self, variable: str, value: float) -> None:
         index = self.index_of(variable)
         if index is not None:
             self.b_tran[index] += value
 
-    def initial_condition_voltage(self, node_a: str, node_b: str, value: float) -> None:
-        self.initial_voltage_conditions.append((node_a, node_b, value))
-
-    def initial_condition_current(self, branch: str, value: float) -> None:
-        self.initial_current_conditions.append((branch, value))
-
-    def register_time_source(self, element: Element) -> None:
-        self.time_sources.append(element)
-
-    def require_variable(self, variable: str, owner: str = "") -> None:
-        """Assert that ``variable`` exists (used by current-controlled sources
-        that reference the branch of a named voltage source)."""
-        if not self.has_variable(variable):
-            raise NetlistError(
-                f"element {owner!r} references missing branch {variable!r} "
-                "(is the controlling voltage source present?)")
-
     # ------------------------------------------------------------------
     # Assembly entry points used by the analysis engines
     # ------------------------------------------------------------------
     def stamp(self) -> "MNASystem":
-        """Stamp all linear element contributions (idempotent)."""
-        if self._stamped:
-            return self
-        for element in self.circuit:
-            element.stamp_linear(self, self.ctx)
-        self._stamped = True
+        """Stamp all linear element contributions (idempotent).
+
+        The first call compiles the circuit structure (once per
+        :class:`CompiledCircuit`, shared across systems) and restamps the
+        values for this system's context.
+        """
+        if self._state is None:
+            state = self.compiled.restamp(ctx=self.ctx)
+            self._state = state
+            self.initial_voltage_conditions = list(state.initial_voltage_conditions)
+            self.initial_current_conditions = list(state.initial_current_conditions)
+            self.time_sources = list(state.time_sources)
         return self
+
+    def restamp(self) -> "MNASystem":
+        """Re-fill the linear values for the *current* context state.
+
+        Use after mutating ``ctx`` (variables/temperature) in place; the
+        compiled structure is reused, only values and caches refresh.
+        """
+        self._state = None
+        self._G_dense = None
+        self._C_dense = None
+        self._backend = None if self._backend_request in (None, "auto") else self._backend
+        return self.stamp()
 
     def _stamp_nonlinear(self, x: np.ndarray, dynamic: bool = False) -> None:
         """Refill the per-iteration matrices at candidate solution ``x``."""
@@ -341,13 +313,15 @@ class MNASystem:
 
         ``form="dense"`` (default) returns ndarrays exactly as the dense
         analyses always consumed them; ``form="sparse"`` returns CSR
-        matrices assembled straight from the triplets without densifying
-        (the sparse AC/impedance path).
+        matrices assembled straight from the compiled pattern plus the
+        companion triplets without densifying (the sparse AC/impedance
+        path).
         """
         self._stamp_nonlinear(x_op, dynamic=True)
         if form == "sparse":
-            return (self._G_trip.to_csr(self._G_iter_trip),
-                    self._C_trip.to_csr(self._C_op_trip))
+            state = self._state
+            return (state.pattern_G.to_csr(state.g_values, self._G_iter_trip),
+                    state.pattern_C.to_csr(state.c_values, self._C_op_trip))
         return (self.G + self._G_iter_trip.to_dense(),
                 self.C + self._C_op_trip.to_dense())
 

@@ -14,15 +14,16 @@ Linear circuits are solved directly (a single factorisation).
 from __future__ import annotations
 
 import math
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis.compiled import CompiledCircuit
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.results import OPResult
 from repro.circuit.netlist import Circuit
-from repro.exceptions import ConvergenceError, SingularMatrixError
+from repro.exceptions import AnalysisError, ConvergenceError, SingularMatrixError
 
 __all__ = ["operating_point", "NewtonOptions"]
 
@@ -52,7 +53,7 @@ class NewtonOptions:
         self.current_limit = float(current_limit)
 
 
-def operating_point(circuit: Circuit,
+def operating_point(circuit: Optional[Circuit],
                     temperature: float = 27.0,
                     gmin: float = 1e-12,
                     variables: Optional[Dict[str, float]] = None,
@@ -60,7 +61,8 @@ def operating_point(circuit: Circuit,
                     initial_guess: Optional[Dict[str, float]] = None,
                     context: Optional[AnalysisContext] = None,
                     system: Optional[MNASystem] = None,
-                    backend: Optional[str] = None) -> OPResult:
+                    backend: Optional[str] = None,
+                    compiled: Optional[CompiledCircuit] = None) -> OPResult:
     """Compute the DC operating point of ``circuit``.
 
     Parameters
@@ -86,14 +88,23 @@ def operating_point(circuit: Circuit,
         iteration of nonlinear circuits always uses the dense kernel (its
         matrix changes every iteration, so there is nothing to reuse, and
         every nonlinear circuit in this library is small).
+    compiled:
+        A precompiled circuit structure
+        (:class:`~repro.analysis.compiled.CompiledCircuit`).  Scenario
+        sweeps compile the topology once and pass it here so each sample
+        only restamps values; ``circuit`` may then be ``None``.
     """
     options = options or NewtonOptions()
     if system is None:
+        source = compiled.circuit if compiled is not None else circuit
+        if source is None:
+            raise AnalysisError("operating_point needs a circuit, a "
+                                "precompiled CompiledCircuit or a system")
         ctx = context or AnalysisContext(temperature=temperature, gmin=gmin,
-                                         variables=dict(circuit.variables))
+                                         variables=dict(source.variables))
         if variables:
             ctx.update_variables(variables)
-        system = MNASystem(circuit, ctx, backend=backend)
+        system = MNASystem(circuit, ctx, backend=backend, compiled=compiled)
     else:
         ctx = system.ctx
     system.stamp()
@@ -142,8 +153,14 @@ def _solve_linear_dc(system: MNASystem, options: NewtonOptions) -> np.ndarray:
 def _newton_loop(system: MNASystem, x0: np.ndarray, options: NewtonOptions,
                  gmin_override: Optional[float] = None,
                  source_scale: float = 1.0,
-                 gshunt: float = 0.0) -> np.ndarray:
-    """Run Newton-Raphson to convergence or raise ConvergenceError."""
+                 gshunt: float = 0.0) -> Tuple[np.ndarray, int]:
+    """Run Newton-Raphson to convergence (returning ``(x, iterations)``)
+    or raise ConvergenceError.
+
+    The iteration count is part of the return value — not module state —
+    so concurrent solves (the thread-pool batch backend) each see their
+    own count.
+    """
     ctx = system.ctx
     saved_gmin = ctx.gmin
     if gmin_override is not None:
@@ -168,8 +185,7 @@ def _newton_loop(system: MNASystem, x0: np.ndarray, options: NewtonOptions,
                 current_scale = np.maximum(np.abs(G @ x), np.abs(b))
                 if np.all(residual <= options.reltol * current_scale + options.abstol):
                     _check_physical(system, x, options)
-                    _LAST_ITERATIONS[0] = iteration
-                    return x
+                    return x, iteration
             x_new = system.solve(G, b)
             delta = np.abs(x_new - x)
             tol = options.reltol * np.maximum(np.abs(x_new), np.abs(x)) + options.vntol
@@ -182,9 +198,6 @@ def _newton_loop(system: MNASystem, x0: np.ndarray, options: NewtonOptions,
                                residual=float(delta[worst]))
     finally:
         ctx.gmin = saved_gmin
-
-
-_LAST_ITERATIONS = [0]
 
 
 def _check_physical(system: MNASystem, x: np.ndarray, options: NewtonOptions) -> None:
@@ -231,8 +244,8 @@ def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
 
     # Strategy 1: plain Newton.
     try:
-        x = _newton_loop(system, x0, options, gshunt=options.gshunt)
-        return x, _LAST_ITERATIONS[0], "newton"
+        x, iterations = _newton_loop(system, x0, options, gshunt=options.gshunt)
+        return x, iterations, "newton"
     except (ConvergenceError, SingularMatrixError):
         pass
 
@@ -243,12 +256,13 @@ def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
         start = max(options.gmin_start, gmin_target * 10)
         steps = np.geomspace(start, gmin_target, options.gmin_steps)
         for gmin_value in steps:
-            x = _newton_loop(system, x, options, gmin_override=float(gmin_value),
-                             gshunt=options.gshunt + float(gmin_value))
-            total_iterations += _LAST_ITERATIONS[0]
+            x, iterations = _newton_loop(
+                system, x, options, gmin_override=float(gmin_value),
+                gshunt=options.gshunt + float(gmin_value))
+            total_iterations += iterations
         # Final solve at the target gmin without the shunt.
-        x = _newton_loop(system, x, options, gshunt=options.gshunt)
-        total_iterations += _LAST_ITERATIONS[0]
+        x, iterations = _newton_loop(system, x, options, gshunt=options.gshunt)
+        total_iterations += iterations
         return x, total_iterations, "gmin-stepping"
     except (ConvergenceError, SingularMatrixError):
         pass
@@ -260,9 +274,10 @@ def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
     scales = np.linspace(1.0 / options.source_steps, 1.0, options.source_steps)
     try:
         for scale in scales:
-            x = _newton_loop(system, x, options, source_scale=float(scale),
-                             gshunt=options.gshunt)
-            total_iterations += _LAST_ITERATIONS[0]
+            x, iterations = _newton_loop(system, x, options,
+                                         source_scale=float(scale),
+                                         gshunt=options.gshunt)
+            total_iterations += iterations
         return x, total_iterations, "source-stepping"
     except (ConvergenceError, SingularMatrixError) as exc:
         last_error = exc

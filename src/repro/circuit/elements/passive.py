@@ -40,6 +40,10 @@ class Resistor(TwoTerminal):
         base = self._value(self.resistance, ctx)
         if base == 0.0:
             raise NetlistError(f"resistor {self.name!r} has zero resistance")
+        if self.tc1 == 0.0 and self.tc2 == 0.0:
+            # Temperature-independent: skip the context read, which also
+            # lets the compiled-circuit pass classify the stamp as static.
+            return base
         delta = ctx.temperature - self.tnom
         return base * (1.0 + self.tc1 * delta + self.tc2 * delta * delta)
 

@@ -14,6 +14,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.analysis.compiled import CompiledCircuit
 from repro.analysis.op import operating_point
 from repro.analysis.results import OPResult
 from repro.analysis.sweeps import FrequencySweep, log_sweep
@@ -156,12 +157,20 @@ class AllNodesResult:
 
 def analyze_all_nodes(circuit: Circuit,
                       options: Optional[AllNodesOptions] = None,
-                      op: Optional[OPResult] = None) -> AllNodesResult:
-    """Run the stability analysis on every (eligible) node of ``circuit``."""
+                      op: Optional[OPResult] = None,
+                      compiled: Optional[CompiledCircuit] = None) -> AllNodesResult:
+    """Run the stability analysis on every (eligible) node of ``circuit``.
+
+    ``compiled`` (a :class:`~repro.analysis.compiled.CompiledCircuit` of
+    the flattened circuit) is the scenario-sweep fast path: the operating
+    point and the fast impedance sweeper reuse the compiled structure and
+    only restamp values — the batch service passes one per topology so
+    Monte Carlo samples skip every structural rebuild.
+    """
     options = options or AllNodesOptions()
     start = time.time()
 
-    flat = circuit.flattened()
+    flat = compiled.circuit if compiled is not None else circuit.flattened()
     skipped: List[str] = []
     if options.skip_source_driven_nodes:
         skipped.extend(_source_driven_nodes(flat))
@@ -174,12 +183,14 @@ def analyze_all_nodes(circuit: Circuit,
     if op is None:
         op = operating_point(flat, temperature=options.temperature,
                              gmin=options.gmin, variables=options.variables,
-                             options=options.newton, backend=options.backend)
+                             options=options.newton, backend=options.backend,
+                             compiled=compiled)
 
     results: List[NodeStabilityResult] = []
     failures: Dict[str, str] = {}
     if options.use_fast_solver:
-        results, failures = _run_fast(flat, nodes, options, op)
+        results, failures = _run_fast(flat, nodes, options, op,
+                                      compiled=compiled)
     else:
         total = len(nodes)
         for index, node in enumerate(nodes, start=1):
@@ -209,7 +220,7 @@ def analyze_all_nodes(circuit: Circuit,
 
 
 def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
-              op: OPResult):
+              op: OPResult, compiled: Optional[CompiledCircuit] = None):
     """All-nodes run using the shared-factorisation impedance solver."""
     results: List[NodeStabilityResult] = []
     failures: Dict[str, str] = {}
@@ -217,7 +228,7 @@ def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
     sweeper = ImpedanceSweeper(flat, temperature=options.temperature,
                                gmin=options.gmin, variables=options.variables,
                                op=op, newton=options.newton,
-                               backend=options.backend)
+                               backend=options.backend, compiled=compiled)
     sweep = FrequencySweep.coerce(options.sweep)
     coarse = sweeper.impedance_waveforms(nodes, sweep.frequencies)
 

@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.analysis.ac import solve_ac_stacked
+from repro.analysis.compiled import CompiledCircuit
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.op import NewtonOptions, operating_point
@@ -41,24 +42,37 @@ class ImpedanceSweeper:
     point once.  Each call to :meth:`impedances` then costs one batched
     complex solve over all frequencies regardless of how many nodes are
     requested.
+
+    ``compiled`` (a :class:`~repro.analysis.compiled.CompiledCircuit` of
+    the flattened circuit) skips the per-scenario copy and structural
+    rebuild: the sweeper supplies its own injection right-hand sides and
+    never reads the stamped AC stimuli, so the auto-zero step is a no-op
+    for its results and the shared compiled structure can be restamped
+    directly — this is the Monte Carlo fast path (compile once per
+    topology, restamp per sample).
     """
 
-    def __init__(self, circuit: Circuit,
+    def __init__(self, circuit: Optional[Circuit],
                  temperature: float = 27.0,
                  gmin: float = 1e-12,
                  variables: Optional[Dict[str, float]] = None,
                  op: Optional[OPResult] = None,
                  newton: Optional[NewtonOptions] = None,
-                 backend: Optional[str] = None):
-        flat = circuit.flattened()
-        working = flat.copy()
-        working.zero_all_ac_sources()
+                 backend: Optional[str] = None,
+                 compiled: Optional[CompiledCircuit] = None):
+        if compiled is not None:
+            working = compiled.circuit
+        else:
+            flat = circuit.flattened()
+            working = flat.copy()
+            working.zero_all_ac_sources()
 
         ctx = AnalysisContext(temperature=temperature, gmin=gmin,
                               variables=dict(working.variables))
         if variables:
             ctx.update_variables(variables)
-        self._system = MNASystem(working, ctx, backend=backend)
+        self._system = MNASystem(working, ctx, backend=backend,
+                                 compiled=compiled)
         self._system.stamp()
 
         if op is None:

@@ -244,12 +244,17 @@ def build_node_result(node: str, response: Waveform,
 
 def analyze_node(circuit: Circuit, node: str,
                  options: Optional[SingleNodeOptions] = None,
-                 op: Optional[OPResult] = None) -> NodeStabilityResult:
+                 op: Optional[OPResult] = None,
+                 compiled=None) -> NodeStabilityResult:
     """Run the single-node stability analysis on ``node`` of ``circuit``.
 
     ``op`` may carry a previously computed operating point of the *original*
     circuit; the injected stimulus has zero DC value so the bias point is
     identical and can be reused (this is what the all-nodes run does).
+    ``compiled`` (a :class:`~repro.analysis.compiled.CompiledCircuit` of
+    the original circuit) speeds up that operating-point computation in
+    scenario sweeps; the excited copy is per-node by construction and is
+    always assembled fresh.
     """
     options = options or SingleNodeOptions()
     sweep = FrequencySweep.coerce(options.sweep)
@@ -261,7 +266,8 @@ def analyze_node(circuit: Circuit, node: str,
     if op is None:
         op = operating_point(circuit, temperature=options.temperature,
                              gmin=options.gmin, variables=options.variables,
-                             options=options.newton, backend=options.backend)
+                             options=options.newton, backend=options.backend,
+                             compiled=compiled)
 
     node_name = circuit.resolve_node(node)
 

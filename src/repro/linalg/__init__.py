@@ -27,16 +27,18 @@ from repro.linalg.backends import (
     SolverBackend,
     SparseBackend,
     available_backends,
+    csc_pattern_key,
     matrix_stats,
     resolve_backend,
 )
 from repro.linalg.diagnostics import singular_system_message, suspect_unknowns
-from repro.linalg.triplets import TripletMatrix
+from repro.linalg.triplets import CompiledPattern, TripletMatrix
 
 __all__ = [
     "AUTO_SPARSE_MAX_DENSITY",
     "AUTO_SPARSE_MIN_SIZE",
     "BACKEND_ENV_VAR",
+    "CompiledPattern",
     "DenseBackend",
     "Factorization",
     "LinearSystem",
@@ -45,6 +47,7 @@ __all__ = [
     "SparseBackend",
     "TripletMatrix",
     "available_backends",
+    "csc_pattern_key",
     "matrix_stats",
     "resolve_backend",
     "singular_system_message",

@@ -28,7 +28,10 @@ many factorizations a run actually paid for.
 
 from __future__ import annotations
 
+import hashlib
 import os
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
@@ -49,6 +52,7 @@ __all__ = [
     "SolverBackend",
     "SparseBackend",
     "available_backends",
+    "csc_pattern_key",
     "resolve_backend",
 ]
 
@@ -68,13 +72,33 @@ class SolveStats:
 
     factorizations: int = 0
     solves: int = 0
+    #: Factorizations that reused a cached per-pattern symbolic artifact
+    #: (the SuperLU column ordering) instead of recomputing it.
+    symbolic_reuses: int = 0
 
     def reset(self) -> None:
         self.factorizations = 0
         self.solves = 0
+        self.symbolic_reuses = 0
 
     def as_dict(self) -> dict:
-        return {"factorizations": self.factorizations, "solves": self.solves}
+        return {"factorizations": self.factorizations, "solves": self.solves,
+                "symbolic_reuses": self.symbolic_reuses}
+
+
+def csc_pattern_key(matrix) -> str:
+    """Stable content hash of a CSC/CSR matrix *structure* (not values).
+
+    Same-pattern matrices (e.g. the ``G + j*omega*C`` systems of one AC
+    sweep, or one topology restamped across Monte Carlo scenarios) map to
+    the same key, which is what the sparse backend's symbolic cache is
+    keyed on.
+    """
+    digest = hashlib.sha256()
+    digest.update(str(matrix.shape).encode("ascii"))
+    digest.update(np.ascontiguousarray(matrix.indptr).tobytes())
+    digest.update(np.ascontiguousarray(matrix.indices).tobytes())
+    return digest.hexdigest()
 
 
 class Factorization:
@@ -108,8 +132,14 @@ class SolverBackend:
         """Convert triplets / arrays into this backend's native form."""
         raise NotImplementedError
 
-    def factorize(self, matrix, names: Optional[Sequence[str]] = None) -> Factorization:
-        """Factorize a native-form matrix for repeated solves."""
+    def factorize(self, matrix, names: Optional[Sequence[str]] = None,
+                  pattern_key: Optional[str] = None) -> Factorization:
+        """Factorize a native-form matrix for repeated solves.
+
+        ``pattern_key`` (optional) identifies the matrix *structure*;
+        backends that cache per-pattern symbolic artifacts use it to pay
+        only the numeric factorization on same-structure matrices.
+        """
         raise NotImplementedError
 
     def solve_once(self, matrix, rhs: np.ndarray,
@@ -135,7 +165,8 @@ class DenseBackend(SolverBackend):
         return np.asarray(source, dtype=dtype)
 
     def factorize(self, matrix: np.ndarray,
-                  names: Optional[Sequence[str]] = None) -> Factorization:
+                  names: Optional[Sequence[str]] = None,
+                  pattern_key: Optional[str] = None) -> Factorization:
         import warnings
 
         type(self).stats.factorizations += 1
@@ -167,10 +198,47 @@ class DenseBackend(SolverBackend):
 
 
 class SparseBackend(SolverBackend):
-    """``scipy.sparse`` CSC + SuperLU backend for large, sparse systems."""
+    """``scipy.sparse`` CSC + SuperLU backend for large, sparse systems.
+
+    Factorizations are pattern-aware: the first factorization of a given
+    sparsity pattern runs SuperLU's full symbolic analysis (COLAMD column
+    ordering) and caches the resulting ordering under the pattern key;
+    every later same-pattern factorization pre-permutes the columns with
+    the cached ordering and calls SuperLU with ``permc_spec="NATURAL"``,
+    skipping the symbolic ordering work and paying only the numeric LU.
+    This is what makes compiled-circuit scenario sweeps (same structure,
+    new values per sample) and AC sweeps (same ``G + j*omega*C`` pattern
+    per frequency) cheap; ``SolveStats.symbolic_reuses`` counts the hits.
+    """
 
     name = "sparse"
     stats = SolveStats()
+
+    #: pattern key -> cached SuperLU column ordering (process-global LRU).
+    _ordering_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
+    _ordering_lock = threading.Lock()
+    _ORDERING_CACHE_SIZE = 64
+
+    @classmethod
+    def _cached_ordering(cls, key: str) -> Optional[np.ndarray]:
+        with cls._ordering_lock:
+            perm = cls._ordering_cache.get(key)
+            if perm is not None:
+                cls._ordering_cache.move_to_end(key)
+            return perm
+
+    @classmethod
+    def _store_ordering(cls, key: str, perm_c: np.ndarray) -> None:
+        with cls._ordering_lock:
+            cls._ordering_cache[key] = np.asarray(perm_c)
+            while len(cls._ordering_cache) > cls._ORDERING_CACHE_SIZE:
+                cls._ordering_cache.popitem(last=False)
+
+    @classmethod
+    def clear_symbolic_cache(cls) -> None:
+        """Drop every cached column ordering (mostly for tests)."""
+        with cls._ordering_lock:
+            cls._ordering_cache.clear()
 
     def matrix(self, source, dtype=float):
         from scipy.sparse import csc_matrix, issparse
@@ -185,7 +253,8 @@ class SparseBackend(SolverBackend):
         # (one matrix per AC frequency point goes through here).
         return matrix.astype(dtype) if matrix.dtype != np.dtype(dtype) else matrix
 
-    def factorize(self, matrix, names: Optional[Sequence[str]] = None) -> Factorization:
+    def factorize(self, matrix, names: Optional[Sequence[str]] = None,
+                  pattern_key: Optional[str] = None) -> Factorization:
         from scipy.sparse.linalg import splu
 
         type(self).stats.factorizations += 1
@@ -193,8 +262,22 @@ class SparseBackend(SolverBackend):
         if csc.nnz and not np.all(np.isfinite(csc.data)):
             raise SingularMatrixError(singular_system_message(
                 csc, names, detail="non-finite matrix entries"))
+        if pattern_key is None:
+            pattern_key = csc_pattern_key(csc)
+        perm_c = self._cached_ordering(pattern_key)
         try:
-            factor = splu(csc)
+            if perm_c is not None and len(perm_c) == csc.shape[1]:
+                # Same pattern as a previous factorization: apply the cached
+                # column ordering ourselves and tell SuperLU to skip its
+                # symbolic ordering pass.  ``splu`` internally factorizes
+                # A[:, perm_c]; doing the permutation up front with
+                # permc_spec="NATURAL" is the identical computation.
+                factor = splu(csc[:, perm_c].tocsc(), permc_spec="NATURAL")
+                type(self).stats.symbolic_reuses += 1
+            else:
+                factor = splu(csc)
+                self._store_ordering(pattern_key, factor.perm_c)
+                perm_c = None
         except (RuntimeError, ValueError) as exc:
             # SuperLU reports exact singularity as a RuntimeError.
             raise SingularMatrixError(
@@ -202,6 +285,11 @@ class SparseBackend(SolverBackend):
 
         def solve(rhs: np.ndarray) -> np.ndarray:
             solution = factor.solve(np.asarray(rhs))
+            if perm_c is not None:
+                # factor solved A[:, perm_c] y = rhs, i.e. y = Pc^T x.
+                unpermuted = np.empty_like(solution)
+                unpermuted[perm_c] = solution
+                solution = unpermuted
             if not np.all(np.isfinite(solution)):
                 raise SingularMatrixError(singular_system_message(
                     csc, names, detail="non-finite solution (near-singular system)"))
@@ -278,14 +366,22 @@ class LinearSystem:
     factorization; every further solve against the same matrix is a
     back-substitution.  ``names`` (the MNA unknown names) make singular
     systems report which node/branch looks responsible.
+
+    :meth:`refactor` supports the compiled-circuit restamp flow: swap in
+    new numeric values on the *same* structure, drop only the numeric
+    factorization and keep the pattern identity (``pattern_key``) so the
+    sparse backend's symbolic cache keeps hitting across scenarios.
     """
 
     def __init__(self, matrix, backend: Union[str, SolverBackend, None] = None,
-                 names: Optional[Sequence[str]] = None, dtype=float):
+                 names: Optional[Sequence[str]] = None, dtype=float,
+                 pattern_key: Optional[str] = None):
         size, density = matrix_stats(matrix)
         self.backend = resolve_backend(backend, size=size, density=density)
         self.names = names
         self.size = size
+        self.pattern_key = pattern_key
+        self._dtype = dtype
         self._native = self.backend.matrix(matrix, dtype=dtype)
         self._factorization: Optional[Factorization] = None
 
@@ -302,13 +398,58 @@ class LinearSystem:
     def factorization(self) -> Factorization:
         """The (cached) factorization; computed on first use."""
         if self._factorization is None:
-            self._factorization = self.backend.factorize(self._native,
-                                                         names=self.names)
+            self._factorization = self.backend.factorize(
+                self._native, names=self.names, pattern_key=self.pattern_key)
         return self._factorization
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` reusing the cached factorization."""
         return self.factorization().solve(rhs)
+
+    def refactor(self, values) -> "LinearSystem":
+        """Swap in new numeric values in place; keep the structure.
+
+        ``values`` may be a flat array of the sparse native's ``nnz``
+        data entries, a same-structure sparse matrix, or (on the dense
+        backend / as a fallback) anything :meth:`SolverBackend.matrix`
+        accepts.  The cached numeric factorization is invalidated — the
+        next :meth:`solve` refactorizes — while the pattern identity is
+        preserved, so same-structure refactorizations reuse the symbolic
+        artifacts cached per pattern.
+        """
+        native = self._native
+        if hasattr(native, "data") and hasattr(native, "indptr"):
+            if isinstance(values, np.ndarray) and values.ndim == 1 \
+                    and values.shape == native.data.shape:
+                native.data[:] = values
+            elif hasattr(values, "indptr") and values.shape == native.shape:
+                fresh = values.tocsc()
+                if np.array_equal(fresh.indptr, native.indptr) \
+                        and np.array_equal(fresh.indices, native.indices):
+                    native.data[:] = fresh.data
+                else:
+                    self._native = self.backend.matrix(values, dtype=self._dtype)
+                    self.pattern_key = None
+            else:
+                self._replace_native(values)
+        else:
+            self._replace_native(values)
+        self._factorization = None
+        return self
+
+    def _replace_native(self, values) -> None:
+        """Full matrix replacement (refactor fallback), shape-checked so a
+        flat data array handed to the dense backend fails loudly here
+        instead of deep inside LAPACK."""
+        replacement = self.backend.matrix(values, dtype=self._dtype)
+        if getattr(replacement, "shape", None) != (self.size, self.size):
+            raise AnalysisError(
+                f"refactor() needs a {self.size}x{self.size} matrix, the "
+                f"native sparse data array, or a same-structure sparse "
+                f"matrix; got shape {getattr(replacement, 'shape', None)} "
+                f"on the {self.backend.name} backend")
+        self._native = replacement
+        self.pattern_key = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "factorized" if self.is_factorized else "unfactorized"

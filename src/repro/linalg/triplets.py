@@ -17,11 +17,12 @@ without an intermediate conversion:
 
 from __future__ import annotations
 
+import hashlib
 from typing import List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TripletMatrix"]
+__all__ = ["CompiledPattern", "TripletMatrix"]
 
 
 class TripletMatrix:
@@ -122,5 +123,152 @@ class TripletMatrix:
         matrix.sum_duplicates()
         return matrix
 
+    def compile_pattern(self) -> "CompiledPattern":
+        """Freeze the current structure into a reusable :class:`CompiledPattern`.
+
+        The pattern captures the ``(row, col)`` positions (in stamp order)
+        without the values, which is what the compile-once/restamp-per-
+        scenario pipeline needs: the structural pass records the pattern a
+        single time and every scenario afterwards only supplies a fresh
+        value array.
+        """
+        return CompiledPattern(self.n, self.rows, self.cols)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TripletMatrix {self.n}x{self.n}, {self.nnz} triplets>"
+
+
+class CompiledPattern:
+    """Frozen COO structure: the (row, col) positions without the values.
+
+    A :class:`TripletMatrix` couples structure and values; the compiled
+    pattern splits them apart.  The structure — triplet positions, the
+    canonical CSC skeleton derived from them and the triplet-to-CSC
+    scatter map — is computed once per circuit topology; each scenario
+    then only provides a value array of length :attr:`nnz` (one entry per
+    recorded stamp, in stamp order) and pays for a vectorised fill:
+
+    * :meth:`to_dense` replays values with ``np.add.at`` in stamp order,
+      bit-for-bit identical to :meth:`TripletMatrix.to_dense`;
+    * :meth:`to_csc` scatters values straight into a prebuilt CSC
+      skeleton — no COO conversion, no ``sum_duplicates``, no sorting;
+    * :meth:`pattern_key` is a stable content hash of the structure, the
+      key under which solver backends cache per-pattern artifacts (e.g.
+      the SuperLU column ordering).
+    """
+
+    __slots__ = ("n", "rows", "cols", "_key", "_csc_structure", "_structural_nnz")
+
+    def __init__(self, n: int, rows, cols):
+        self.n = int(n)
+        self.rows = np.asarray(rows, dtype=np.int64)
+        self.cols = np.asarray(cols, dtype=np.int64)
+        if self.rows.shape != self.cols.shape:
+            raise ValueError("rows and cols must have the same length")
+        self._key: Optional[str] = None
+        self._csc_structure: Optional[Tuple] = None
+        self._structural_nnz: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def nnz(self) -> int:
+        """Number of recorded triplets (duplicate positions counted)."""
+        return len(self.rows)
+
+    def structural_nnz(self) -> int:
+        """Number of distinct matrix positions (duplicates collapsed)."""
+        if self._structural_nnz is None:
+            self._structural_nnz = len(self._csc()[1])
+        return self._structural_nnz
+
+    def density(self) -> float:
+        """Fraction of matrix positions with at least one stamp."""
+        if self.n == 0:
+            return 0.0
+        return self.structural_nnz() / float(self.n * self.n)
+
+    def pattern_key(self) -> str:
+        """Stable content hash of the *structure* (positions, not values)."""
+        if self._key is None:
+            digest = hashlib.sha256()
+            digest.update(str(self.n).encode("ascii"))
+            digest.update(self.rows.tobytes())
+            digest.update(self.cols.tobytes())
+            self._key = digest.hexdigest()
+        return self._key
+
+    # ------------------------------------------------------------------
+    def to_dense(self, values, dtype=float, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Replay ``values`` (stamp order) into a dense ``(n, n)`` array.
+
+        Identical accumulation order to :meth:`TripletMatrix.to_dense`, so
+        the result is bit-for-bit the same as a fresh stamp-and-densify.
+        """
+        if out is None:
+            out = np.zeros((self.n, self.n), dtype=dtype)
+        else:
+            out[:] = 0.0
+        if len(self.rows):
+            np.add.at(out, (self.rows, self.cols), values)
+        return out
+
+    def _csc(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(indptr, indices, scatter): the canonical CSC skeleton plus the
+        map from triplet index to CSC data slot (duplicates share a slot)."""
+        if self._csc_structure is None:
+            if len(self.rows):
+                order = np.lexsort((self.rows, self.cols))
+                rows = self.rows[order]
+                cols = self.cols[order]
+                first = np.empty(len(rows), dtype=bool)
+                first[0] = True
+                first[1:] = (rows[1:] != rows[:-1]) | (cols[1:] != cols[:-1])
+                slot_of_sorted = np.cumsum(first) - 1
+                scatter = np.empty(len(rows), dtype=np.int64)
+                scatter[order] = slot_of_sorted
+                indices = rows[first]
+                counts = np.bincount(cols[first], minlength=self.n)
+                indptr = np.zeros(self.n + 1, dtype=np.int64)
+                np.cumsum(counts, out=indptr[1:])
+            else:
+                scatter = np.empty(0, dtype=np.int64)
+                indices = np.empty(0, dtype=np.int64)
+                indptr = np.zeros(self.n + 1, dtype=np.int64)
+            self._csc_structure = (indptr, indices, scatter)
+        return self._csc_structure
+
+    def to_csc(self, values, dtype=float):
+        """CSC matrix with ``values`` scattered into the prebuilt skeleton.
+
+        Every call returns a fresh matrix sharing the (immutable) index
+        structure; only the data array is allocated per call, so repeated
+        restamps of the same topology skip all structural work.
+        """
+        from scipy.sparse import csc_matrix
+
+        indptr, indices, scatter = self._csc()
+        data = np.zeros(len(indices), dtype=dtype)
+        if len(scatter):
+            np.add.at(data, scatter, np.asarray(values, dtype=dtype))
+        matrix = csc_matrix((data, indices, indptr), shape=(self.n, self.n))
+        matrix.has_canonical_format = True
+        return matrix
+
+    def to_csr(self, values, extra: Optional[TripletMatrix] = None):
+        """CSR form of the patterned values plus an optional extra
+        accumulator (e.g. the nonlinear companion stamps), matching
+        :meth:`TripletMatrix.to_csr` exactly."""
+        from scipy.sparse import coo_matrix
+
+        rows, cols = self.rows, self.cols
+        values = np.asarray(values, dtype=float)
+        if extra is not None and extra.values:
+            rows = np.concatenate([rows, np.asarray(extra.rows, dtype=np.int64)])
+            cols = np.concatenate([cols, np.asarray(extra.cols, dtype=np.int64)])
+            values = np.concatenate([values, np.asarray(extra.values, dtype=float)])
+        matrix = coo_matrix((values, (rows, cols)), shape=(self.n, self.n)).tocsr()
+        matrix.sum_duplicates()
+        return matrix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CompiledPattern {self.n}x{self.n}, {self.nnz} triplets>"

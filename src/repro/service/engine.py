@@ -5,36 +5,96 @@ releases the GIL inside the dense solves, but the per-node bookkeeping
 around the solves is pure Python and serialises on the GIL.  The
 :class:`BatchEngine` therefore fans independent requests out over a
 ``ProcessPoolExecutor`` by default — each worker process runs the full
-analysis for one request and ships the serialized
-:class:`~repro.service.requests.AnalysisResponse` back.
+analysis for one or more requests and ships the serialized
+:class:`~repro.service.requests.AnalysisResponse` objects back.
+
+Scenario batches are **grouped by circuit structure**: requests sharing a
+:meth:`~repro.service.requests.AnalysisRequest.structure_fingerprint`
+(same topology, different variables/temperature) are chunked together so
+each worker compiles the circuit once
+(:class:`~repro.analysis.compiled.CompiledCircuit`) and only restamps
+values per sample.  Groups are split into at most ``max_workers`` chunks
+so a single-topology Monte Carlo batch still saturates the pool, and a
+process-local compiled-structure cache catches reuse across chunks that
+land on the same worker.
 
 Every failure mode is isolated per request: :func:`execute_request` never
 raises (analysis errors become ``status="failed"`` responses with the full
 traceback attached), and pool-level transport failures (a killed worker, an
 unpicklable payload) are converted into failed responses for the affected
-request only.
+chunk only — each carrying the request's fingerprint (computed guardedly)
+so failures stay correlatable with the cache and the yield reducer.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import os
+import threading
 import time
 import traceback
-from typing import Callable, List, Optional, Sequence
+from collections import OrderedDict
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.compiled import CompiledCircuit
 from repro.core.all_nodes import analyze_all_nodes
 from repro.core.report import format_all_nodes_report, format_single_node_report
 from repro.core.single_node import analyze_node
 from repro.exceptions import ToolError
 from repro.service.requests import AnalysisRequest, AnalysisResponse
 
-__all__ = ["BatchEngine", "execute_request"]
+__all__ = ["BatchEngine", "execute_request", "execute_request_chunk"]
 
 #: Progress callback: ``f(completed_count, total_count, response)``.
 ProgressCallback = Callable[[int, int, AnalysisResponse], None]
 
 _BACKENDS = ("process", "thread", "serial")
+
+#: Process-local cache: structure fingerprint -> compiled circuit.  Each
+#: pool worker keeps the few most recent topologies compiled so repeated
+#: samples of one Monte Carlo sweep skip the structural pass entirely.
+#: The lock matters for the thread pool backend, where concurrent LRU
+#: bookkeeping would otherwise race.
+_COMPILED_CACHE: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
+_COMPILED_CACHE_SIZE = 8
+_COMPILED_CACHE_LOCK = threading.Lock()
+
+
+def _safe_fingerprint(request: AnalysisRequest) -> str:
+    """The request's fingerprint, or "" when it cannot be computed (an
+    unparsable netlist must not turn a failure report into a crash)."""
+    try:
+        return request.fingerprint()
+    except Exception:
+        return ""
+
+
+def _compiled_for(request: AnalysisRequest) -> Optional[CompiledCircuit]:
+    """Compiled structure for the request's circuit (process-local LRU).
+
+    Returns ``None`` when the circuit cannot be fingerprinted or compiled
+    — the caller then falls back to the classic rebuild path, and the
+    analysis reports the underlying problem with its usual diagnostics.
+    """
+    try:
+        key = request.structure_fingerprint()
+    except Exception:
+        return None
+    with _COMPILED_CACHE_LOCK:
+        compiled = _COMPILED_CACHE.get(key)
+        if compiled is not None:
+            _COMPILED_CACHE.move_to_end(key)
+            return compiled
+    try:
+        compiled = CompiledCircuit(request.resolved_circuit())
+    except Exception:
+        return None
+    with _COMPILED_CACHE_LOCK:
+        _COMPILED_CACHE[key] = compiled
+        while len(_COMPILED_CACHE) > _COMPILED_CACHE_SIZE:
+            _COMPILED_CACHE.popitem(last=False)
+    return compiled
 
 
 def execute_request(request: AnalysisRequest) -> AnalysisResponse:
@@ -43,6 +103,8 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
     This is the worker entry point of the process pool (it must stay a
     module-level function so it pickles by reference) and the inline
     execution path of :class:`~repro.service.service.StabilityService`.
+    The circuit structure is compiled once per topology per process
+    (see :func:`_compiled_for`); each request then only restamps values.
     """
     started = time.time()
     fingerprint = ""
@@ -50,12 +112,15 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
         fingerprint = request.fingerprint()
         circuit = request.resolved_circuit()
         options = request.analysis_options()
+        compiled = _compiled_for(request)
         if request.mode == "single-node":
-            result = analyze_node(circuit, request.node, options=options)
+            result = analyze_node(circuit, request.node, options=options,
+                                  compiled=compiled)
             payload = result.to_dict()
             report = format_single_node_report(result)
         else:
-            result = analyze_all_nodes(circuit, options=options)
+            result = analyze_all_nodes(circuit, options=options,
+                                       compiled=compiled)
             payload = result.to_dict()
             report = format_all_nodes_report(result)
         return AnalysisResponse(
@@ -68,6 +133,18 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
             label=request.label, error=str(exc),
             traceback=traceback.format_exc(),
             elapsed_seconds=time.time() - started)
+
+
+def execute_request_chunk(requests: Sequence[AnalysisRequest]
+                          ) -> List[AnalysisResponse]:
+    """Run a same-structure chunk of requests in this process, in order.
+
+    Pickled to a pool worker as one task: the first request compiles the
+    shared circuit structure (into the process-local cache), the rest
+    restamp.  Per-request failure isolation is preserved —
+    :func:`execute_request` never raises.
+    """
+    return [execute_request(request) for request in requests]
 
 
 class BatchEngine:
@@ -122,6 +199,46 @@ class BatchEngine:
                 progress(index, len(requests), response)
         return responses
 
+    @staticmethod
+    def _group_key(request: AnalysisRequest, index: int) -> object:
+        """Cheap same-structure grouping key, computed without parsing.
+
+        Already-parsed (Circuit-backed) requests use the canonical
+        structure fingerprint; netlist-backed requests are grouped by a
+        hash of the raw text.  Text hashing is coarser (two spellings of
+        one circuit land in different groups) but grouping is purely an
+        optimisation, and parsing every netlist on the submitting thread
+        — and then shipping the parsed circuit inside each pickled chunk
+        — would cost more than the grouping saves.
+        """
+        if request.circuit is not None:
+            try:
+                return request.structure_fingerprint()
+            except Exception:
+                return ("ungroupable", index)
+        if request.netlist is not None:
+            return hashlib.sha256(request.netlist.encode("utf-8")).hexdigest()
+        return ("ungroupable", index)
+
+    def _chunk_by_structure(self, requests: Sequence[AnalysisRequest]
+                            ) -> List[List[int]]:
+        """Group request indices by circuit structure, then split each
+        group into at most ``max_workers`` chunks.
+
+        Same-structure requests landing on one worker share a single
+        compile; splitting each group keeps every worker busy even when
+        the whole batch is one topology (the Monte Carlo case).
+        """
+        groups: "OrderedDict[object, List[int]]" = OrderedDict()
+        for index, request in enumerate(requests):
+            groups.setdefault(self._group_key(request, index), []).append(index)
+        chunks: List[List[int]] = []
+        for indices in groups.values():
+            per_chunk = max(1, -(-len(indices) // self.max_workers))
+            for start in range(0, len(indices), per_chunk):
+                chunks.append(indices[start:start + per_chunk])
+        return chunks
+
     def _run_pool(self, requests, progress) -> List[AnalysisResponse]:
         if self.backend == "process":
             executor = concurrent.futures.ProcessPoolExecutor(
@@ -132,22 +249,32 @@ class BatchEngine:
         responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
         completed = 0
         with executor:
-            futures = {executor.submit(execute_request, request): index
-                       for index, request in enumerate(requests)}
+            futures = {}
+            for chunk in self._chunk_by_structure(requests):
+                future = executor.submit(execute_request_chunk,
+                                         [requests[i] for i in chunk])
+                futures[future] = chunk
             for future in concurrent.futures.as_completed(futures):
-                index = futures[future]
+                chunk = futures[future]
                 try:
-                    response = future.result()
+                    chunk_responses = future.result()
                 except Exception as exc:
                     # Transport-level failure (worker killed, payload not
-                    # picklable): isolate it to this request.
-                    response = AnalysisResponse(
-                        fingerprint="", mode=requests[index].mode,
-                        status="failed", label=requests[index].label,
-                        error=f"worker failure: {exc}",
-                        traceback=traceback.format_exc())
-                responses[index] = response
-                completed += 1
-                if progress is not None:
-                    progress(completed, len(requests), response)
+                    # picklable): isolate it to this chunk's requests, and
+                    # keep the failed responses correlatable by computing
+                    # each request's fingerprint (guardedly).
+                    failure_traceback = traceback.format_exc()
+                    chunk_responses = [
+                        AnalysisResponse(
+                            fingerprint=_safe_fingerprint(requests[index]),
+                            mode=requests[index].mode,
+                            status="failed", label=requests[index].label,
+                            error=f"worker failure: {exc}",
+                            traceback=failure_traceback)
+                        for index in chunk]
+                for index, response in zip(chunk, chunk_responses):
+                    responses[index] = response
+                    completed += 1
+                    if progress is not None:
+                        progress(completed, len(requests), response)
         return responses  # type: ignore[return-value]

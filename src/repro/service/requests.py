@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import os
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -43,6 +44,11 @@ REQUEST_SCHEMA_VERSION = 2
 
 _MODES = ("all-nodes", "single-node")
 _SOLVER_BACKENDS = (None, "auto") + available_backends()
+
+#: Circuit object -> structure fingerprint.  Requests of one batch share
+#: the circuit object (scenario generation and chunked pool submission
+#: both preserve identity), so one canonical hash serves the whole batch.
+_STRUCTURE_FP_BY_CIRCUIT: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
 
 
 @dataclass
@@ -104,6 +110,35 @@ class AnalysisRequest:
         if self.mode == "single-node":
             return SingleNodeOptions(**common)
         return AllNodesOptions(**common)
+
+    # ------------------------------------------------------------------
+    def structure_fingerprint(self) -> str:
+        """Content hash of the circuit alone (no analysis conditions).
+
+        Requests that share this key describe the same topology and
+        element values and differ only in analysis conditions (variable
+        overrides, temperature, sweep, mode...) — exactly the set over
+        which one compiled circuit structure can be reused.  The batch
+        engine groups requests by this key so each worker compiles once
+        per topology and restamps per sample; the hash is memoised per
+        request instance (Monte Carlo batches share one circuit, hashed
+        once per worker chunk).
+        """
+        cached = getattr(self, "_structure_fp", None)
+        if cached is None:
+            circuit = self.resolved_circuit()
+            try:
+                cached = _STRUCTURE_FP_BY_CIRCUIT.get(circuit)
+            except TypeError:  # unhashable/unweakrefable circuit stand-in
+                cached = None
+            if cached is None:
+                cached = circuit_fingerprint(circuit)
+                try:
+                    _STRUCTURE_FP_BY_CIRCUIT[circuit] = cached
+                except TypeError:
+                    pass
+            self._structure_fp = cached
+        return cached
 
     # ------------------------------------------------------------------
     def effective_backend(self) -> str:

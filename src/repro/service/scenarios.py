@@ -143,9 +143,17 @@ def scenario_requests(spec: ScenarioSpec,
 
     ``base`` (optional) supplies the sweep settings and baseline variable
     overrides; scenario values override base values of the same name.
+
+    Every generated request shares one parsed ``Circuit`` object (the
+    netlist, when given, is parsed here exactly once and kept alongside
+    for JSON round-trips).  Sharing the object is what lets the batch
+    engine group the whole sweep under one structure fingerprint — the
+    canonical circuit is hashed once, each worker compiles the topology
+    once and restamps per sample.
     """
     if base is None:
         base = AnalysisRequest(mode="all-nodes", netlist=netlist, circuit=circuit)
+    shared_circuit = base.resolved_circuit()
     scenarios = generate_scenarios(spec)
     requests = []
     for scenario in scenarios:
@@ -154,7 +162,7 @@ def scenario_requests(spec: ScenarioSpec,
         requests.append(AnalysisRequest(
             mode="all-nodes",
             netlist=base.netlist,
-            circuit=base.circuit,
+            circuit=shared_circuit,
             temperature=scenario.temperature,
             gmin=scenario.gmin,
             variables=variables,

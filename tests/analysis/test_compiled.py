@@ -1,0 +1,185 @@
+"""Compile/restamp equivalence suite: compiled circuits must reproduce a
+fresh assembly exactly.
+
+For every circuit bundled in :mod:`repro.circuits`, a freshly built
+:class:`MNASystem` and a compiled-then-restamped one must agree to 1e-12
+on G/C/b across perturbed design variables and temperatures, on both
+solver backends (the dense path compares the dense matrices, the sparse
+path the CSC forms) — mirroring ``tests/linalg/test_backend_equivalence``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import circuits
+from repro.analysis import AnalysisContext, CompiledCircuit, MNASystem
+from repro.analysis.op import operating_point
+from repro.circuit.builder import CircuitBuilder
+from repro.exceptions import NetlistError
+
+TOLERANCE = 1e-12
+
+#: name -> circuit factory; every family shipped in repro.circuits.
+CIRCUIT_FACTORIES = {
+    "parallel_rlc": lambda: circuits.parallel_rlc().circuit,
+    "series_rlc_divider": lambda: circuits.series_rlc_divider().circuit,
+    "two_pole_opamp_buffer": lambda: circuits.two_pole_opamp_buffer().circuit,
+    "two_pole_open_loop": lambda: circuits.two_pole_open_loop().circuit,
+    "opamp_buffer": lambda: circuits.opamp_buffer().circuit,
+    "opamp_open_loop": lambda: circuits.opamp_open_loop().circuit,
+    "opamp_with_bias": lambda: circuits.opamp_with_bias().circuit,
+    "bias_circuit": lambda: circuits.bias_circuit().circuit,
+    "simple_mirror": lambda: circuits.simple_mirror().circuit,
+    "buffered_mirror": lambda: circuits.buffered_mirror().circuit,
+    "emitter_follower": lambda: circuits.emitter_follower().circuit,
+    "source_follower": lambda: circuits.source_follower().circuit,
+    "rc_ladder": lambda: circuits.rc_ladder(25).circuit,
+    "rlc_ladder": lambda: circuits.rlc_ladder(10).circuit,
+    "amplifier_chain": lambda: circuits.amplifier_chain(
+        5, feedback_resistance=100e3).circuit,
+}
+
+TEMPERATURES = (27.0, 85.0, -40.0)
+
+
+def _scenario_context(circuit, temperature):
+    """A context with every declared design variable perturbed by 7%."""
+    ctx = AnalysisContext(temperature=temperature,
+                          variables=dict(circuit.variables))
+    ctx.update_variables({name: value * 1.07
+                          for name, value in circuit.variables.items()})
+    return ctx
+
+
+@pytest.fixture(params=sorted(CIRCUIT_FACTORIES), scope="module")
+def circuit(request):
+    return CIRCUIT_FACTORIES[request.param]()
+
+
+@pytest.fixture(scope="module")
+def compiled(circuit):
+    """One compiled structure shared by every scenario of the module."""
+    return CompiledCircuit(circuit)
+
+
+@pytest.mark.parametrize("temperature", TEMPERATURES)
+def test_dense_assembly_matches_fresh_build(circuit, compiled, temperature):
+    fresh = MNASystem(circuit, _scenario_context(circuit, temperature)).stamp()
+    view = MNASystem(None, _scenario_context(circuit, temperature),
+                     compiled=compiled).stamp()
+    assert view.variable_names == fresh.variable_names
+    for name in ("G", "C"):
+        reference = getattr(fresh, name)
+        restamped = getattr(view, name)
+        scale = max(float(np.max(np.abs(reference))), 1.0)
+        assert np.max(np.abs(reference - restamped)) <= TOLERANCE * scale, name
+    for name in ("b_dc", "b_ac"):
+        reference = np.asarray(getattr(fresh, name))
+        restamped = np.asarray(getattr(view, name))
+        scale = max(float(np.max(np.abs(reference))), 1.0)
+        assert np.max(np.abs(reference - restamped)) <= TOLERANCE * scale, name
+
+
+@pytest.mark.parametrize("temperature", TEMPERATURES)
+def test_sparse_assembly_matches_fresh_build(circuit, compiled, temperature):
+    fresh = MNASystem(circuit, _scenario_context(circuit, temperature),
+                      backend="sparse").stamp()
+    view = MNASystem(None, _scenario_context(circuit, temperature),
+                     backend="sparse", compiled=compiled).stamp()
+    for which in ("G", "C"):
+        reference = fresh.static_sparse(which)
+        restamped = view.static_sparse(which)
+        dense_ref = reference.toarray()
+        scale = max(float(np.max(np.abs(dense_ref))), 1.0)
+        worst = float(np.max(np.abs(dense_ref - restamped.toarray()))) \
+            if dense_ref.size else 0.0
+        assert worst <= TOLERANCE * scale, which
+
+
+def test_restamp_tracks_temperature_coefficient():
+    """A tc1 resistor is dynamic: restamps at new temperatures move G."""
+    builder = CircuitBuilder("tc ladder")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    builder.resistor("in", "0", 1e3, name="R1", tc1=1e-3)
+    circuit = builder.build()
+    compiled = CompiledCircuit(circuit)
+    cold = compiled.restamp(temperature=-40.0)
+    hot = compiled.restamp(temperature=125.0)
+    fresh_cold = MNASystem(circuit, AnalysisContext(temperature=-40.0)).stamp()
+    fresh_hot = MNASystem(circuit, AnalysisContext(temperature=125.0)).stamp()
+    assert np.array_equal(cold.G_dense(), fresh_cold.G)
+    assert np.array_equal(hot.G_dense(), fresh_hot.G)
+    assert not np.array_equal(cold.G_dense(), hot.G_dense())
+
+
+def test_static_elements_are_not_reevaluated():
+    """Plain-number R/C/V stamps resolve as static: zero dynamic elements,
+    so a restamp is a pure array copy."""
+    compiled = CompiledCircuit(circuits.rc_ladder(50).circuit)
+    compiled.restamp()
+    assert compiled.dynamic_element_count() == 0
+
+
+def test_variable_backed_elements_are_dynamic():
+    builder = CircuitBuilder("variable load")
+    builder.voltage_source("in", "0", dc=1.0)
+    builder.resistor("in", "out", "rload")
+    builder.capacitor("out", "0", 1e-12)
+    builder.variable("rload", 1e3)
+    compiled = CompiledCircuit(builder.build())
+    state = compiled.restamp(variables={"rload": 2e3})
+    assert compiled.dynamic_element_count() == 1
+    i = compiled.index_of("in")
+    o = compiled.index_of("out")
+    G = state.G_dense()
+    assert G[i, o] == pytest.approx(-1.0 / 2e3)
+
+
+def test_mnasystem_restamp_tracks_context_mutation():
+    """MNASystem.restamp() refreshes values (and dense caches) in place
+    after the context is mutated — the in-place scenario-update API."""
+    builder = CircuitBuilder("mutable scenario")
+    builder.voltage_source("in", "0", dc=1.0)
+    builder.resistor("in", "out", "rload")
+    builder.capacitor("out", "0", 1e-12)
+    builder.variable("rload", 1e3)
+    circuit = builder.build()
+    system = MNASystem(circuit).stamp()
+    i, o = system.index_of("in"), system.index_of("out")
+    assert system.G[i, o] == pytest.approx(-1e-3)
+    system.ctx.set_variable("rload", 4e3)
+    system.restamp()
+    assert system.G[i, o] == pytest.approx(-0.25e-3)
+    # Matches a fresh build under the same conditions exactly.
+    ctx = AnalysisContext(variables={"rload": 4e3})
+    assert np.array_equal(system.G, MNASystem(circuit, ctx).stamp().G)
+
+
+def test_operating_point_accepts_precompiled(compiled, circuit):
+    direct = operating_point(circuit)
+    via_compiled = operating_point(None, compiled=compiled)
+    scale = max(float(np.max(np.abs(direct.x))), 1.0)
+    assert np.max(np.abs(direct.x - via_compiled.x)) <= 1e-9 * scale
+
+
+def test_shared_compiled_structure_is_reused():
+    """Two systems over one compiled circuit share index and patterns."""
+    compiled = CompiledCircuit(circuits.parallel_rlc().circuit)
+    a = MNASystem(None, AnalysisContext(temperature=0.0), compiled=compiled).stamp()
+    b = MNASystem(None, AnalysisContext(temperature=85.0), compiled=compiled).stamp()
+    assert a.compiled is b.compiled
+    assert a.state.pattern_G is b.state.pattern_G
+    # Private value arrays: one scenario never leaks into another.
+    assert a.state.g_values is not b.state.g_values
+
+
+def test_structural_errors_surface_like_a_fresh_build():
+    from repro.circuit.elements import CCCS, Resistor
+    from repro.circuit.netlist import Circuit
+
+    circuit = Circuit("bad cccs")
+    circuit.add(Resistor("R1", "a", "0", 1e3))
+    circuit.add(CCCS("F1", "a", "0", "Vmissing", 2.0))
+    compiled = CompiledCircuit(circuit)   # index build succeeds
+    with pytest.raises(NetlistError):
+        compiled.restamp()                # the recording pass raises

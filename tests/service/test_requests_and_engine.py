@@ -209,6 +209,125 @@ class TestBatchEngine:
         assert responses[0].all_nodes_result().loops
 
 
+class TestStructureGrouping:
+    def test_structure_fingerprint_ignores_conditions(self):
+        base = AnalysisRequest(netlist=RLC_NETLIST)
+        hot = AnalysisRequest(netlist=RLC_NETLIST, temperature=125.0,
+                              variables={"rval": 2e3})
+        assert base.structure_fingerprint() == hot.structure_fingerprint()
+        assert base.fingerprint() != hot.fingerprint()
+
+    def test_structure_fingerprint_tracks_topology(self):
+        a = AnalysisRequest(netlist=RLC_NETLIST)
+        b = AnalysisRequest(netlist=RLC_NETLIST.replace("1n", "2n"))
+        assert a.structure_fingerprint() != b.structure_fingerprint()
+
+    def test_scenario_requests_share_one_circuit_object(self):
+        from repro.service.scenarios import Distribution, ScenarioSpec, scenario_requests
+
+        spec = ScenarioSpec(variables={"rval": Distribution.uniform(500, 2000)},
+                            samples=5)
+        _, requests = scenario_requests(spec, netlist=RLC_NETLIST)
+        assert len({id(r.circuit) for r in requests}) == 1
+        assert len({r.structure_fingerprint() for r in requests}) == 1
+        # JSON round-trips still work: the netlist rides along.
+        assert requests[0].to_dict()["netlist"] == RLC_NETLIST
+
+    def test_chunking_groups_by_structure_and_splits_for_workers(self):
+        engine = BatchEngine(max_workers=2, backend="thread")
+        design = parallel_rlc()
+        same = [AnalysisRequest(circuit=design.circuit,
+                                temperature=float(t)) for t in range(6)]
+        other = [AnalysisRequest(netlist=RLC_NETLIST)]
+        chunks = engine._chunk_by_structure(same + other)
+        flattened = sorted(i for chunk in chunks for i in chunk)
+        assert flattened == list(range(7))
+        # The 6-sample topology splits over both workers; the lone
+        # other-topology request gets its own chunk.
+        same_chunks = [c for c in chunks if set(c) <= set(range(6))]
+        assert len(same_chunks) == 2
+        assert all(len(c) == 3 for c in same_chunks)
+
+    def test_grouped_pool_results_match_serial(self):
+        serial = BatchEngine(backend="serial")
+        pooled = BatchEngine(max_workers=2, backend="thread")
+        requests = [AnalysisRequest(netlist=RLC_NETLIST, temperature=float(t),
+                                    label=f"t{t}") for t in (0, 27, 85)]
+        a = serial.run(requests)
+        b = pooled.run(requests)
+        assert [r.label for r in b] == ["t0", "t27", "t85"]
+        for ra, rb in zip(a, b):
+            assert ra.ok and rb.ok
+            assert ra.fingerprint == rb.fingerprint
+            loops_a = ra.all_nodes_result().loops
+            loops_b = rb.all_nodes_result().loops
+            assert [l.performance_index for l in loops_a] == \
+                pytest.approx([l.performance_index for l in loops_b])
+
+    def test_transport_failure_keeps_fingerprint(self, monkeypatch):
+        """A worker crash yields failed responses that still carry the
+        request fingerprint, so they stay correlatable with the cache."""
+        import repro.service.engine as engine_module
+
+        engine = BatchEngine(max_workers=2, backend="thread")
+        requests = [AnalysisRequest(netlist=RLC_NETLIST, label="a"),
+                    AnalysisRequest(netlist=RLC_NETLIST, temperature=85.0,
+                                    label="b")]
+        expected = [r.fingerprint() for r in requests]
+
+        def explode(chunk):
+            raise RuntimeError("worker died")
+
+        monkeypatch.setattr(engine_module, "execute_request_chunk", explode)
+        responses = engine.run(requests)
+        assert [r.ok for r in responses] == [False, False]
+        assert [r.fingerprint for r in responses] == expected
+        assert all("worker failure" in r.error for r in responses)
+
+    def test_transport_failure_with_unfingerprintable_request(self, monkeypatch):
+        """Guarded fingerprinting: an unparsable netlist still produces a
+        failed response (empty fingerprint) instead of a crash."""
+        import repro.service.engine as engine_module
+
+        engine = BatchEngine(max_workers=2, backend="thread")
+        requests = [AnalysisRequest(netlist=RLC_NETLIST),
+                    AnalysisRequest(netlist="broken\nR1\n.end\n")]
+
+        def explode(chunk):
+            raise RuntimeError("worker died")
+
+        monkeypatch.setattr(engine_module, "execute_request_chunk", explode)
+        responses = engine.run(requests)
+        assert [r.ok for r in responses] == [False, False]
+        assert responses[0].fingerprint
+        assert responses[1].fingerprint == ""
+
+    def test_worker_compiled_cache_is_bounded(self):
+        from repro.service.engine import (_COMPILED_CACHE,
+                                          _COMPILED_CACHE_SIZE, _compiled_for)
+
+        _COMPILED_CACHE.clear()
+        for scale in range(_COMPILED_CACHE_SIZE + 3):
+            netlist = RLC_NETLIST.replace("1n", f"{scale + 1}n")
+            _compiled_for(AnalysisRequest(netlist=netlist))
+        assert len(_COMPILED_CACHE) == _COMPILED_CACHE_SIZE
+
+    def test_compiled_path_matches_uncompiled_results(self):
+        from repro.service.engine import _COMPILED_CACHE
+
+        _COMPILED_CACHE.clear()
+        first = execute_request(AnalysisRequest(netlist=RLC_NETLIST,
+                                                variables={"rval": 800.0}))
+        assert len(_COMPILED_CACHE) == 1          # compiled on first use
+        second = execute_request(AnalysisRequest(netlist=RLC_NETLIST,
+                                                 variables={"rval": 800.0}))
+        assert first.ok and second.ok
+        a = first.all_nodes_result().loops[0]
+        b = second.all_nodes_result().loops[0]
+        assert a.performance_index == pytest.approx(b.performance_index,
+                                                    rel=1e-12)
+
+
 class TestExpandCorners:
     def test_one_request_per_corner(self):
         base = AnalysisRequest(netlist=RLC_NETLIST, variables={"rval": 1e3})
