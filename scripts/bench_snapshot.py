@@ -1,6 +1,7 @@
 """Record the key performance numbers as one JSON snapshot.
 
-Runs the three headline benchmarks — compile/restamp speedup, Monte
+Runs the headline benchmarks — compile/restamp speedup, compiled-Newton
+Monte Carlo operating points, warm-started DC transfer sweeps, Monte
 Carlo screening throughput and the sparse-vs-dense backend speedup — and
 writes ``BENCH_parametric.json`` so the performance trajectory of the
 repo is recorded per commit (CI runs this as a non-blocking job and
@@ -60,6 +61,45 @@ def restamp_speedups(samples: int) -> dict:
     return {"samples": samples,
             "opamp_dense_speedup": round(opamp_speedup, 2),
             "ladder_sparse_speedup": round(ladder_speedup, 2)}
+
+
+def newton_restamp_speedup(samples: int) -> dict:
+    """Compiled Newton + warm starts vs. rebuild-per-sample operating
+    points (see benchmarks/bench_newton_restamp.py)."""
+    from benchmarks.bench_newton_restamp import _time_compiled_warm, _time_rebuild
+    from repro.analysis import CompiledCircuit, operating_point
+    from repro.circuits import opamp_with_bias
+
+    circuit = opamp_with_bias().circuit
+    compiled = CompiledCircuit(circuit)
+    operating_point(None, compiled=compiled)           # compile + probe
+    rebuild_seconds, rebuild_ops = _time_rebuild(circuit, samples)
+    warm_seconds, warm_ops = _time_compiled_warm(compiled, samples)
+    return {"samples": samples,
+            "rebuild_seconds": round(rebuild_seconds, 3),
+            "compiled_warm_seconds": round(warm_seconds, 3),
+            "rebuild_newton_iterations": sum(op.iterations for op in rebuild_ops),
+            "warm_newton_iterations": sum(op.iterations for op in warm_ops),
+            "speedup": round(rebuild_seconds / max(warm_seconds, 1e-9), 2)}
+
+
+def dc_sweep_throughput(points: int = 201) -> dict:
+    """Warm-started DC transfer curve of the full op-amp (points/second)."""
+    from repro.analysis import CompiledCircuit, dc_sweep
+    from repro.analysis.sweeps import lin_sweep
+    from repro.circuits import opamp_with_bias
+
+    design = opamp_with_bias()
+    compiled = CompiledCircuit(design.circuit)
+    grid = lin_sweep(-0.01, 0.01, points)
+    dc_sweep(None, design.input_source, grid[:3], compiled=compiled)  # warm-up
+    started = time.perf_counter()
+    result = dc_sweep(None, design.input_source, grid, compiled=compiled)
+    elapsed = time.perf_counter() - started
+    return {"points": points,
+            "elapsed_seconds": round(elapsed, 3),
+            "points_per_second": round(points / max(elapsed, 1e-9), 1),
+            "newton_iterations": result.total_iterations}
 
 
 def monte_carlo_throughput(samples: int) -> dict:
@@ -124,6 +164,8 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "machine": platform.machine(),
         "restamp": restamp_speedups(args.samples),
+        "newton_restamp": newton_restamp_speedup(max(args.samples // 4, 16)),
+        "dc_sweep": dc_sweep_throughput(),
         "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
         "backends": backend_speedup(),
     }

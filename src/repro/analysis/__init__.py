@@ -6,12 +6,24 @@ transient integration and pole analysis, all operating on
 """
 
 from repro.analysis.ac import ac_analysis
-from repro.analysis.compiled import CompiledCircuit, StampState, compile_circuit
+from repro.analysis.compiled import (
+    CompiledCircuit,
+    NewtonState,
+    StampState,
+    compile_circuit,
+)
 from repro.analysis.context import AnalysisContext
+from repro.analysis.dcsweep import dc_sweep
 from repro.analysis.mna import MNASystem, SolutionView
-from repro.analysis.op import NewtonOptions, operating_point
+from repro.analysis.op import NewtonOptions, operating_point, solve_dc
 from repro.analysis.pz import pole_analysis
-from repro.analysis.results import ACResult, OPResult, PoleZeroResult, TransientResult
+from repro.analysis.results import (
+    ACResult,
+    DCSweepResult,
+    OPResult,
+    PoleZeroResult,
+    TransientResult,
+)
 from repro.analysis.sweeps import (
     FrequencySweep,
     around,
@@ -24,17 +36,21 @@ from repro.analysis.transient import transient_analysis
 __all__ = [
     "AnalysisContext",
     "CompiledCircuit",
+    "NewtonState",
     "StampState",
     "compile_circuit",
     "MNASystem",
     "SolutionView",
     "NewtonOptions",
     "operating_point",
+    "solve_dc",
+    "dc_sweep",
     "ac_analysis",
     "transient_analysis",
     "pole_analysis",
     "OPResult",
     "ACResult",
+    "DCSweepResult",
     "TransientResult",
     "PoleZeroResult",
     "FrequencySweep",

@@ -43,10 +43,11 @@ import numpy as np
 from repro.analysis.context import AnalysisContext, parse_literal
 from repro.circuit.elements.base import Element, is_ground
 from repro.circuit.netlist import Circuit, SubcircuitInstance
-from repro.exceptions import AnalysisError, NetlistError
+from repro.exceptions import AnalysisError, CompanionStructureError, NetlistError
+from repro.linalg import AUTO_SPARSE_MIN_SIZE, DenseBackend, LinearSystem
 from repro.linalg.triplets import CompiledPattern
 
-__all__ = ["CompiledCircuit", "StampState", "compile_circuit"]
+__all__ = ["CompiledCircuit", "NewtonState", "StampState", "compile_circuit"]
 
 # Stamp-op targets.
 _G, _C, _BDC, _BAC = 0, 1, 2, 3
@@ -320,7 +321,7 @@ class _LinearProgram:
 
     __slots__ = ("pattern_G", "pattern_C", "base_g", "base_c", "base_bdc",
                  "base_bac", "dynamic", "scatter", "initial_voltage_conditions",
-                 "initial_current_conditions", "time_sources")
+                 "initial_current_conditions", "time_sources", "programs")
 
 
 class StampState:
@@ -377,6 +378,283 @@ class StampState:
         return self.pattern_C.to_csc(self.c_values, dtype=dtype)
 
 
+# ----------------------------------------------------------------------
+# Nonlinear (Newton companion) compilation
+# ----------------------------------------------------------------------
+
+class _ZeroSolution:
+    """All-zero solution view used to probe nonlinear stamp structure."""
+
+    __slots__ = ()
+
+    def voltage(self, node) -> float:
+        return 0.0
+
+    def current(self, branch) -> float:
+        return 0.0
+
+
+class _NewtonRecorder:
+    """Compile-time companion stamper.
+
+    Resolves every ``add_G_iter``/``add_rhs_iter`` target to its unknown
+    index exactly once and records it as a fixed pattern slot (ground
+    targets are recorded as drops).  The per-iteration capture adapter
+    then only supplies values, in the same call order.
+    """
+
+    def __init__(self, compiled: "CompiledCircuit"):
+        self._compiled = compiled
+        self.rows: List[int] = []
+        self.cols: List[int] = []
+        self.g_slots: List[int] = []
+        self.g_vidx: List[int] = []
+        self.b_rows: List[int] = []
+        self.b_vidx: List[int] = []
+        self.calls = 0
+
+    def add_G_iter(self, vi: str, vj: str, value) -> None:
+        i = self._compiled.index_of(vi)
+        j = self._compiled.index_of(vj)
+        if i is not None and j is not None:
+            self.g_slots.append(len(self.rows))
+            self.g_vidx.append(self.calls)
+            self.rows.append(i)
+            self.cols.append(j)
+        self.calls += 1
+
+    def add_rhs_iter(self, variable: str, value) -> None:
+        index = self._compiled.index_of(variable)
+        if index is not None:
+            self.b_rows.append(index)
+            self.b_vidx.append(self.calls)
+        self.calls += 1
+
+    def __getattr__(self, name):
+        raise CompanionStructureError(
+            f"stamp_nonlinear used stamper method {name!r}, which the "
+            "compiled Newton recorder does not support (companion stamps "
+            "are add_G_iter/add_rhs_iter; incremental capacitances belong "
+            "in stamp_dynamic_nonlinear)")
+
+
+class _IterCapture:
+    """Per-iteration companion stamper: captures values in call order."""
+
+    __slots__ = ("values",)
+
+    def __init__(self):
+        self.values: List[float] = []
+
+    def add_G_iter(self, vi, vj, value):
+        self.values.append(value)
+
+    def add_rhs_iter(self, variable, value):
+        self.values.append(value)
+
+    def __getattr__(self, name):
+        # An element reaching for any other stamper method mid-iteration
+        # (it passed the probe, so this is value-dependent behaviour) must
+        # trigger the uncompiled fallback, not crash the solve.
+        raise CompanionStructureError(
+            f"stamp_nonlinear used stamper method {name!r} after probing "
+            "recorded only add_G_iter/add_rhs_iter calls; the companion "
+            "stamp structure is value-dependent")
+
+
+class _CapSlotAdapter:
+    """Index-resolved adapter for ``stamp_dynamic_nonlinear``.
+
+    ``slots`` maps the active element's terminal-name pairs (resolved at
+    compile time) to absolute positions in the compiled C value array;
+    pairs involving ground map to ``None`` and are dropped, exactly as
+    :meth:`~repro.analysis.mna.MNASystem.capacitance_op` always did.
+    """
+
+    __slots__ = ("values", "slots")
+
+    def __init__(self, values: np.ndarray):
+        self.values = values
+        self.slots: Dict[Tuple[str, str], Optional[int]] = {}
+
+    def add_C_op(self, vi: str, vj: str, value: float) -> None:
+        try:
+            slot = self.slots[(vi, vj)]
+        except KeyError:
+            raise CompanionStructureError(
+                f"stamp_dynamic_nonlinear stamped ({vi!r}, {vj!r}), which "
+                "is not a terminal pair of the element recorded at compile "
+                "time") from None
+        if slot is not None:
+            self.values[slot] += value
+
+    def capacitance_op(self, node_a: str, node_b: str, c: float) -> None:
+        self.add_C_op(node_a, node_a, c)
+        self.add_C_op(node_b, node_b, c)
+        self.add_C_op(node_a, node_b, -c)
+        self.add_C_op(node_b, node_a, -c)
+
+    def __getattr__(self, name):
+        raise CompanionStructureError(
+            f"stamp_dynamic_nonlinear used stamper method {name!r}, which "
+            "the compiled incremental-capacitance adapter does not support "
+            "(expected add_C_op/capacitance_op)")
+
+
+class _NewtonProgram:
+    """Compiled nonlinear layer of one topology.
+
+    The Newton matrix pattern is the union of the static linear ``G``
+    slots, one slot per (non-ground) companion stamp of every nonlinear
+    device, and one diagonal slot per unknown for the ``gshunt``
+    convergence aid.  The value array mirrors that layout, so a Newton
+    iteration is "refill the companion segment, set the shunt segment,
+    hand the array to the solver" — no name resolution, no dict lookups,
+    no triplet rebuilds in the loop.  A parallel union of the linear
+    ``C`` slots plus per-device k x k terminal blocks compiles the
+    incremental-capacitance (``stamp_dynamic_nonlinear``) layer the same
+    way.
+    """
+
+    __slots__ = ("n", "pattern", "linear_nnz", "nnz", "shunt_slice",
+                 "g_slots", "g_vidx", "b_rows", "b_vidx", "counts",
+                 "cap_pattern", "cap_linear_nnz", "cap_nnz", "cap_slots")
+
+
+class NewtonState:
+    """Per-scenario Newton assembly over a compiled union pattern.
+
+    Owns the value array of the union Newton pattern (linear base +
+    companion slots + gshunt diagonal), the companion right-hand side and
+    the solver seam: on the dense kernel every :meth:`solve` is one
+    LAPACK call against the densified union; on the sparse kernel (large
+    systems on the sparse backend) the CSC skeleton and the pattern key
+    are fixed, so every iteration is ``refactor(values) -> solve`` and
+    same-pattern factorizations reuse the cached symbolic ordering.
+    """
+
+    def __init__(self, program: _NewtonProgram, state: StampState,
+                 backend=None, names: Optional[Sequence[str]] = None):
+        self._program = program
+        self._state = state
+        self.b_dc = state.b_dc
+        self.values = np.zeros(program.nnz)
+        self.values[:program.linear_nnz] = state.g_values
+        self.b_iter = np.zeros(program.n)
+        self._names = list(names) if names is not None else None
+        self._use_sparse = (backend is not None
+                            and getattr(backend, "name", None) == "sparse"
+                            and program.n >= AUTO_SPARSE_MIN_SIZE)
+        self._backend = backend
+        self._dirty = True
+        self._dense: Optional[np.ndarray] = None
+        self._csc_buf: Optional[np.ndarray] = None
+        self._system: Optional[LinearSystem] = None
+        self._cap_values = np.zeros(program.cap_nnz)
+        self._cap_dense: Optional[np.ndarray] = None
+        self._cap_adapter = _CapSlotAdapter(self._cap_values)
+
+    # ------------------------------------------------------------------
+    def rebind(self, state: StampState) -> "NewtonState":
+        """Swap in a freshly restamped linear base (same structure)."""
+        self._state = state
+        self.b_dc = state.b_dc
+        self.values[:self._program.linear_nnz] = state.g_values
+        self._dirty = True
+        return self
+
+    def set_gshunt(self, gshunt: float) -> None:
+        """Fill the prebuilt diagonal shunt slots (no matrix copies)."""
+        self.values[self._program.shunt_slice] = gshunt
+        self._dirty = True
+
+    # ------------------------------------------------------------------
+    def refill(self, view, ctx) -> np.ndarray:
+        """Re-evaluate every companion at the candidate solution ``view``.
+
+        Returns the Newton right-hand side ``b_dc + b_iter``.  The matrix
+        values are scattered into the union array; the (re)factorization
+        happens lazily on the next :meth:`solve`/:meth:`matvec`.
+        """
+        program = self._program
+        capture = _IterCapture()
+        captured = capture.values
+        for element, expected in program.counts:
+            before = len(captured)
+            element.stamp_nonlinear(capture, view, ctx)
+            if len(captured) - before != expected:
+                raise CompanionStructureError(
+                    f"element {element.name!r} changed its companion stamp "
+                    f"structure between iterations ({expected} stamps "
+                    f"recorded, {len(captured) - before} this iteration)")
+        values = np.asarray(captured, dtype=float)
+        if len(program.g_slots):
+            self.values[program.g_slots] = values[program.g_vidx]
+        self.b_iter[:] = 0.0
+        if len(program.b_rows):
+            np.add.at(self.b_iter, program.b_rows, values[program.b_vidx])
+        self._dirty = True
+        return self.b_dc + self.b_iter
+
+    # ------------------------------------------------------------------
+    def matrix(self) -> np.ndarray:
+        """The assembled Newton matrix, densified into a reused buffer."""
+        if self._dirty or self._dense is None:
+            self._dense = self._program.pattern.to_dense(self.values,
+                                                         out=self._dense)
+        return self._dense
+
+    def _sparse_system(self) -> LinearSystem:
+        pattern = self._program.pattern
+        if self._system is None:
+            self._system = LinearSystem(
+                pattern.to_csc(self.values), backend=self._backend,
+                names=self._names, pattern_key=pattern.pattern_key())
+        elif self._dirty:
+            self._csc_buf = pattern.csc_data(self.values, out=self._csc_buf)
+            self._system.refactor(self._csc_buf)
+        return self._system
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``G_newton @ x`` for the residual acceptance check."""
+        if self._use_sparse:
+            result = self._sparse_system().matrix @ x
+        else:
+            result = self.matrix() @ x
+        self._dirty = False
+        return result
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """One Newton step solve on the configured kernel."""
+        if self._use_sparse:
+            system = self._sparse_system()
+            self._dirty = False
+            return system.solve(b)
+        matrix = self.matrix()
+        self._dirty = False
+        return DenseBackend().solve_once(matrix, b, names=self._names)
+
+    # ------------------------------------------------------------------
+    def cap_dense(self, view, ctx) -> np.ndarray:
+        """Small-signal ``C`` (linear + incremental) at ``view``, dense.
+
+        Used by the full-nonlinear transient integrator, which needs the
+        capacitance matrix once per time step; the compiled per-device
+        terminal blocks replace the per-step triplet rebuild.
+        """
+        program = self._program
+        values = self._cap_values
+        values[:program.cap_linear_nnz] = self._state.c_values
+        values[program.cap_linear_nnz:] = 0.0
+        adapter = self._cap_adapter
+        for element, slots in program.cap_slots:
+            adapter.slots = slots
+            element.stamp_dynamic_nonlinear(adapter, view, ctx)
+        self._cap_dense = program.cap_pattern.to_dense(values,
+                                                       out=self._cap_dense)
+        return self._cap_dense
+
+
 class CompiledCircuit:
     """One circuit topology, compiled for cheap per-scenario restamping.
 
@@ -401,6 +679,13 @@ class CompiledCircuit:
         self.branch_names: List[str] = []
         self._build_index()
         self._program: Optional[_LinearProgram] = None
+        self._newton: Optional[_NewtonProgram] = None
+        #: Set (once, by the first solve that trips a structure check)
+        #: when an element's nonlinear stamp structure proved
+        #: value-dependent: the verdict is a property of the topology, so
+        #: every later system over this structure skips the doomed
+        #: compiled attempt.
+        self.newton_fallback = False
         self._compile_lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -492,6 +777,7 @@ class CompiledCircuit:
         linear.time_sources = recorder.time_sources
         linear.dynamic = [p for p in programs if p.dynamic]
         linear.scatter = _DynamicScatter(linear.dynamic)
+        linear.programs = programs
 
         # Base arrays: matrix slots carry every compile-time value (each
         # slot is written by exactly one op, so dynamic slots are simply
@@ -517,6 +803,108 @@ class CompiledCircuit:
         linear.base_bdc = base_bdc
         linear.base_bac = base_bac
         return linear
+
+    # ------------------------------------------------------------------
+    # Nonlinear structure (Newton pattern, lazy like the linear pass)
+    # ------------------------------------------------------------------
+    def newton_program(self, ctx: AnalysisContext) -> _NewtonProgram:
+        """The compiled Newton pattern of this topology (probed once).
+
+        Each nonlinear device's ``stamp_nonlinear`` is replayed against a
+        recording stamper (at an all-zero candidate solution, with a
+        throwaway context copy so no limiting state leaks into the real
+        solve); every companion entry becomes a fixed slot in the union
+        pattern.  The incremental-capacitance layer is compiled from the
+        device terminal lists directly — a full k x k block per device —
+        because its stamp *positions* may legitimately move with the
+        operating point (e.g. the MOSFET Meyer partition swapping source
+        and drain roles), and the block is the superset of all of them.
+        """
+        if self._newton is None:
+            # Compile the linear structure *before* taking the lock: the
+            # recording pass depends on it, and _ensure_compiled acquires
+            # the same (non-reentrant) lock when it has work to do.
+            self._ensure_compiled(ctx)
+            with self._compile_lock:
+                if self._newton is None:
+                    self._newton = self._record_newton(ctx)
+        return self._newton
+
+    def _record_newton(self, ctx: AnalysisContext) -> _NewtonProgram:
+        linear = self._ensure_compiled(ctx)
+        nonlinear = [e for e in self.circuit if e.is_nonlinear]
+        recorder = _NewtonRecorder(self)
+        counts: List[Tuple[Element, int]] = []
+        probe_ctx = ctx.copy()
+        probe_view = _ZeroSolution()
+        for element in nonlinear:
+            before = recorder.calls
+            element.stamp_nonlinear(recorder, probe_view, probe_ctx)
+            counts.append((element, recorder.calls - before))
+
+        n = self.size
+        diag = np.arange(n, dtype=np.int64)
+        lin_g = linear.pattern_G
+        nl_rows = np.asarray(recorder.rows, dtype=np.int64)
+        nl_cols = np.asarray(recorder.cols, dtype=np.int64)
+
+        newton = _NewtonProgram()
+        newton.n = n
+        newton.linear_nnz = lin_g.nnz
+        newton.nnz = lin_g.nnz + len(nl_rows) + n
+        newton.pattern = CompiledPattern(
+            n, np.concatenate([lin_g.rows, nl_rows, diag]),
+            np.concatenate([lin_g.cols, nl_cols, diag]))
+        newton.shunt_slice = slice(lin_g.nnz + len(nl_rows), newton.nnz)
+        newton.g_slots = np.asarray(recorder.g_slots, dtype=np.int64) + lin_g.nnz
+        newton.g_vidx = np.asarray(recorder.g_vidx, dtype=np.int64)
+        newton.b_rows = np.asarray(recorder.b_rows, dtype=np.int64)
+        newton.b_vidx = np.asarray(recorder.b_vidx, dtype=np.int64)
+        newton.counts = counts
+
+        # Incremental-capacitance blocks: every terminal pair of every
+        # nonlinear device gets a slot (ground pairs map to a drop).
+        lin_c = linear.pattern_C
+        cap_rows: List[int] = []
+        cap_cols: List[int] = []
+        cap_slots: List[Tuple[Element, Dict[Tuple[str, str], Optional[int]]]] = []
+        for element in nonlinear:
+            terminals = list(dict.fromkeys(element.nodes))
+            mapping: Dict[Tuple[str, str], Optional[int]] = {}
+            for node_a in terminals:
+                for node_b in terminals:
+                    if is_ground(node_a) or is_ground(node_b):
+                        mapping[(node_a, node_b)] = None
+                        continue
+                    mapping[(node_a, node_b)] = lin_c.nnz + len(cap_rows)
+                    cap_rows.append(self._index[node_a])
+                    cap_cols.append(self._index[node_b])
+            cap_slots.append((element, mapping))
+        newton.cap_linear_nnz = lin_c.nnz
+        newton.cap_nnz = lin_c.nnz + len(cap_rows)
+        newton.cap_pattern = CompiledPattern(
+            n, np.concatenate([lin_c.rows,
+                               np.asarray(cap_rows, dtype=np.int64)]),
+            np.concatenate([lin_c.cols,
+                            np.asarray(cap_cols, dtype=np.int64)]))
+        newton.cap_slots = cap_slots
+        return newton
+
+    def dc_rhs_slots(self, element_name: str) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """The DC right-hand-side slots stamped by ``element_name``.
+
+        One ``(slots, signs)`` pair per recorded ``add_rhs_dc`` call of
+        the element, in stamp order (ground-dropped calls yield empty
+        arrays).  This is what lets a DC source sweep patch ``b_dc``
+        directly instead of restamping: the matrix stamps of an
+        independent source do not depend on its DC value.
+        """
+        for program in self.program.programs:
+            if program.element.name == element_name:
+                return [(op.slots, op.signs) for op in program.ops
+                        if op.target == _BDC]
+        raise NetlistError(f"no element named {element_name!r} in the "
+                           "compiled circuit")
 
     # ------------------------------------------------------------------
     # Per-scenario value pass

@@ -1,0 +1,172 @@
+"""Warm-started DC transfer sweeps (``.DC`` in SPICE terms).
+
+A transfer curve is a sequence of operating points under one slowly
+varying quantity — an independent source's DC value or a design
+variable.  Computing each point from scratch wastes exactly the work the
+compile/restamp architecture exists to avoid, so the sweep engine here
+
+* compiles the circuit once (:class:`~repro.analysis.compiled.CompiledCircuit`,
+  shared with every other analysis of the topology);
+* **source sweeps** never restamp at all: the matrix stamps of an
+  independent source do not depend on its DC value, so each point patches
+  the compiled right-hand-side slots of the swept source in place
+  (linear circuits then pay one factorization for the whole curve);
+* **variable sweeps** restamp values per point over the fixed structure;
+* every Newton solve is **warm-started** from the previous point's
+  solution — adjacent sweep points are adjacent operating points, so the
+  solver usually converges in a couple of iterations instead of re-running
+  the full homotopy ladder.  If a warm start fails to converge (a sharp
+  region change), the point is retried cold before giving up.
+
+Sweep grids may ascend or descend (ramp-down curves are how hysteresis
+hunting is done); see :func:`repro.analysis.sweeps.lin_sweep`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.analysis.compiled import CompiledCircuit
+from repro.analysis.context import AnalysisContext
+from repro.analysis.mna import MNASystem
+from repro.analysis.op import NewtonOptions, linear_dc_matrix, solve_dc
+from repro.analysis.results import DCSweepResult
+from repro.circuit.elements.sources import CurrentSource, VoltageSource
+from repro.circuit.netlist import Circuit
+from repro.exceptions import AnalysisError, ConvergenceError
+
+__all__ = ["dc_sweep"]
+
+
+def _resolve_target(compiled: CompiledCircuit, ctx: AnalysisContext,
+                    sweep: str):
+    """Classify the sweep target: a design variable or an independent
+    source element.  Returns ``(is_variable, element)``."""
+    if sweep in ctx.variables:
+        return True, None
+    element = next((e for e in compiled.circuit if e.name == sweep), None)
+    if element is None:
+        sources = [e.name for e in compiled.circuit
+                   if isinstance(e, (VoltageSource, CurrentSource))]
+        raise AnalysisError(
+            f"cannot sweep {sweep!r}: not a design variable "
+            f"({sorted(ctx.variables) or 'none declared'}) and not an "
+            f"independent source ({sources or 'none in the circuit'})")
+    if not isinstance(element, (VoltageSource, CurrentSource)):
+        raise AnalysisError(
+            f"cannot sweep element {sweep!r} of type "
+            f"{type(element).__name__}; only independent V/I sources and "
+            "design variables are sweepable")
+    return False, element
+
+
+def dc_sweep(circuit: Optional[Circuit],
+             sweep: str,
+             values: Union[Sequence[float], np.ndarray],
+             temperature: float = 27.0,
+             gmin: float = 1e-12,
+             variables: Optional[Dict[str, float]] = None,
+             options: Optional[NewtonOptions] = None,
+             backend: Optional[str] = None,
+             compiled: Optional[CompiledCircuit] = None,
+             context: Optional[AnalysisContext] = None) -> DCSweepResult:
+    """Compute the DC transfer curve of ``circuit`` over ``values``.
+
+    Parameters
+    ----------
+    circuit:
+        The circuit to sweep (may be ``None`` when ``compiled`` is given).
+    sweep:
+        What to ramp: the name of an independent voltage/current source
+        (its DC value is swept) or of a design variable.
+    values:
+        The sweep grid (at least two points; ascending or descending).
+    temperature, gmin, variables, options, backend:
+        As for :func:`~repro.analysis.op.operating_point`.
+    compiled:
+        Precompiled structure to reuse (the Monte Carlo path: compile the
+        topology once, sweep transfer curves per sample).
+    context:
+        Pre-built analysis context (used internally by batch engines).
+    """
+    grid = np.asarray(list(values), dtype=float)
+    if grid.ndim != 1 or len(grid) < 2:
+        raise AnalysisError("dc_sweep needs at least two sweep values")
+
+    if compiled is None:
+        if circuit is None:
+            raise AnalysisError("dc_sweep needs a circuit or a "
+                                "precompiled CompiledCircuit")
+        compiled = CompiledCircuit(circuit)
+    ctx = context or AnalysisContext(temperature=temperature, gmin=gmin,
+                                     variables=dict(compiled.circuit.variables))
+    if variables:
+        ctx.update_variables(variables)
+    options = options or NewtonOptions()
+
+    system = MNASystem(None, ctx, backend=backend, compiled=compiled)
+    system.stamp()
+    is_variable, element = _resolve_target(compiled, ctx, sweep)
+
+    entries = coeffs = None
+    base_b = live_b = None
+    linear_reuse = None
+    if not is_variable:
+        entries = compiled.dc_rhs_slots(element.name)
+        # Recorded add_rhs_dc stamps of the source, in stamp order: a
+        # voltage source writes +dc at its branch row; a current source
+        # writes (-dc, +dc) at its terminal rows.
+        coeffs = (1.0,) if isinstance(element, VoltageSource) else (-1.0, 1.0)
+        if len(entries) != len(coeffs):
+            raise AnalysisError(
+                f"source {element.name!r} stamped {len(entries)} DC "
+                f"right-hand-side entries, expected {len(coeffs)}; its "
+                "DC value cannot be swept by rhs patching")
+        nominal = element.dc_value(ctx)
+        live_b = system.state.b_dc            # patched in place per point
+        base_b = live_b.copy()
+        if not system.nonlinear_elements:
+            # The matrix never changes over a linear source sweep: one
+            # factorization serves the entire transfer curve.
+            linear_reuse = system.linear_system(
+                linear_dc_matrix(system, options.gshunt))
+
+    n = system.size
+    data = np.zeros((len(grid), n))
+    iterations = []
+    strategies = []
+    x_prev: Optional[np.ndarray] = None
+    for k, value in enumerate(grid):
+        if is_variable:
+            ctx.set_variable(sweep, float(value))
+            system.restamp()
+        else:
+            patched = base_b.copy()
+            delta = float(value) - nominal
+            for (slots, signs), coeff in zip(entries, coeffs):
+                if len(slots):
+                    patched[slots] += coeff * delta * signs
+            live_b[:] = patched
+
+        if linear_reuse is not None:
+            x, iters, strategy = linear_reuse.solve(live_b), 0, "linear"
+        else:
+            x0 = x_prev if x_prev is not None else np.zeros(n)
+            try:
+                x, iters, strategy = solve_dc(system, x0, options)
+            except ConvergenceError:
+                if x_prev is None:
+                    raise
+                # The warm start landed in a bad basin (sharp transition
+                # between adjacent points): retry this point cold.
+                x, iters, strategy = solve_dc(system, np.zeros(n), options)
+        data[k] = x
+        iterations.append(iters)
+        strategies.append(strategy)
+        x_prev = x
+
+    return DCSweepResult(system.variable_names, sweep, grid, data,
+                         iterations=iterations, strategies=strategies,
+                         temperature=ctx.temperature)

@@ -33,7 +33,7 @@ import numpy as np
 from repro.circuit.elements.base import Element
 from repro.circuit.netlist import Circuit
 from repro.exceptions import NetlistError
-from repro.analysis.compiled import CompiledCircuit, StampState
+from repro.analysis.compiled import CompiledCircuit, NewtonState, StampState
 from repro.analysis.context import AnalysisContext
 from repro.linalg import LinearSystem, SolverBackend, TripletMatrix, resolve_backend
 
@@ -130,6 +130,8 @@ class MNASystem:
 
         self._backend_request = backend
         self._backend: Optional[SolverBackend] = None
+        # Compiled Newton stepper (built lazily by newton_state()).
+        self._newton: Optional[NewtonState] = None
 
     # ------------------------------------------------------------------
     # Index management (delegated to the compiled structure)
@@ -287,7 +289,40 @@ class MNASystem:
         self._G_dense = None
         self._C_dense = None
         self._backend = None if self._backend_request in (None, "auto") else self._backend
-        return self.stamp()
+        self.stamp()
+        if self._newton is not None:
+            # Same structure, fresh linear base: keep the stepper (and its
+            # factorization skeleton), just rebind the value arrays.
+            self._newton.rebind(self._state)
+        return self
+
+    def newton_state(self) -> NewtonState:
+        """The compiled Newton stepper for this system's scenario.
+
+        Built lazily (the first call probes the nonlinear stamp structure,
+        once per :class:`CompiledCircuit`) and kept across restamps; see
+        :class:`~repro.analysis.compiled.NewtonState`.
+        """
+        if self._newton is None:
+            program = self.compiled.newton_program(self.ctx)
+            self._newton = NewtonState(program, self.state,
+                                       backend=self.backend,
+                                       names=self.variable_names)
+        return self._newton
+
+    @property
+    def newton_fallback(self) -> bool:
+        """Whether Newton runs on the classic per-entry companion path.
+
+        The verdict lives on the shared :class:`CompiledCircuit`: a
+        structure incompatibility discovered by any system over one
+        topology spares every later scenario the doomed compiled attempt.
+        """
+        return self.compiled.newton_fallback
+
+    @newton_fallback.setter
+    def newton_fallback(self, value: bool) -> None:
+        self.compiled.newton_fallback = bool(value)
 
     def _stamp_nonlinear(self, x: np.ndarray, dynamic: bool = False) -> None:
         """Refill the per-iteration matrices at candidate solution ``x``."""

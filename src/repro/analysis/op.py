@@ -9,12 +9,21 @@ The solver is a classic SPICE-style ladder of strategies:
    full values, re-using each converged point as the next initial guess.
 
 Linear circuits are solved directly (a single factorisation).
+
+The Newton iteration runs on the **compiled Newton pattern** of the
+circuit (:meth:`~repro.analysis.mna.MNASystem.newton_state`): companion
+entries are fixed pattern slots resolved once per topology, each
+iteration only refills values (no per-entry name lookups, no triplet
+rebuilds), ``gshunt`` fills a prebuilt diagonal slot, and large sparse
+systems refactor one CSC skeleton per iteration with the symbolic
+ordering cached per pattern.  Elements whose nonlinear stamp-call
+structure is not value-independent fall back to the classic per-entry
+assembly automatically.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -23,9 +32,14 @@ from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.results import OPResult
 from repro.circuit.netlist import Circuit
-from repro.exceptions import AnalysisError, ConvergenceError, SingularMatrixError
+from repro.exceptions import (
+    AnalysisError,
+    CompanionStructureError,
+    ConvergenceError,
+    SingularMatrixError,
+)
 
-__all__ = ["operating_point", "NewtonOptions"]
+__all__ = ["operating_point", "solve_dc", "NewtonOptions"]
 
 
 class NewtonOptions:
@@ -58,7 +72,7 @@ def operating_point(circuit: Optional[Circuit],
                     gmin: float = 1e-12,
                     variables: Optional[Dict[str, float]] = None,
                     options: Optional[NewtonOptions] = None,
-                    initial_guess: Optional[Dict[str, float]] = None,
+                    initial_guess: Union[Dict[str, float], np.ndarray, None] = None,
                     context: Optional[AnalysisContext] = None,
                     system: Optional[MNASystem] = None,
                     backend: Optional[str] = None,
@@ -78,16 +92,20 @@ def operating_point(circuit: Optional[Circuit],
     options:
         Newton iteration / homotopy options.
     initial_guess:
-        Optional mapping of node name to initial voltage guess.
+        Optional mapping of node name to initial voltage guess, or a full
+        solution vector in system ordering (the warm-start form used by
+        scenario sweeps: the previous sample's ``OPResult.x`` seeds the
+        next solve).
     context, system:
         Pre-built analysis context / MNA system (used internally by the
         other engines to avoid building things twice).
     backend:
         Linear-solver backend ("dense"/"sparse"/None for auto).  Linear
-        circuits are solved directly on the selected backend; the Newton
-        iteration of nonlinear circuits always uses the dense kernel (its
-        matrix changes every iteration, so there is nothing to reuse, and
-        every nonlinear circuit in this library is small).
+        circuits are solved directly on the selected backend.  The Newton
+        iteration of nonlinear circuits assembles on the compiled union
+        pattern; small systems solve on the dense kernel (identical on
+        both backends), large sparse systems refactor the fixed CSC
+        skeleton per iteration with the symbolic ordering cached.
     compiled:
         A precompiled circuit structure
         (:class:`~repro.analysis.compiled.CompiledCircuit`).  Scenario
@@ -111,44 +129,122 @@ def operating_point(circuit: Optional[Circuit],
 
     n = system.size
     x0 = np.zeros(n)
-    if initial_guess:
-        for name, value in initial_guess.items():
-            index = system.index_of(name)
-            if index is not None:
-                x0[index] = value
+    if initial_guess is not None:
+        if isinstance(initial_guess, dict):
+            for name, value in initial_guess.items():
+                index = system.index_of(name)
+                if index is not None:
+                    x0[index] = value
+        else:
+            vector = np.asarray(initial_guess, dtype=float)
+            if vector.shape != (n,):
+                raise AnalysisError(
+                    f"initial-guess vector has shape {vector.shape}, "
+                    f"expected ({n},)")
+            x0 = vector.copy()
 
-    device_info_strategy = "linear"
-    if not system.nonlinear_elements:
-        x = _solve_linear_dc(system, options)
-        iterations = 0
-    else:
-        x, iterations, device_info_strategy = _solve_nonlinear(system, x0, options)
-
-    device_info = _collect_device_info(system, x)
+    x, iterations, strategy = solve_dc(system, x0, options)
+    device_info, info_failures = _collect_device_info(system, x)
     return OPResult(system.variable_names, x, device_info=device_info,
-                    iterations=iterations, strategy=device_info_strategy,
-                    temperature=ctx.temperature)
+                    iterations=iterations, strategy=strategy,
+                    temperature=ctx.temperature,
+                    info_failures=info_failures)
 
 
-def _solve_linear_dc(system: MNASystem, options: NewtonOptions) -> np.ndarray:
-    """Direct DC solve of a linear circuit on the system's backend."""
+def solve_dc(system: MNASystem, x0: np.ndarray,
+             options: Optional[NewtonOptions] = None
+             ) -> Tuple[np.ndarray, int, str]:
+    """Solve the DC equations of a stamped system from guess ``x0``.
+
+    Returns ``(x, iterations, strategy)`` — linear circuits solve
+    directly, nonlinear circuits run the Newton/homotopy ladder.  This is
+    the shared kernel of :func:`operating_point` and the warm-started
+    :func:`~repro.analysis.dcsweep.dc_sweep` transfer curves.
+    """
+    options = options or NewtonOptions()
+    system.stamp()
+    if not system.nonlinear_elements:
+        return _solve_linear_dc(system, options), 0, "linear"
+    return _solve_nonlinear(system, x0, options)
+
+
+def linear_dc_matrix(system: MNASystem, gshunt: float = 0.0):
+    """The static DC matrix (plus optional shunt) in the backend's form."""
     if system.backend.name == "sparse":
         import scipy.sparse
 
         matrix = system.static_sparse("G")
-        if options.gshunt:
-            matrix = matrix + options.gshunt * scipy.sparse.identity(
+        if gshunt:
+            matrix = matrix + gshunt * scipy.sparse.identity(
                 system.size, format="csc")
-        return system.linear_system(matrix).solve(system.b_dc)
+        return matrix
     matrix = system.G.copy()
-    if options.gshunt:
-        matrix[np.diag_indices_from(matrix)] += options.gshunt
+    if gshunt:
+        matrix[np.diag_indices_from(matrix)] += gshunt
+    return matrix
+
+
+def _solve_linear_dc(system: MNASystem, options: NewtonOptions) -> np.ndarray:
+    """Direct DC solve of a linear circuit on the system's backend."""
+    matrix = linear_dc_matrix(system, options.gshunt)
+    if system.backend.name == "sparse":
+        return system.linear_system(matrix).solve(system.b_dc)
     return system.solve(matrix, system.b_dc)
 
 
 # ----------------------------------------------------------------------
 # Newton machinery
 # ----------------------------------------------------------------------
+
+class _CompiledStep:
+    """Newton assembly on the compiled union pattern (the fast path)."""
+
+    def __init__(self, system: MNASystem):
+        self._system = system
+        self._state = system.newton_state()
+        self.b_dc = self._state.b_dc
+
+    def set_gshunt(self, gshunt: float) -> None:
+        self._state.set_gshunt(gshunt)
+
+    def iterate(self, x: np.ndarray) -> np.ndarray:
+        """Refill companions at ``x``; returns the right-hand side."""
+        return self._state.refill(self._system.solution_view(x),
+                                  self._system.ctx)
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._state.matvec(x)
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self._state.solve(b)
+
+
+class _UncompiledStep:
+    """Classic per-entry companion stamping (structure-change fallback)."""
+
+    def __init__(self, system: MNASystem):
+        self._system = system
+        self._gshunt = 0.0
+        self._G: Optional[np.ndarray] = None
+        self.b_dc = system.b_dc
+
+    def set_gshunt(self, gshunt: float) -> None:
+        self._gshunt = gshunt
+
+    def iterate(self, x: np.ndarray) -> np.ndarray:
+        G, b = self._system.newton_matrices(x)
+        if self._gshunt:
+            G = G.copy()
+            G[np.diag_indices_from(G)] += self._gshunt
+        self._G = G
+        return b
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        return self._G @ x
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        return self._system.solve(self._G, b)
+
 
 def _newton_loop(system: MNASystem, x0: np.ndarray, options: NewtonOptions,
                  gmin_override: Optional[float] = None,
@@ -159,34 +255,48 @@ def _newton_loop(system: MNASystem, x0: np.ndarray, options: NewtonOptions,
 
     The iteration count is part of the return value — not module state —
     so concurrent solves (the thread-pool batch backend) each see their
-    own count.
+    own count.  The compiled stepper is used unless the circuit's
+    nonlinear stamp structure proves value-dependent, in which case the
+    system is flagged and every later loop uses the uncompiled path.
     """
+    if not system.newton_fallback:
+        try:
+            return _run_newton(system, _CompiledStep(system), x0, options,
+                               gmin_override, source_scale, gshunt)
+        except CompanionStructureError:
+            system.newton_fallback = True
+    return _run_newton(system, _UncompiledStep(system), x0, options,
+                       gmin_override, source_scale, gshunt)
+
+
+def _run_newton(system: MNASystem, stepper, x0: np.ndarray,
+                options: NewtonOptions, gmin_override: Optional[float],
+                source_scale: float, gshunt: float) -> Tuple[np.ndarray, int]:
     ctx = system.ctx
     saved_gmin = ctx.gmin
     if gmin_override is not None:
         ctx.gmin = gmin_override
     ctx.reset_device_states()
+    stepper.set_gshunt(gshunt)
     x = x0.copy()
     delta_converged = False
     try:
         for iteration in range(1, options.max_iterations + 1):
-            G, b = system.newton_matrices(x)
+            b = stepper.iterate(x)
             if source_scale != 1.0:
-                b = b - (1.0 - source_scale) * system.b_dc
-            if gshunt:
-                G = G.copy()
-                G[np.diag_indices_from(G)] += gshunt
+                b = b - (1.0 - source_scale) * stepper.b_dc
             if delta_converged:
                 # The voltages stopped moving on the previous iteration;
                 # accept only when the freshly stamped companions (which
                 # reflect any remaining junction-voltage limiting) agree
                 # with the solution, i.e. the KCL residual is small.
-                residual = np.abs(G @ x - b)
-                current_scale = np.maximum(np.abs(G @ x), np.abs(b))
+                Gx = stepper.matvec(x)
+                residual = np.abs(Gx - b)
+                current_scale = np.maximum(np.abs(Gx), np.abs(b))
                 if np.all(residual <= options.reltol * current_scale + options.abstol):
                     _check_physical(system, x, options)
                     return x, iteration
-            x_new = system.solve(G, b)
+            x_new = stepper.solve(b)
             delta = np.abs(x_new - x)
             tol = options.reltol * np.maximum(np.abs(x_new), np.abs(x)) + options.vntol
             delta_converged = bool(np.all(delta <= tol))
@@ -228,8 +338,18 @@ def _check_physical(system: MNASystem, x: np.ndarray, options: NewtonOptions) ->
             continue
         try:
             info = info_getter(view, system.ctx)
-        except Exception:
+        except (ArithmeticError, ValueError):
+            # Expected numeric edge cases far from the solution (overflow,
+            # a fractional power of a negative argument...): the device
+            # simply cannot vote on physicality at this candidate point.
             continue
+        except Exception as exc:
+            # Anything else is a genuine defect in the device model and
+            # must not be silently swallowed as "looks physical".
+            raise AnalysisError(
+                f"operating_point_info of device {element.name!r} failed "
+                f"unexpectedly while validating the operating point: "
+                f"{type(exc).__name__}: {exc}") from exc
         for key in ("id", "ic", "ib", "ie"):
             value = info.get(key)
             if value is not None and abs(float(value)) > options.current_limit:
@@ -287,9 +407,16 @@ def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
         f"source stepping: {last_error}")
 
 
-def _collect_device_info(system: MNASystem, x: np.ndarray) -> Dict[str, Dict[str, float]]:
-    """Gather per-device operating-point summaries where available."""
+def _collect_device_info(system: MNASystem, x: np.ndarray
+                         ) -> Tuple[Dict[str, Dict[str, float]], Dict[str, str]]:
+    """Gather per-device operating-point summaries where available.
+
+    Diagnostics must never break a converged solve, so failures are
+    collected (device name -> error text) instead of raised; they surface
+    on :attr:`OPResult.info_failures` and in the serialized payload.
+    """
     info: Dict[str, Dict[str, float]] = {}
+    failures: Dict[str, str] = {}
     view = system.solution_view(x)
     for element in system.circuit:
         collect = getattr(element, "operating_point_info", None)
@@ -297,6 +424,6 @@ def _collect_device_info(system: MNASystem, x: np.ndarray) -> Dict[str, Dict[str
             continue
         try:
             info[element.name] = collect(view, system.ctx)
-        except Exception:  # pragma: no cover - diagnostics must never break a solve
-            continue
-    return info
+        except Exception as exc:
+            failures[element.name] = f"{type(exc).__name__}: {exc}"
+    return info, failures

@@ -15,7 +15,8 @@ import numpy as np
 
 from repro.exceptions import AnalysisError
 
-__all__ = ["OPResult", "ACResult", "TransientResult", "PoleZeroResult"]
+__all__ = ["OPResult", "ACResult", "DCSweepResult", "TransientResult",
+           "PoleZeroResult"]
 
 
 class _NamedVectorResult:
@@ -47,13 +48,18 @@ class OPResult(_NamedVectorResult):
     def __init__(self, variable_names: List[str], x: np.ndarray,
                  device_info: Optional[Dict[str, Dict[str, float]]] = None,
                  iterations: int = 0, strategy: str = "newton",
-                 temperature: float = 27.0):
+                 temperature: float = 27.0,
+                 info_failures: Optional[Dict[str, str]] = None):
         super().__init__(variable_names)
         self.x = np.asarray(x, dtype=float)
         self.device_info = device_info or {}
         self.iterations = iterations
         self.strategy = strategy
         self.temperature = temperature
+        #: Device name -> error text for operating_point_info calls that
+        #: failed at the converged point (diagnostics never break a solve,
+        #: but unexpected model failures must not vanish silently either).
+        self.info_failures = info_failures or {}
 
     def voltage(self, node: str) -> float:
         if node in ("0", "gnd", "GND"):
@@ -80,6 +86,7 @@ class OPResult(_NamedVectorResult):
             "iterations": self.iterations,
             "strategy": self.strategy,
             "temperature": self.temperature,
+            "info_failures": dict(self.info_failures),
         }
 
     @classmethod
@@ -92,11 +99,100 @@ class OPResult(_NamedVectorResult):
             iterations=int(data.get("iterations", 0)),
             strategy=data.get("strategy", "newton"),
             temperature=float(data.get("temperature", 27.0)),
+            info_failures=data.get("info_failures") or {},
         )
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<OPResult {len(self._variables)} unknowns, "
                 f"{self.iterations} iterations, strategy={self.strategy!r}>")
+
+
+class DCSweepResult(_NamedVectorResult):
+    """DC transfer sweep: one operating point per swept value.
+
+    ``data[k, i]`` is unknown ``i`` at sweep point ``k``; ``iterations``
+    and ``strategies`` record, per point, how hard the warm-started Newton
+    solver had to work (strategy "linear" for circuits solved directly).
+    JSON round-trips through :meth:`to_dict`/:meth:`from_dict` so transfer
+    curves are first-class service payloads.
+    """
+
+    def __init__(self, variable_names: List[str], sweep_name: str,
+                 sweep_values: np.ndarray, data: np.ndarray,
+                 iterations: Optional[List[int]] = None,
+                 strategies: Optional[List[str]] = None,
+                 temperature: float = 27.0):
+        super().__init__(variable_names)
+        self.sweep_name = sweep_name
+        self.sweep_values = np.asarray(sweep_values, dtype=float)
+        #: data[k, i] = value of variable i at sweep point k
+        self.data = np.asarray(data, dtype=float)
+        self.iterations = list(iterations) if iterations is not None else []
+        self.strategies = list(strategies) if strategies is not None else []
+        self.temperature = temperature
+        if self.data.shape != (len(self.sweep_values), len(self._variables)):
+            raise AnalysisError(
+                "DC sweep result data shape does not match values/variables")
+
+    def __len__(self) -> int:
+        return len(self.sweep_values)
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Node voltage vs. swept value (zeros for ground)."""
+        if node in ("0", "gnd", "GND"):
+            return np.zeros_like(self.sweep_values)
+        return self.data[:, self._column(node)]
+
+    def current(self, branch: str) -> np.ndarray:
+        return self.data[:, self._column(branch)]
+
+    def gain(self, node: str) -> np.ndarray:
+        """Incremental transfer gain d V(node) / d (swept value)."""
+        return np.gradient(self.voltage(node), self.sweep_values)
+
+    def waveform(self, node: str):
+        """The transfer curve as a :class:`Waveform` (x = swept value)."""
+        from repro.waveform.waveform import Waveform
+
+        return Waveform(self.sweep_values, self.voltage(node),
+                        name=f"V({node}) vs {self.sweep_name}",
+                        x_unit=self.sweep_name, y_unit="V")
+
+    @property
+    def total_iterations(self) -> int:
+        return int(sum(self.iterations))
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation (what the service cache stores)."""
+        return {
+            "variable_names": list(self._variables),
+            "sweep_name": self.sweep_name,
+            "sweep_values": self.sweep_values.tolist(),
+            "data": self.data.tolist(),
+            "iterations": list(self.iterations),
+            "strategies": list(self.strategies),
+            "temperature": self.temperature,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DCSweepResult":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            variable_names=list(data["variable_names"]),
+            sweep_name=data["sweep_name"],
+            sweep_values=np.asarray(data["sweep_values"], dtype=float),
+            data=np.asarray(data["data"], dtype=float),
+            iterations=[int(i) for i in data.get("iterations", [])],
+            strategies=[str(s) for s in data.get("strategies", [])],
+            temperature=float(data.get("temperature", 27.0)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<DCSweepResult {self.sweep_name}: "
+                f"{len(self.sweep_values)} points "
+                f"{self.sweep_values[0]:g}..{self.sweep_values[-1]:g}, "
+                f"{len(self._variables)} variables>")
 
 
 class ACResult(_NamedVectorResult):

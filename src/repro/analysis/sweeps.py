@@ -12,24 +12,32 @@ __all__ = ["log_sweep", "lin_sweep", "decade_sweep", "around", "FrequencySweep"]
 
 
 def log_sweep(start: float, stop: float, points_per_decade: int = 20) -> np.ndarray:
-    """Logarithmically spaced sweep from ``start`` to ``stop`` (inclusive)."""
+    """Logarithmically spaced sweep from ``start`` to ``stop`` (inclusive).
+
+    Descending sweeps (``stop < start``) are supported — DC ramp-down
+    curves need them; a zero-length sweep (``stop == start``) raises.
+    """
     if start <= 0 or stop <= 0:
         raise SweepError("log sweep bounds must be positive")
-    if stop <= start:
-        raise SweepError("log sweep stop must be greater than start")
+    if stop == start:
+        raise SweepError("log sweep needs distinct start and stop values")
     if points_per_decade < 1:
         raise SweepError("points_per_decade must be at least 1")
-    decades = np.log10(stop / start)
+    decades = abs(np.log10(stop / start))
     n = max(int(np.ceil(decades * points_per_decade)) + 1, 2)
     return np.logspace(np.log10(start), np.log10(stop), n)
 
 
 def lin_sweep(start: float, stop: float, points: int = 101) -> np.ndarray:
-    """Linearly spaced sweep from ``start`` to ``stop`` (inclusive)."""
+    """Linearly spaced sweep from ``start`` to ``stop`` (inclusive).
+
+    Descending sweeps (``stop < start``) are supported — DC ramp-down
+    curves need them; a zero-length sweep (``stop == start``) raises.
+    """
     if points < 2:
         raise SweepError("linear sweep needs at least 2 points")
-    if stop <= start:
-        raise SweepError("linear sweep stop must be greater than start")
+    if stop == start:
+        raise SweepError("linear sweep needs distinct start and stop values")
     return np.linspace(start, stop, points)
 
 
@@ -78,6 +86,12 @@ class FrequencySweep:
         else:
             self.start = float(start)
             self.stop = float(stop)
+            # Frequency-domain sweeps stay strictly ascending (the
+            # stability analyses and plots rely on it); descending grids
+            # are a DC-transfer-sweep feature of the bare helpers.
+            if self.stop <= self.start:
+                raise SweepError("frequency sweep stop must be greater "
+                                 "than start")
             self.points_per_decade = int(points_per_decade)
             self._frequencies = log_sweep(self.start, self.stop, self.points_per_decade)
 

@@ -26,7 +26,11 @@ from repro.analysis.mna import MNASystem
 from repro.analysis.op import NewtonOptions, operating_point
 from repro.analysis.results import OPResult, TransientResult
 from repro.circuit.netlist import Circuit
-from repro.exceptions import AnalysisError, ConvergenceError
+from repro.exceptions import (
+    AnalysisError,
+    CompanionStructureError,
+    ConvergenceError,
+)
 
 __all__ = ["transient_analysis"]
 
@@ -139,7 +143,77 @@ def _integrate_linear(system: MNASystem, x0: np.ndarray, times: np.ndarray) -> n
 
 def _integrate_nonlinear(system: MNASystem, x0: np.ndarray, times: np.ndarray,
                          options: NewtonOptions, max_newton: int) -> np.ndarray:
-    """Trapezoidal integration with a Newton solve per time point."""
+    """Trapezoidal integration with a Newton solve per time point.
+
+    Every time point reuses the circuit's compiled Newton pattern: the
+    per-iteration companion refill writes into fixed slots, and the
+    start-of-step capacitance matrix comes from the compiled per-device
+    terminal blocks — no per-entry name lookups or triplet rebuilds
+    inside the step loop.  Structure-unstable elements fall back to the
+    classic per-entry assembly.
+    """
+    if not system.newton_fallback:
+        try:
+            return _integrate_nonlinear_compiled(system, x0, times, options,
+                                                 max_newton)
+        except CompanionStructureError:
+            system.newton_fallback = True
+    return _integrate_nonlinear_uncompiled(system, x0, times, options,
+                                           max_newton)
+
+
+def _integrate_nonlinear_compiled(system: MNASystem, x0: np.ndarray,
+                                  times: np.ndarray, options: NewtonOptions,
+                                  max_newton: int) -> np.ndarray:
+    n = system.size
+    data = np.zeros((len(times), n))
+    data[0] = x0
+    x_prev = x0.copy()
+    xdot_prev = np.zeros(n)
+    ctx = system.ctx
+    newton = system.newton_state()
+    newton.set_gshunt(0.0)
+    matrix: np.ndarray = np.empty((n, n))
+
+    for k in range(1, len(times)):
+        h = times[k] - times[k - 1]
+        a = 2.0 / h
+        # Capacitances evaluated at the start-of-step solution.
+        C_step = newton.cap_dense(system.solution_view(x_prev), ctx)
+        b_t = system.transient_rhs(times[k])
+        history = C_step @ (a * x_prev + xdot_prev)
+        delta_b = (b_t - system.b_dc) + history
+
+        ctx.reset_device_states()
+        x = x_prev.copy()
+        converged = False
+        for _ in range(max_newton):
+            b_newton = newton.refill(system.solution_view(x), ctx)
+            np.multiply(C_step, a, out=matrix)
+            matrix += newton.matrix()
+            # delta_b already subtracts b_dc once; b_newton adds it back,
+            # so the total is b(t) + companion currents + history.
+            rhs = delta_b + b_newton
+            x_new = system.solve(matrix, rhs)
+            delta = np.abs(x_new - x)
+            tol = options.reltol * np.maximum(np.abs(x_new), np.abs(x)) + options.vntol
+            x = x_new
+            if np.all(delta <= tol):
+                converged = True
+                break
+        if not converged:
+            raise ConvergenceError(
+                f"transient Newton failed to converge at t={times[k]:g} s")
+        xdot_prev = a * (x - x_prev) - xdot_prev
+        x_prev = x
+        data[k] = x
+    return data
+
+
+def _integrate_nonlinear_uncompiled(system: MNASystem, x0: np.ndarray,
+                                    times: np.ndarray, options: NewtonOptions,
+                                    max_newton: int) -> np.ndarray:
+    """Per-entry companion stamping per iteration (the fallback path)."""
     n = system.size
     data = np.zeros((len(times), n))
     data[0] = x0

@@ -157,17 +157,21 @@ class NonlinearDevice(Element):
         ``currents[i]`` is the current flowing *out of node i into the
         device* evaluated at ``voltages``; ``jacobian[i][j]`` is its
         derivative with respect to the voltage of node ``j``.
+
+        Every ``(i, j)`` entry and every equivalent-current row is stamped
+        unconditionally, even when the value happens to be zero this
+        iteration: the compiled Newton path records the stamp-call
+        structure once per topology and refills only the values, so the
+        sequence of calls must not depend on the candidate solution.
         """
         n = len(nodes)
         for i in range(n):
             ieq = currents[i]
             for j in range(n):
                 gij = jacobian[i][j]
-                if gij:
-                    stamper.add_G_iter(nodes[i], nodes[j], gij)
+                stamper.add_G_iter(nodes[i], nodes[j], gij)
                 ieq -= gij * voltages[j]
-            if ieq:
-                stamper.add_rhs_iter(nodes[i], -ieq)
+            stamper.add_rhs_iter(nodes[i], -ieq)
 
     def stamp_capacitance_matrix(self, stamper, nodes: Sequence[str],
                                  cap_jacobian: Sequence[Sequence[float]]) -> None:

@@ -27,6 +27,7 @@ from repro.core.loops import Loop, identify_loops
 from repro.core.peaks import PeakType, StabilityPeak, dominant_negative_peak, find_peaks
 from repro.core.report import (
     format_all_nodes_report,
+    format_dc_sweep_report,
     format_loop_summary,
     format_node_table,
     format_single_node_report,
@@ -93,6 +94,7 @@ __all__ = [
     "Loop",
     "identify_loops",
     "format_all_nodes_report",
+    "format_dc_sweep_report",
     "format_node_table",
     "format_loop_summary",
     "format_special_cases",

@@ -23,6 +23,7 @@ __all__ = [
     "format_loop_summary",
     "format_special_cases",
     "format_all_nodes_report",
+    "format_dc_sweep_report",
     "format_single_node_report",
     "report_rows",
 ]
@@ -144,6 +145,41 @@ def format_all_nodes_report(result: AllNodesResult, title: Optional[str] = None)
         out.write("\nFailed nodes:\n")
         for node, reason in result.failed_nodes.items():
             out.write(f"  {node}: {reason}\n")
+    return out.getvalue()
+
+
+def format_dc_sweep_report(result, node: Optional[str] = None) -> str:
+    """Report for a DC transfer sweep (:class:`~repro.analysis.DCSweepResult`).
+
+    ``node`` (optional) selects the output whose transfer curve is
+    summarised; without it the report covers only the solver statistics.
+    """
+    import numpy as np
+
+    out = io.StringIO()
+    values = result.sweep_values
+    out.write(f"DC transfer sweep: {result.sweep_name} = "
+              f"{values[0]:g} .. {values[-1]:g} ({len(values)} points"
+              + (", descending" if values[-1] < values[0] else "")
+              + f") at {result.temperature:g} C\n")
+    out.write("-" * 60 + "\n")
+    histogram = {}
+    for strategy in result.strategies:
+        histogram[strategy] = histogram.get(strategy, 0) + 1
+    strategies = ", ".join(f"{name} x{count}"
+                           for name, count in sorted(histogram.items()))
+    out.write(f"Newton iterations (warm-started): {result.total_iterations} "
+              f"total ({strategies})\n")
+    if node:
+        curve = result.voltage(node)
+        gain = result.gain(node)
+        peak = int(np.argmax(np.abs(gain)))
+        out.write(f"V({node}): {curve[0]:+.6g} V at {values[0]:g} -> "
+                  f"{curve[-1]:+.6g} V at {values[-1]:g}\n")
+        out.write(f"  output range: [{float(np.min(curve)):+.6g}, "
+                  f"{float(np.max(curve)):+.6g}] V\n")
+        out.write(f"  max |incremental gain|: {abs(gain[peak]):.4g} "
+                  f"at {result.sweep_name} = {values[peak]:g}\n")
     return out.getvalue()
 
 

@@ -46,6 +46,12 @@ class SingularMatrixError(AnalysisError):
     """The MNA matrix is singular (floating node, loop of ideal sources...)."""
 
 
+class CompanionStructureError(AnalysisError):
+    """An element's nonlinear stamp-call structure changed between Newton
+    iterations, which the compiled (fixed-pattern-slot) Newton path cannot
+    represent; the analyses fall back to the uncompiled assembly."""
+
+
 class ConvergenceError(AnalysisError):
     """Newton-Raphson iteration failed to converge."""
 

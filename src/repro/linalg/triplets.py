@@ -237,6 +237,23 @@ class CompiledPattern:
             self._csc_structure = (indptr, indices, scatter)
         return self._csc_structure
 
+    def csc_data(self, values, dtype=float, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """The CSC ``data`` array for ``values`` (stamp order), nothing else.
+
+        This is the per-iteration kernel of the compiled Newton path: the
+        CSC skeleton of a :class:`LinearSystem` built from :meth:`to_csc`
+        never changes, so refilling it only needs the freshly scattered
+        data vector (``LinearSystem.refactor`` accepts it directly).
+        """
+        indptr, indices, scatter = self._csc()
+        if out is None:
+            out = np.zeros(len(indices), dtype=dtype)
+        else:
+            out[:] = 0.0
+        if len(scatter):
+            np.add.at(out, scatter, np.asarray(values, dtype=dtype))
+        return out
+
     def to_csc(self, values, dtype=float):
         """CSC matrix with ``values`` scattered into the prebuilt skeleton.
 
@@ -246,11 +263,9 @@ class CompiledPattern:
         """
         from scipy.sparse import csc_matrix
 
-        indptr, indices, scatter = self._csc()
-        data = np.zeros(len(indices), dtype=dtype)
-        if len(scatter):
-            np.add.at(data, scatter, np.asarray(values, dtype=dtype))
-        matrix = csc_matrix((data, indices, indptr), shape=(self.n, self.n))
+        matrix = csc_matrix((self.csc_data(values, dtype=dtype),
+                             self._csc()[1], self._csc()[0]),
+                            shape=(self.n, self.n))
         matrix.has_canonical_format = True
         return matrix
 

@@ -53,18 +53,21 @@ from repro.service.scenarios import (
     ScenarioSpec,
     SampleOutcome,
     StabilityCriteria,
+    SweepEnvelope,
     YieldSummary,
+    dc_sweep_envelope,
     generate_scenarios,
     scenario_requests,
     stability_yield,
 )
-from repro.service.service import MonteCarloReport, StabilityService
+from repro.service.service import DCSweepReport, MonteCarloReport, StabilityService
 
 __all__ = [
     "AnalysisRequest",
     "AnalysisResponse",
     "BatchEngine",
     "CacheStats",
+    "DCSweepReport",
     "Distribution",
     "MonteCarloReport",
     "ResultCache",
@@ -73,7 +76,9 @@ __all__ = [
     "ScenarioSpec",
     "StabilityCriteria",
     "StabilityService",
+    "SweepEnvelope",
     "YieldSummary",
+    "dc_sweep_envelope",
     "execute_request",
     "expand_corners",
     "generate_scenarios",

@@ -17,6 +17,14 @@ Usage examples::
         --vary "cload=normal:1e-12:10%" --temperature "uniform:-40:125" \\
         --min-pm 45
 
+    # One-shot DC transfer curve (warm-started Newton per point):
+    python -m repro.service analyze opamp.sp --mode dc-sweep \\
+        --dc-sweep "Vin=0:5:51" --node out
+
+    # Monte Carlo over transfer curves: per-sample sweep, output envelope:
+    python -m repro.service montecarlo opamp.sp --samples 32 \\
+        --dc-sweep "Vin=0:5:51" --node out --vary "cload=normal:1e-12:10%"
+
     # Cache inspection / maintenance:
     python -m repro.service cache stats
     python -m repro.service cache clear
@@ -103,6 +111,28 @@ def _parse_sweep(text: str) -> tuple:
     return float(parts[0]), float(parts[1]), int(parts[2])
 
 
+def _parse_dc_sweep(text: str) -> tuple:
+    """``NAME=START:STOP:POINTS`` — the DC transfer sweep definition.
+
+    ``NAME`` is an independent source or design variable; descending
+    ranges (``START > STOP``) ramp down.
+    """
+    if "=" not in text:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=START:STOP:POINTS, got {text!r}")
+    name, _, spec = text.partition("=")
+    parts = spec.split(":")
+    if len(parts) != 3:
+        raise argparse.ArgumentTypeError(
+            f"expected NAME=START:STOP:POINTS, got {text!r}")
+    try:
+        return (name.strip(), parse_value(parts[0]), parse_value(parts[1]),
+                int(parts[2]))
+    except (ReproError, ValueError):
+        raise argparse.ArgumentTypeError(
+            f"bad DC sweep range {spec!r} (expected START:STOP:POINTS)") from None
+
+
 def _read_netlist(path: str) -> str:
     with open(path, "r", encoding="utf-8") as handle:
         return handle.read()
@@ -148,6 +178,15 @@ def _progress_printer(quiet: bool):
 
 def cmd_analyze(args) -> int:
     service = _make_service(args)
+    dc = getattr(args, "dc_sweep", None)
+    if args.mode == "dc-sweep" and dc is None:
+        print("error: --mode dc-sweep needs --dc-sweep NAME=START:STOP:POINTS",
+              file=sys.stderr)
+        return 2
+    if dc is not None and args.mode != "dc-sweep":
+        print("error: --dc-sweep requires --mode dc-sweep (got "
+              f"--mode {args.mode})", file=sys.stderr)
+        return 2
     requests = []
     for path in args.netlists:
         requests.append(AnalysisRequest(
@@ -160,6 +199,10 @@ def cmd_analyze(args) -> int:
             sweep_start=args.sweep[0], sweep_stop=args.sweep[1],
             sweep_points_per_decade=args.sweep[2],
             backend=args.solver_backend,
+            dc_variable=dc[0] if dc else None,
+            dc_start=dc[1] if dc else 0.0,
+            dc_stop=dc[2] if dc else 1.0,
+            dc_points=dc[3] if dc else 51,
             label=os.path.basename(path),
         ))
     responses = service.submit_batch(requests,
@@ -193,6 +236,37 @@ def cmd_montecarlo(args) -> int:
     gmin = _parse_distribution(args.gmin) if args.gmin else None
     spec = ScenarioSpec(variables=variables, temperature=temperature,
                         gmin=gmin, samples=args.samples, seed=args.seed)
+    dc = getattr(args, "dc_sweep", None)
+    if dc is not None:
+        # Monte Carlo over DC transfer curves: every sample sweeps the
+        # named source/variable and the report is the output envelope.
+        if not args.node:
+            print("error: --dc-sweep needs --node (the output whose "
+                  "envelope is reported)", file=sys.stderr)
+            return 2
+        base = AnalysisRequest(mode="dc-sweep", netlist=netlist,
+                               node=args.node,
+                               dc_variable=dc[0], dc_start=dc[1],
+                               dc_stop=dc[2], dc_points=dc[3],
+                               backend=args.solver_backend)
+        report = service.screen_dc_sweep(spec, base=base, node=args.node,
+                                         progress=_progress_printer(args.quiet))
+        if args.json:
+            print(json.dumps({
+                "envelope": {
+                    "node": report.envelope.node,
+                    "sweep_name": report.envelope.sweep_name,
+                    "sweep_values": report.envelope.sweep_values,
+                    "low": report.envelope.low,
+                    "high": report.envelope.high,
+                    "samples": report.envelope.samples,
+                    "errors": report.envelope.errors,
+                },
+                "responses": [r.to_dict() for r in report.responses],
+            }))
+        else:
+            print(report.format())
+        return 0 if report.envelope.errors == 0 else 1
     criteria = StabilityCriteria(min_phase_margin_deg=args.min_pm,
                                  min_damping_ratio=args.min_zeta)
     base = AnalysisRequest(mode="all-nodes", netlist=netlist,
@@ -239,9 +313,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="screen one or more netlists")
     analyze.add_argument("netlists", nargs="+", help="SPICE netlist file(s)")
-    analyze.add_argument("--mode", choices=("all-nodes", "single-node"),
+    analyze.add_argument("--mode",
+                         choices=("all-nodes", "single-node", "dc-sweep"),
                          default="all-nodes")
-    analyze.add_argument("--node", help="node name for single-node mode")
+    analyze.add_argument("--node", help="node name for single-node mode "
+                                        "(and the reported output of a "
+                                        "dc-sweep)")
+    analyze.add_argument("--dc-sweep", metavar="NAME=START:STOP:POINTS",
+                         type=_parse_dc_sweep, dest="dc_sweep",
+                         help="DC transfer sweep of a source or design "
+                              "variable (mode dc-sweep); descending "
+                              "ranges ramp down")
     analyze.add_argument("--temperature", type=float, default=27.0)
     analyze.add_argument("--gmin", type=float, default=1e-12,
                          help="junction convergence conductance")
@@ -274,6 +356,12 @@ def build_parser() -> argparse.ArgumentParser:
                     help="pass criterion: minimum loop phase margin [deg]")
     mc.add_argument("--min-zeta", type=float, default=None,
                     help="pass criterion: minimum loop damping ratio")
+    mc.add_argument("--dc-sweep", metavar="NAME=START:STOP:POINTS",
+                    type=_parse_dc_sweep, dest="dc_sweep",
+                    help="screen DC transfer curves instead of stability: "
+                         "sweep the named source/variable per sample and "
+                         "report the output envelope (needs --node)")
+    mc.add_argument("--node", help="output node for --dc-sweep envelopes")
     mc.add_argument("--sweep", type=_parse_sweep,
                     default=(FrequencySweep.DEFAULT_START,
                              FrequencySweep.DEFAULT_STOP,

@@ -38,8 +38,13 @@ from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.compiled import CompiledCircuit
+from repro.analysis.dcsweep import dc_sweep
 from repro.core.all_nodes import analyze_all_nodes
-from repro.core.report import format_all_nodes_report, format_single_node_report
+from repro.core.report import (
+    format_all_nodes_report,
+    format_dc_sweep_report,
+    format_single_node_report,
+)
 from repro.core.single_node import analyze_node
 from repro.exceptions import ToolError
 from repro.service.requests import AnalysisRequest, AnalysisResponse
@@ -111,14 +116,25 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
     try:
         fingerprint = request.fingerprint()
         circuit = request.resolved_circuit()
-        options = request.analysis_options()
         compiled = _compiled_for(request)
-        if request.mode == "single-node":
+        if request.mode == "dc-sweep":
+            result = dc_sweep(circuit, request.dc_variable,
+                              request.dc_sweep_grid(),
+                              temperature=request.temperature,
+                              gmin=request.gmin,
+                              variables=dict(request.variables) or None,
+                              backend=request.backend,
+                              compiled=compiled)
+            payload = result.to_dict()
+            report = format_dc_sweep_report(result, node=request.node)
+        elif request.mode == "single-node":
+            options = request.analysis_options()
             result = analyze_node(circuit, request.node, options=options,
                                   compiled=compiled)
             payload = result.to_dict()
             report = format_single_node_report(result)
         else:
+            options = request.analysis_options()
             result = analyze_all_nodes(circuit, options=options,
                                        compiled=compiled)
             payload = result.to_dict()

@@ -26,6 +26,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.analysis.results import DCSweepResult
 from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.canonical import circuit_fingerprint
 from repro.circuit.netlist import Circuit
@@ -40,9 +41,10 @@ __all__ = ["AnalysisRequest", "AnalysisResponse", "expand_corners",
 
 #: Bumping this invalidates every existing cache entry (fingerprints change).
 #: v2: the linear-solver backend joined the fingerprint.
-REQUEST_SCHEMA_VERSION = 2
+#: v3: the "dc-sweep" mode and its sweep-definition fields joined the schema.
+REQUEST_SCHEMA_VERSION = 3
 
-_MODES = ("all-nodes", "single-node")
+_MODES = ("all-nodes", "single-node", "dc-sweep")
 _SOLVER_BACKENDS = (None, "auto") + available_backends()
 
 #: Circuit object -> structure fingerprint.  Requests of one batch share
@@ -76,6 +78,14 @@ class AnalysisRequest:
     #: cache must not conflate results computed along different numerical
     #: paths.
     backend: Optional[str] = None
+    #: DC transfer sweep definition ("dc-sweep" mode): what to ramp — an
+    #: independent source name or a design variable — and the grid, either
+    #: start/stop/points (descending allowed) or an explicit value list.
+    dc_variable: Optional[str] = None
+    dc_start: float = 0.0
+    dc_stop: float = 1.0
+    dc_points: int = 51
+    dc_values: Optional[List[float]] = None
     label: Optional[str] = None
 
     def __post_init__(self):
@@ -89,6 +99,17 @@ class AnalysisRequest:
             raise ToolError("request needs either netlist text or a Circuit")
         if self.mode == "single-node" and not self.node:
             raise ToolError("single-node requests must name the node")
+        if self.mode == "dc-sweep":
+            if not self.dc_variable:
+                raise ToolError("dc-sweep requests must name the swept "
+                                "source or design variable (dc_variable)")
+            if self.dc_values is not None:
+                self.dc_values = [float(v) for v in self.dc_values]
+                if len(self.dc_values) < 2:
+                    raise ToolError("dc-sweep needs at least two values")
+            elif self.dc_points < 2 or self.dc_stop == self.dc_start:
+                raise ToolError("dc-sweep needs at least two points and "
+                                "distinct start/stop values")
         self.variables = {str(k): float(v) for k, v in self.variables.items()}
 
     # ------------------------------------------------------------------
@@ -102,8 +123,23 @@ class AnalysisRequest:
         return FrequencySweep(self.sweep_start, self.sweep_stop,
                               self.sweep_points_per_decade)
 
+    def dc_sweep_grid(self):
+        """The DC sweep grid as an array ("dc-sweep" mode only)."""
+        import numpy as np
+
+        from repro.analysis.sweeps import lin_sweep
+
+        if self.mode != "dc-sweep":
+            raise ToolError("only dc-sweep requests carry a DC sweep grid")
+        if self.dc_values is not None:
+            return np.asarray(self.dc_values, dtype=float)
+        return lin_sweep(self.dc_start, self.dc_stop, self.dc_points)
+
     def analysis_options(self):
         """Build the per-mode options object for the core analyses."""
+        if self.mode == "dc-sweep":
+            raise ToolError("dc-sweep requests have no frequency-domain "
+                            "options; see dc_sweep_grid()")
         common = dict(sweep=self.sweep(), temperature=self.temperature,
                       gmin=self.gmin, variables=dict(self.variables) or None,
                       backend=self.backend)
@@ -159,7 +195,7 @@ class AnalysisRequest:
     def fingerprint(self) -> str:
         """Content hash identifying this request (the cache key)."""
         circuit = self.resolved_circuit()
-        return circuit_fingerprint(circuit, extra={
+        extra = {
             "schema": REQUEST_SCHEMA_VERSION,
             "mode": self.mode,
             # Alias-resolved so two spellings of the same electrical node
@@ -170,7 +206,17 @@ class AnalysisRequest:
             "variables": self.variables,
             "sweep": self.sweep().canonical_data(),
             "backend": self.effective_backend(),
-        })
+        }
+        if self.mode == "dc-sweep":
+            extra["dc_sweep"] = {
+                "variable": self.dc_variable,
+                "values": ([float(v) for v in self.dc_values]
+                           if self.dc_values is not None else None),
+                "start": self.dc_start,
+                "stop": self.dc_stop,
+                "points": self.dc_points,
+            }
+        return circuit_fingerprint(circuit, extra=extra)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -190,6 +236,12 @@ class AnalysisRequest:
             "sweep_stop": self.sweep_stop,
             "sweep_points_per_decade": self.sweep_points_per_decade,
             "backend": self.backend,
+            "dc_variable": self.dc_variable,
+            "dc_start": self.dc_start,
+            "dc_stop": self.dc_stop,
+            "dc_points": self.dc_points,
+            "dc_values": (list(self.dc_values)
+                          if self.dc_values is not None else None),
             "label": self.label,
         }
 
@@ -208,6 +260,11 @@ class AnalysisRequest:
             sweep_points_per_decade=int(data.get(
                 "sweep_points_per_decade", FrequencySweep.DEFAULT_POINTS_PER_DECADE)),
             backend=data.get("backend"),
+            dc_variable=data.get("dc_variable"),
+            dc_start=float(data.get("dc_start", 0.0)),
+            dc_stop=float(data.get("dc_stop", 1.0)),
+            dc_points=int(data.get("dc_points", 51)),
+            dc_values=data.get("dc_values"),
             label=data.get("label"),
         )
 
@@ -244,6 +301,12 @@ class AnalysisResponse:
         if not self.ok or self.result is None or self.mode != "single-node":
             raise ToolError("response carries no single-node result")
         return NodeStabilityResult.from_dict(self.result)
+
+    def dc_sweep_result(self) -> DCSweepResult:
+        """Rehydrate the :class:`DCSweepResult` from the payload."""
+        if not self.ok or self.result is None or self.mode != "dc-sweep":
+            raise ToolError("response carries no dc-sweep result")
+        return DCSweepResult.from_dict(self.result)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -302,6 +365,11 @@ def expand_corners(request: AnalysisRequest, corners: Sequence) -> List[Analysis
             sweep_start=request.sweep_start,
             sweep_stop=request.sweep_stop,
             sweep_points_per_decade=request.sweep_points_per_decade,
+            dc_variable=request.dc_variable,
+            dc_start=request.dc_start,
+            dc_stop=request.dc_stop,
+            dc_points=request.dc_points,
+            dc_values=request.dc_values,
             label=corner.name,
         ))
     return requests

@@ -31,7 +31,9 @@ __all__ = [
     "Scenario",
     "StabilityCriteria",
     "SampleOutcome",
+    "SweepEnvelope",
     "YieldSummary",
+    "dc_sweep_envelope",
     "generate_scenarios",
     "scenario_requests",
     "stability_yield",
@@ -139,10 +141,12 @@ def scenario_requests(spec: ScenarioSpec,
                       circuit=None,
                       base: Optional[AnalysisRequest] = None
                       ) -> Tuple[List[Scenario], List[AnalysisRequest]]:
-    """Sample the spec and build one all-nodes request per scenario.
+    """Sample the spec and build one request per scenario.
 
-    ``base`` (optional) supplies the sweep settings and baseline variable
-    overrides; scenario values override base values of the same name.
+    ``base`` (optional) supplies the analysis mode (all-nodes by default;
+    single-node and dc-sweep scenarios are first-class too), the sweep
+    settings and baseline variable overrides; scenario values override
+    base values of the same name.
 
     Every generated request shares one parsed ``Circuit`` object (the
     netlist, when given, is parsed here exactly once and kept alongside
@@ -160,9 +164,10 @@ def scenario_requests(spec: ScenarioSpec,
         variables = dict(base.variables)
         variables.update(scenario.variables)
         requests.append(AnalysisRequest(
-            mode="all-nodes",
+            mode=base.mode,
             netlist=base.netlist,
             circuit=shared_circuit,
+            node=base.node,
             temperature=scenario.temperature,
             gmin=scenario.gmin,
             variables=variables,
@@ -170,6 +175,11 @@ def scenario_requests(spec: ScenarioSpec,
             sweep_stop=base.sweep_stop,
             sweep_points_per_decade=base.sweep_points_per_decade,
             backend=base.backend,
+            dc_variable=base.dc_variable,
+            dc_start=base.dc_start,
+            dc_stop=base.dc_stop,
+            dc_points=base.dc_points,
+            dc_values=base.dc_values,
             label=scenario.name,
         ))
     return scenarios, requests
@@ -299,6 +309,13 @@ def stability_yield(scenarios: Sequence[Scenario],
             outcomes.append(SampleOutcome(scenario=scenario, status="error",
                                           error=response.error))
             continue
+        if response.mode != "all-nodes":
+            outcomes.append(SampleOutcome(
+                scenario=scenario, status="error",
+                error=f"stability yield needs all-nodes responses, got "
+                      f"{response.mode!r} (use dc_sweep_envelope for "
+                      "transfer-curve batches)"))
+            continue
         result = response.all_nodes_result()
         if result.failed_nodes:
             # Zero identified loops on a sample where nodes *failed* is
@@ -320,3 +337,89 @@ def stability_yield(scenarios: Sequence[Scenario],
                                      if worst is not None else None),
         ))
     return YieldSummary(outcomes=outcomes, criteria=criteria)
+
+
+# ----------------------------------------------------------------------
+# DC transfer-curve statistics (Monte Carlo over dc-sweep requests)
+# ----------------------------------------------------------------------
+@dataclass
+class SweepEnvelope:
+    """Per-point min/max envelope of one node's transfer curve across a
+    Monte Carlo batch of dc-sweep responses."""
+
+    node: str
+    sweep_name: str
+    sweep_values: List[float]
+    low: List[float]
+    high: List[float]
+    samples: int
+    errors: int
+    error_messages: List[str] = field(default_factory=list)
+
+    @property
+    def analysed(self) -> int:
+        return self.samples - self.errors
+
+    def max_spread(self) -> float:
+        """Largest high-low gap over the sweep (worst-case sensitivity)."""
+        if not self.low:
+            return 0.0
+        return max(h - l for l, h in zip(self.low, self.high))
+
+    def format(self) -> str:
+        """Human-readable envelope report."""
+        lines = [
+            f"Monte Carlo DC transfer screening: {self.samples} samples",
+            f"  analysed: {self.analysed}   analysis errors: {self.errors}",
+        ]
+        if self.low:
+            lines.append(
+                f"  V({self.node}) vs {self.sweep_name} "
+                f"({self.sweep_values[0]:g} .. {self.sweep_values[-1]:g}, "
+                f"{len(self.sweep_values)} points)")
+            lines.append(
+                f"  envelope: [{min(self.low):+.6g}, {max(self.high):+.6g}] V, "
+                f"max spread {self.max_spread():.4g} V")
+        for message in self.error_messages:
+            lines.append(f"  {message}")
+        return "\n".join(lines) + "\n"
+
+
+def dc_sweep_envelope(scenarios: Sequence[Scenario],
+                      responses: Sequence[AnalysisResponse],
+                      node: str) -> SweepEnvelope:
+    """Reduce dc-sweep responses to the per-point envelope of ``node``."""
+    if len(scenarios) != len(responses):
+        raise ToolError("scenario and response counts differ")
+    sweep_name = ""
+    values: List[float] = []
+    low: List[float] = []
+    high: List[float] = []
+    errors = 0
+    messages: List[str] = []
+    for scenario, response in zip(scenarios, responses):
+        if not response.ok or response.mode != "dc-sweep":
+            errors += 1
+            reason = (response.error if not response.ok
+                      else f"unexpected mode {response.mode!r}")
+            messages.append(f"{scenario.name}: analysis failed: {reason}")
+            continue
+        result = response.dc_sweep_result()
+        curve = result.voltage(node)
+        if not values:
+            sweep_name = result.sweep_name
+            values = [float(v) for v in result.sweep_values]
+            low = [float(v) for v in curve]
+            high = [float(v) for v in curve]
+            continue
+        if len(curve) != len(values):
+            errors += 1
+            messages.append(f"{scenario.name}: sweep grid mismatch "
+                            f"({len(curve)} points vs {len(values)})")
+            continue
+        low = [min(l, float(v)) for l, v in zip(low, curve)]
+        high = [max(h, float(v)) for h, v in zip(high, curve)]
+    return SweepEnvelope(node=node, sweep_name=sweep_name,
+                         sweep_values=values, low=low, high=high,
+                         samples=len(responses), errors=errors,
+                         error_messages=messages)

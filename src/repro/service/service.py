@@ -20,12 +20,14 @@ from repro.service.scenarios import (
     Scenario,
     ScenarioSpec,
     StabilityCriteria,
+    SweepEnvelope,
     YieldSummary,
+    dc_sweep_envelope,
     scenario_requests,
     stability_yield,
 )
 
-__all__ = ["StabilityService", "MonteCarloReport"]
+__all__ = ["StabilityService", "MonteCarloReport", "DCSweepReport"]
 
 
 @dataclass
@@ -43,6 +45,25 @@ class MonteCarloReport:
 
     def format(self) -> str:
         text = self.summary.format()
+        return (text + f"  ({self.cached_count}/{len(self.responses)} samples "
+                       f"from cache, batch took {self.elapsed_seconds:.2f}s)\n")
+
+
+@dataclass
+class DCSweepReport:
+    """Outcome of one Monte Carlo transfer-curve screening run."""
+
+    scenarios: List[Scenario]
+    responses: List[AnalysisResponse]
+    envelope: SweepEnvelope
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for r in self.responses if r.cached)
+
+    def format(self) -> str:
+        text = self.envelope.format()
         return (text + f"  ({self.cached_count}/{len(self.responses)} samples "
                        f"from cache, batch took {self.elapsed_seconds:.2f}s)\n")
 
@@ -173,6 +194,27 @@ class StabilityService:
         return MonteCarloReport(scenarios=scenarios, responses=responses,
                                 summary=summary,
                                 elapsed_seconds=time.time() - started)
+
+    def screen_dc_sweep(self, spec: ScenarioSpec,
+                        base: AnalysisRequest,
+                        node: str,
+                        progress: Optional[ProgressCallback] = None
+                        ) -> DCSweepReport:
+        """Monte Carlo over DC transfer curves: sample, sweep, envelope.
+
+        ``base`` must be a ``mode="dc-sweep"`` request (it carries the
+        swept source/variable and the grid); ``node`` selects the output
+        whose per-point min/max envelope is reported.  Each worker
+        compiles the topology once and runs every sample's warm-started
+        sweep on the compiled Newton pattern.
+        """
+        started = time.time()
+        scenarios, requests = scenario_requests(spec, base=base)
+        responses = self.submit_batch(requests, progress=progress)
+        envelope = dc_sweep_envelope(scenarios, responses, node)
+        return DCSweepReport(scenarios=scenarios, responses=responses,
+                             envelope=envelope,
+                             elapsed_seconds=time.time() - started)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

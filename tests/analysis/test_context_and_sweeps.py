@@ -74,7 +74,26 @@ class TestSweeps:
         values = lin_sweep(0.0, 1.0, 11)
         assert len(values) == 11 and values[5] == pytest.approx(0.5)
         with pytest.raises(SweepError):
-            lin_sweep(1.0, 0.0)
+            lin_sweep(1.0, 1.0)
+        with pytest.raises(SweepError):
+            lin_sweep(0.0, 1.0, points=1)
+
+    def test_descending_sweeps_ramp_down(self):
+        # DC ramp-down curves sweep high-to-low; the helpers must support
+        # descending grids (only zero-length sweeps are rejected).
+        values = lin_sweep(5.0, -5.0, 11)
+        assert values[0] == pytest.approx(5.0) and values[-1] == pytest.approx(-5.0)
+        assert np.all(np.diff(values) < 0)
+        freqs = log_sweep(1e6, 1.0, 10)
+        assert freqs[0] == pytest.approx(1e6) and freqs[-1] == pytest.approx(1.0)
+        assert np.all(np.diff(freqs) < 0)
+        assert len(freqs) == 61
+
+    def test_frequency_sweep_still_requires_ascending_range(self):
+        with pytest.raises(SweepError):
+            FrequencySweep(1e6, 1e3)
+        with pytest.raises(SweepError):
+            FrequencySweep(1e6, 1e6)
 
     def test_decade_sweep(self):
         freqs = decade_sweep(0, 3, 5)

@@ -1,0 +1,138 @@
+"""DC transfer sweeps: warm-started Newton, source rhs patching, variable
+restamps and the factorization economics of linear sweeps."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import CompiledCircuit, dc_sweep, operating_point
+from repro.circuit import CircuitBuilder
+from repro.circuit.elements import DiodeModel
+from repro.exceptions import AnalysisError
+from repro.linalg import DenseBackend, SparseBackend
+
+
+def _divider(rload=4e3):
+    builder = CircuitBuilder("divider")
+    builder.voltage_source("in", "0", dc=10.0, name="V1")
+    builder.resistor("in", "out", 1e3)
+    builder.resistor("out", "0", "rload")
+    builder.variable("rload", rload)
+    return builder.build()
+
+
+def _diode_circuit():
+    builder = CircuitBuilder("diode")
+    builder.voltage_source("vcc", "0", dc=5.0, name="V1")
+    builder.resistor("vcc", "a", 1e3)
+    builder.diode("a", "0", DiodeModel(IS=1e-14))
+    return builder.build()
+
+
+class TestLinearSweeps:
+    def test_voltage_source_sweep_is_exact(self):
+        result = dc_sweep(_divider(), "V1", np.linspace(0.0, 10.0, 11))
+        # rload=4k on a 1k series resistor: V(out) = 0.8 * V1.
+        assert np.allclose(result.voltage("out"), 0.8 * result.sweep_values)
+        assert result.strategies == ["linear"] * 11
+        assert result.total_iterations == 0
+
+    @pytest.mark.parametrize("backend,backend_class",
+                             [("dense", DenseBackend), ("sparse", SparseBackend)])
+    def test_linear_source_sweep_pays_one_factorization(self, backend,
+                                                        backend_class):
+        backend_class.stats.reset()
+        result = dc_sweep(_divider(), "V1", np.linspace(0.0, 10.0, 25),
+                          backend=backend)
+        assert len(result) == 25
+        stats = backend_class.stats
+        assert stats.factorizations == 1
+        assert stats.solves == 25
+
+    def test_current_source_sweep(self):
+        builder = CircuitBuilder("ir")
+        builder.current_source("0", "out", dc=1e-3, name="I1")
+        builder.resistor("out", "0", 2e3)
+        grid = np.linspace(-2e-3, 2e-3, 9)
+        result = dc_sweep(builder.build(), "I1", grid)
+        assert np.allclose(result.voltage("out"), 2e3 * grid)
+
+    def test_descending_sweep_ramps_down(self):
+        result = dc_sweep(_divider(), "V1", np.linspace(10.0, -10.0, 21))
+        assert result.voltage("out")[0] == pytest.approx(8.0)
+        assert result.voltage("out")[-1] == pytest.approx(-8.0)
+
+    def test_variable_sweep_restamps_per_point(self):
+        result = dc_sweep(_divider(), "rload", [1e3, 2e3, 4e3])
+        expected = [10.0 * r / (1e3 + r) for r in (1e3, 2e3, 4e3)]
+        assert np.allclose(result.voltage("out"), expected)
+
+
+class TestNonlinearSweeps:
+    def test_source_sweep_matches_per_point_operating_points(self):
+        circuit = _diode_circuit()
+        grid = np.linspace(0.0, 5.0, 11)
+        result = dc_sweep(circuit, "V1", grid)
+        for value, va in zip(grid, result.voltage("a")):
+            builder = CircuitBuilder("ref")
+            builder.voltage_source("vcc", "0", dc=float(value), name="V1")
+            builder.resistor("vcc", "a", 1e3)
+            builder.diode("a", "0", DiodeModel(IS=1e-14))
+            reference = operating_point(builder.build())
+            assert va == pytest.approx(reference.voltage("a"), abs=1e-6)
+
+    def test_warm_starts_beat_cold_starts(self):
+        circuit = _diode_circuit()
+        grid = np.linspace(0.5, 5.0, 19)
+        result = dc_sweep(circuit, "V1", grid)
+        cold_iterations = 0
+        for value in grid:
+            builder = CircuitBuilder("ref")
+            builder.voltage_source("vcc", "0", dc=float(value), name="V1")
+            builder.resistor("vcc", "a", 1e3)
+            builder.diode("a", "0", DiodeModel(IS=1e-14))
+            cold_iterations += operating_point(builder.build()).iterations
+        assert result.total_iterations < cold_iterations / 2
+
+    def test_variable_sweep_of_nonlinear_circuit(self):
+        builder = CircuitBuilder("dvar")
+        builder.voltage_source("vcc", "0", dc=5.0, name="V1")
+        builder.resistor("vcc", "a", "rsrc")
+        builder.diode("a", "0", DiodeModel(IS=1e-14))
+        builder.variable("rsrc", 1e3)
+        circuit = builder.build()
+        result = dc_sweep(circuit, "rsrc", [1e3, 10e3, 100e3])
+        for r, va in zip((1e3, 10e3, 100e3), result.voltage("a")):
+            reference = operating_point(circuit, variables={"rsrc": r})
+            assert va == pytest.approx(reference.voltage("a"), abs=1e-6)
+
+    def test_shared_compiled_structure(self):
+        circuit = _diode_circuit()
+        compiled = CompiledCircuit(circuit)
+        first = dc_sweep(None, "V1", [0.0, 2.5, 5.0], compiled=compiled)
+        second = dc_sweep(None, "V1", [0.0, 2.5, 5.0], compiled=compiled)
+        assert np.allclose(first.data, second.data)
+
+
+class TestValidationAndSerialization:
+    def test_unknown_target_raises_with_candidates(self):
+        with pytest.raises(AnalysisError, match="not a design variable"):
+            dc_sweep(_divider(), "Vnope", [0.0, 1.0])
+
+    def test_non_source_element_rejected(self):
+        with pytest.raises(AnalysisError, match="only independent"):
+            dc_sweep(_divider(), "R1", [0.0, 1.0])
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(AnalysisError, match="at least two"):
+            dc_sweep(_divider(), "V1", [1.0])
+
+    def test_result_round_trips_through_json(self):
+        from repro.analysis.results import DCSweepResult
+
+        result = dc_sweep(_diode_circuit(), "V1", np.linspace(0.0, 5.0, 5))
+        clone = DCSweepResult.from_dict(result.to_dict())
+        assert clone.sweep_name == "V1"
+        assert np.allclose(clone.data, result.data)
+        assert clone.strategies == result.strategies
+        assert clone.total_iterations == result.total_iterations
+        assert np.allclose(clone.gain("a"), result.gain("a"))

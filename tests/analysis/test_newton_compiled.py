@@ -1,0 +1,225 @@
+"""Compiled Newton layer: fixed companion slots, kernel selection and the
+structure-change fallback.
+
+The Newton loop must produce the same operating points as the classic
+per-entry companion assembly (kept in the code as the fallback path),
+reuse the sparse backend's symbolic ordering across iterations on large
+systems, and degrade gracefully — not wrongly — when an element's stamp
+structure turns out to depend on the candidate solution.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    AnalysisContext,
+    CompiledCircuit,
+    MNASystem,
+    NewtonOptions,
+    operating_point,
+)
+from repro.circuit import CircuitBuilder
+from repro.circuit.elements import DiodeModel
+from repro.circuit.elements.base import Element
+from repro.circuits import opamp_with_bias
+from repro.exceptions import AnalysisError, NetlistError
+from repro.linalg import SparseBackend
+
+TOLERANCE = 1e-9
+
+
+def _diode_resistor():
+    builder = CircuitBuilder("d")
+    builder.voltage_source("vcc", "0", dc=5.0, name="V1")
+    builder.resistor("vcc", "a", 1e3)
+    builder.diode("a", "0", DiodeModel(IS=1e-14))
+    return builder.build()
+
+
+def _fallback_op(circuit, options=None):
+    """Operating point through the uncompiled (per-entry) Newton path."""
+    system = MNASystem(circuit, AnalysisContext(
+        variables=dict(circuit.variables)))
+    system.newton_fallback = True
+    return operating_point(None, system=system, options=options)
+
+
+class TestCompiledEquivalence:
+    def test_matches_fallback_on_the_full_opamp(self):
+        circuit = opamp_with_bias().circuit
+        compiled = operating_point(circuit)
+        fallback = _fallback_op(circuit)
+        scale = max(float(np.max(np.abs(fallback.x))), 1.0)
+        assert np.max(np.abs(compiled.x - fallback.x)) <= TOLERANCE * scale
+        assert compiled.strategy == fallback.strategy
+
+    def test_gshunt_fills_prebuilt_diagonal_slots(self):
+        options = NewtonOptions(gshunt=1e-9)
+        circuit = _diode_resistor()
+        compiled = operating_point(circuit, options=options)
+        fallback = _fallback_op(circuit, options=options)
+        scale = max(float(np.max(np.abs(fallback.x))), 1.0)
+        assert np.max(np.abs(compiled.x - fallback.x)) <= TOLERANCE * scale
+
+    def test_newton_state_before_stamp_does_not_deadlock(self):
+        # newton_program compiles the linear structure itself; calling it
+        # first (no prior stamp()) must not re-enter the compile lock.
+        system = MNASystem(_diode_resistor(), AnalysisContext())
+        state = system.newton_state()
+        assert state is system.newton_state()
+
+    def test_repeated_solves_reuse_one_newton_state(self):
+        system = MNASystem(_diode_resistor(), AnalysisContext())
+        first = operating_point(None, system=system)
+        state = system.newton_state()
+        second = operating_point(None, system=system,
+                                 initial_guess=first.x)
+        assert system.newton_state() is state
+        assert second.iterations <= first.iterations
+
+    def test_restamp_rebinds_the_newton_state(self):
+        builder = CircuitBuilder("vload")
+        builder.voltage_source("vcc", "0", dc=5.0)
+        builder.resistor("vcc", "a", "rsrc")
+        builder.diode("a", "0", DiodeModel(IS=1e-14))
+        builder.variable("rsrc", 1e3)
+        circuit = builder.build()
+        system = MNASystem(circuit, AnalysisContext(
+            variables=dict(circuit.variables)))
+        operating_point(None, system=system)        # builds the stepper
+        system.ctx.set_variable("rsrc", 10e3)
+        system.restamp()
+        warm = operating_point(None, system=system)
+        fresh = operating_point(circuit, variables={"rsrc": 10e3})
+        scale = max(float(np.max(np.abs(fresh.x))), 1.0)
+        assert np.max(np.abs(warm.x - fresh.x)) <= TOLERANCE * scale
+
+
+class TestSparseNewtonKernel:
+    def _diode_ladder(self, sections=250):
+        builder = CircuitBuilder(f"diode ladder ({sections})")
+        builder.voltage_source("n0", "0", dc=5.0, name="V1")
+        for k in range(1, sections + 1):
+            builder.resistor(f"n{k-1}", f"n{k}", 100.0, name=f"R{k}")
+        builder.diode(f"n{sections}", "0", DiodeModel(IS=1e-14))
+        return builder.build()
+
+    def test_large_sparse_newton_reuses_symbolic_ordering(self):
+        circuit = self._diode_ladder()
+        SparseBackend.clear_symbolic_cache()
+        SparseBackend.stats.reset()
+        sparse = operating_point(circuit, backend="sparse")
+        stats = SparseBackend.stats
+        assert sparse.iterations >= 2
+        assert stats.factorizations >= 2
+        # Every same-pattern refactorization after the first skips the
+        # symbolic analysis (the whole point of the compiled pattern).
+        assert stats.symbolic_reuses == stats.factorizations - 1
+        dense = operating_point(circuit, backend="dense")
+        scale = max(float(np.max(np.abs(dense.x))), 1.0)
+        assert np.max(np.abs(sparse.x - dense.x)) <= TOLERANCE * scale
+
+
+class _FlickeringElement(Element):
+    """Nonlinear element whose stamp-call count changes after the first
+    evaluation — illegal for the compiled path, legal for the fallback."""
+
+    is_nonlinear = True
+
+    def __init__(self, name, node, g=1e-3):
+        super().__init__(name, (node,))
+        self._g = g
+        self.evaluations = 0
+
+    def stamp_linear(self, stamper, ctx):
+        pass
+
+    def stamp_nonlinear(self, stamper, x, ctx):
+        self.evaluations += 1
+        stamper.add_G_iter(self.nodes[0], self.nodes[0], self._g)
+        if self.evaluations > 1:
+            stamper.add_rhs_iter(self.nodes[0], 0.0)
+
+
+class _BrokenInfoDiode(Element):
+    """Converging companion with a defective operating_point_info."""
+
+    is_nonlinear = True
+
+    def __init__(self, name, node, error):
+        super().__init__(name, (node,))
+        self._error = error
+
+    def stamp_linear(self, stamper, ctx):
+        pass
+
+    def stamp_nonlinear(self, stamper, x, ctx):
+        stamper.add_G_iter(self.nodes[0], self.nodes[0], 1e-3)
+
+    def operating_point_info(self, x, ctx):
+        raise self._error
+
+
+class TestStructureFallback:
+    def _circuit(self, extra):
+        from repro.circuit.netlist import Circuit
+        from repro.circuit.elements import Resistor, VoltageSource
+
+        circuit = Circuit("flicker")
+        circuit.add(VoltageSource("V1", "in", "0", dc=5.0))
+        circuit.add(Resistor("R1", "in", "a", 1e3))
+        circuit.add(extra)
+        return circuit
+
+    def test_value_dependent_structure_falls_back_and_stays_correct(self):
+        circuit = self._circuit(_FlickeringElement("NL1", "a"))
+        system = MNASystem(circuit, AnalysisContext())
+        op = operating_point(None, system=system)
+        assert system.newton_fallback is True
+        # The verdict lives on the topology: a second system over the same
+        # compiled structure skips the compiled attempt entirely.
+        assert system.compiled.newton_fallback is True
+        # 5 V through 1k into a 1 mS companion conductance: 2.5 V.
+        assert op.voltage("a") == pytest.approx(2.5, rel=1e-6)
+
+    def test_unsupported_stamper_method_falls_back_not_crashes(self):
+        class _LateCapacitanceElement(_FlickeringElement):
+            def stamp_nonlinear(self, stamper, x, ctx):
+                self.evaluations += 1
+                stamper.add_G_iter(self.nodes[0], self.nodes[0], self._g)
+                if self.evaluations > 1:
+                    # Legal against MNASystem, unknown to the compiled
+                    # capture adapter: must trigger the fallback.
+                    stamper.capacitance_op(self.nodes[0], "0", 1e-12)
+
+        circuit = self._circuit(_LateCapacitanceElement("NL1", "a"))
+        system = MNASystem(circuit, AnalysisContext())
+        op = operating_point(None, system=system)
+        assert system.newton_fallback is True
+        assert op.voltage("a") == pytest.approx(2.5, rel=1e-6)
+
+    def test_unexpected_info_failure_surfaces(self):
+        circuit = self._circuit(_BrokenInfoDiode("NL1", "a",
+                                                 TypeError("model bug")))
+        with pytest.raises(AnalysisError, match="NL1.*failed unexpectedly"):
+            operating_point(circuit)
+
+    def test_numeric_info_failure_is_recorded_not_raised(self):
+        circuit = self._circuit(_BrokenInfoDiode("NL1", "a",
+                                                 OverflowError("too hot")))
+        op = operating_point(circuit)
+        assert op.voltage("a") == pytest.approx(2.5, rel=1e-6)
+        assert "NL1" in op.info_failures
+        assert "OverflowError" in op.info_failures["NL1"]
+        # The failure survives the JSON round trip of the service cache.
+        from repro.analysis.results import OPResult
+
+        assert OPResult.from_dict(op.to_dict()).info_failures == op.info_failures
+
+
+class TestDcRhsSlots:
+    def test_unknown_element_raises(self):
+        compiled = CompiledCircuit(_diode_resistor())
+        compiled.restamp()
+        with pytest.raises(NetlistError, match="no element named"):
+            compiled.dc_rhs_slots("Vnope")

@@ -1,0 +1,166 @@
+"""dc-sweep requests through the service stack: schema, engine, Monte
+Carlo envelopes and the CLI plumbing they share."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ToolError
+from repro.service import (
+    AnalysisRequest,
+    BatchEngine,
+    Distribution,
+    ScenarioSpec,
+    StabilityService,
+    dc_sweep_envelope,
+    execute_request,
+    scenario_requests,
+    stability_yield,
+)
+from repro.service.cache import ResultCache
+
+NETLIST = """dc sweep service test
+.model DMOD D IS=1e-14
+V1 in 0 DC 5
+R1 in out 1k
+D1 out 0 DMOD
+.end
+"""
+
+LINEAR_NETLIST = """linear divider
+V1 in 0 DC 10
+R1 in out 1k
+R2 out 0 rload
+.param rload=4k
+.end
+"""
+
+
+def _request(**overrides):
+    fields = dict(mode="dc-sweep", netlist=NETLIST, node="out",
+                  dc_variable="V1", dc_start=0.0, dc_stop=5.0, dc_points=11)
+    fields.update(overrides)
+    return AnalysisRequest(**fields)
+
+
+class TestRequestSchema:
+    def test_dc_sweep_requires_variable(self):
+        with pytest.raises(ToolError, match="dc_variable"):
+            AnalysisRequest(mode="dc-sweep", netlist=NETLIST)
+
+    def test_dc_sweep_rejects_degenerate_grid(self):
+        with pytest.raises(ToolError, match="distinct start/stop"):
+            _request(dc_start=1.0, dc_stop=1.0)
+        with pytest.raises(ToolError, match="at least two values"):
+            _request(dc_values=[1.0])
+
+    def test_descending_grid_is_legal(self):
+        grid = _request(dc_start=5.0, dc_stop=-5.0).dc_sweep_grid()
+        assert grid[0] == pytest.approx(5.0)
+        assert grid[-1] == pytest.approx(-5.0)
+        assert np.all(np.diff(grid) < 0)
+
+    def test_fingerprint_distinguishes_grids_and_targets(self):
+        base = _request()
+        assert base.fingerprint() != _request(dc_points=21).fingerprint()
+        assert base.fingerprint() != _request(dc_stop=4.0).fingerprint()
+        assert base.fingerprint() != _request(
+            dc_values=[0.0, 2.5, 5.0]).fingerprint()
+        # Mode must separate a dc-sweep from a stability screen.
+        stability = AnalysisRequest(mode="all-nodes", netlist=NETLIST)
+        assert base.fingerprint() != stability.fingerprint()
+
+    def test_json_round_trip_preserves_fingerprint(self):
+        request = _request(dc_values=[0.0, 1.0, 5.0])
+        clone = AnalysisRequest.from_dict(request.to_dict())
+        assert clone.fingerprint() == request.fingerprint()
+        assert clone.dc_values == [0.0, 1.0, 5.0]
+
+    def test_analysis_options_refuses_dc_sweep(self):
+        with pytest.raises(ToolError, match="no frequency-domain options"):
+            _request().analysis_options()
+
+
+class TestExecution:
+    def test_execute_request_returns_transfer_curve(self):
+        response = execute_request(_request())
+        assert response.ok, response.error
+        result = response.dc_sweep_result()
+        assert len(result) == 11
+        curve = result.voltage("out")
+        assert curve[0] == pytest.approx(0.0, abs=1e-9)
+        assert 0.6 < curve[-1] < 0.8
+        assert "DC transfer sweep" in response.report
+
+    def test_source_and_variable_sweeps_both_run(self):
+        response = AnalysisRequest(
+            mode="dc-sweep", netlist=LINEAR_NETLIST, node="out",
+            dc_variable="rload", dc_start=1e3, dc_stop=4e3, dc_points=4)
+        result = execute_request(response).dc_sweep_result()
+        assert result.voltage("out")[0] == pytest.approx(5.0)
+        assert result.voltage("out")[-1] == pytest.approx(8.0)
+
+    def test_service_caches_dc_sweeps(self):
+        service = StabilityService(cache=ResultCache(None),
+                                   engine=BatchEngine(backend="serial"))
+        request = _request()
+        first = service.submit(request)
+        second = service.submit(request)
+        assert first.ok and not first.cached
+        assert second.cached
+        assert np.allclose(second.dc_sweep_result().data,
+                           first.dc_sweep_result().data)
+
+
+class TestMonteCarlo:
+    def test_scenario_requests_carry_the_sweep_definition(self):
+        spec = ScenarioSpec(variables={"rload": Distribution.uniform(1e3, 4e3)},
+                            samples=3, seed=1)
+        base = AnalysisRequest(mode="dc-sweep", netlist=LINEAR_NETLIST,
+                               node="out", dc_variable="V1",
+                               dc_start=0.0, dc_stop=10.0, dc_points=5)
+        scenarios, requests = scenario_requests(spec, base=base)
+        assert len(requests) == 3
+        for request in requests:
+            assert request.mode == "dc-sweep"
+            assert request.node == "out"
+            assert request.dc_variable == "V1"
+            assert request.dc_points == 5
+            assert request.circuit is base.circuit
+
+    def test_screen_dc_sweep_builds_envelope(self):
+        service = StabilityService(cache=ResultCache(None),
+                                   engine=BatchEngine(backend="serial"))
+        spec = ScenarioSpec(variables={"rload": Distribution.uniform(1e3, 4e3)},
+                            samples=6, seed=7)
+        base = AnalysisRequest(mode="dc-sweep", netlist=LINEAR_NETLIST,
+                               node="out", dc_variable="V1",
+                               dc_start=0.0, dc_stop=10.0, dc_points=5)
+        report = service.screen_dc_sweep(spec, base=base, node="out")
+        envelope = report.envelope
+        assert envelope.samples == 6 and envelope.errors == 0
+        assert len(envelope.sweep_values) == 5
+        # The divider gain is monotone in rload in (1k, 4k): the envelope
+        # top-of-sweep values must spread inside the analytic bounds.
+        assert 5.0 <= envelope.low[-1] < envelope.high[-1] <= 8.0
+        assert envelope.max_spread() > 0
+        assert "Monte Carlo DC transfer screening" in report.format()
+
+    def test_envelope_counts_failed_samples(self):
+        spec = ScenarioSpec(samples=2, seed=1)
+        base = AnalysisRequest(mode="dc-sweep", netlist=NETLIST, node="out",
+                               dc_variable="Vmissing",
+                               dc_start=0.0, dc_stop=5.0, dc_points=3)
+        scenarios, requests = scenario_requests(spec, base=base)
+        responses = [execute_request(r) for r in requests]
+        envelope = dc_sweep_envelope(scenarios, responses, "out")
+        assert envelope.errors == 2
+        assert envelope.analysed == 0
+        assert envelope.error_messages
+
+    def test_stability_yield_rejects_dc_sweep_responses(self):
+        spec = ScenarioSpec(samples=1, seed=1)
+        scenarios, requests = scenario_requests(spec, base=_request())
+        responses = [execute_request(r) for r in requests]
+        summary = stability_yield(scenarios, responses)
+        assert summary.errors == 1
+        assert "dc_sweep_envelope" in summary.outcomes[0].error
