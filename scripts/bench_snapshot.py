@@ -2,10 +2,11 @@
 
 Runs the headline benchmarks — compile/restamp speedup, compiled-Newton
 Monte Carlo operating points, warm-started DC transfer sweeps, Monte
-Carlo screening throughput and the sparse-vs-dense backend speedup — and
-writes ``BENCH_parametric.json`` so the performance trajectory of the
-repo is recorded per commit (CI runs this as a non-blocking job and
-uploads the file as an artifact).
+Carlo screening throughput, the sample-axis batch kernel
+(restamp_batch + solve_batch vs. the per-sample compiled loop) and the
+sparse-vs-dense backend speedup — and writes ``BENCH_parametric.json``
+so the performance trajectory of the repo is recorded per commit (CI
+runs this as a non-blocking job and uploads the file as an artifact).
 
 Usage::
 
@@ -128,6 +129,38 @@ def monte_carlo_throughput(samples: int) -> dict:
             "yield_fraction": round(report.summary.yield_fraction, 4)}
 
 
+def batch_solve_speedup(samples: int) -> dict:
+    """Batched restamp+solve vs. the per-sample compiled loop (see
+    benchmarks/bench_batch_solve.py) plus the observed batch counters."""
+    from benchmarks.bench_batch_solve import (
+        SECTIONS,
+        _scenarios,
+        _time_batched,
+        _time_per_sample_compiled,
+        tc_rc_ladder,
+    )
+    import benchmarks.bench_batch_solve as bench
+    from repro.analysis import CompiledCircuit
+    from repro.linalg import DenseBackend
+
+    bench.SAMPLES = samples
+    compiled = CompiledCircuit(tc_rc_ladder(SECTIONS))
+    compiled.restamp()
+    temperatures, rloads = _scenarios()
+    scalar_seconds, _ = _time_per_sample_compiled(compiled, temperatures,
+                                                  rloads)
+    DenseBackend.stats.reset()
+    batched_seconds, _, _ = _time_batched(compiled, temperatures, rloads,
+                                          "dense")
+    return {"samples": samples,
+            "unknowns": compiled.size,
+            "per_sample_seconds": round(scalar_seconds, 3),
+            "batched_seconds": round(batched_seconds, 3),
+            "speedup": round(scalar_seconds / max(batched_seconds, 1e-9), 2),
+            "batch_solves": DenseBackend.stats.batch_solves,
+            "batched_systems": DenseBackend.stats.batched_systems}
+
+
 def backend_speedup(sections: int = 1000) -> dict:
     """Sparse vs. dense AC sweep on the big ladder (see bench_linalg_backends)."""
     from repro.analysis import ac_analysis
@@ -167,6 +200,7 @@ def main(argv=None) -> int:
         "newton_restamp": newton_restamp_speedup(max(args.samples // 4, 16)),
         "dc_sweep": dc_sweep_throughput(),
         "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
+        "batch_solve": batch_solve_speedup(args.samples),
         "backends": backend_speedup(),
     }
     with open(args.output, "w", encoding="utf-8") as handle:

@@ -9,7 +9,9 @@ Blocks tagged ```` ```python no-run ```` are only compiled, which still
 catches syntax rot.  Shell blocks are not executed.
 
 The module doctests that documentation links to (currently
-``repro.analysis.ac``) run as part of the same job.
+``repro.analysis.ac`` and ``repro.analysis.compiled`` — the batch-kernel
+example in ``CompiledCircuit.restamp_batch`` that
+``docs/compiled-engine.md`` builds on) run as part of the same job.
 
 Usage::
 
@@ -28,7 +30,7 @@ import traceback
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 #: Modules whose docstring examples the docs rely on.
-DOCTEST_MODULES = ["repro.analysis.ac"]
+DOCTEST_MODULES = ["repro.analysis.ac", "repro.analysis.compiled"]
 
 _FENCE = re.compile(r"^```([^\n`]*)\n(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
 

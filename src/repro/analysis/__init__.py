@@ -5,8 +5,9 @@ transient integration and pole analysis, all operating on
 :class:`repro.circuit.Circuit` objects.
 """
 
-from repro.analysis.ac import ac_analysis
+from repro.analysis.ac import ac_analysis, solve_ac_batch
 from repro.analysis.compiled import (
+    BatchStampState,
     CompiledCircuit,
     NewtonState,
     StampState,
@@ -15,7 +16,12 @@ from repro.analysis.compiled import (
 from repro.analysis.context import AnalysisContext
 from repro.analysis.dcsweep import dc_sweep
 from repro.analysis.mna import MNASystem, SolutionView
-from repro.analysis.op import NewtonOptions, operating_point, solve_dc
+from repro.analysis.op import (
+    NewtonOptions,
+    operating_point,
+    solve_dc,
+    solve_linear_dc_batch,
+)
 from repro.analysis.pz import pole_analysis
 from repro.analysis.results import (
     ACResult,
@@ -35,6 +41,7 @@ from repro.analysis.transient import transient_analysis
 
 __all__ = [
     "AnalysisContext",
+    "BatchStampState",
     "CompiledCircuit",
     "NewtonState",
     "StampState",
@@ -44,8 +51,10 @@ __all__ = [
     "NewtonOptions",
     "operating_point",
     "solve_dc",
+    "solve_linear_dc_batch",
     "dc_sweep",
     "ac_analysis",
+    "solve_ac_batch",
     "transient_analysis",
     "pole_analysis",
     "OPResult",

@@ -34,7 +34,7 @@ from repro.linalg import (
     resolve_backend,
 )
 
-__all__ = ["ac_analysis", "solve_ac_stacked"]
+__all__ = ["ac_analysis", "solve_ac_batch", "solve_ac_stacked"]
 
 #: Frequencies per stacked solve.  Bounds the size of the (K, n, n) matrix
 #: stack so wide sweeps of large circuits stay within a few tens of MB.
@@ -162,6 +162,91 @@ def _solve_ac_sparse(G, C, B: np.ndarray, freq: np.ndarray,
             raise SingularMatrixError(
                 f"AC system is singular at {frequency:g} Hz: {exc}") from exc
     return out
+
+
+def solve_ac_batch(batch, frequencies,
+                   backend: Union[str, SolverBackend, None] = None
+                   ) -> tuple:
+    """AC sweeps of a *linear* circuit for a whole scenario batch.
+
+    ``batch`` is a :class:`~repro.analysis.compiled.BatchStampState`
+    over one topology; every sample's small-signal system is its static
+    ``(G_k, C_k)`` (linear circuits have no operating-point companions).
+    On the dense backend the sample axis is the batch axis: each
+    frequency is one batched LAPACK call over the ``(N, n, n)`` stack of
+    ``G_k + j*omega*C_k`` systems.  On the sparse backend each sample
+    runs the stacked sparse sweep (one factorization per frequency,
+    pattern-keyed so the symbolic ordering is shared across samples).
+
+    Returns ``(data, failures)``: ``data[k]`` is sample ``k``'s
+    ``(K, n)`` complex response and ``failures`` maps failed samples
+    (restamp failures carried in from the batch, zero AC stimulus, a
+    singular frequency) to their exception; failed slabs are NaN.
+    """
+    compiled = batch.compiled
+    if not compiled.is_linear:
+        raise AnalysisError(
+            "solve_ac_batch only handles linear circuits; nonlinear "
+            "scenarios linearise per sample through ac_analysis")
+    freq = np.asarray(frequencies, dtype=float)
+    if freq.ndim != 1 or len(freq) < 1:
+        raise AnalysisError("at least one frequency is required")
+    n = compiled.size
+    names = compiled.variable_names
+    density = max(compiled.pattern_G.density(), compiled.pattern_C.density())
+    backend_obj = resolve_backend(backend, size=n, density=density)
+    n_samples = len(batch)
+    data = np.full((n_samples, len(freq), n), np.nan, dtype=complex)
+    failures = dict(batch.failures)
+    for index in range(n_samples):
+        if index not in failures and not np.any(batch.b_ac[index]):
+            failures[index] = AnalysisError(
+                "AC analysis needs at least one source with a non-zero "
+                "AC magnitude")
+    healthy = [k for k in range(n_samples) if k not in failures]
+    if not healthy:
+        return data, failures
+
+    if backend_obj.name == "sparse":
+        for sample in healthy:
+            state = batch.sample(sample)
+            try:
+                data[sample] = solve_ac_stacked(
+                    state.G_csc(), state.C_csc(), state.b_ac, freq,
+                    backend=backend_obj, names=names)
+            except (SingularMatrixError, AnalysisError) as exc:
+                failures[sample] = exc
+                data[sample] = np.nan
+        return data, failures
+
+    G = compiled.pattern_G.to_dense_batch(batch.g_values[healthy],
+                                          dtype=complex)
+    C = compiled.pattern_C.to_dense_batch(batch.c_values[healthy],
+                                          dtype=complex)
+    rhs = batch.b_ac[healthy]
+    system = LinearSystem(G[0].real, backend=backend_obj, names=names)
+    failed_positions = set()
+    for k, frequency in enumerate(freq):
+        stack = G + (2j * np.pi * frequency) * C
+        solved, solve_failures = system.solve_batch(stack, rhs)
+        for position, sample in enumerate(healthy):
+            if position in failed_positions:
+                continue
+            if position in solve_failures:
+                failed_positions.add(position)
+                failures[sample] = SingularMatrixError(
+                    f"AC system is singular at {frequency:g} Hz: "
+                    f"{solve_failures[position]}")
+                data[sample] = np.nan
+                # Swap the dead sample's system for the identity so the
+                # remaining frequencies stay on the batched kernel — one
+                # singular sample must not demote every later frequency
+                # to the per-sample LinAlgError fallback.
+                G[position] = np.eye(n, dtype=complex)
+                C[position] = 0.0
+            else:
+                data[sample, k] = solved[position]
+    return data, failures
 
 
 def ac_analysis(circuit: Optional[Circuit],

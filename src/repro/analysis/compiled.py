@@ -27,6 +27,31 @@ splits the two apart:
   sparse backend uses to cache the symbolic factorization ordering, so
   same-structure solves across scenarios pay only the numeric LU.
 
+* :meth:`CompiledCircuit.restamp_batch` extends the value pass along a
+  **sample axis**: one call refills the value arrays for N scenarios at
+  once.  Each dynamic element's ``stamp_linear`` runs once — against an
+  array-valued context (:class:`_VectorContext`) whose temperature, gmin
+  and design variables are ``(N,)`` vectors — and one scatter per target
+  routes the captured ``(stamps, N)`` value matrix into ``(N, nnz)``
+  blocks for ``G``/``C`` and ``(N, n)`` right-hand sides
+  (:class:`BatchStampState`).  Paired with
+  :meth:`~repro.linalg.LinearSystem.solve_batch` this is the Monte Carlo
+  fast path: assembly cost per element, not per element x sample, and
+  one batched LAPACK call (or one symbolic ordering) for all samples.
+
+**The probe protocol** (how compile decides what is static): during the
+recording pass each element's ``stamp_linear`` receives a
+:class:`_ProbeContext` — a proxy that forwards every read to the real
+:class:`~repro.analysis.context.AnalysisContext` while flagging the
+element *dynamic* on any context-dependent access (``temperature``,
+``gmin``, ``variables``, a non-literal ``eval_param``, or any attribute
+the proxy does not recognise, conservatively).  Elements that never
+trip the flag are static: their compile-time values are final.  The
+:class:`_RecordingStamper` running alongside resolves every stamped
+node/branch name to its unknown index exactly once and freezes each
+stamp call as a pattern slot; from then on neither names nor indices are
+touched again — restamp and restamp_batch only move values.
+
 Element ``stamp_linear`` implementations are untouched: during compile
 they stamp into the recording adapter, during restamp into the capture
 adapter, and both expose the exact stamper interface
@@ -36,18 +61,24 @@ adapter, and both expose the exact stamper interface
 from __future__ import annotations
 
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from functools import reduce
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.analysis.context import AnalysisContext, parse_literal
+from repro.analysis.context import (
+    _SAFE_FUNCTIONS,
+    AnalysisContext,
+    parse_literal,
+)
 from repro.circuit.elements.base import Element, is_ground
 from repro.circuit.netlist import Circuit, SubcircuitInstance
 from repro.exceptions import AnalysisError, CompanionStructureError, NetlistError
 from repro.linalg import AUTO_SPARSE_MIN_SIZE, DenseBackend, LinearSystem
 from repro.linalg.triplets import CompiledPattern
 
-__all__ = ["CompiledCircuit", "NewtonState", "StampState", "compile_circuit"]
+__all__ = ["BatchStampState", "CompiledCircuit", "NewtonState", "StampState",
+           "compile_circuit"]
 
 # Stamp-op targets.
 _G, _C, _BDC, _BAC = 0, 1, 2, 3
@@ -123,6 +154,91 @@ class _ProbeContext:
     def __getattr__(self, name):
         self.touched = True
         return getattr(self._ctx, name)
+
+
+#: numpy stand-ins for the scalar expression functions that cannot take
+#: arrays.  The full vector namespace is derived from the scalar one
+#: (same key set by construction, so the two cannot drift): names
+#: without an override keep their scalar function, which simply fails on
+#: arrays and demotes that expression to the exact per-sample fallback.
+_VECTOR_OVERRIDES = {
+    "abs": np.abs,
+    "min": lambda *xs: reduce(np.minimum, xs),
+    "max": lambda *xs: reduce(np.maximum, xs),
+    "sqrt": np.sqrt,
+    "exp": np.exp,
+    "log": np.log,
+    "log10": np.log10,
+    "sin": np.sin,
+    "cos": np.cos,
+    "tan": np.tan,
+}
+
+_VECTOR_FUNCTIONS = {name: _VECTOR_OVERRIDES.get(name, value)
+                     for name, value in _SAFE_FUNCTIONS.items()}
+
+
+class _VectorContext:
+    """Array-valued :class:`AnalysisContext` stand-in: one context, N samples.
+
+    ``temperature`` and ``gmin`` are ``(N,)`` arrays, every design
+    variable maps to an ``(N,)`` column, and :meth:`eval_param` returns
+    arrays for anything that depends on them — so one ``stamp_linear``
+    call against this context produces the stamp values of *all* N
+    scenarios at once.  Element code that cannot take arrays (a truth
+    test on a batched value, a scalar-only library call) raises, and
+    :meth:`CompiledCircuit.restamp_batch` falls back to the per-sample
+    scalar loop: vectorization is an optimization, never a behaviour
+    change.
+    """
+
+    __slots__ = ("n_samples", "temperature", "gmin", "variables",
+                 "_device_states", "_expr_cache")
+
+    def __init__(self, n_samples: int, temperature: np.ndarray,
+                 gmin: np.ndarray, variables: Dict[str, np.ndarray]):
+        self.n_samples = int(n_samples)
+        self.temperature = temperature
+        self.gmin = gmin
+        self.variables = variables
+        self._device_states: Dict[str, Dict] = {}
+        self._expr_cache: Dict[str, object] = {}
+
+    def device_state(self, name: str) -> Dict:
+        """Mutable per-device scratch dict (API parity with the scalar ctx)."""
+        return self._device_states.setdefault(name, {})
+
+    def reset_device_states(self) -> None:
+        """Forget all device scratch state (API parity with the scalar ctx)."""
+        self._device_states.clear()
+
+    def eval_param(self, value):
+        """Resolve a parameter to a float or an ``(N,)`` array.
+
+        Numbers and plain SPICE literals stay scalar (they are the same
+        for every sample); variable references return their column, and
+        expressions evaluate with numpy elementwise semantics.
+        """
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return float(value)
+        text = str(value).strip()
+        if text in self._expr_cache:
+            return self._expr_cache[text]
+        result = parse_literal(text)
+        if result is None:
+            if text in self.variables:
+                result = self.variables[text]
+            else:
+                result = self._eval_expression(text)
+        self._expr_cache[text] = result
+        return result
+
+    def _eval_expression(self, text: str):
+        namespace = dict(_VECTOR_FUNCTIONS)
+        namespace.update(self.variables)
+        result = eval(compile(text, "<param>", "eval"),  # noqa: S307 - same
+                      {"__builtins__": {}}, namespace)   # sandbox as scalar ctx
+        return np.asarray(result, dtype=float)
 
 
 class _RecordingStamper:
@@ -297,6 +413,7 @@ class _DynamicScatter:
 
     def apply(self, values: np.ndarray, g: np.ndarray, c: np.ndarray,
               b_dc: np.ndarray, b_ac: np.ndarray) -> None:
+        """Route one scenario's captured ``values`` into its value arrays."""
         if len(self.g_slots):
             g[self.g_slots] = (values[self.g_vidx] * self.g_signs).real
         if len(self.c_slots):
@@ -307,6 +424,29 @@ class _DynamicScatter:
         if len(self.bac_slots):
             np.add.at(b_ac, self.bac_slots,
                       values[self.bac_vidx] * self.bac_signs)
+
+    def apply_batch(self, values: np.ndarray, g: np.ndarray, c: np.ndarray,
+                    b_dc: np.ndarray, b_ac: np.ndarray) -> None:
+        """Route a ``(stamps, N)`` value matrix into ``(N, ...)`` blocks.
+
+        The sample axis rides along unchanged: matrix slots are assigned
+        (each slot belongs to exactly one stamp, as in :meth:`apply`) and
+        right-hand sides accumulate through ``np.add.at`` on transposed
+        views, so duplicate source indices sum per sample exactly as the
+        scalar path does — one numpy call per target for the whole batch.
+        """
+        if len(self.g_slots):
+            g[:, self.g_slots] = (values[self.g_vidx]
+                                  * self.g_signs[:, None]).real.T
+        if len(self.c_slots):
+            c[:, self.c_slots] = (values[self.c_vidx]
+                                  * self.c_signs[:, None]).real.T
+        if len(self.bdc_slots):
+            np.add.at(b_dc.T, self.bdc_slots,
+                      (values[self.bdc_vidx] * self.bdc_signs[:, None]).real)
+        if len(self.bac_slots):
+            np.add.at(b_ac.T, self.bac_slots,
+                      values[self.bac_vidx] * self.bac_signs[:, None])
 
 
 def _as_route(route: Tuple[List[int], List[int], List[float]]):
@@ -347,35 +487,128 @@ class StampState:
     # Structural views (shared with the compiled circuit).
     @property
     def pattern_G(self) -> CompiledPattern:
+        """The shared ``G`` pattern (immutable, owned by the circuit)."""
         return self.compiled.pattern_G
 
     @property
     def pattern_C(self) -> CompiledPattern:
+        """The shared ``C`` pattern (immutable, owned by the circuit)."""
         return self.compiled.pattern_C
 
     @property
     def initial_voltage_conditions(self) -> List[Tuple[str, str, float]]:
+        """``(node_a, node_b, volts)`` initial conditions (transient)."""
         return self.compiled.program.initial_voltage_conditions
 
     @property
     def initial_current_conditions(self) -> List[Tuple[str, float]]:
+        """``(branch, amps)`` initial conditions (transient)."""
         return self.compiled.program.initial_current_conditions
 
     @property
     def time_sources(self) -> List[Element]:
+        """Sources with time-dependent waveforms (transient stimulus)."""
         return self.compiled.program.time_sources
 
     def G_dense(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``G`` of this scenario (``out`` reuses a buffer)."""
         return self.pattern_G.to_dense(self.g_values, out=out)
 
     def C_dense(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Dense ``C`` of this scenario (``out`` reuses a buffer)."""
         return self.pattern_C.to_dense(self.c_values, out=out)
 
     def G_csc(self, dtype=float):
+        """CSC ``G`` scattered into the compiled pattern's skeleton."""
         return self.pattern_G.to_csc(self.g_values, dtype=dtype)
 
     def C_csc(self, dtype=float):
+        """CSC ``C`` scattered into the compiled pattern's skeleton."""
         return self.pattern_C.to_csc(self.c_values, dtype=dtype)
+
+
+class BatchStampState:
+    """The value side of N scenarios at once, over one shared structure.
+
+    The sample-axis sibling of :class:`StampState`:
+    ``g_values``/``c_values`` are ``(N, nnz)`` blocks (row ``k`` is
+    scenario ``k``'s stamp-order value array) and ``b_dc``/``b_ac`` are
+    ``(N, n)`` right-hand sides.  ``temperatures``/``gmins`` record the
+    per-sample conditions the batch was stamped for, ``failures`` maps
+    any sample whose restamp failed (a poisoned scenario value) to its
+    exception — those rows are NaN and every other sample is unaffected.
+    """
+
+    __slots__ = ("compiled", "g_values", "c_values", "b_dc", "b_ac",
+                 "temperatures", "gmins", "failures", "vectorized")
+
+    def __init__(self, compiled: "CompiledCircuit", g_values: np.ndarray,
+                 c_values: np.ndarray, b_dc: np.ndarray, b_ac: np.ndarray,
+                 temperatures: np.ndarray, gmins: np.ndarray,
+                 failures: Optional[Dict[int, Exception]] = None,
+                 vectorized: bool = True):
+        self.compiled = compiled
+        self.g_values = g_values
+        self.c_values = c_values
+        self.b_dc = b_dc
+        self.b_ac = b_ac
+        self.temperatures = temperatures
+        self.gmins = gmins
+        #: sample index -> exception, for samples whose restamp failed.
+        self.failures = failures or {}
+        #: Whether the fast vectorized pass produced the values (False:
+        #: the per-sample scalar fallback ran, results are identical).
+        self.vectorized = vectorized
+
+    def __len__(self) -> int:
+        return self.b_dc.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of scenarios in the batch."""
+        return self.b_dc.shape[0]
+
+    @property
+    def pattern_G(self) -> CompiledPattern:
+        """The shared ``G`` pattern (structural view into the circuit)."""
+        return self.compiled.pattern_G
+
+    @property
+    def pattern_C(self) -> CompiledPattern:
+        """The shared ``C`` pattern (structural view into the circuit)."""
+        return self.compiled.pattern_C
+
+    def sample(self, index: int) -> StampState:
+        """Scenario ``index`` as a scalar :class:`StampState` (views, no
+        copies) — the bridge back into every single-scenario analysis."""
+        if index in self.failures:
+            raise self.failures[index]
+        return StampState(self.compiled, self.g_values[index],
+                          self.c_values[index], self.b_dc[index],
+                          self.b_ac[index])
+
+    # -- batched assembly views -----------------------------------------
+    def G_dense_batch(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """All scenarios' dense ``G`` as one ``(N, n, n)`` stack."""
+        return self.pattern_G.to_dense_batch(self.g_values, out=out)
+
+    def C_dense_batch(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """All scenarios' dense ``C`` as one ``(N, n, n)`` stack."""
+        return self.pattern_C.to_dense_batch(self.c_values, out=out)
+
+    def G_csc_data_batch(self, dtype=float) -> np.ndarray:
+        """All scenarios' CSC data arrays, ``(N, structural_nnz)`` — rows
+        feed :meth:`~repro.linalg.LinearSystem.solve_batch` on sparse."""
+        return self.pattern_G.csc_data_batch(self.g_values, dtype=dtype)
+
+    def C_csc_data_batch(self, dtype=float) -> np.ndarray:
+        """All scenarios' CSC ``C`` data arrays, ``(N, structural_nnz)``."""
+        return self.pattern_C.csc_data_batch(self.c_values, dtype=dtype)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "vectorized" if self.vectorized else "scalar-fallback"
+        return (f"<BatchStampState {self.n_samples} samples, "
+                f"{len(self.failures)} failed, {mode}>")
 
 
 # ----------------------------------------------------------------------
@@ -710,10 +943,12 @@ class CompiledCircuit:
 
     @property
     def size(self) -> int:
+        """Number of MNA unknowns (nodes + branch currents)."""
         return len(self._index)
 
     @property
     def variable_names(self) -> List[str]:
+        """Unknown names in system order: node voltages, then branches."""
         return self.node_names + self.branch_names
 
     def index_of(self, variable: str) -> Optional[int]:
@@ -726,6 +961,7 @@ class CompiledCircuit:
             raise NetlistError(f"unknown node or branch {variable!r}") from None
 
     def has_variable(self, variable: str) -> bool:
+        """Whether ``variable`` names an unknown of this circuit (or ground)."""
         return is_ground(variable) or variable in self._index
 
     # ------------------------------------------------------------------
@@ -733,10 +969,12 @@ class CompiledCircuit:
     # ------------------------------------------------------------------
     @property
     def is_compiled(self) -> bool:
+        """Whether the lazy structural recording pass has run yet."""
         return self._program is not None
 
     @property
     def program(self) -> _LinearProgram:
+        """The recorded linear program (raises before the first restamp)."""
         if self._program is None:
             raise AnalysisError("circuit is not compiled yet; call restamp() "
                                 "(or MNASystem.stamp()) first")
@@ -744,10 +982,12 @@ class CompiledCircuit:
 
     @property
     def pattern_G(self) -> CompiledPattern:
+        """Frozen conductance-matrix structure (one slot per stamp)."""
         return self.program.pattern_G
 
     @property
     def pattern_C(self) -> CompiledPattern:
+        """Frozen capacitance-matrix structure (one slot per stamp)."""
         return self.program.pattern_C
 
     def _ensure_compiled(self, ctx: AnalysisContext) -> _LinearProgram:
@@ -948,8 +1188,264 @@ class CompiledCircuit:
         return StampState(self, g_values, c_values, b_dc, b_ac)
 
     # ------------------------------------------------------------------
+    # Sample-axis batch value pass
+    # ------------------------------------------------------------------
+    def restamp_batch(self, variables=None,
+                      temperature: Union[float, Sequence[float]] = 27.0,
+                      gmin: Union[float, Sequence[float]] = 1e-12,
+                      samples: Optional[int] = None) -> "BatchStampState":
+        """Refill the value arrays for N scenarios in one pass.
+
+        Parameters
+        ----------
+        variables:
+            Either a mapping of design-variable name to an ``(N,)``
+            column (or a scalar, broadcast to every sample), or a
+            sequence of N per-sample mappings (the row form scenario
+            generators naturally produce).  Unspecified variables keep
+            the circuit's declared defaults.
+        temperature, gmin:
+            Scalar (shared by every sample) or ``(N,)`` per-sample.
+        samples:
+            Explicit batch size; only needed when every input is scalar.
+
+        Each dynamic element is evaluated **once for the whole batch**
+        against an array-valued context, and one scatter per target
+        routes the captured ``(stamps, N)`` value matrix into the
+        ``(N, nnz)`` blocks of the returned :class:`BatchStampState` —
+        assembly cost per element, not per element x sample.  Elements
+        whose code cannot take arrays make the pass fall back to a
+        per-sample scalar loop with identical results; a sample whose
+        values are unstampable (say a zero resistance) lands in
+        ``BatchStampState.failures`` without poisoning its batch.  Row
+        ``k`` of every block equals ``restamp()`` of scenario ``k`` —
+        ``tests/analysis/test_compiled.py`` holds that to 1e-12 on every
+        bundled circuit::
+
+            >>> import numpy as np
+            >>> from repro.analysis import CompiledCircuit
+            >>> from repro.circuit.builder import CircuitBuilder
+            >>> builder = CircuitBuilder("tc divider")
+            >>> _ = builder.voltage_source("in", "0", dc=1.0, name="Vin")
+            >>> _ = builder.resistor("in", "out", 1e3, name="R1", tc1=1e-3)
+            >>> _ = builder.resistor("out", "0", 1e3, name="R2")
+            >>> compiled = CompiledCircuit(builder.build())
+            >>> batch = compiled.restamp_batch(temperature=[27.0, 127.0])
+            >>> len(batch)
+            2
+            >>> single = compiled.restamp(temperature=127.0)
+            >>> bool(np.allclose(batch.sample(1).g_values, single.g_values))
+            True
+        """
+        columns, rows, temps, gmins, n = self._normalize_batch(
+            variables, temperature, gmin, samples)
+        # The (lazy, first-use) structural recording pass needs ONE
+        # stampable scenario.  Trying the samples in order keeps the
+        # failure-isolation contract even on a freshly indexed circuit:
+        # a poisoned sample 0 must not abort the batch when a later
+        # sample can drive the compile.  Only when every sample fails to
+        # compile is the error raised (it is then a property of the
+        # whole batch — typically of the topology itself).
+        program = None
+        compile_error: Optional[Exception] = None
+        for index in range(n):
+            if self._program is not None:
+                program = self._program
+                break
+            ctx_vars = dict(self.circuit.variables)
+            ctx_vars.update(rows[index])
+            ctx = AnalysisContext(temperature=float(temps[index]),
+                                  gmin=float(gmins[index]),
+                                  variables=ctx_vars)
+            try:
+                program = self._ensure_compiled(ctx)
+                break
+            except Exception as exc:
+                compile_error = exc
+        if program is None:
+            raise compile_error
+
+        g_values = np.tile(program.base_g, (n, 1))
+        c_values = np.tile(program.base_c, (n, 1))
+        b_dc = np.tile(program.base_bdc, (n, 1))
+        b_ac = np.tile(program.base_bac, (n, 1))
+        failures: Dict[int, Exception] = {}
+        vectorized = columns is not None
+        if program.dynamic:
+            if vectorized:
+                try:
+                    self._restamp_batch_vector(program, columns, temps,
+                                               gmins, g_values, c_values,
+                                               b_dc, b_ac)
+                except Exception:
+                    # Array-shy element code (or one poisoned sample
+                    # tripping a whole-batch validation): re-run sample by
+                    # sample so failures isolate and results stay exact.
+                    vectorized = False
+            if not vectorized:
+                failures = self._restamp_batch_scalar(
+                    rows, temps, gmins, g_values, c_values, b_dc, b_ac)
+        return BatchStampState(self, g_values, c_values, b_dc, b_ac,
+                               temperatures=temps, gmins=gmins,
+                               failures=failures, vectorized=vectorized)
+
+    def _normalize_batch(self, variables, temperature, gmin,
+                         samples: Optional[int]):
+        """Coerce the restamp_batch inputs into columns, per-sample rows
+        and a batch size.
+
+        Returns ``(columns, rows, temps, gmins, n)``.  ``rows`` holds the
+        per-sample override dicts exactly as a scalar :meth:`restamp`
+        would receive them (the exactness contract of the fallback path).
+        ``columns`` is the vectorizable column view — or ``None`` when it
+        cannot faithfully represent the rows: a row that omits a variable
+        *not* declared on the circuit must fail like the scalar path
+        does, not silently inherit another row's column.
+        """
+        row_form: Optional[Sequence] = None
+        column_form: Dict[str, np.ndarray] = {}
+        lengths = []
+        if isinstance(variables, Mapping):
+            for name, value in variables.items():
+                arr = np.asarray(value, dtype=float)
+                if arr.ndim == 1:
+                    lengths.append(len(arr))
+                elif arr.ndim != 0:
+                    raise AnalysisError(
+                        f"variable column {name!r} must be scalar or 1-D")
+                column_form[str(name)] = arr
+        elif variables is not None:
+            row_form = [dict(row) if row else {} for row in variables]
+            lengths.append(len(row_form))
+        temps = np.asarray(temperature, dtype=float)
+        gmins = np.asarray(gmin, dtype=float)
+        for arr in (temps, gmins):
+            if arr.ndim == 1:
+                lengths.append(len(arr))
+            elif arr.ndim != 0:
+                raise AnalysisError("temperature/gmin must be scalar or 1-D")
+        if samples is not None:
+            lengths.append(int(samples))
+        if not lengths:
+            raise AnalysisError(
+                "restamp_batch cannot infer the batch size: pass at least "
+                "one (N,) input or an explicit samples= count")
+        n = lengths[0]
+        if any(length != n for length in lengths) or n < 1:
+            raise AnalysisError(
+                f"inconsistent batch sizes in restamp_batch inputs: {lengths}")
+
+        declared = {str(name) for name in self.circuit.variables}
+        columns: Optional[Dict[str, np.ndarray]] = {
+            str(name): np.full(n, float(value))
+            for name, value in self.circuit.variables.items()}
+        if row_form is not None:
+            rows = row_form
+            names = set()
+            for row in rows:
+                names.update(str(name) for name in row)
+            for name in sorted(names - declared):
+                # An undeclared variable must appear in EVERY row to form
+                # a faithful column; otherwise the omitting samples need
+                # the scalar path's undefined-name failure.
+                if not all(name in row for row in rows):
+                    columns = None
+                    break
+                columns[name] = np.zeros(n)
+            if columns is not None:
+                for index, row in enumerate(rows):
+                    for name, value in row.items():
+                        columns[str(name)][index] = float(value)
+        else:
+            for name, arr in column_form.items():
+                columns[name] = (np.full(n, float(arr)) if arr.ndim == 0
+                                 else arr.astype(float, copy=True))
+            rows = [{name: float(column_form[name])
+                     if column_form[name].ndim == 0
+                     else float(column_form[name][index])
+                     for name in column_form}
+                    for index in range(n)]
+        return (columns, rows,
+                np.full(n, float(temps)) if temps.ndim == 0 else temps.copy(),
+                np.full(n, float(gmins)) if gmins.ndim == 0 else gmins.copy(),
+                n)
+
+    def _restamp_batch_vector(self, program: _LinearProgram,
+                              columns: Dict[str, np.ndarray],
+                              temps: np.ndarray, gmins: np.ndarray,
+                              g_values: np.ndarray, c_values: np.ndarray,
+                              b_dc: np.ndarray, b_ac: np.ndarray) -> None:
+        """One pass over the dynamic elements for the whole sample axis.
+
+        Runs under ``np.errstate(raise)`` for overflow/invalid/divide —
+        where the scalar path raises (``math.exp`` overflow, a negative
+        ``sqrt``) the vectorized pass must not silently produce inf/nan
+        for the whole batch — and double-checks the captured values for
+        finiteness, so any poisoned arithmetic demotes the batch to the
+        per-sample fallback where the offending sample fails alone.
+        """
+        n = len(temps)
+        ctx = _VectorContext(n, temps, gmins, columns)
+        capture = _CaptureStamper()
+        captured = capture.values
+        with np.errstate(over="raise", invalid="raise", divide="raise"):
+            for element, expected in program.scatter.counts:
+                before = len(captured)
+                element.stamp_linear(capture, ctx)
+                if len(captured) - before != expected:
+                    raise AnalysisError(
+                        f"element {element.name!r} changed its stamp "
+                        f"structure between scenarios ({expected} recorded "
+                        f"stamps, {len(captured) - before} on restamp); "
+                        "compiled circuits require context-independent "
+                        "stamp structure")
+        values = np.empty((len(captured), n), dtype=complex)
+        for index, value in enumerate(captured):
+            values[index] = value          # broadcasts scalars and columns
+        if not np.all(np.isfinite(values)):
+            raise AnalysisError("non-finite stamp values in the vectorized "
+                                "batch pass")
+        program.scatter.apply_batch(values, g_values, c_values, b_dc, b_ac)
+
+    def _restamp_batch_scalar(self, rows: Sequence[Dict[str, float]],
+                              temps: np.ndarray, gmins: np.ndarray,
+                              g_values: np.ndarray, c_values: np.ndarray,
+                              b_dc: np.ndarray, b_ac: np.ndarray
+                              ) -> Dict[int, Exception]:
+        """Per-sample fallback: exact scalar restamps, failures isolated.
+
+        ``rows`` are the original per-sample override dicts, so each
+        sample sees exactly what a direct :meth:`restamp` call would —
+        including the scalar path's failures for rows that reference
+        undefined variables.
+        """
+        failures: Dict[int, Exception] = {}
+        for index in range(len(temps)):
+            try:
+                state = self.restamp(variables=rows[index],
+                                     temperature=float(temps[index]),
+                                     gmin=float(gmins[index]))
+            except Exception as exc:
+                failures[index] = exc
+                g_values[index] = np.nan
+                c_values[index] = np.nan
+                b_dc[index] = np.nan
+                b_ac[index] = np.nan
+                continue
+            g_values[index] = state.g_values
+            c_values[index] = state.c_values
+            b_dc[index] = state.b_dc
+            b_ac[index] = state.b_ac
+        return failures
+
+    # ------------------------------------------------------------------
     # Convenience
     # ------------------------------------------------------------------
+    @property
+    def is_linear(self) -> bool:
+        """Whether the circuit has no nonlinear devices (batchable DC/AC)."""
+        return not any(e.is_nonlinear for e in self.circuit)
+
     def system(self, ctx: Optional[AnalysisContext] = None,
                variables: Optional[Dict[str, float]] = None,
                temperature: float = 27.0, gmin: float = 1e-12,

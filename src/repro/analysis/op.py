@@ -38,8 +38,10 @@ from repro.exceptions import (
     ConvergenceError,
     SingularMatrixError,
 )
+from repro.linalg import LinearSystem
 
-__all__ = ["operating_point", "solve_dc", "NewtonOptions"]
+__all__ = ["operating_point", "solve_dc", "solve_linear_dc_batch",
+           "NewtonOptions"]
 
 
 class NewtonOptions:
@@ -190,6 +192,59 @@ def _solve_linear_dc(system: MNASystem, options: NewtonOptions) -> np.ndarray:
     if system.backend.name == "sparse":
         return system.linear_system(matrix).solve(system.b_dc)
     return system.solve(matrix, system.b_dc)
+
+
+def solve_linear_dc_batch(batch, backend=None
+                          ) -> Tuple[np.ndarray, Dict[int, Exception]]:
+    """Direct DC solves of a *linear* circuit for a whole scenario batch.
+
+    ``batch`` is a :class:`~repro.analysis.compiled.BatchStampState`
+    (one restamped topology, N scenarios).  The dense backend assembles
+    one ``(N, n, n)`` stack and makes a single batched LAPACK call; the
+    sparse backend refills one CSC skeleton per sample under a cached
+    symbolic ordering (see
+    :meth:`~repro.linalg.LinearSystem.solve_batch`).
+
+    Returns ``(x, failures)``: ``x`` is ``(N, n)`` in system ordering
+    and ``failures`` maps each failed sample index — a restamp failure
+    carried in from the batch, or a singular system — to its exception;
+    failed rows are NaN.  Circuits with nonlinear devices are rejected:
+    Newton iterations do not share a sample axis, use
+    :func:`operating_point` per scenario instead.
+    """
+    from repro.linalg import resolve_backend
+
+    compiled = batch.compiled
+    if not compiled.is_linear:
+        raise AnalysisError(
+            "solve_linear_dc_batch only handles linear circuits; "
+            "nonlinear scenarios go through operating_point per sample")
+    names = compiled.variable_names
+    pattern = compiled.pattern_G
+    backend_obj = resolve_backend(backend, size=compiled.size,
+                                  density=pattern.density())
+    n_samples = len(batch)
+    x = np.full((n_samples, compiled.size), np.nan)
+    failures: Dict[int, Exception] = dict(batch.failures)
+    healthy = [k for k in range(n_samples) if k not in failures]
+    if not healthy:
+        return x, failures
+    if backend_obj.name == "sparse":
+        matrices = pattern.csc_data_batch(batch.g_values[healthy])
+        system = LinearSystem(
+            pattern.to_csc(batch.g_values[healthy[0]]), backend=backend_obj,
+            names=names, pattern_key=pattern.pattern_key())
+    else:
+        matrices = pattern.to_dense_batch(batch.g_values[healthy])
+        system = LinearSystem(matrices[0], backend=backend_obj, names=names)
+    solved, solve_failures = system.solve_batch(matrices,
+                                                batch.b_dc[healthy])
+    for position, sample in enumerate(healthy):
+        if position in solve_failures:
+            failures[sample] = solve_failures[position]
+        else:
+            x[sample] = solved[position]
+    return x, failures
 
 
 # ----------------------------------------------------------------------

@@ -233,6 +233,32 @@ class ACResult(_NamedVectorResult):
         return Waveform(self.frequencies, self.voltage(node),
                         name=f"V({node})", x_unit="Hz", y_unit="V")
 
+    # ------------------------------------------------------------------
+    # Serialization (JSON round-trip for the service payloads)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-able representation (complex data as real/imag planes)."""
+        return {
+            "variable_names": list(self._variables),
+            "frequencies": self.frequencies.tolist(),
+            "data_real": self.data.real.tolist(),
+            "data_imag": self.data.imag.tolist(),
+            "op": self.op.to_dict() if self.op is not None else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ACResult":
+        """Inverse of :meth:`to_dict`."""
+        payload = (np.asarray(data["data_real"], dtype=float)
+                   + 1j * np.asarray(data["data_imag"], dtype=float))
+        op = data.get("op")
+        return cls(
+            variable_names=list(data["variable_names"]),
+            frequencies=np.asarray(data["frequencies"], dtype=float),
+            data=payload,
+            op=OPResult.from_dict(op) if op is not None else None,
+        )
+
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<ACResult {len(self.frequencies)} points "
                 f"{self.frequencies[0]:g}..{self.frequencies[-1]:g} Hz, "

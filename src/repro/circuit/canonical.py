@@ -30,6 +30,7 @@ from __future__ import annotations
 import enum
 import hashlib
 import json
+import weakref
 from typing import Any, Dict, List, Optional
 
 import numpy as np
@@ -159,16 +160,42 @@ def fingerprint_data(data: Any) -> str:
     return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
 
 
+#: Circuit object -> digest of its canonical form.  A Monte Carlo batch
+#: fingerprints hundreds of requests over ONE shared Circuit object that
+#: differ only in their ``extra`` conditions; re-canonicalising the
+#: circuit per request would dominate the whole batched fast path.  The
+#: memo assumes circuit content is stable per object — the same contract
+#: the service layer's structure-fingerprint memo already relies on.
+_CIRCUIT_DIGESTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _circuit_digest(circuit: Circuit) -> str:
+    """Digest of the canonical circuit form, memoised per object."""
+    try:
+        cached = _CIRCUIT_DIGESTS.get(circuit)
+    except TypeError:              # unhashable/unweakrefable stand-in
+        return fingerprint_data(canonical_circuit_data(circuit))
+    if cached is None:
+        cached = fingerprint_data(canonical_circuit_data(circuit))
+        try:
+            _CIRCUIT_DIGESTS[circuit] = cached
+        except TypeError:
+            pass
+    return cached
+
+
 def circuit_fingerprint(circuit: Circuit,
                         extra: Optional[Dict[str, Any]] = None) -> str:
     """Content hash of a circuit, optionally mixed with analysis conditions.
 
-    ``extra`` is canonicalised and hashed together with the circuit; the
-    service layer passes the analysis mode, temperature, sweep and design
-    variable overrides here so that each distinct request is addressed
-    separately.
+    ``extra`` is canonicalised and hashed together with the circuit's
+    canonical digest; the service layer passes the analysis mode,
+    temperature, sweep and design variable overrides here so that each
+    distinct request is addressed separately.  The circuit digest is
+    memoised per object, so a scenario batch sharing one parsed circuit
+    canonicalises it exactly once.
     """
-    payload: Dict[str, Any] = {"circuit": canonical_circuit_data(circuit)}
+    payload: Dict[str, Any] = {"circuit_digest": _circuit_digest(circuit)}
     if extra:
         payload["extra"] = canonical_value(extra)
     return fingerprint_data(payload)

@@ -10,10 +10,22 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 from repro.circuit.elements.base import ParamValue, TwoTerminal, branch_key
 from repro.exceptions import NetlistError
 
 __all__ = ["Resistor", "Capacitor", "Inductor"]
+
+
+def _any_true(condition) -> bool:
+    """Truth of a validation predicate whose operand may be a scalar or a
+    batched ``(N,)`` array (the vectorized restamp hands elements whole
+    sample axes).  Scalar comparisons yield plain bools and skip the
+    numpy call — these checks sit on the per-sample restamp hot path."""
+    if condition is True or condition is False:
+        return condition
+    return bool(np.any(condition))
 
 
 class Resistor(TwoTerminal):
@@ -38,7 +50,7 @@ class Resistor(TwoTerminal):
     def resistance_at(self, ctx) -> float:
         """Resistance evaluated at the context temperature."""
         base = self._value(self.resistance, ctx)
-        if base == 0.0:
+        if _any_true(base == 0.0):
             raise NetlistError(f"resistor {self.name!r} has zero resistance")
         if self.tc1 == 0.0 and self.tc2 == 0.0:
             # Temperature-independent: skip the context read, which also
@@ -70,7 +82,7 @@ class Capacitor(TwoTerminal):
 
     def capacitance_at(self, ctx) -> float:
         value = self._value(self.capacitance, ctx)
-        if value < 0.0:
+        if _any_true(value < 0.0):
             raise NetlistError(f"capacitor {self.name!r} has negative capacitance")
         return value
 
@@ -108,7 +120,7 @@ class Inductor(TwoTerminal):
 
     def inductance_at(self, ctx) -> float:
         value = self._value(self.inductance, ctx)
-        if value < 0.0:
+        if _any_true(value < 0.0):
             raise NetlistError(f"inductor {self.name!r} has negative inductance")
         return value
 

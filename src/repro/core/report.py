@@ -22,8 +22,10 @@ __all__ = [
     "format_node_table",
     "format_loop_summary",
     "format_special_cases",
+    "format_ac_report",
     "format_all_nodes_report",
     "format_dc_sweep_report",
+    "format_op_report",
     "format_single_node_report",
     "report_rows",
 ]
@@ -180,6 +182,54 @@ def format_dc_sweep_report(result, node: Optional[str] = None) -> str:
                   f"{float(np.max(curve)):+.6g}] V\n")
         out.write(f"  max |incremental gain|: {abs(gain[peak]):.4g} "
                   f"at {result.sweep_name} = {values[peak]:g}\n")
+    return out.getvalue()
+
+
+def format_op_report(result) -> str:
+    """Report for a bare DC operating point (:class:`~repro.analysis.OPResult`).
+
+    Node voltages first (the part a screening batch compares across
+    samples), then branch currents and any device-info failures.
+    """
+    out = io.StringIO()
+    out.write(f"DC operating point ({result.strategy}, "
+              f"{result.iterations} Newton iterations) "
+              f"at {result.temperature:g} C\n")
+    out.write("-" * 60 + "\n")
+    for name, value in result.voltages().items():
+        out.write(f"  V({name}) = {value:+.6g} V\n")
+    for name in result.variable_names:
+        if name.startswith("#branch:"):
+            out.write(f"  I({name[len('#branch:'):]}) = "
+                      f"{result.current(name):+.6g} A\n")
+    for device, reason in result.info_failures.items():
+        out.write(f"  device info failed for {device}: {reason}\n")
+    return out.getvalue()
+
+
+def format_ac_report(result, node: Optional[str] = None) -> str:
+    """Report for an AC sweep (:class:`~repro.analysis.ACResult`).
+
+    ``node`` (optional) selects the output whose magnitude extremes are
+    summarised; without it the report covers the sweep span only.
+    """
+    import numpy as np
+
+    out = io.StringIO()
+    freq = result.frequencies
+    out.write(f"AC small-signal sweep: {format_si(freq[0], 'Hz')} .. "
+              f"{format_si(freq[-1], 'Hz')} ({len(freq)} points)\n")
+    out.write("-" * 60 + "\n")
+    if node:
+        magnitude = result.magnitude(node)
+        peak = int(np.argmax(magnitude))
+        out.write(f"|V({node})|: {magnitude[0]:.6g} at {format_si(freq[0], 'Hz')}"
+                  f" -> {magnitude[-1]:.6g} at {format_si(freq[-1], 'Hz')}\n")
+        out.write(f"  peak |V({node})|: {magnitude[peak]:.6g} at "
+                  f"{format_si(freq[peak], 'Hz')}\n")
+    if result.op is not None:
+        out.write(f"Linearised at the {result.op.strategy} operating point "
+                  f"({result.op.iterations} Newton iterations)\n")
     return out.getvalue()
 
 

@@ -14,6 +14,12 @@ Backend selection (:func:`~repro.linalg.backends.resolve_backend`):
 explicit ``backend=`` option > ``REPRO_BACKEND`` environment variable >
 automatic size/density heuristic.  ``docs/solver-backends.md`` explains
 when each backend wins and how to add a new one.
+
+Scenario batches additionally get a sample axis:
+:meth:`~repro.linalg.backends.LinearSystem.solve_batch` solves N
+same-structure systems in one batched LAPACK call (dense) or under one
+cached symbolic ordering (sparse) — the solver half of the compiled
+batch pipeline documented in ``docs/compiled-engine.md``.
 """
 
 from repro.linalg.backends import (

@@ -33,7 +33,7 @@ import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional, Sequence, Union
+from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
 import scipy.linalg
@@ -75,15 +75,26 @@ class SolveStats:
     #: Factorizations that reused a cached per-pattern symbolic artifact
     #: (the SuperLU column ordering) instead of recomputing it.
     symbolic_reuses: int = 0
+    #: Number of :meth:`LinearSystem.solve_batch` calls served.
+    batch_solves: int = 0
+    #: Total systems solved through batch calls (the sum of batch sizes);
+    #: ``batched_systems / batch_solves`` is the observed mean batch size.
+    batched_systems: int = 0
 
     def reset(self) -> None:
+        """Zero every counter (tests bracket a region of interest with this)."""
         self.factorizations = 0
         self.solves = 0
         self.symbolic_reuses = 0
+        self.batch_solves = 0
+        self.batched_systems = 0
 
     def as_dict(self) -> dict:
+        """The counters as a plain dict (snapshot/reporting helper)."""
         return {"factorizations": self.factorizations, "solves": self.solves,
-                "symbolic_reuses": self.symbolic_reuses}
+                "symbolic_reuses": self.symbolic_reuses,
+                "batch_solves": self.batch_solves,
+                "batched_systems": self.batched_systems}
 
 
 def csc_pattern_key(matrix) -> str:
@@ -393,6 +404,7 @@ class LinearSystem:
 
     @property
     def is_factorized(self) -> bool:
+        """Whether the (lazy) factorization has been computed already."""
         return self._factorization is not None
 
     def factorization(self) -> Factorization:
@@ -405,6 +417,87 @@ class LinearSystem:
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Solve ``A x = rhs`` reusing the cached factorization."""
         return self.factorization().solve(rhs)
+
+    def solve_batch(self, matrices: np.ndarray, rhs: np.ndarray
+                    ) -> Tuple[np.ndarray, Dict[int, Exception]]:
+        """Solve ``N`` same-structure systems ``A_k x_k = rhs[k]`` at once.
+
+        This is the sample-axis kernel of the compiled batch pipeline
+        (one matrix per Monte Carlo sample over one topology):
+
+        * on the **dense** backend ``matrices`` is an ``(N, n, n)`` stack
+          and the whole batch is one batched ``numpy.linalg.solve`` call;
+        * on the **sparse** backend ``matrices`` is an ``(N, csc_nnz)``
+          block of CSC data arrays over this system's structure (see
+          :meth:`CompiledPattern.csc_data_batch
+          <repro.linalg.triplets.CompiledPattern.csc_data_batch>`), and
+          each row goes through :meth:`refactor` — same skeleton, same
+          ``pattern_key`` — so every numeric LU after the first reuses
+          the cached symbolic ordering.
+
+        ``rhs`` is ``(N, n)`` (or ``(n,)``, broadcast to every sample).
+        Returns ``(solutions, failures)``: ``solutions`` is ``(N, n)``
+        with failed samples' rows set to NaN, and ``failures`` maps each
+        failed sample index to its exception — per-sample failure
+        isolation, so one singular scenario cannot poison its batch.
+        ``SolveStats.batch_solves``/``batched_systems`` count the calls
+        and the total batched systems.
+        """
+        matrices = np.asarray(matrices)
+        n_samples = matrices.shape[0]
+        rhs = np.asarray(rhs)
+        if rhs.ndim == 1:
+            rhs = np.broadcast_to(rhs, (n_samples, len(rhs)))
+        dtype = np.result_type(matrices, rhs)
+        stats = type(self.backend).stats
+        stats.batch_solves += 1
+        stats.batched_systems += n_samples
+        solutions = np.full((n_samples, self.size), np.nan, dtype=dtype)
+        failures: Dict[int, Exception] = {}
+        if self.backend.name == "sparse":
+            for index in range(n_samples):
+                try:
+                    self.refactor(matrices[index])
+                    solutions[index] = self.solve(rhs[index])
+                except (SingularMatrixError, AnalysisError) as exc:
+                    failures[index] = exc
+            return solutions, failures
+        if matrices.shape[1:] != (self.size, self.size):
+            raise AnalysisError(
+                f"solve_batch on the dense backend needs an "
+                f"(N, {self.size}, {self.size}) matrix stack; got shape "
+                f"{matrices.shape}")
+        stats.factorizations += n_samples
+        stats.solves += n_samples
+        try:
+            solutions[:] = np.linalg.solve(matrices, rhs[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            # At least one sample is singular: fall back to per-sample
+            # solves so the healthy samples still come back and each
+            # offender gets its own named diagnostic.
+            for index in range(n_samples):
+                try:
+                    solutions[index] = np.linalg.solve(matrices[index],
+                                                       rhs[index])
+                except np.linalg.LinAlgError as exc:
+                    failures[index] = SingularMatrixError(
+                        singular_system_message(matrices[index], self.names,
+                                                detail=str(exc)))
+                    solutions[index] = np.nan
+        # Batched LAPACK reports only exact singularity; non-finite inputs
+        # (or a near-singular system blowing up) come back as inf/nan rows
+        # without raising.  Mirror the scalar factorize paths' guards so
+        # garbage is a per-sample failure, never a "solved" result.
+        for index in range(n_samples):
+            if index in failures or np.all(np.isfinite(solutions[index])):
+                continue
+            detail = ("non-finite matrix entries"
+                      if not np.all(np.isfinite(matrices[index]))
+                      else "non-finite solution (near-singular system)")
+            failures[index] = SingularMatrixError(singular_system_message(
+                matrices[index], self.names, detail=detail))
+            solutions[index] = np.nan
+        return solutions, failures
 
     def refactor(self, values) -> "LinearSystem":
         """Swap in new numeric values in place; keep the structure.

@@ -157,7 +157,8 @@ class CompiledPattern:
       the SuperLU column ordering).
     """
 
-    __slots__ = ("n", "rows", "cols", "_key", "_csc_structure", "_structural_nnz")
+    __slots__ = ("n", "rows", "cols", "_key", "_csc_structure",
+                 "_structural_nnz", "_batch_structure")
 
     def __init__(self, n: int, rows, cols):
         self.n = int(n)
@@ -168,6 +169,7 @@ class CompiledPattern:
         self._key: Optional[str] = None
         self._csc_structure: Optional[Tuple] = None
         self._structural_nnz: Optional[int] = None
+        self._batch_structure: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     @property
@@ -236,6 +238,71 @@ class CompiledPattern:
                 indptr = np.zeros(self.n + 1, dtype=np.int64)
             self._csc_structure = (indptr, indices, scatter)
         return self._csc_structure
+
+    def _batch(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(order, segment_starts, flat_positions): the batch scatter plan.
+
+        ``order`` stably sorts the triplets by CSC slot, so summing each
+        slot's segment with ``np.add.reduceat`` adds contributions in the
+        original stamp order — the exact accumulation sequence of the
+        scalar ``np.add.at`` replay, at C speed along the whole sample
+        axis.  ``flat_positions[s]`` is slot ``s``'s row-major position
+        in a flattened dense matrix.
+        """
+        if self._batch_structure is None:
+            indptr, indices, scatter = self._csc()
+            order = np.argsort(scatter, kind="stable")
+            sorted_slots = scatter[order]
+            if len(sorted_slots):
+                starts = np.flatnonzero(
+                    np.r_[True, sorted_slots[1:] != sorted_slots[:-1]])
+            else:
+                starts = np.empty(0, dtype=np.int64)
+            cols_of_slot = np.repeat(np.arange(self.n, dtype=np.int64),
+                                     np.diff(indptr))
+            flat_positions = indices * self.n + cols_of_slot
+            self._batch_structure = (order, starts, flat_positions)
+        return self._batch_structure
+
+    def to_dense_batch(self, values: np.ndarray, dtype=float,
+                       out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Replay a ``(N, nnz)`` value block into a dense ``(N, n, n)`` stack.
+
+        ``values[k]`` is one scenario's stamp-order value array (the rows
+        of a :class:`~repro.analysis.compiled.BatchStampState` block); the
+        result stacks every scenario's matrix along a leading sample axis,
+        ready for one batched LAPACK call.  Per-slot accumulation order
+        matches the scalar :meth:`to_dense` replay exactly, so each slice
+        is bit-for-bit the scalar assembly.
+        """
+        n_samples = np.asarray(values).shape[0]
+        if out is None:
+            out = np.zeros((n_samples, self.n, self.n), dtype=dtype)
+        else:
+            out[:] = 0.0
+        if len(self.rows):
+            _, _, flat_positions = self._batch()
+            flat = out.reshape(n_samples, self.n * self.n)
+            flat[:, flat_positions] = self.csc_data_batch(values, dtype=dtype)
+        return out
+
+    def csc_data_batch(self, values: np.ndarray, dtype=float) -> np.ndarray:
+        """The CSC ``data`` arrays for a ``(N, nnz)`` value block, stacked.
+
+        Returns ``(N, structural_nnz)``: row ``k`` is exactly
+        ``csc_data(values[k])`` (same per-slot accumulation order).  This
+        is the sparse half of the batch kernel —
+        :meth:`~repro.linalg.backends.LinearSystem.solve_batch` feeds
+        each row to ``refactor`` under one cached symbolic ordering.
+        """
+        values = np.asarray(values, dtype=dtype)
+        if values.ndim != 2 or values.shape[1] != self.nnz:
+            raise ValueError(f"expected a (N, {self.nnz}) value block, got "
+                             f"shape {values.shape}")
+        order, starts, _ = self._batch()
+        if not len(order):
+            return np.zeros((values.shape[0], 0), dtype=dtype)
+        return np.add.reduceat(values[:, order], starts, axis=1)
 
     def csc_data(self, values, dtype=float, out: Optional[np.ndarray] = None) -> np.ndarray:
         """The CSC ``data`` array for ``values`` (stamp order), nothing else.

@@ -49,6 +49,7 @@ from repro.service.engine import BatchEngine, execute_request
 from repro.service.requests import AnalysisRequest, AnalysisResponse, expand_corners
 from repro.service.scenarios import (
     Distribution,
+    OpSpread,
     Scenario,
     ScenarioSpec,
     SampleOutcome,
@@ -57,10 +58,16 @@ from repro.service.scenarios import (
     YieldSummary,
     dc_sweep_envelope,
     generate_scenarios,
+    op_spread,
     scenario_requests,
     stability_yield,
 )
-from repro.service.service import DCSweepReport, MonteCarloReport, StabilityService
+from repro.service.service import (
+    DCSweepReport,
+    MonteCarloReport,
+    OpReport,
+    StabilityService,
+)
 
 __all__ = [
     "AnalysisRequest",
@@ -70,6 +77,8 @@ __all__ = [
     "DCSweepReport",
     "Distribution",
     "MonteCarloReport",
+    "OpReport",
+    "OpSpread",
     "ResultCache",
     "SampleOutcome",
     "Scenario",
@@ -82,6 +91,7 @@ __all__ = [
     "execute_request",
     "expand_corners",
     "generate_scenarios",
+    "op_spread",
     "scenario_requests",
     "stability_yield",
 ]

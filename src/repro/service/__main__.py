@@ -25,6 +25,12 @@ Usage examples::
     python -m repro.service montecarlo opamp.sp --samples 32 \\
         --dc-sweep "Vin=0:5:51" --node out --vary "cload=normal:1e-12:10%"
 
+    # Bare operating point / AC sweep (linear batches of these run on the
+    # in-process vectorized restamp + batched solve kernel):
+    python -m repro.service analyze ladder.sp --mode op
+    python -m repro.service montecarlo ladder.sp --samples 256 --op \\
+        --node out --vary "rload=uniform:5e3:2e4"
+
     # Cache inspection / maintenance:
     python -m repro.service cache stats
     python -m repro.service cache clear
@@ -236,6 +242,37 @@ def cmd_montecarlo(args) -> int:
     gmin = _parse_distribution(args.gmin) if args.gmin else None
     spec = ScenarioSpec(variables=variables, temperature=temperature,
                         gmin=gmin, samples=args.samples, seed=args.seed)
+    if getattr(args, "op", False):
+        # Monte Carlo over bare operating points: every sample is one
+        # linear DC solve, so the whole cache-miss set runs through the
+        # engine's in-process batched restamp+solve kernel.
+        if getattr(args, "dc_sweep", None) is not None:
+            print("error: --op and --dc-sweep are mutually exclusive "
+                  "(pick the operating-point spread or the transfer-curve "
+                  "envelope)", file=sys.stderr)
+            return 2
+        if not args.node:
+            print("error: --op needs --node (the output whose voltage "
+                  "spread is reported)", file=sys.stderr)
+            return 2
+        base = AnalysisRequest(mode="op", netlist=netlist,
+                               backend=args.solver_backend)
+        report = service.screen_op(spec, base=base, node=args.node,
+                                   progress=_progress_printer(args.quiet))
+        if args.json:
+            print(json.dumps({
+                "spread": {
+                    "node": report.spread.node,
+                    "values": report.spread.values,
+                    "stats": report.spread.stats(),
+                    "samples": report.spread.samples,
+                    "errors": report.spread.errors,
+                },
+                "responses": [r.to_dict() for r in report.responses],
+            }))
+        else:
+            print(report.format())
+        return 0 if report.spread.errors == 0 else 1
     dc = getattr(args, "dc_sweep", None)
     if dc is not None:
         # Monte Carlo over DC transfer curves: every sample sweeps the
@@ -314,11 +351,16 @@ def build_parser() -> argparse.ArgumentParser:
     analyze = sub.add_parser("analyze", help="screen one or more netlists")
     analyze.add_argument("netlists", nargs="+", help="SPICE netlist file(s)")
     analyze.add_argument("--mode",
-                         choices=("all-nodes", "single-node", "dc-sweep"),
-                         default="all-nodes")
+                         choices=("all-nodes", "single-node", "dc-sweep",
+                                  "op", "ac"),
+                         default="all-nodes",
+                         help="analysis mode; op/ac are the bare "
+                              "operating-point / AC-sweep engines (linear "
+                              "batches of them run on the in-process "
+                              "batched kernel)")
     analyze.add_argument("--node", help="node name for single-node mode "
                                         "(and the reported output of a "
-                                        "dc-sweep)")
+                                        "dc-sweep or ac run)")
     analyze.add_argument("--dc-sweep", metavar="NAME=START:STOP:POINTS",
                          type=_parse_dc_sweep, dest="dc_sweep",
                          help="DC transfer sweep of a source or design "
@@ -361,7 +403,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="screen DC transfer curves instead of stability: "
                          "sweep the named source/variable per sample and "
                          "report the output envelope (needs --node)")
-    mc.add_argument("--node", help="output node for --dc-sweep envelopes")
+    mc.add_argument("--op", action="store_true",
+                    help="screen bare DC operating points instead of "
+                         "stability: linear circuits batch every sample "
+                         "through the vectorized restamp + batched solve "
+                         "kernel and report the --node voltage spread")
+    mc.add_argument("--node", help="output node for --dc-sweep envelopes "
+                                   "and --op spreads")
     mc.add_argument("--sweep", type=_parse_sweep,
                     default=(FrequencySweep.DEFAULT_START,
                              FrequencySweep.DEFAULT_STOP,

@@ -18,12 +18,25 @@ so a single-topology Monte Carlo batch still saturates the pool, and a
 process-local compiled-structure cache catches reuse across chunks that
 land on the same worker.
 
+One tier above the pool sits the **mode-aware in-process fast path**:
+when a structure-fingerprint group consists of linear ``op``/``ac``
+requests on one topology (same mode, same effective solver backend, same
+sweep), the engine skips per-request dispatch entirely and runs the
+whole group through the sample-axis batch kernel —
+:meth:`~repro.analysis.CompiledCircuit.restamp_batch` (every dynamic
+element evaluated once for all samples) feeding
+:meth:`~repro.linalg.LinearSystem.solve_batch` (one batched LAPACK call
+on dense, one cached symbolic ordering on sparse).  See
+``docs/compiled-engine.md`` for the whole pipeline.
+
 Every failure mode is isolated per request: :func:`execute_request` never
 raises (analysis errors become ``status="failed"`` responses with the full
-traceback attached), and pool-level transport failures (a killed worker, an
+traceback attached), pool-level transport failures (a killed worker, an
 unpicklable payload) are converted into failed responses for the affected
 chunk only — each carrying the request's fingerprint (computed guardedly)
-so failures stay correlatable with the cache and the yield reducer.
+so failures stay correlatable with the cache and the yield reducer — and
+a poisoned sample inside a batched group falls back to the scalar
+per-request path without disturbing its batchmates.
 """
 
 from __future__ import annotations
@@ -37,19 +50,25 @@ import traceback
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.ac import ac_analysis, solve_ac_batch
 from repro.analysis.compiled import CompiledCircuit
 from repro.analysis.dcsweep import dc_sweep
+from repro.analysis.op import operating_point, solve_linear_dc_batch
+from repro.analysis.results import ACResult, OPResult
 from repro.core.all_nodes import analyze_all_nodes
 from repro.core.report import (
+    format_ac_report,
     format_all_nodes_report,
     format_dc_sweep_report,
+    format_op_report,
     format_single_node_report,
 )
 from repro.core.single_node import analyze_node
 from repro.exceptions import ToolError
 from repro.service.requests import AnalysisRequest, AnalysisResponse
 
-__all__ = ["BatchEngine", "execute_request", "execute_request_chunk"]
+__all__ = ["BatchEngine", "execute_linear_batch", "execute_request",
+           "execute_request_chunk"]
 
 #: Progress callback: ``f(completed_count, total_count, response)``.
 ProgressCallback = Callable[[int, int, AnalysisResponse], None]
@@ -127,6 +146,22 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
                               compiled=compiled)
             payload = result.to_dict()
             report = format_dc_sweep_report(result, node=request.node)
+        elif request.mode == "op":
+            result = operating_point(circuit, temperature=request.temperature,
+                                     gmin=request.gmin,
+                                     variables=dict(request.variables) or None,
+                                     backend=request.backend,
+                                     compiled=compiled)
+            payload = result.to_dict()
+            report = format_op_report(result)
+        elif request.mode == "ac":
+            result = ac_analysis(circuit, sweep=request.sweep(),
+                                 temperature=request.temperature,
+                                 gmin=request.gmin,
+                                 variables=dict(request.variables) or None,
+                                 backend=request.backend, compiled=compiled)
+            payload = result.to_dict()
+            report = format_ac_report(result, node=request.node)
         elif request.mode == "single-node":
             options = request.analysis_options()
             result = analyze_node(circuit, request.node, options=options,
@@ -163,6 +198,87 @@ def execute_request_chunk(requests: Sequence[AnalysisRequest]
     return [execute_request(request) for request in requests]
 
 
+def execute_linear_batch(requests: Sequence[AnalysisRequest],
+                         prefer_pool_for_sparse: bool = False
+                         ) -> Optional[List[AnalysisResponse]]:
+    """Run one same-structure group of linear ``op``/``ac`` requests
+    through the batched restamp+solve kernel, in this process.
+
+    The group contract (enforced by the caller's grouping key): every
+    request shares one circuit structure, one mode, one effective solver
+    backend and — for ``ac`` — one frequency sweep.  The whole group is
+    then a single :meth:`~repro.analysis.CompiledCircuit.restamp_batch`
+    (each dynamic element evaluated once for all samples) plus one
+    batched DC solve (:func:`~repro.analysis.op.solve_linear_dc_batch`)
+    and, for ``ac``, one batched sweep
+    (:func:`~repro.analysis.ac.solve_ac_batch`).
+
+    Returns ``None`` when the group cannot be batched at all (nonlinear
+    circuit, compile failure) — the caller then dispatches it down the
+    per-request path.  Per-sample problems never poison the group: any
+    sample that failed to restamp or solve falls back to the scalar
+    :func:`execute_request`, which reproduces the failure (or recovers)
+    with its full per-request diagnostics.
+    """
+    started = time.time()
+    first = requests[0]
+    try:
+        compiled = _compiled_for(first)
+        if compiled is None or not compiled.is_linear:
+            return None
+        if prefer_pool_for_sparse:
+            # On the sparse kernel solve_batch is a sequential refactor
+            # loop — for systems large enough to resolve sparse, the LU
+            # dominates and a process pool's parallel workers beat the
+            # in-process batch.  Dense groups (one genuinely batched
+            # LAPACK call) always win in-process.
+            from repro.linalg import resolve_backend
+
+            resolved = resolve_backend(first.backend, size=compiled.size)
+            if resolved.name == "sparse":
+                return None
+        batch = compiled.restamp_batch(
+            variables=[dict(request.variables) for request in requests],
+            temperature=[request.temperature for request in requests],
+            gmin=[request.gmin for request in requests])
+        x, failures = solve_linear_dc_batch(batch, backend=first.backend)
+        data = None
+        if first.mode == "ac":
+            data, ac_failures = solve_ac_batch(batch,
+                                               first.sweep().frequencies,
+                                               backend=first.backend)
+            failures = {**failures, **ac_failures}
+    except Exception:
+        return None
+    elapsed = (time.time() - started) / max(len(requests), 1)
+
+    responses: List[AnalysisResponse] = []
+    names = compiled.variable_names
+    for index, request in enumerate(requests):
+        if index in failures:
+            responses.append(execute_request(request))
+            continue
+        try:
+            op = OPResult(names, x[index], iterations=0, strategy="linear",
+                          temperature=request.temperature)
+            if request.mode == "ac":
+                result = ACResult(names, first.sweep().frequencies,
+                                  data[index], op=op)
+                payload = result.to_dict()
+                report = format_ac_report(result, node=request.node)
+            else:
+                result = op
+                payload = result.to_dict()
+                report = format_op_report(result)
+            responses.append(AnalysisResponse(
+                fingerprint=request.fingerprint(), mode=request.mode,
+                status="done", label=request.label, result=payload,
+                report=report, elapsed_seconds=elapsed))
+        except Exception:
+            responses.append(execute_request(request))
+    return responses
+
+
 class BatchEngine:
     """Fans a batch of requests out over a local worker pool.
 
@@ -189,31 +305,93 @@ class BatchEngine:
         self.max_workers = int(max_workers)
         self.backend = backend
 
+    #: Minimum group size for the in-process batched fast path — a
+    #: single request gains nothing from a batch kernel.
+    BATCH_FASTPATH_MIN = 2
+
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[AnalysisRequest],
             progress: Optional[ProgressCallback] = None
             ) -> List[AnalysisResponse]:
         """Execute every request; responses come back in submission order.
 
-        Failures (analysis errors, worker crashes) never abort the batch —
-        the affected request yields a ``status="failed"`` response.
+        Same-structure groups of linear ``op``/``ac`` requests are served
+        first by the in-process batched kernel
+        (:func:`execute_linear_batch` — one vectorized restamp + one
+        batched solve for the whole group, bypassing per-request pool
+        dispatch); everything else goes down the configured per-request
+        path.  Failures (analysis errors, worker crashes, poisoned batch
+        samples) never abort the batch — the affected request yields a
+        ``status="failed"`` response.
         """
         requests = list(requests)
         if not requests:
             return []
-        if self.backend == "serial" or len(requests) == 1:
-            return self._run_serial(requests, progress)
-        return self._run_pool(requests, progress)
+        responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
+        completed = 0
+
+        def emit(index: int, response: AnalysisResponse) -> None:
+            nonlocal completed
+            responses[index] = response
+            completed += 1
+            if progress is not None:
+                progress(completed, len(requests), response)
+
+        remaining = self._run_batched_fastpath(requests, emit)
+        if remaining:
+            if self.backend == "serial" or len(remaining) == 1:
+                for index in remaining:
+                    emit(index, execute_request(requests[index]))
+            else:
+                self._run_pool(requests, remaining, emit)
+        return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
-    def _run_serial(self, requests, progress) -> List[AnalysisResponse]:
-        responses = []
-        for index, request in enumerate(requests, start=1):
-            response = execute_request(request)
-            responses.append(response)
-            if progress is not None:
-                progress(index, len(requests), response)
-        return responses
+    def _fastpath_key(self, request: AnalysisRequest, index: int):
+        """Batched-group key of a request; ``None`` when ineligible.
+
+        Eligible requests are ``op``/``ac`` mode; the key pins everything
+        a batch must share — circuit structure, mode, effective solver
+        backend and (for ``ac``) the frequency sweep.  Linearity is a
+        property of the compiled circuit and is checked once per group by
+        :func:`execute_linear_batch`.
+        """
+        if request.mode not in ("op", "ac"):
+            return None
+        try:
+            backend = request.effective_backend()
+        except Exception:
+            return None
+        key = self._group_key(request, index)
+        if isinstance(key, tuple) and key and key[0] == "ungroupable":
+            return None
+        sweep = ((request.sweep_start, request.sweep_stop,
+                  request.sweep_points_per_decade)
+                 if request.mode == "ac" else None)
+        return (request.mode, key, backend, sweep)
+
+    def _run_batched_fastpath(self, requests: Sequence[AnalysisRequest],
+                              emit) -> List[int]:
+        """Serve every batchable group in-process; return unhandled indices."""
+        groups: "OrderedDict[object, List[int]]" = OrderedDict()
+        for index, request in enumerate(requests):
+            groups.setdefault(self._fastpath_key(request, index),
+                              []).append(index)
+        remaining: List[int] = []
+        for key, indices in groups.items():
+            if key is None or len(indices) < self.BATCH_FASTPATH_MIN:
+                remaining.extend(indices)
+                continue
+            group = execute_linear_batch(
+                [requests[i] for i in indices],
+                prefer_pool_for_sparse=(self.backend == "process"))
+            if group is None:          # unbatchable topology: normal path
+                remaining.extend(indices)
+                continue
+            for index, response in zip(indices, group):
+                emit(index, response)
+        remaining.sort()
+        return remaining
 
     @staticmethod
     def _group_key(request: AnalysisRequest, index: int) -> object:
@@ -236,37 +414,42 @@ class BatchEngine:
             return hashlib.sha256(request.netlist.encode("utf-8")).hexdigest()
         return ("ungroupable", index)
 
-    def _chunk_by_structure(self, requests: Sequence[AnalysisRequest]
+    def _chunk_by_structure(self, requests: Sequence[AnalysisRequest],
+                            indices: Optional[Sequence[int]] = None
                             ) -> List[List[int]]:
-        """Group request indices by circuit structure, then split each
-        group into at most ``max_workers`` chunks.
+        """Group the given request indices (all of them by default) by
+        circuit structure, then split each group into at most
+        ``max_workers`` chunks.
 
         Same-structure requests landing on one worker share a single
         compile; splitting each group keeps every worker busy even when
         the whole batch is one topology (the Monte Carlo case).
         """
+        if indices is None:
+            indices = range(len(requests))
         groups: "OrderedDict[object, List[int]]" = OrderedDict()
-        for index, request in enumerate(requests):
-            groups.setdefault(self._group_key(request, index), []).append(index)
+        for index in indices:
+            groups.setdefault(self._group_key(requests[index], index),
+                              []).append(index)
         chunks: List[List[int]] = []
-        for indices in groups.values():
-            per_chunk = max(1, -(-len(indices) // self.max_workers))
-            for start in range(0, len(indices), per_chunk):
-                chunks.append(indices[start:start + per_chunk])
+        for group in groups.values():
+            per_chunk = max(1, -(-len(group) // self.max_workers))
+            for start in range(0, len(group), per_chunk):
+                chunks.append(group[start:start + per_chunk])
         return chunks
 
-    def _run_pool(self, requests, progress) -> List[AnalysisResponse]:
+    def _run_pool(self, requests: Sequence[AnalysisRequest],
+                  indices: Sequence[int], emit) -> None:
+        """Dispatch the given request indices over the worker pool."""
         if self.backend == "process":
             executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers)
         else:
             executor = concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers)
-        responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
-        completed = 0
         with executor:
             futures = {}
-            for chunk in self._chunk_by_structure(requests):
+            for chunk in self._chunk_by_structure(requests, indices):
                 future = executor.submit(execute_request_chunk,
                                          [requests[i] for i in chunk])
                 futures[future] = chunk
@@ -289,8 +472,4 @@ class BatchEngine:
                             traceback=failure_traceback)
                         for index in chunk]
                 for index, response in zip(chunk, chunk_responses):
-                    responses[index] = response
-                    completed += 1
-                    if progress is not None:
-                        progress(completed, len(requests), response)
-        return responses  # type: ignore[return-value]
+                    emit(index, response)

@@ -26,7 +26,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.results import DCSweepResult
+from repro.analysis.results import ACResult, DCSweepResult, OPResult
 from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.canonical import circuit_fingerprint
 from repro.circuit.netlist import Circuit
@@ -42,9 +42,11 @@ __all__ = ["AnalysisRequest", "AnalysisResponse", "expand_corners",
 #: Bumping this invalidates every existing cache entry (fingerprints change).
 #: v2: the linear-solver backend joined the fingerprint.
 #: v3: the "dc-sweep" mode and its sweep-definition fields joined the schema.
-REQUEST_SCHEMA_VERSION = 3
+#: v4: the bare "op" and "ac" modes joined the schema (the batchable
+#:     building blocks the engine's in-process fast path groups on).
+REQUEST_SCHEMA_VERSION = 4
 
-_MODES = ("all-nodes", "single-node", "dc-sweep")
+_MODES = ("all-nodes", "single-node", "dc-sweep", "op", "ac")
 _SOLVER_BACKENDS = (None, "auto") + available_backends()
 
 #: Circuit object -> structure fingerprint.  Requests of one batch share
@@ -137,9 +139,10 @@ class AnalysisRequest:
 
     def analysis_options(self):
         """Build the per-mode options object for the core analyses."""
-        if self.mode == "dc-sweep":
-            raise ToolError("dc-sweep requests have no frequency-domain "
-                            "options; see dc_sweep_grid()")
+        if self.mode not in ("single-node", "all-nodes"):
+            raise ToolError(f"{self.mode!r} requests have no frequency-domain "
+                            "options (dc-sweep carries its own grid, op/ac "
+                            "run the bare analysis engines)")
         common = dict(sweep=self.sweep(), temperature=self.temperature,
                       gmin=self.gmin, variables=dict(self.variables) or None,
                       backend=self.backend)
@@ -193,7 +196,19 @@ class AnalysisRequest:
         return env if env not in ("", "auto") else "auto"
 
     def fingerprint(self) -> str:
-        """Content hash identifying this request (the cache key)."""
+        """Content hash identifying this request (the cache key).
+
+        Memoised per instance (requests are treated as immutable once
+        built, like the structure fingerprint): the service looks a
+        request up in the cache and the batch executor stamps the same
+        key onto the response — one canonicalisation, not two.  The memo
+        is keyed on the effective backend, which can legitimately change
+        under the ``REPRO_BACKEND`` environment override.
+        """
+        effective = self.effective_backend()
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None and cached[0] == effective:
+            return cached[1]
         circuit = self.resolved_circuit()
         extra = {
             "schema": REQUEST_SCHEMA_VERSION,
@@ -204,7 +219,10 @@ class AnalysisRequest:
             "temperature": self.temperature,
             "gmin": self.gmin,
             "variables": self.variables,
-            "sweep": self.sweep().canonical_data(),
+            # A bare operating point has no frequency axis: leaving the
+            # sweep out lets op requests share cache entries regardless
+            # of the (irrelevant) sweep settings they were built with.
+            "sweep": None if self.mode == "op" else self.sweep().canonical_data(),
             "backend": self.effective_backend(),
         }
         if self.mode == "dc-sweep":
@@ -216,7 +234,9 @@ class AnalysisRequest:
                 "stop": self.dc_stop,
                 "points": self.dc_points,
             }
-        return circuit_fingerprint(circuit, extra=extra)
+        self._fingerprint = (effective, circuit_fingerprint(circuit,
+                                                            extra=extra))
+        return self._fingerprint[1]
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
@@ -307,6 +327,18 @@ class AnalysisResponse:
         if not self.ok or self.result is None or self.mode != "dc-sweep":
             raise ToolError("response carries no dc-sweep result")
         return DCSweepResult.from_dict(self.result)
+
+    def op_result(self) -> OPResult:
+        """Rehydrate the :class:`~repro.analysis.OPResult` ("op" mode)."""
+        if not self.ok or self.result is None or self.mode != "op":
+            raise ToolError("response carries no operating-point result")
+        return OPResult.from_dict(self.result)
+
+    def ac_result(self) -> ACResult:
+        """Rehydrate the :class:`~repro.analysis.ACResult` ("ac" mode)."""
+        if not self.ok or self.result is None or self.mode != "ac":
+            raise ToolError("response carries no AC result")
+        return ACResult.from_dict(self.result)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

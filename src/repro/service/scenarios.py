@@ -27,6 +27,7 @@ from repro.service.requests import AnalysisRequest, AnalysisResponse
 
 __all__ = [
     "Distribution",
+    "OpSpread",
     "ScenarioSpec",
     "Scenario",
     "StabilityCriteria",
@@ -35,6 +36,7 @@ __all__ = [
     "YieldSummary",
     "dc_sweep_envelope",
     "generate_scenarios",
+    "op_spread",
     "scenario_requests",
     "stability_yield",
 ]
@@ -144,9 +146,11 @@ def scenario_requests(spec: ScenarioSpec,
     """Sample the spec and build one request per scenario.
 
     ``base`` (optional) supplies the analysis mode (all-nodes by default;
-    single-node and dc-sweep scenarios are first-class too), the sweep
-    settings and baseline variable overrides; scenario values override
-    base values of the same name.
+    single-node, dc-sweep, op and ac scenarios are first-class too), the
+    sweep settings and baseline variable overrides; scenario values
+    override base values of the same name.  Linear ``op``/``ac`` batches
+    additionally qualify for the engine's in-process batched fast path
+    (one vectorized restamp + one batched solve for the whole sweep).
 
     Every generated request shares one parsed ``Circuit`` object (the
     netlist, when given, is parsed here exactly once and kept alongside
@@ -314,7 +318,8 @@ def stability_yield(scenarios: Sequence[Scenario],
                 scenario=scenario, status="error",
                 error=f"stability yield needs all-nodes responses, got "
                       f"{response.mode!r} (use dc_sweep_envelope for "
-                      "transfer-curve batches)"))
+                      "transfer-curve batches, op_spread for "
+                      "operating-point batches)"))
             continue
         result = response.all_nodes_result()
         if result.failed_nodes:
@@ -383,6 +388,72 @@ class SweepEnvelope:
         for message in self.error_messages:
             lines.append(f"  {message}")
         return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Operating-point statistics (Monte Carlo over "op" requests)
+# ----------------------------------------------------------------------
+@dataclass
+class OpSpread:
+    """Distribution of one node's DC voltage across a Monte Carlo batch
+    of "op" responses — the reducer of the batched operating-point fast
+    path (see ``docs/compiled-engine.md``)."""
+
+    node: str
+    values: List[float]                #: per analysed sample, in order
+    samples: int
+    errors: int
+    error_messages: List[str] = field(default_factory=list)
+
+    @property
+    def analysed(self) -> int:
+        return self.samples - self.errors
+
+    def stats(self) -> Optional[Dict[str, float]]:
+        """mean/std/min/max of the node voltage (None when nothing ran)."""
+        if not self.values:
+            return None
+        mean = sum(self.values) / len(self.values)
+        variance = sum((v - mean) ** 2 for v in self.values) / len(self.values)
+        return {"mean": mean, "std": math.sqrt(variance),
+                "min": min(self.values), "max": max(self.values)}
+
+    def format(self) -> str:
+        """Human-readable operating-point spread report."""
+        lines = [
+            f"Monte Carlo operating-point screening: {self.samples} samples",
+            f"  analysed: {self.analysed}   analysis errors: {self.errors}",
+        ]
+        stats = self.stats()
+        if stats is not None:
+            lines.append(
+                f"  V({self.node}): mean {stats['mean']:+.6g} V, "
+                f"std {stats['std']:.4g}, range [{stats['min']:+.6g}, "
+                f"{stats['max']:+.6g}] V")
+        for message in self.error_messages:
+            lines.append(f"  {message}")
+        return "\n".join(lines) + "\n"
+
+
+def op_spread(scenarios: Sequence[Scenario],
+              responses: Sequence[AnalysisResponse],
+              node: str) -> OpSpread:
+    """Reduce "op" responses to the voltage spread of ``node``."""
+    if len(scenarios) != len(responses):
+        raise ToolError("scenario and response counts differ")
+    values: List[float] = []
+    errors = 0
+    messages: List[str] = []
+    for scenario, response in zip(scenarios, responses):
+        if not response.ok or response.mode != "op":
+            errors += 1
+            reason = (response.error if not response.ok
+                      else f"unexpected mode {response.mode!r}")
+            messages.append(f"{scenario.name}: analysis failed: {reason}")
+            continue
+        values.append(float(response.op_result().voltage(node)))
+    return OpSpread(node=node, values=values, samples=len(responses),
+                    errors=errors, error_messages=messages)
 
 
 def dc_sweep_envelope(scenarios: Sequence[Scenario],

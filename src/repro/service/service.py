@@ -17,17 +17,20 @@ from repro.service.cache import ResultCache
 from repro.service.engine import BatchEngine, ProgressCallback, execute_request
 from repro.service.requests import AnalysisRequest, AnalysisResponse
 from repro.service.scenarios import (
+    OpSpread,
     Scenario,
     ScenarioSpec,
     StabilityCriteria,
     SweepEnvelope,
     YieldSummary,
     dc_sweep_envelope,
+    op_spread,
     scenario_requests,
     stability_yield,
 )
 
-__all__ = ["StabilityService", "MonteCarloReport", "DCSweepReport"]
+__all__ = ["StabilityService", "MonteCarloReport", "DCSweepReport",
+           "OpReport"]
 
 
 @dataclass
@@ -64,6 +67,25 @@ class DCSweepReport:
 
     def format(self) -> str:
         text = self.envelope.format()
+        return (text + f"  ({self.cached_count}/{len(self.responses)} samples "
+                       f"from cache, batch took {self.elapsed_seconds:.2f}s)\n")
+
+
+@dataclass
+class OpReport:
+    """Outcome of one Monte Carlo operating-point screening run."""
+
+    scenarios: List[Scenario]
+    responses: List[AnalysisResponse]
+    spread: OpSpread
+    elapsed_seconds: float = 0.0
+
+    @property
+    def cached_count(self) -> int:
+        return sum(1 for r in self.responses if r.cached)
+
+    def format(self) -> str:
+        text = self.spread.format()
         return (text + f"  ({self.cached_count}/{len(self.responses)} samples "
                        f"from cache, batch took {self.elapsed_seconds:.2f}s)\n")
 
@@ -215,6 +237,38 @@ class StabilityService:
         return DCSweepReport(scenarios=scenarios, responses=responses,
                              envelope=envelope,
                              elapsed_seconds=time.time() - started)
+
+    def screen_op(self, spec: ScenarioSpec,
+                  base: AnalysisRequest,
+                  node: str,
+                  progress: Optional[ProgressCallback] = None) -> OpReport:
+        """Monte Carlo over bare operating points: sample, batch, spread.
+
+        ``base`` must be a ``mode="op"`` request; ``node`` selects the
+        output whose voltage distribution is reported.  Because every
+        sample shares one topology, a linear circuit runs the whole
+        cache-miss set through the engine's in-process batched kernel —
+        one vectorized restamp plus one batched solve for the entire
+        group (see ``docs/compiled-engine.md``).
+        """
+        started = time.time()
+        # Fail fast on a typo'd node: the reducer reads it only after the
+        # whole batch has run, and a misspelling must not discard
+        # hundreds of completed solves.
+        from repro.circuit.elements.base import is_ground
+        from repro.exceptions import ToolError
+
+        circuit = base.resolved_circuit().flattened()
+        resolved = circuit.resolve_node(node)
+        if not is_ground(resolved) and resolved not in circuit.nodes():
+            raise ToolError(f"unknown node {node!r} for the operating-point "
+                            "spread (check --node against the netlist)")
+        scenarios, requests = scenario_requests(spec, base=base)
+        responses = self.submit_batch(requests, progress=progress)
+        spread = op_spread(scenarios, responses, node)
+        return OpReport(scenarios=scenarios, responses=responses,
+                        spread=spread,
+                        elapsed_seconds=time.time() - started)
 
     # ------------------------------------------------------------------
     def stats(self) -> dict:

@@ -96,6 +96,140 @@ def test_sparse_assembly_matches_fresh_build(circuit, compiled, temperature):
         assert worst <= TOLERANCE * scale, which
 
 
+def _assert_rows_match(reference: np.ndarray, batched: np.ndarray,
+                       label: str) -> None:
+    reference = np.asarray(reference)
+    if not reference.size:
+        return
+    scale = max(float(np.max(np.abs(reference))), 1.0)
+    assert np.max(np.abs(reference - np.asarray(batched))) \
+        <= TOLERANCE * scale, label
+
+
+def test_restamp_batch_matches_per_sample_restamp(circuit, compiled):
+    """Row k of every restamp_batch block equals restamp() of scenario k
+    (to 1e-12), on every bundled circuit — the batch kernel's ground truth."""
+    temps = np.array([27.0, 85.0, -40.0, 100.0])
+    columns = {name: value * np.linspace(0.93, 1.07, len(temps))
+               for name, value in circuit.variables.items()}
+    batch = compiled.restamp_batch(variables=columns, temperature=temps)
+    assert not batch.failures
+    assert len(batch) == len(temps)
+    for k in range(len(temps)):
+        row = {name: float(col[k]) for name, col in columns.items()}
+        single = compiled.restamp(variables=row, temperature=float(temps[k]))
+        _assert_rows_match(single.g_values, batch.g_values[k], f"G[{k}]")
+        _assert_rows_match(single.c_values, batch.c_values[k], f"C[{k}]")
+        _assert_rows_match(single.b_dc, batch.b_dc[k], f"b_dc[{k}]")
+        _assert_rows_match(single.b_ac, batch.b_ac[k], f"b_ac[{k}]")
+        # The per-sample view hands the same values to the dense/CSC
+        # assemblies every scalar analysis consumes.
+        _assert_rows_match(single.G_dense(), batch.sample(k).G_dense(),
+                           f"G_dense[{k}]")
+
+
+def test_restamp_batch_row_form_and_dense_stack():
+    """Row-form variables and the (N, n, n) stack agree with per-sample
+    scalar assembly."""
+    builder = CircuitBuilder("variable divider")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    builder.resistor("in", "out", "rtop", name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    builder.variable("rtop", 1e3)
+    compiled = CompiledCircuit(builder.build())
+    rows = [{"rtop": 1e3}, {"rtop": 2e3}, {"rtop": 5e3}]
+    batch = compiled.restamp_batch(variables=rows)
+    stack = batch.G_dense_batch()
+    for k, row in enumerate(rows):
+        single = compiled.restamp(variables=row)
+        assert np.array_equal(stack[k], single.G_dense())
+    data = batch.G_csc_data_batch()
+    for k, row in enumerate(rows):
+        single = compiled.restamp(variables=row)
+        assert np.array_equal(data[k], single.pattern_G.csc_data(single.g_values))
+
+
+def test_restamp_batch_isolates_poisoned_samples():
+    """One unstampable scenario (zero resistance) fails alone: its row is
+    NaN and recorded in failures, every other sample restamps exactly."""
+    builder = CircuitBuilder("variable divider")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    builder.resistor("in", "out", "rtop", name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    builder.variable("rtop", 1e3)
+    compiled = CompiledCircuit(builder.build())
+    batch = compiled.restamp_batch(
+        variables={"rtop": [1e3, 0.0, 2e3]})
+    assert set(batch.failures) == {1}
+    assert isinstance(batch.failures[1], NetlistError)
+    assert np.all(np.isnan(batch.g_values[1]))
+    with pytest.raises(NetlistError):
+        batch.sample(1)
+    healthy = compiled.restamp(variables={"rtop": 2e3})
+    assert np.array_equal(batch.sample(2).g_values, healthy.g_values)
+
+
+def test_restamp_batch_does_not_mask_overflowing_expressions():
+    """Where the scalar path raises (math.exp overflow), the vectorized
+    pass must not silently stamp inf/nan: the poisoned sample fails
+    alone, its batchmates match their scalar restamps exactly."""
+    builder = CircuitBuilder("overflow divider")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    builder.resistor("in", "out", "exp(k)", name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    builder.variable("k", 1.0)
+    compiled = CompiledCircuit(builder.build())
+    batch = compiled.restamp_batch(variables={"k": [1.0, 1000.0, 2.0]})
+    assert set(batch.failures) == {1}
+    for k, value in ((0, 1.0), (2, 2.0)):
+        single = compiled.restamp(variables={"k": value})
+        assert np.array_equal(batch.sample(k).g_values, single.g_values)
+
+
+def test_restamp_batch_rows_missing_undeclared_variables_fail_like_scalar():
+    """A row omitting a variable that is NOT declared on the circuit must
+    fail exactly as the scalar path does (undefined name), never
+    silently inherit a zero or another row's value."""
+    builder = CircuitBuilder("undeclared variable")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    builder.resistor("in", "out", "k*1e3 + 1e3", name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    compiled = CompiledCircuit(builder.build())
+    with pytest.raises(NetlistError):
+        compiled.restamp(variables={})            # the scalar behaviour
+    batch = compiled.restamp_batch(variables=[{"k": 2.0}, {}])
+    assert set(batch.failures) == {1}
+    single = compiled.restamp(variables={"k": 2.0})
+    assert np.array_equal(batch.sample(0).g_values, single.g_values)
+
+
+def test_restamp_batch_isolates_poisoned_first_sample_on_fresh_compile():
+    """The lazy compile pass must not be driven off a cliff by sample 0:
+    on a never-compiled circuit a poisoned first sample still lands in
+    failures while a later sample drives the structural recording."""
+    builder = CircuitBuilder("fresh compile")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    builder.resistor("in", "out", "rtop", name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    builder.variable("rtop", 1e3)
+    compiled = CompiledCircuit(builder.build())
+    assert not compiled.is_compiled
+    batch = compiled.restamp_batch(variables=[{"rtop": 0.0}, {"rtop": 2e3}])
+    assert set(batch.failures) == {0}
+    healthy = compiled.restamp(variables={"rtop": 2e3})
+    assert np.array_equal(batch.sample(1).g_values, healthy.g_values)
+
+
+def test_restamp_batch_infers_and_validates_sizes():
+    compiled = CompiledCircuit(circuits.parallel_rlc().circuit)
+    assert len(compiled.restamp_batch(samples=3)) == 3
+    with pytest.raises(Exception, match="cannot infer the batch size"):
+        compiled.restamp_batch()
+    with pytest.raises(Exception, match="inconsistent batch sizes"):
+        compiled.restamp_batch(temperature=[27.0, 85.0],
+                               gmin=[1e-12, 1e-12, 1e-12])
+
+
 def test_restamp_tracks_temperature_coefficient():
     """A tc1 resistor is dynamic: restamps at new temperatures move G."""
     builder = CircuitBuilder("tc ladder")

@@ -1,0 +1,177 @@
+"""The BatchEngine's in-process batched fast path for linear op/ac groups.
+
+Same-structure groups of linear ``op``/``ac`` requests must run through
+the sample-axis batch kernel (observable via ``SolveStats`` batch
+counters), produce results identical to the scalar per-request path,
+isolate poisoned samples by falling back to scalar execution, and leave
+nonlinear or mixed batches on the classic per-request path.
+"""
+
+import numpy as np
+import pytest
+
+from repro import circuits
+from repro.circuit.builder import CircuitBuilder
+from repro.linalg import resolve_backend
+from repro.service import (
+    AnalysisRequest,
+    BatchEngine,
+    Distribution,
+    ScenarioSpec,
+    StabilityService,
+    op_spread,
+    scenario_requests,
+)
+from repro.service.cache import ResultCache
+from repro.service.engine import execute_linear_batch, execute_request
+
+
+def _variable_divider():
+    builder = CircuitBuilder("variable divider")
+    builder.voltage_source("in", "0", dc=1.0, ac=1.0, name="Vin")
+    builder.resistor("in", "out", "rtop", name="R1")
+    builder.resistor("out", "0", 1e3, name="R2")
+    builder.capacitor("out", "0", 1e-12, name="C1")
+    builder.variable("rtop", 1e3)
+    return builder.build()
+
+
+@pytest.fixture()
+def engine():
+    return BatchEngine(backend="serial")
+
+
+@pytest.fixture()
+def stats():
+    """Counters of whichever backend the environment resolves to (the CI
+    matrix runs this suite under REPRO_BACKEND=dense and =sparse)."""
+    counters = type(resolve_backend(None)).stats
+    counters.reset()
+    return counters
+
+
+class TestBatchedOpGroups:
+    def test_op_group_runs_batched_and_matches_scalar(self, engine, stats):
+        circuit = _variable_divider()
+        requests = [AnalysisRequest(mode="op", circuit=circuit,
+                                    variables={"rtop": r}, label=f"s{k}")
+                    for k, r in enumerate((1e3, 2e3, 4e3, 8e3))]
+        responses = engine.run(requests)
+        assert stats.batch_solves == 1
+        assert stats.batched_systems == len(requests)
+        assert [r.label for r in responses] == ["s0", "s1", "s2", "s3"]
+        for request, response in zip(requests, responses):
+            assert response.ok
+            scalar = execute_request(request)
+            assert response.fingerprint == scalar.fingerprint
+            assert np.allclose(response.op_result().x, scalar.op_result().x,
+                               rtol=1e-12, atol=1e-15)
+
+    def test_ac_group_runs_batched_and_matches_scalar(self, engine, stats):
+        circuit = _variable_divider()
+        requests = [AnalysisRequest(mode="ac", circuit=circuit, node="out",
+                                    variables={"rtop": r},
+                                    sweep_start=1e3, sweep_stop=1e9,
+                                    sweep_points_per_decade=3)
+                    for r in (1e3, 3e3, 9e3)]
+        responses = engine.run(requests)
+        assert stats.batch_solves >= 1
+        for request, response in zip(requests, responses):
+            assert response.ok
+            scalar = execute_request(request)
+            assert np.allclose(response.ac_result().data,
+                               scalar.ac_result().data,
+                               rtol=1e-9, atol=1e-15)
+            # The embedded operating point survives the JSON round-trip.
+            assert np.allclose(response.ac_result().op.x,
+                               scalar.ac_result().op.x, rtol=1e-12)
+
+    def test_poisoned_sample_falls_back_to_scalar(self, engine, stats):
+        """One zero-resistance sample fails alone with the scalar path's
+        diagnostics; its batchmates still come back batched."""
+        circuit = _variable_divider()
+        requests = [AnalysisRequest(mode="op", circuit=circuit,
+                                    variables={"rtop": r}, label=f"s{k}")
+                    for k, r in enumerate((1e3, 0.0, 2e3, 4e3))]
+        responses = engine.run(requests)
+        assert stats.batch_solves == 1                # the batch still ran
+        assert not responses[1].ok
+        assert "zero resistance" in responses[1].error
+        assert responses[1].traceback                 # scalar-path details
+        for index in (0, 2, 3):
+            assert responses[index].ok
+            scalar = execute_request(requests[index])
+            assert np.allclose(responses[index].op_result().x,
+                               scalar.op_result().x, rtol=1e-12)
+
+    def test_nonlinear_groups_take_the_per_request_path(self, engine, stats):
+        circuit = circuits.opamp_with_bias().circuit
+        requests = [AnalysisRequest(mode="op", circuit=circuit,
+                                    temperature=t) for t in (27.0, 85.0)]
+        responses = engine.run(requests)
+        assert stats.batch_solves == 0
+        assert all(r.ok for r in responses)
+        assert execute_linear_batch(requests) is None
+
+    def test_single_requests_and_other_modes_stay_scalar(self, engine, stats):
+        circuit = _variable_divider()
+        lone = engine.run([AnalysisRequest(mode="op", circuit=circuit)])
+        assert lone[0].ok and stats.batch_solves == 0
+        mixed = engine.run([
+            AnalysisRequest(mode="all-nodes", circuit=circuit),
+            AnalysisRequest(mode="all-nodes", circuit=circuit,
+                            temperature=85.0),
+        ])
+        assert all(r.ok for r in mixed)
+        assert stats.batch_solves == 0
+
+    def test_backend_split_groups_separately(self, engine):
+        """Requests pinning different solver backends never share a batch
+        (the fingerprint treats them as different numerical paths)."""
+        circuit = _variable_divider()
+        requests = [AnalysisRequest(mode="op", circuit=circuit,
+                                    variables={"rtop": r}, backend=backend)
+                    for r in (1e3, 2e3) for backend in ("dense", "sparse")]
+        responses = engine.run(requests)
+        assert all(r.ok for r in responses)
+        values = [r.op_result().voltage("out") for r in responses]
+        assert values[0] == pytest.approx(values[1], rel=1e-9)
+
+
+class TestOpScreening:
+    def test_screen_op_spread_and_cache(self):
+        circuit = _variable_divider()
+        spec = ScenarioSpec(
+            variables={"rtop": Distribution.uniform(1e3, 4e3)},
+            samples=8, seed=11)
+        service = StabilityService(cache=ResultCache(None),
+                                   engine=BatchEngine(backend="serial"))
+        base = AnalysisRequest(mode="op", circuit=circuit)
+        report = service.screen_op(spec, base=base, node="out")
+        assert report.spread.errors == 0
+        assert report.spread.analysed == 8
+        stats = report.spread.stats()
+        assert 0.0 < stats["min"] <= stats["max"] < 1.0
+        again = service.screen_op(spec, base=base, node="out")
+        assert again.cached_count == 8
+
+    def test_screen_op_rejects_unknown_node_before_running_the_batch(self):
+        from repro.exceptions import ToolError
+
+        service = StabilityService(cache=ResultCache(None),
+                                   engine=BatchEngine(backend="serial"))
+        spec = ScenarioSpec(samples=4, seed=1)
+        base = AnalysisRequest(mode="op", circuit=_variable_divider())
+        with pytest.raises(ToolError, match="unknown node 'typo'"):
+            service.screen_op(spec, base=base, node="typo")
+
+    def test_op_spread_reducer_flags_wrong_modes(self):
+        circuit = _variable_divider()
+        spec = ScenarioSpec(samples=2, seed=1)
+        scenarios, requests = scenario_requests(
+            spec, base=AnalysisRequest(mode="op", circuit=circuit))
+        responses = BatchEngine(backend="serial").run(requests)
+        spread = op_spread(scenarios, responses, "out")
+        assert spread.errors == 0
+        with pytest.raises(Exception, match="counts differ"):
+            op_spread(scenarios[:1], responses, "out")
