@@ -1,0 +1,138 @@
+"""Observability overhead — disabled tracing must be (nearly) free.
+
+The acceptance bars of the telemetry subsystem:
+
+* **Disabled** (no tracer installed — the default for every production
+  run): the per-call cost of :func:`repro.obs.trace.span` times the
+  span count of the reference workload must stay under **2%** of that
+  workload's runtime.  The disabled path is one context-variable read
+  plus a ``None`` check returning a shared null object, so this bar has
+  a wide margin; it exists to catch accidental allocation creeping onto
+  the hot path.
+* **Enabled** (a bounded-ring tracer installed): the full 256-sample
+  Monte Carlo OP sweep — the engine's fastest code path, hence the
+  worst case for relative overhead — must run within **15%** of its
+  untraced time.
+
+Run with ``PYTHONPATH=src:. python -m pytest benchmarks/bench_obs_overhead.py``;
+CI runs it blocking on both ``REPRO_BACKEND`` values.
+"""
+
+import time
+
+from benchmarks.conftest import write_result
+from repro.obs.trace import Tracer, add_event, span, use_tracer
+from repro.service import (
+    AnalysisRequest,
+    BatchEngine,
+    Distribution,
+    ResultCache,
+    ScenarioSpec,
+    StabilityService,
+)
+
+SAMPLES = 256
+
+RLC_NETLIST = """tank standard
+.param rval=1k
+R1 tank 0 {rval}
+L1 tank 0 1m
+C1 tank 0 1n
+Vref vref 0 DC 1 AC 1
+Rtie vref tank 1G
+.end
+"""
+
+
+def _screen_op(samples: int = SAMPLES):
+    """The reference workload: a Monte Carlo OP sweep on a fresh service
+    (fresh cache, so every sample is computed, not replayed)."""
+    service = StabilityService(cache=ResultCache(None),
+                               engine=BatchEngine(backend="serial"))
+    spec = ScenarioSpec(
+        variables={"rval": Distribution.uniform(500.0, 2000.0)},
+        samples=samples, seed=11)
+    base = AnalysisRequest(mode="op", netlist=RLC_NETLIST)
+    report = service.screen_op(spec, base=base, node="tank")
+    assert report.spread.errors == 0
+    return report
+
+
+def _best_of(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_disabled_span_cost_is_under_budget(benchmark):
+    """Disabled span()/add_event() cost, amortized over the workload's
+    actual instrumentation-call count."""
+    calls = 10000
+
+    def burst():
+        for _ in range(calls):
+            with span("bench.noop"):
+                pass
+
+    benchmark.pedantic(burst, rounds=20, iterations=1)
+    per_span = min(benchmark.stats.stats.data) / calls
+
+    started = time.perf_counter()
+    for _ in range(calls):
+        add_event("bench.noop", tier="memory")
+    per_event = (time.perf_counter() - started) / calls
+
+    # How many instrumentation calls does the reference workload actually
+    # make?  Run it once traced and count spans (completed + evicted) and
+    # events.
+    tracer = Tracer()
+    with use_tracer(tracer):
+        _screen_op()
+    span_count = len(tracer) + tracer.dropped
+    event_count = sum(len(s.events) + s.events_dropped
+                      for s in tracer.spans())
+    assert span_count > 0 and event_count > 0
+
+    workload_seconds = _best_of(_screen_op)
+    overhead = (span_count * per_span
+                + event_count * per_event) / workload_seconds
+    write_result(
+        "obs_disabled_overhead.txt",
+        f"Disabled-tracing overhead ({SAMPLES}-sample Monte Carlo OP sweep)\n"
+        f"  span() cost (no tracer):     {per_span * 1e9:8.1f} ns/call\n"
+        f"  add_event() cost (no span):  {per_event * 1e9:8.1f} ns/call\n"
+        f"  spans / events in workload:  {span_count:5d} / {event_count}\n"
+        f"  workload runtime:            {workload_seconds * 1e3:8.2f} ms\n"
+        f"  amortized overhead:          {overhead * 100:8.3f} %\n")
+    assert overhead <= 0.02, (
+        f"disabled instrumentation must cost <= 2% of the workload "
+        f"(got {overhead * 100:.3f}%: {span_count} spans at "
+        f"{per_span * 1e9:.0f} ns + {event_count} events at "
+        f"{per_event * 1e9:.0f} ns)")
+
+
+def test_enabled_tracing_overhead(benchmark):
+    """The traced sweep must stay within 15% of the untraced sweep."""
+    _screen_op(8)                                # warm compile caches
+    untraced_seconds = _best_of(_screen_op)
+
+    def traced():
+        with use_tracer(Tracer()):
+            _screen_op()
+
+    benchmark.pedantic(traced, rounds=3, iterations=1)
+    traced_seconds = min(benchmark.stats.stats.data)
+    ratio = traced_seconds / max(untraced_seconds, 1e-9)
+
+    write_result(
+        "obs_enabled_overhead.txt",
+        f"Enabled-tracing overhead ({SAMPLES}-sample Monte Carlo OP sweep)\n"
+        f"  untraced: {untraced_seconds * 1e3:8.2f} ms\n"
+        f"  traced:   {traced_seconds * 1e3:8.2f} ms\n"
+        f"  ratio:    {ratio:8.3f}x\n")
+    assert ratio <= 1.15, (
+        f"enabled tracing must stay within 15% of the untraced run "
+        f"(got {ratio:.3f}x)")

@@ -3,8 +3,10 @@
 Runs the headline benchmarks — compile/restamp speedup, compiled-Newton
 Monte Carlo operating points, warm-started DC transfer sweeps, Monte
 Carlo screening throughput, the sample-axis batch kernel
-(restamp_batch + solve_batch vs. the per-sample compiled loop) and the
-sparse-vs-dense backend speedup — and writes ``BENCH_parametric.json``
+(restamp_batch + solve_batch vs. the per-sample compiled loop), the
+sparse-vs-dense backend speedup and the observability overhead (disabled
+span price, traced-vs-untraced ratio, engine counters) — and writes
+``BENCH_parametric.json``
 so the performance trajectory of the repo is recorded per commit (CI
 runs this as a non-blocking job and uploads the file as an artifact).
 
@@ -161,6 +163,60 @@ def batch_solve_speedup(samples: int) -> dict:
             "batched_systems": DenseBackend.stats.batched_systems}
 
 
+def observability_overhead(samples: int = 128) -> dict:
+    """Telemetry cost (disabled span price, traced-vs-untraced Monte Carlo
+    OP sweep) plus the engine counters the traced run produced — see
+    benchmarks/bench_obs_overhead.py for the blocking bars."""
+    from repro.circuits import parallel_rlc
+    from repro.obs.trace import Tracer, span, use_tracer
+    from repro.service import (
+        AnalysisRequest,
+        BatchEngine,
+        Distribution,
+        ScenarioSpec,
+        StabilityService,
+    )
+    from repro.service.cache import ResultCache
+
+    calls = 100000
+    started = time.perf_counter()
+    for _ in range(calls):
+        with span("bench.noop"):
+            pass
+    disabled_ns = (time.perf_counter() - started) / calls * 1e9
+
+    spec = ScenarioSpec(
+        variables={"rval": Distribution.uniform(200.0, 2000.0)},
+        samples=samples, seed=7)
+    base = AnalysisRequest(mode="op", circuit=parallel_rlc().circuit)
+
+    def run():
+        service = StabilityService(cache=ResultCache(None),
+                                   engine=BatchEngine(backend="serial"))
+        service.screen_op(spec, base=base, node="tank")
+        return service
+
+    run()                                            # warm compile caches
+    started = time.perf_counter()
+    run()
+    untraced_seconds = time.perf_counter() - started
+    tracer = Tracer()
+    started = time.perf_counter()
+    with use_tracer(tracer):
+        service = run()
+    traced_seconds = time.perf_counter() - started
+    report = service.engine.last_report
+    return {"samples": samples,
+            "disabled_span_ns": round(disabled_ns, 1),
+            "untraced_seconds": round(untraced_seconds, 4),
+            "traced_seconds": round(traced_seconds, 4),
+            "traced_ratio": round(traced_seconds
+                                  / max(untraced_seconds, 1e-9), 3),
+            "spans": len(tracer) + tracer.dropped,
+            "engine_counters": dict(sorted(
+                report.run_metrics["counters"].items()))}
+
+
 def backend_speedup(sections: int = 1000) -> dict:
     """Sparse vs. dense AC sweep on the big ladder (see bench_linalg_backends)."""
     from repro.analysis import ac_analysis
@@ -202,6 +258,7 @@ def main(argv=None) -> int:
         "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
         "batch_solve": batch_solve_speedup(args.samples),
         "backends": backend_speedup(),
+        "observability": observability_overhead(max(args.samples // 2, 32)),
     }
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(snapshot, handle, indent=2, sort_keys=True)

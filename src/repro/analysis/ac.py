@@ -33,6 +33,7 @@ from repro.linalg import (
     matrix_stats,
     resolve_backend,
 )
+from repro.obs.trace import span as _span
 
 __all__ = ["ac_analysis", "solve_ac_batch", "solve_ac_stacked"]
 
@@ -183,6 +184,13 @@ def solve_ac_batch(batch, frequencies,
     (restamp failures carried in from the batch, zero AC stimulus, a
     singular frequency) to their exception; failed slabs are NaN.
     """
+    with _span("analysis.ac_batch", samples=len(batch)):
+        return _solve_ac_batch_impl(batch, frequencies, backend)
+
+
+def _solve_ac_batch_impl(batch, frequencies,
+                         backend: Union[str, SolverBackend, None] = None
+                         ) -> tuple:
     compiled = batch.compiled
     if not compiled.is_linear:
         raise AnalysisError(

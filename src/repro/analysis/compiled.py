@@ -76,6 +76,7 @@ from repro.circuit.netlist import Circuit, SubcircuitInstance
 from repro.exceptions import AnalysisError, CompanionStructureError, NetlistError
 from repro.linalg import AUTO_SPARSE_MIN_SIZE, DenseBackend, LinearSystem
 from repro.linalg.triplets import CompiledPattern
+from repro.obs.trace import span as _span
 
 __all__ = ["BatchStampState", "CompiledCircuit", "NewtonState", "StampState",
            "compile_circuit"]
@@ -994,7 +995,9 @@ class CompiledCircuit:
         if self._program is None:
             with self._compile_lock:
                 if self._program is None:
-                    self._program = self._record(ctx)
+                    with _span("circuit.compile", size=self.size,
+                               elements=len(self.circuit)):
+                        self._program = self._record(ctx)
         return self._program
 
     def _record(self, ctx: AnalysisContext) -> _LinearProgram:
@@ -1166,26 +1169,27 @@ class CompiledCircuit:
                 ctx.update_variables(variables)
         program = self._ensure_compiled(ctx)
 
-        g_values = program.base_g.copy()
-        c_values = program.base_c.copy()
-        b_dc = program.base_bdc.copy()
-        b_ac = program.base_bac.copy()
-        if program.dynamic:
-            capture = _CaptureStamper()
-            captured = capture.values
-            for element, expected in program.scatter.counts:
-                before = len(captured)
-                element.stamp_linear(capture, ctx)
-                if len(captured) - before != expected:
-                    raise AnalysisError(
-                        f"element {element.name!r} changed its stamp "
-                        f"structure between scenarios ({expected} recorded "
-                        f"stamps, {len(captured) - before} on restamp); "
-                        "compiled circuits require context-independent "
-                        "stamp structure")
-            program.scatter.apply(np.asarray(captured, dtype=complex),
-                                  g_values, c_values, b_dc, b_ac)
-        return StampState(self, g_values, c_values, b_dc, b_ac)
+        with _span("circuit.restamp", size=self.size):
+            g_values = program.base_g.copy()
+            c_values = program.base_c.copy()
+            b_dc = program.base_bdc.copy()
+            b_ac = program.base_bac.copy()
+            if program.dynamic:
+                capture = _CaptureStamper()
+                captured = capture.values
+                for element, expected in program.scatter.counts:
+                    before = len(captured)
+                    element.stamp_linear(capture, ctx)
+                    if len(captured) - before != expected:
+                        raise AnalysisError(
+                            f"element {element.name!r} changed its stamp "
+                            f"structure between scenarios ({expected} recorded "
+                            f"stamps, {len(captured) - before} on restamp); "
+                            "compiled circuits require context-independent "
+                            "stamp structure")
+                program.scatter.apply(np.asarray(captured, dtype=complex),
+                                      g_values, c_values, b_dc, b_ac)
+            return StampState(self, g_values, c_values, b_dc, b_ac)
 
     # ------------------------------------------------------------------
     # Sample-axis batch value pass
@@ -1265,29 +1269,33 @@ class CompiledCircuit:
         if program is None:
             raise compile_error
 
-        g_values = np.tile(program.base_g, (n, 1))
-        c_values = np.tile(program.base_c, (n, 1))
-        b_dc = np.tile(program.base_bdc, (n, 1))
-        b_ac = np.tile(program.base_bac, (n, 1))
-        failures: Dict[int, Exception] = {}
-        vectorized = columns is not None
-        if program.dynamic:
-            if vectorized:
-                try:
-                    self._restamp_batch_vector(program, columns, temps,
-                                               gmins, g_values, c_values,
-                                               b_dc, b_ac)
-                except Exception:
-                    # Array-shy element code (or one poisoned sample
-                    # tripping a whole-batch validation): re-run sample by
-                    # sample so failures isolate and results stay exact.
-                    vectorized = False
-            if not vectorized:
-                failures = self._restamp_batch_scalar(
-                    rows, temps, gmins, g_values, c_values, b_dc, b_ac)
-        return BatchStampState(self, g_values, c_values, b_dc, b_ac,
-                               temperatures=temps, gmins=gmins,
-                               failures=failures, vectorized=vectorized)
+        batch_span = _span("circuit.restamp_batch", size=self.size,
+                           samples=n)
+        with batch_span:
+            g_values = np.tile(program.base_g, (n, 1))
+            c_values = np.tile(program.base_c, (n, 1))
+            b_dc = np.tile(program.base_bdc, (n, 1))
+            b_ac = np.tile(program.base_bac, (n, 1))
+            failures: Dict[int, Exception] = {}
+            vectorized = columns is not None
+            if program.dynamic:
+                if vectorized:
+                    try:
+                        self._restamp_batch_vector(program, columns, temps,
+                                                   gmins, g_values, c_values,
+                                                   b_dc, b_ac)
+                    except Exception:
+                        # Array-shy element code (or one poisoned sample
+                        # tripping a whole-batch validation): re-run sample by
+                        # sample so failures isolate and results stay exact.
+                        vectorized = False
+                if not vectorized:
+                    failures = self._restamp_batch_scalar(
+                        rows, temps, gmins, g_values, c_values, b_dc, b_ac)
+            batch_span.set(vectorized=vectorized, failures=len(failures))
+            return BatchStampState(self, g_values, c_values, b_dc, b_ac,
+                                   temperatures=temps, gmins=gmins,
+                                   failures=failures, vectorized=vectorized)
 
     def _normalize_batch(self, variables, temperature, gmin,
                          samples: Optional[int]):

@@ -36,6 +36,7 @@ from repro.analysis.results import DCSweepResult
 from repro.circuit.elements.sources import CurrentSource, VoltageSource
 from repro.circuit.netlist import Circuit
 from repro.exceptions import AnalysisError, ConvergenceError
+from repro.obs.trace import span as _span
 
 __all__ = ["dc_sweep"]
 
@@ -94,6 +95,13 @@ def dc_sweep(circuit: Optional[Circuit],
     grid = np.asarray(list(values), dtype=float)
     if grid.ndim != 1 or len(grid) < 2:
         raise AnalysisError("dc_sweep needs at least two sweep values")
+    with _span("analysis.dc_sweep", sweep=sweep, points=len(grid)):
+        return _dc_sweep_impl(circuit, sweep, grid, temperature, gmin,
+                              variables, options, backend, compiled, context)
+
+
+def _dc_sweep_impl(circuit, sweep, grid, temperature, gmin, variables,
+                   options, backend, compiled, context) -> DCSweepResult:
 
     if compiled is None:
         if circuit is None:

@@ -39,9 +39,19 @@ from repro.exceptions import (
     SingularMatrixError,
 )
 from repro.linalg import LinearSystem
+from repro.obs.metrics import global_registry
+from repro.obs.trace import span as _span
 
 __all__ = ["operating_point", "solve_dc", "solve_linear_dc_batch",
            "NewtonOptions"]
+
+# Direct metric references (cheap per-loop updates; see repro.obs.metrics).
+_NEWTON_LOOPS = global_registry().counter("newton.loops")
+_NEWTON_ITERATIONS = global_registry().counter("newton.iterations")
+_NEWTON_FAILURES = global_registry().counter("newton.failures")
+_NEWTON_ITERATIONS_PER_LOOP = global_registry().histogram(
+    "newton.iterations_per_loop",
+    buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0))
 
 
 class NewtonOptions:
@@ -335,32 +345,70 @@ def _run_newton(system: MNASystem, stepper, x0: np.ndarray,
     stepper.set_gshunt(gshunt)
     x = x0.copy()
     delta_converged = False
+    # Per-iteration diagnostic trail: kept regardless of tracing (it is
+    # bounded by max_iterations) and attached to the ConvergenceError on
+    # failure so the non-convergence is diagnosable after the fact.
+    history = []
+    _NEWTON_LOOPS.inc()
+    loop_span = _span("newton.loop",
+                      compiled=not isinstance(stepper, _UncompiledStep),
+                      gmin=ctx.gmin, source_scale=source_scale,
+                      gshunt=gshunt)
     try:
-        for iteration in range(1, options.max_iterations + 1):
-            b = stepper.iterate(x)
-            if source_scale != 1.0:
-                b = b - (1.0 - source_scale) * stepper.b_dc
-            if delta_converged:
-                # The voltages stopped moving on the previous iteration;
-                # accept only when the freshly stamped companions (which
-                # reflect any remaining junction-voltage limiting) agree
-                # with the solution, i.e. the KCL residual is small.
-                Gx = stepper.matvec(x)
-                residual = np.abs(Gx - b)
-                current_scale = np.maximum(np.abs(Gx), np.abs(b))
-                if np.all(residual <= options.reltol * current_scale + options.abstol):
-                    _check_physical(system, x, options)
-                    return x, iteration
-            x_new = stepper.solve(b)
-            delta = np.abs(x_new - x)
-            tol = options.reltol * np.maximum(np.abs(x_new), np.abs(x)) + options.vntol
-            delta_converged = bool(np.all(delta <= tol))
-            x = x_new
-        worst = int(np.argmax(delta / np.maximum(tol, 1e-30)))
-        raise ConvergenceError("Newton iteration did not converge",
-                               iterations=options.max_iterations,
-                               worst_node=system.variable_names[worst],
-                               residual=float(delta[worst]))
+        with loop_span:
+            for iteration in range(1, options.max_iterations + 1):
+                b = stepper.iterate(x)
+                if source_scale != 1.0:
+                    b = b - (1.0 - source_scale) * stepper.b_dc
+                if delta_converged:
+                    # The voltages stopped moving on the previous iteration;
+                    # accept only when the freshly stamped companions (which
+                    # reflect any remaining junction-voltage limiting) agree
+                    # with the solution, i.e. the KCL residual is small.
+                    Gx = stepper.matvec(x)
+                    residual = np.abs(Gx - b)
+                    current_scale = np.maximum(np.abs(Gx), np.abs(b))
+                    residual_ok = bool(np.all(
+                        residual <= options.reltol * current_scale
+                        + options.abstol))
+                    history[-1]["residual_norm"] = float(np.max(residual)) \
+                        if residual.size else 0.0
+                    history[-1]["residual_ok"] = residual_ok
+                    if residual_ok:
+                        try:
+                            _check_physical(system, x, options)
+                        except ConvergenceError as exc:
+                            _NEWTON_FAILURES.inc()
+                            if exc.history is None:
+                                exc.history = history
+                            raise
+                        _NEWTON_ITERATIONS.inc(iteration)
+                        _NEWTON_ITERATIONS_PER_LOOP.observe(iteration)
+                        loop_span.set(iterations=iteration, converged=True)
+                        return x, iteration
+                x_new = stepper.solve(b)
+                delta = np.abs(x_new - x)
+                tol = options.reltol * np.maximum(np.abs(x_new),
+                                                  np.abs(x)) + options.vntol
+                delta_converged = bool(np.all(delta <= tol))
+                delta_norm = float(np.max(delta)) if delta.size else 0.0
+                history.append({"iteration": iteration,
+                                "delta_norm": delta_norm,
+                                "delta_converged": delta_converged})
+                loop_span.add_event("newton.iteration", iteration=iteration,
+                                    delta_norm=delta_norm,
+                                    delta_converged=delta_converged)
+                x = x_new
+            worst = int(np.argmax(delta / np.maximum(tol, 1e-30)))
+            _NEWTON_ITERATIONS.inc(options.max_iterations)
+            _NEWTON_ITERATIONS_PER_LOOP.observe(options.max_iterations)
+            _NEWTON_FAILURES.inc()
+            loop_span.set(iterations=options.max_iterations, converged=False)
+            raise ConvergenceError("Newton iteration did not converge",
+                                   iterations=options.max_iterations,
+                                   worst_node=system.variable_names[worst],
+                                   residual=float(delta[worst]),
+                                   history=history)
     finally:
         ctx.gmin = saved_gmin
 
@@ -415,32 +463,38 @@ def _check_physical(system: MNASystem, x: np.ndarray, options: NewtonOptions) ->
 
 def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
     """Try Newton, then gmin stepping, then source stepping."""
+    registry = global_registry()
     total_iterations = 0
 
     # Strategy 1: plain Newton.
     try:
-        x, iterations = _newton_loop(system, x0, options, gshunt=options.gshunt)
+        with _span("newton.strategy", strategy="newton"):
+            x, iterations = _newton_loop(system, x0, options,
+                                         gshunt=options.gshunt)
         return x, iterations, "newton"
     except (ConvergenceError, SingularMatrixError):
-        pass
+        registry.counter("newton.strategy_failures").inc()
 
     # Strategy 2: gmin stepping.
     try:
-        x = x0.copy()
-        gmin_target = system.ctx.gmin
-        start = max(options.gmin_start, gmin_target * 10)
-        steps = np.geomspace(start, gmin_target, options.gmin_steps)
-        for gmin_value in steps:
-            x, iterations = _newton_loop(
-                system, x, options, gmin_override=float(gmin_value),
-                gshunt=options.gshunt + float(gmin_value))
+        with _span("newton.strategy", strategy="gmin-stepping") as gmin_span:
+            x = x0.copy()
+            gmin_target = system.ctx.gmin
+            start = max(options.gmin_start, gmin_target * 10)
+            steps = np.geomspace(start, gmin_target, options.gmin_steps)
+            for gmin_value in steps:
+                gmin_span.add_event("newton.gmin_step", gmin=float(gmin_value))
+                x, iterations = _newton_loop(
+                    system, x, options, gmin_override=float(gmin_value),
+                    gshunt=options.gshunt + float(gmin_value))
+                total_iterations += iterations
+            # Final solve at the target gmin without the shunt.
+            x, iterations = _newton_loop(system, x, options,
+                                         gshunt=options.gshunt)
             total_iterations += iterations
-        # Final solve at the target gmin without the shunt.
-        x, iterations = _newton_loop(system, x, options, gshunt=options.gshunt)
-        total_iterations += iterations
         return x, total_iterations, "gmin-stepping"
     except (ConvergenceError, SingularMatrixError):
-        pass
+        registry.counter("newton.strategy_failures").inc()
 
     # Strategy 3: source stepping.
     x = x0.copy()
@@ -448,18 +502,25 @@ def _solve_nonlinear(system: MNASystem, x0: np.ndarray, options: NewtonOptions):
     last_error: Optional[Exception] = None
     scales = np.linspace(1.0 / options.source_steps, 1.0, options.source_steps)
     try:
-        for scale in scales:
-            x, iterations = _newton_loop(system, x, options,
-                                         source_scale=float(scale),
-                                         gshunt=options.gshunt)
-            total_iterations += iterations
+        with _span("newton.strategy",
+                   strategy="source-stepping") as source_span:
+            for scale in scales:
+                source_span.add_event("newton.source_step",
+                                      scale=float(scale))
+                x, iterations = _newton_loop(system, x, options,
+                                             source_scale=float(scale),
+                                             gshunt=options.gshunt)
+                total_iterations += iterations
         return x, total_iterations, "source-stepping"
     except (ConvergenceError, SingularMatrixError) as exc:
+        registry.counter("newton.strategy_failures").inc()
         last_error = exc
 
+    registry.counter("newton.exhausted").inc()
     raise ConvergenceError(
         "operating point failed to converge with Newton, gmin stepping and "
-        f"source stepping: {last_error}")
+        f"source stepping: {last_error}",
+        history=getattr(last_error, "history", None))
 
 
 def _collect_device_info(system: MNASystem, x: np.ndarray

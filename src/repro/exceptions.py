@@ -53,13 +53,24 @@ class CompanionStructureError(AnalysisError):
 
 
 class ConvergenceError(AnalysisError):
-    """Newton-Raphson iteration failed to converge."""
+    """Newton-Raphson iteration failed to converge.
+
+    ``history`` (when present) is the per-iteration diagnostic trail of
+    the failed loop — a list of dicts with ``iteration``, ``delta_norm``
+    and ``delta_converged`` fields (plus ``residual_norm``/``residual_ok``
+    on the residual re-check; see ``repro.analysis.op._newton_loop``) —
+    so a non-convergence report can show *how* the iteration diverged,
+    not just that it did.  ``docs/observability.md`` walks through
+    reading one.
+    """
 
     def __init__(self, message: str, iterations: int | None = None,
-                 worst_node: str | None = None, residual: float | None = None):
+                 worst_node: str | None = None, residual: float | None = None,
+                 history: list | None = None):
         self.iterations = iterations
         self.worst_node = worst_node
         self.residual = residual
+        self.history = history
         details = []
         if iterations is not None:
             details.append(f"iterations={iterations}")

@@ -32,7 +32,6 @@ import hashlib
 import os
 import threading
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 import numpy as np
@@ -41,6 +40,8 @@ import scipy.linalg
 from repro.exceptions import AnalysisError, SingularMatrixError
 from repro.linalg.diagnostics import singular_system_message
 from repro.linalg.triplets import TripletMatrix
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.trace import span as _span
 
 __all__ = [
     "AUTO_SPARSE_MAX_DENSITY",
@@ -66,35 +67,70 @@ AUTO_SPARSE_MIN_SIZE = 200
 AUTO_SPARSE_MAX_DENSITY = 0.05
 
 
-@dataclass
 class SolveStats:
-    """Process-global factorization/solve counters of one backend class."""
+    """Factorization/solve counters of one backend class, as a thin view
+    over the observability metrics registry (:mod:`repro.obs.metrics`).
 
-    factorizations: int = 0
-    solves: int = 0
-    #: Factorizations that reused a cached per-pattern symbolic artifact
-    #: (the SuperLU column ordering) instead of recomputing it.
-    symbolic_reuses: int = 0
-    #: Number of :meth:`LinearSystem.solve_batch` calls served.
-    batch_solves: int = 0
-    #: Total systems solved through batch calls (the sum of batch sizes);
-    #: ``batched_systems / batch_solves`` is the observed mean batch size.
-    batched_systems: int = 0
+    The attribute API is unchanged from the historical dataclass —
+    ``stats.factorizations`` reads, ``stats.factorizations += 1``
+    updates, :meth:`reset` zeroes, :meth:`as_dict` serializes — but the
+    values now live in registry counters (``linalg.dense.solves``, ...),
+    so they appear in registry snapshots, ship home from pool workers as
+    mergeable deltas and surface in :class:`~repro.obs.EngineReport`.
+
+    Counter semantics:
+
+    * ``factorizations`` / ``solves`` — numeric LU factorizations and
+      back-substitutions performed.
+    * ``symbolic_reuses`` — factorizations that reused a cached
+      per-pattern symbolic artifact (the SuperLU column ordering).
+    * ``batch_solves`` — :meth:`LinearSystem.solve_batch` calls served.
+    * ``batched_systems`` — total systems solved through batch calls
+      (the sum of batch sizes); ``batched_systems / batch_solves`` is
+      the observed mean batch size.
+    """
+
+    FIELDS = ("factorizations", "solves", "symbolic_reuses",
+              "batch_solves", "batched_systems")
+
+    def __init__(self, namespace: Optional[str] = None,
+                 registry: Optional[MetricsRegistry] = None):
+        # A namespaced view shares the process-global registry (that is
+        # what the backend classes use); a bare SolveStats() keeps the
+        # historical standalone-instance semantics by owning a private
+        # registry, so ad-hoc instances never collide with the backends.
+        if registry is None:
+            registry = global_registry() if namespace else MetricsRegistry()
+        prefix = f"{namespace}." if namespace else "linalg."
+        object.__setattr__(self, "_counters",
+                           {f: registry.counter(prefix + f)
+                            for f in self.FIELDS})
+
+    def __getattr__(self, name):
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name, value):
+        counter = self._counters.get(name)
+        if counter is None:
+            raise AttributeError(f"SolveStats has no counter {name!r}")
+        counter.value = value
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomic counter increment (preferred over ``stats.x += 1``)."""
+        self._counters[name].inc(amount)
 
     def reset(self) -> None:
         """Zero every counter (tests bracket a region of interest with this)."""
-        self.factorizations = 0
-        self.solves = 0
-        self.symbolic_reuses = 0
-        self.batch_solves = 0
-        self.batched_systems = 0
+        for counter in self._counters.values():
+            counter.reset()
 
     def as_dict(self) -> dict:
         """The counters as a plain dict (snapshot/reporting helper)."""
-        return {"factorizations": self.factorizations, "solves": self.solves,
-                "symbolic_reuses": self.symbolic_reuses,
-                "batch_solves": self.batch_solves,
-                "batched_systems": self.batched_systems}
+        return {name: counter.value
+                for name, counter in self._counters.items()}
 
 
 def csc_pattern_key(matrix) -> str:
@@ -121,7 +157,7 @@ class Factorization:
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
         """Back-substitute one RHS vector or matrix (columns = RHS set)."""
-        type(self._backend).stats.solves += 1
+        type(self._backend).stats.inc("solves")
         return self._solve_fn(rhs)
 
 
@@ -135,7 +171,7 @@ class SolverBackend:
     """
 
     name = "abstract"
-    stats = SolveStats()
+    stats = SolveStats("linalg.abstract")
 
     MatrixSource = Union[TripletMatrix, np.ndarray]
 
@@ -166,7 +202,7 @@ class DenseBackend(SolverBackend):
     """NumPy/LAPACK dense solver (the historical behaviour)."""
 
     name = "dense"
-    stats = SolveStats()
+    stats = SolveStats("linalg.dense")
 
     def matrix(self, source, dtype=float) -> np.ndarray:
         if isinstance(source, TripletMatrix):
@@ -180,7 +216,7 @@ class DenseBackend(SolverBackend):
                   pattern_key: Optional[str] = None) -> Factorization:
         import warnings
 
-        type(self).stats.factorizations += 1
+        type(self).stats.inc("factorizations")
         try:
             with warnings.catch_warnings():
                 # An exactly singular matrix only *warns* here; the zero-pivot
@@ -199,8 +235,8 @@ class DenseBackend(SolverBackend):
 
     def solve_once(self, matrix: np.ndarray, rhs: np.ndarray,
                    names: Optional[Sequence[str]] = None) -> np.ndarray:
-        type(self).stats.factorizations += 1
-        type(self).stats.solves += 1
+        type(self).stats.inc("factorizations")
+        type(self).stats.inc("solves")
         try:
             return np.linalg.solve(matrix, rhs)
         except np.linalg.LinAlgError as exc:
@@ -223,7 +259,7 @@ class SparseBackend(SolverBackend):
     """
 
     name = "sparse"
-    stats = SolveStats()
+    stats = SolveStats("linalg.sparse")
 
     #: pattern key -> cached SuperLU column ordering (process-global LRU).
     _ordering_cache: "OrderedDict[str, np.ndarray]" = OrderedDict()
@@ -268,7 +304,7 @@ class SparseBackend(SolverBackend):
                   pattern_key: Optional[str] = None) -> Factorization:
         from scipy.sparse.linalg import splu
 
-        type(self).stats.factorizations += 1
+        type(self).stats.inc("factorizations")
         csc = matrix.tocsc() if matrix.format != "csc" else matrix
         if csc.nnz and not np.all(np.isfinite(csc.data)):
             raise SingularMatrixError(singular_system_message(
@@ -284,7 +320,7 @@ class SparseBackend(SolverBackend):
                 # A[:, perm_c]; doing the permutation up front with
                 # permc_spec="NATURAL" is the identical computation.
                 factor = splu(csc[:, perm_c].tocsc(), permc_spec="NATURAL")
-                type(self).stats.symbolic_reuses += 1
+                type(self).stats.inc("symbolic_reuses")
             else:
                 factor = splu(csc)
                 self._store_ordering(pattern_key, factor.perm_c)
@@ -410,8 +446,11 @@ class LinearSystem:
     def factorization(self) -> Factorization:
         """The (cached) factorization; computed on first use."""
         if self._factorization is None:
-            self._factorization = self.backend.factorize(
-                self._native, names=self.names, pattern_key=self.pattern_key)
+            with _span("linalg.factorize", backend=self.backend.name,
+                       n=self.size):
+                self._factorization = self.backend.factorize(
+                    self._native, names=self.names,
+                    pattern_key=self.pattern_key)
         return self._factorization
 
     def solve(self, rhs: np.ndarray) -> np.ndarray:
@@ -450,27 +489,33 @@ class LinearSystem:
             rhs = np.broadcast_to(rhs, (n_samples, len(rhs)))
         dtype = np.result_type(matrices, rhs)
         stats = type(self.backend).stats
-        stats.batch_solves += 1
-        stats.batched_systems += n_samples
+        stats.inc("batch_solves")
+        stats.inc("batched_systems", n_samples)
         solutions = np.full((n_samples, self.size), np.nan, dtype=dtype)
         failures: Dict[int, Exception] = {}
         if self.backend.name == "sparse":
-            for index in range(n_samples):
-                try:
-                    self.refactor(matrices[index])
-                    solutions[index] = self.solve(rhs[index])
-                except (SingularMatrixError, AnalysisError) as exc:
-                    failures[index] = exc
+            with _span("linalg.solve_batch", backend="sparse", n=self.size,
+                       samples=n_samples):
+                for index in range(n_samples):
+                    try:
+                        self.refactor(matrices[index])
+                        solutions[index] = self.solve(rhs[index])
+                    except (SingularMatrixError, AnalysisError) as exc:
+                        failures[index] = exc
             return solutions, failures
         if matrices.shape[1:] != (self.size, self.size):
             raise AnalysisError(
                 f"solve_batch on the dense backend needs an "
                 f"(N, {self.size}, {self.size}) matrix stack; got shape "
                 f"{matrices.shape}")
-        stats.factorizations += n_samples
-        stats.solves += n_samples
+        stats.inc("factorizations", n_samples)
+        stats.inc("solves", n_samples)
+        batch_span = _span("linalg.solve_batch", backend="dense",
+                           n=self.size, samples=n_samples)
         try:
-            solutions[:] = np.linalg.solve(matrices, rhs[..., None])[..., 0]
+            with batch_span:
+                solutions[:] = np.linalg.solve(matrices,
+                                               rhs[..., None])[..., 0]
         except np.linalg.LinAlgError:
             # At least one sample is singular: fall back to per-sample
             # solves so the healthy samples still come back and each

@@ -1,0 +1,77 @@
+"""Zero-dependency observability: span tracing, mergeable metrics, reports.
+
+``repro.obs`` is the introspection layer threaded through every other
+layer of the engine stack (service → engine → analysis → compiled →
+linalg).  Three pieces:
+
+* :mod:`repro.obs.trace` — a contextvar-scoped :class:`Tracer` recording
+  nested, attributed spans into a bounded ring, exportable as JSON-lines
+  or Chrome ``trace_event`` JSON.  **Disabled by default**: with no
+  tracer installed every instrumentation point is a single
+  context-variable check (benchmark-enforced, see
+  ``benchmarks/bench_obs_overhead.py``).
+* :mod:`repro.obs.metrics` — a thread-safe registry of counters, gauges
+  and histograms with a ``snapshot()``/``merge()`` protocol whose
+  snapshots are plain, timestamp-free JSON.  Pool workers ship snapshot
+  *deltas* back inside their chunk results; the batch engine folds them
+  into the parent registry, so worker-side solver/cache counters are no
+  longer lost.  The historical :class:`repro.linalg.SolveStats` and
+  :class:`repro.service.cache.CacheStats` classes are thin views over
+  this registry.
+* :mod:`repro.obs.report` — :class:`EngineReport`, the per-run
+  reduction of all of the above (and the future ``/metrics`` payload).
+
+See ``docs/observability.md`` for the tracer API, the metric naming
+scheme and how to read a convergence trace.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    METRICS_SCHEMA_VERSION,
+    MetricsRegistry,
+    assert_snapshot_schema,
+    empty_snapshot,
+    global_registry,
+    merge_snapshots,
+    subtract_snapshots,
+)
+from repro.obs.report import REPORT_SCHEMA_VERSION, EngineReport
+from repro.obs.trace import (
+    Span,
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    add_event,
+    current_span,
+    current_tracer,
+    install_tracer,
+    set_attribute,
+    span,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "EngineReport",
+    "Gauge",
+    "Histogram",
+    "METRICS_SCHEMA_VERSION",
+    "MetricsRegistry",
+    "REPORT_SCHEMA_VERSION",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "add_event",
+    "assert_snapshot_schema",
+    "current_span",
+    "current_tracer",
+    "empty_snapshot",
+    "global_registry",
+    "install_tracer",
+    "merge_snapshots",
+    "set_attribute",
+    "span",
+    "subtract_snapshots",
+    "use_tracer",
+]

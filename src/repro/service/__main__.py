@@ -39,6 +39,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
@@ -48,13 +49,14 @@ from repro.analysis.sweeps import FrequencySweep
 from repro.circuit.units import parse_value
 from repro.exceptions import ReproError, ToolError
 from repro.linalg import available_backends
+from repro.obs.trace import Tracer, use_tracer
 from repro.service.cache import ResultCache
 from repro.service.requests import AnalysisRequest
 from repro.service.scenarios import Distribution, ScenarioSpec, StabilityCriteria
 from repro.service.service import StabilityService
 
 __all__ = ["DEFAULT_CACHE_DIR", "build_parser", "main",
-           "cmd_analyze", "cmd_montecarlo", "cmd_cache"]
+           "cmd_analyze", "cmd_montecarlo", "cmd_cache", "cmd_stats"]
 
 #: Default disk-cache root, under the session result directory the tool
 #: layer also writes to (see repro.tool.session.SimulationEnvironment).
@@ -167,6 +169,42 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                              "size/density heuristic, REPRO_BACKEND overrides)")
     parser.add_argument("--json", action="store_true",
                         help="print raw JSON responses instead of reports")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="record a span trace of this run and write it "
+                             "to FILE as Chrome trace_event JSON (open at "
+                             "chrome://tracing or https://ui.perfetto.dev)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print the engine telemetry report (dispatch "
+                             "counts, merged worker metrics, cache stats) "
+                             "to stderr after the run")
+
+
+@contextlib.contextmanager
+def _telemetry(args, service: StabilityService):
+    """Run the wrapped command under --trace / --stats telemetry.
+
+    A ``--trace`` tracer is installed only for the duration of the block
+    and the Chrome trace is written even when the command fails — a
+    failing run is exactly the one worth inspecting.
+    """
+    tracer = Tracer() if args.trace else None
+    try:
+        if tracer is not None:
+            with use_tracer(tracer):
+                yield
+        else:
+            yield
+    finally:
+        if tracer is not None:
+            tracer.write_chrome_trace(args.trace)
+            print(f"trace: {len(tracer)} spans written to {args.trace}"
+                  + (f" ({tracer.dropped} dropped)" if tracer.dropped else ""),
+                  file=sys.stderr)
+        if args.stats:
+            report = service.engine.last_report
+            if report is not None:
+                sys.stderr.write(report.format())
+            print("cache: " + json.dumps(service.stats()), file=sys.stderr)
 
 
 def _progress_printer(quiet: bool):
@@ -184,6 +222,11 @@ def _progress_printer(quiet: bool):
 
 def cmd_analyze(args) -> int:
     service = _make_service(args)
+    with _telemetry(args, service):
+        return _run_analyze(args, service)
+
+
+def _run_analyze(args, service: StabilityService) -> int:
     dc = getattr(args, "dc_sweep", None)
     if args.mode == "dc-sweep" and dc is None:
         print("error: --mode dc-sweep needs --dc-sweep NAME=START:STOP:POINTS",
@@ -233,6 +276,11 @@ def cmd_analyze(args) -> int:
 
 def cmd_montecarlo(args) -> int:
     service = _make_service(args)
+    with _telemetry(args, service):
+        return _run_montecarlo(args, service)
+
+
+def _run_montecarlo(args, service: StabilityService) -> int:
     netlist = _read_netlist(args.netlist)
     variables: Dict[str, Distribution] = {}
     for name, spec in args.vary or []:
@@ -342,6 +390,14 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def cmd_stats(args) -> int:
+    """Print the service telemetry payload (the future /metrics body)."""
+    cache = ResultCache(args.cache_dir)
+    service = StabilityService(cache=cache)
+    print(json.dumps(service.engine_report(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
@@ -423,6 +479,12 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("action", choices=("stats", "clear"))
     cache.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     cache.set_defaults(func=cmd_cache)
+
+    stats = sub.add_parser(
+        "stats", help="print the service telemetry payload (engine report, "
+                      "cache stats, metric registry snapshot) as JSON")
+    stats.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
+    stats.set_defaults(func=cmd_stats)
     return parser
 
 

@@ -23,22 +23,53 @@ import os
 import tempfile
 import threading
 from collections import OrderedDict
-from dataclasses import asdict, dataclass
 from typing import Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import add_event as _add_event
 
 __all__ = ["CacheStats", "ResultCache"]
 
 
-@dataclass
 class CacheStats:
-    """Hit/miss counters of one :class:`ResultCache` instance."""
+    """Hit/miss counters of one :class:`ResultCache` instance.
 
-    hits: int = 0
-    misses: int = 0
-    memory_hits: int = 0
-    disk_hits: int = 0
-    stores: int = 0
-    evictions: int = 0
+    A thin view over :class:`~repro.obs.metrics.MetricsRegistry`
+    counters under the ``cache.`` namespace.  Each instance owns a
+    private registry by default, so two caches never conflate counters;
+    the historical attribute API (``stats.hits``, ``stats.hits += 1``,
+    ``reset()``, ``as_dict()``) is preserved, and :meth:`snapshot`
+    exposes the mergeable registry form.
+    """
+
+    FIELDS = ("hits", "misses", "memory_hits", "disk_hits",
+              "stores", "evictions")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None):
+        if registry is None:
+            registry = MetricsRegistry()
+        object.__setattr__(self, "_registry", registry)
+        object.__setattr__(
+            self, "_counters",
+            {f: registry.counter(f"cache.{f}") for f in self.FIELDS})
+
+    def __getattr__(self, name):
+        try:
+            return self._counters[name].value
+        except KeyError:
+            raise AttributeError(name) from None
+
+    def __setattr__(self, name, value):
+        counter = self._counters.get(name)
+        if counter is None:
+            raise AttributeError(
+                f"CacheStats has no counter {name!r}; "
+                f"known: {', '.join(self.FIELDS)}")
+        counter.value = value
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Atomic increment (preferred over the legacy ``+=`` pattern)."""
+        self._counters[name].inc(amount)
 
     @property
     def lookups(self) -> int:
@@ -51,10 +82,22 @@ class CacheStats:
             return 0.0
         return self.hits / self.lookups
 
+    def reset(self) -> None:
+        for counter in self._counters.values():
+            counter.reset()
+
     def as_dict(self) -> dict:
-        data = asdict(self)
+        """The historical flat dict, derived from the registry snapshot
+        (one serialization path: :meth:`MetricsRegistry.snapshot`)."""
+        counters = self.snapshot()["counters"]
+        data = {name: counters.get(f"cache.{name}", 0)
+                for name in self.FIELDS}
         data["hit_rate"] = self.hit_rate
         return data
+
+    def snapshot(self) -> dict:
+        """The backing registry's mergeable, timestamp-free snapshot."""
+        return self._registry.snapshot()
 
 
 class ResultCache:
@@ -88,11 +131,16 @@ class ResultCache:
     def get(self, key: str) -> Optional[dict]:
         """Payload stored under ``key``, or None.  Disk hits are promoted
         into the memory tier."""
+        # Lookups are traced as point events on the caller's open span
+        # (not spans of their own): a Monte Carlo batch performs one
+        # lookup per sample, and a full span per lookup would dominate
+        # the enabled-tracing overhead budget.
         with self._lock:
             if key in self._memory:
                 self._memory.move_to_end(key)
-                self.stats.hits += 1
-                self.stats.memory_hits += 1
+                self.stats.inc("hits")
+                self.stats.inc("memory_hits")
+                _add_event("cache.lookup", tier="memory")
                 return self._memory[key]
             if self.directory is not None:
                 path = self._object_path(key)
@@ -103,20 +151,24 @@ class ResultCache:
                     except (OSError, ValueError):
                         # A truncated/corrupt entry is treated as a miss;
                         # the fresh run will overwrite it.
-                        self.stats.misses += 1
+                        self.stats.inc("misses")
+                        _add_event("cache.lookup", tier="miss")
                         return None
                     self._remember(key, payload)
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
+                    self.stats.inc("hits")
+                    self.stats.inc("disk_hits")
+                    _add_event("cache.lookup", tier="disk")
                     return payload
-            self.stats.misses += 1
+            self.stats.inc("misses")
+            _add_event("cache.lookup", tier="miss")
             return None
 
     def put(self, key: str, payload: dict) -> None:
         """Store ``payload`` under ``key`` in both tiers."""
+        _add_event("cache.store", disk=self.directory is not None)
         with self._lock:
             self._remember(key, payload)
-            self.stats.stores += 1
+            self.stats.inc("stores")
             if self.directory is None:
                 return
             path = self._object_path(key)
@@ -139,7 +191,7 @@ class ResultCache:
         self._memory.move_to_end(key)
         while len(self._memory) > self.max_memory_entries:
             self._memory.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.inc("evictions")
 
     # ------------------------------------------------------------------
     def contains(self, key: str) -> bool:

@@ -65,6 +65,13 @@ from repro.core.report import (
 )
 from repro.core.single_node import analyze_node
 from repro.exceptions import ToolError
+from repro.obs.metrics import global_registry, subtract_snapshots
+from repro.obs.report import EngineReport
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    current_tracer,
+    span as _span,
+)
 from repro.service.requests import AnalysisRequest, AnalysisResponse
 
 __all__ = ["BatchEngine", "execute_linear_batch", "execute_request",
@@ -83,6 +90,11 @@ _BACKENDS = ("process", "thread", "serial")
 _COMPILED_CACHE: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
 _COMPILED_CACHE_SIZE = 8
 _COMPILED_CACHE_LOCK = threading.Lock()
+
+# Direct metric references (creation is cached per name; holding the
+# objects keeps the per-request hot path off the registry dict).
+_REQUESTS_COUNTER = global_registry().counter("engine.requests")
+_FAILED_COUNTER = global_registry().counter("engine.requests_failed")
 
 
 def _safe_fingerprint(request: AnalysisRequest) -> str:
@@ -129,9 +141,31 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
     execution path of :class:`~repro.service.service.StabilityService`.
     The circuit structure is compiled once per topology per process
     (see :func:`_compiled_for`); each request then only restamps values.
+
+    When a tracer is installed in the calling context, the whole
+    execution runs under a ``request.execute`` span and every span it
+    produced is attached to the response as its ``telemetry`` block
+    (schema-versioned, JSON round-trippable, excluded from request
+    fingerprints).  With no tracer this adds one context-variable check.
     """
+    tracer = current_tracer()
+    if tracer is None:
+        return _execute_request_inner(request)
+    mark = tracer.mark()
+    with tracer.span("request.execute", mode=request.mode,
+                     label=request.label) as request_span:
+        response = _execute_request_inner(request)
+        request_span.set(status=response.status)
+    response.telemetry = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "spans": [s.to_dict() for s in tracer.spans_since(mark)]}
+    return response
+
+
+def _execute_request_inner(request: AnalysisRequest) -> AnalysisResponse:
     started = time.time()
     fingerprint = ""
+    _REQUESTS_COUNTER.inc()
     try:
         fingerprint = request.fingerprint()
         circuit = request.resolved_circuit()
@@ -179,6 +213,7 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
             label=request.label, result=payload, report=report,
             elapsed_seconds=time.time() - started)
     except Exception as exc:
+        _FAILED_COUNTER.inc()
         return AnalysisResponse(
             fingerprint=fingerprint, mode=request.mode, status="failed",
             label=request.label, error=str(exc),
@@ -187,15 +222,29 @@ def execute_request(request: AnalysisRequest) -> AnalysisResponse:
 
 
 def execute_request_chunk(requests: Sequence[AnalysisRequest]
-                          ) -> List[AnalysisResponse]:
+                          ) -> Tuple[List[AnalysisResponse], dict]:
     """Run a same-structure chunk of requests in this process, in order.
 
     Pickled to a pool worker as one task: the first request compiles the
     shared circuit structure (into the process-local cache), the rest
     restamp.  Per-request failure isolation is preserved —
     :func:`execute_request` never raises.
+
+    Returns ``(responses, metric_delta)``: the delta is what this chunk
+    added to the executing process's metric registry (snapshot-after
+    minus snapshot-before, see :func:`~repro.obs.metrics.
+    subtract_snapshots`), including one ``engine.chunk_seconds``
+    observation for the chunk's wall time.  Process-pool workers used to
+    drop their solver/cache counters on the floor; the parent engine now
+    folds these deltas back in (:meth:`BatchEngine._run_pool`).
     """
-    return [execute_request(request) for request in requests]
+    registry = global_registry()
+    before = registry.snapshot()
+    started = time.perf_counter()
+    responses = [execute_request(request) for request in requests]
+    registry.histogram("engine.chunk_seconds").observe(
+        time.perf_counter() - started)
+    return responses, subtract_snapshots(registry.snapshot(), before)
 
 
 def execute_linear_batch(requests: Sequence[AnalysisRequest],
@@ -304,6 +353,8 @@ class BatchEngine:
             raise ToolError("max_workers must be at least 1")
         self.max_workers = int(max_workers)
         self.backend = backend
+        #: Telemetry of the most recent :meth:`run` (None before any).
+        self.last_report: Optional[EngineReport] = None
 
     #: Minimum group size for the in-process batched fast path — a
     #: single request gains nothing from a batch kernel.
@@ -323,10 +374,20 @@ class BatchEngine:
         path.  Failures (analysis errors, worker crashes, poisoned batch
         samples) never abort the batch — the affected request yields a
         ``status="failed"`` response.
+
+        Every run leaves its telemetry in :attr:`last_report` — request
+        dispatch counts, pool chunk timings, the metric deltas shipped
+        home by process-pool workers, and the parent registry delta over
+        the whole run (see :class:`~repro.obs.report.EngineReport`).
         """
         requests = list(requests)
+        report = EngineReport(requests=len(requests), backend=self.backend)
         if not requests:
+            self.last_report = report
             return []
+        registry = global_registry()
+        run_before = registry.snapshot()
+        started = time.perf_counter()
         responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
         completed = 0
 
@@ -337,13 +398,26 @@ class BatchEngine:
             if progress is not None:
                 progress(completed, len(requests), response)
 
-        remaining = self._run_batched_fastpath(requests, emit)
-        if remaining:
-            if self.backend == "serial" or len(remaining) == 1:
-                for index in remaining:
-                    emit(index, execute_request(requests[index]))
-            else:
-                self._run_pool(requests, remaining, emit)
+        with _span("engine.run", requests=len(requests),
+                   backend=self.backend):
+            remaining = self._run_batched_fastpath(requests, emit)
+            report.fastpath_requests = len(requests) - len(remaining)
+            report.pool_requests = len(remaining)
+            if remaining:
+                if self.backend == "serial" or len(remaining) == 1:
+                    for index in remaining:
+                        emit(index, execute_request(requests[index]))
+                else:
+                    self._run_pool(requests, remaining, emit, report)
+        report.elapsed_seconds = time.perf_counter() - started
+        registry.counter("engine.runs").inc()
+        registry.counter("engine.fastpath_requests").inc(
+            report.fastpath_requests)
+        # The run-total delta: everything this run did in the parent
+        # registry, *including* the worker deltas _run_pool folded in.
+        report.run_metrics = subtract_snapshots(registry.snapshot(),
+                                                run_before)
+        self.last_report = report
         return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -382,9 +456,12 @@ class BatchEngine:
             if key is None or len(indices) < self.BATCH_FASTPATH_MIN:
                 remaining.extend(indices)
                 continue
-            group = execute_linear_batch(
-                [requests[i] for i in indices],
-                prefer_pool_for_sparse=(self.backend == "process"))
+            with _span("engine.fastpath", mode=key[0],
+                       group_size=len(indices)) as fastpath_span:
+                group = execute_linear_batch(
+                    [requests[i] for i in indices],
+                    prefer_pool_for_sparse=(self.backend == "process"))
+                fastpath_span.set(batched=group is not None)
             if group is None:          # unbatchable topology: normal path
                 remaining.extend(indices)
                 continue
@@ -439,24 +516,37 @@ class BatchEngine:
         return chunks
 
     def _run_pool(self, requests: Sequence[AnalysisRequest],
-                  indices: Sequence[int], emit) -> None:
-        """Dispatch the given request indices over the worker pool."""
+                  indices: Sequence[int], emit,
+                  report: Optional[EngineReport] = None) -> None:
+        """Dispatch the given request indices over the worker pool.
+
+        Each chunk comes back as ``(responses, metric_delta)``.  On the
+        process backend the delta is the only surviving record of the
+        worker's solver/cache work, so it is folded into both the parent
+        registry and ``report.worker_metrics``; thread-pool chunks
+        already mutate the parent registry directly (one shared process),
+        so merging their deltas would double-count.
+        """
         if self.backend == "process":
             executor = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers)
         else:
             executor = concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers)
+        registry = global_registry()
         with executor:
             futures = {}
             for chunk in self._chunk_by_structure(requests, indices):
                 future = executor.submit(execute_request_chunk,
                                          [requests[i] for i in chunk])
                 futures[future] = chunk
+            if report is not None:
+                report.chunks = len(futures)
+            registry.counter("engine.chunks").inc(len(futures))
             for future in concurrent.futures.as_completed(futures):
                 chunk = futures[future]
                 try:
-                    chunk_responses = future.result()
+                    chunk_responses, delta = future.result()
                 except Exception as exc:
                     # Transport-level failure (worker killed, payload not
                     # picklable): isolate it to this chunk's requests, and
@@ -471,5 +561,18 @@ class BatchEngine:
                             error=f"worker failure: {exc}",
                             traceback=failure_traceback)
                         for index in chunk]
+                    delta = None
+                if delta is not None and self.backend == "process":
+                    registry.merge(delta)
+                    if report is not None:
+                        report.add_worker_delta(delta)
+                if report is not None and delta is not None:
+                    chunk_hist = delta.get("histograms", {}).get(
+                        "engine.chunk_seconds")
+                    # Worker-measured wall time; on the thread backend a
+                    # concurrent chunk can land in the snapshot window,
+                    # in which case the reading is skipped (best effort).
+                    if chunk_hist and chunk_hist.get("count") == 1:
+                        report.chunk_seconds.append(chunk_hist["sum"])
                 for index, response in zip(chunk, chunk_responses):
                     emit(index, response)

@@ -304,6 +304,11 @@ class AnalysisResponse:
     elapsed_seconds: float = 0.0
     cached: bool = False               #: served from the result cache
     created: float = field(default_factory=time.time)
+    #: Span records captured while executing this request (present only
+    #: when a tracer was installed — see :mod:`repro.obs.trace`).  Shaped
+    #: ``{"schema": int, "spans": [Span.to_dict(), ...]}``; carried
+    #: through JSON but never part of any fingerprint or cache key.
+    telemetry: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -355,6 +360,7 @@ class AnalysisResponse:
             "traceback": self.traceback,
             "elapsed_seconds": self.elapsed_seconds,
             "created": self.created,
+            "telemetry": self.telemetry,
         }
 
     @classmethod
@@ -371,6 +377,7 @@ class AnalysisResponse:
             traceback=data.get("traceback"),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             created=float(data.get("created", 0.0)),
+            telemetry=data.get("telemetry"),
         )
 
 

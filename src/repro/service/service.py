@@ -13,6 +13,8 @@ import time
 from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
+from repro.obs.metrics import global_registry
+from repro.obs.trace import span as _span
 from repro.service.cache import ResultCache
 from repro.service.engine import BatchEngine, ProgressCallback, execute_request
 from repro.service.requests import AnalysisRequest, AnalysisResponse
@@ -140,12 +142,15 @@ class StabilityService:
     # ------------------------------------------------------------------
     def submit(self, request: AnalysisRequest) -> AnalysisResponse:
         """Serve one request: from cache when possible, else run inline."""
-        cached = self._lookup(request)
-        if cached is not None:
-            return cached
-        response = execute_request(request)
-        self._store(response)
-        return response
+        with _span("service.submit", mode=request.mode) as submit_span:
+            cached = self._lookup(request)
+            if cached is not None:
+                submit_span.set(cached=True)
+                return cached
+            response = execute_request(request)
+            self._store(response)
+            submit_span.set(cached=False, status=response.status)
+            return response
 
     def submit_batch(self, requests: Sequence[AnalysisRequest],
                      progress: Optional[ProgressCallback] = None
@@ -158,47 +163,53 @@ class StabilityService:
         fresh ones as they complete.
         """
         requests = list(requests)
-        responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
-        done = 0
+        batch_span = _span("service.submit_batch", requests=len(requests))
+        with batch_span:
+            responses: List[Optional[AnalysisResponse]] = [None] * len(requests)
+            done = 0
 
-        def emit(response: AnalysisResponse) -> None:
-            nonlocal done
-            done += 1
-            if progress is not None:
-                progress(done, len(requests), response)
+            def emit(response: AnalysisResponse) -> None:
+                nonlocal done
+                done += 1
+                if progress is not None:
+                    progress(done, len(requests), response)
 
-        to_run: List[int] = []                  # one index per unique miss
-        duplicates: Dict[int, List[int]] = {}   # representative -> clones
-        first_seen: Dict[str, int] = {}
-        for index, request in enumerate(requests):
-            key = self._fingerprint(request)
-            if key is not None:
-                payload = self.cache.get(key)
-                if payload is not None:
-                    cached = AnalysisResponse.from_dict(payload)
-                    cached.cached = True
-                    responses[index] = cached
-                    emit(cached)
-                    continue
-                if key in first_seen:
-                    duplicates.setdefault(first_seen[key], []).append(index)
-                    continue
-                first_seen[key] = index
-            to_run.append(index)
+            to_run: List[int] = []                  # one index per unique miss
+            duplicates: Dict[int, List[int]] = {}   # representative -> clones
+            first_seen: Dict[str, int] = {}
+            for index, request in enumerate(requests):
+                key = self._fingerprint(request)
+                if key is not None:
+                    payload = self.cache.get(key)
+                    if payload is not None:
+                        cached = AnalysisResponse.from_dict(payload)
+                        cached.cached = True
+                        responses[index] = cached
+                        emit(cached)
+                        continue
+                    if key in first_seen:
+                        duplicates.setdefault(first_seen[key],
+                                              []).append(index)
+                        continue
+                    first_seen[key] = index
+                to_run.append(index)
 
-        if to_run:
-            fresh = self.engine.run([requests[i] for i in to_run],
-                                    progress=lambda _c, _t, r: emit(r))
-            for index, response in zip(to_run, fresh):
-                responses[index] = response
-                self._store(response)
-                for clone_index in duplicates.get(index, ()):
-                    clone = replace(response,
-                                    label=requests[clone_index].label,
-                                    cached=True)
-                    responses[clone_index] = clone
-                    emit(clone)
-        return responses  # type: ignore[return-value]
+            batch_span.set(cache_hits=len(requests) - len(to_run)
+                           - sum(len(v) for v in duplicates.values()),
+                           to_run=len(to_run))
+            if to_run:
+                fresh = self.engine.run([requests[i] for i in to_run],
+                                        progress=lambda _c, _t, r: emit(r))
+                for index, response in zip(to_run, fresh):
+                    responses[index] = response
+                    self._store(response)
+                    for clone_index in duplicates.get(index, ()):
+                        clone = replace(response,
+                                        label=requests[clone_index].label,
+                                        cached=True)
+                        responses[clone_index] = clone
+                        emit(clone)
+            return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
     def screen(self, spec: ScenarioSpec,
@@ -209,10 +220,11 @@ class StabilityService:
                progress: Optional[ProgressCallback] = None) -> MonteCarloReport:
         """Monte Carlo screening: sample, run the batch, reduce to yield."""
         started = time.time()
-        scenarios, requests = scenario_requests(spec, netlist=netlist,
-                                                circuit=circuit, base=base)
-        responses = self.submit_batch(requests, progress=progress)
-        summary = stability_yield(scenarios, responses, criteria)
+        with _span("service.screen", samples=spec.samples):
+            scenarios, requests = scenario_requests(spec, netlist=netlist,
+                                                    circuit=circuit, base=base)
+            responses = self.submit_batch(requests, progress=progress)
+            summary = stability_yield(scenarios, responses, criteria)
         return MonteCarloReport(scenarios=scenarios, responses=responses,
                                 summary=summary,
                                 elapsed_seconds=time.time() - started)
@@ -231,9 +243,11 @@ class StabilityService:
         sweep on the compiled Newton pattern.
         """
         started = time.time()
-        scenarios, requests = scenario_requests(spec, base=base)
-        responses = self.submit_batch(requests, progress=progress)
-        envelope = dc_sweep_envelope(scenarios, responses, node)
+        with _span("service.screen_dc_sweep", samples=spec.samples,
+                   node=node):
+            scenarios, requests = scenario_requests(spec, base=base)
+            responses = self.submit_batch(requests, progress=progress)
+            envelope = dc_sweep_envelope(scenarios, responses, node)
         return DCSweepReport(scenarios=scenarios, responses=responses,
                              envelope=envelope,
                              elapsed_seconds=time.time() - started)
@@ -263,9 +277,10 @@ class StabilityService:
         if not is_ground(resolved) and resolved not in circuit.nodes():
             raise ToolError(f"unknown node {node!r} for the operating-point "
                             "spread (check --node against the netlist)")
-        scenarios, requests = scenario_requests(spec, base=base)
-        responses = self.submit_batch(requests, progress=progress)
-        spread = op_spread(scenarios, responses, node)
+        with _span("service.screen_op", samples=spec.samples, node=node):
+            scenarios, requests = scenario_requests(spec, base=base)
+            responses = self.submit_batch(requests, progress=progress)
+            spread = op_spread(scenarios, responses, node)
         return OpReport(scenarios=scenarios, responses=responses,
                         spread=spread,
                         elapsed_seconds=time.time() - started)
@@ -278,3 +293,19 @@ class StabilityService:
         data["disk_entries"] = self.cache.disk_entries()
         data["directory"] = self.cache.directory
         return data
+
+    def engine_report(self) -> dict:
+        """The service's whole telemetry state as one JSON-able payload.
+
+        This is the body a future HTTP gateway's ``/metrics`` endpoint
+        serves: the last :class:`~repro.obs.report.EngineReport` (if a
+        batch has run), the cache statistics, and the process-global
+        metric registry snapshot (see :mod:`repro.obs.metrics` for the
+        timestamp-free layout).
+        """
+        report = self.engine.last_report
+        return {
+            "engine": report.to_dict() if report is not None else None,
+            "cache": self.stats(),
+            "metrics": global_registry().snapshot(),
+        }

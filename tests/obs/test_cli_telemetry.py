@@ -1,0 +1,104 @@
+"""CLI telemetry surfaces: --trace, --stats, and the stats subcommand."""
+
+import json
+
+import pytest
+
+from repro.service.__main__ import main
+
+RLC_NETLIST = """tank standard
+.param rval=1k
+R1 tank 0 {rval}
+L1 tank 0 1m
+C1 tank 0 1n
+Vref vref 0 DC 1 AC 1
+Rtie vref tank 1G
+.end
+"""
+
+
+@pytest.fixture
+def netlist_path(tmp_path):
+    path = tmp_path / "rlc.sp"
+    path.write_text(RLC_NETLIST)
+    return str(path)
+
+
+def _load_trace(path):
+    trace = json.loads(path.read_text())
+    assert "traceEvents" in trace
+    return trace
+
+
+class TestAnalyzeTelemetry:
+    def test_trace_and_stats(self, netlist_path, tmp_path, capsys):
+        trace_file = tmp_path / "trace.json"
+        code = main(["analyze", netlist_path, "--mode", "op",
+                     "--backend", "serial", "--no-cache", "--quiet",
+                     "--trace", str(trace_file), "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        trace = _load_trace(trace_file)
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert "service.submit_batch" in names
+        assert "engine.run" in names
+        assert "trace:" in captured.err
+        assert "engine report" in captured.err
+        assert "cache:" in captured.err
+
+    def test_trace_written_even_on_failure(self, tmp_path, capsys):
+        bad = tmp_path / "bad.sp"
+        bad.write_text("broken\nR1 a 0 {undefined}\nC1 a 0 1n\n.end\n")
+        trace_file = tmp_path / "trace.json"
+        code = main(["analyze", str(bad), "--backend", "serial",
+                     "--no-cache", "--quiet", "--trace", str(trace_file)])
+        capsys.readouterr()
+        assert code == 1
+        assert trace_file.exists()
+        _load_trace(trace_file)
+
+
+class TestMontecarloOpTelemetry:
+    def test_chrome_trace_nests_service_engine_solve(self, netlist_path,
+                                                     tmp_path, capsys):
+        # The acceptance contract: a traced `montecarlo --op` run yields
+        # a Chrome trace whose spans nest service -> engine -> solve.
+        trace_file = tmp_path / "mc.json"
+        code = main(["montecarlo", netlist_path, "--samples", "8", "--op",
+                     "--node", "tank", "--vary", "rval=uniform:500:2000",
+                     "--backend", "serial", "--no-cache", "--quiet",
+                     "--trace", str(trace_file), "--stats"])
+        captured = capsys.readouterr()
+        assert code == 0
+        trace = _load_trace(trace_file)
+        events = {e["args"]["span_id"]: e
+                  for e in trace["traceEvents"] if e["ph"] == "X"}
+
+        def ancestors(event):
+            names = []
+            while "parent_id" in event["args"]:
+                event = events[event["args"]["parent_id"]]
+                names.append(event["name"])
+            return names
+
+        solve = next(e for e in events.values()
+                     if e["name"] == "linalg.solve_batch")
+        chain = ancestors(solve)
+        for name in ("engine.run", "service.submit_batch",
+                     "service.screen_op"):
+            assert name in chain, (name, chain)
+        # The stats footer reports the engine dispatch and merged counters.
+        assert "engine report (serial backend" in captured.err
+        assert "engine.fastpath_requests: 8" in captured.err
+
+
+class TestStatsSubcommand:
+    def test_stats_payload(self, tmp_path, capsys):
+        code = main(["stats", "--cache-dir", str(tmp_path / "cache")])
+        captured = capsys.readouterr()
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert set(payload) == {"engine", "cache", "metrics"}
+        assert payload["engine"] is None          # nothing has run yet
+        assert payload["metrics"]["schema"] == 1
+        assert "hit_rate" in payload["cache"]

@@ -1,0 +1,214 @@
+"""Tests for span tracing (repro.obs.trace)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.trace import (
+    TRACE_SCHEMA_VERSION,
+    Tracer,
+    _NULL_SPAN,
+    add_event,
+    current_span,
+    current_tracer,
+    install_tracer,
+    set_attribute,
+    span,
+    use_tracer,
+)
+
+
+class TestSpanRecording:
+    def test_nesting_sets_parent_ids(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("outer") as outer:
+                with span("middle") as middle:
+                    with span("inner") as inner:
+                        pass
+        spans = {s.name: s for s in tracer.spans()}
+        assert spans["outer"].parent_id is None
+        assert spans["middle"].parent_id == spans["outer"].span_id
+        assert spans["inner"].parent_id == spans["middle"].span_id
+        # Children complete (and record) before their parents.
+        assert [s.name for s in tracer.spans()] == ["inner", "middle", "outer"]
+        assert inner.span_id > middle.span_id > outer.span_id
+
+    def test_attrs_and_events(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("work", mode="op") as s:
+                s.set(samples=4)
+                s.add_event("step", k=1)
+                add_event("step", k=2)       # module-level helper
+                set_attribute(flag=True)
+        (recorded,) = tracer.spans()
+        assert recorded.attrs == {"mode": "op", "samples": 4, "flag": True}
+        assert [e["k"] for e in recorded.events] == [1, 2]
+        assert all(e["ts"] >= recorded.start for e in recorded.events)
+        assert recorded.duration >= 0.0
+
+    def test_exception_marks_error_and_propagates(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with pytest.raises(RuntimeError):
+                with span("boom"):
+                    raise RuntimeError("nope")
+        (recorded,) = tracer.spans()
+        assert recorded.attrs["error"] == "RuntimeError"
+
+    def test_current_span_restored_after_exit(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_span() is None
+            with span("a") as a:
+                assert current_span() is a
+            assert current_span() is None
+
+    def test_ring_bound_and_dropped_count(self):
+        tracer = Tracer(capacity=3)
+        with use_tracer(tracer):
+            for k in range(5):
+                with span(f"s{k}"):
+                    pass
+        assert len(tracer) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in tracer.spans()] == ["s2", "s3", "s4"]
+        tracer.clear()
+        assert len(tracer) == 0 and tracer.dropped == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_per_span_event_bound(self):
+        from repro.obs.trace import MAX_EVENTS_PER_SPAN
+
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("busy") as s:
+                for k in range(MAX_EVENTS_PER_SPAN + 10):
+                    s.add_event("tick", k=k)
+        (recorded,) = tracer.spans()
+        assert len(recorded.events) == MAX_EVENTS_PER_SPAN
+        assert recorded.events_dropped == 10
+        assert recorded.to_dict()["events_dropped"] == 10
+
+    def test_mark_and_spans_since(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("before"):
+                pass
+            mark = tracer.mark()
+            with span("after1"):
+                pass
+            with span("after2"):
+                pass
+        assert [s.name for s in tracer.spans_since(mark)] == ["after1",
+                                                             "after2"]
+        assert tracer.spans_since(tracer.mark()) == []
+
+
+class TestDisabledFastPath:
+    def test_no_tracer_returns_shared_null_span(self):
+        assert current_tracer() is None
+        first = span("anything", attr=1)
+        second = span("other")
+        assert first is _NULL_SPAN and second is _NULL_SPAN
+        # The null span is inert and reentrant.
+        with first as s:
+            assert s.set(x=1) is s
+            s.add_event("e", k=2)
+            with span("nested"):
+                pass
+        # Module-level helpers are no-ops with no open span.
+        add_event("ignored")
+        set_attribute(ignored=True)
+        assert current_span() is None
+
+    def test_install_and_uninstall(self):
+        tracer = Tracer()
+        install_tracer(tracer)
+        try:
+            assert current_tracer() is tracer
+            with span("installed"):
+                pass
+        finally:
+            install_tracer(None)
+        assert current_tracer() is None
+        assert span("off") is _NULL_SPAN
+        assert [s.name for s in tracer.spans()] == ["installed"]
+
+    def test_use_tracer_scoping_is_per_thread(self):
+        tracer = Tracer()
+        seen = {}
+
+        def other_thread():
+            seen["tracer"] = current_tracer()
+            seen["span"] = span("elsewhere")
+
+        with use_tracer(tracer):
+            worker = threading.Thread(target=other_thread)
+            worker.start()
+            worker.join()
+        # Context variables do not leak across threads: the other thread
+        # saw no tracer and got the null span.
+        assert seen["tracer"] is None
+        assert seen["span"] is _NULL_SPAN
+
+
+class TestExport:
+    def _traced(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            with span("engine.run", backend="serial") as s:
+                s.add_event("tick", k=1)
+                with span("linalg.factorize"):
+                    pass
+        return tracer
+
+    def test_jsonl_round_trip(self):
+        tracer = self._traced()
+        lines = tracer.to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [r["name"] for r in records] == ["linalg.factorize",
+                                               "engine.run"]
+        for record in records:
+            assert record["schema"] == TRACE_SCHEMA_VERSION
+            assert set(record) == {"schema", "name", "span_id", "parent_id",
+                                   "start", "duration", "attrs", "events",
+                                   "events_dropped"}
+        by_name = {r["name"]: r for r in records}
+        assert (by_name["linalg.factorize"]["parent_id"]
+                == by_name["engine.run"]["span_id"])
+        assert by_name["engine.run"]["attrs"] == {"backend": "serial"}
+
+    def test_chrome_trace_layout(self):
+        tracer = self._traced()
+        trace = tracer.to_chrome_trace()
+        # JSON-serializable as a whole.
+        trace = json.loads(json.dumps(trace))
+        assert trace["otherData"] == {"schema": TRACE_SCHEMA_VERSION,
+                                      "dropped_spans": 0}
+        durations = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        instants = [e for e in trace["traceEvents"] if e["ph"] == "i"]
+        assert [e["name"] for e in durations] == ["linalg.factorize",
+                                                 "engine.run"]
+        # cat is the name prefix before the first dot.
+        assert {e["cat"] for e in durations} == {"linalg", "engine"}
+        (tick,) = instants
+        assert tick["name"] == "tick" and tick["args"]["k"] == 1
+        run = next(e for e in durations if e["name"] == "engine.run")
+        child = next(e for e in durations if e["name"] == "linalg.factorize")
+        assert child["args"]["parent_id"] == run["args"]["span_id"]
+        # Timestamps are microseconds and the child nests inside the parent.
+        assert run["ts"] <= child["ts"]
+        assert child["ts"] + child["dur"] <= run["ts"] + run["dur"] + 1.0
+
+    def test_write_chrome_trace(self, tmp_path):
+        tracer = self._traced()
+        path = tmp_path / "trace.json"
+        tracer.write_chrome_trace(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(tracer.to_chrome_trace()))
