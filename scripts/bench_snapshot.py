@@ -4,6 +4,8 @@ Runs the headline benchmarks — compile/restamp speedup, compiled-Newton
 Monte Carlo operating points, warm-started DC transfer sweeps, Monte
 Carlo screening throughput, the sample-axis batch kernel
 (restamp_batch + solve_batch vs. the per-sample compiled loop), the
+batched masked Newton engine (one value plane for a whole nonlinear
+Monte Carlo screen vs. per-sample compiled Newton), the
 sparse-vs-dense backend speedup and the observability overhead (disabled
 span price, traced-vs-untraced ratio, engine counters) — and writes
 ``BENCH_parametric.json``
@@ -163,6 +165,53 @@ def batch_solve_speedup(samples: int) -> dict:
             "batched_systems": DenseBackend.stats.batched_systems}
 
 
+def newton_batch_speedup(samples: int) -> dict:
+    """Batched masked Newton vs. the per-sample compiled Newton loop on
+    the full op-amp MC OP screen (see benchmarks/bench_newton_batch.py)
+    plus the batch counters the run produced."""
+    import time as _time
+
+    from benchmarks.bench_newton_batch import TIGHT, _scatter
+    from repro.analysis import CompiledCircuit, operating_point
+    from repro.analysis.op import solve_nonlinear_dc_batch
+    from repro.circuits import opamp_with_bias
+    from repro.obs.metrics import global_registry
+
+    compiled = CompiledCircuit(opamp_with_bias().circuit)
+    vcm, cload = _scatter(samples)
+    nominal = operating_point(None, compiled=compiled, options=TIGHT)
+    started = _time.perf_counter()
+    scalar_ops = [
+        operating_point(None, compiled=compiled,
+                        variables={"vcm": float(vcm[k]),
+                                   "cload": float(cload[k])},
+                        initial_guess=nominal.x, options=TIGHT)
+        for k in range(samples)
+    ]
+    scalar_seconds = _time.perf_counter() - started
+    registry = global_registry()
+    iterations_before = registry.counter("newton.batch_iterations").value
+    demotions_before = registry.counter("newton.batch_demotions").value
+    started = _time.perf_counter()
+    batch = compiled.restamp_batch(variables={"vcm": vcm, "cload": cload})
+    _, iterations, strategies, failures = solve_nonlinear_dc_batch(
+        batch, options=TIGHT, x0=nominal.x)
+    batched_seconds = _time.perf_counter() - started
+    return {"samples": samples,
+            "per_sample_seconds": round(scalar_seconds, 3),
+            "batched_seconds": round(batched_seconds, 3),
+            "speedup": round(scalar_seconds / max(batched_seconds, 1e-9), 2),
+            "per_sample_newton_iterations": sum(op.iterations
+                                                for op in scalar_ops),
+            "batch_iterations_paid": registry.counter(
+                "newton.batch_iterations").value - iterations_before,
+            "batch_demotions": registry.counter(
+                "newton.batch_demotions").value - demotions_before,
+            "fastpath_samples": sum(1 for s in strategies
+                                    if s == "newton-batch"),
+            "failures": len(failures)}
+
+
 def observability_overhead(samples: int = 128) -> dict:
     """Telemetry cost (disabled span price, traced-vs-untraced Monte Carlo
     OP sweep) plus the engine counters the traced run produced — see
@@ -257,6 +306,7 @@ def main(argv=None) -> int:
         "dc_sweep": dc_sweep_throughput(),
         "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
         "batch_solve": batch_solve_speedup(args.samples),
+        "newton_batch": newton_batch_speedup(max(args.samples // 2, 32)),
         "backends": backend_speedup(),
         "observability": observability_overhead(max(args.samples // 2, 32)),
     }

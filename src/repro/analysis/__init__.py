@@ -14,13 +14,15 @@ from repro.analysis.compiled import (
     compile_circuit,
 )
 from repro.analysis.context import AnalysisContext
-from repro.analysis.dcsweep import dc_sweep
+from repro.analysis.compiled import BatchNewtonState
+from repro.analysis.dcsweep import dc_sweep, dc_sweep_batch
 from repro.analysis.mna import MNASystem, SolutionView
 from repro.analysis.op import (
     NewtonOptions,
     operating_point,
     solve_dc,
     solve_linear_dc_batch,
+    solve_nonlinear_dc_batch,
 )
 from repro.analysis.pz import pole_analysis
 from repro.analysis.results import (
@@ -41,6 +43,7 @@ from repro.analysis.transient import transient_analysis
 
 __all__ = [
     "AnalysisContext",
+    "BatchNewtonState",
     "BatchStampState",
     "CompiledCircuit",
     "NewtonState",
@@ -52,7 +55,9 @@ __all__ = [
     "operating_point",
     "solve_dc",
     "solve_linear_dc_batch",
+    "solve_nonlinear_dc_batch",
     "dc_sweep",
+    "dc_sweep_batch",
     "ac_analysis",
     "solve_ac_batch",
     "transient_analysis",

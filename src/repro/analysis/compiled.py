@@ -78,8 +78,8 @@ from repro.linalg import AUTO_SPARSE_MIN_SIZE, DenseBackend, LinearSystem
 from repro.linalg.triplets import CompiledPattern
 from repro.obs.trace import span as _span
 
-__all__ = ["BatchStampState", "CompiledCircuit", "NewtonState", "StampState",
-           "compile_circuit"]
+__all__ = ["BatchNewtonState", "BatchStampState", "CompiledCircuit",
+           "NewtonState", "StampState", "compile_circuit"]
 
 # Stamp-op targets.
 _G, _C, _BDC, _BAC = 0, 1, 2, 3
@@ -541,13 +541,15 @@ class BatchStampState:
     """
 
     __slots__ = ("compiled", "g_values", "c_values", "b_dc", "b_ac",
-                 "temperatures", "gmins", "failures", "vectorized")
+                 "temperatures", "gmins", "failures", "vectorized",
+                 "variable_rows")
 
     def __init__(self, compiled: "CompiledCircuit", g_values: np.ndarray,
                  c_values: np.ndarray, b_dc: np.ndarray, b_ac: np.ndarray,
                  temperatures: np.ndarray, gmins: np.ndarray,
                  failures: Optional[Dict[int, Exception]] = None,
-                 vectorized: bool = True):
+                 vectorized: bool = True,
+                 variable_rows: Optional[Sequence[Dict[str, float]]] = None):
         self.compiled = compiled
         self.g_values = g_values
         self.c_values = c_values
@@ -560,6 +562,20 @@ class BatchStampState:
         #: Whether the fast vectorized pass produced the values (False:
         #: the per-sample scalar fallback ran, results are identical).
         self.vectorized = vectorized
+        #: Per-sample design-variable override dicts (the stamp inputs),
+        #: kept so downstream consumers (the batched Newton loop and its
+        #: scalar demotion path) can rebuild any sample's exact context.
+        self.variable_rows = (list(variable_rows) if variable_rows is not None
+                              else [{} for _ in range(b_dc.shape[0])])
+
+    def sample_context(self, index: int) -> AnalysisContext:
+        """The exact scalar :class:`AnalysisContext` of sample ``index``
+        (circuit defaults + this sample's overrides/temperature/gmin)."""
+        ctx_vars = dict(self.compiled.circuit.variables)
+        ctx_vars.update(self.variable_rows[index])
+        return AnalysisContext(temperature=float(self.temperatures[index]),
+                               gmin=float(self.gmins[index]),
+                               variables=ctx_vars)
 
     def __len__(self) -> int:
         return self.b_dc.shape[0]
@@ -887,6 +903,280 @@ class NewtonState:
         self._cap_dense = program.cap_pattern.to_dense(values,
                                                        out=self._cap_dense)
         return self._cap_dense
+
+
+class _CompiledSolutionView:
+    """Scalar solution view over a compiled circuit (no MNASystem needed).
+
+    Matches the :class:`~repro.analysis.mna.SolutionView` read API the
+    device models consume (``voltage``/``current``), resolving names
+    through the compiled index.
+    """
+
+    __slots__ = ("_compiled", "_x")
+
+    def __init__(self, compiled: "CompiledCircuit", x: np.ndarray):
+        self._compiled = compiled
+        self._x = x
+
+    def voltage(self, node: str) -> float:
+        index = self._compiled.index_of(node)
+        if index is None:
+            return 0.0
+        return float(np.real(self._x[index]))
+
+    def current(self, branch: str) -> float:
+        index = self._compiled.index_of(branch)
+        if index is None:
+            return 0.0
+        return float(np.real(self._x[index]))
+
+
+class _BatchSolutionView:
+    """Array-valued solution view: ``voltage(node)`` is an ``(A,)`` column.
+
+    ``x`` is the ``(A, n)`` candidate-solution plane of the active
+    samples; ground reads stay scalar ``0.0`` (device code mixes them
+    freely with the sample columns via broadcasting).
+    """
+
+    __slots__ = ("_compiled", "_x")
+
+    def __init__(self, compiled: "CompiledCircuit", x: np.ndarray):
+        self._compiled = compiled
+        self._x = x
+
+    def voltage(self, node: str):
+        index = self._compiled.index_of(node)
+        if index is None:
+            return 0.0
+        return self._x[:, index]
+
+    def current(self, branch: str):
+        index = self._compiled.index_of(branch)
+        if index is None:
+            return 0.0
+        return self._x[:, index]
+
+
+class _BatchNewtonContext:
+    """Minimal array-valued context for the batched companion refill.
+
+    Temperature is a *scalar* (the vectorized refill requires a
+    temperature-uniform batch — the device temperature equations use
+    scalar ``math``); ``gmin`` may be a scalar or an ``(A,)`` column.
+    Device limiting state holds ``(A,)`` arrays sized to the current
+    active set.  Anything else an element reaches for raises
+    ``AttributeError``, demoting the refill to the exact per-sample
+    path instead of silently misbehaving.
+    """
+
+    __slots__ = ("temperature", "gmin", "_device_states")
+
+    def __init__(self, temperature: float, gmin):
+        self.temperature = temperature
+        self.gmin = gmin
+        self._device_states: Dict[str, Dict] = {}
+
+    def device_state(self, name: str) -> Dict:
+        return self._device_states.setdefault(name, {})
+
+    def reset_device_states(self) -> None:
+        self._device_states.clear()
+
+    def compact(self, keep: np.ndarray, old_size: int) -> None:
+        """Shrink every ``(old_size,)`` state array to the kept lanes
+        (called when samples leave the active set between iterations)."""
+        for state in self._device_states.values():
+            for key, value in list(state.items()):
+                if isinstance(value, np.ndarray) and value.shape == (old_size,):
+                    state[key] = value[keep]
+
+
+class BatchNewtonState:
+    """The ``(N, nnz)`` sample-axis extension of :class:`NewtonState`.
+
+    Owns one value plane over the compiled union Newton pattern — row
+    ``k`` is sample ``k``'s linear base + companion slots + gshunt
+    diagonal — plus the per-sample companion right-hand sides.  The
+    batched Newton loop in :func:`repro.analysis.op.solve_nonlinear_dc_batch`
+    drives it with *row index arrays* (the convergence mask): only the
+    still-active samples are refilled, solved and residual-checked, so
+    converged samples stop paying.
+
+    Two refill paths exist, mirroring ``restamp_batch``:
+
+    * :meth:`refill_vector` evaluates every device **once for all active
+      samples** through array-valued voltages (:class:`_BatchSolutionView`)
+      and the array-aware device helpers.  It raises on array-shy device
+      code or non-finite results — vectorization is an optimization,
+      never a behaviour change.
+    * :meth:`refill_row` is the exact scalar refill of one sample
+      (identical to :meth:`NewtonState.refill` semantics), used when the
+      vector pass is unavailable.
+
+    Solves go through :meth:`~repro.linalg.LinearSystem.solve_batch`:
+    one batched LAPACK call on the dense kernel, a cached-symbolic
+    refactor loop on the sparse kernel (same pattern key every
+    iteration).
+    """
+
+    def __init__(self, program: _NewtonProgram, batch: BatchStampState,
+                 backend=None, names: Optional[Sequence[str]] = None):
+        self._program = program
+        self._batch = batch
+        self._compiled = batch.compiled
+        n_samples = len(batch)
+        self.values = np.zeros((n_samples, program.nnz))
+        self.values[:, :program.linear_nnz] = batch.g_values
+        self.b_dc = np.real(batch.b_dc) if np.iscomplexobj(batch.b_dc) \
+            else batch.b_dc
+        self.b_iter = np.zeros((n_samples, program.n))
+        self._names = list(names) if names is not None else None
+        self._backend = backend
+        self._use_sparse = (backend is not None
+                            and getattr(backend, "name", None) == "sparse"
+                            and program.n >= AUTO_SPARSE_MIN_SIZE)
+        self._system: Optional[LinearSystem] = None
+        self._vctx: Optional[_BatchNewtonContext] = None
+        self._vector_rows: Optional[np.ndarray] = None
+        temps = batch.temperatures
+        gmins = batch.gmins
+        self._temps_uniform = bool(np.all(temps == temps[0]))
+        self._gmin_uniform = bool(np.all(gmins == gmins[0]))
+
+    # ------------------------------------------------------------------
+    @property
+    def use_sparse(self) -> bool:
+        """Whether solves run on the cached-symbolic sparse kernel."""
+        return self._use_sparse
+
+    @property
+    def vector_ready(self) -> bool:
+        """Whether the vectorized refill may run: the device temperature
+        equations are scalar, so the batch must be temperature-uniform."""
+        return self._temps_uniform
+
+    def set_gshunt(self, gshunt: float) -> None:
+        """Fill the diagonal shunt slots of every sample's row."""
+        self.values[:, self._program.shunt_slice] = gshunt
+
+    def discard_vector_state(self) -> None:
+        """Drop the vector limiting state (after a failed vector refill
+        the caller redoes the iteration per sample from clean state)."""
+        self._vctx = None
+        self._vector_rows = None
+
+    # ------------------------------------------------------------------
+    def refill_vector(self, rows: np.ndarray, x_rows: np.ndarray) -> np.ndarray:
+        """Vectorized companion refill of the active sample ``rows``.
+
+        ``x_rows`` is the ``(A, n)`` candidate plane aligned with
+        ``rows`` (ascending sample indices; the active set may only
+        shrink between calls).  Returns the ``(A, n)`` Newton right-hand
+        sides.  Raises when any device cannot take arrays — the caller
+        falls back to :meth:`refill_row`.
+        """
+        program = self._program
+        rows = np.asarray(rows, dtype=np.int64)
+        if self._vctx is None:
+            self._vctx = _BatchNewtonContext(
+                float(self._batch.temperatures[0]),
+                float(self._batch.gmins[0]))
+        elif self._vector_rows is not None and \
+                len(rows) != len(self._vector_rows):
+            keep = np.searchsorted(self._vector_rows, rows)
+            self._vctx.compact(keep, len(self._vector_rows))
+        ctx = self._vctx
+        if not self._gmin_uniform:
+            ctx.gmin = self._batch.gmins[rows]
+        self._vector_rows = rows
+        view = _BatchSolutionView(self._compiled, x_rows)
+        capture = _IterCapture()
+        captured = capture.values
+        with np.errstate(over="raise", invalid="raise", divide="raise"):
+            for element, expected in program.counts:
+                before = len(captured)
+                element.stamp_nonlinear(capture, view, ctx)
+                if len(captured) - before != expected:
+                    raise CompanionStructureError(
+                        f"element {element.name!r} changed its companion "
+                        f"stamp structure between iterations ({expected} "
+                        f"stamps recorded, {len(captured) - before} this "
+                        "iteration)")
+        values = np.empty((len(captured), len(rows)))
+        for index, value in enumerate(captured):
+            values[index] = value          # broadcasts scalars and columns
+        if not np.all(np.isfinite(values)):
+            raise AnalysisError(
+                "non-finite companion values in the batched Newton refill")
+        if len(program.g_slots):
+            self.values[np.ix_(rows, program.g_slots)] = \
+                values[program.g_vidx].T
+        block = np.zeros((len(rows), program.n))
+        if len(program.b_rows):
+            np.add.at(block.T, program.b_rows, values[program.b_vidx])
+        self.b_iter[rows] = block
+        return self.b_dc[rows] + block
+
+    def refill_row(self, row: int, x: np.ndarray, ctx) -> np.ndarray:
+        """Exact scalar companion refill of one sample (the always-correct
+        path; identical semantics to :meth:`NewtonState.refill`)."""
+        program = self._program
+        view = _CompiledSolutionView(self._compiled, x)
+        capture = _IterCapture()
+        captured = capture.values
+        for element, expected in program.counts:
+            before = len(captured)
+            element.stamp_nonlinear(capture, view, ctx)
+            if len(captured) - before != expected:
+                raise CompanionStructureError(
+                    f"element {element.name!r} changed its companion stamp "
+                    f"structure between iterations ({expected} stamps "
+                    f"recorded, {len(captured) - before} this iteration)")
+        values = np.asarray(captured, dtype=float)
+        if len(program.g_slots):
+            self.values[row, program.g_slots] = values[program.g_vidx]
+        self.b_iter[row] = 0.0
+        if len(program.b_rows):
+            np.add.at(self.b_iter[row], program.b_rows,
+                      values[program.b_vidx])
+        return self.b_dc[row] + self.b_iter[row]
+
+    # ------------------------------------------------------------------
+    def matvec_rows(self, rows: np.ndarray, x_rows: np.ndarray) -> np.ndarray:
+        """``G_newton[k] @ x[k]`` for the active rows, straight from the
+        union-pattern triplets (duplicate slots sum, so this is exact on
+        both kernels without densifying)."""
+        pattern = self._program.pattern
+        vals = self.values[rows]
+        contrib = vals * x_rows[:, pattern.cols]
+        out = np.zeros_like(x_rows)
+        np.add.at(out.T, pattern.rows, contrib.T)
+        return out
+
+    def solve_rows(self, rows: np.ndarray, b_rows: np.ndarray):
+        """One batched Newton step for the given sample rows.
+
+        Returns ``(x_rows, failures)`` where ``failures`` maps positions
+        *within* ``rows`` to exceptions (singular samples fail alone).
+        """
+        pattern = self._program.pattern
+        vals = self.values[rows]
+        if self._use_sparse:
+            data = pattern.csc_data_batch(vals)
+            if self._system is None:
+                self._system = LinearSystem(
+                    pattern.to_csc(vals[0]), backend=self._backend,
+                    names=self._names, pattern_key=pattern.pattern_key())
+            return self._system.solve_batch(data, b_rows)
+        matrices = pattern.to_dense_batch(vals)
+        if self._system is None:
+            # Small systems solve on the dense kernel regardless of the
+            # resolved backend — identical policy to NewtonState.
+            self._system = LinearSystem(matrices[0], backend=DenseBackend(),
+                                        names=self._names)
+        return self._system.solve_batch(matrices, b_rows)
 
 
 class CompiledCircuit:
@@ -1295,7 +1585,8 @@ class CompiledCircuit:
             batch_span.set(vectorized=vectorized, failures=len(failures))
             return BatchStampState(self, g_values, c_values, b_dc, b_ac,
                                    temperatures=temps, gmins=gmins,
-                                   failures=failures, vectorized=vectorized)
+                                   failures=failures, vectorized=vectorized,
+                                   variable_rows=rows)
 
     def _normalize_batch(self, variables, temperature, gmin,
                          samples: Optional[int]):

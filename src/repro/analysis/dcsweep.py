@@ -28,17 +28,23 @@ from typing import Dict, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.analysis.compiled import CompiledCircuit
+from repro.analysis.compiled import BatchStampState, CompiledCircuit
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
-from repro.analysis.op import NewtonOptions, linear_dc_matrix, solve_dc
+from repro.analysis.op import (
+    NewtonOptions,
+    linear_dc_matrix,
+    solve_dc,
+    solve_linear_dc_batch,
+    solve_nonlinear_dc_batch,
+)
 from repro.analysis.results import DCSweepResult
 from repro.circuit.elements.sources import CurrentSource, VoltageSource
 from repro.circuit.netlist import Circuit
 from repro.exceptions import AnalysisError, ConvergenceError
 from repro.obs.trace import span as _span
 
-__all__ = ["dc_sweep"]
+__all__ = ["dc_sweep", "dc_sweep_batch"]
 
 
 def _resolve_target(compiled: CompiledCircuit, ctx: AnalysisContext,
@@ -178,3 +184,136 @@ def _dc_sweep_impl(circuit, sweep, grid, temperature, gmin, variables,
     return DCSweepResult(system.variable_names, sweep, grid, data,
                          iterations=iterations, strategies=strategies,
                          temperature=ctx.temperature)
+
+
+def dc_sweep_batch(batch: BatchStampState, sweep: str,
+                   values: Union[Sequence[float], np.ndarray],
+                   options: Optional[NewtonOptions] = None,
+                   backend: Optional[str] = None):
+    """DC transfer curves of a whole scenario batch: one sweep, N samples.
+
+    ``batch`` is a :class:`~repro.analysis.compiled.BatchStampState`
+    (one restamped topology, N scenarios).  The sweep advances **one
+    grid point at a time across all samples**: at each point the
+    batched Newton engine (:func:`~repro.analysis.op.solve_nonlinear_dc_batch`,
+    or the direct :func:`~repro.analysis.op.solve_linear_dc_batch` for
+    linear circuits) solves every sample's operating point together,
+    warm-started from the previous point's solution plane — the batched
+    twin of the scalar warm-start chain.  Source sweeps patch the
+    compiled right-hand-side slots per point (no restamp at all);
+    variable sweeps restamp the batch per point over the fixed
+    structure.
+
+    A sample whose warm start fails at a point is retried cold (scalar,
+    from zeros), mirroring :func:`dc_sweep`; if the cold retry also
+    fails the sample's *whole curve* is marked failed without touching
+    its batchmates.
+
+    Returns ``(results, failures)``: ``results`` is a list of N
+    per-sample :class:`~repro.analysis.results.DCSweepResult` objects
+    (``None`` for failed samples), ``failures`` maps failed sample
+    indices to exceptions.
+    """
+    grid = np.asarray(list(values), dtype=float)
+    if grid.ndim != 1 or len(grid) < 2:
+        raise AnalysisError("dc_sweep_batch needs at least two sweep values")
+    compiled = batch.compiled
+    n = compiled.size
+    n_samples = len(batch)
+    options = options or NewtonOptions()
+    failures: Dict[int, Exception] = dict(batch.failures)
+
+    is_variable, element = _resolve_target(
+        compiled, batch.sample_context(0), sweep)
+    entries = coeffs = nominals = None
+    if not is_variable:
+        entries = compiled.dc_rhs_slots(element.name)
+        coeffs = (1.0,) if isinstance(element, VoltageSource) else (-1.0, 1.0)
+        if len(entries) != len(coeffs):
+            raise AnalysisError(
+                f"source {element.name!r} stamped {len(entries)} DC "
+                f"right-hand-side entries, expected {len(coeffs)}; its "
+                "DC value cannot be swept by rhs patching")
+        nominals = np.array([element.dc_value(batch.sample_context(k))
+                             for k in range(n_samples)], dtype=float)
+
+    linear = compiled.is_linear
+    data = np.full((n_samples, len(grid), n), np.nan)
+    iterations = [[0] * len(grid) for _ in range(n_samples)]
+    strategies = [[""] * len(grid) for _ in range(n_samples)]
+    x_prev: Optional[np.ndarray] = None
+
+    with _span("analysis.dc_sweep_batch", sweep=sweep, points=len(grid),
+               samples=n_samples):
+        for point, value in enumerate(grid):
+            if is_variable:
+                rows = [dict(row, **{sweep: float(value)})
+                        for row in batch.variable_rows]
+                batch_k = compiled.restamp_batch(
+                    variables=rows, temperature=batch.temperatures,
+                    gmin=batch.gmins)
+            else:
+                # The matrix stamps of an independent source do not
+                # depend on its DC value: patch the compiled rhs slots
+                # on a per-point view sharing every other value array.
+                patched = batch.b_dc.copy()
+                delta = float(value) - nominals
+                for (slots, signs), coeff in zip(entries, coeffs):
+                    if len(slots):
+                        patched[:, slots] += coeff * delta[:, None] * signs
+                batch_k = BatchStampState(
+                    compiled, batch.g_values, batch.c_values, patched,
+                    batch.b_ac, temperatures=batch.temperatures,
+                    gmins=batch.gmins, failures=dict(batch.failures),
+                    vectorized=batch.vectorized,
+                    variable_rows=batch.variable_rows)
+            # Samples already failed terminally stop being solved.
+            batch_k.failures.update(failures)
+
+            if linear:
+                x_k, fails_k = solve_linear_dc_batch(batch_k,
+                                                     backend=backend)
+                iters_k = np.zeros(n_samples, dtype=np.int64)
+                strats_k = ["linear"] * n_samples
+            else:
+                x_k, iters_k, strats_k, fails_k = solve_nonlinear_dc_batch(
+                    batch_k, backend=backend, options=options, x0=x_prev)
+
+            for k, exc in fails_k.items():
+                if k in failures:
+                    continue
+                if x_prev is None or linear:
+                    failures[k] = exc
+                    continue
+                # The warm start landed in a bad basin (sharp transition
+                # between adjacent points): retry this sample cold.
+                ctx = batch_k.sample_context(k)
+                system = compiled.system(ctx=ctx, backend=backend)
+                try:
+                    xk, iters, strategy = solve_dc(system, np.zeros(n),
+                                                   options)
+                except (ConvergenceError, AnalysisError) as cold_exc:
+                    failures[k] = cold_exc
+                else:
+                    x_k[k] = xk
+                    iters_k[k] = iters
+                    strats_k[k] = strategy
+
+            for k in range(n_samples):
+                if k in failures:
+                    continue
+                data[k, point] = x_k[k]
+                iterations[k][point] = int(iters_k[k])
+                strategies[k][point] = strats_k[k]
+            x_prev = x_k
+
+    results = []
+    for k in range(n_samples):
+        if k in failures:
+            results.append(None)
+            continue
+        results.append(DCSweepResult(
+            compiled.variable_names, sweep, grid, data[k],
+            iterations=iterations[k], strategies=strategies[k],
+            temperature=float(batch.temperatures[k])))
+    return results, failures

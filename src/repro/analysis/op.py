@@ -27,7 +27,12 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.analysis.compiled import CompiledCircuit
+from repro.analysis.compiled import (
+    BatchNewtonState,
+    BatchStampState,
+    CompiledCircuit,
+    _CompiledSolutionView,
+)
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.results import OPResult
@@ -43,7 +48,7 @@ from repro.obs.metrics import global_registry
 from repro.obs.trace import span as _span
 
 __all__ = ["operating_point", "solve_dc", "solve_linear_dc_batch",
-           "NewtonOptions"]
+           "solve_nonlinear_dc_batch", "NewtonOptions"]
 
 # Direct metric references (cheap per-loop updates; see repro.obs.metrics).
 _NEWTON_LOOPS = global_registry().counter("newton.loops")
@@ -52,6 +57,15 @@ _NEWTON_FAILURES = global_registry().counter("newton.failures")
 _NEWTON_ITERATIONS_PER_LOOP = global_registry().histogram(
     "newton.iterations_per_loop",
     buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0))
+#: Masked batched-Newton iterations: each batched iteration adds the
+#: number of still-active samples (converged samples stop paying).
+_NEWTON_BATCH_ITERATIONS = global_registry().counter("newton.batch_iterations")
+#: Per-sample demotions from the batched loop to the scalar ladder.
+_NEWTON_BATCH_DEMOTIONS = global_registry().counter("newton.batch_demotions")
+#: Active-set size observed at each batched iteration (the shrink curve).
+_NEWTON_SAMPLES_ACTIVE = global_registry().histogram(
+    "newton.samples_active",
+    buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0))
 
 
 class NewtonOptions:
@@ -255,6 +269,293 @@ def solve_linear_dc_batch(batch, backend=None
         else:
             x[sample] = solved[position]
     return x, failures
+
+
+class _CompiledSystemShim:
+    """System-like view over a compiled circuit for per-sample checks.
+
+    Exposes exactly the read surface :func:`_check_physical` and
+    :func:`_collect_device_info` consume (names, nonlinear elements,
+    ``solution_view``, ``ctx``) without building an
+    :class:`~repro.analysis.mna.MNASystem` per batched sample.  ``ctx``
+    is swapped per sample by the batched loop.
+    """
+
+    def __init__(self, compiled: CompiledCircuit, ctx: AnalysisContext):
+        self.compiled = compiled
+        self.ctx = ctx
+        self.circuit = compiled.circuit
+        self.node_names = compiled.node_names
+        self.branch_names = compiled.branch_names
+        self.variable_names = compiled.variable_names
+        self.nonlinear_elements = [e for e in compiled.circuit
+                                   if e.is_nonlinear]
+
+    def index_of(self, name: str) -> Optional[int]:
+        return self.compiled.index_of(name)
+
+    def solution_view(self, x: np.ndarray):
+        return _CompiledSolutionView(self.compiled, x)
+
+
+def batch_device_info(batch: BatchStampState, index: int, x_row: np.ndarray
+                      ) -> Tuple[Dict[str, Dict[str, float]], Dict[str, str]]:
+    """Per-device operating-point summaries of one batched sample.
+
+    The batched twin of the diagnostics block :func:`operating_point`
+    attaches to every scalar result: evaluated against sample ``index``'s
+    exact scalar context, over the compiled index (no MNASystem built).
+    """
+    shim = _CompiledSystemShim(batch.compiled, batch.sample_context(index))
+    return _collect_device_info(shim, x_row)
+
+
+def solve_nonlinear_dc_batch(batch: BatchStampState, backend=None,
+                             options: Optional[NewtonOptions] = None,
+                             x0: Optional[np.ndarray] = None):
+    """Batched Newton DC solves of a *nonlinear* circuit for a whole
+    scenario batch.
+
+    ``batch`` is a :class:`~repro.analysis.compiled.BatchStampState`
+    (one restamped topology, N scenarios).  All samples iterate together
+    on one ``(N, nnz)`` companion value plane
+    (:class:`~repro.analysis.compiled.BatchNewtonState`): each iteration
+    refills the companions of every still-active sample — one array
+    pass over the devices when the batch is temperature-uniform, an
+    exact per-sample pass otherwise — and solves the per-iteration
+    linearizations with one :meth:`~repro.linalg.LinearSystem.solve_batch`
+    call.  A per-sample convergence mask shrinks the active set, so
+    converged samples stop paying.
+
+    Samples the batched plain-Newton loop cannot finish — divergence,
+    singular linearizations, non-physical accepted points, or device
+    code the vector pass cannot evaluate — are **demoted** to the scalar
+    ladder (:func:`solve_dc`: Newton, then gmin stepping, then source
+    stepping) from their original guess, so per-sample results and
+    failures are exactly what the scalar path would produce.  A
+    :exc:`~repro.exceptions.ConvergenceError` of one sample never takes
+    down its batchmates.
+
+    Returns ``(x, iterations, strategies, failures)``: ``x`` is
+    ``(N, n)`` in system ordering (NaN rows for failures),
+    ``iterations`` the per-sample iteration counts, ``strategies`` the
+    per-sample strategy labels (``"newton-batch"`` for fast-path
+    convergence, the scalar ladder's label after demotion, ``""`` on
+    failure), and ``failures`` maps failed sample indices to their
+    exceptions (``ConvergenceError`` instances keep their per-iteration
+    ``history``).
+    """
+    from repro.linalg import resolve_backend
+
+    compiled = batch.compiled
+    if compiled.is_linear:
+        raise AnalysisError(
+            "solve_nonlinear_dc_batch needs a nonlinear circuit; linear "
+            "batches go through solve_linear_dc_batch")
+    options = options or NewtonOptions()
+    n = compiled.size
+    n_samples = len(batch)
+
+    x_out = np.full((n_samples, n), np.nan)
+    iterations_out = np.zeros(n_samples, dtype=np.int64)
+    strategies: list = [""] * n_samples
+    failures: Dict[int, Exception] = dict(batch.failures)
+    healthy = np.array([k for k in range(n_samples) if k not in failures],
+                       dtype=np.int64)
+
+    if x0 is None:
+        x0_plane = np.zeros((n_samples, n))
+    else:
+        x0_plane = np.array(x0, dtype=float)
+        if x0_plane.ndim == 1:
+            x0_plane = np.broadcast_to(x0_plane, (n_samples, n)).copy()
+        elif x0_plane.shape != (n_samples, n):
+            raise AnalysisError(
+                f"initial-guess plane has shape {x0_plane.shape}, "
+                f"expected ({n_samples}, {n})")
+
+    demote_rows: list = []
+
+    def _demote_all(rows) -> None:
+        demote_rows.extend(int(k) for k in rows)
+
+    def _run_scalar(k: int) -> None:
+        ctx = batch.sample_context(k)
+        system = compiled.system(ctx=ctx, backend=backend)
+        try:
+            xk, iters, strategy = solve_dc(system, x0_plane[k].copy(),
+                                           options)
+        except (ConvergenceError, SingularMatrixError, AnalysisError) as exc:
+            failures[k] = exc
+        else:
+            x_out[k] = xk
+            iterations_out[k] = iters
+            strategies[k] = strategy
+
+    # Structure gate: probe the compiled Newton pattern once; circuits
+    # whose companion structure is value-dependent take the scalar
+    # (uncompiled) ladder per sample, exactly as the scalar path would.
+    program = None
+    if healthy.size and not compiled.newton_fallback:
+        try:
+            program = compiled.newton_program(
+                batch.sample_context(int(healthy[0])))
+        except CompanionStructureError:
+            compiled.newton_fallback = True
+    if program is None:
+        _demote_all(healthy)
+        healthy = healthy[:0]
+
+    batch_span = _span("newton.batch", samples=int(len(batch)),
+                       healthy=int(healthy.size))
+    converged = 0
+    iteration = 0
+    use_vector = False
+    with batch_span:
+        if healthy.size:
+            backend_obj = resolve_backend(backend, size=n,
+                                          density=compiled.pattern_G.density())
+            state = BatchNewtonState(program, batch, backend=backend_obj,
+                                     names=compiled.variable_names)
+            state.set_gshunt(options.gshunt)
+            use_vector = state.vector_ready
+            shim = _CompiledSystemShim(compiled, batch.sample_context(
+                int(healthy[0])))
+            x = x0_plane.copy()
+            delta_conv = np.zeros(n_samples, dtype=bool)
+            histories: Dict[int, list] = {int(k): [] for k in healthy}
+            row_ctxs: Dict[int, AnalysisContext] = {}
+            active = healthy.copy()
+
+            while active.size and iteration < options.max_iterations:
+                iteration += 1
+                _NEWTON_BATCH_ITERATIONS.inc(int(active.size))
+                _NEWTON_SAMPLES_ACTIVE.observe(float(active.size))
+
+                # ---- companion refill of the active rows --------------
+                b = None
+                if use_vector:
+                    try:
+                        b = state.refill_vector(active, x[active])
+                    except CompanionStructureError:
+                        compiled.newton_fallback = True
+                        _demote_all(active)
+                        active = active[:0]
+                        break
+                    except Exception:
+                        # Array-shy or numerically hostile device code.
+                        # At iteration 1 no limiting state exists yet, so
+                        # the exact per-sample refill can redo the same
+                        # iteration; later the vector limiting history is
+                        # unrecoverable, so the active set demotes whole.
+                        state.discard_vector_state()
+                        use_vector = False
+                        if iteration > 1:
+                            _demote_all(active)
+                            active = active[:0]
+                            break
+                if b is None:
+                    b = np.empty((active.size, n))
+                    keep = np.ones(active.size, dtype=bool)
+                    structure_changed = False
+                    for position, k in enumerate(active):
+                        k = int(k)
+                        ctx = row_ctxs.get(k)
+                        if ctx is None:
+                            ctx = row_ctxs[k] = batch.sample_context(k)
+                            ctx.reset_device_states()
+                        try:
+                            b[position] = state.refill_row(k, x[k], ctx)
+                        except CompanionStructureError:
+                            compiled.newton_fallback = True
+                            structure_changed = True
+                            break
+                        except Exception:
+                            keep[position] = False
+                            demote_rows.append(k)
+                    if structure_changed:
+                        _demote_all(active)
+                        active = active[:0]
+                        break
+                    if not keep.all():
+                        active = active[keep]
+                        b = b[keep]
+                        if not active.size:
+                            break
+
+                # ---- acceptance of delta-converged rows ---------------
+                check = delta_conv[active]
+                if check.any():
+                    rows = active[check]
+                    positions = np.flatnonzero(check)
+                    Gx = state.matvec_rows(rows, x[rows])
+                    b_rows = b[positions]
+                    residual = np.abs(Gx - b_rows)
+                    current_scale = np.maximum(np.abs(Gx), np.abs(b_rows))
+                    ok = np.all(residual <= options.reltol * current_scale
+                                + options.abstol, axis=1)
+                    drop = np.zeros(active.size, dtype=bool)
+                    for i, k in enumerate(rows):
+                        k = int(k)
+                        entry = histories[k][-1]
+                        entry["residual_norm"] = \
+                            float(np.max(residual[i])) if n else 0.0
+                        entry["residual_ok"] = bool(ok[i])
+                        if not ok[i]:
+                            continue
+                        shim.ctx = row_ctxs.get(k) or batch.sample_context(k)
+                        drop[positions[i]] = True
+                        try:
+                            _check_physical(shim, x[k], options)
+                        except ConvergenceError:
+                            # Non-physical point: the scalar ladder's
+                            # homotopy strategies find the real one.
+                            demote_rows.append(k)
+                        else:
+                            x_out[k] = x[k]
+                            iterations_out[k] = iteration
+                            strategies[k] = "newton-batch"
+                            converged += 1
+                    if drop.any():
+                        active = active[~drop]
+                        b = b[~drop]
+                        if not active.size:
+                            break
+
+                # ---- one batched Newton step --------------------------
+                x_new, solve_failures = state.solve_rows(active, b)
+                if solve_failures:
+                    keep = np.ones(active.size, dtype=bool)
+                    for position in solve_failures:
+                        keep[position] = False
+                        demote_rows.append(int(active[position]))
+                    active = active[keep]
+                    x_new = x_new[keep]
+                    if not active.size:
+                        break
+                delta = np.abs(x_new - x[active])
+                tol = options.reltol * np.maximum(np.abs(x_new),
+                                                  np.abs(x[active])) \
+                    + options.vntol
+                conv = np.all(delta <= tol, axis=1)
+                delta_conv[active] = conv
+                for i, k in enumerate(active):
+                    histories[int(k)].append({
+                        "iteration": iteration,
+                        "delta_norm": float(np.max(delta[i])) if n else 0.0,
+                        "delta_converged": bool(conv[i])})
+                x[active] = x_new
+
+            # Leftovers at max_iterations (or after a structure change)
+            # take the exact scalar ladder from their original guess.
+            _demote_all(active)
+
+        _NEWTON_BATCH_DEMOTIONS.inc(len(demote_rows))
+        for k in demote_rows:
+            _run_scalar(k)
+        batch_span.set(iterations=int(iteration), converged=int(converged),
+                       demoted=len(demote_rows), vectorized=bool(use_vector))
+    return x_out, iterations_out, strategies, failures
 
 
 # ----------------------------------------------------------------------

@@ -23,6 +23,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict
 
+import numpy as np
+
 from repro.circuit.elements.nonlinear import (
     NonlinearDevice,
     cstep_derivative,
@@ -148,8 +150,11 @@ class BJT(NonlinearDevice):
 
         # Base charge factor (Early effect only; no high-injection term).
         qb_inv = 1.0 - vbc / m.VAF - (vbe / m.VAR if math.isfinite(m.VAR) else 0.0)
-        qb_real = qb_inv.real if isinstance(qb_inv, complex) else qb_inv
-        if qb_real < 0.1:
+        qb_real = qb_inv.real if isinstance(qb_inv, (complex, np.ndarray)) else qb_inv
+        if isinstance(qb_real, np.ndarray):
+            # Keep qb positive to avoid sign flips far from the solution.
+            qb_inv = np.where(qb_real < 0.1, qb_inv - (qb_real - 0.1), qb_inv)
+        elif qb_real < 0.1:
             # Keep qb positive to avoid sign flips far from the solution.
             qb_inv = qb_inv - (qb_real - 0.1)
         ict = (i_f - i_r) * qb_inv

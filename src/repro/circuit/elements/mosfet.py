@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass, replace
 from typing import Dict
 
+import numpy as np
+
 from repro.circuit.elements.nonlinear import (
     NonlinearDevice,
     cstep_gradient,
@@ -33,7 +35,10 @@ __all__ = ["MOSFETModel", "MOSFET"]
 
 
 def _csqrt(x):
-    """Square root valid for real or complex arguments (complex-step safe)."""
+    """Square root valid for real, complex or ndarray arguments
+    (complex-step and batch safe)."""
+    if isinstance(x, np.ndarray):
+        return np.sqrt(x)
     if isinstance(x, complex):
         return cmath.sqrt(x)
     return math.sqrt(x)
@@ -122,6 +127,16 @@ class MOSFET(NonlinearDevice):
         if m.GAMMA == 0.0:
             return vto
         phi = m.PHI
+        if isinstance(vbs, np.ndarray):
+            vbs_r = vbs.real
+            sqrt_phi = math.sqrt(phi)
+            reverse = (vbs_r <= 0.0)
+            # Guard the masked-out lane: sqrt of a negative argument in
+            # the forward-bias lanes would poison the whole batch.
+            reverse_term = _csqrt(np.where(reverse, phi - vbs, phi))
+            forward_term = sqrt_phi - 0.5 * vbs / sqrt_phi
+            body = np.where(reverse, reverse_term, forward_term) - sqrt_phi
+            return vto + m.GAMMA * body
         vbs_r = vbs.real if isinstance(vbs, complex) else vbs
         if vbs_r <= 0.0:
             return vto + m.GAMMA * (_csqrt(phi - vbs) - math.sqrt(phi))
@@ -135,8 +150,14 @@ class MOSFET(NonlinearDevice):
         beta = self._beta(ctx)
         vth = self._threshold(vbs, ctx)
         vov = vgs - vth
-        vov_r = vov.real if isinstance(vov, complex) else vov
-        vds_r = vds.real if isinstance(vds, complex) else vds
+        vov_r = vov.real if isinstance(vov, (complex, np.ndarray)) else vov
+        vds_r = vds.real if isinstance(vds, (complex, np.ndarray)) else vds
+        if isinstance(vov_r, np.ndarray) or isinstance(vds_r, np.ndarray):
+            clm = 1.0 + m.LAMBDA * vds
+            triode = beta * clm * vds * (vov - 0.5 * vds)
+            saturation = 0.5 * beta * clm * vov * vov
+            ids = np.where(np.asarray(vds_r) < vov_r, triode, saturation)
+            return np.where(np.asarray(vov_r) <= 0.0, 0.0 * vgs, ids)
         if vov_r <= 0.0:
             return 0.0 * vgs
         clm = 1.0 + m.LAMBDA * vds
@@ -151,8 +172,12 @@ class MOSFET(NonlinearDevice):
         vgs = p * (vg - vs)
         vds = p * (vd - vs)
         vbs = p * (vb - vs)
-        vds_r = vds.real if isinstance(vds, complex) else vds
-        if vds_r >= 0.0:
+        vds_r = vds.real if isinstance(vds, (complex, np.ndarray)) else vds
+        if isinstance(vds_r, np.ndarray):
+            forward = self._ids(vgs, vds, vbs, ctx)
+            reverse = -self._ids(vgs - vds, -vds, vbs - vds, ctx)
+            ids = np.where(vds_r >= 0.0, forward, reverse)
+        elif vds_r >= 0.0:
             ids = self._ids(vgs, vds, vbs, ctx)
         else:
             # Source and drain swap roles for negative vds.
@@ -188,7 +213,10 @@ class MOSFET(NonlinearDevice):
         vgs_lim = fetlim(vgs, vgs_old, vto)
         # Limit vds step to 2 V per iteration to avoid wild excursions.
         dvds = vds - vds_old
-        if abs(dvds) > 2.0:
+        if isinstance(dvds, np.ndarray):
+            vds_lim = np.where(np.abs(dvds) > 2.0,
+                               vds_old + np.copysign(2.0, dvds), vds)
+        elif abs(dvds) > 2.0:
             vds_lim = vds_old + math.copysign(2.0, dvds)
         else:
             vds_lim = vds

@@ -22,6 +22,8 @@ import cmath
 import math
 from typing import Callable, Dict, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.circuit.elements.base import Element
 
 __all__ = [
@@ -44,10 +46,17 @@ _CSTEP = 1e-100
 def limexp(x):
     """Exponential that grows linearly above ``x = 80`` (overflow-safe).
 
-    Works for real and complex arguments; the region test uses the real
-    part so the function stays compatible with complex-step
-    differentiation.
+    Works for real and complex arguments, scalar or ndarray (the batched
+    Newton path evaluates one device over all samples at once); the
+    region test uses the real part so the function stays compatible with
+    complex-step differentiation.
     """
+    if isinstance(x, np.ndarray):
+        low = x.real <= _EXP_LIMIT
+        # Guard the masked-out lane before np.exp: np.where evaluates
+        # both branches, and exp of an unguarded large argument overflows.
+        safe = np.exp(np.where(low, x, 0.0))
+        return np.where(low, safe, _EXP_AT_LIMIT * (1.0 + (x - _EXP_LIMIT)))
     xr = x.real if isinstance(x, complex) else x
     if xr <= _EXP_LIMIT:
         return cmath.exp(x) if isinstance(x, complex) else math.exp(x)
@@ -59,8 +68,20 @@ def pnjlim(vnew: float, vold: float, vt: float, vcrit: float) -> float:
     """SPICE p-n junction voltage limiting.
 
     Restricts the per-iteration change of a forward-biased junction voltage
-    so that the exponential does not overshoot catastrophically.
+    so that the exponential does not overshoot catastrophically.  Accepts
+    scalars or per-sample ndarrays (the limiting decision is then taken
+    lane by lane, mirroring the scalar branch structure exactly).
     """
+    if isinstance(vnew, np.ndarray) or isinstance(vold, np.ndarray):
+        vnew = np.asarray(vnew, dtype=float)
+        limit = (vnew > vcrit) & (np.abs(vnew - vold) > 2.0 * vt)
+        arg = 1.0 + (vnew - vold) / vt
+        v_pos = np.where(arg > 0.0,
+                         vold + vt * np.log(np.where(arg > 0.0, arg, 1.0)),
+                         vcrit)
+        v_neg = vt * np.log(np.maximum(vnew / vt, 1e-30))
+        limited = np.where(np.asarray(vold) > 0.0, v_pos, v_neg)
+        return np.where(limit, limited, vnew)
     if vnew > vcrit and abs(vnew - vold) > 2.0 * vt:
         if vold > 0.0:
             arg = 1.0 + (vnew - vold) / vt
@@ -74,7 +95,34 @@ def pnjlim(vnew: float, vold: float, vt: float, vcrit: float) -> float:
 
 
 def fetlim(vnew: float, vold: float, vto: float) -> float:
-    """SPICE FET gate-voltage limiting (limits vgs excursions around vto)."""
+    """SPICE FET gate-voltage limiting (limits vgs excursions around vto).
+
+    Scalar or per-sample ndarray arguments; the array form is a
+    branch-free ``np.where`` tree mirroring the scalar decision tree.
+    """
+    if isinstance(vnew, np.ndarray) or isinstance(vold, np.ndarray):
+        vnew = np.asarray(vnew, dtype=float)
+        vold = np.asarray(vold, dtype=float)
+        vtsthi = np.abs(2.0 * (vold - vto)) + 2.0
+        vtstlo = vtsthi / 2.0 + 2.0
+        vtox = vto + 3.5
+        delv = vnew - vold
+        hi_down = np.where(vnew >= vtox,
+                           np.where(-delv > vtstlo, vold - vtstlo, vnew),
+                           np.maximum(vnew, vto + 2.0))
+        hi_up = np.where(delv > vtsthi, vold + vtsthi, vnew)
+        above_high = np.where(delv <= 0.0, hi_down, hi_up)
+        mid = np.where(delv <= 0.0,
+                       np.maximum(vnew, vto - 0.5),
+                       np.minimum(vnew, vtox + 0.5))
+        lo_down = np.where(-delv > vtsthi, vold - vtsthi, vnew)
+        lo_up = np.where(vnew <= vto + 0.5,
+                         np.where(delv > vtstlo, vold + vtstlo, vnew),
+                         vto + 0.5)
+        below = np.where(delv <= 0.0, lo_down, lo_up)
+        return np.where(vold >= vto,
+                        np.where(vold >= vtox, above_high, mid),
+                        below)
     vtsthi = abs(2.0 * (vold - vto)) + 2.0
     vtstlo = vtsthi / 2.0 + 2.0
     vtox = vto + 3.5
@@ -112,17 +160,30 @@ def fetlim(vnew: float, vold: float, vto: float) -> float:
 
 
 def cstep_derivative(func: Callable, value: float) -> float:
-    """Derivative of a scalar function via complex-step differentiation."""
+    """Derivative of a scalar function via complex-step differentiation.
+
+    ``value`` may be a per-sample ndarray; the perturbation is then
+    applied lane-wise and an ndarray of derivatives comes back.
+    """
+    if isinstance(value, np.ndarray):
+        return func(value + 1j * _CSTEP).imag / _CSTEP
     return (func(complex(value, _CSTEP))).imag / _CSTEP
 
 
 def cstep_gradient(func: Callable, values: Sequence[float]) -> List[float]:
-    """Gradient of ``func(*values)`` (scalar-valued) via complex step."""
+    """Gradient of ``func(*values)`` (scalar-valued) via complex step.
+
+    Entries of ``values`` may independently be scalars or per-sample
+    ndarrays (mixed terminal voltages occur when one terminal is ground).
+    """
     grad = []
     vals = list(values)
     for k, v in enumerate(vals):
         perturbed = list(vals)
-        perturbed[k] = complex(v, _CSTEP)
+        if isinstance(v, np.ndarray):
+            perturbed[k] = v + 1j * _CSTEP
+        else:
+            perturbed[k] = complex(v, _CSTEP)
         grad.append(func(*perturbed).imag / _CSTEP)
     return grad
 

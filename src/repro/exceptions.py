@@ -82,6 +82,30 @@ class ConvergenceError(AnalysisError):
             message = f"{message} ({', '.join(details)})"
         super().__init__(message)
 
+    def to_details(self) -> dict:
+        """JSON-serializable payload of the structured failure fields.
+
+        This is what lets the iteration ``history`` survive a trip
+        through a pool worker's serialized
+        :class:`~repro.service.requests.AnalysisResponse` instead of
+        being flattened into the error text.
+        """
+        return {"type": "ConvergenceError",
+                "iterations": self.iterations,
+                "worst_node": self.worst_node,
+                "residual": self.residual,
+                "history": self.history}
+
+    @classmethod
+    def from_details(cls, details: dict) -> "ConvergenceError":
+        """Rebuild a structurally equivalent error from :meth:`to_details`
+        output (the message is regenerated from the fields)."""
+        return cls("Newton iteration did not converge",
+                   iterations=details.get("iterations"),
+                   worst_node=details.get("worst_node"),
+                   residual=details.get("residual"),
+                   history=details.get("history"))
+
 
 class SweepError(AnalysisError):
     """A frequency/time/parameter sweep specification is invalid."""

@@ -19,14 +19,17 @@ process-local compiled-structure cache catches reuse across chunks that
 land on the same worker.
 
 One tier above the pool sits the **mode-aware in-process fast path**:
-when a structure-fingerprint group consists of linear ``op``/``ac``
-requests on one topology (same mode, same effective solver backend, same
-sweep), the engine skips per-request dispatch entirely and runs the
-whole group through the sample-axis batch kernel —
+when a structure-fingerprint group consists of ``op``/``ac`` requests on
+one topology (same mode, same effective solver backend, same sweep), the
+engine skips per-request dispatch entirely and runs the whole group
+through the sample-axis batch kernel —
 :meth:`~repro.analysis.CompiledCircuit.restamp_batch` (every dynamic
 element evaluated once for all samples) feeding
 :meth:`~repro.linalg.LinearSystem.solve_batch` (one batched LAPACK call
-on dense, one cached symbolic ordering on sparse).  See
+on dense, one cached symbolic ordering on sparse).  Linear groups solve
+directly; nonlinear ``op`` groups run the masked batched Newton engine
+(:func:`~repro.analysis.op.solve_nonlinear_dc_batch`), with per-sample
+demotion to the scalar ladder on divergence.  See
 ``docs/compiled-engine.md`` for the whole pipeline.
 
 Every failure mode is isolated per request: :func:`execute_request` never
@@ -53,7 +56,12 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.ac import ac_analysis, solve_ac_batch
 from repro.analysis.compiled import CompiledCircuit
 from repro.analysis.dcsweep import dc_sweep
-from repro.analysis.op import operating_point, solve_linear_dc_batch
+from repro.analysis.op import (
+    batch_device_info,
+    operating_point,
+    solve_linear_dc_batch,
+    solve_nonlinear_dc_batch,
+)
 from repro.analysis.results import ACResult, OPResult
 from repro.core.all_nodes import analyze_all_nodes
 from repro.core.report import (
@@ -64,7 +72,7 @@ from repro.core.report import (
     format_single_node_report,
 )
 from repro.core.single_node import analyze_node
-from repro.exceptions import ToolError
+from repro.exceptions import ConvergenceError, ToolError
 from repro.obs.metrics import global_registry, subtract_snapshots
 from repro.obs.report import EngineReport
 from repro.obs.trace import (
@@ -214,10 +222,15 @@ def _execute_request_inner(request: AnalysisRequest) -> AnalysisResponse:
             elapsed_seconds=time.time() - started)
     except Exception as exc:
         _FAILED_COUNTER.inc()
+        # Convergence failures carry a structured diagnostic trail that
+        # must survive the serialized trip home from a pool worker.
+        details = exc.to_details() if isinstance(exc, ConvergenceError) \
+            else None
         return AnalysisResponse(
             fingerprint=fingerprint, mode=request.mode, status="failed",
             label=request.label, error=str(exc),
             traceback=traceback.format_exc(),
+            error_details=details,
             elapsed_seconds=time.time() - started)
 
 
@@ -250,22 +263,28 @@ def execute_request_chunk(requests: Sequence[AnalysisRequest]
 def execute_linear_batch(requests: Sequence[AnalysisRequest],
                          prefer_pool_for_sparse: bool = False
                          ) -> Optional[List[AnalysisResponse]]:
-    """Run one same-structure group of linear ``op``/``ac`` requests
-    through the batched restamp+solve kernel, in this process.
+    """Run one same-structure group of ``op``/``ac`` requests through the
+    batched restamp+solve kernel, in this process.
 
     The group contract (enforced by the caller's grouping key): every
     request shares one circuit structure, one mode, one effective solver
     backend and — for ``ac`` — one frequency sweep.  The whole group is
     then a single :meth:`~repro.analysis.CompiledCircuit.restamp_batch`
     (each dynamic element evaluated once for all samples) plus one
-    batched DC solve (:func:`~repro.analysis.op.solve_linear_dc_batch`)
-    and, for ``ac``, one batched sweep
-    (:func:`~repro.analysis.ac.solve_ac_batch`).
+    batched solve: :func:`~repro.analysis.op.solve_linear_dc_batch` for
+    linear circuits (and, for ``ac``,
+    :func:`~repro.analysis.ac.solve_ac_batch`), or the masked batched
+    Newton engine :func:`~repro.analysis.op.solve_nonlinear_dc_batch`
+    for nonlinear ``op`` groups — all N samples iterate together on one
+    companion value plane, converged samples drop out of the active set,
+    and per-sample divergence demotes to the scalar ladder without
+    touching the rest of the group.
 
-    Returns ``None`` when the group cannot be batched at all (nonlinear
-    circuit, compile failure) — the caller then dispatches it down the
-    per-request path.  Per-sample problems never poison the group: any
-    sample that failed to restamp or solve falls back to the scalar
+    Returns ``None`` when the group cannot be batched at all (compile
+    failure, nonlinear ``ac`` group, sparse group deferred to the pool)
+    — the caller then dispatches it down the per-request path.
+    Per-sample problems never poison the group: any sample that failed
+    to restamp or solve falls back to the scalar
     :func:`execute_request`, which reproduces the failure (or recovers)
     with its full per-request diagnostics.
     """
@@ -273,7 +292,12 @@ def execute_linear_batch(requests: Sequence[AnalysisRequest],
     first = requests[0]
     try:
         compiled = _compiled_for(first)
-        if compiled is None or not compiled.is_linear:
+        if compiled is None:
+            return None
+        nonlinear = not compiled.is_linear
+        if nonlinear and first.mode != "op":
+            # Nonlinear AC needs a per-sample linearization pipeline the
+            # batch kernel does not cover yet.
             return None
         if prefer_pool_for_sparse:
             # On the sparse kernel solve_batch is a sequential refactor
@@ -290,13 +314,18 @@ def execute_linear_batch(requests: Sequence[AnalysisRequest],
             variables=[dict(request.variables) for request in requests],
             temperature=[request.temperature for request in requests],
             gmin=[request.gmin for request in requests])
-        x, failures = solve_linear_dc_batch(batch, backend=first.backend)
         data = None
-        if first.mode == "ac":
-            data, ac_failures = solve_ac_batch(batch,
-                                               first.sweep().frequencies,
-                                               backend=first.backend)
-            failures = {**failures, **ac_failures}
+        iterations = strategies = None
+        if nonlinear:
+            x, iterations, strategies, failures = solve_nonlinear_dc_batch(
+                batch, backend=first.backend)
+        else:
+            x, failures = solve_linear_dc_batch(batch, backend=first.backend)
+            if first.mode == "ac":
+                data, ac_failures = solve_ac_batch(batch,
+                                                   first.sweep().frequencies,
+                                                   backend=first.backend)
+                failures = {**failures, **ac_failures}
     except Exception:
         return None
     elapsed = (time.time() - started) / max(len(requests), 1)
@@ -308,8 +337,18 @@ def execute_linear_batch(requests: Sequence[AnalysisRequest],
             responses.append(execute_request(request))
             continue
         try:
-            op = OPResult(names, x[index], iterations=0, strategy="linear",
-                          temperature=request.temperature)
+            if nonlinear:
+                info, info_failures = batch_device_info(batch, index,
+                                                        x[index])
+                op = OPResult(names, x[index], device_info=info,
+                              iterations=int(iterations[index]),
+                              strategy=strategies[index],
+                              temperature=request.temperature,
+                              info_failures=info_failures)
+            else:
+                op = OPResult(names, x[index], iterations=0,
+                              strategy="linear",
+                              temperature=request.temperature)
             if request.mode == "ac":
                 result = ACResult(names, first.sweep().frequencies,
                                   data[index], op=op)

@@ -301,6 +301,11 @@ class AnalysisResponse:
     report: Optional[str] = None       #: formatted text report
     error: Optional[str] = None
     traceback: Optional[str] = None
+    #: Structured failure payload (JSON-able) for errors that carry more
+    #: than text — a ``ConvergenceError`` ships its per-iteration
+    #: ``history`` here so pool workers do not flatten it to a string
+    #: (see :meth:`convergence_error`).
+    error_details: Optional[dict] = None
     elapsed_seconds: float = 0.0
     cached: bool = False               #: served from the result cache
     created: float = field(default_factory=time.time)
@@ -345,6 +350,17 @@ class AnalysisResponse:
             raise ToolError("response carries no AC result")
         return ACResult.from_dict(self.result)
 
+    def convergence_error(self):
+        """Rehydrate the :class:`~repro.exceptions.ConvergenceError` of a
+        failed solve — with its per-iteration ``history`` intact — or
+        ``None`` when the failure was not a convergence failure."""
+        if self.error_details is None or \
+                self.error_details.get("type") != "ConvergenceError":
+            return None
+        from repro.exceptions import ConvergenceError
+
+        return ConvergenceError.from_details(self.error_details)
+
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:
         """JSON-able representation (what the disk cache stores)."""
@@ -358,6 +374,7 @@ class AnalysisResponse:
             "report": self.report,
             "error": self.error,
             "traceback": self.traceback,
+            "error_details": self.error_details,
             "elapsed_seconds": self.elapsed_seconds,
             "created": self.created,
             "telemetry": self.telemetry,
@@ -375,6 +392,7 @@ class AnalysisResponse:
             report=data.get("report"),
             error=data.get("error"),
             traceback=data.get("traceback"),
+            error_details=data.get("error_details"),
             elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
             created=float(data.get("created", 0.0)),
             telemetry=data.get("telemetry"),

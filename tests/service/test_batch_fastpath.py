@@ -1,10 +1,11 @@
-"""The BatchEngine's in-process batched fast path for linear op/ac groups.
+"""The BatchEngine's in-process batched fast path for op/ac groups.
 
-Same-structure groups of linear ``op``/``ac`` requests must run through
-the sample-axis batch kernel (observable via ``SolveStats`` batch
-counters), produce results identical to the scalar per-request path,
-isolate poisoned samples by falling back to scalar execution, and leave
-nonlinear or mixed batches on the classic per-request path.
+Same-structure groups of ``op``/``ac`` requests must run through the
+sample-axis batch kernel (observable via ``SolveStats`` batch counters),
+produce results identical to the scalar per-request path, and isolate
+poisoned samples by falling back to scalar execution.  Linear groups
+solve directly; nonlinear ``op`` groups ride the masked batched Newton
+engine; nonlinear ``ac`` groups and non-op/ac modes stay per-request.
 """
 
 import numpy as np
@@ -12,7 +13,7 @@ import pytest
 
 from repro import circuits
 from repro.circuit.builder import CircuitBuilder
-from repro.linalg import resolve_backend
+from repro.linalg import DenseBackend, SparseBackend, resolve_backend
 from repro.service import (
     AnalysisRequest,
     BatchEngine,
@@ -44,10 +45,12 @@ def engine():
 @pytest.fixture()
 def stats():
     """Counters of whichever backend the environment resolves to (the CI
-    matrix runs this suite under REPRO_BACKEND=dense and =sparse)."""
-    counters = type(resolve_backend(None)).stats
-    counters.reset()
-    return counters
+    matrix runs this suite under REPRO_BACKEND=dense and =sparse).  Both
+    kernels' counters reset: small nonlinear batches solve on the dense
+    kernel whatever the resolved backend (the NewtonState policy)."""
+    DenseBackend.stats.reset()
+    SparseBackend.stats.reset()
+    return type(resolve_backend(None)).stats
 
 
 class TestBatchedOpGroups:
@@ -104,14 +107,105 @@ class TestBatchedOpGroups:
             assert np.allclose(responses[index].op_result().x,
                                scalar.op_result().x, rtol=1e-12)
 
-    def test_nonlinear_groups_take_the_per_request_path(self, engine, stats):
+    def test_nonlinear_op_groups_ride_the_batch_fastpath(self, engine, stats):
+        """Nonlinear same-structure op groups batch in-process now (they
+        used to fall back to pool chunks) and match the scalar path."""
         circuit = circuits.opamp_with_bias().circuit
         requests = [AnalysisRequest(mode="op", circuit=circuit,
-                                    temperature=t) for t in (27.0, 85.0)]
+                                    variables={"vcm": v}, label=f"s{k}")
+                    for k, v in enumerate((2.45, 2.50, 2.55))]
         responses = engine.run(requests)
-        assert stats.batch_solves == 0
-        assert all(r.ok for r in responses)
+        assert engine.last_report.fastpath_requests == len(requests)
+        # The op-amp is far below the auto-sparse threshold, so the
+        # batched Newton steps solve on the dense kernel on both
+        # resolved backends (the scalar NewtonState policy).
+        assert DenseBackend.stats.batch_solves >= 1
+        assert engine.last_report.counter("newton.batch_iterations") > 0
+        for request, response in zip(requests, responses):
+            assert response.ok
+            scalar = execute_request(request)
+            assert response.fingerprint == scalar.fingerprint
+            batched_op = response.op_result()
+            scalar_op = scalar.op_result()
+            xb = np.asarray(batched_op.x)
+            xs = np.asarray(scalar_op.x)
+            scale = max(float(np.max(np.abs(xs))), 1.0)
+            assert float(np.max(np.abs(xb - xs))) <= 1e-9 * scale
+            # Result payload parity with the pool path: the per-device
+            # diagnostics block is attached on the fast path too.
+            assert set(batched_op.device_info) == set(scalar_op.device_info)
+
+    def test_nonlinear_fastpath_matches_pool_path_counters_and_cache(self):
+        """The fast path produces the same fingerprints (so cache keys),
+        the same statuses, and the same merged EngineReport totals the
+        pool path would record for the group."""
+        circuit = circuits.opamp_with_bias().circuit
+        requests = [AnalysisRequest(mode="op", circuit=circuit,
+                                    variables={"vcm": v})
+                    for v in (2.48, 2.52)]
+        # Reference: the per-request (pool-chunk) path, primed into a
+        # cache keyed exactly as the service would key it.
+        cache = ResultCache(None)
+        scalar = [execute_request(request) for request in requests]
+        for response in scalar:
+            cache.put(response.fingerprint, response.to_dict())
+        batched = execute_linear_batch(requests)
+        assert batched is not None
+        for response, reference in zip(batched, scalar):
+            assert response.status == reference.status == "done"
+            assert response.fingerprint == reference.fingerprint
+            assert cache.contains(response.fingerprint)
+        # Engine-report parity: both dispatch styles account the same
+        # number of engine requests for this workload.
+        fast_engine = BatchEngine(backend="serial")
+        fast_engine.run(requests)
+        pool_engine = BatchEngine(backend="thread", max_workers=2)
+        lone = [AnalysisRequest(mode="op", circuit=circuit,
+                                variables={"vcm": 2.48})]
+        pool_engine.run(lone)   # single request -> per-request path
+        assert fast_engine.last_report.fastpath_requests == len(requests)
+        assert pool_engine.last_report.fastpath_requests == 0
+        assert pool_engine.last_report.counter("engine.requests") == 1
+
+    def test_mixed_linear_and_nonlinear_batches_split_correctly(
+            self, engine, stats):
+        """Interleaved linear and nonlinear requests group by structure:
+        each group batches on its own kernel, order is preserved."""
+        linear = _variable_divider()
+        nonlinear = circuits.opamp_with_bias().circuit
+        requests = []
+        for k in range(3):
+            requests.append(AnalysisRequest(mode="op", circuit=linear,
+                                            variables={"rtop": 1e3 * (k + 1)},
+                                            label=f"lin{k}"))
+            requests.append(AnalysisRequest(mode="op", circuit=nonlinear,
+                                            variables={"vcm": 2.5 + 0.02 * k},
+                                            label=f"nl{k}"))
+        responses = engine.run(requests)
+        assert engine.last_report.fastpath_requests == len(requests)
+        # One batched solve per structure group; the nonlinear group's
+        # Newton steps land on the dense kernel under either backend.
+        assert stats.batch_solves + DenseBackend.stats.batch_solves >= 2
+        assert [r.label for r in responses] == [r.label for r in requests]
+        for request, response in zip(requests, responses):
+            assert response.ok
+            scalar = execute_request(request)
+            xb = np.asarray(response.op_result().x)
+            xs = np.asarray(scalar.op_result().x)
+            scale = max(float(np.max(np.abs(xs))), 1.0)
+            assert float(np.max(np.abs(xb - xs))) <= 1e-9 * scale
+
+    def test_nonlinear_ac_groups_stay_per_request(self, engine, stats):
+        circuit = circuits.opamp_with_bias().circuit
+        requests = [AnalysisRequest(mode="ac", circuit=circuit, node="output",
+                                    variables={"vcm": v},
+                                    sweep_start=1e3, sweep_stop=1e6,
+                                    sweep_points_per_decade=2)
+                    for v in (2.48, 2.52)]
         assert execute_linear_batch(requests) is None
+        responses = engine.run(requests)
+        assert engine.last_report.fastpath_requests == 0
+        assert all(r.ok for r in responses)
 
     def test_single_requests_and_other_modes_stay_scalar(self, engine, stats):
         circuit = _variable_divider()

@@ -164,6 +164,35 @@ class TestExecuteRequest:
         assert (back.all_nodes_result().loops[0].performance_index
                 == pytest.approx(response.all_nodes_result().loops[0].performance_index))
 
+    def test_convergence_history_round_trips_through_the_response(self):
+        """A non-convergence keeps its structured diagnostics — the
+        per-iteration ``history`` trail — through the JSON form of the
+        response, not just the flattened error text."""
+        from tests.analysis.test_newton_batch import _TogglingElement
+        from repro.circuit.elements import Resistor, VoltageSource
+        from repro.circuit.netlist import Circuit
+        from repro.exceptions import ConvergenceError
+
+        circuit = Circuit("never converges")
+        circuit.add(VoltageSource("V1", "in", "0", dc=5.0))
+        circuit.add(Resistor("R1", "in", "a", 1e3))
+        circuit.add(_TogglingElement("NL1", "a"))
+        circuit.variables["poison"] = 1.0
+        response = execute_request(AnalysisRequest(mode="op", circuit=circuit))
+        assert not response.ok
+        assert response.error_details["type"] == "ConvergenceError"
+        back = AnalysisResponse.from_dict(
+            json.loads(json.dumps(response.to_dict())))
+        error = back.convergence_error()
+        assert isinstance(error, ConvergenceError)
+        assert isinstance(error.history, list) and error.history
+        assert {"iteration", "delta_norm", "delta_converged"} <= \
+            set(error.history[0])
+        # Successful responses carry no details and no rebuilt error.
+        healthy = execute_request(AnalysisRequest(netlist=RLC_NETLIST))
+        assert healthy.error_details is None
+        assert healthy.convergence_error() is None
+
 
 class TestBatchEngine:
     def test_unknown_backend_rejected(self):
