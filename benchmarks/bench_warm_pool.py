@@ -1,0 +1,128 @@
+"""Warm persistent pool vs. cold per-batch workers.
+
+The acceptance bar of the PR 8 transport rework: screening the same
+topology batch-after-batch on the *persistent* pool (warm workers,
+content-addressed structure store, shared-memory value planes) must be
+at least 2x faster than standing up a fresh process pool for every
+batch, with results identical to the serial engine to 1e-9.
+
+The workload is deliberately restamp-heavy: a long RC ladder whose
+resistors carry a first-order temperature coefficient, screened across a
+temperature scatter — every sample shares the structural factorisation
+but stamps different values, which is exactly the traffic the warm pool
+is built for.
+"""
+
+import time
+
+import numpy as np
+
+from benchmarks.conftest import write_result
+from repro.circuit.builder import CircuitBuilder
+from repro.obs.metrics import global_registry
+from repro.service import AnalysisRequest, BatchEngine
+from repro.service import engine as engine_mod
+
+SECTIONS = 300
+SAMPLES = 64
+MAX_WORKERS = 2
+ROUNDS = 3
+SPEEDUP_BAR = 2.0
+
+
+def _tc_ladder():
+    """RC ladder whose resistors drift with temperature (tc1 != 0)."""
+    builder = CircuitBuilder(f"tc ladder {SECTIONS}")
+    builder.voltage_source("in", "0", dc=1.0, name="V1")
+    previous = "in"
+    for index in range(1, SECTIONS + 1):
+        node = f"n{index}"
+        builder.resistor(previous, node, 1e3, name=f"R{index}", tc1=2e-4)
+        builder.capacitor(node, "0", 1e-12, name=f"C{index}")
+        previous = node
+    return builder.build()
+
+
+def _requests(circuit):
+    return [AnalysisRequest(mode="op", circuit=circuit,
+                            temperature=-40.0 + 2.5 * index,
+                            backend="sparse", label=f"s{index}")
+            for index in range(SAMPLES)]
+
+
+def _drop_parent_compiled_cache():
+    """Forget parent-side compiled circuits so a cold batch pays the
+    structural compile again (fork would otherwise inherit it)."""
+    with engine_mod._COMPILED_CACHE_LOCK:
+        engine_mod._COMPILED_CACHE.clear()
+
+
+def _counter(name):
+    return global_registry().snapshot()["counters"].get(name, 0)
+
+
+def test_warm_pool_speedup():
+    circuit = _tc_ladder()
+    requests = _requests(circuit)
+
+    serial = BatchEngine(backend="serial").run(requests)
+    assert all(response.ok for response in serial)
+    reference = [np.asarray(response.result["x"]) for response in serial]
+
+    # Cold: a fresh, non-persistent pool per batch — every round pays
+    # worker spawn and the structural compile.
+    cold_seconds = []
+    for _ in range(ROUNDS):
+        _drop_parent_compiled_cache()
+        start = time.perf_counter()
+        engine = BatchEngine(max_workers=MAX_WORKERS, backend="process",
+                             persistent=False)
+        cold = engine.run(requests)
+        cold_seconds.append(time.perf_counter() - start)
+        assert all(response.ok for response in cold)
+
+    # Warm: one persistent engine; the untimed first run forks the
+    # workers and ships the structure once.
+    fetches_before = _counter("transport.circuit_fetches")
+    warm_seconds = []
+    with BatchEngine(max_workers=MAX_WORKERS, backend="process") as engine:
+        warm = engine.run(requests)
+        assert all(response.ok for response in warm)
+        for _ in range(ROUNDS):
+            start = time.perf_counter()
+            warm = engine.run(requests)
+            warm_seconds.append(time.perf_counter() - start)
+            assert all(response.ok for response in warm)
+        stats = engine.pool.stats()
+
+    # Zero-copy transport really engaged: one structure resident for the
+    # whole session, fetched at most once per worker (never, with fork).
+    assert stats["structures_stored"] == 1
+    assert _counter("transport.circuit_fetches") - fetches_before \
+        <= MAX_WORKERS
+    assert stats["restarts"] == 0
+
+    # Bit-for-bit agreement with the serial engine to 1e-9.
+    worst = 0.0
+    for response, want in zip(warm, reference):
+        got = np.asarray(response.result["x"])
+        scale = np.maximum(np.abs(want), 1.0)
+        worst = max(worst, float(np.max(np.abs(got - want) / scale)))
+    assert worst < 1e-9
+
+    cold_best = min(cold_seconds)
+    warm_best = min(warm_seconds)
+    speedup = cold_best / max(warm_best, 1e-12)
+
+    write_result(
+        "warm_pool.txt",
+        f"Warm persistent pool vs. cold per-batch workers\n"
+        f"  ({SAMPLES} op samples, {SECTIONS}-section tc ladder, "
+        f"{MAX_WORKERS} workers, best of {ROUNDS})\n"
+        f"  cold (spawn + compile): {1e3 * cold_best:8.1f} ms\n"
+        f"  warm (persistent pool): {1e3 * warm_best:8.1f} ms\n"
+        f"  speedup:                {speedup:8.1f}x\n"
+        f"  max |warm - serial| / max(|serial|, 1): {worst:.2e}\n")
+    assert speedup >= SPEEDUP_BAR, (
+        f"warm pool must be >= {SPEEDUP_BAR}x faster than cold per-batch "
+        f"workers (got {speedup:.2f}x)")

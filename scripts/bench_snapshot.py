@@ -5,7 +5,9 @@ Monte Carlo operating points, warm-started DC transfer sweeps, Monte
 Carlo screening throughput, the sample-axis batch kernel
 (restamp_batch + solve_batch vs. the per-sample compiled loop), the
 batched masked Newton engine (one value plane for a whole nonlinear
-Monte Carlo screen vs. per-sample compiled Newton), the
+Monte Carlo screen vs. per-sample compiled Newton), the warm
+persistent-pool transport (one warm batch vs. standing up a fresh
+process pool), the
 sparse-vs-dense backend speedup and the observability overhead (disabled
 span price, traced-vs-untraced ratio, engine counters) — and writes
 ``BENCH_parametric.json``
@@ -266,6 +268,44 @@ def observability_overhead(samples: int = 128) -> dict:
                 report.run_metrics["counters"].items()))}
 
 
+def warm_pool_speedup(samples: int) -> dict:
+    """Warm persistent pool vs. a fresh process pool per batch (see
+    benchmarks/bench_warm_pool.py) plus the transport counters."""
+    from benchmarks.bench_warm_pool import (
+        MAX_WORKERS,
+        _drop_parent_compiled_cache,
+        _tc_ladder,
+    )
+    from repro.service import AnalysisRequest, BatchEngine
+
+    circuit = _tc_ladder()
+    requests = [AnalysisRequest(mode="op", circuit=circuit,
+                                temperature=-40.0 + 2.0 * index,
+                                backend="sparse", label=f"s{index}")
+                for index in range(samples)]
+    _drop_parent_compiled_cache()
+    started = time.perf_counter()
+    cold_engine = BatchEngine(max_workers=MAX_WORKERS, backend="process",
+                              persistent=False)
+    cold_engine.run(requests)
+    cold_seconds = time.perf_counter() - started
+    with BatchEngine(max_workers=MAX_WORKERS,
+                     backend="process") as engine:
+        engine.run(requests)                                # warm-up
+        started = time.perf_counter()
+        engine.run(requests)
+        warm_seconds = time.perf_counter() - started
+        stats = engine.pool.stats()
+    return {"samples": samples,
+            "max_workers": MAX_WORKERS,
+            "cold_seconds": round(cold_seconds, 3),
+            "warm_seconds": round(warm_seconds, 3),
+            "speedup": round(cold_seconds / max(warm_seconds, 1e-9), 2),
+            "structures_stored": stats["structures_stored"],
+            "steals": stats["steals"],
+            "restarts": stats["restarts"]}
+
+
 def backend_speedup(sections: int = 1000) -> dict:
     """Sparse vs. dense AC sweep on the big ladder (see bench_linalg_backends)."""
     from repro.analysis import ac_analysis
@@ -307,6 +347,7 @@ def main(argv=None) -> int:
         "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
         "batch_solve": batch_solve_speedup(args.samples),
         "newton_batch": newton_batch_speedup(max(args.samples // 2, 32)),
+        "warm_pool": warm_pool_speedup(max(args.samples // 4, 16)),
         "backends": backend_speedup(),
         "observability": observability_overhead(max(args.samples // 2, 32)),
     }

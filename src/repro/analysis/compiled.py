@@ -595,6 +595,46 @@ class BatchStampState:
         """The shared ``C`` pattern (structural view into the circuit)."""
         return self.compiled.pattern_C
 
+    #: The value planes that fully describe the batch's numeric side, in
+    #: a fixed transportable order (see :meth:`export_planes`).
+    PLANE_FIELDS = ("g_values", "c_values", "b_dc", "b_ac",
+                    "temperatures", "gmins")
+
+    def export_planes(self) -> Dict[str, np.ndarray]:
+        """The batch's value planes as ``{field: array}`` — zero-copy.
+
+        The returned arrays *are* the batch's own (``(N, nnz)`` stamp
+        planes, ``(N, n)`` right-hand sides, ``(N,)`` conditions), not
+        copies: this is the export half of the engine's shared-memory
+        transport, which writes them into one block and rebuilds the
+        batch on the worker with :meth:`from_planes`.  Restamp failures
+        and per-sample variable rows are *not* part of the planes — they
+        travel in the task descriptor (failures) or stay parent-side
+        (variable rows drive only the scalar fallback path).
+        """
+        return {name: getattr(self, name) for name in self.PLANE_FIELDS}
+
+    @classmethod
+    def from_planes(cls, compiled: "CompiledCircuit",
+                    planes: Dict[str, np.ndarray],
+                    failures: Optional[Dict[int, Exception]] = None
+                    ) -> "BatchStampState":
+        """Rebuild a batch over externally supplied value planes.
+
+        The inverse of :meth:`export_planes`: ``planes`` maps each
+        :attr:`PLANE_FIELDS` name to an array (typically a view into a
+        mapped shared-memory block — no copies are made, so a row slice
+        of a bigger batch works directly).  The reconstructed batch is
+        marked ``vectorized`` and carries empty variable rows: consumers
+        that need the scalar per-sample context (the batched Newton
+        demotion ladder) must run where the original batch lives.
+        """
+        return cls(compiled,
+                   planes["g_values"], planes["c_values"],
+                   planes["b_dc"], planes["b_ac"],
+                   planes["temperatures"], planes["gmins"],
+                   failures=failures)
+
     def sample(self, index: int) -> StampState:
         """Scenario ``index`` as a scalar :class:`StampState` (views, no
         copies) — the bridge back into every single-scenario analysis."""

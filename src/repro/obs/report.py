@@ -24,7 +24,8 @@ from repro.obs.metrics import (
 __all__ = ["EngineReport", "REPORT_SCHEMA_VERSION"]
 
 #: Version stamped into serialized reports; bump on layout changes.
-REPORT_SCHEMA_VERSION = 1
+#: v2 added the persistent-pool telemetry block (``pool``).
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -53,6 +54,12 @@ class EngineReport:
     run_metrics:
         The parent process registry delta over the whole run, *including*
         the folded-in worker deltas: the total metric cost of the run.
+    pool:
+        Persistent-pool telemetry (:meth:`~repro.service.pool.WorkerPool.
+        stats`): warm worker count and pids, restarts/re-dispatches/
+        recycles, work-steal and stale-result counts, resident structure
+        blocks, and lifetime tasks per worker.  ``None`` when the run
+        never touched a persistent pool.
     """
 
     requests: int = 0
@@ -64,6 +71,7 @@ class EngineReport:
     chunk_seconds: List[float] = field(default_factory=list)
     worker_metrics: dict = field(default_factory=empty_snapshot)
     run_metrics: dict = field(default_factory=empty_snapshot)
+    pool: Optional[dict] = None
 
     # ------------------------------------------------------------------
     def add_worker_delta(self, delta: dict) -> None:
@@ -85,7 +93,8 @@ class EngineReport:
                 "backend": self.backend,
                 "chunk_seconds": list(self.chunk_seconds),
                 "worker_metrics": self.worker_metrics,
-                "run_metrics": self.run_metrics}
+                "run_metrics": self.run_metrics,
+                "pool": self.pool}
 
     @classmethod
     def from_dict(cls, data: dict) -> "EngineReport":
@@ -99,7 +108,8 @@ class EngineReport:
                                   data.get("chunk_seconds", [])],
                    worker_metrics=data.get("worker_metrics",
                                            empty_snapshot()),
-                   run_metrics=data.get("run_metrics", empty_snapshot()))
+                   run_metrics=data.get("run_metrics", empty_snapshot()),
+                   pool=data.get("pool"))
 
     def format(self) -> str:
         """A short human-readable summary (the CLI ``--stats`` footer)."""
@@ -115,6 +125,13 @@ class EngineReport:
                 f"  chunk wall time: min {min(self.chunk_seconds):.3f}s, "
                 f"max {max(self.chunk_seconds):.3f}s, "
                 f"total {sum(self.chunk_seconds):.3f}s")
+        if self.pool is not None:
+            lines.append(
+                f"  pool: {self.pool.get('warm_workers', 0)}/"
+                f"{self.pool.get('max_workers', 0)} warm workers, "
+                f"{self.pool.get('structures_stored', 0)} structures "
+                f"resident, {self.pool.get('steals', 0)} steals, "
+                f"{self.pool.get('restarts', 0)} restarts")
         counters = self.run_metrics.get("counters", {})
         if counters:
             lines.append("  counters:")

@@ -13,8 +13,9 @@ future work, built from four pieces:
   of element order, node aliases, hierarchy or titles.
 * :mod:`repro.service.cache` — the two-tier result cache.
 * :mod:`repro.service.engine` — :class:`BatchEngine`, which fans request
-  batches out over a ``ProcessPoolExecutor`` with per-request failure
-  isolation and progress callbacks.
+  batches out over a persistent warm :class:`~repro.service.pool.
+  WorkerPool` (zero-copy shared-memory transport, work-stealing
+  scheduling, per-request failure isolation, progress callbacks).
 * :mod:`repro.service.scenarios` — Monte Carlo sampling of design
   variables and temperature into request batches, reduced to
   stability-yield statistics.
@@ -46,6 +47,7 @@ disk and are promoted back on their next hit.
 
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.engine import BatchEngine, execute_request
+from repro.service.pool import WorkerPool
 from repro.service.requests import AnalysisRequest, AnalysisResponse, expand_corners
 from repro.service.scenarios import (
     Distribution,
@@ -86,6 +88,7 @@ __all__ = [
     "StabilityCriteria",
     "StabilityService",
     "SweepEnvelope",
+    "WorkerPool",
     "YieldSummary",
     "dc_sweep_envelope",
     "execute_request",

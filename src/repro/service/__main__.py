@@ -150,7 +150,10 @@ def _make_service(args) -> StabilityService:
     cache_dir = None if args.no_cache else args.cache_dir
     cache = ResultCache(cache_dir)
     return StabilityService(cache=cache, max_workers=args.workers,
-                            backend=args.backend)
+                            backend=args.backend,
+                            persistent=not args.no_persistent_pool,
+                            compiled_cache_size=args.compiled_cache,
+                            pool_idle_timeout=args.pool_idle_timeout)
 
 
 def _add_service_options(parser: argparse.ArgumentParser) -> None:
@@ -162,6 +165,18 @@ def _add_service_options(parser: argparse.ArgumentParser) -> None:
                         help="pool size (default: CPU count, capped at 8)")
     parser.add_argument("--backend", choices=("process", "thread", "serial"),
                         default="process", help="batch execution backend")
+    parser.add_argument("--no-persistent-pool", action="store_true",
+                        help="tear the worker pool down after every batch "
+                             "instead of keeping workers (and their "
+                             "compiled-circuit caches) warm")
+    parser.add_argument("--pool-idle-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="recycle idle persistent-pool workers after "
+                             "this many seconds (default: never)")
+    parser.add_argument("--compiled-cache", type=int, default=None,
+                        metavar="N",
+                        help="compiled-circuit LRU entries per worker "
+                             "(default: REPRO_COMPILED_CACHE or 8)")
     parser.add_argument("--solver-backend",
                         choices=("auto",) + available_backends(),
                         default=None, dest="solver_backend",
@@ -222,8 +237,11 @@ def _progress_printer(quiet: bool):
 
 def cmd_analyze(args) -> int:
     service = _make_service(args)
-    with _telemetry(args, service):
-        return _run_analyze(args, service)
+    try:
+        with _telemetry(args, service):
+            return _run_analyze(args, service)
+    finally:
+        service.close()
 
 
 def _run_analyze(args, service: StabilityService) -> int:
@@ -276,8 +294,11 @@ def _run_analyze(args, service: StabilityService) -> int:
 
 def cmd_montecarlo(args) -> int:
     service = _make_service(args)
-    with _telemetry(args, service):
-        return _run_montecarlo(args, service)
+    try:
+        with _telemetry(args, service):
+            return _run_montecarlo(args, service)
+    finally:
+        service.close()
 
 
 def _run_montecarlo(args, service: StabilityService) -> int:

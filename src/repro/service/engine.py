@@ -45,16 +45,18 @@ per-request path without disturbing its batchmates.
 from __future__ import annotations
 
 import concurrent.futures
-import hashlib
 import os
+import pickle
 import threading
 import time
 import traceback
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.analysis.ac import ac_analysis, solve_ac_batch
-from repro.analysis.compiled import CompiledCircuit
+from repro.analysis.compiled import BatchStampState, CompiledCircuit
 from repro.analysis.dcsweep import dc_sweep
 from repro.analysis.op import (
     batch_device_info,
@@ -72,7 +74,7 @@ from repro.core.report import (
     format_single_node_report,
 )
 from repro.core.single_node import analyze_node
-from repro.exceptions import ConvergenceError, ToolError
+from repro.exceptions import AnalysisError, ConvergenceError, ToolError
 from repro.obs.metrics import global_registry, subtract_snapshots
 from repro.obs.report import EngineReport
 from repro.obs.trace import (
@@ -80,10 +82,13 @@ from repro.obs.trace import (
     current_tracer,
     span as _span,
 )
+from repro.service import shm as shm_transport
+from repro.service.pool import TASK_CHUNK, TASK_SOLVE, WorkerPool
 from repro.service.requests import AnalysisRequest, AnalysisResponse
 
 __all__ = ["BatchEngine", "execute_linear_batch", "execute_request",
-           "execute_request_chunk"]
+           "execute_request_chunk", "execute_solve_task",
+           "set_compiled_cache_size"]
 
 #: Progress callback: ``f(completed_count, total_count, response)``.
 ProgressCallback = Callable[[int, int, AnalysisResponse], None]
@@ -96,13 +101,51 @@ _BACKENDS = ("process", "thread", "serial")
 #: The lock matters for the thread pool backend, where concurrent LRU
 #: bookkeeping would otherwise race.
 _COMPILED_CACHE: "OrderedDict[str, CompiledCircuit]" = OrderedDict()
-_COMPILED_CACHE_SIZE = 8
 _COMPILED_CACHE_LOCK = threading.Lock()
+
+#: Environment override for the per-process compiled-structure LRU size.
+COMPILED_CACHE_ENV_VAR = "REPRO_COMPILED_CACHE"
+_COMPILED_CACHE_DEFAULT = 8
+
+
+def _default_compiled_cache_size() -> int:
+    """The compiled-cache size from ``REPRO_COMPILED_CACHE`` (min 1)."""
+    raw = os.environ.get(COMPILED_CACHE_ENV_VAR, "").strip()
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            pass
+    return _COMPILED_CACHE_DEFAULT
+
+
+_COMPILED_CACHE_SIZE = _default_compiled_cache_size()
 
 # Direct metric references (creation is cached per name; holding the
 # objects keeps the per-request hot path off the registry dict).
 _REQUESTS_COUNTER = global_registry().counter("engine.requests")
 _FAILED_COUNTER = global_registry().counter("engine.requests_failed")
+_CACHE_HITS = global_registry().counter("engine.compile_cache.hits")
+_CACHE_MISSES = global_registry().counter("engine.compile_cache.misses")
+_CACHE_EVICTIONS = global_registry().counter("engine.compile_cache.evictions")
+_CIRCUIT_FETCHES = global_registry().counter("transport.circuit_fetches")
+
+
+def set_compiled_cache_size(size: int) -> None:
+    """Resize this process's compiled-structure LRU (evicting oldest).
+
+    Workers of a persistent pool call this on startup with the engine's
+    ``compiled_cache_size`` so every process in the fleet agrees on the
+    residency budget; the initial value comes from the
+    ``REPRO_COMPILED_CACHE`` environment variable (default 8).
+    """
+    global _COMPILED_CACHE_SIZE
+    size = max(1, int(size))
+    with _COMPILED_CACHE_LOCK:
+        _COMPILED_CACHE_SIZE = size
+        while len(_COMPILED_CACHE) > size:
+            _COMPILED_CACHE.popitem(last=False)
+            _CACHE_EVICTIONS.inc()
 
 
 def _safe_fingerprint(request: AnalysisRequest) -> str:
@@ -114,31 +157,127 @@ def _safe_fingerprint(request: AnalysisRequest) -> str:
         return ""
 
 
-def _compiled_for(request: AnalysisRequest) -> Optional[CompiledCircuit]:
+def _cache_put(key: str, compiled: CompiledCircuit,
+               cache_size: Optional[int] = None) -> None:
+    limit = int(cache_size) if cache_size else _COMPILED_CACHE_SIZE
+    with _COMPILED_CACHE_LOCK:
+        _COMPILED_CACHE[key] = compiled
+        while len(_COMPILED_CACHE) > max(1, limit):
+            _COMPILED_CACHE.popitem(last=False)
+            _CACHE_EVICTIONS.inc()
+
+
+def _cache_get(key: str) -> Optional[CompiledCircuit]:
+    with _COMPILED_CACHE_LOCK:
+        compiled = _COMPILED_CACHE.get(key)
+        if compiled is not None:
+            _CACHE_HITS.inc()
+            _COMPILED_CACHE.move_to_end(key)
+            return compiled
+    _CACHE_MISSES.inc()
+    return None
+
+
+def _compiled_for(request: AnalysisRequest,
+                  cache_size: Optional[int] = None
+                  ) -> Optional[CompiledCircuit]:
     """Compiled structure for the request's circuit (process-local LRU).
 
     Returns ``None`` when the circuit cannot be fingerprinted or compiled
     — the caller then falls back to the classic rebuild path, and the
     analysis reports the underlying problem with its usual diagnostics.
+    Hits, misses and evictions are counted under
+    ``engine.compile_cache.*`` (workers ship them home in their metric
+    deltas, making warm-pool reuse visible in the engine report).
     """
     try:
         key = request.structure_fingerprint()
     except Exception:
         return None
-    with _COMPILED_CACHE_LOCK:
-        compiled = _COMPILED_CACHE.get(key)
-        if compiled is not None:
-            _COMPILED_CACHE.move_to_end(key)
-            return compiled
+    compiled = _cache_get(key)
+    if compiled is not None:
+        return compiled
     try:
         compiled = CompiledCircuit(request.resolved_circuit())
     except Exception:
         return None
-    with _COMPILED_CACHE_LOCK:
-        _COMPILED_CACHE[key] = compiled
-        while len(_COMPILED_CACHE) > _COMPILED_CACHE_SIZE:
-            _COMPILED_CACHE.popitem(last=False)
+    _cache_put(key, compiled, cache_size)
     return compiled
+
+
+def _compiled_from_structure(fingerprint: str,
+                             block_name: str) -> CompiledCircuit:
+    """Compiled structure for a content-addressed solve task.
+
+    The pool's zero-copy path: the compiled-circuit LRU is keyed by the
+    same structure fingerprint the pickle path uses, so a worker that
+    already holds the topology — from an earlier task, an earlier batch,
+    or inherited from the parent at fork — never touches the shared-
+    memory structure block at all.  A miss fetches the pickled circuit
+    from the :class:`~repro.service.shm.StructureStore` block (counted
+    as ``transport.circuit_fetches``: the proof that a structure is
+    serialized to a given worker at most once per pool lifetime).
+    """
+    compiled = _cache_get(fingerprint)
+    if compiled is not None:
+        return compiled
+    payload = shm_transport.fetch_structure(block_name)
+    _CIRCUIT_FETCHES.inc()
+    compiled = CompiledCircuit(pickle.loads(payload))
+    _cache_put(fingerprint, compiled)
+    return compiled
+
+
+def execute_solve_task(descriptor: dict) -> dict:
+    """Worker half of the zero-copy transport: solve one row range.
+
+    ``descriptor`` names the structure fingerprint + store block, the
+    plane block (the parent's ``BatchStampState.export_planes`` layout),
+    the output block and a ``rows`` range.  The worker rebuilds a
+    row-sliced batch over mapped views (:meth:`~repro.analysis.compiled.
+    BatchStampState.from_planes` — no copies), solves it, and writes the
+    result vectors straight into the output block.  Returns
+    ``{"rows": [start, stop], "failed": [...absolute sample indices]}``;
+    exceptions propagate to the pool, which reports a clean ``error``
+    outcome (the parent then recomputes the range locally with full
+    per-request diagnostics).
+    """
+    start, stop = descriptor["rows"]
+    compiled = _compiled_from_structure(descriptor["fingerprint"],
+                                        descriptor["structure"])
+    planes = shm_transport.attach_block(descriptor["planes"])
+    output = shm_transport.attach_block(descriptor["output"])
+    batch = arrays = None
+    try:
+        arrays = {name: view[start:stop]
+                  for name, view in planes.arrays.items()}
+        try:
+            compiled.pattern_G       # already structurally compiled?
+        except Exception:
+            # One structural pass per worker per topology; values are
+            # irrelevant (the batch below carries the real planes).
+            compiled.restamp(temperature=27.0)
+        failures = {int(k) - start:
+                    AnalysisError("restamp failed in the submitting process")
+                    for k in descriptor.get("failed", ())}
+        batch = BatchStampState.from_planes(compiled, arrays,
+                                            failures=failures)
+        backend = descriptor.get("backend")
+        x, solve_failures = solve_linear_dc_batch(batch, backend=backend)
+        output.arrays["x"][start:stop] = x
+        failed = {int(k) + start for k in solve_failures}
+        if descriptor["mode"] == "ac":
+            frequencies = np.asarray(descriptor["frequencies"], dtype=float)
+            data, ac_failures = solve_ac_batch(batch, frequencies,
+                                               backend=backend)
+            output.arrays["ac"][start:stop] = data
+            failed.update(int(k) + start for k in ac_failures)
+        return {"rows": [start, stop], "failed": sorted(failed)}
+    finally:
+        # Drop every view into the mapped buffers before unmapping.
+        batch = arrays = None  # noqa: F841
+        planes.close()
+        output.close()
 
 
 def execute_request(request: AnalysisRequest) -> AnalysisResponse:
@@ -261,7 +400,8 @@ def execute_request_chunk(requests: Sequence[AnalysisRequest]
 
 
 def execute_linear_batch(requests: Sequence[AnalysisRequest],
-                         prefer_pool_for_sparse: bool = False
+                         prefer_pool_for_sparse: bool = False,
+                         cache_size: Optional[int] = None
                          ) -> Optional[List[AnalysisResponse]]:
     """Run one same-structure group of ``op``/``ac`` requests through the
     batched restamp+solve kernel, in this process.
@@ -291,7 +431,7 @@ def execute_linear_batch(requests: Sequence[AnalysisRequest],
     started = time.time()
     first = requests[0]
     try:
-        compiled = _compiled_for(first)
+        compiled = _compiled_for(first, cache_size=cache_size)
         if compiled is None:
             return None
         nonlinear = not compiled.is_linear
@@ -367,6 +507,60 @@ def execute_linear_batch(requests: Sequence[AnalysisRequest],
     return responses
 
 
+class _ShmGroupPlan:
+    """One same-structure group travelling the zero-copy transport.
+
+    Owns the group's plane and output blocks (the structure block
+    belongs to the pool's :class:`~repro.service.shm.StructureStore`),
+    the row ranges its solve tasks cover, and the per-slot
+    :class:`~repro.service.pool.TaskOutcome` collected by the dispatch
+    loop.  :meth:`descriptor` is the entire per-task payload — a handful
+    of names and numbers, never the arrays themselves.
+    """
+
+    __slots__ = ("indices", "mode", "backend", "fingerprint", "structure",
+                 "names", "frequencies", "failures", "planes", "output",
+                 "ranges", "outcomes", "started")
+
+    def __init__(self, indices, mode, backend, fingerprint, structure,
+                 names, frequencies, failures, planes, output, ranges):
+        self.indices = indices
+        self.mode = mode
+        self.backend = backend
+        self.fingerprint = fingerprint
+        self.structure = structure
+        self.names = names
+        self.frequencies = frequencies
+        self.failures = failures
+        self.planes = planes
+        self.output = output
+        self.ranges = ranges
+        self.outcomes: List[Optional[object]] = [None] * len(ranges)
+        self.started = time.time()
+
+    def descriptor(self, slot: int) -> dict:
+        start, stop = self.ranges[slot]
+        descriptor = {
+            "fingerprint": self.fingerprint,
+            "structure": self.structure,
+            "planes": self.planes.name,
+            "output": self.output.name,
+            "rows": [start, stop],
+            "mode": self.mode,
+            "backend": self.backend,
+            "failed": [k for k in self.failures if start <= k < stop],
+        }
+        if self.frequencies is not None:
+            descriptor["frequencies"] = [float(f) for f in self.frequencies]
+        return descriptor
+
+    def release(self) -> None:
+        """Unlink the group's plane and output blocks (idempotent)."""
+        for block in (self.planes, self.output):
+            block.close()
+            block.unlink()
+
+
 class BatchEngine:
     """Fans a batch of requests out over a local worker pool.
 
@@ -379,10 +573,29 @@ class BatchEngine:
         "process" (default) bypasses the GIL entirely, "thread" avoids the
         process spawn cost for tiny batches, "serial" runs in-line (useful
         for debugging: breakpoints and profilers see the analysis frames).
+    persistent:
+        On the process backend (only), keep a warm
+        :class:`~repro.service.pool.WorkerPool` across ``run()`` calls:
+        workers (and their compiled-circuit LRUs) survive between
+        batches, same-structure groups move through the zero-copy
+        shared-memory transport, and tasks are work-stealing scheduled.
+        ``False`` restores the per-run executor (the cold baseline).
+        Call :meth:`close` — or use the engine as a context manager —
+        to stop the workers and unlink the shared memory.
+    compiled_cache_size:
+        Per-process compiled-structure LRU size, applied to this
+        engine's in-process fast path and shipped to every pool worker
+        (``None``: the ``REPRO_COMPILED_CACHE`` default, 8).
+    pool_idle_timeout:
+        Seconds of engine inactivity after which the persistent pool
+        recycles its workers and shared memory (``None``: never); the
+        pool restarts lazily on the next run.
     """
 
     def __init__(self, max_workers: Optional[int] = None,
-                 backend: str = "process"):
+                 backend: str = "process", persistent: bool = True,
+                 compiled_cache_size: Optional[int] = None,
+                 pool_idle_timeout: Optional[float] = None):
         if backend not in _BACKENDS:
             raise ToolError(f"unknown backend {backend!r}; "
                             f"expected one of {_BACKENDS}")
@@ -390,14 +603,62 @@ class BatchEngine:
             max_workers = min(os.cpu_count() or 1, 8)
         if max_workers < 1:
             raise ToolError("max_workers must be at least 1")
+        if compiled_cache_size is not None and int(compiled_cache_size) < 1:
+            raise ToolError("compiled_cache_size must be at least 1")
         self.max_workers = int(max_workers)
         self.backend = backend
+        self.persistent = bool(persistent) and backend == "process"
+        self.compiled_cache_size = (int(compiled_cache_size)
+                                    if compiled_cache_size is not None
+                                    else None)
+        self.pool_idle_timeout = pool_idle_timeout
+        self._pool: Optional[WorkerPool] = None
+        self._pool_lock = threading.Lock()
         #: Telemetry of the most recent :meth:`run` (None before any).
         self.last_report: Optional[EngineReport] = None
 
     #: Minimum group size for the in-process batched fast path — a
     #: single request gains nothing from a batch kernel.
     BATCH_FASTPATH_MIN = 2
+
+    #: Work-stealing granularity: each structure group is cut into about
+    #: this many tasks per worker, so fast workers drain the tail
+    #: instead of idling behind one pre-split straggler chunk.
+    STEAL_FACTOR = 4
+
+    # ------------------------------------------------------------------
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The persistent worker pool (``None`` until first needed)."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = WorkerPool(
+                    self.max_workers,
+                    compiled_cache_size=self.compiled_cache_size,
+                    idle_timeout=self.pool_idle_timeout)
+            return self._pool
+
+    def close(self) -> None:
+        """Stop the persistent pool and unlink its shared memory.
+
+        Idempotent; the engine remains usable — a later :meth:`run`
+        lazily builds a fresh pool.  Non-persistent engines have nothing
+        to release, so this is always safe to call.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "BatchEngine":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     def run(self, requests: Sequence[AnalysisRequest],
@@ -449,6 +710,8 @@ class BatchEngine:
                 else:
                     self._run_pool(requests, remaining, emit, report)
         report.elapsed_seconds = time.perf_counter() - started
+        if self._pool is not None:
+            report.pool = self._pool.stats()
         registry.counter("engine.runs").inc()
         registry.counter("engine.fastpath_requests").inc(
             report.fastpath_requests)
@@ -499,7 +762,8 @@ class BatchEngine:
                        group_size=len(indices)) as fastpath_span:
                 group = execute_linear_batch(
                     [requests[i] for i in indices],
-                    prefer_pool_for_sparse=(self.backend == "process"))
+                    prefer_pool_for_sparse=(self.backend == "process"),
+                    cache_size=self.compiled_cache_size)
                 fastpath_span.set(batched=group is not None)
             if group is None:          # unbatchable topology: normal path
                 remaining.extend(indices)
@@ -527,7 +791,10 @@ class BatchEngine:
             except Exception:
                 return ("ungroupable", index)
         if request.netlist is not None:
-            return hashlib.sha256(request.netlist.encode("utf-8")).hexdigest()
+            # Memoised on the request instance: fastpath grouping and
+            # pool chunking both key the same batch, and re-hashing a
+            # large netlist twice per request is pure waste.
+            return request.netlist_text_hash()
         return ("ungroupable", index)
 
     def _chunk_by_structure(self, requests: Sequence[AnalysisRequest],
@@ -554,21 +821,38 @@ class BatchEngine:
                 chunks.append(group[start:start + per_chunk])
         return chunks
 
+    def _steal_chunk_size(self, total: int) -> int:
+        """Rows per work-stealing task: about ``STEAL_FACTOR`` tasks per
+        worker, so the queue always has a tail for fast workers to drain."""
+        return max(1, -(-total // (self.max_workers * self.STEAL_FACTOR)))
+
     def _run_pool(self, requests: Sequence[AnalysisRequest],
                   indices: Sequence[int], emit,
                   report: Optional[EngineReport] = None) -> None:
         """Dispatch the given request indices over the worker pool.
 
-        Each chunk comes back as ``(responses, metric_delta)``.  On the
+        On the persistent process backend this hands off to
+        :meth:`_run_persistent` (warm workers, shared-memory transport,
+        work-stealing queue).  Otherwise a per-run executor is built:
+        each chunk comes back as ``(responses, metric_delta)``.  On the
         process backend the delta is the only surviving record of the
         worker's solver/cache work, so it is folded into both the parent
         registry and ``report.worker_metrics``; thread-pool chunks
         already mutate the parent registry directly (one shared process),
         so merging their deltas would double-count.
         """
+        if self.persistent and self.backend == "process":
+            self._run_persistent(requests, indices, emit, report)
+            return
         if self.backend == "process":
+            initargs = ()
+            initializer = None
+            if self.compiled_cache_size is not None:
+                initializer = set_compiled_cache_size
+                initargs = (self.compiled_cache_size,)
             executor = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.max_workers)
+                max_workers=self.max_workers, initializer=initializer,
+                initargs=initargs)
         else:
             executor = concurrent.futures.ThreadPoolExecutor(
                 max_workers=self.max_workers)
@@ -615,3 +899,216 @@ class BatchEngine:
                         report.chunk_seconds.append(chunk_hist["sum"])
                 for index, response in zip(chunk, chunk_responses):
                     emit(index, response)
+
+    # ------------------------------------------------------------------
+    # Persistent pool: warm workers + zero-copy transport + work stealing
+    # ------------------------------------------------------------------
+    def _run_persistent(self, requests: Sequence[AnalysisRequest],
+                        indices: Sequence[int], emit,
+                        report: Optional[EngineReport] = None) -> None:
+        """Dispatch over the long-lived :class:`WorkerPool`.
+
+        Structure groups eligible for the batch kernel travel the
+        zero-copy shared-memory transport (:meth:`_plan_shm_group`):
+        the circuit ships content-addressed through the pool's
+        structure store, value planes go into one block per group, and
+        each solve task is a row range into those blocks.  Everything
+        else falls back to pickled request chunks
+        (:func:`execute_request_chunk`) on the same work-stealing queue.
+        Either way the group is cut into ``~STEAL_FACTOR`` tasks per
+        worker so fast workers drain the tail.
+        """
+        pool = self._ensure_pool()
+        registry = global_registry()
+        tasks: List[Tuple[str, object]] = []
+        handlers: List[tuple] = []
+        plans: List[_ShmGroupPlan] = []
+        groups: "OrderedDict[object, List[int]]" = OrderedDict()
+        for index in indices:
+            groups.setdefault(self._group_key(requests[index], index),
+                              []).append(index)
+        for group in groups.values():
+            plan = None
+            if len(group) >= self.BATCH_FASTPATH_MIN:
+                plan = self._plan_shm_group(requests, group, pool)
+            if plan is not None:
+                plans.append(plan)
+                for slot in range(len(plan.ranges)):
+                    tasks.append((TASK_SOLVE, plan.descriptor(slot)))
+                    handlers.append(("solve", plan, slot))
+                continue
+            per_chunk = self._steal_chunk_size(len(group))
+            for start in range(0, len(group), per_chunk):
+                chunk = group[start:start + per_chunk]
+                tasks.append((TASK_CHUNK, [requests[i] for i in chunk]))
+                handlers.append(("chunk", chunk))
+        if report is not None:
+            report.chunks = len(tasks)
+        registry.counter("engine.chunks").inc(len(tasks))
+        try:
+            for position, outcome in pool.run_tasks(tasks):
+                if outcome.delta is not None:
+                    registry.merge(outcome.delta)
+                    if report is not None:
+                        report.add_worker_delta(outcome.delta)
+                handler = handlers[position]
+                if handler[0] == "chunk":
+                    self._finish_chunk_task(requests, handler[1], outcome,
+                                            emit, report)
+                else:
+                    handler[1].outcomes[handler[2]] = outcome
+            for plan in plans:
+                self._finalize_shm_plan(requests, plan, emit)
+        finally:
+            for plan in plans:
+                plan.release()
+
+    def _plan_shm_group(self, requests: Sequence[AnalysisRequest],
+                        group: Sequence[int],
+                        pool: WorkerPool) -> Optional[_ShmGroupPlan]:
+        """Plan the zero-copy transport for one structure group.
+
+        Eligibility mirrors the in-process fast path: every request in
+        the group must share one fastpath key (mode, structure,
+        effective backend, sweep) and the compiled circuit must be
+        linear.  The parent restamps the whole group once
+        (:meth:`~repro.analysis.CompiledCircuit.restamp_batch`), copies
+        the value planes into a shared-memory block, stores the pickled
+        circuit content-addressed (at most one copy per structure per
+        pool lifetime) and cuts the sample axis into work-stealing row
+        ranges.  Returns ``None`` when the group cannot take this path
+        — the caller falls back to pickled chunks.
+        """
+        first = requests[group[0]]
+        keys = {self._fastpath_key(requests[i], i) for i in group}
+        if len(keys) != 1 or None in keys:
+            return None
+        compiled = _compiled_for(first, cache_size=self.compiled_cache_size)
+        if compiled is None or not compiled.is_linear:
+            return None
+        try:
+            fingerprint = first.structure_fingerprint()
+            payload = pickle.dumps(first.resolved_circuit(),
+                                   protocol=pickle.HIGHEST_PROTOCOL)
+            structure_name, _ = pool.structure_store.put(fingerprint, payload)
+            batch = compiled.restamp_batch(
+                variables=[dict(requests[i].variables) for i in group],
+                temperature=[requests[i].temperature for i in group],
+                gmin=[requests[i].gmin for i in group])
+            frequencies = first.sweep().frequencies \
+                if first.mode == "ac" else None
+            planes = shm_transport.create_block(batch.export_planes())
+        except Exception:
+            return None
+        try:
+            total = len(group)
+            specs = {"x": ((total, compiled.size), np.float64)}
+            if frequencies is not None:
+                specs["ac"] = ((total, len(frequencies), compiled.size),
+                               np.complex128)
+            output = shm_transport.create_empty_block(specs)
+        except Exception:
+            planes.close()
+            planes.unlink()
+            return None
+        per_chunk = self._steal_chunk_size(total)
+        ranges = [(start, min(start + per_chunk, total))
+                  for start in range(0, total, per_chunk)]
+        return _ShmGroupPlan(
+            indices=list(group), mode=first.mode, backend=first.backend,
+            fingerprint=fingerprint, structure=structure_name,
+            names=list(compiled.variable_names), frequencies=frequencies,
+            failures=dict(batch.failures), planes=planes, output=output,
+            ranges=ranges)
+
+    def _finish_chunk_task(self, requests: Sequence[AnalysisRequest],
+                           chunk: Sequence[int], outcome, emit,
+                           report: Optional[EngineReport] = None) -> None:
+        """Emit one pickled chunk's responses (or correlatable failures)."""
+        if outcome.status == "done":
+            if report is not None and outcome.delta is not None:
+                chunk_hist = outcome.delta.get("histograms", {}).get(
+                    "engine.chunk_seconds")
+                if chunk_hist and chunk_hist.get("count") == 1:
+                    report.chunk_seconds.append(chunk_hist["sum"])
+            for index, response in zip(chunk, outcome.payload):
+                emit(index, response)
+            return
+        # Worker crash ("lost") or an in-worker transport error: isolate
+        # it to this chunk's requests, fingerprints computed guardedly.
+        for index in chunk:
+            request = requests[index]
+            emit(index, AnalysisResponse(
+                fingerprint=_safe_fingerprint(request), mode=request.mode,
+                status="failed", label=request.label,
+                error=f"worker failure: {outcome.error}",
+                traceback=outcome.traceback))
+
+    def _finalize_shm_plan(self, requests: Sequence[AnalysisRequest],
+                           plan: _ShmGroupPlan, emit) -> None:
+        """Turn one plan's output block into per-request responses.
+
+        Per-row triage: rows whose solve task came back ``done`` are
+        materialised straight from the output block; rows that failed to
+        restamp or solve — and rows whose task hit a clean in-worker
+        error — are recomputed locally by :func:`execute_request`, which
+        reproduces (or recovers from) the failure with full per-request
+        diagnostics.  Rows whose task was *lost* (the worker died twice)
+        become correlatable ``worker failure`` responses instead: re-
+        running a row that killed two workers in-process could take the
+        parent down with it.
+        """
+        total = len(plan.indices)
+        elapsed = (time.time() - plan.started) / max(total, 1)
+        # None = solve locally; "" = use the block; str = lost (message).
+        triage: List[Optional[str]] = [""] * total
+        for slot, (start, stop) in enumerate(plan.ranges):
+            outcome = plan.outcomes[slot]
+            if outcome is None or outcome.status == "lost":
+                message = outcome.error if outcome is not None else \
+                    "task was never dispatched"
+                for row in range(start, stop):
+                    triage[row] = f"worker failure: {message}"
+            elif outcome.status == "error":
+                for row in range(start, stop):
+                    triage[row] = None
+            else:
+                for row in outcome.payload.get("failed", ()):
+                    if start <= int(row) < stop:
+                        triage[int(row)] = None
+        for row in plan.failures:
+            if triage[row] == "":
+                triage[row] = None
+        x = plan.output.arrays.get("x")
+        ac = plan.output.arrays.get("ac")
+        for row, index in enumerate(plan.indices):
+            request = requests[index]
+            state = triage[row]
+            if state == "":
+                try:
+                    op = OPResult(plan.names, np.array(x[row]), iterations=0,
+                                  strategy="linear",
+                                  temperature=request.temperature)
+                    if plan.mode == "ac":
+                        result = ACResult(plan.names, plan.frequencies,
+                                          np.array(ac[row]), op=op)
+                        payload = result.to_dict()
+                        text = format_ac_report(result, node=request.node)
+                    else:
+                        result = op
+                        payload = result.to_dict()
+                        text = format_op_report(result)
+                    emit(index, AnalysisResponse(
+                        fingerprint=request.fingerprint(), mode=request.mode,
+                        status="done", label=request.label, result=payload,
+                        report=text, elapsed_seconds=elapsed))
+                    continue
+                except Exception:
+                    state = None
+            if state is None:
+                emit(index, execute_request(request))
+            else:
+                emit(index, AnalysisResponse(
+                    fingerprint=_safe_fingerprint(request),
+                    mode=request.mode, status="failed", label=request.label,
+                    error=state))

@@ -20,6 +20,7 @@ cache instead of being recomputed.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
 import weakref
@@ -177,6 +178,23 @@ class AnalysisRequest:
                 except TypeError:
                     pass
             self._structure_fp = cached
+        return cached
+
+    def netlist_text_hash(self) -> Optional[str]:
+        """SHA-256 of the raw netlist text (``None`` for Circuit-backed
+        requests), memoised per instance.
+
+        The engine's grouping key for unparsed requests: fastpath
+        grouping and pool chunking both key the same batch, so without
+        the memo every run hashed the full netlist twice per request.
+        """
+        if self.netlist is None:
+            return None
+        cached = getattr(self, "_netlist_hash", None)
+        if cached is None:
+            cached = hashlib.sha256(
+                self.netlist.encode("utf-8")).hexdigest()
+            self._netlist_hash = cached
         return cached
 
     # ------------------------------------------------------------------

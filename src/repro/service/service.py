@@ -100,8 +100,12 @@ class StabilityService:
     cache_directory:
         Root of the on-disk cache tier; ``None`` keeps results in memory
         only.  Ignored when an explicit ``cache`` is given.
-    max_workers / backend:
+    max_workers / backend / persistent / compiled_cache_size /
+    pool_idle_timeout:
         Forwarded to :class:`BatchEngine` unless ``engine`` is given.
+        With the default ``persistent=True`` the service keeps the
+        engine's worker pool warm across batches — call :meth:`close`
+        (or use the service as a context manager) when done.
     """
 
     def __init__(self,
@@ -109,10 +113,27 @@ class StabilityService:
                  engine: Optional[BatchEngine] = None,
                  cache_directory: Optional[str] = None,
                  max_workers: Optional[int] = None,
-                 backend: str = "process"):
+                 backend: str = "process",
+                 persistent: bool = True,
+                 compiled_cache_size: Optional[int] = None,
+                 pool_idle_timeout: Optional[float] = None):
         self.cache = cache if cache is not None else ResultCache(cache_directory)
         self.engine = engine if engine is not None else BatchEngine(
-            max_workers=max_workers, backend=backend)
+            max_workers=max_workers, backend=backend, persistent=persistent,
+            compiled_cache_size=compiled_cache_size,
+            pool_idle_timeout=pool_idle_timeout)
+
+    def close(self) -> None:
+        """Release the engine's persistent pool (idempotent; the service
+        stays usable — the pool restarts lazily on the next batch)."""
+        self.engine.close()
+
+    def __enter__(self) -> "StabilityService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -1,0 +1,349 @@
+"""Zero-copy batch transport: value planes over POSIX shared memory.
+
+The persistent worker pool (:mod:`repro.service.pool`) moves the *value*
+side of a batched analysis — the ``(N, nnz)`` stamp planes and ``(N, n)``
+right-hand sides a :class:`~repro.analysis.compiled.BatchStampState`
+carries, plus the result vectors coming back — through
+``multiprocessing.shared_memory`` blocks instead of pickling them into
+every task.  A block is self-describing: a small header (magic, schema
+version, a JSON table of array descriptors) is followed by the raw array
+bytes at 64-byte-aligned offsets, so a worker can attach by *name* and
+map every array as a zero-copy numpy view.
+
+Block layout (``SHM_SCHEMA_VERSION`` 1)::
+
+    offset 0   4 bytes   magic b"RPSH"
+    offset 4   4 bytes   schema version (uint32, little endian)
+    offset 8   4 bytes   JSON header length L (uint32, little endian)
+    offset 12  L bytes   JSON: {"arrays": [{"name", "dtype", "shape",
+                                            "offset"}, ...]}
+    ...        padding   to the next 64-byte boundary
+    segments   raw C-contiguous array bytes, each 64-byte aligned
+
+Every block created by this process is recorded in a registry until it
+is unlinked (:func:`active_block_names` — the leak-hygiene tests assert
+it drains to empty after ``run()``/``close()``), and the module keeps
+the content-addressed :class:`StructureStore` the pool uses to ship each
+circuit structure at most once per pool lifetime.
+
+Attaching registers nothing with the ``multiprocessing`` resource
+tracker: on Python < 3.13 ``SharedMemory(name=...)`` registers the
+segment in the *attaching* process too, and the tracker would then try
+to unlink blocks the parent owns (the well-known spurious
+"leaked shared_memory" cleanup).  :func:`attach_block` suppresses the
+registration for the duration of the attach — ownership stays with the
+creating process, which is the only one that calls
+:meth:`ShmBlock.unlink`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import threading
+from collections import OrderedDict
+from multiprocessing import shared_memory
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import ToolError
+from repro.obs.metrics import global_registry
+
+__all__ = ["SHM_SCHEMA_VERSION", "ShmBlock", "StructureStore",
+           "active_block_names", "attach_block", "create_block",
+           "create_empty_block", "fetch_structure", "name_prefix"]
+
+#: Stamped into every block header; readers reject mismatched layouts.
+SHM_SCHEMA_VERSION = 1
+
+_MAGIC = b"RPSH"
+_ALIGN = 64
+_HEADER_FIXED = struct.Struct("<4sII")   # magic, version, json length
+
+#: Blocks created (and not yet unlinked) by THIS process, by name.  The
+#: daemon's leak-hygiene contract: this drains to [] after every
+#: ``BatchEngine.run()`` except for the structure store, and to [] after
+#: ``close()`` — matching ``/dev/shm`` exactly.
+_LIVE_LOCK = threading.Lock()
+_LIVE_BLOCKS: Dict[str, "ShmBlock"] = {}
+
+_NAME_LOCK = threading.Lock()
+_NAME_COUNTER = 0
+
+
+def name_prefix(pid: Optional[int] = None) -> str:
+    """The shared-memory name prefix of one owning process.
+
+    Names are pid-scoped so a leak test can scan ``/dev/shm`` for this
+    process's segments without tripping over concurrent test runs.
+    """
+    return f"rpshm{os.getpid() if pid is None else pid:x}-"
+
+
+def _new_name() -> str:
+    global _NAME_COUNTER
+    with _NAME_LOCK:
+        _NAME_COUNTER += 1
+        return f"{name_prefix()}{_NAME_COUNTER:x}"
+
+
+def active_block_names() -> List[str]:
+    """Names of every block this process created and has not unlinked."""
+    with _LIVE_LOCK:
+        return sorted(_LIVE_BLOCKS)
+
+
+_ATTACH_LOCK = threading.Lock()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach a segment without registering it with the resource tracker.
+
+    On Python < 3.13 ``SharedMemory(name=...)`` registers the attachment
+    too; unregistering afterwards is racy (two workers attaching the
+    same block plus the owner's unlink produce tracker KeyError noise),
+    so registration is suppressed for the duration of the attach
+    instead.  Best effort: platforms without the POSIX tracker just
+    attach normally.
+    """
+    try:
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+    except Exception:
+        return shared_memory.SharedMemory(name=name)
+    with _ATTACH_LOCK:
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+class ShmBlock:
+    """One mapped shared-memory block and its named array views.
+
+    ``arrays`` maps descriptor name to a numpy view *into the block* —
+    writing a view writes the segment.  The creating process calls
+    :meth:`unlink` (idempotent) to free the segment; every process that
+    mapped it calls :meth:`close` when its views are dropped.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 arrays: Dict[str, np.ndarray], owner: bool):
+        self._shm = shm
+        self.arrays = arrays
+        self._owner = owner
+        self._unlinked = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        return self._shm.size
+
+    def close(self) -> None:
+        """Unmap the block.  Callers must drop their array views first;
+        a still-referenced buffer keeps the mapping alive (harmless —
+        it is reclaimed when the last view dies) instead of raising."""
+        self.arrays = {}
+        try:
+            self._shm.close()
+        except BufferError:
+            pass
+
+    def unlink(self) -> None:
+        """Free the segment (creator only; idempotent)."""
+        if not self._owner or self._unlinked:
+            return
+        self._unlinked = True
+        with _LIVE_LOCK:
+            _LIVE_BLOCKS.pop(self.name, None)
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+        global_registry().gauge("transport.active_blocks").set(
+            len(active_block_names()))
+
+
+def _layout(specs: "OrderedDict[str, Tuple[Tuple[int, ...], np.dtype]]"
+            ) -> Tuple[bytes, int, Dict[str, int]]:
+    """Header bytes, total block size and per-array offsets for ``specs``."""
+    offsets: Dict[str, int] = {}
+
+    # The header length depends on the offsets' digit counts; render once
+    # with worst-case placeholder offsets to fix the reservation, then
+    # render again with the real values (same or fewer digits).
+    def render(offset_map):
+        table = {"arrays": [
+            {"name": name, "dtype": np.dtype(dtype).str,
+             "shape": list(shape), "offset": offset_map.get(name, 0)}
+            for name, (shape, dtype) in specs.items()]}
+        return json.dumps(table, separators=(",", ":")).encode("ascii")
+
+    header_len = _HEADER_FIXED.size + len(render({name: 2 ** 40
+                                                  for name in specs}))
+    cursor = -(-header_len // _ALIGN) * _ALIGN
+    for name, (shape, dtype) in specs.items():
+        offsets[name] = cursor
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        cursor += -(-max(nbytes, 1) // _ALIGN) * _ALIGN
+    payload = render(offsets)
+    header = _HEADER_FIXED.pack(_MAGIC, SHM_SCHEMA_VERSION, len(payload)) \
+        + payload
+    if offsets and len(header) > min(offsets.values()):
+        raise ToolError("shared-memory header overflowed its reservation")
+    return header, max(cursor, _ALIGN), offsets
+
+
+def _views(shm: shared_memory.SharedMemory,
+           specs: "OrderedDict[str, Tuple[Tuple[int, ...], np.dtype]]",
+           offsets: Dict[str, int]) -> Dict[str, np.ndarray]:
+    arrays: Dict[str, np.ndarray] = {}
+    for name, (shape, dtype) in specs.items():
+        arrays[name] = np.ndarray(shape, dtype=dtype, buffer=shm.buf,
+                                  offset=offsets[name])
+    return arrays
+
+
+def _create(specs: "OrderedDict[str, Tuple[Tuple[int, ...], np.dtype]]"
+            ) -> Tuple[ShmBlock, Dict[str, int]]:
+    header, size, offsets = _layout(specs)
+    while True:
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=size,
+                                             name=_new_name())
+            break
+        except FileExistsError:            # stale segment from a dead pid
+            continue
+    shm.buf[:len(header)] = header
+    block = ShmBlock(shm, _views(shm, specs, offsets), owner=True)
+    with _LIVE_LOCK:
+        _LIVE_BLOCKS[block.name] = block
+    registry = global_registry()
+    registry.counter("transport.shm_blocks").inc()
+    registry.counter("transport.shm_bytes").inc(size)
+    registry.gauge("transport.active_blocks").set(len(active_block_names()))
+    return block, offsets
+
+
+def create_block(arrays: Mapping[str, np.ndarray]) -> ShmBlock:
+    """Create a block holding copies of ``arrays`` (C-contiguous)."""
+    specs: "OrderedDict[str, Tuple[Tuple[int, ...], np.dtype]]" = OrderedDict()
+    for name, array in arrays.items():
+        array = np.asarray(array)
+        specs[name] = (array.shape, array.dtype)
+    block, _ = _create(specs)
+    for name, array in arrays.items():
+        block.arrays[name][...] = np.ascontiguousarray(array)
+    return block
+
+
+def create_empty_block(specs: Mapping[str, Tuple[Iterable[int], object]]
+                       ) -> ShmBlock:
+    """Create a zero-filled block from ``{name: (shape, dtype)}`` specs
+    (the result planes workers fill in place)."""
+    ordered: "OrderedDict[str, Tuple[Tuple[int, ...], np.dtype]]" = \
+        OrderedDict((name, (tuple(int(d) for d in shape), np.dtype(dtype)))
+                    for name, (shape, dtype) in specs.items())
+    block, _ = _create(ordered)
+    return block
+
+
+def attach_block(name: str) -> ShmBlock:
+    """Map an existing block by name and rebuild its array views.
+
+    Used by pool workers; the segment is immediately unregistered from
+    this process's resource tracker (see module docstring) so ownership
+    — and the unlink — stays with the creator.
+    """
+    shm = _attach_untracked(name)
+    try:
+        magic, version, length = _HEADER_FIXED.unpack_from(shm.buf, 0)
+        if magic != _MAGIC:
+            raise ToolError(f"shared-memory block {name!r} is not a "
+                            "repro transport block")
+        if version != SHM_SCHEMA_VERSION:
+            raise ToolError(f"shared-memory block {name!r} has schema "
+                            f"{version}, expected {SHM_SCHEMA_VERSION}")
+        table = json.loads(bytes(shm.buf[_HEADER_FIXED.size:
+                                         _HEADER_FIXED.size + length]))
+        arrays: Dict[str, np.ndarray] = {}
+        for entry in table["arrays"]:
+            arrays[entry["name"]] = np.ndarray(
+                tuple(entry["shape"]), dtype=np.dtype(entry["dtype"]),
+                buffer=shm.buf, offset=int(entry["offset"]))
+    except Exception:
+        try:
+            shm.close()
+        except BufferError:
+            pass
+        raise
+    return ShmBlock(shm, arrays, owner=False)
+
+
+# ----------------------------------------------------------------------
+# Content-addressed structure shipping
+# ----------------------------------------------------------------------
+class StructureStore:
+    """Fingerprint -> shared-memory block of one pickled circuit.
+
+    The pool parent :meth:`put`\\ s each structure *once per pool
+    lifetime* (repeat fingerprints are LRU refreshes, not copies); solve
+    tasks carry only the fingerprint + block name, and a worker
+    unpickles a given structure at most once — its compiled-circuit LRU
+    is keyed by the same fingerprint.  ``capacity`` bounds resident
+    structures; evicted blocks are unlinked immediately.
+    """
+
+    def __init__(self, capacity: int = 32):
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._blocks: "OrderedDict[str, ShmBlock]" = OrderedDict()
+        self._stored = global_registry().counter("transport.structures_stored")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._blocks)
+
+    def put(self, fingerprint: str, payload: bytes) -> Tuple[str, int]:
+        """Store ``payload`` under ``fingerprint`` (idempotent); returns
+        the block name and payload size."""
+        with self._lock:
+            block = self._blocks.get(fingerprint)
+            if block is not None:
+                self._blocks.move_to_end(fingerprint)
+                return block.name, len(block.arrays["payload"])
+        data = np.frombuffer(payload, dtype=np.uint8)
+        block = create_block({"payload": data})
+        self._stored.inc()
+        evicted: List[ShmBlock] = []
+        with self._lock:
+            self._blocks[fingerprint] = block
+            while len(self._blocks) > self.capacity:
+                evicted.append(self._blocks.popitem(last=False)[1])
+        for old in evicted:
+            old.close()
+            old.unlink()
+        return block.name, len(payload)
+
+    def close(self) -> None:
+        """Unlink every stored structure (the store stays usable)."""
+        with self._lock:
+            blocks, self._blocks = list(self._blocks.values()), OrderedDict()
+        for block in blocks:
+            block.close()
+            block.unlink()
+
+
+def fetch_structure(name: str) -> bytes:
+    """Worker side of :class:`StructureStore`: the pickled payload."""
+    block = attach_block(name)
+    try:
+        return block.arrays["payload"].tobytes()
+    finally:
+        block.close()

@@ -1,0 +1,161 @@
+"""Tests for the shared-memory transport layer (:mod:`repro.service.shm`)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.compiled import BatchStampState, CompiledCircuit
+from repro.analysis.op import solve_linear_dc_batch
+from repro.circuits.ladders import rc_ladder
+from repro.exceptions import ToolError
+from repro.service import shm as shm_transport
+from repro.service.shm import (
+    SHM_SCHEMA_VERSION,
+    StructureStore,
+    active_block_names,
+    attach_block,
+    create_block,
+    create_empty_block,
+    fetch_structure,
+    name_prefix,
+)
+
+
+class TestBlockRoundTrip:
+    def test_arrays_survive_create_attach(self):
+        arrays = {
+            "g": np.arange(12, dtype=np.float64).reshape(3, 4),
+            "b": np.linspace(-1.0, 1.0, 5),
+            "z": np.array([[1 + 2j, 3 - 4j]], dtype=np.complex128),
+        }
+        block = create_block(arrays)
+        try:
+            assert block.name.startswith(name_prefix())
+            attached = attach_block(block.name)
+            try:
+                for name, array in arrays.items():
+                    np.testing.assert_array_equal(attached.arrays[name], array)
+            finally:
+                attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_writes_through_attached_views(self):
+        block = create_empty_block({"x": ((4, 3), np.float64)})
+        try:
+            attached = attach_block(block.name)
+            attached.arrays["x"][2] = [7.0, 8.0, 9.0]
+            attached.close()
+            view = attach_block(block.name)
+            try:
+                np.testing.assert_array_equal(view.arrays["x"][2],
+                                              [7.0, 8.0, 9.0])
+                assert view.arrays["x"][0].sum() == 0.0
+            finally:
+                view.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_attach_rejects_foreign_segment(self):
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=256)
+        try:
+            with pytest.raises(ToolError):
+                attach_block(shm.name)
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_attach_rejects_wrong_schema_version(self):
+        block = create_block({"a": np.zeros(2)})
+        try:
+            import struct
+
+            raw = attach_block(block.name)
+            raw._shm.buf[4:8] = struct.pack("<I", SHM_SCHEMA_VERSION + 1)
+            raw.close()
+            with pytest.raises(ToolError):
+                attach_block(block.name)
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_unlink_is_idempotent_and_drains_registry(self):
+        block = create_block({"a": np.ones(3)})
+        assert block.name in active_block_names()
+        block.close()
+        block.unlink()
+        block.unlink()
+        assert block.name not in active_block_names()
+
+
+class TestStructureStore:
+    def test_put_is_idempotent_per_fingerprint(self):
+        store = StructureStore()
+        try:
+            name1, _ = store.put("fp-a", b"payload-a")
+            name2, _ = store.put("fp-a", b"payload-a")
+            assert name1 == name2
+            assert len(store) == 1
+            assert fetch_structure(name1) == b"payload-a"
+        finally:
+            store.close()
+
+    def test_capacity_evicts_and_unlinks_oldest(self):
+        store = StructureStore(capacity=2)
+        try:
+            name1, _ = store.put("fp-1", b"one")
+            store.put("fp-2", b"two")
+            store.put("fp-3", b"three")
+            assert len(store) == 2
+            assert name1 not in active_block_names()
+        finally:
+            store.close()
+
+    def test_close_unlinks_everything_and_stays_usable(self):
+        store = StructureStore()
+        name, _ = store.put("fp-x", b"x" * 100)
+        store.close()
+        assert name not in active_block_names()
+        assert len(store) == 0
+        name2, size = store.put("fp-x", b"x" * 100)
+        assert size == 100
+        store.close()
+        assert active_block_names() == []
+
+
+class TestPlaneViews:
+    def test_export_import_planes_solve_equivalence(self):
+        compiled = CompiledCircuit(rc_ladder(6).circuit)
+        temps = [0.0, 27.0, 85.0, 125.0]
+        batch = compiled.restamp_batch(temperature=temps)
+        x_direct, failures = solve_linear_dc_batch(batch)
+        assert not failures
+
+        block = create_block(batch.export_planes())
+        try:
+            attached = attach_block(block.name)
+            try:
+                rebuilt = BatchStampState.from_planes(compiled,
+                                                      dict(attached.arrays))
+                x_shm, failures = solve_linear_dc_batch(rebuilt)
+                assert not failures
+                np.testing.assert_allclose(x_shm, x_direct, rtol=0, atol=0)
+            finally:
+                rebuilt = None
+                attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_row_sliced_planes_match_full_solve(self):
+        compiled = CompiledCircuit(rc_ladder(5).circuit)
+        batch = compiled.restamp_batch(temperature=[10.0, 40.0, 70.0, 100.0])
+        x_full, _ = solve_linear_dc_batch(batch)
+        sliced = {name: view[1:3]
+                  for name, view in batch.export_planes().items()}
+        part = BatchStampState.from_planes(compiled, sliced)
+        x_part, _ = solve_linear_dc_batch(part)
+        np.testing.assert_allclose(x_part, x_full[1:3], rtol=0, atol=0)
