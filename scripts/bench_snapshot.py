@@ -5,7 +5,9 @@ Monte Carlo operating points, warm-started DC transfer sweeps, Monte
 Carlo screening throughput, the sample-axis batch kernel
 (restamp_batch + solve_batch vs. the per-sample compiled loop), the
 batched masked Newton engine (one value plane for a whole nonlinear
-Monte Carlo screen vs. per-sample compiled Newton), the warm
+Monte Carlo screen vs. per-sample compiled Newton), the batched
+all-nodes stability screen (one impedance cube + vectorized peak
+extraction vs. per-request execution), the warm
 persistent-pool transport (one warm batch vs. standing up a fresh
 process pool), the
 sparse-vs-dense backend speedup and the observability overhead (disabled
@@ -214,6 +216,51 @@ def newton_batch_speedup(samples: int) -> dict:
             "failures": len(failures)}
 
 
+def stability_batch_speedup(samples: int) -> dict:
+    """Batched all-nodes stability screen vs. per-request execution (see
+    benchmarks/bench_stability_batch.py) plus the engine counters and the
+    worst per-field divergence the run produced."""
+    from benchmarks.bench_stability_batch import (
+        STABILITY_FIELDS,
+        _field_error,
+        _scatter,
+    )
+    from repro.circuits import opamp_buffer
+    from repro.obs.metrics import global_registry
+    from repro.service import AnalysisRequest
+    from repro.service.engine import execute_linear_batch, execute_request
+
+    circuit = opamp_buffer().circuit
+    requests = [AnalysisRequest(mode="all-nodes", circuit=circuit,
+                                variables=variables, label=f"s{k}")
+                for k, variables in enumerate(_scatter(samples))]
+    started = time.perf_counter()
+    scalar = [execute_request(request) for request in requests]
+    scalar_seconds = time.perf_counter() - started
+    registry = global_registry()
+    demotions_before = registry.counter(
+        "engine.stability_batch.demotions").value
+    started = time.perf_counter()
+    batched = execute_linear_batch(requests)
+    batched_seconds = time.perf_counter() - started
+    worst = 0.0
+    for reference, response in zip(scalar, batched):
+        ref_by = {e["node"]: e for e in reference.result["results"]}
+        got_by = {e["node"]: e for e in response.result["results"]}
+        for node, entry in ref_by.items():
+            for field in STABILITY_FIELDS:
+                worst = max(worst,
+                            _field_error(entry[field], got_by[node][field]))
+    return {"samples": samples,
+            "nodes": len(scalar[0].result["results"]),
+            "per_request_seconds": round(scalar_seconds, 3),
+            "batched_seconds": round(batched_seconds, 3),
+            "speedup": round(scalar_seconds / max(batched_seconds, 1e-9), 2),
+            "worst_field_error": float(f"{worst:.2e}"),
+            "demotions": registry.counter(
+                "engine.stability_batch.demotions").value - demotions_before}
+
+
 def observability_overhead(samples: int = 128) -> dict:
     """Telemetry cost (disabled span price, traced-vs-untraced Monte Carlo
     OP sweep) plus the engine counters the traced run produced — see
@@ -347,6 +394,7 @@ def main(argv=None) -> int:
         "monte_carlo": monte_carlo_throughput(max(args.samples // 4, 16)),
         "batch_solve": batch_solve_speedup(args.samples),
         "newton_batch": newton_batch_speedup(max(args.samples // 2, 32)),
+        "stability_batch": stability_batch_speedup(max(args.samples // 4, 16)),
         "warm_pool": warm_pool_speedup(max(args.samples // 4, 16)),
         "backends": backend_speedup(),
         "observability": observability_overhead(max(args.samples // 2, 32)),

@@ -35,7 +35,8 @@ from repro.linalg import (
 )
 from repro.obs.trace import span as _span
 
-__all__ = ["ac_analysis", "solve_ac_batch", "solve_ac_stacked"]
+__all__ = ["ac_analysis", "solve_ac_batch", "solve_ac_stacked",
+           "solve_ac_stacked_batch"]
 
 #: Frequencies per stacked solve.  Bounds the size of the (K, n, n) matrix
 #: stack so wide sweeps of large circuits stay within a few tens of MB.
@@ -137,20 +138,23 @@ def _solve_ac_dense_stacked(G, C, B: np.ndarray, freq: np.ndarray,
 
 def _solve_ac_sparse(G, C, B: np.ndarray, freq: np.ndarray,
                      backend: SolverBackend,
-                     names: Optional[Sequence[str]]) -> np.ndarray:
+                     names: Optional[Sequence[str]],
+                     pattern_key=None) -> np.ndarray:
     """Sparse path: one SuperLU factorization per frequency, all RHS columns
     solved against it at once.
 
     Every ``G + j*omega*C`` of one sweep shares the same sparsity pattern,
     so the pattern key is hashed once and passed along — the per-frequency
     factorizations then hit the symbolic-ordering cache without re-hashing
-    the structure each time.
+    the structure each time.  Same-structure callers (the batched
+    stability sweep runs one sample after another over one compiled
+    pattern) pass ``pattern_key`` in so the hash is computed once per
+    *batch*, not once per sample.
     """
     G = backend.matrix(G)
     C = backend.matrix(C)
     n, m = B.shape
     out = np.empty((len(freq), n, m), dtype=complex)
-    pattern_key = None
     for k, frequency in enumerate(freq):
         matrix = (G + (2j * np.pi * frequency) * C).tocsc()
         if pattern_key is None:
@@ -255,6 +259,200 @@ def _solve_ac_batch_impl(batch, frequencies,
             else:
                 data[sample, k] = solved[position]
     return data, failures
+
+
+def solve_ac_stacked_batch(lin, rhs, frequencies,
+                           backend: Union[str, SolverBackend, None] = None,
+                           select: Optional[Sequence] = None) -> tuple:
+    """Frequency sweeps of a whole linearized batch in stacked solves.
+
+    ``lin`` is a :class:`~repro.analysis.compiled.BatchLinearization` —
+    N samples' small-signal ``G``/``C`` value planes over one shared
+    pattern.  ``rhs`` is either one shared ``(n, m)`` excitation plane
+    (one column per injection site — the multi-node impedance cube) or a
+    per-sample ``(N, n, m)`` stack (the batched nonlinear AC path, with
+    ``m = 1``).  On the dense backend each frequency assembles the
+    ``(A, n, n)`` stack of every healthy sample's ``G_k + j*omega*C_k``
+    and makes ONE batched LAPACK call against the multi-RHS plane —
+    sample axis and probed-node axis solved together.  On the sparse
+    backend samples run one after another under a single precomputed
+    pattern key, so every factorization of the batch shares one cached
+    symbolic ordering.
+
+    ``select`` (optional) is a sequence of ``(row, col)`` index pairs
+    into the per-frequency solution matrix; when given, only those
+    entries are kept and the result is ``(N, K, len(select))`` — the
+    impedance sweep keeps the diagonal ``Z(node_c) = X[node_c, c]``
+    entries instead of materialising the full ``(N, K, n, m)`` cube.
+
+    Returns ``(data, failures)``: failed samples (linearization failures
+    carried in from ``lin``, non-finite planes, a singular frequency
+    point) map to their exception and their slabs are NaN — one poisoned
+    sample never hurts its batchmates.
+    """
+    freq = np.asarray(frequencies, dtype=float)
+    if freq.ndim != 1 or len(freq) < 1:
+        raise AnalysisError("at least one frequency is required")
+    n = lin.pattern.n
+    n_samples = len(lin)
+    rhs = np.asarray(rhs, dtype=complex)
+    if rhs.ndim == 2:
+        per_sample_rhs = False
+    elif rhs.ndim == 3 and rhs.shape[0] == n_samples:
+        per_sample_rhs = True
+    else:
+        raise AnalysisError(
+            "rhs must be (n, m) shared across samples or (N, n, m) "
+            f"per-sample; got shape {rhs.shape} for {n_samples} samples")
+    m = rhs.shape[-1]
+
+    if select is not None:
+        sel_rows = np.asarray([pair[0] for pair in select], dtype=np.int64)
+        sel_cols = np.asarray([pair[1] for pair in select], dtype=np.int64)
+        data = np.full((n_samples, len(freq), len(sel_rows)), np.nan,
+                       dtype=complex)
+    else:
+        sel_rows = sel_cols = None
+        data = np.full((n_samples, len(freq), n, m), np.nan, dtype=complex)
+
+    failures = dict(lin.failures)
+    for index in range(n_samples):
+        if index in failures:
+            continue
+        if not (np.all(np.isfinite(lin.g_values[index]))
+                and np.all(np.isfinite(lin.c_values[index]))):
+            failures[index] = SingularMatrixError(
+                "AC system matrices contain non-finite entries "
+                "(bad operating point or device model)")
+    healthy = [k for k in range(n_samples) if k not in failures]
+
+    span = _span("ac.stacked_batch", samples=n_samples,
+                 frequencies=len(freq), select=len(select) if select else 0)
+    with span:
+        if healthy:
+            names = lin.compiled.variable_names
+            density = max(lin.pattern.density(), lin.cap_pattern.density())
+            backend_obj = resolve_backend(backend, size=n, density=density)
+            if backend_obj.name == "sparse":
+                _stacked_batch_sparse(lin, rhs, per_sample_rhs, freq, healthy,
+                                      backend_obj, names, sel_rows, sel_cols,
+                                      data, failures)
+            else:
+                _stacked_batch_dense(lin, rhs, per_sample_rhs, freq, healthy,
+                                     sel_rows, sel_cols, data, failures)
+        span.set(failures=len(failures))
+    return data, failures
+
+
+#: Memory budget of the dense stacked kernel's ``(K, A, n, n)`` frequency
+#: chunk (complex128 bytes).  Small systems fit hundreds of frequencies
+#: per LAPACK call; large ones degrade gracefully towards one call per
+#: frequency.
+_DENSE_STACK_BUDGET_BYTES = 64 << 20
+
+
+def _stacked_batch_dense(lin, rhs, per_sample_rhs, freq, healthy,
+                         sel_rows, sel_cols, data, failures) -> None:
+    """Dense kernel: frequency and sample axes solved together.
+
+    Frequencies are chunked so the assembled ``(K_c, A, n, n)`` tensor
+    stays within :data:`_DENSE_STACK_BUDGET_BYTES`; each chunk is ONE
+    broadcasted LAPACK call covering every (frequency, sample) pair —
+    the per-call overhead of small-matrix solves dominates a
+    per-frequency loop, not the flops.  A singular chunk falls back to
+    the per-frequency / per-sample ladder to locate and fail the bad
+    sample alone.
+    """
+    n = lin.pattern.n
+    m = rhs.shape[-1]
+    G = lin.pattern.to_dense_batch(lin.g_values[healthy], dtype=complex)
+    C = lin.cap_pattern.to_dense_batch(lin.c_values[healthy], dtype=complex)
+    if per_sample_rhs:
+        B = rhs[healthy]
+    else:
+        B = np.broadcast_to(rhs, (len(healthy), n, m))
+    dead = set()
+    healthy_arr = np.asarray(healthy, dtype=np.int64)
+    per_freq_bytes = max(len(healthy) * n * n * 16, 1)
+    chunk = int(max(1, min(len(freq),
+                           _DENSE_STACK_BUDGET_BYTES // per_freq_bytes)))
+    omega = 2j * np.pi * freq
+    for k0 in range(0, len(freq), chunk):
+        k1 = min(k0 + chunk, len(freq))
+        stack = G[None] + omega[k0:k1, None, None, None] * C[None]
+        try:
+            solved = np.linalg.solve(stack, B[None])
+        except np.linalg.LinAlgError:
+            for k in range(k0, k1):
+                _dense_one_frequency(freq[k], k, G, C, B, healthy, dead,
+                                     sel_rows, sel_cols, data, failures, n)
+            continue
+        alive = [p for p in range(len(healthy)) if p not in dead]
+        if not alive:
+            continue
+        if sel_rows is not None:
+            picked = solved[:, :, sel_rows, sel_cols]
+            data[healthy_arr[alive], k0:k1] = picked[:, alive].swapaxes(0, 1)
+        else:
+            data[healthy_arr[alive], k0:k1] = solved[:, alive].swapaxes(0, 1)
+
+
+def _dense_one_frequency(frequency, k, G, C, B, healthy, dead,
+                         sel_rows, sel_cols, data, failures, n) -> None:
+    """Single-frequency fallback of the dense kernel: locate the singular
+    sample(s), fail them alone and swap in the identity so the remaining
+    chunks stay batched."""
+    stack = G + (2j * np.pi * frequency) * C
+    try:
+        solved = np.linalg.solve(stack, B)
+    except np.linalg.LinAlgError:
+        solved = np.full_like(np.asarray(B), np.nan)
+        for position, sample in enumerate(healthy):
+            if position in dead:
+                continue
+            try:
+                solved[position] = np.linalg.solve(stack[position],
+                                                   B[position])
+            except np.linalg.LinAlgError as exc:
+                dead.add(position)
+                failures[sample] = SingularMatrixError(
+                    f"AC system is singular at {frequency:g} Hz: {exc}")
+                data[sample] = np.nan
+                G[position] = np.eye(n, dtype=complex)
+                C[position] = 0.0
+    for position, sample in enumerate(healthy):
+        if position in dead:
+            continue
+        if sel_rows is not None:
+            data[sample, k] = solved[position][sel_rows, sel_cols]
+        else:
+            data[sample, k] = solved[position]
+
+
+def _stacked_batch_sparse(lin, rhs, per_sample_rhs, freq, healthy,
+                          backend_obj, names, sel_rows, sel_cols,
+                          data, failures) -> None:
+    """Sparse kernel: per-sample frequency loops under one shared pattern
+    key, so every factorization hits the cached symbolic ordering."""
+    pattern_key = None
+    for sample in healthy:
+        G = lin.pattern.to_csc(lin.g_values[sample])
+        C = lin.cap_pattern.to_csc(lin.c_values[sample])
+        if pattern_key is None:
+            probe = (G + (2j * np.pi * freq[0]) * C).tocsc()
+            pattern_key = csc_pattern_key(probe)
+        B = rhs[sample] if per_sample_rhs else rhs
+        try:
+            solved = _solve_ac_sparse(G, C, B, freq, backend_obj, names,
+                                      pattern_key=pattern_key)
+        except (SingularMatrixError, AnalysisError) as exc:
+            failures[sample] = exc
+            data[sample] = np.nan
+            continue
+        if sel_rows is not None:
+            data[sample] = solved[:, sel_rows, sel_cols]
+        else:
+            data[sample] = solved
 
 
 def ac_analysis(circuit: Optional[Circuit],

@@ -78,8 +78,9 @@ from repro.linalg import AUTO_SPARSE_MIN_SIZE, DenseBackend, LinearSystem
 from repro.linalg.triplets import CompiledPattern
 from repro.obs.trace import span as _span
 
-__all__ = ["BatchNewtonState", "BatchStampState", "CompiledCircuit",
-           "NewtonState", "StampState", "compile_circuit"]
+__all__ = ["BatchLinearization", "BatchNewtonState", "BatchStampState",
+           "CompiledCircuit", "NewtonState", "StampState", "compile_circuit",
+           "linearize_batch"]
 
 # Stamp-op targets.
 _G, _C, _BDC, _BAC = 0, 1, 2, 3
@@ -1217,6 +1218,290 @@ class BatchNewtonState:
             self._system = LinearSystem(matrices[0], backend=DenseBackend(),
                                         names=self._names)
         return self._system.solve_batch(matrices, b_rows)
+
+
+class BatchLinearization:
+    """Small-signal ``G``/``C`` value planes of N operating points at once.
+
+    The sample-axis form of what
+    :meth:`~repro.analysis.mna.MNASystem.small_signal_matrices` produces
+    for one scenario: row ``k`` of ``g_values``/``c_values`` holds sample
+    ``k``'s linearized conductances/capacitances over one *shared*
+    pattern, so a whole same-structure batch feeds a single batched AC
+    assembly (:func:`repro.analysis.ac.solve_ac_stacked_batch`) under one
+    cached symbolic ordering.  For linear circuits the planes are
+    zero-copy views of the originating :class:`BatchStampState`; for
+    nonlinear circuits they live over the compiled Newton union pattern
+    (companion + per-device capacitance blocks), with the gshunt slots
+    held at exactly zero — the dense matrices are then identical to the
+    scalar small-signal assembly, and the sparse ones carry the same
+    values over a superset pattern.
+
+    ``failures`` maps samples whose linearization failed (restamp
+    poisoning carried over, or a companion structure/limiting problem at
+    the operating point) to their exceptions; those rows are NaN and
+    never poison their batchmates.
+    """
+
+    __slots__ = ("compiled", "pattern", "cap_pattern", "g_values",
+                 "c_values", "b_ac", "temperatures", "gmins", "failures")
+
+    def __init__(self, compiled: "CompiledCircuit", pattern: CompiledPattern,
+                 cap_pattern: CompiledPattern, g_values: np.ndarray,
+                 c_values: np.ndarray, b_ac: np.ndarray,
+                 temperatures: np.ndarray, gmins: np.ndarray,
+                 failures: Optional[Dict[int, Exception]] = None):
+        self.compiled = compiled
+        self.pattern = pattern
+        self.cap_pattern = cap_pattern
+        self.g_values = g_values
+        self.c_values = c_values
+        self.b_ac = b_ac
+        self.temperatures = temperatures
+        self.gmins = gmins
+        self.failures = failures or {}
+
+    def __len__(self) -> int:
+        return self.g_values.shape[0]
+
+    @property
+    def n_samples(self) -> int:
+        """Number of linearized operating points in the batch."""
+        return self.g_values.shape[0]
+
+    def healthy_indices(self) -> List[int]:
+        """Sample indices that linearized successfully, in order."""
+        return [k for k in range(self.n_samples) if k not in self.failures]
+
+    def take(self, samples: Sequence[int]) -> "BatchLinearization":
+        """A sub-batch holding only ``samples``, renumbered ``0..len-1``.
+
+        The value planes are fancy-indexed copies of the selected rows
+        (cheap next to one batched AC solve) over the *same* shared
+        patterns and compiled circuit; ``failures`` keys are remapped to
+        the new positions.  Use this to push a subset of the batch —
+        e.g. the members of one refinement window — through the batched
+        solvers without paying for the absent samples.
+        """
+        rows = np.asarray(list(samples), dtype=np.intp)
+        failures = {position: self.failures[int(sample)]
+                    for position, sample in enumerate(rows)
+                    if int(sample) in self.failures}
+        return BatchLinearization(self.compiled, self.pattern,
+                                  self.cap_pattern, self.g_values[rows],
+                                  self.c_values[rows], self.b_ac[rows],
+                                  self.temperatures[rows], self.gmins[rows],
+                                  failures)
+
+    # -- per-sample scalar views ----------------------------------------
+    def sample_dense(self, index: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sample ``index``'s dense ``(G_ss, C_ss)`` — exactly the scalar
+        small-signal matrices (duplicate pattern slots sum on densify)."""
+        if index in self.failures:
+            raise self.failures[index]
+        return (self.pattern.to_dense(self.g_values[index]),
+                self.cap_pattern.to_dense(self.c_values[index]))
+
+    def sample_sparse(self, index: int) -> Tuple:
+        """Sample ``index``'s CSC ``(G_ss, C_ss)`` over the shared pattern."""
+        if index in self.failures:
+            raise self.failures[index]
+        return (self.pattern.to_csc(self.g_values[index]),
+                self.cap_pattern.to_csc(self.c_values[index], dtype=float))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<BatchLinearization {self.n_samples} samples, "
+                f"{len(self.failures)} failed, nnz={self.pattern.nnz}>")
+
+
+#: Upper bound on the companion limiting fixpoint iteration in
+#: :func:`linearize_batch`.  The SPICE limiters contract toward the
+#: candidate voltage (vds steps are capped at 2 V per pass, junction
+#: steps at a few vt above vcrit), so any physically sensible operating
+#: point reaches identity in a handful of passes.
+_LINEARIZE_LIMIT_PASSES = 64
+
+
+def _companion_values_at(newton: _NewtonProgram, view: "_CompiledSolutionView",
+                         ctx: AnalysisContext) -> np.ndarray:
+    """Companion stamp values at exactly the ``view`` solution.
+
+    Replays ``stamp_nonlinear`` until the device limiting state reaches
+    its fixpoint (limiting becomes the identity), which is precisely the
+    state a converged scalar Newton leaves behind before
+    ``small_signal_matrices`` runs — so the returned values equal the
+    scalar small-signal companion stamps bit for bit.
+    """
+    previous: Optional[np.ndarray] = None
+    for _ in range(_LINEARIZE_LIMIT_PASSES):
+        capture = _IterCapture()
+        captured = capture.values
+        for element, expected in newton.counts:
+            before = len(captured)
+            element.stamp_nonlinear(capture, view, ctx)
+            if len(captured) - before != expected:
+                raise CompanionStructureError(
+                    f"element {element.name!r} changed its companion stamp "
+                    f"structure at the operating point ({expected} stamps "
+                    f"recorded, {len(captured) - before} this pass)")
+        values = np.asarray(captured, dtype=float)
+        if not np.all(np.isfinite(values)):
+            raise AnalysisError(
+                "non-finite companion values at the operating point")
+        if previous is not None and np.array_equal(previous, values):
+            return values
+        previous = values
+    raise AnalysisError(
+        "device limiting did not reach a fixpoint at the operating point "
+        f"after {_LINEARIZE_LIMIT_PASSES} passes")
+
+
+def _linearize_vector(newton: _NewtonProgram, compiled: "CompiledCircuit",
+                      batch: BatchStampState, x: np.ndarray,
+                      healthy: Sequence[int],
+                      g_values: np.ndarray) -> None:
+    """Vectorized :func:`_companion_values_at` over every healthy sample.
+
+    One limiting-fixpoint iteration evaluates every device *once for all
+    samples* through array-valued voltages (the same
+    :class:`_BatchSolutionView` / :class:`_BatchNewtonContext` machinery
+    as the batched Newton's ``refill_vector``); the joint fixpoint is
+    reached when no sample's values change between passes — each
+    sample's limiter contracts independently, so its values freeze at
+    exactly its own scalar fixpoint.  Requires a temperature-uniform
+    batch (the device temperature equations are scalar) and raises on
+    array-shy device code or non-finite results; the caller then falls
+    back to the exact per-sample loop, which isolates and diagnoses the
+    problem.  Covers the companion conductances only — incremental
+    capacitances (``stamp_dynamic_nonlinear``) stay per-sample, their
+    depletion-charge branches being value-dependent.  Writes the
+    ``g_values`` rows only on success.
+    """
+    rows = np.asarray(list(healthy), dtype=np.int64)
+    ctx = _BatchNewtonContext(float(batch.temperatures[0]),
+                              float(batch.gmins[0]))
+    if not np.all(batch.gmins[rows] == batch.gmins[rows[0]]):
+        ctx.gmin = batch.gmins[rows]
+    view = _BatchSolutionView(compiled, x[rows])
+    previous: Optional[np.ndarray] = None
+    with np.errstate(over="raise", invalid="raise", divide="raise"):
+        for _ in range(_LINEARIZE_LIMIT_PASSES):
+            capture = _IterCapture()
+            captured = capture.values
+            for element, expected in newton.counts:
+                before = len(captured)
+                element.stamp_nonlinear(capture, view, ctx)
+                if len(captured) - before != expected:
+                    raise CompanionStructureError(
+                        f"element {element.name!r} changed its companion "
+                        f"stamp structure at the operating point ({expected} "
+                        f"stamps recorded, {len(captured) - before} this "
+                        "pass)")
+            values = np.empty((len(captured), len(rows)))
+            for index, value in enumerate(captured):
+                values[index] = value      # broadcasts scalars and columns
+            if not np.all(np.isfinite(values)):
+                raise AnalysisError(
+                    "non-finite companion values at the operating point")
+            if previous is not None and np.array_equal(previous, values):
+                break
+            previous = values
+        else:
+            raise AnalysisError(
+                "device limiting did not reach a fixpoint at the operating "
+                f"point after {_LINEARIZE_LIMIT_PASSES} passes")
+    if len(newton.g_slots):
+        g_values[np.ix_(rows, newton.g_slots)] = values[newton.g_vidx].T
+
+
+def linearize_batch(batch: BatchStampState,
+                    x: Optional[np.ndarray] = None,
+                    failures: Optional[Dict[int, Exception]] = None
+                    ) -> BatchLinearization:
+    """Linearize every sample of a converged batch for small-signal AC.
+
+    For linear circuits this is free: the restamped ``(N, nnz)`` value
+    planes *are* the small-signal matrices, so the returned
+    :class:`BatchLinearization` holds zero-copy views over the batch's
+    own arrays and patterns.
+
+    For nonlinear circuits ``x`` must be the ``(N, n)`` operating-point
+    plane (the output of
+    :func:`repro.analysis.op.solve_nonlinear_dc_batch`); each healthy
+    sample's companion conductances and incremental capacitances are
+    captured at its own operating point into rows of planes over the
+    compiled Newton union pattern, matching the scalar
+    ``small_signal_matrices`` values (bit for bit on the per-sample
+    path; temperature-uniform batches run one vectorized limiting
+    fixpoint over all samples, identical up to elementwise array
+    arithmetic).  Per-sample capture failures land in ``failures``
+    without poisoning the batch.
+
+    ``failures`` marks samples already known to be bad — typically the
+    DC solve's per-sample failure map — so their rows are skipped
+    instead of being linearized at a garbage operating point.
+    """
+    compiled = batch.compiled
+    n = len(batch)
+    extra = failures or {}
+    failures = dict(batch.failures)
+    failures.update(extra)
+    if compiled.is_linear:
+        return BatchLinearization(
+            compiled, compiled.pattern_G, compiled.pattern_C,
+            batch.g_values, batch.c_values, batch.b_ac,
+            batch.temperatures, batch.gmins, failures=failures)
+    if x is None:
+        raise AnalysisError(
+            "linearize_batch needs the (N, n) operating-point plane for a "
+            "nonlinear circuit")
+    if compiled.newton_fallback:
+        raise AnalysisError(
+            "circuit's nonlinear stamp structure is value-dependent; the "
+            "compiled batch linearization cannot represent it")
+    healthy = [k for k in range(n) if k not in failures]
+    if not healthy:
+        raise AnalysisError("every sample in the batch failed to restamp")
+    newton = compiled.newton_program(batch.sample_context(healthy[0]))
+
+    with _span("circuit.linearize_batch", size=compiled.size,
+               samples=n) as span:
+        g_values = np.zeros((n, newton.nnz))
+        g_values[:, :newton.linear_nnz] = batch.g_values
+        c_values = np.zeros((n, newton.cap_nnz))
+        c_values[:, :newton.cap_linear_nnz] = batch.c_values
+        vectorized = False
+        if len(healthy) >= 2 and np.all(
+                batch.temperatures == batch.temperatures[0]):
+            try:
+                _linearize_vector(newton, compiled, batch, x, healthy,
+                                  g_values)
+                vectorized = True
+            except Exception:
+                # Array-shy device code or a per-sample numerical
+                # problem: the exact per-sample loop below isolates and
+                # diagnoses it without poisoning the batch.
+                pass
+        for k in healthy:
+            try:
+                ctx = batch.sample_context(k)
+                view = _CompiledSolutionView(compiled, x[k])
+                if not vectorized:
+                    values = _companion_values_at(newton, view, ctx)
+                    if len(newton.g_slots):
+                        g_values[k, newton.g_slots] = values[newton.g_vidx]
+                adapter = _CapSlotAdapter(c_values[k])
+                for element, slots in newton.cap_slots:
+                    adapter.slots = slots
+                    element.stamp_dynamic_nonlinear(adapter, view, ctx)
+            except Exception as exc:
+                failures[k] = exc
+                g_values[k] = np.nan
+                c_values[k] = np.nan
+        span.set(failures=len(failures), vectorized=bool(vectorized))
+    return BatchLinearization(
+        compiled, newton.pattern, newton.cap_pattern, g_values, c_values,
+        batch.b_ac, batch.temperatures, batch.gmins, failures=failures)
 
 
 class CompiledCircuit:

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.circuit.elements.base import Element
 from repro.circuit.netlist import Circuit
-from repro.exceptions import NetlistError
+from repro.exceptions import AnalysisError, NetlistError
 from repro.analysis.compiled import CompiledCircuit, NewtonState, StampState
 from repro.analysis.context import AnalysisContext
 from repro.linalg import LinearSystem, SolverBackend, TripletMatrix, resolve_backend
@@ -342,9 +342,22 @@ class MNASystem:
         self._stamp_nonlinear(x, dynamic=False)
         return self.G + self._G_iter_trip.to_dense(), self.b_dc + self.b_iter
 
+    #: Upper bound on the limiting fixpoint iteration in
+    #: :meth:`small_signal_matrices`; mirrors the bound of
+    #: :func:`repro.analysis.compiled.linearize_batch`.
+    _SMALL_SIGNAL_LIMIT_PASSES = 64
+
     def small_signal_matrices(self, x_op: np.ndarray,
                               form: str = "dense") -> Tuple:
         """Return (G_ss, C_ss) linearised at the operating point ``x_op``.
+
+        The stamp is replayed until the device limiting state reaches its
+        fixpoint at ``x_op``.  When the system itself ran the Newton loop
+        the first pass is already the fixpoint, but when the operating
+        point was computed elsewhere (the all-nodes run shares one op
+        across per-node systems) the limiters still hold their initial
+        state and a single pass would clip large steps — linearising at a
+        limited point instead of the actual operating point.
 
         ``form="dense"`` (default) returns ndarrays exactly as the dense
         analyses always consumed them; ``form="sparse"`` returns CSR
@@ -352,7 +365,17 @@ class MNASystem:
         companion triplets without densifying (the sparse AC/impedance
         path).
         """
-        self._stamp_nonlinear(x_op, dynamic=True)
+        previous: Optional[np.ndarray] = None
+        for _ in range(self._SMALL_SIGNAL_LIMIT_PASSES):
+            self._stamp_nonlinear(x_op, dynamic=True)
+            values = np.array(self._G_iter_trip.values + self._C_op_trip.values)
+            if previous is not None and np.array_equal(previous, values):
+                break
+            previous = values
+        else:
+            raise AnalysisError(
+                "device limiting did not reach a fixpoint at the operating "
+                f"point after {self._SMALL_SIGNAL_LIMIT_PASSES} passes")
         if form == "sparse":
             state = self._state
             return (state.pattern_G.to_csr(state.g_values, self._G_iter_trip),

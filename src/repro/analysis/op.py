@@ -312,7 +312,8 @@ def batch_device_info(batch: BatchStampState, index: int, x_row: np.ndarray
 
 def solve_nonlinear_dc_batch(batch: BatchStampState, backend=None,
                              options: Optional[NewtonOptions] = None,
-                             x0: Optional[np.ndarray] = None):
+                             x0: Optional[np.ndarray] = None,
+                             pilot: bool = False):
     """Batched Newton DC solves of a *nonlinear* circuit for a whole
     scenario batch.
 
@@ -344,6 +345,20 @@ def solve_nonlinear_dc_batch(batch: BatchStampState, backend=None,
     failure), and ``failures`` maps failed sample indices to their
     exceptions (``ConvergenceError`` instances keep their per-iteration
     ``history``).
+
+    ``pilot=True`` (only honoured when ``x0`` is not given) solves the
+    first healthy sample through the exact scalar ladder from the cold
+    guess and warm-starts the remaining samples from its solution — the
+    Monte Carlo screening shape, where samples scatter tightly around
+    one bias point and the warm-started batch converges in a few
+    iterations instead of re-walking the whole cold trajectory per
+    sample.  The pilot sample's result is bit-identical to the scalar
+    path's; demoted samples still restart from the cold guess, so their
+    results and diagnostics keep exact scalar parity.  Warm-started
+    samples converge under the same delta/residual acceptance as the
+    cold batch, so they agree with the scalar path to the Newton
+    tolerance (not bit-for-bit) — callers that need 1e-9 parity leave
+    ``pilot`` off.
     """
     from repro.linalg import resolve_backend
 
@@ -406,6 +421,17 @@ def solve_nonlinear_dc_batch(batch: BatchStampState, backend=None,
         _demote_all(healthy)
         healthy = healthy[:0]
 
+    # Pilot warm start: one exact scalar solve seeds the whole batch.
+    # ``x0_plane`` stays the cold guess — demotions restart from it.
+    warm_plane = x0_plane
+    if pilot and x0 is None and program is not None and healthy.size >= 2:
+        pilot_k = int(healthy[0])
+        _run_scalar(pilot_k)
+        healthy = healthy[1:]
+        if pilot_k not in failures:
+            warm_plane = x0_plane.copy()
+            warm_plane[healthy] = x_out[pilot_k]
+
     batch_span = _span("newton.batch", samples=int(len(batch)),
                        healthy=int(healthy.size))
     converged = 0
@@ -421,7 +447,7 @@ def solve_nonlinear_dc_batch(batch: BatchStampState, backend=None,
             use_vector = state.vector_ready
             shim = _CompiledSystemShim(compiled, batch.sample_context(
                 int(healthy[0])))
-            x = x0_plane.copy()
+            x = warm_plane.copy()
             delta_conv = np.zeros(n_samples, dtype=bool)
             histories: Dict[int, list] = {int(k): [] for k in healthy}
             row_ctxs: Dict[int, AnalysisContext] = {}

@@ -12,27 +12,32 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from repro.analysis.compiled import CompiledCircuit
+import numpy as np
+
+from repro.analysis.compiled import BatchLinearization, CompiledCircuit
 from repro.analysis.op import operating_point
 from repro.analysis.results import OPResult
 from repro.analysis.sweeps import FrequencySweep, log_sweep
 from repro.circuit.netlist import Circuit
 from repro.core.excitation import excitable_nodes
-from repro.core.impedance import ImpedanceSweeper
+from repro.core.impedance import BatchImpedanceSweeper, ImpedanceSweeper
 from repro.core.loops import Loop, identify_loops
-from repro.core.peaks import PeakType
+from repro.core.peaks import PeakType, dominant_negative_peak, find_peaks_grid
 from repro.core.single_node import (
     NodeStabilityResult,
     SingleNodeOptions,
+    _pick_refined_peak,
     analyze_node,
     build_node_result,
 )
+from repro.core.stability_plot import stability_plot, stability_plot_grid
 from repro.exceptions import StabilityAnalysisError
 from repro.waveform.waveform import Waveform
 
-__all__ = ["AllNodesOptions", "AllNodesResult", "analyze_all_nodes"]
+__all__ = ["AllNodesOptions", "AllNodesResult", "analyze_all_nodes",
+           "analyze_all_nodes_batch"]
 
 
 @dataclass
@@ -183,7 +188,8 @@ def analyze_all_nodes(circuit: Circuit,
     if op is None:
         op = operating_point(flat, temperature=options.temperature,
                              gmin=options.gmin, variables=options.variables,
-                             options=options.newton, backend=options.backend,
+                             options=options.newton_options(),
+                             backend=options.backend,
                              compiled=compiled)
 
     results: List[NodeStabilityResult] = []
@@ -227,7 +233,7 @@ def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
 
     sweeper = ImpedanceSweeper(flat, temperature=options.temperature,
                                gmin=options.gmin, variables=options.variables,
-                               op=op, newton=options.newton,
+                               op=op, newton=options.newton_options(),
                                backend=options.backend, compiled=compiled)
     sweep = FrequencySweep.coerce(options.sweep)
     coarse = sweeper.impedance_waveforms(nodes, sweep.frequencies)
@@ -261,6 +267,297 @@ def _run_fast(flat: Circuit, nodes: List[str], options: AllNodesOptions,
                 raise
             failures[node] = str(exc)
     return results, failures
+
+
+def analyze_all_nodes_batch(circuit: Circuit,
+                            options_rows: Sequence[AllNodesOptions],
+                            ops: Sequence[Optional[OPResult]],
+                            lin: BatchLinearization
+                            ) -> List[Union[AllNodesResult, Exception]]:
+    """Batched :func:`analyze_all_nodes` over one same-structure sample group.
+
+    ``lin`` carries every sample's small-signal G/C planes over one shared
+    pattern (:func:`repro.analysis.compiled.linearize_batch`);
+    ``options_rows`` and ``ops`` hold one entry per sample.  The node list
+    is structural, so it is computed once; the coarse sweep of every node
+    of every sample is then ONE ``(N, nodes, F)`` impedance-cube solve and
+    peak extraction runs as one vectorized :func:`find_peaks_grid` pass
+    per sample.  Only the refinement windows (whose frequencies depend on
+    each sample's own dominant peaks) fall back to scalar solves, with the
+    same per-centre-frequency cache as the scalar fast path.
+
+    Returns one :class:`AllNodesResult` per sample; samples whose
+    linearization or AC solve failed yield their ``Exception`` instead
+    (callers re-run those through the scalar path).  Structural options
+    (node selection, sweep, refinement, backend) are taken from the first
+    row — batch groups share them by construction; per-sample fields
+    (temperature, gmin, variables) are honoured per row.
+    """
+    n_samples = len(lin)
+    if len(options_rows) != n_samples or len(ops) != n_samples:
+        raise StabilityAnalysisError(
+            "options_rows and ops must have one entry per batch sample")
+    if not options_rows:
+        return []
+    options0 = options_rows[0]
+    start = time.time()
+
+    flat = lin.compiled.circuit
+    skipped: List[str] = []
+    if options0.skip_source_driven_nodes:
+        skipped.extend(_source_driven_nodes(flat))
+    skipped.extend(circuit.resolve_node(n) for n in options0.skip_nodes)
+    nodes = excitable_nodes(flat, include_internal=options0.include_internal_nodes,
+                            skip_nodes=skipped)
+    if not nodes:
+        raise StabilityAnalysisError("no nodes eligible for stability analysis")
+    skipped_sorted = sorted(set(skipped))
+
+    sweeper = BatchImpedanceSweeper(lin, backend=options0.backend)
+    sweep = FrequencySweep.coerce(options0.sweep)
+    freq = np.array(sweep.frequencies, dtype=float)
+    cube, sample_failures = sweeper.impedance_cube(nodes, freq)
+
+    # Coarse scan: stability plots and one vectorized peak pass per
+    # sample.  Kept separate from result assembly so the refinement
+    # windows — whose centres fall out of the coarse peaks — can be
+    # solved as batched cubes across samples below.
+    outputs: List[Union[AllNodesResult, Exception]] = [None] * n_samples
+    scans: Dict[int, tuple] = {}
+    for k in range(n_samples):
+        if k in sample_failures:
+            outputs[k] = sample_failures[k]
+            continue
+        try:
+            scans[k] = _scan_sample(nodes, freq, cube[k], options_rows[k])
+        except Exception as exc:
+            outputs[k] = exc
+
+    prewarmed, refined = _prewarm_refinements(nodes, scans, options_rows,
+                                              sweeper)
+
+    for k, scan in scans.items():
+        try:
+            outputs[k] = _build_sample_result(circuit, nodes, skipped_sorted,
+                                              options_rows[k], ops[k],
+                                              sweeper, freq, scan,
+                                              prewarmed.get(k) or {},
+                                              refined.get(k) or {}, k,
+                                              start)
+        except Exception as exc:
+            outputs[k] = exc
+    return outputs
+
+
+def _scan_sample(nodes: List[str], freq: np.ndarray, slab: np.ndarray,
+                 options: AllNodesOptions) -> tuple:
+    """One sample's coarse responses, stability plots and peak scan.
+
+    The plots of every plottable node come from one vectorized
+    :func:`stability_plot_grid` pass (bit-identical to per-node
+    :func:`stability_plot` under ``method="gradient"``); rows the grid
+    rejects re-run the scalar function so the per-node diagnostics are
+    exactly the scalar path's.  Peaks of all rows come from one
+    :func:`find_peaks_grid` call.
+    """
+    responses: List[Waveform] = []
+    plots: List[Optional[Waveform]] = []
+    deferred: Dict[str, Exception] = {}
+    rows: List[np.ndarray] = []
+    row_of: Dict[int, int] = {}
+    mags = np.abs(slab)
+    grid_values = None
+    grid_ok = None
+    if options.plot_method == "gradient":
+        grid_values, grid_ok = stability_plot_grid(freq, mags)
+    for column, node in enumerate(nodes):
+        response = Waveform(freq, mags[column], name=f"|Z({node})|",
+                            x_unit="Hz", y_unit="Ohm")
+        responses.append(response)
+        plot = None
+        if float(np.max(mags[column])) >= 1e-30:
+            # Zero responses take build_node_result's short-circuit branch
+            # and never reach the plot, exactly like the scalar path.
+            try:
+                if grid_values is not None and grid_ok[column]:
+                    plot = Waveform(freq, grid_values[column],
+                                    name=f"stability({response.name})",
+                                    x_unit="Hz", y_unit="")
+                else:
+                    plot = stability_plot(response,
+                                          method=options.plot_method)
+            except Exception as exc:
+                deferred[node] = exc
+            else:
+                row_of[column] = len(rows)
+                rows.append(plot.y)
+        plots.append(plot)
+    peak_rows = (find_peaks_grid(freq, np.array(rows),
+                                 threshold=options.peak_threshold)
+                 if rows else [])
+    return responses, plots, deferred, row_of, peak_rows
+
+
+def _prewarm_refinements(nodes: List[str], scans: Dict[int, tuple],
+                         options_rows: Sequence[AllNodesOptions],
+                         sweeper: BatchImpedanceSweeper) -> tuple:
+    """Solve and re-scan shared refinement windows batch-wide.
+
+    Each sample's refinement centres are its dominant coarse peaks, which
+    land on shared coarse-grid frequencies — so in a Monte Carlo screen
+    most samples request identical windows.  Each distinct window is
+    solved as one member-subset impedance cube instead of one scalar
+    sweep per sample, and its dense-window stability plots and peaks are
+    extracted in one vectorized grid pass over every member row.
+
+    Returns ``(prewarmed, refined)``: per-sample window caches keyed
+    exactly like the scalar refiner (rounded log-centre), and per-sample
+    ``{node: (refined_plot, refined_peak)}`` precomputed refinements.
+    Anything missing — a failed window solve, a row the grid kernel
+    rejects — falls back to the per-sample scalar path inside the
+    refiner, which reproduces the scalar diagnostics.
+    """
+    window_groups: Dict[tuple, List[tuple]] = {}
+    wants: Dict[tuple, List[tuple]] = {}
+    for k, scan in scans.items():
+        options = options_rows[k]
+        if not options.refine:
+            continue
+        _, _, _, row_of, peak_rows = scan
+        seen: Dict[float, float] = {}
+        for column in row_of:
+            dominant = dominant_negative_peak(peak_rows[row_of[column]])
+            if dominant is None:
+                continue
+            key = round(math.log10(dominant.frequency_hz), 3)
+            seen.setdefault(key, dominant.frequency_hz)
+            if options.plot_method == "gradient":
+                # The grid kernel implements the gradient method only;
+                # other methods refine through the scalar path.
+                wants.setdefault((k, key), []).append((column, dominant))
+        for key, center in seen.items():
+            window_groups.setdefault(
+                (center, options.refine_span_decades,
+                 options.refine_points_per_decade), []).append((k, key))
+
+    prewarmed: Dict[int, Dict[float, Dict[str, Waveform]]] = {}
+    refined: Dict[int, Dict[str, tuple]] = {}
+    for (center, span_decades, points_per_decade), members \
+            in window_groups.items():
+        half_span = 10.0 ** (span_decades / 2.0)
+        window = log_sweep(center / half_span, center * half_span,
+                           points_per_decade)
+        member_samples = [k for k, _ in members]
+        try:
+            # Solve only the members: the sub-batch costs exactly its
+            # sample count, so even a single-member window matches the
+            # scalar refiner solve it replaces.
+            wcube, wfails = sweeper.impedance_cube(nodes, window,
+                                                   samples=member_samples)
+        except Exception:
+            continue    # per-sample refiners reproduce any diagnostics
+        rows: List[np.ndarray] = []
+        meta: List[tuple] = []
+        for position, (k, key) in enumerate(members):
+            if k in wfails:
+                continue
+            prewarmed.setdefault(k, {})[key] = {
+                node: Waveform(window, wcube[position][column],
+                               name=f"Z({node})", x_unit="Hz", y_unit="Ohm")
+                for column, node in enumerate(nodes)}
+            for column, dominant in wants.get((k, key), ()):
+                rows.append(np.abs(wcube[position][column]))
+                meta.append((k, nodes[column], dominant,
+                             options_rows[k].peak_threshold))
+        if not rows:
+            continue
+        grid_values, grid_ok = stability_plot_grid(window, np.array(rows))
+        if grid_values is None:
+            continue
+        # One peak pass per distinct threshold (one pass in practice:
+        # batch groups share their analysis options by construction).
+        by_threshold: Dict[float, List[int]] = {}
+        for row, (_, _, _, threshold) in enumerate(meta):
+            if grid_ok[row]:
+                by_threshold.setdefault(threshold, []).append(row)
+        for threshold, ok_rows in by_threshold.items():
+            peak_rows = find_peaks_grid(window, grid_values[ok_rows],
+                                        threshold=threshold)
+            for row, peaks in zip(ok_rows, peak_rows):
+                k, node, dominant, _ = meta[row]
+                plot = Waveform(window, grid_values[row],
+                                name=f"stability(mag(Z({node})))",
+                                x_unit="Hz", y_unit="")
+                refined.setdefault(k, {})[node] = (
+                    plot, _pick_refined_peak(peaks, dominant))
+    return prewarmed, refined
+
+
+def _build_sample_result(circuit: Circuit, nodes: List[str],
+                         skipped: List[str], options: AllNodesOptions,
+                         op: Optional[OPResult],
+                         sweeper: BatchImpedanceSweeper, freq: np.ndarray,
+                         scan: tuple,
+                         prewarmed: Dict[float, Dict[str, Waveform]],
+                         refined: Dict[str, tuple],
+                         sample_index: int,
+                         start: float) -> AllNodesResult:
+    """One sample's :class:`AllNodesResult` from its precomputed scan.
+
+    Mirrors :func:`_run_fast` exactly — same responses, same refinement
+    cache keyed on the rounded log-centre frequency, same per-node error
+    capture — except that the coarse plots and peaks arrive precomputed
+    from :func:`_scan_sample`, per-node dense-window refinements arrive
+    precomputed in ``refined`` and the refinement cache starts seeded
+    with the windows :func:`_prewarm_refinements` solved batch-wide.
+    """
+    responses, plots, deferred, row_of, peak_rows = scan
+
+    refine_cache: Dict[float, Dict[str, Waveform]] = dict(prewarmed)
+
+    def refiner(node: str, center_hz: float, span_decades: float,
+                points_per_decade: int) -> Waveform:
+        key = round(math.log10(center_hz), 3)
+        if key not in refine_cache:
+            half_span = 10.0 ** (span_decades / 2.0)
+            window = log_sweep(center_hz / half_span, center_hz * half_span,
+                               points_per_decade)
+            raw = sweeper.sample_impedances(sample_index, nodes, window)
+            refine_cache[key] = {
+                name: Waveform(window, values, name=f"Z({name})",
+                               x_unit="Hz", y_unit="Ohm")
+                for name, values in raw.items()}
+        return refine_cache[key][node].magnitude()
+
+    results: List[NodeStabilityResult] = []
+    failures: Dict[str, str] = {}
+    for column, node in enumerate(nodes):
+        try:
+            if node in deferred:
+                raise deferred[node]
+            peaks = peak_rows[row_of[column]] if column in row_of else None
+            results.append(build_node_result(node, responses[column], options,
+                                             op=op, refiner=refiner,
+                                             plot=plots[column], peaks=peaks,
+                                             refined=refined.get(node)))
+        except Exception as exc:
+            if not options.continue_on_error:
+                raise
+            failures[node] = str(exc)
+
+    loops = identify_loops(results,
+                           frequency_tolerance=options.loop_frequency_tolerance,
+                           min_peak_magnitude=options.loop_min_peak)
+    return AllNodesResult(
+        circuit_title=circuit.title,
+        results=results,
+        loops=loops,
+        skipped_nodes=list(skipped),
+        failed_nodes=failures,
+        op=op,
+        elapsed_seconds=time.time() - start,
+        temperature=options.temperature,
+    )
 
 
 def _source_driven_nodes(circuit: Circuit) -> List[str]:

@@ -21,17 +21,18 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
-from repro.analysis.ac import solve_ac_stacked
-from repro.analysis.compiled import CompiledCircuit
+from repro.analysis.ac import solve_ac_stacked, solve_ac_stacked_batch
+from repro.analysis.compiled import BatchLinearization, CompiledCircuit
 from repro.analysis.context import AnalysisContext
 from repro.analysis.mna import MNASystem
 from repro.analysis.op import NewtonOptions, operating_point
 from repro.analysis.results import OPResult
 from repro.circuit.netlist import Circuit
 from repro.exceptions import StabilityAnalysisError
+from repro.linalg import resolve_backend
 from repro.waveform.waveform import Waveform
 
-__all__ = ["ImpedanceSweeper"]
+__all__ = ["BatchImpedanceSweeper", "ImpedanceSweeper"]
 
 
 class ImpedanceSweeper:
@@ -137,3 +138,111 @@ class ImpedanceSweeper:
         freq = np.asarray(frequencies, dtype=float)
         return {node: Waveform(freq, values, name=f"Z({node})", x_unit="Hz", y_unit="Ohm")
                 for node, values in raw.items()}
+
+
+class BatchImpedanceSweeper:
+    """Driving-point impedances of many nodes for a whole sample batch.
+
+    The sample-axis sibling of :class:`ImpedanceSweeper`: instead of one
+    linearized ``(G, C)`` pair it holds a
+    :class:`~repro.analysis.compiled.BatchLinearization` — N samples'
+    small-signal planes over one shared pattern — and
+    :meth:`impedance_cube` computes the full ``(N, nodes, F)`` impedance
+    cube in stacked batch solves: on the dense backend each frequency is
+    ONE batched LAPACK call covering every sample and every injection
+    column together; on the sparse backend every factorization of the
+    batch shares one cached symbolic ordering.
+
+    :meth:`sample_impedances` is the scalar view used by the per-sample
+    peak refinement: the same injection sweep, restricted to one sample's
+    matrices (each sample's refinement frequencies depend on its own
+    dominant peak, so those small windows cannot share a batch axis).
+    """
+
+    def __init__(self, lin: BatchLinearization,
+                 backend: Optional[str] = None):
+        self._lin = lin
+        self._compiled = lin.compiled
+        density = max(lin.pattern.density(), lin.cap_pattern.density())
+        self._backend = resolve_backend(backend, size=self._compiled.size,
+                                        density=density)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        return len(self._lin)
+
+    @property
+    def failures(self) -> Dict[int, Exception]:
+        """Samples whose linearization already failed (read-only view)."""
+        return self._lin.failures
+
+    @property
+    def node_names(self) -> List[str]:
+        return list(self._compiled.node_names)
+
+    def has_node(self, node: str) -> bool:
+        return node in self._compiled.node_names
+
+    def _injection_rhs(self, nodes: Sequence[str]):
+        unknown = [n for n in nodes if not self.has_node(n)]
+        if unknown:
+            raise StabilityAnalysisError(
+                f"nodes not present in the circuit: {unknown}")
+        indices = [self._compiled.index_of(n) for n in nodes]
+        rhs = np.zeros((self._compiled.size, len(nodes)), dtype=complex)
+        for column, index in enumerate(indices):
+            rhs[index, column] = 1.0
+        return indices, rhs
+
+    # ------------------------------------------------------------------
+    def impedance_cube(self, nodes: Sequence[str],
+                       frequencies: Sequence[float],
+                       samples: Optional[Sequence[int]] = None) -> tuple:
+        """The ``(N, nodes, F)`` complex impedance cube, batched.
+
+        ``cube[k, c]`` is sample ``k``'s driving-point impedance of
+        ``nodes[c]`` over the sweep — identical (to solver tolerance) to
+        what sample ``k``'s scalar :meth:`ImpedanceSweeper.impedances`
+        returns.  Also returns the failure map (linearization failures
+        plus per-sample singular frequency points); failed samples' slabs
+        are NaN.
+
+        ``samples`` restricts the solve to a subset of the batch (the
+        members of one refinement window, say): the cube's first axis
+        then follows the given order — ``cube[p]`` belongs to
+        ``samples[p]`` — while the failure map keeps the *original*
+        sample indices.
+        """
+        nodes = list(nodes)
+        freq = np.asarray(frequencies, dtype=float)
+        if freq.ndim != 1 or len(freq) < 1:
+            raise StabilityAnalysisError("at least one frequency is required")
+        indices, rhs = self._injection_rhs(nodes)
+        select = [(index, column) for column, index in enumerate(indices)]
+        lin = self._lin if samples is None else self._lin.take(samples)
+        data, failures = solve_ac_stacked_batch(
+            lin, rhs, freq, backend=self._backend, select=select)
+        if samples is not None:
+            failures = {int(samples[position]): exc
+                        for position, exc in failures.items()}
+        return np.swapaxes(data, 1, 2), failures
+
+    def sample_impedances(self, index: int, nodes: Sequence[str],
+                          frequencies: Sequence[float]) -> Dict[str, np.ndarray]:
+        """One sample's scalar impedance sweep (the refinement path)."""
+        if index in self._lin.failures:
+            raise self._lin.failures[index]
+        nodes = list(nodes)
+        freq = np.asarray(frequencies, dtype=float)
+        if freq.ndim != 1 or len(freq) < 1:
+            raise StabilityAnalysisError("at least one frequency is required")
+        indices, rhs = self._injection_rhs(nodes)
+        if self._backend.name == "sparse":
+            G, C = self._lin.sample_sparse(index)
+        else:
+            G, C = self._lin.sample_dense(index)
+        solution = solve_ac_stacked(G, C, rhs, freq, backend=self._backend,
+                                    names=self._compiled.variable_names)
+        data = solution[:, indices, np.arange(len(nodes))]
+        return {node: data[:, column] for column, node in enumerate(nodes)}

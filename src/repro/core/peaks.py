@@ -28,7 +28,8 @@ import numpy as np
 from repro.exceptions import StabilityAnalysisError
 from repro.waveform.waveform import Waveform
 
-__all__ = ["PeakType", "StabilityPeak", "find_peaks", "dominant_negative_peak"]
+__all__ = ["PeakType", "StabilityPeak", "find_peaks", "find_peaks_grid",
+           "dominant_negative_peak"]
 
 
 class PeakType(enum.Enum):
@@ -178,6 +179,98 @@ def find_peaks(plot: Waveform,
 
     peaks.sort(key=lambda p: p.frequency_hz)
     return peaks
+
+
+def find_peaks_grid(frequencies, values,
+                    threshold: float = 0.05,
+                    min_max_window_decades: float = 0.5,
+                    min_max_ratio: float = 0.3):
+    """Vectorized :func:`find_peaks` over a grid of stability plots.
+
+    ``values`` has the sweep on its last axis — ``(F,)``, ``(N, F)`` or
+    the all-nodes screen's ``(N, nodes, F)`` cube — and every plot shares
+    the one ``frequencies`` axis.  Extrema detection and the prominence
+    shoulders run as whole-grid array passes (strict-inequality masks
+    plus running-maximum scans; max reductions are exact, so every number
+    matches the scalar extractor bit for bit); only the classification of
+    the few found extrema runs per plot.  Returns peak lists nested to
+    match the leading axes (a plain list for 1-D input).  Rows that are
+    all-NaN (failed batch samples) yield empty lists.
+    """
+    freq = np.asarray(frequencies, dtype=float)
+    cube = np.real(np.asarray(values))
+    if freq.ndim != 1:
+        raise StabilityAnalysisError("frequencies must be 1-D")
+    if cube.ndim < 1 or cube.shape[-1] != len(freq):
+        raise StabilityAnalysisError(
+            "values must have the frequency sweep on the last axis")
+    if len(freq) < 5:
+        raise StabilityAnalysisError(
+            "stability plot has too few points for peak detection")
+    lead_shape = cube.shape[:-1]
+    flat = np.ascontiguousarray(cube.reshape(-1, len(freq)))
+
+    inner = flat[:, 1:-1]
+    min_mask = (inner < flat[:, :-2]) & (inner <= flat[:, 2:])
+    max_mask = (inner > flat[:, :-2]) & (inner >= flat[:, 2:])
+    # Running shoulder maxima: fwd[r, i] = max(values[:i+1]),
+    # bwd[r, i] = max(values[i:]) — so np.max(values[:i]) == fwd[r, i-1]
+    # and np.max(values[i+1:]) == bwd[r, i+1], exactly.
+    fwd = np.maximum.accumulate(flat, axis=1)
+    bwd = np.maximum.accumulate(flat[:, ::-1], axis=1)[:, ::-1]
+    global_min = np.argmin(flat, axis=1)
+
+    n_points = len(freq)
+    results: List[List[StabilityPeak]] = []
+    for r in range(flat.shape[0]):
+        v = flat[r]
+        minima = np.nonzero(min_mask[r])[0] + 1
+        maxima = np.nonzero(max_mask[r])[0] + 1
+        positive_candidates = [(int(i), v[i]) for i in maxima
+                               if v[i] > threshold]
+        peaks: List[StabilityPeak] = []
+        for i in minima:
+            value = v[i]
+            if value > -threshold:
+                continue
+            left_max = fwd[r, i - 1] if i > 0 else v[i]
+            right_max = bwd[r, i + 1] if i + 1 < n_points else v[i]
+            prominence = min(left_max, right_max) - value
+            peak_type = PeakType.NORMAL
+            companion = None
+            for j, positive_value in positive_candidates:
+                distance_decades = abs(math.log10(freq[j] / freq[i]))
+                if distance_decades <= min_max_window_decades and \
+                        positive_value >= min_max_ratio * abs(value):
+                    peak_type = PeakType.MIN_MAX
+                    companion = float(freq[j])
+                    break
+            peaks.append(StabilityPeak(frequency_hz=float(freq[i]),
+                                       value=float(value),
+                                       peak_type=peak_type, index=int(i),
+                                       prominence=float(prominence),
+                                       companion_frequency_hz=companion))
+        for i, value in positive_candidates:
+            peaks.append(StabilityPeak(frequency_hz=float(freq[i]),
+                                       value=float(value),
+                                       peak_type=PeakType.POSITIVE,
+                                       index=int(i)))
+        gmi = int(global_min[r])
+        if v[gmi] < -threshold and (gmi == 0 or gmi == n_points - 1):
+            peaks.append(StabilityPeak(frequency_hz=float(freq[gmi]),
+                                       value=float(v[gmi]),
+                                       peak_type=PeakType.END_OF_RANGE,
+                                       index=gmi))
+        peaks.sort(key=lambda p: p.frequency_hz)
+        results.append(peaks)
+
+    if cube.ndim == 1:
+        return results[0]
+    nested = results
+    for dim in reversed(lead_shape[1:]):
+        nested = [nested[start:start + dim]
+                  for start in range(0, len(nested), dim)]
+    return nested
 
 
 def dominant_negative_peak(peaks: Sequence[StabilityPeak]) -> Optional[StabilityPeak]:

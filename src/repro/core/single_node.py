@@ -21,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 import numpy as np
 
 from repro.analysis.ac import ac_analysis
+from repro.analysis.compiled import BatchLinearization
 from repro.analysis.op import NewtonOptions, operating_point
 from repro.analysis.results import ACResult, OPResult
 from repro.analysis.sweeps import FrequencySweep, log_sweep
@@ -36,8 +37,18 @@ from repro.core.stability_plot import stability_plot
 from repro.exceptions import StabilityAnalysisError
 from repro.waveform.waveform import Waveform
 
-__all__ = ["NodeStabilityResult", "SingleNodeOptions", "analyze_node",
-           "build_node_result"]
+__all__ = ["NodeStabilityResult", "STABILITY_NEWTON", "SingleNodeOptions",
+           "analyze_node", "analyze_node_batch", "build_node_result"]
+
+#: Newton options of the stability pipeline when the caller passes none.
+#: Tighter than the general-purpose defaults (reltol 1e-4 / vntol 1e-7)
+#: because the screening linearizes *at* the bias point: exponential
+#: device conductances amplify any bias error by ~1/Vt, so a point only
+#: converged to the loose defaults moves the derived stability metrics
+#: at the ~1e-3 relative scale.  The tight solve costs a handful of
+#: extra (quadratically converging) Newton iterations and pins both the
+#: per-request and the batched screening paths to the same fixpoint.
+STABILITY_NEWTON = NewtonOptions(reltol=1e-7, vntol=1e-10)
 
 
 @dataclass
@@ -66,11 +77,19 @@ class SingleNodeOptions:
     peak_threshold: float = 0.05
     #: Design-variable overrides.
     variables: Optional[Dict[str, float]] = None
-    #: Newton solver options for the operating point.
+    #: Newton solver options for the operating point
+    #: (:data:`STABILITY_NEWTON` when left unset).
     newton: Optional[NewtonOptions] = None
     #: Linear-solver backend: "dense", "sparse" or None/"auto" (size/density
     #: heuristic; the REPRO_BACKEND environment variable overrides auto).
     backend: Optional[str] = None
+
+    def newton_options(self) -> NewtonOptions:
+        """The Newton options to solve the bias point with.
+
+        :data:`STABILITY_NEWTON` unless the caller overrode ``newton``.
+        """
+        return self.newton if self.newton is not None else STABILITY_NEWTON
 
 
 @dataclass
@@ -181,7 +200,10 @@ class NodeStabilityResult:
 def build_node_result(node: str, response: Waveform,
                       options: SingleNodeOptions,
                       op: Optional[OPResult] = None,
-                      refiner: Optional[Callable[[str, float, float, int], Waveform]] = None
+                      refiner: Optional[Callable[[str, float, float, int], Waveform]] = None,
+                      plot: Optional[Waveform] = None,
+                      peaks: Optional[List[StabilityPeak]] = None,
+                      refined: Optional[tuple] = None
                       ) -> NodeStabilityResult:
     """Turn a node's AC response magnitude into a :class:`NodeStabilityResult`.
 
@@ -193,6 +215,15 @@ def build_node_result(node: str, response: Waveform,
     ``refiner(node, center_hz, span_decades, points_per_decade)`` must
     return the response magnitude over the dense refinement window; when it
     is ``None`` no refinement is performed.
+
+    ``plot`` and ``peaks`` let callers that already hold the stability plot
+    and its peaks (the batched all-nodes path runs one vectorized
+    extraction over every node at once) skip the recomputation; they must
+    equal what :func:`stability_plot` / :func:`find_peaks` would return for
+    ``response`` under ``options``.  ``refined`` similarly carries a
+    precomputed ``(refined_plot, refined_peak)`` pair — what the
+    ``refiner`` + dense-window re-scan would produce for this node's
+    dominant peak — and takes precedence over calling ``refiner``.
     """
     if float(np.max(np.abs(response.y))) < 1e-30:
         # The node is held by an ideal (zero-impedance) source: the injected
@@ -205,16 +236,22 @@ def build_node_result(node: str, response: Waveform,
             damping_ratio=None, phase_margin_deg=None, overshoot_percent=None,
             peak_type=None, refined_plot=None, op=op)
 
-    plot = stability_plot(response, method=options.plot_method)
-    peaks = find_peaks(plot, threshold=options.peak_threshold)
+    if plot is None:
+        plot = stability_plot(response, method=options.plot_method)
+    if peaks is None:
+        peaks = find_peaks(plot, threshold=options.peak_threshold)
     dominant = dominant_negative_peak(peaks)
 
     refined_plot = None
-    if dominant is not None and options.refine and refiner is not None:
-        fine_response = refiner(node, dominant.frequency_hz,
-                                options.refine_span_decades,
-                                options.refine_points_per_decade)
-        refined_plot, dominant = _refine_peak(fine_response, dominant, options)
+    if dominant is not None and options.refine:
+        if refined is not None:
+            refined_plot, dominant = refined
+        elif refiner is not None:
+            fine_response = refiner(node, dominant.frequency_hz,
+                                    options.refine_span_decades,
+                                    options.refine_points_per_decade)
+            refined_plot, dominant = _refine_peak(fine_response, dominant,
+                                                  options)
 
     if dominant is None:
         return NodeStabilityResult(
@@ -266,7 +303,8 @@ def analyze_node(circuit: Circuit, node: str,
     if op is None:
         op = operating_point(circuit, temperature=options.temperature,
                              gmin=options.gmin, variables=options.variables,
-                             options=options.newton, backend=options.backend,
+                             options=options.newton_options(),
+                             backend=options.backend,
                              compiled=compiled)
 
     node_name = circuit.resolve_node(node)
@@ -291,6 +329,77 @@ def analyze_node(circuit: Circuit, node: str,
     return build_node_result(node_name, response, options, op=op, refiner=refiner)
 
 
+def analyze_node_batch(circuit: Circuit, node: str,
+                       options_rows: Sequence[SingleNodeOptions],
+                       ops: Sequence[Optional[OPResult]],
+                       lin: BatchLinearization
+                       ) -> List[Union[NodeStabilityResult, Exception]]:
+    """Batched :func:`analyze_node` over one same-structure sample group.
+
+    ``lin`` carries the whole group's small-signal planes
+    (:func:`repro.analysis.compiled.linearize_batch`), ``options_rows`` and
+    ``ops`` one entry per sample.  The coarse sweep becomes a single
+    ``(N, 1, F)`` impedance-cube solve; only the per-sample refinement
+    windows (whose frequencies depend on each sample's own dominant peak)
+    run scalar.  The response is reconstructed as ``|Z| * amplitude`` —
+    the node voltage under the injected current — which matches the scalar
+    path's AC analysis of the excited circuit to solver tolerance.
+
+    Returns one :class:`NodeStabilityResult` per sample; samples whose
+    linearization or AC solve failed yield their ``Exception`` instead
+    (callers re-run those through the scalar path).
+    """
+    n_samples = len(lin)
+    if len(options_rows) != n_samples or len(ops) != n_samples:
+        raise StabilityAnalysisError(
+            "options_rows and ops must have one entry per batch sample")
+    if not options_rows:
+        return []
+    for options in options_rows:
+        if not options.zero_existing_ac:
+            # The injection sweep never reads the stamped AC stimuli, so it
+            # can only reproduce the scalar analysis when that analysis
+            # auto-zeroes them (the tool default).
+            raise StabilityAnalysisError(
+                "the batched single-node path requires zero_existing_ac=True")
+    from repro.core.impedance import BatchImpedanceSweeper
+
+    options0 = options_rows[0]
+    node_name = circuit.resolve_node(node)
+    sweep = FrequencySweep.coerce(options0.sweep)
+    freq = sweep.frequencies
+    sweeper = BatchImpedanceSweeper(lin, backend=options0.backend)
+    cube, failures = sweeper.impedance_cube([node_name], freq)
+
+    outputs: List[Union[NodeStabilityResult, Exception]] = []
+    for k in range(n_samples):
+        if k in failures:
+            outputs.append(failures[k])
+            continue
+        options = options_rows[k]
+        amplitude = options.stimulus_amplitude
+
+        def refiner(_node: str, center_hz: float, span_decades: float,
+                    points_per_decade: int, _k: int = k,
+                    _amplitude: float = amplitude) -> Waveform:
+            half_span = 10.0 ** (span_decades / 2.0)
+            window = log_sweep(center_hz / half_span, center_hz * half_span,
+                               points_per_decade)
+            raw = sweeper.sample_impedances(_k, [node_name], window)
+            return Waveform(window, np.abs(raw[node_name]) * _amplitude,
+                            name=f"|Z({node_name})|", x_unit="Hz", y_unit="V")
+
+        response = Waveform(np.array(freq, dtype=float),
+                            np.abs(cube[k, 0]) * amplitude,
+                            name=f"|Z({node_name})|", x_unit="Hz", y_unit="V")
+        try:
+            outputs.append(build_node_result(node_name, response, options,
+                                             op=ops[k], refiner=refiner))
+        except Exception as exc:
+            outputs.append(exc)
+    return outputs
+
+
 def _refine_peak(fine_response: Waveform, coarse_peak: StabilityPeak,
                  options: SingleNodeOptions):
     """Re-compute the stability plot on the dense window and re-locate the peak.
@@ -299,12 +408,23 @@ def _refine_peak(fine_response: Waveform, coarse_peak: StabilityPeak,
     the refined sweep fails to show a negative peak (which can happen for
     very shallow features at the detection threshold).
     """
-    center = coarse_peak.frequency_hz
     plot = stability_plot(fine_response, method=options.plot_method)
     peaks = find_peaks(plot, threshold=options.peak_threshold)
+    return plot, _pick_refined_peak(peaks, coarse_peak)
+
+
+def _pick_refined_peak(peaks: List[StabilityPeak],
+                       coarse_peak: StabilityPeak) -> StabilityPeak:
+    """Select the refined peak among a dense window's ``peaks``.
+
+    The selection shared by the scalar refiner and the batched grid
+    refinement: falls back to the coarse peak if the window shows no
+    negative peak (very shallow features at the detection threshold).
+    """
+    center = coarse_peak.frequency_hz
     negative = [p for p in peaks if p.is_negative]
     if not negative:
-        return plot, coarse_peak
+        return coarse_peak
     # Keep the refined peak closest (in log frequency) to the coarse one;
     # the dense window may reveal additional nearby structure.
     refined = min(negative, key=lambda p: abs(math.log10(p.frequency_hz / center)))
@@ -315,4 +435,4 @@ def _refine_peak(fine_response: Waveform, coarse_peak: StabilityPeak,
                                 peak_type=PeakType.MIN_MAX, index=refined.index,
                                 prominence=refined.prominence,
                                 companion_frequency_hz=coarse_peak.companion_frequency_hz)
-    return plot, refined
+    return refined

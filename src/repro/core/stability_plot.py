@@ -33,7 +33,45 @@ import numpy as np
 from repro.exceptions import StabilityAnalysisError
 from repro.waveform.waveform import Waveform
 
-__all__ = ["stability_plot", "stability_plot_arrays", "log_log_curvature"]
+__all__ = ["stability_plot", "stability_plot_arrays", "stability_plot_grid",
+           "log_log_curvature"]
+
+
+def stability_plot_grid(frequencies: Sequence[float],
+                        magnitude_rows: Sequence[Sequence[float]]):
+    """Vectorized ``"gradient"`` stability plots over a stack of responses.
+
+    ``magnitude_rows`` is an ``(R, F)`` array of response magnitudes over
+    one shared frequency axis (the batched screening pipeline's layout:
+    rows are node/sample combinations).  Returns ``(values, ok)`` where
+    ``values`` holds the ``(R, F)`` curvature rows and ``ok`` is a boolean
+    mask: rows the scalar :func:`stability_plot_arrays` would reject
+    (nonpositive magnitudes) are flagged ``False`` and hold NaN — the
+    caller falls back to the scalar function for those rows to reproduce
+    its exact per-row diagnostics.  A frequency axis the scalar path would
+    reject flags every row, for the same reason.
+
+    For valid rows the values are bit-identical to the scalar
+    ``method="gradient"`` path: ``np.gradient`` on a shared nonuniform
+    axis applies the same elementwise stencil whether the data is one row
+    or a stack.
+    """
+    freq = np.asarray(frequencies, dtype=float)
+    mag = np.asarray(magnitude_rows, dtype=float)
+    if mag.ndim != 2:
+        raise StabilityAnalysisError("magnitude_rows must be a 2-D array")
+    rows = mag.shape[0]
+    if (freq.ndim != 1 or mag.shape[-1] != len(freq) or len(freq) < 5
+            or np.any(freq <= 0) or np.any(np.diff(freq) <= 0)):
+        return None, np.zeros(rows, dtype=bool)
+    ok = np.all(mag > 0, axis=-1)
+    values = np.full(mag.shape, np.nan)
+    if np.any(ok):
+        u = np.log(freq)
+        y = np.log(mag[ok])
+        slope = np.gradient(y, u, axis=-1)
+        values[ok] = np.gradient(slope, u, axis=-1)
+    return values, ok
 
 
 def stability_plot_arrays(frequencies: Sequence[float],

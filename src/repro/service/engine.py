@@ -19,17 +19,23 @@ process-local compiled-structure cache catches reuse across chunks that
 land on the same worker.
 
 One tier above the pool sits the **mode-aware in-process fast path**:
-when a structure-fingerprint group consists of ``op``/``ac`` requests on
-one topology (same mode, same effective solver backend, same sweep), the
-engine skips per-request dispatch entirely and runs the whole group
-through the sample-axis batch kernel —
+when a structure-fingerprint group consists of ``op``/``ac``/
+``all-nodes``/``single-node`` requests on one topology (same mode, same
+effective solver backend, same sweep — and same probe node for
+``single-node``), the engine skips per-request dispatch entirely and
+runs the whole group through the sample-axis batch kernel —
 :meth:`~repro.analysis.CompiledCircuit.restamp_batch` (every dynamic
 element evaluated once for all samples) feeding
 :meth:`~repro.linalg.LinearSystem.solve_batch` (one batched LAPACK call
 on dense, one cached symbolic ordering on sparse).  Linear groups solve
-directly; nonlinear ``op`` groups run the masked batched Newton engine
+directly; nonlinear groups run the masked batched Newton engine
 (:func:`~repro.analysis.op.solve_nonlinear_dc_batch`), with per-sample
-demotion to the scalar ladder on divergence.  See
+demotion to the scalar ladder on divergence, then linearize per sample
+(:func:`~repro.analysis.compiled.linearize_batch`) for the frequency-
+domain modes.  Stability-screening groups push the linearized batch
+through one stacked impedance-cube solve
+(:func:`~repro.analysis.ac.solve_ac_stacked_batch`) and one vectorized
+peak-extraction pass (:func:`~repro.core.peaks.find_peaks_grid`).  See
 ``docs/compiled-engine.md`` for the whole pipeline.
 
 Every failure mode is isolated per request: :func:`execute_request` never
@@ -55,8 +61,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.analysis.ac import ac_analysis, solve_ac_batch
-from repro.analysis.compiled import BatchStampState, CompiledCircuit
+from repro.analysis.ac import ac_analysis, solve_ac_batch, solve_ac_stacked_batch
+from repro.analysis.compiled import BatchStampState, CompiledCircuit, linearize_batch
 from repro.analysis.dcsweep import dc_sweep
 from repro.analysis.op import (
     batch_device_info,
@@ -65,7 +71,12 @@ from repro.analysis.op import (
     solve_nonlinear_dc_batch,
 )
 from repro.analysis.results import ACResult, OPResult
-from repro.core.all_nodes import analyze_all_nodes
+from repro.analysis.sweeps import FrequencySweep
+from repro.core.all_nodes import (
+    AllNodesOptions,
+    analyze_all_nodes,
+    analyze_all_nodes_batch,
+)
 from repro.core.report import (
     format_ac_report,
     format_all_nodes_report,
@@ -73,7 +84,12 @@ from repro.core.report import (
     format_op_report,
     format_single_node_report,
 )
-from repro.core.single_node import analyze_node
+from repro.core.single_node import (
+    STABILITY_NEWTON,
+    SingleNodeOptions,
+    analyze_node,
+    analyze_node_batch,
+)
 from repro.exceptions import AnalysisError, ConvergenceError, ToolError
 from repro.obs.metrics import global_registry, subtract_snapshots
 from repro.obs.report import EngineReport
@@ -129,6 +145,19 @@ _CACHE_HITS = global_registry().counter("engine.compile_cache.hits")
 _CACHE_MISSES = global_registry().counter("engine.compile_cache.misses")
 _CACHE_EVICTIONS = global_registry().counter("engine.compile_cache.evictions")
 _CIRCUIT_FETCHES = global_registry().counter("transport.circuit_fetches")
+
+#: Batched stability-screening telemetry.  Incremented only in the
+#: submitting process (the fast path and the shm-plan finalizer both run
+#: there) — workers must not touch these counters, or their shipped
+#: metric deltas would double-count every group on merge.
+_STABILITY_GROUPS = global_registry().counter("engine.stability_batch.groups")
+_STABILITY_SAMPLES = global_registry().counter("engine.stability_batch.samples")
+_STABILITY_DEMOTIONS = global_registry().counter(
+    "engine.stability_batch.demotions")
+
+#: Modes served by the batched stability pipeline (the paper's headline
+#: per-node screening product).
+_STABILITY_MODES = ("all-nodes", "single-node")
 
 
 def set_compiled_cache_size(size: int) -> None:
@@ -228,25 +257,84 @@ def _compiled_from_structure(fingerprint: str,
     return compiled
 
 
+def _solve_stability_rows(descriptor: dict, compiled: CompiledCircuit,
+                          batch: BatchStampState, x: np.ndarray,
+                          solve_failures: Dict[int, Exception],
+                          start: int, stop: int) -> dict:
+    """Stability half of :func:`execute_solve_task`: screen one row range.
+
+    Linearizes the row-sliced batch (zero-copy for these linear groups),
+    runs the sample-axis screening pipeline over it, and returns the
+    per-row result payloads in the task outcome — stability results are
+    small, ragged dicts, so they ride the pickle channel home instead of
+    a fixed-stride output block.  ``results`` holds one
+    ``[payload, report]`` pair per row (``None`` for failed rows, which
+    the parent recomputes locally with full diagnostics).
+    """
+    lin = linearize_batch(batch, failures=solve_failures)
+    sweep_start, sweep_stop, sweep_ppd = descriptor["sweep"]
+    sweep = FrequencySweep(sweep_start, sweep_stop, sweep_ppd)
+    backend = descriptor.get("backend")
+    names = compiled.variable_names
+    single = descriptor["mode"] == "single-node"
+    options_cls = SingleNodeOptions if single else AllNodesOptions
+    ops: List[Optional[OPResult]] = []
+    options_rows = []
+    for row in range(stop - start):
+        temperature = float(batch.temperatures[row])
+        options_rows.append(options_cls(
+            sweep=sweep, temperature=temperature,
+            gmin=float(batch.gmins[row]), backend=backend))
+        ops.append(None if row in lin.failures else
+                   OPResult(names, x[row], iterations=0, strategy="linear",
+                            temperature=temperature))
+    if single:
+        results = analyze_node_batch(compiled.circuit, descriptor["node"],
+                                     options_rows, ops, lin)
+        formatter = format_single_node_report
+    else:
+        results = analyze_all_nodes_batch(compiled.circuit, options_rows,
+                                          ops, lin)
+        formatter = format_all_nodes_report
+    payloads: List[Optional[list]] = []
+    failed = {int(k) + start for k in lin.failures}
+    for row, result in enumerate(results):
+        if isinstance(result, Exception):
+            failed.add(row + start)
+            payloads.append(None)
+            continue
+        try:
+            payloads.append([result.to_dict(), formatter(result)])
+        except Exception:
+            failed.add(row + start)
+            payloads.append(None)
+    return {"rows": [start, stop], "failed": sorted(failed),
+            "results": payloads}
+
+
 def execute_solve_task(descriptor: dict) -> dict:
     """Worker half of the zero-copy transport: solve one row range.
 
     ``descriptor`` names the structure fingerprint + store block, the
     plane block (the parent's ``BatchStampState.export_planes`` layout),
-    the output block and a ``rows`` range.  The worker rebuilds a
-    row-sliced batch over mapped views (:meth:`~repro.analysis.compiled.
-    BatchStampState.from_planes` — no copies), solves it, and writes the
-    result vectors straight into the output block.  Returns
-    ``{"rows": [start, stop], "failed": [...absolute sample indices]}``;
-    exceptions propagate to the pool, which reports a clean ``error``
-    outcome (the parent then recomputes the range locally with full
-    per-request diagnostics).
+    the output block (``op``/``ac`` groups only) and a ``rows`` range.
+    The worker rebuilds a row-sliced batch over mapped views
+    (:meth:`~repro.analysis.compiled.BatchStampState.from_planes` — no
+    copies), solves it, and writes the result vectors straight into the
+    output block; stability rows (``all-nodes``/``single-node``) run
+    the batched screening pipeline instead and return their serialized
+    results (see :func:`_solve_stability_rows`).  Returns
+    ``{"rows": [start, stop], "failed": [...absolute sample indices]}``
+    (plus ``"results"`` for stability rows); exceptions propagate to
+    the pool, which reports a clean ``error`` outcome (the parent then
+    recomputes the range locally with full per-request diagnostics).
     """
     start, stop = descriptor["rows"]
     compiled = _compiled_from_structure(descriptor["fingerprint"],
                                         descriptor["structure"])
     planes = shm_transport.attach_block(descriptor["planes"])
-    output = shm_transport.attach_block(descriptor["output"])
+    output = shm_transport.attach_block(descriptor["output"]) \
+        if descriptor.get("output") else None
     batch = arrays = None
     try:
         arrays = {name: view[start:stop]
@@ -264,6 +352,9 @@ def execute_solve_task(descriptor: dict) -> dict:
                                             failures=failures)
         backend = descriptor.get("backend")
         x, solve_failures = solve_linear_dc_batch(batch, backend=backend)
+        if descriptor["mode"] in _STABILITY_MODES:
+            return _solve_stability_rows(descriptor, compiled, batch, x,
+                                         solve_failures, start, stop)
         output.arrays["x"][start:stop] = x
         failed = {int(k) + start for k in solve_failures}
         if descriptor["mode"] == "ac":
@@ -277,7 +368,8 @@ def execute_solve_task(descriptor: dict) -> dict:
         # Drop every view into the mapped buffers before unmapping.
         batch = arrays = None  # noqa: F841
         planes.close()
-        output.close()
+        if output is not None:
+            output.close()
 
 
 def execute_request(request: AnalysisRequest) -> AnalysisResponse:
@@ -399,46 +491,68 @@ def execute_request_chunk(requests: Sequence[AnalysisRequest]
     return responses, subtract_snapshots(registry.snapshot(), before)
 
 
+def _batch_op_result(batch: BatchStampState, names: Sequence[str],
+                     nonlinear: bool, index: int, x: np.ndarray,
+                     iterations, strategies,
+                     temperature: float) -> OPResult:
+    """One sample's :class:`OPResult` out of the batched DC solve."""
+    if nonlinear:
+        info, info_failures = batch_device_info(batch, index, x[index])
+        return OPResult(names, x[index], device_info=info,
+                        iterations=int(iterations[index]),
+                        strategy=strategies[index],
+                        temperature=temperature,
+                        info_failures=info_failures)
+    return OPResult(names, x[index], iterations=0, strategy="linear",
+                    temperature=temperature)
+
+
 def execute_linear_batch(requests: Sequence[AnalysisRequest],
                          prefer_pool_for_sparse: bool = False,
                          cache_size: Optional[int] = None
                          ) -> Optional[List[AnalysisResponse]]:
-    """Run one same-structure group of ``op``/``ac`` requests through the
-    batched restamp+solve kernel, in this process.
+    """Run one same-structure group of ``op``/``ac``/``all-nodes``/
+    ``single-node`` requests through the batched restamp+solve kernel,
+    in this process.
 
     The group contract (enforced by the caller's grouping key): every
     request shares one circuit structure, one mode, one effective solver
-    backend and — for ``ac`` — one frequency sweep.  The whole group is
-    then a single :meth:`~repro.analysis.CompiledCircuit.restamp_batch`
-    (each dynamic element evaluated once for all samples) plus one
-    batched solve: :func:`~repro.analysis.op.solve_linear_dc_batch` for
-    linear circuits (and, for ``ac``,
-    :func:`~repro.analysis.ac.solve_ac_batch`), or the masked batched
-    Newton engine :func:`~repro.analysis.op.solve_nonlinear_dc_batch`
-    for nonlinear ``op`` groups — all N samples iterate together on one
-    companion value plane, converged samples drop out of the active set,
-    and per-sample divergence demotes to the scalar ladder without
-    touching the rest of the group.
+    backend and — for every frequency-domain mode — one sweep (plus one
+    probe node for ``single-node``).  The whole group is then a single
+    :meth:`~repro.analysis.CompiledCircuit.restamp_batch` (each dynamic
+    element evaluated once for all samples) plus one batched DC solve:
+    :func:`~repro.analysis.op.solve_linear_dc_batch` for linear
+    circuits, or the masked batched Newton engine
+    :func:`~repro.analysis.op.solve_nonlinear_dc_batch` for nonlinear
+    groups.  ``ac`` groups then run one batched frequency sweep — linear
+    circuits via :func:`~repro.analysis.ac.solve_ac_batch`, nonlinear
+    ones via :func:`~repro.analysis.compiled.linearize_batch` (per-
+    sample small-signal planes at the batched Newton solutions) feeding
+    :func:`~repro.analysis.ac.solve_ac_stacked_batch`.  Stability
+    groups (``all-nodes``/``single-node``) push the same linearized
+    batch through the sample-axis screening pipeline —
+    :func:`~repro.core.all_nodes.analyze_all_nodes_batch` /
+    :func:`~repro.core.single_node.analyze_node_batch` — so the whole
+    Monte Carlo screen shares one impedance cube solve and one
+    vectorized peak-extraction pass.
 
     Returns ``None`` when the group cannot be batched at all (compile
-    failure, nonlinear ``ac`` group, sparse group deferred to the pool)
-    — the caller then dispatches it down the per-request path.
-    Per-sample problems never poison the group: any sample that failed
-    to restamp or solve falls back to the scalar
+    failure, sparse group deferred to the pool) — the caller then
+    dispatches it down the per-request path.  Per-sample problems never
+    poison the group: any sample that failed to restamp, solve,
+    linearize or screen falls back to the scalar
     :func:`execute_request`, which reproduces the failure (or recovers)
     with its full per-request diagnostics.
     """
     started = time.time()
     first = requests[0]
+    stability = first.mode in _STABILITY_MODES
+    stability_results = None
     try:
         compiled = _compiled_for(first, cache_size=cache_size)
         if compiled is None:
             return None
         nonlinear = not compiled.is_linear
-        if nonlinear and first.mode != "op":
-            # Nonlinear AC needs a per-sample linearization pipeline the
-            # batch kernel does not cover yet.
-            return None
         if prefer_pool_for_sparse:
             # On the sparse kernel solve_batch is a sequential refactor
             # loop — for systems large enough to resolve sparse, the LU
@@ -457,53 +571,110 @@ def execute_linear_batch(requests: Sequence[AnalysisRequest],
         data = None
         iterations = strategies = None
         if nonlinear:
+            # Stability screens run the tight stability Newton options
+            # (same fixpoint as the scalar screening path) and
+            # warm-start from a pilot sample (Monte Carlo scatter
+            # shares one bias neighbourhood); op/ac groups stay cold
+            # on the default options so their 1e-9 scalar parity holds
+            # bit for bit.
             x, iterations, strategies, failures = solve_nonlinear_dc_batch(
-                batch, backend=first.backend)
+                batch, backend=first.backend,
+                options=STABILITY_NEWTON if stability else None,
+                pilot=stability)
         else:
             x, failures = solve_linear_dc_batch(batch, backend=first.backend)
-            if first.mode == "ac":
-                data, ac_failures = solve_ac_batch(batch,
-                                                   first.sweep().frequencies,
-                                                   backend=first.backend)
+        if first.mode == "ac":
+            if nonlinear:
+                # Match the scalar contract: a sample with no AC stimulus
+                # is a per-sample failure (demoted to execute_request,
+                # which reproduces the diagnostic), not a silent zero.
+                for index in range(len(requests)):
+                    if index not in failures \
+                            and not np.any(batch.b_ac[index]):
+                        failures[index] = AnalysisError(
+                            "AC analysis needs at least one source with "
+                            "a non-zero AC magnitude")
+                if len(failures) < len(requests):
+                    lin = linearize_batch(batch, x, failures=failures)
+                    data, failures = solve_ac_stacked_batch(
+                        lin, batch.b_ac[:, :, None],
+                        first.sweep().frequencies, backend=first.backend)
+                    data = data[..., 0]
+            else:
+                data, ac_failures = solve_ac_batch(
+                    batch, first.sweep().frequencies, backend=first.backend)
                 failures = {**failures, **ac_failures}
+        elif stability and len(failures) < len(requests):
+            lin = linearize_batch(batch, x if nonlinear else None,
+                                  failures=failures)
+            failures = dict(lin.failures)
+            names = compiled.variable_names
+            ops: List[Optional[OPResult]] = []
+            for index, request in enumerate(requests):
+                if index in failures:
+                    ops.append(None)
+                    continue
+                try:
+                    ops.append(_batch_op_result(
+                        batch, names, nonlinear, index, x, iterations,
+                        strategies, request.temperature))
+                except Exception as exc:
+                    ops.append(None)
+                    failures[index] = exc
+            options_rows = [request.analysis_options()
+                            for request in requests]
+            circuit = first.resolved_circuit()
+            if first.mode == "all-nodes":
+                stability_results = analyze_all_nodes_batch(
+                    circuit, options_rows, ops, lin)
+            else:
+                stability_results = analyze_node_batch(
+                    circuit, first.node, options_rows, ops, lin)
     except Exception:
         return None
     elapsed = (time.time() - started) / max(len(requests), 1)
 
     responses: List[AnalysisResponse] = []
     names = compiled.variable_names
+    demotions = 0
     for index, request in enumerate(requests):
-        if index in failures:
+        if index in failures or (stability and isinstance(
+                stability_results[index], Exception)):
+            demotions += 1
             responses.append(execute_request(request))
             continue
         try:
-            if nonlinear:
-                info, info_failures = batch_device_info(batch, index,
-                                                        x[index])
-                op = OPResult(names, x[index], device_info=info,
-                              iterations=int(iterations[index]),
-                              strategy=strategies[index],
-                              temperature=request.temperature,
-                              info_failures=info_failures)
-            else:
-                op = OPResult(names, x[index], iterations=0,
-                              strategy="linear",
-                              temperature=request.temperature)
-            if request.mode == "ac":
-                result = ACResult(names, first.sweep().frequencies,
-                                  data[index], op=op)
+            if stability:
+                result = stability_results[index]
                 payload = result.to_dict()
-                report = format_ac_report(result, node=request.node)
+                report = format_all_nodes_report(result) \
+                    if request.mode == "all-nodes" \
+                    else format_single_node_report(result)
             else:
-                result = op
-                payload = result.to_dict()
-                report = format_op_report(result)
+                op = _batch_op_result(batch, names, nonlinear, index, x,
+                                      iterations, strategies,
+                                      request.temperature)
+                if request.mode == "ac":
+                    result = ACResult(names, first.sweep().frequencies,
+                                      data[index], op=op)
+                    payload = result.to_dict()
+                    report = format_ac_report(result, node=request.node)
+                else:
+                    result = op
+                    payload = result.to_dict()
+                    report = format_op_report(result)
             responses.append(AnalysisResponse(
                 fingerprint=request.fingerprint(), mode=request.mode,
                 status="done", label=request.label, result=payload,
                 report=report, elapsed_seconds=elapsed))
         except Exception:
+            demotions += 1
             responses.append(execute_request(request))
+    if stability:
+        _STABILITY_GROUPS.inc()
+        _STABILITY_SAMPLES.inc(len(requests))
+        if demotions:
+            _STABILITY_DEMOTIONS.inc(demotions)
     return responses
 
 
@@ -520,10 +691,11 @@ class _ShmGroupPlan:
 
     __slots__ = ("indices", "mode", "backend", "fingerprint", "structure",
                  "names", "frequencies", "failures", "planes", "output",
-                 "ranges", "outcomes", "started")
+                 "ranges", "outcomes", "started", "node", "sweep")
 
     def __init__(self, indices, mode, backend, fingerprint, structure,
-                 names, frequencies, failures, planes, output, ranges):
+                 names, frequencies, failures, planes, output, ranges,
+                 node=None, sweep=None):
         self.indices = indices
         self.mode = mode
         self.backend = backend
@@ -535,6 +707,8 @@ class _ShmGroupPlan:
         self.planes = planes
         self.output = output
         self.ranges = ranges
+        self.node = node
+        self.sweep = sweep
         self.outcomes: List[Optional[object]] = [None] * len(ranges)
         self.started = time.time()
 
@@ -544,7 +718,7 @@ class _ShmGroupPlan:
             "fingerprint": self.fingerprint,
             "structure": self.structure,
             "planes": self.planes.name,
-            "output": self.output.name,
+            "output": self.output.name if self.output is not None else None,
             "rows": [start, stop],
             "mode": self.mode,
             "backend": self.backend,
@@ -552,11 +726,17 @@ class _ShmGroupPlan:
         }
         if self.frequencies is not None:
             descriptor["frequencies"] = [float(f) for f in self.frequencies]
+        if self.sweep is not None:
+            descriptor["sweep"] = list(self.sweep)
+        if self.node is not None:
+            descriptor["node"] = self.node
         return descriptor
 
     def release(self) -> None:
         """Unlink the group's plane and output blocks (idempotent)."""
         for block in (self.planes, self.output):
+            if block is None:
+                continue
             block.close()
             block.unlink()
 
@@ -666,8 +846,9 @@ class BatchEngine:
             ) -> List[AnalysisResponse]:
         """Execute every request; responses come back in submission order.
 
-        Same-structure groups of linear ``op``/``ac`` requests are served
-        first by the in-process batched kernel
+        Same-structure groups of ``op``/``ac``/``all-nodes``/
+        ``single-node`` requests are served first by the in-process
+        batched kernel
         (:func:`execute_linear_batch` — one vectorized restamp + one
         batched solve for the whole group, bypassing per-request pool
         dispatch); everything else goes down the configured per-request
@@ -726,13 +907,15 @@ class BatchEngine:
     def _fastpath_key(self, request: AnalysisRequest, index: int):
         """Batched-group key of a request; ``None`` when ineligible.
 
-        Eligible requests are ``op``/``ac`` mode; the key pins everything
-        a batch must share — circuit structure, mode, effective solver
-        backend and (for ``ac``) the frequency sweep.  Linearity is a
-        property of the compiled circuit and is checked once per group by
+        Eligible requests are ``op``/``ac``/``all-nodes``/``single-node``
+        mode; the key pins everything a batch must share — circuit
+        structure, mode, effective solver backend, the frequency sweep
+        for every frequency-domain mode, and the probe node for
+        ``single-node``.  Linearity is a property of the compiled
+        circuit and is checked once per group by
         :func:`execute_linear_batch`.
         """
-        if request.mode not in ("op", "ac"):
+        if request.mode not in ("op", "ac") + _STABILITY_MODES:
             return None
         try:
             backend = request.effective_backend()
@@ -743,8 +926,9 @@ class BatchEngine:
             return None
         sweep = ((request.sweep_start, request.sweep_stop,
                   request.sweep_points_per_decade)
-                 if request.mode == "ac" else None)
-        return (request.mode, key, backend, sweep)
+                 if request.mode != "op" else None)
+        node = request.node if request.mode == "single-node" else None
+        return (request.mode, key, backend, sweep, node)
 
     def _run_batched_fastpath(self, requests: Sequence[AnalysisRequest],
                               emit) -> List[int]:
@@ -970,14 +1154,19 @@ class BatchEngine:
 
         Eligibility mirrors the in-process fast path: every request in
         the group must share one fastpath key (mode, structure,
-        effective backend, sweep) and the compiled circuit must be
-        linear.  The parent restamps the whole group once
+        effective backend, sweep, probe node) and the compiled circuit
+        must be linear.  The parent restamps the whole group once
         (:meth:`~repro.analysis.CompiledCircuit.restamp_batch`), copies
         the value planes into a shared-memory block, stores the pickled
         circuit content-addressed (at most one copy per structure per
         pool lifetime) and cuts the sample axis into work-stealing row
-        ranges.  Returns ``None`` when the group cannot take this path
-        — the caller falls back to pickled chunks.
+        ranges.  ``op``/``ac`` tasks write solution vectors into a
+        shared output block; stability tasks (``all-nodes``/
+        ``single-node``) return serialized result payloads in the task
+        outcome instead (per-node results are small and ragged — a
+        fixed-stride block fits them poorly).  Returns ``None`` when
+        the group cannot take this path — the caller falls back to
+        pickled chunks.
         """
         first = requests[group[0]]
         keys = {self._fastpath_key(requests[i], i) for i in group}
@@ -986,6 +1175,7 @@ class BatchEngine:
         compiled = _compiled_for(first, cache_size=self.compiled_cache_size)
         if compiled is None or not compiled.is_linear:
             return None
+        stability = first.mode in _STABILITY_MODES
         try:
             fingerprint = first.structure_fingerprint()
             payload = pickle.dumps(first.resolved_circuit(),
@@ -1000,26 +1190,32 @@ class BatchEngine:
             planes = shm_transport.create_block(batch.export_planes())
         except Exception:
             return None
-        try:
-            total = len(group)
-            specs = {"x": ((total, compiled.size), np.float64)}
-            if frequencies is not None:
-                specs["ac"] = ((total, len(frequencies), compiled.size),
-                               np.complex128)
-            output = shm_transport.create_empty_block(specs)
-        except Exception:
-            planes.close()
-            planes.unlink()
-            return None
+        total = len(group)
+        output = None
+        if not stability:
+            try:
+                specs = {"x": ((total, compiled.size), np.float64)}
+                if frequencies is not None:
+                    specs["ac"] = ((total, len(frequencies), compiled.size),
+                                   np.complex128)
+                output = shm_transport.create_empty_block(specs)
+            except Exception:
+                planes.close()
+                planes.unlink()
+                return None
         per_chunk = self._steal_chunk_size(total)
         ranges = [(start, min(start + per_chunk, total))
                   for start in range(0, total, per_chunk)]
+        sweep = ((first.sweep_start, first.sweep_stop,
+                  first.sweep_points_per_decade) if stability else None)
         return _ShmGroupPlan(
             indices=list(group), mode=first.mode, backend=first.backend,
             fingerprint=fingerprint, structure=structure_name,
             names=list(compiled.variable_names), frequencies=frequencies,
             failures=dict(batch.failures), planes=planes, output=output,
-            ranges=ranges)
+            ranges=ranges,
+            node=first.node if first.mode == "single-node" else None,
+            sweep=sweep)
 
     def _finish_chunk_task(self, requests: Sequence[AnalysisRequest],
                            chunk: Sequence[int], outcome, emit,
@@ -1060,6 +1256,8 @@ class BatchEngine:
         """
         total = len(plan.indices)
         elapsed = (time.time() - plan.started) / max(total, 1)
+        stability = plan.mode in _STABILITY_MODES
+        row_payloads: List[Optional[list]] = [None] * total
         # None = solve locally; "" = use the block; str = lost (message).
         triage: List[Optional[str]] = [""] * total
         for slot, (start, stop) in enumerate(plan.ranges):
@@ -1076,28 +1274,42 @@ class BatchEngine:
                 for row in outcome.payload.get("failed", ()):
                     if start <= int(row) < stop:
                         triage[int(row)] = None
+                if stability:
+                    for offset, entry in enumerate(
+                            outcome.payload.get("results", ())):
+                        if start + offset < total:
+                            row_payloads[start + offset] = entry
         for row in plan.failures:
             if triage[row] == "":
                 triage[row] = None
-        x = plan.output.arrays.get("x")
-        ac = plan.output.arrays.get("ac")
+        x = plan.output.arrays.get("x") if plan.output is not None else None
+        ac = plan.output.arrays.get("ac") if plan.output is not None else None
+        demotions = 0
         for row, index in enumerate(plan.indices):
             request = requests[index]
             state = triage[row]
             if state == "":
                 try:
-                    op = OPResult(plan.names, np.array(x[row]), iterations=0,
-                                  strategy="linear",
-                                  temperature=request.temperature)
-                    if plan.mode == "ac":
-                        result = ACResult(plan.names, plan.frequencies,
-                                          np.array(ac[row]), op=op)
-                        payload = result.to_dict()
-                        text = format_ac_report(result, node=request.node)
+                    if stability:
+                        entry = row_payloads[row]
+                        if entry is None:
+                            raise AnalysisError(
+                                "solve task returned no stability payload")
+                        payload, text = entry[0], entry[1]
                     else:
-                        result = op
-                        payload = result.to_dict()
-                        text = format_op_report(result)
+                        op = OPResult(plan.names, np.array(x[row]),
+                                      iterations=0, strategy="linear",
+                                      temperature=request.temperature)
+                        if plan.mode == "ac":
+                            result = ACResult(plan.names, plan.frequencies,
+                                              np.array(ac[row]), op=op)
+                            payload = result.to_dict()
+                            text = format_ac_report(result,
+                                                    node=request.node)
+                        else:
+                            result = op
+                            payload = result.to_dict()
+                            text = format_op_report(result)
                     emit(index, AnalysisResponse(
                         fingerprint=request.fingerprint(), mode=request.mode,
                         status="done", label=request.label, result=payload,
@@ -1106,9 +1318,15 @@ class BatchEngine:
                 except Exception:
                     state = None
             if state is None:
+                demotions += 1
                 emit(index, execute_request(request))
             else:
                 emit(index, AnalysisResponse(
                     fingerprint=_safe_fingerprint(request),
                     mode=request.mode, status="failed", label=request.label,
                     error=state))
+        if stability:
+            _STABILITY_GROUPS.inc()
+            _STABILITY_SAMPLES.inc(total)
+            if demotions:
+                _STABILITY_DEMOTIONS.inc(demotions)

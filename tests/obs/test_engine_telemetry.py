@@ -106,9 +106,15 @@ class TestEngineRunTelemetry:
     def test_process_pool_preserves_worker_counters(self):
         # Regression: process-pool workers used to drop their solver
         # counters on the floor; the engine-level report must now see
-        # nonzero factorizations from pool-executed requests.
+        # nonzero factorizations from pool-executed requests.  dc-sweep
+        # requests are used because they are the mode that still always
+        # dispatches per-request to the pool — every batchable mode
+        # (op/ac/all-nodes/single-node) now runs the in-process kernel.
         engine = BatchEngine(max_workers=2, backend="process")
-        requests = [AnalysisRequest(netlist=RLC_NETLIST,
+        requests = [AnalysisRequest(netlist=RLC_NETLIST, mode="dc-sweep",
+                                    node="tank", dc_variable="rval",
+                                    dc_start=500.0, dc_stop=2000.0,
+                                    dc_points=4,
                                     temperature=float(t), label=f"t{t}")
                     for t in (0, 27, 85)]
         responses = engine.run(requests)
@@ -131,12 +137,19 @@ class TestEngineRunTelemetry:
 
     def test_thread_backend_does_not_double_count(self):
         # Thread-pool chunks mutate the parent registry directly, so
-        # their deltas must NOT be merged a second time.
+        # their deltas must NOT be merged a second time.  dc-sweep mode
+        # keeps the requests on the per-request pool path (every
+        # batchable mode now runs the in-process kernel instead).
         engine = BatchEngine(max_workers=2, backend="thread")
         responses = engine.run([
-            AnalysisRequest(netlist=RLC_NETLIST, label="a"),
-            AnalysisRequest(netlist=RLC_NETLIST, temperature=85.0,
-                            label="b")])
+            AnalysisRequest(netlist=RLC_NETLIST, mode="dc-sweep",
+                            node="tank", dc_variable="rval",
+                            dc_start=500.0, dc_stop=2000.0, dc_points=4,
+                            label="a"),
+            AnalysisRequest(netlist=RLC_NETLIST, mode="dc-sweep",
+                            node="tank", dc_variable="rval",
+                            dc_start=500.0, dc_stop=2000.0, dc_points=4,
+                            temperature=85.0, label="b")])
         assert all(r.ok for r in responses)
         report = engine.last_report
         assert report.worker_metrics == empty_snapshot()

@@ -1,11 +1,14 @@
-"""The BatchEngine's in-process batched fast path for op/ac groups.
+"""The BatchEngine's in-process batched fast path for request groups.
 
 Same-structure groups of ``op``/``ac`` requests must run through the
 sample-axis batch kernel (observable via ``SolveStats`` batch counters),
 produce results identical to the scalar per-request path, and isolate
 poisoned samples by falling back to scalar execution.  Linear groups
-solve directly; nonlinear ``op`` groups ride the masked batched Newton
-engine; nonlinear ``ac`` groups and non-op/ac modes stay per-request.
+solve directly; nonlinear groups ride the masked batched Newton engine,
+then — for the frequency-domain modes — linearize per sample and solve
+the whole group in stacked AC sweeps.  Stability-screening groups
+(``all-nodes``/``single-node``) are covered in
+``test_stability_batch.py``.
 """
 
 import numpy as np
@@ -195,29 +198,47 @@ class TestBatchedOpGroups:
             scale = max(float(np.max(np.abs(xs))), 1.0)
             assert float(np.max(np.abs(xb - xs))) <= 1e-9 * scale
 
-    def test_nonlinear_ac_groups_stay_per_request(self, engine, stats):
+    def test_nonlinear_ac_groups_ride_the_batch_fastpath(self, engine, stats):
+        """Nonlinear same-structure ac groups batch in-process now (they
+        used to fall off the fast path entirely): one batched Newton
+        solve, per-sample linearization, one stacked AC sweep — and the
+        responses match the scalar per-request path."""
         circuit = circuits.opamp_with_bias().circuit
         requests = [AnalysisRequest(mode="ac", circuit=circuit, node="output",
                                     variables={"vcm": v},
                                     sweep_start=1e3, sweep_stop=1e6,
                                     sweep_points_per_decade=2)
                     for v in (2.48, 2.52)]
-        assert execute_linear_batch(requests) is None
+        assert execute_linear_batch(requests) is not None
         responses = engine.run(requests)
-        assert engine.last_report.fastpath_requests == 0
-        assert all(r.ok for r in responses)
+        assert engine.last_report.fastpath_requests == len(requests)
+        for request, response in zip(requests, responses):
+            assert response.ok
+            scalar = execute_request(request)
+            assert response.fingerprint == scalar.fingerprint
+            db = response.ac_result().data
+            ds = scalar.ac_result().data
+            scale = max(float(np.max(np.abs(ds))), 1.0)
+            # The batched and scalar Newton solutions agree to ~1e-9;
+            # exponential device conductances amplify that by ~1/Vt when
+            # linearizing, so the AC responses agree to ~1e-7.
+            assert float(np.max(np.abs(db - ds))) <= 1e-6 * scale
 
-    def test_single_requests_and_other_modes_stay_scalar(self, engine, stats):
+    def test_single_requests_and_dc_sweeps_stay_scalar(self, engine, stats):
         circuit = _variable_divider()
         lone = engine.run([AnalysisRequest(mode="op", circuit=circuit)])
         assert lone[0].ok and stats.batch_solves == 0
         mixed = engine.run([
-            AnalysisRequest(mode="all-nodes", circuit=circuit),
-            AnalysisRequest(mode="all-nodes", circuit=circuit,
-                            temperature=85.0),
+            AnalysisRequest(mode="dc-sweep", circuit=circuit, node="out",
+                            dc_variable="rtop", dc_start=1e3, dc_stop=2e3,
+                            dc_points=3),
+            AnalysisRequest(mode="dc-sweep", circuit=circuit, node="out",
+                            dc_variable="rtop", dc_start=1e3, dc_stop=2e3,
+                            dc_points=5),
         ])
         assert all(r.ok for r in mixed)
         assert stats.batch_solves == 0
+        assert engine.last_report.fastpath_requests == 0
 
     def test_backend_split_groups_separately(self, engine):
         """Requests pinning different solver backends never share a batch

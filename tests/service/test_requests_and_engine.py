@@ -299,8 +299,17 @@ class TestStructureGrouping:
         import repro.service.engine as engine_module
 
         engine = BatchEngine(max_workers=2, backend="thread")
-        requests = [AnalysisRequest(netlist=RLC_NETLIST, label="a"),
-                    AnalysisRequest(netlist=RLC_NETLIST, temperature=85.0,
+        # dc-sweep mode pins the requests to the chunked pool path — the
+        # batchable modes (op/ac/all-nodes/single-node) would be served
+        # by the in-process kernel and never reach the exploding chunk.
+        requests = [AnalysisRequest(netlist=RLC_NETLIST, mode="dc-sweep",
+                                    node="tank", dc_variable="rval",
+                                    dc_start=500.0, dc_stop=2000.0,
+                                    dc_points=4, label="a"),
+                    AnalysisRequest(netlist=RLC_NETLIST, mode="dc-sweep",
+                                    node="tank", dc_variable="rval",
+                                    dc_start=500.0, dc_stop=2000.0,
+                                    dc_points=4, temperature=85.0,
                                     label="b")]
         expected = [r.fingerprint() for r in requests]
 

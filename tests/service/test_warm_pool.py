@@ -307,7 +307,12 @@ class TestCompiledCacheConfig:
         engine.run(requests)
         report = engine.last_report
         assert report.counter("engine.compile_cache.misses") >= 1
-        assert report.counter("engine.compile_cache.hits") >= 2
+        # The batched fast path compiles once per group, so the hits show
+        # up on a second run over the same structure.
+        engine.run(requests)
+        report = engine.last_report
+        assert report.counter("engine.compile_cache.hits") >= 1
+        assert report.counter("engine.compile_cache.misses") == 0
 
 
 class TestNetlistHashMemo:
