@@ -1,0 +1,165 @@
+"""HTTP gateway throughput — concurrent job submissions over real sockets.
+
+The serving bar of ISSUE 10: a warm gateway must sustain at least 50
+jobs/s end to end — HTTP parsing, admission, queueing, dispatch, the
+service's cache/engine, and the JSON response — measured with real
+concurrent clients, and every served result must be bit-equal to what a
+direct in-process ``execute_request`` produces for the same payload
+(throughput that returns wrong answers does not count).
+
+The workload mirrors the acceptance soak: op-amp buffer screens cycling
+over a few design variants, submitted by 8 client threads over plain
+``http.client`` connections against a warm (pre-cached) gateway.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+from benchmarks.conftest import write_result
+from repro.circuits import opamp_buffer_netlist
+from repro.service import AnalysisRequest
+from repro.service.engine import execute_request
+from repro.service.gateway import StabilityGateway
+
+JOBS_TOTAL = 200
+CLIENT_THREADS = 8
+RATE_FLOOR_JOBS_PER_SECOND = 50.0
+
+#: A few distinct fingerprints so the storm exercises the cache/coalescing
+#: path the way a real screening front end would (identical re-submissions
+#: dominate; the engine computed each variant exactly once).
+VARIANTS = [{"cload": cload} for cload in (0.5e-9, 1.0e-9, 2.0e-9, 4.0e-9)]
+
+
+def _job_body(variant):
+    return {
+        "mode": "op",
+        "netlist": opamp_buffer_netlist(),
+        "variables": variant,
+        "label": "bench",
+    }
+
+
+def _strip_volatile(payload):
+    payload = dict(payload)
+    for key in ("elapsed_seconds", "created", "cached", "telemetry", "label"):
+        payload.pop(key, None)
+    result = payload.get("result")
+    if isinstance(result, dict):
+        result = dict(result)
+        result.pop("elapsed_seconds", None)
+        payload["result"] = result
+    return payload
+
+
+class _Client:
+    def __init__(self, port):
+        self.conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+
+    def request(self, method, path, body=None):
+        payload = None if body is None else json.dumps(body).encode()
+        self.conn.request(method, path, body=payload,
+                          headers={"Content-Type": "application/json"})
+        response = self.conn.getresponse()
+        data = response.read()
+        return response.status, json.loads(data) if data else None
+
+    def submit_and_wait(self, variant):
+        status, body = self.request("POST", "/jobs", _job_body(variant))
+        assert status == 202, (status, body)
+        job_id = body["id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status, body = self.request("GET", f"/jobs/{job_id}?results=1")
+            assert status == 200
+            if body["status"] in ("done", "failed", "cancelled"):
+                return body
+            time.sleep(0.002)
+        raise AssertionError(f"job {job_id} never finished")
+
+    def close(self):
+        self.conn.close()
+
+
+def test_gateway_throughput(benchmark):
+    gateway = StabilityGateway(port=0, dispatchers=4, max_queue_depth=512,
+                               backend="serial", persistent=False)
+    gateway.start()
+    _, port = gateway.address
+    try:
+        # Equivalence references, computed directly — and a warm-up that
+        # also fills the gateway's result cache with every variant.
+        references = {}
+        warm = _Client(port)
+        for index, variant in enumerate(VARIANTS):
+            body = _job_body(variant)
+            direct = execute_request(AnalysisRequest(**body)).to_dict()
+            references[index] = _strip_volatile(direct)
+            served = warm.submit_and_wait(variant)
+            assert served["status"] == "done"
+        warm.close()
+
+        outcomes = [None] * JOBS_TOTAL
+        errors = []
+
+        def storm(slot, count):
+            client = _Client(port)
+            try:
+                base = slot * count
+                for offset in range(count):
+                    index = base + offset
+                    if index >= JOBS_TOTAL:
+                        return
+                    variant_index = index % len(VARIANTS)
+                    job = client.submit_and_wait(VARIANTS[variant_index])
+                    outcomes[index] = (variant_index, job)
+            except Exception as exc:   # surface, don't hang the join
+                errors.append(f"client {slot}: {exc!r}")
+            finally:
+                client.close()
+
+        per_thread = -(-JOBS_TOTAL // CLIENT_THREADS)
+
+        def run_storm():
+            threads = [threading.Thread(target=storm, args=(slot, per_thread))
+                       for slot in range(CLIENT_THREADS)]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return time.perf_counter() - start
+
+        elapsed = benchmark.pedantic(run_storm, rounds=1, iterations=1)
+        assert not errors, errors
+
+        # Equivalence gate: every served result matches the direct run.
+        completed = 0
+        for outcome in outcomes:
+            assert outcome is not None, "dropped job"
+            variant_index, job = outcome
+            assert job["status"] == "done", job
+            [result] = job["results"]
+            assert _strip_volatile(result) == references[variant_index]
+            completed += 1
+        assert completed == JOBS_TOTAL
+
+        rate = JOBS_TOTAL / elapsed
+        stats = gateway.metrics()["gateway"]
+        write_result(
+            "gateway_throughput.txt",
+            "HTTP gateway throughput (op-amp op screens, warm cache)\n"
+            f"  jobs submitted:     {JOBS_TOTAL:8d} "
+            f"({CLIENT_THREADS} client threads)\n"
+            f"  wall time:          {elapsed:8.2f} s\n"
+            f"  throughput:         {rate:8.1f} jobs/s "
+            f"(floor {RATE_FLOOR_JOBS_PER_SECOND:.0f})\n"
+            f"  gateway completed:  {stats['completed']:8d} jobs "
+            f"(rejected {stats['rejected']}, failed {stats['failed']})\n")
+        assert rate >= RATE_FLOOR_JOBS_PER_SECOND, (
+            f"gateway must sustain >= {RATE_FLOOR_JOBS_PER_SECOND:.0f} "
+            f"jobs/s end to end (got {rate:.1f})")
+    finally:
+        gateway.close()

@@ -1,0 +1,114 @@
+"""HTTP gateway tour: submit, stream, cancel and observe over the wire.
+
+Boots the job gateway in-process on a free port (exactly what
+``python -m repro.service serve`` runs as a daemon), then drives it with
+plain ``http.client`` — no third-party HTTP stack anywhere:
+
+1. submit a Monte Carlo screen of the paper's op-amp buffer as one job
+   (the gateway expands the scenario spec server-side) and stream its
+   per-sample results over chunked NDJSON as they land;
+2. submit the identical job again — every sample is answered from the
+   content-addressed cache;
+3. show backpressure: a queue bounded at depth 1 answers the second
+   submission with ``429`` and a ``Retry-After`` hint;
+4. read ``/metrics`` and shut down gracefully (drain, then close the
+   warm pool).
+
+Run with:  python examples/http_gateway_client.py
+"""
+
+import http.client
+import json
+
+from repro.circuits import opamp_buffer_netlist
+from repro.service.gateway import StabilityGateway
+
+TERMINAL = ("done", "failed", "cancelled")
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    payload = None if body is None else json.dumps(body).encode()
+    conn.request(method, path, body=payload,
+                 headers={"Content-Type": "application/json"})
+    response = conn.getresponse()
+    data = response.read()
+    conn.close()
+    return response.status, dict(response.getheaders()), \
+        json.loads(data) if data else None
+
+
+def main() -> None:
+    gateway = StabilityGateway(port=0, dispatchers=2, backend="serial")
+    gateway.start()
+    _, port = gateway.address
+    print(f"gateway listening on 127.0.0.1:{port}")
+
+    # -- 1. one Monte Carlo job, streamed ------------------------------
+    job_body = {
+        "mode": "op",
+        "netlist": opamp_buffer_netlist(),
+        "scenarios": {
+            "variables": {"cload": {"kind": "uniform",
+                                    "params": [0.5e-9, 4e-9]}},
+            "samples": 6,
+            "seed": 11,
+        },
+        "priority": "high",
+        "label": "opamp screen",
+    }
+    status, headers, submitted = request(port, "POST", "/jobs", job_body)
+    assert status == 202, (status, submitted)
+    job_id = submitted["id"]
+    print(f"submitted job {job_id} -> {headers['Location']}")
+
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    conn.request("GET", f"/jobs/{job_id}/stream")
+    stream = conn.getresponse()
+    while True:
+        line = stream.readline()
+        if not line:
+            break
+        event = json.loads(line)
+        if "index" in event:
+            print(f"  sample {event['index']}: "
+                  f"status={event['response']['status']}")
+        elif event.get("status") in TERMINAL:
+            print(f"  job finished: {event['status']} "
+                  f"({event['completed']}/{event['requests']} results)")
+            break
+    conn.close()
+
+    # -- 2. identical job again: served from the cache ----------------
+    _, _, again = request(port, "POST", "/jobs", job_body)
+    while True:
+        _, _, snapshot = request(port, "GET", f"/jobs/{again['id']}")
+        if snapshot["status"] in TERMINAL:
+            break
+    print(f"re-submission: {snapshot['cached_requests']}"
+          f"/{snapshot['requests']} samples from cache")
+
+    # -- 3. backpressure: watermark 1 -> second submission gets 429 ---
+    with StabilityGateway(port=0, dispatchers=0, max_queue_depth=1,
+                          backend="serial") as tiny:
+        tiny.start()
+        _, tiny_port = tiny.address
+        one = {"mode": "op", "netlist": opamp_buffer_netlist()}
+        status, _, _ = request(tiny_port, "POST", "/jobs", one)
+        status, headers, refused = request(tiny_port, "POST", "/jobs", one)
+        print(f"bounded queue: second submission -> {status}, "
+              f"Retry-After: {headers['Retry-After']}s "
+              f"({refused['error']})")
+
+    # -- 4. metrics, then graceful shutdown ---------------------------
+    _, _, metrics = request(port, "GET", "/metrics")
+    stats = metrics["gateway"]
+    print(f"gateway metrics: submitted={stats['submitted']} "
+          f"completed={stats['completed']} rejected={stats['rejected']} "
+          f"queued={stats['queued']}")
+    gateway.close()          # drain in-flight jobs, close the warm pool
+    print("gateway closed")
+
+
+if __name__ == "__main__":
+    main()

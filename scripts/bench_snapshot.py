@@ -9,7 +9,8 @@ Monte Carlo screen vs. per-sample compiled Newton), the batched
 all-nodes stability screen (one impedance cube + vectorized peak
 extraction vs. per-request execution), the warm
 persistent-pool transport (one warm batch vs. standing up a fresh
-process pool), the
+process pool), the end-to-end HTTP gateway job rate (concurrent clients
+against a warm in-process gateway), the
 sparse-vs-dense backend speedup and the observability overhead (disabled
 span price, traced-vs-untraced ratio, engine counters) — and writes
 ``BENCH_parametric.json``
@@ -353,6 +354,56 @@ def warm_pool_speedup(samples: int) -> dict:
             "restarts": stats["restarts"]}
 
 
+def gateway_throughput(jobs: int = 64, clients: int = 4) -> dict:
+    """End-to-end HTTP gateway job rate on a warm cache (see
+    benchmarks/bench_gateway_throughput.py for the blocking 50 jobs/s
+    bar) plus the queue/lifecycle counters the storm produced."""
+    import threading
+
+    from benchmarks.bench_gateway_throughput import VARIANTS, _Client
+    from repro.service.gateway import StabilityGateway
+
+    gateway = StabilityGateway(port=0, dispatchers=4, max_queue_depth=512,
+                               backend="serial", persistent=False)
+    gateway.start()
+    _, port = gateway.address
+    try:
+        warm = _Client(port)
+        for variant in VARIANTS:                         # fill the cache
+            warm.submit_and_wait(variant)
+        warm.close()
+
+        def storm(slot, count):
+            client = _Client(port)
+            try:
+                for offset in range(count):
+                    client.submit_and_wait(
+                        VARIANTS[(slot * count + offset) % len(VARIANTS)])
+            finally:
+                client.close()
+
+        per_client = jobs // clients
+        threads = [threading.Thread(target=storm, args=(slot, per_client))
+                   for slot in range(clients)]
+        started = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = gateway.metrics()["gateway"]
+    finally:
+        gateway.close()
+    return {"jobs": per_client * clients,
+            "client_threads": clients,
+            "elapsed_seconds": round(elapsed, 3),
+            "jobs_per_second": round(per_client * clients
+                                     / max(elapsed, 1e-9), 1),
+            "completed": stats["completed"],
+            "rejected": stats["rejected"],
+            "failed": stats["failed"]}
+
+
 def backend_speedup(sections: int = 1000) -> dict:
     """Sparse vs. dense AC sweep on the big ladder (see bench_linalg_backends)."""
     from repro.analysis import ac_analysis
@@ -396,6 +447,7 @@ def main(argv=None) -> int:
         "newton_batch": newton_batch_speedup(max(args.samples // 2, 32)),
         "stability_batch": stability_batch_speedup(max(args.samples // 4, 16)),
         "warm_pool": warm_pool_speedup(max(args.samples // 4, 16)),
+        "gateway": gateway_throughput(max(args.samples // 4, 16)),
         "backends": backend_speedup(),
         "observability": observability_overhead(max(args.samples // 2, 32)),
     }

@@ -24,6 +24,7 @@ from repro.circuits.opamp_2mhz import (
     DEFAULT_DESIGN_VARIABLES,
     OpAmpDesign,
     opamp_buffer,
+    opamp_buffer_netlist,
     opamp_open_loop,
 )
 from repro.circuits.opamp_full import FullCircuitDesign, opamp_with_bias
@@ -40,7 +41,8 @@ __all__ = [
     "RLCDesign", "parallel_rlc", "parallel_rlc_for", "series_rlc_divider",
     "MacroOpAmpDesign", "two_pole_opamp_buffer", "two_pole_open_loop",
     "closed_loop_damping_for_two_pole",
-    "OpAmpDesign", "opamp_buffer", "opamp_open_loop", "DEFAULT_DESIGN_VARIABLES",
+    "OpAmpDesign", "opamp_buffer", "opamp_buffer_netlist", "opamp_open_loop",
+    "DEFAULT_DESIGN_VARIABLES",
     "BiasDesign", "bias_circuit", "DEFAULT_BIAS_VARIABLES",
     "FullCircuitDesign", "opamp_with_bias",
     "MirrorDesign", "simple_mirror", "buffered_mirror",

@@ -35,7 +35,8 @@ from repro.circuit.builder import CircuitBuilder
 from repro.circuit.netlist import Circuit
 from repro.circuits.models import NPN, PNP
 
-__all__ = ["OpAmpDesign", "DEFAULT_DESIGN_VARIABLES", "opamp_buffer", "opamp_open_loop"]
+__all__ = ["OpAmpDesign", "DEFAULT_DESIGN_VARIABLES", "opamp_buffer",
+           "opamp_buffer_netlist", "opamp_open_loop"]
 
 #: Nominal values of the paper's three design variables plus the bias knobs.
 DEFAULT_DESIGN_VARIABLES: Dict[str, float] = {
@@ -129,6 +130,46 @@ def opamp_buffer(variables: Optional[Dict[str, float]] = None) -> OpAmpDesign:
         first_stage_node="first",
         variables=merged,
     )
+
+
+#: SPICE-text form of :func:`opamp_buffer` — same topology, same models,
+#: same design variables.  This is what goes over the wire to the HTTP
+#: gateway, whose requests carry netlist text rather than Circuit
+#: objects.
+_OPAMP_BUFFER_NETLIST = """2 MHz op-amp as unity-gain buffer
+.param rzero=130 c1=17p cload=1n itail=40u istage2=200u vsupply=5 vcm=2.5
+.model npn_std NPN(IS=5e-16 BF=150 BR=2 VAF=80 CJE=1.2p VJE=0.8 MJE=0.35 \
+CJC=0.6p VJC=0.65 MJC=0.4 TF=0.45n TR=30n XTB=1.5)
+.model pnp_std PNP(IS=2e-16 BF=60 BR=2 VAF=50 CJE=1.5p VJE=0.75 MJE=0.35 \
+CJC=1p VJC=0.6 MJC=0.4 TF=1.8n TR=60n XTB=1.5)
+VCC vcc 0 {vsupply}
+Vin inp 0 DC {vcm} AC 1
+Itail vcc tail {itail}
+Q1 mirror output tail pnp_std
+Q2 first inp tail pnp_std
+Q3 mirror mirror 0 npn_std
+Q4 first mirror 0 npn_std
+Q5 output first 0 npn_std 4
+Istage2 vcc output {istage2}
+Rzero output zx {rzero}
+C1 zx first {c1}
+Cload output 0 {cload}
+.end
+"""
+
+
+def opamp_buffer_netlist() -> str:
+    """The unity-gain buffer as SPICE netlist text (for JSON/HTTP fronts).
+
+    Parses to the same design :func:`opamp_buffer` builds — identical
+    topology, models and design variables; the stability verdicts of the
+    two forms agree to machine precision (element order inside the
+    parsed vs. built circuit differs, so raw plot samples may differ by
+    an ulp).  Use this wherever a request must round-trip through JSON
+    (the gateway's ``POST /jobs``), where a built ``Circuit`` object
+    cannot go.
+    """
+    return _OPAMP_BUFFER_NETLIST
 
 
 def opamp_open_loop(variables: Optional[Dict[str, float]] = None,

@@ -19,6 +19,13 @@ future work, built from four pieces:
 * :mod:`repro.service.scenarios` — Monte Carlo sampling of design
   variables and temperature into request batches, reduced to
   stability-yield statistics.
+* :mod:`repro.service.jobs` — the async job layer: a priority
+  :class:`~repro.service.jobs.JobQueue` with a bounded admission gate and
+  :class:`~repro.service.jobs.JobManager` dispatcher threads (per-job
+  failure isolation, cooperative cancel, graceful drain).
+* :mod:`repro.service.gateway` — :class:`StabilityGateway`, the
+  long-lived stdlib HTTP front: submit jobs, poll or stream results,
+  scrape ``/metrics``; ``python -m repro.service serve`` boots it.
 
 :class:`StabilityService` ties them together; ``python -m repro.service``
 exposes the whole thing on the command line.
@@ -47,6 +54,8 @@ disk and are promoted back on their next hit.
 
 from repro.service.cache import CacheStats, ResultCache
 from repro.service.engine import BatchEngine, execute_request
+from repro.service.gateway import StabilityGateway
+from repro.service.jobs import Job, JobManager, JobQueue, QueueFullError
 from repro.service.pool import WorkerPool
 from repro.service.requests import AnalysisRequest, AnalysisResponse, expand_corners
 from repro.service.scenarios import (
@@ -78,14 +87,19 @@ __all__ = [
     "CacheStats",
     "DCSweepReport",
     "Distribution",
+    "Job",
+    "JobManager",
+    "JobQueue",
     "MonteCarloReport",
     "OpReport",
     "OpSpread",
+    "QueueFullError",
     "ResultCache",
     "SampleOutcome",
     "Scenario",
     "ScenarioSpec",
     "StabilityCriteria",
+    "StabilityGateway",
     "StabilityService",
     "SweepEnvelope",
     "WorkerPool",

@@ -34,6 +34,10 @@ Usage examples::
     # Cache inspection / maintenance:
     python -m repro.service cache stats
     python -m repro.service cache clear
+
+    # Long-lived HTTP job gateway (warm pool, bounded queue, /metrics):
+    python -m repro.service serve --port 8080 --workers 4 \\
+        --max-queue-depth 128 --priority normal
 """
 
 from __future__ import annotations
@@ -56,7 +60,8 @@ from repro.service.scenarios import Distribution, ScenarioSpec, StabilityCriteri
 from repro.service.service import StabilityService
 
 __all__ = ["DEFAULT_CACHE_DIR", "build_parser", "main",
-           "cmd_analyze", "cmd_montecarlo", "cmd_cache", "cmd_stats"]
+           "cmd_analyze", "cmd_montecarlo", "cmd_cache", "cmd_serve",
+           "cmd_stats"]
 
 #: Default disk-cache root, under the session result directory the tool
 #: layer also writes to (see repro.tool.session.SimulationEnvironment).
@@ -411,11 +416,59 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _snapshot_has_readings(snapshot: dict) -> bool:
+    """True when any metric in the registry snapshot recorded anything."""
+    if any(snapshot.get("counters", {}).values()):
+        return True
+    if any(snapshot.get("gauges", {}).values()):
+        return True
+    return any(data.get("count") for data
+               in snapshot.get("histograms", {}).values())
+
+
 def cmd_stats(args) -> int:
-    """Print the service telemetry payload (the future /metrics body)."""
+    """Print the service telemetry payload (the /metrics body)."""
     cache = ResultCache(args.cache_dir)
     service = StabilityService(cache=cache)
-    print(json.dumps(service.engine_report(), indent=2, sort_keys=True))
+    payload = service.engine_report()
+    if payload["engine"] is None and \
+            not _snapshot_has_readings(payload["metrics"]):
+        # Fresh process, fresh registry: the JSON payload on stdout stays
+        # machine-readable (all-zero), the human reads why on stderr.
+        print("no metrics recorded yet in this process "
+              "(run an analysis, or query a live gateway's /metrics)",
+              file=sys.stderr)
+    print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Boot the long-lived HTTP job gateway and serve until interrupted."""
+    from repro.service.gateway import StabilityGateway
+
+    cache_dir = None if args.no_cache else args.cache_dir
+    service = StabilityService(cache=ResultCache(cache_dir),
+                               max_workers=args.workers,
+                               backend=args.backend,
+                               persistent=not args.no_persistent_pool,
+                               compiled_cache_size=args.compiled_cache,
+                               pool_idle_timeout=args.pool_idle_timeout)
+    gateway = StabilityGateway(service,
+                               host=args.host, port=args.port,
+                               dispatchers=args.dispatchers,
+                               max_queue_depth=args.max_queue_depth,
+                               default_priority=args.priority)
+    host, port = gateway.address
+    print(f"serving on http://{host}:{port} "
+          f"(queue watermark {args.max_queue_depth}, "
+          f"{args.dispatchers} dispatchers; Ctrl-C drains and exits)",
+          file=sys.stderr)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        print("draining in-flight jobs ...", file=sys.stderr)
+    finally:
+        gateway.close(drain=True)
     return 0
 
 
@@ -506,6 +559,46 @@ def build_parser() -> argparse.ArgumentParser:
                       "cache stats, metric registry snapshot) as JSON")
     stats.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR)
     stats.set_defaults(func=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the long-lived HTTP job gateway (async job "
+                      "submission over the warm engine; see docs/service.md)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port; 0 picks an ephemeral one "
+                            "(default: 8080)")
+    serve.add_argument("--max-queue-depth", type=int, default=128,
+                       metavar="N",
+                       help="admission watermark: queued jobs beyond this "
+                            "are refused with 429 + Retry-After "
+                            "(default: 128)")
+    serve.add_argument("--priority", choices=("high", "normal", "low"),
+                       default="normal",
+                       help="queue class of jobs that name none "
+                            "(default: normal)")
+    serve.add_argument("--dispatchers", type=int, default=2, metavar="N",
+                       help="job dispatcher threads draining the queue "
+                            "into the engine (default: 2)")
+    serve.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                       help=f"disk cache root (default: {DEFAULT_CACHE_DIR})")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache for this server")
+    serve.add_argument("--workers", type=int, default=None,
+                       help="engine pool size (default: CPU count, capped "
+                            "at 8)")
+    serve.add_argument("--backend", choices=("process", "thread", "serial"),
+                       default="process", help="batch execution backend")
+    serve.add_argument("--no-persistent-pool", action="store_true",
+                       help="tear the worker pool down after every batch")
+    serve.add_argument("--pool-idle-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="recycle idle pool workers after this many "
+                            "seconds (default: never)")
+    serve.add_argument("--compiled-cache", type=int, default=None,
+                       metavar="N",
+                       help="compiled-circuit LRU entries per worker")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

@@ -1,0 +1,583 @@
+"""Async job layer over :class:`~repro.service.service.StabilityService`.
+
+The gateway (and any other long-lived front end) needs more than the
+synchronous ``submit_batch`` call: clients submit work and come back
+later, some work matters more than other work, and a daemon must refuse
+load it cannot absorb instead of queueing unboundedly.  This module is
+that layer, engine-agnostic and HTTP-free:
+
+* :class:`Job` — one submitted unit of work: a list of
+  :class:`~repro.service.requests.AnalysisRequest` objects moving
+  through ``queued -> running -> done`` (or ``cancelled``/``failed``),
+  with per-request results landing incrementally so pollers and
+  streamers see progress before the job finishes.
+* :class:`JobQueue` — a strict-priority queue (``high`` before
+  ``normal`` before ``low``, FIFO within a class) with a **bounded
+  admission gate**: once the queued depth reaches the watermark,
+  :meth:`JobQueue.put` raises :class:`QueueFullError` carrying a
+  retry-after hint — the gateway turns that into ``429 Retry-After``.
+* :class:`JobManager` — dispatcher threads draining the queue into one
+  shared :class:`StabilityService`.  Per-job failure isolation (a job
+  whose execution blows up is marked ``failed``; the dispatcher and
+  every other job survive), cooperative cancellation (queued jobs
+  cancel immediately, running jobs stop at the next slice boundary) and
+  graceful shutdown (:meth:`JobManager.close` drains in-flight work
+  before the engine's warm pool goes down).
+
+Concurrency safety around the *cache* lives one layer down: concurrent
+jobs carrying the same content-addressed fingerprint collapse onto one
+engine execution through the service's in-flight table (see
+``StabilityService.submit_batch``), so a thundering herd of identical
+requests — the classic cache stampede — costs one solve.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import traceback
+import uuid
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ToolError
+from repro.obs.metrics import global_registry
+from repro.obs.trace import span as _span
+from repro.service.requests import AnalysisRequest, AnalysisResponse
+from repro.service.service import StabilityService
+
+__all__ = ["Job", "JobManager", "JobQueue", "PRIORITIES", "QueueFullError"]
+
+#: Priority classes, strongest first.  The queue pops strictly by class
+#: (FIFO within a class), so a high-priority job overtakes every queued
+#: normal/low job but never preempts one that already started.
+PRIORITIES = ("high", "normal", "low")
+_PRIORITY_RANK = {name: rank for rank, name in enumerate(PRIORITIES)}
+
+#: Job states.  ``queued`` and ``running`` are live; the other three are
+#: terminal (a terminal job never changes again).
+TERMINAL_STATES = ("done", "failed", "cancelled")
+
+_SUBMITTED = global_registry().counter("jobs.submitted")
+_REJECTED = global_registry().counter("jobs.rejected")
+_COMPLETED = global_registry().counter("jobs.completed")
+_FAILED = global_registry().counter("jobs.failed")
+_CANCELLED = global_registry().counter("jobs.cancelled")
+_QUEUE_DEPTH = global_registry().gauge("jobs.queue_depth")
+_RUNNING = global_registry().gauge("jobs.running")
+
+
+class QueueFullError(ToolError):
+    """The admission gate refused a job: queued depth is at the watermark.
+
+    ``retry_after_seconds`` is the backpressure hint the gateway sends as
+    the HTTP ``Retry-After`` header.
+    """
+
+    def __init__(self, depth: int, watermark: int,
+                 retry_after_seconds: float = 1.0):
+        super().__init__(
+            f"job queue is full ({depth} queued, watermark {watermark}); "
+            f"retry in {retry_after_seconds:g}s")
+        self.depth = depth
+        self.watermark = watermark
+        self.retry_after_seconds = float(retry_after_seconds)
+
+
+def validate_priority(priority: str) -> str:
+    """The priority class, normalised; raises ``ToolError`` on junk."""
+    name = str(priority).strip().lower()
+    if name not in _PRIORITY_RANK:
+        raise ToolError(f"unknown priority {priority!r}; "
+                        f"expected one of {PRIORITIES}")
+    return name
+
+
+class Job:
+    """One submitted batch of requests and everything that became of it.
+
+    Thread-safe: status transitions and result appends happen under one
+    condition variable, which also wakes pollers (:meth:`wait`) and
+    streamers (:meth:`wait_result`).  Results land **in submission
+    order** as execution slices complete, so ``results[i]`` always
+    corresponds to ``requests[i]``.
+    """
+
+    def __init__(self, requests: Sequence[AnalysisRequest],
+                 priority: str = "normal",
+                 label: Optional[str] = None):
+        requests = list(requests)
+        if not requests:
+            raise ToolError("a job needs at least one request")
+        self.id = uuid.uuid4().hex[:16]
+        self.requests = requests
+        self.priority = validate_priority(priority)
+        self.label = label
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.status = "queued"
+        self.error: Optional[str] = None
+        self.error_traceback: Optional[str] = None
+        self.cancel_requested = False
+        self._results: List[Optional[AnalysisResponse]] = \
+            [None] * len(requests)
+        self._completed = 0
+        self._cond = threading.Condition()
+
+    # -- state ----------------------------------------------------------
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    @property
+    def completed(self) -> int:
+        """How many per-request results have landed so far."""
+        return self._completed
+
+    def results(self) -> List[Optional[AnalysisResponse]]:
+        """The per-request responses (``None`` where not yet computed)."""
+        with self._cond:
+            return list(self._results)
+
+    # -- transitions (called by the manager) ---------------------------
+    def try_start(self) -> bool:
+        """Atomically move ``queued -> running``; False when cancelled."""
+        with self._cond:
+            if self.status != "queued":
+                return False
+            self.status = "running"
+            self.started = time.time()
+            self._cond.notify_all()
+            return True
+
+    def extend_results(self, offset: int,
+                       responses: Sequence[AnalysisResponse]) -> None:
+        """Record one completed execution slice (submission order)."""
+        with self._cond:
+            for position, response in enumerate(responses):
+                if self._results[offset + position] is None:
+                    self._completed += 1
+                self._results[offset + position] = response
+            self._cond.notify_all()
+
+    def finish(self, status: str, error: Optional[str] = None,
+               error_traceback: Optional[str] = None) -> None:
+        """Move to a terminal state (idempotent; first transition wins)."""
+        with self._cond:
+            if self.terminal:
+                return
+            self.status = status
+            self.error = error
+            self.error_traceback = error_traceback
+            self.finished = time.time()
+            self._cond.notify_all()
+
+    def request_cancel(self) -> str:
+        """Ask the job to stop; returns the status after the request.
+
+        A queued job this races ahead of the dispatcher for is resolved
+        by :meth:`try_start` (atomic with this method): whoever flips
+        the status first wins.  A running job stops cooperatively at its
+        next slice boundary; a terminal job is left untouched.
+        """
+        with self._cond:
+            self.cancel_requested = True
+            if self.status == "queued":
+                self.status = "cancelled"
+                self.finished = time.time()
+                self._cond.notify_all()
+            return self.status
+
+    # -- waiting --------------------------------------------------------
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job is terminal; True when it got there."""
+        with self._cond:
+            return self._cond.wait_for(lambda: self.terminal, timeout)
+
+    def wait_result(self, index: int, timeout: Optional[float] = None):
+        """Block until ``results[index]`` exists (or the job ends first).
+
+        Returns the :class:`AnalysisResponse`, or ``None`` when the job
+        reached a terminal state without ever producing that result (a
+        cancelled or failed job with partial output).  Raises
+        ``TimeoutError`` when ``timeout`` elapses with the job still
+        live — streamers use a finite timeout as their heartbeat tick.
+        """
+        if index < 0 or index >= len(self.requests):
+            return None
+        with self._cond:
+            done = self._cond.wait_for(
+                lambda: self._results[index] is not None or self.terminal,
+                timeout)
+            if self._results[index] is not None:
+                return self._results[index]
+            if self.terminal:
+                return None
+            if not done:
+                raise TimeoutError(
+                    f"job {self.id}: result {index} not ready")
+            return None
+
+    # -- serialization --------------------------------------------------
+    def to_dict(self, results: bool = False) -> dict:
+        """JSON-able job snapshot (the ``GET /jobs/<id>`` body).
+
+        ``results=True`` embeds the per-request response payloads
+        (``None`` where not yet computed); the summary form carries only
+        the counts, which is what pollers want while the job runs.
+        """
+        with self._cond:
+            failed = sum(1 for r in self._results
+                         if r is not None and not r.ok)
+            cached = sum(1 for r in self._results
+                         if r is not None and r.cached)
+            payload = {
+                "id": self.id,
+                "status": self.status,
+                "priority": self.priority,
+                "label": self.label,
+                "requests": len(self.requests),
+                "completed": self._completed,
+                "failed_requests": failed,
+                "cached_requests": cached,
+                "cancel_requested": self.cancel_requested,
+                "created": self.created,
+                "started": self.started,
+                "finished": self.finished,
+                "error": self.error,
+            }
+            if self.started is not None:
+                payload["elapsed_seconds"] = \
+                    (self.finished or time.time()) - self.started
+            if results:
+                payload["results"] = [r.to_dict() if r is not None else None
+                                      for r in self._results]
+            return payload
+
+
+class JobQueue:
+    """Priority-ordered, admission-bounded job queue.
+
+    ``high`` jobs pop before ``normal`` before ``low``; within one class
+    the order is submission order.  The **watermark** bounds only the
+    *queued* depth (running jobs have already been admitted); at the
+    watermark :meth:`put` raises :class:`QueueFullError` instead of
+    queueing — unbounded queues just move the timeout to the client.
+    """
+
+    def __init__(self, watermark: Optional[int] = None,
+                 retry_after_seconds: float = 1.0):
+        if watermark is not None and int(watermark) < 1:
+            raise ToolError("queue watermark must be at least 1")
+        self.watermark = int(watermark) if watermark is not None else None
+        self.retry_after_seconds = float(retry_after_seconds)
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._seq = itertools.count()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    def put(self, job: Job) -> None:
+        """Admit and enqueue a job; raises :class:`QueueFullError` at the
+        watermark and ``ToolError`` once the queue is closed."""
+        with self._cond:
+            if self._closed:
+                raise ToolError("job queue is closed to new submissions")
+            if self.watermark is not None and \
+                    len(self._heap) >= self.watermark:
+                raise QueueFullError(len(self._heap), self.watermark,
+                                     self.retry_after_seconds)
+            heapq.heappush(self._heap,
+                           (_PRIORITY_RANK[job.priority], next(self._seq),
+                            job))
+            _QUEUE_DEPTH.set(len(self._heap))
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Pop the strongest-priority job; ``None`` on timeout or when
+        the queue is closed and drained."""
+        with self._cond:
+            while True:
+                if self._heap:
+                    _, _, job = heapq.heappop(self._heap)
+                    _QUEUE_DEPTH.set(len(self._heap))
+                    self._cond.notify_all()
+                    return job
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout):
+                    return None
+
+    def remove(self, job: Job) -> bool:
+        """Drop a specific queued job (after cancellation); False when it
+        was already claimed by a dispatcher."""
+        with self._cond:
+            for position, entry in enumerate(self._heap):
+                if entry[2] is job:
+                    self._heap.pop(position)
+                    heapq.heapify(self._heap)
+                    _QUEUE_DEPTH.set(len(self._heap))
+                    self._cond.notify_all()
+                    return True
+            return False
+
+    def close(self) -> None:
+        """Refuse further :meth:`put` calls and wake blocked getters."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def wait_empty(self, timeout: Optional[float] = None) -> bool:
+        """Block until every queued job has been claimed."""
+        with self._cond:
+            return self._cond.wait_for(lambda: not self._heap, timeout)
+
+
+class JobManager:
+    """Dispatcher threads draining a :class:`JobQueue` into the service.
+
+    Parameters
+    ----------
+    service:
+        The shared :class:`StabilityService` executing every job.  The
+        manager never closes it — the owner (gateway, CLI, test) decides
+        when the warm pool goes down.
+    dispatchers:
+        Worker *threads* pulling jobs off the queue (the engine below
+        them holds the process-level parallelism).  ``0`` is allowed and
+        means nothing runs until :meth:`run_next` is called — the
+        deterministic mode the queue/priority tests are built on.
+    max_queue_depth:
+        Admission watermark of the queue (``None``: unbounded).
+    default_priority / retry_after_seconds:
+        Priority class used when a submission names none; the 429 hint.
+    slice_size:
+        Cancellation granularity: a running job's requests are executed
+        in submission-order slices of this size, and a cancel request
+        takes effect at the next slice boundary.  Slices are also the
+        increments pollers/streamers observe.
+    max_retained:
+        Completed jobs kept for polling before the oldest are forgotten
+        (live jobs are never evicted).
+    """
+
+    def __init__(self, service: StabilityService, *,
+                 dispatchers: int = 1,
+                 max_queue_depth: Optional[int] = 64,
+                 default_priority: str = "normal",
+                 retry_after_seconds: float = 1.0,
+                 slice_size: int = 32,
+                 max_retained: int = 1024):
+        if dispatchers < 0:
+            raise ToolError("dispatchers must be >= 0")
+        if slice_size < 1:
+            raise ToolError("slice_size must be at least 1")
+        self.service = service
+        self.default_priority = validate_priority(default_priority)
+        self.slice_size = int(slice_size)
+        self.max_retained = max(1, int(max_retained))
+        self.queue = JobQueue(max_queue_depth,
+                              retry_after_seconds=retry_after_seconds)
+        self._jobs: Dict[str, Job] = {}
+        self._order: List[str] = []          # insertion order, for pruning
+        self._lock = threading.Lock()
+        self._active = 0                     # jobs claimed but not finished
+        self._idle = threading.Condition(self._lock)
+        self._closed = False
+        self._threads = [
+            threading.Thread(target=self._dispatch_loop,
+                             name=f"repro-job-dispatch-{index}", daemon=True)
+            for index in range(dispatchers)]
+        for thread in self._threads:
+            thread.start()
+
+    # -- submission / lookup -------------------------------------------
+    def submit(self, requests: Sequence[AnalysisRequest],
+               priority: Optional[str] = None,
+               label: Optional[str] = None) -> Job:
+        """Admit a job; raises :class:`QueueFullError` over the watermark
+        and ``ToolError`` after :meth:`close` began."""
+        job = Job(requests,
+                  priority=priority if priority is not None
+                  else self.default_priority,
+                  label=label)
+        with self._lock:
+            if self._closed:
+                raise ToolError("job manager is shut down")
+            self._register_locked(job)
+        try:
+            self.queue.put(job)
+        except ToolError:
+            with self._lock:
+                self._jobs.pop(job.id, None)
+            _REJECTED.inc()
+            raise
+        _SUBMITTED.inc()
+        return job
+
+    def _register_locked(self, job: Job) -> None:
+        self._jobs[job.id] = job
+        self._order.append(job.id)
+        while len(self._jobs) > self.max_retained:
+            for position, job_id in enumerate(self._order):
+                candidate = self._jobs.get(job_id)
+                if candidate is None or candidate.terminal:
+                    self._order.pop(position)
+                    self._jobs.pop(job_id, None)
+                    break
+            else:
+                break   # everything retained is still live: keep it all
+
+    def get(self, job_id: str) -> Optional[Job]:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def jobs(self) -> List[Job]:
+        """Every retained job, oldest first."""
+        with self._lock:
+            return [self._jobs[job_id] for job_id in self._order
+                    if job_id in self._jobs]
+
+    def cancel(self, job_id: str) -> Optional[Job]:
+        """Cancel a job: ``None`` when unknown, else the job (check its
+        resulting status — terminal jobs are left as they ended)."""
+        job = self.get(job_id)
+        if job is None:
+            return None
+        status = job.request_cancel()
+        if status == "cancelled":
+            self.queue.remove(job)
+            _CANCELLED.inc()
+        return job
+
+    def stats(self) -> dict:
+        """Queue/lifecycle counters for the ``/metrics`` endpoint."""
+        with self._lock:
+            live = [job for job in self._jobs.values() if not job.terminal]
+            running = sum(1 for job in live if job.status == "running")
+            return {
+                "queued": len(self.queue),
+                "running": running,
+                "retained": len(self._jobs),
+                "watermark": self.queue.watermark,
+                "submitted": int(_SUBMITTED.value),
+                "completed": int(_COMPLETED.value),
+                "failed": int(_FAILED.value),
+                "cancelled": int(_CANCELLED.value),
+                "rejected": int(_REJECTED.value),
+            }
+
+    # -- execution ------------------------------------------------------
+    def run_next(self, timeout: Optional[float] = 0.0) -> Optional[Job]:
+        """Claim and run one queued job in the calling thread.
+
+        The synchronous escape hatch: with ``dispatchers=0`` this is the
+        only execution path, which makes queue-order tests deterministic
+        and lets embedders drive the queue from their own loop.
+        """
+        job = self.queue.get(timeout)
+        if job is None:
+            return None
+        if not job.try_start():
+            return job            # lost the race with a cancel
+        self._execute(job)
+        return job
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job = self.queue.get(timeout=0.2)
+            if job is None:
+                with self._lock:
+                    if self._closed:
+                        return
+                continue
+            if not job.try_start():
+                continue          # cancelled while queued
+            self._execute(job)
+
+    def _execute(self, job: Job) -> None:
+        """Run one job to a terminal state; never raises.
+
+        Failure isolation is per *job*: request-level failures come back
+        as ``status="failed"`` responses inside a ``done`` job (the
+        engine guarantees that), so only a defect in the job machinery
+        itself — or a poisoned request the service cannot contain —
+        marks the job ``failed``, and even then the dispatcher survives.
+        """
+        with self._lock:
+            self._active += 1
+        _RUNNING.set(self._active)
+        try:
+            with _span("job.run", job=job.id, priority=job.priority,
+                       requests=len(job.requests)) as job_span:
+                for offset in range(0, len(job.requests), self.slice_size):
+                    if job.cancel_requested:
+                        job.finish("cancelled")
+                        _CANCELLED.inc()
+                        job_span.set(status="cancelled")
+                        return
+                    chunk = job.requests[offset:offset + self.slice_size]
+                    responses = self.service.submit_batch(chunk)
+                    job.extend_results(offset, responses)
+                job.finish("done")
+                _COMPLETED.inc()
+                job_span.set(status="done")
+        except Exception as exc:
+            job.finish("failed", error=f"{type(exc).__name__}: {exc}",
+                       error_traceback=traceback.format_exc())
+            _FAILED.inc()
+        finally:
+            with self._lock:
+                self._active -= 1
+                self._idle.notify_all()
+            _RUNNING.set(max(0, self._active))
+
+    # -- shutdown -------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until no job is queued or running; True on success."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        remaining = lambda: (None if deadline is None
+                             else max(0.0, deadline - time.monotonic()))
+        if not self.queue.wait_empty(remaining()):
+            return False
+        with self._idle:
+            return self._idle.wait_for(lambda: self._active == 0,
+                                       remaining())
+
+    def close(self, drain: bool = True,
+              timeout: Optional[float] = None) -> bool:
+        """Stop accepting jobs and shut the dispatchers down (idempotent).
+
+        ``drain=True`` (the default) lets every queued and running job
+        finish first — the graceful path; ``drain=False`` cancels the
+        queued backlog and waits only for the jobs already running.
+        With zero dispatchers the backlog is cancelled either way:
+        nothing would ever run it, and draining it would deadlock.
+        Returns True when everything wound down inside ``timeout``.
+        """
+        with self._lock:
+            already = self._closed
+            self._closed = True
+        if already:
+            return True
+        if not drain or not self._threads:
+            for job in self.jobs():
+                if job.status == "queued":
+                    self.cancel(job.id)
+        drained = self.drain(timeout)
+        self.queue.close()
+        for thread in self._threads:
+            thread.join(timeout=2.0)
+        return drained and not any(t.is_alive() for t in self._threads)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False

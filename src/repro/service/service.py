@@ -9,9 +9,10 @@ cached, so a transient failure does not poison the key.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import global_registry
 from repro.obs.trace import span as _span
@@ -33,6 +34,28 @@ from repro.service.scenarios import (
 
 __all__ = ["StabilityService", "MonteCarloReport", "DCSweepReport",
            "OpReport"]
+
+#: Cross-thread request coalescing events: how many submissions waited on
+#: an identical in-flight computation instead of re-running it.
+_INFLIGHT_WAITS = global_registry().counter("service.inflight_waits")
+
+
+class _Flight:
+    """One in-flight computation other threads can wait on.
+
+    The thread that registers the flight (the *leader*) runs the request
+    and resolves the flight with its response; every other thread that
+    arrives with the same fingerprint while it runs (a *waiter*) blocks
+    on the event and clones the leader's response.  ``response`` stays
+    ``None`` when the leader died without producing one — waiters then
+    fall back to computing inline.
+    """
+
+    __slots__ = ("event", "response")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.response: Optional[AnalysisResponse] = None
 
 
 @dataclass
@@ -117,6 +140,11 @@ class StabilityService:
                  persistent: bool = True,
                  compiled_cache_size: Optional[int] = None,
                  pool_idle_timeout: Optional[float] = None):
+        # The in-flight table exists before the engine so that close()
+        # and the stampede guard are safe even when engine construction
+        # itself raises and leaves a half-built service behind.
+        self._inflight: Dict[str, _Flight] = {}
+        self._inflight_lock = threading.Lock()
         self.cache = cache if cache is not None else ResultCache(cache_directory)
         self.engine = engine if engine is not None else BatchEngine(
             max_workers=max_workers, backend=backend, persistent=persistent,
@@ -125,8 +153,15 @@ class StabilityService:
 
     def close(self) -> None:
         """Release the engine's persistent pool (idempotent; the service
-        stays usable — the pool restarts lazily on the next batch)."""
-        self.engine.close()
+        stays usable — the pool restarts lazily on the next batch).
+
+        Safe in every lifecycle corner: on a service whose pool never
+        lazily started, on repeated calls, and on a half-constructed
+        instance where ``__init__`` failed before the engine existed.
+        """
+        engine = getattr(self, "engine", None)
+        if engine is not None:
+            engine.close()
 
     def __enter__(self) -> "StabilityService":
         return self
@@ -160,16 +195,77 @@ class StabilityService:
         if response.ok and response.fingerprint:
             self.cache.put(response.fingerprint, response.to_dict())
 
+    # -- cache-stampede guard ------------------------------------------
+    # Concurrent submissions of the same content-addressed fingerprint
+    # would all miss the cache together and each pay the full solve (the
+    # classic stampede).  The in-flight table collapses them: the first
+    # thread to claim a key becomes its leader and computes, everyone
+    # else waits on the leader's flight and clones the response.
+
+    def _claim_flight(self, key: str) -> Tuple[_Flight, bool]:
+        """The flight for ``key`` plus whether this thread leads it."""
+        with self._inflight_lock:
+            flight = self._inflight.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _Flight()
+            self._inflight[key] = flight
+            return flight, True
+
+    def _resolve_flight(self, key: str, flight: _Flight,
+                        response: Optional[AnalysisResponse]) -> None:
+        """Publish the leader's outcome and release the waiters."""
+        with self._inflight_lock:
+            if self._inflight.get(key) is flight:
+                del self._inflight[key]
+        flight.response = response
+        flight.event.set()
+
+    def _await_flight(self, flight: _Flight,
+                      request: AnalysisRequest) -> AnalysisResponse:
+        """Wait out another thread's identical computation and clone it.
+
+        Falls back to an inline solve when the leader vanished without a
+        response (its engine call raised) — correctness never depends on
+        the coalescing fast path.
+        """
+        _INFLIGHT_WAITS.inc()
+        flight.event.wait()
+        if flight.response is not None:
+            return replace(flight.response, label=request.label, cached=True)
+        response = execute_request(request)
+        self._store(response)
+        return response
+
     # ------------------------------------------------------------------
     def submit(self, request: AnalysisRequest) -> AnalysisResponse:
-        """Serve one request: from cache when possible, else run inline."""
+        """Serve one request: from cache when possible, else run inline.
+
+        Concurrent submissions of the same fingerprint coalesce onto one
+        execution (see the stampede guard above).
+        """
         with _span("service.submit", mode=request.mode) as submit_span:
             cached = self._lookup(request)
             if cached is not None:
                 submit_span.set(cached=True)
                 return cached
-            response = execute_request(request)
-            self._store(response)
+            key = self._fingerprint(request)
+            if key is None:
+                response = execute_request(request)
+                submit_span.set(cached=False, status=response.status)
+                return response
+            flight, leader = self._claim_flight(key)
+            if not leader:
+                response = self._await_flight(flight, request)
+                submit_span.set(cached=response.cached, coalesced=True,
+                                status=response.status)
+                return response
+            response: Optional[AnalysisResponse] = None
+            try:
+                response = execute_request(request)
+                self._store(response)
+            finally:
+                self._resolve_flight(key, flight, response)
             submit_span.set(cached=False, status=response.status)
             return response
 
@@ -179,9 +275,11 @@ class StabilityService:
         """Serve a batch: cache hits immediately, misses on the pool.
 
         Identical requests within the batch (same fingerprint) are
-        computed once and shared.  Responses are returned in submission
-        order; the progress callback sees cached responses first, then
-        fresh ones as they complete.
+        computed once and shared, and requests identical to another
+        *thread's* in-flight work wait for that thread instead of
+        re-running it.  Responses are returned in submission order; the
+        progress callback sees cached responses first, then fresh ones
+        as they complete.
         """
         requests = list(requests)
         batch_span = _span("service.submit_batch", requests=len(requests))
@@ -198,6 +296,9 @@ class StabilityService:
             to_run: List[int] = []                  # one index per unique miss
             duplicates: Dict[int, List[int]] = {}   # representative -> clones
             first_seen: Dict[str, int] = {}
+            owned: Dict[str, int] = {}              # led flights: key -> index
+            flights: Dict[str, _Flight] = {}
+            waiting: Dict[int, _Flight] = {}        # foreign flights to join
             for index, request in enumerate(requests):
                 key = self._fingerprint(request)
                 if key is not None:
@@ -213,23 +314,50 @@ class StabilityService:
                                               []).append(index)
                         continue
                     first_seen[key] = index
+                    flight, leader = self._claim_flight(key)
+                    if not leader:
+                        waiting[index] = flight
+                        continue
+                    owned[key] = index
+                    flights[key] = flight
                 to_run.append(index)
 
             batch_span.set(cache_hits=len(requests) - len(to_run)
-                           - sum(len(v) for v in duplicates.values()),
-                           to_run=len(to_run))
-            if to_run:
-                fresh = self.engine.run([requests[i] for i in to_run],
-                                        progress=lambda _c, _t, r: emit(r))
-                for index, response in zip(to_run, fresh):
-                    responses[index] = response
-                    self._store(response)
-                    for clone_index in duplicates.get(index, ()):
-                        clone = replace(response,
-                                        label=requests[clone_index].label,
-                                        cached=True)
-                        responses[clone_index] = clone
-                        emit(clone)
+                           - sum(len(v) for v in duplicates.values())
+                           - len(waiting),
+                           to_run=len(to_run), coalesced=len(waiting))
+            try:
+                if to_run:
+                    fresh = self.engine.run([requests[i] for i in to_run],
+                                            progress=lambda _c, _t, r: emit(r))
+                    for index, response in zip(to_run, fresh):
+                        responses[index] = response
+                        self._store(response)
+                        for clone_index in duplicates.get(index, ()):
+                            clone = replace(response,
+                                            label=requests[clone_index].label,
+                                            cached=True)
+                            responses[clone_index] = clone
+                            emit(clone)
+            finally:
+                # Resolve every led flight — with the response when the
+                # engine delivered one, with None when it raised — so
+                # waiters in other threads can never deadlock on us.
+                for key, index in owned.items():
+                    self._resolve_flight(key, flights[key], responses[index])
+            # Only after our own flights are resolved do we join foreign
+            # ones: two batches leading disjoint keys and waiting on each
+            # other's therefore cannot deadlock.
+            for index, flight in waiting.items():
+                response = self._await_flight(flight, requests[index])
+                responses[index] = response
+                emit(response)
+                for clone_index in duplicates.get(index, ()):
+                    clone = replace(response,
+                                    label=requests[clone_index].label,
+                                    cached=True)
+                    responses[clone_index] = clone
+                    emit(clone)
             return responses  # type: ignore[return-value]
 
     # ------------------------------------------------------------------

@@ -1,0 +1,122 @@
+"""Test harness for the HTTP gateway: real server, real sockets.
+
+:func:`running_gateway` boots an actual :class:`StabilityGateway` on an
+ephemeral port in a background thread and hands back a
+:class:`GatewayClient` — a thin ``http.client`` wrapper speaking the
+gateway's JSON dialect — so gateway tests exercise the same byte stream
+a production client would, not handler internals.  The context manager
+guarantees the gateway is closed (draining by default) however the test
+exits.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import http.client
+import json
+import time
+from typing import Iterator, Optional, Tuple
+
+from repro.service.gateway import StabilityGateway
+
+#: Terminal job states, mirrored from repro.service.jobs (the harness
+#: deliberately has no import-time dependency on job internals).
+TERMINAL = ("done", "failed", "cancelled")
+
+
+class GatewayClient:
+    """A tiny JSON-over-HTTP client for one gateway address.
+
+    Every call opens a fresh connection (keep-alive is irrelevant to
+    test clarity) and returns ``(status, headers, payload)`` with the
+    body already JSON-decoded (``None`` when empty).
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def request(self, method: str, path: str,
+                body: Optional[dict] = None) -> Tuple[int, dict, object]:
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            payload = json.dumps(body) if body is not None else None
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, payload, headers)
+            response = connection.getresponse()
+            raw = response.read()
+            decoded = json.loads(raw) if raw else None
+            return response.status, dict(response.getheaders()), decoded
+        finally:
+            connection.close()
+
+    def get(self, path: str) -> Tuple[int, dict, object]:
+        return self.request("GET", path)
+
+    def post(self, path: str, body: dict) -> Tuple[int, dict, object]:
+        return self.request("POST", path, body)
+
+    def delete(self, path: str) -> Tuple[int, dict, object]:
+        return self.request("DELETE", path)
+
+    # -- conveniences ---------------------------------------------------
+    def submit(self, body: dict) -> dict:
+        """POST a job body that must be accepted; returns the job dict."""
+        status, headers, payload = self.post("/jobs", body)
+        assert status == 202, (status, payload)
+        assert headers.get("Location") == f"/jobs/{payload['id']}"
+        return payload
+
+    def wait(self, job_id: str, timeout: float = 60.0,
+             poll: float = 0.02) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job is terminal."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status, _, payload = self.get(f"/jobs/{job_id}")
+            assert status == 200, (status, payload)
+            if payload["status"] in TERMINAL:
+                return payload
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {payload['status']} "
+                                   f"after {timeout}s")
+            time.sleep(poll)
+
+    def stream(self, job_id: str) -> list:
+        """Consume ``GET /jobs/<id>/stream`` fully; the NDJSON lines."""
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=self.timeout)
+        try:
+            connection.request("GET", f"/jobs/{job_id}/stream")
+            response = connection.getresponse()
+            assert response.status == 200, response.status
+            lines = []
+            while True:
+                line = response.readline()
+                if not line:
+                    return lines
+                lines.append(json.loads(line))
+        finally:
+            connection.close()
+
+
+@contextlib.contextmanager
+def running_gateway(drain_on_exit: bool = True,
+                    **gateway_kwargs) -> Iterator[Tuple[StabilityGateway,
+                                                        GatewayClient]]:
+    """Boot a live gateway on an ephemeral port; yield (gateway, client).
+
+    Keyword arguments go to :class:`StabilityGateway` (so tests pick the
+    backend, queue depth, dispatcher count...).  The serial backend is
+    the default here: gateway tests exercise HTTP and queueing, not the
+    process pool — the pool-specific test opts back into ``process``.
+    """
+    gateway_kwargs.setdefault("backend", "serial")
+    gateway = StabilityGateway(port=0, **gateway_kwargs)
+    gateway.start()
+    host, port = gateway.address
+    try:
+        yield gateway, GatewayClient(host, port)
+    finally:
+        gateway.close(drain=drain_on_exit)

@@ -1,0 +1,325 @@
+"""Job-layer tests: queue priorities, admission, stampedes, lifecycle.
+
+The concurrency contracts the gateway stands on, tested without HTTP in
+the way: the cache-stampede guard (N concurrent identical submissions →
+exactly one engine execution), strict priority ordering with overtaking,
+the bounded admission gate, cooperative cancellation, per-job failure
+isolation, and the service/manager close() lifecycle corners.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import ToolError
+from repro.obs.metrics import global_registry
+from repro.service import (
+    AnalysisRequest,
+    BatchEngine,
+    Job,
+    JobManager,
+    JobQueue,
+    QueueFullError,
+    StabilityService,
+)
+
+OP_NETLIST = """divider
+.param rtop=1k
+V1 in 0 5
+R1 in out {rtop}
+R2 out 0 1k
+.end
+"""
+
+BROKEN_NETLIST = """broken
+R1 a 0 {undefined_variable}
+.end
+"""
+
+
+def _request(label="r", rtop=None, netlist=OP_NETLIST):
+    variables = {} if rtop is None else {"rtop": float(rtop)}
+    return AnalysisRequest(mode="op", netlist=netlist, variables=variables,
+                           label=label)
+
+
+def _service(**kwargs):
+    kwargs.setdefault("backend", "serial")
+    kwargs.setdefault("persistent", False)
+    return StabilityService(**kwargs)
+
+
+class TestCacheStampede:
+    def test_concurrent_identical_submissions_execute_once(self):
+        """N threads racing the same fingerprint must cost ONE engine
+        execution and return N identical results."""
+        service = _service()
+        executions = global_registry().counter("engine.requests")
+        before = executions.value
+        request_count = 12
+        barrier = threading.Barrier(request_count)
+        results = [None] * request_count
+
+        def submit(slot):
+            barrier.wait()   # maximize the race: all threads enter at once
+            results[slot] = service.submit(_request(label=f"racer{slot}",
+                                                    rtop=777.0))
+
+        threads = [threading.Thread(target=submit, args=(slot,))
+                   for slot in range(request_count)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert executions.value - before == 1
+        assert all(r is not None and r.ok for r in results)
+        assert len({r.fingerprint for r in results}) == 1
+        reference = results[0].result
+        assert all(r.result == reference for r in results)    # identical
+        service.close()
+
+    def test_concurrent_batches_coalesce_across_threads(self):
+        """Two submit_batch calls racing the same fingerprints share the
+        executions instead of doubling them."""
+        service = _service()
+        # Batches of >= 2 op requests go through the batched fastpath,
+        # which counts per-request work in engine.fastpath_requests
+        # (inline execute_request uses engine.requests) — watch both.
+        inline = global_registry().counter("engine.requests")
+        fastpath = global_registry().counter("engine.fastpath_requests")
+        before = inline.value + fastpath.value
+        barrier = threading.Barrier(2)
+        outcome = {}
+
+        def run_batch(name):
+            barrier.wait()
+            outcome[name] = service.submit_batch(
+                [_request(label=f"{name}{i}", rtop=1000.0 + i)
+                 for i in range(6)])
+
+        threads = [threading.Thread(target=run_batch, args=(name,))
+                   for name in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert inline.value + fastpath.value - before == 6
+        for name in ("a", "b"):
+            assert [r.ok for r in outcome[name]] == [True] * 6
+        for left, right in zip(outcome["a"], outcome["b"]):
+            assert left.fingerprint == right.fingerprint
+            assert left.result == right.result
+        service.close()
+
+    def test_waiter_falls_back_when_leader_dies(self):
+        """A waiter never hangs on a leader that vanished without a
+        response: it recomputes inline."""
+        service = _service()
+        request = _request(label="fallback", rtop=432.0)
+        key = request.fingerprint()
+        flight, leader = service._claim_flight(key)
+        assert leader
+        done = {}
+
+        def wait_side():
+            done["response"] = service.submit(request)
+
+        waiter = threading.Thread(target=wait_side)
+        waiter.start()
+        service._resolve_flight(key, flight, None)   # leader died, no result
+        waiter.join(timeout=30)
+        assert not waiter.is_alive()
+        assert done["response"].ok                   # recomputed inline
+        service.close()
+
+
+class TestPriorities:
+    def test_high_priority_overtakes_queued_low(self):
+        """With the queue preloaded (dispatchers=0 keeps it deterministic)
+        a later high-priority job runs before earlier low ones."""
+        manager = JobManager(_service(), dispatchers=0, max_queue_depth=16)
+        lows = [manager.submit([_request(f"low{i}")], priority="low")
+                for i in range(3)]
+        normal = manager.submit([_request("normal")], priority="normal")
+        high = manager.submit([_request("high")], priority="high")
+        order = [manager.run_next().id for _ in range(5)]
+        assert order == [high.id, normal.id] + [job.id for job in lows]
+        manager.close()
+        manager.service.close()
+
+    def test_threaded_overtake(self):
+        """Same contract under real dispatcher threads: while a blocker
+        occupies the single dispatcher, a high job submitted after the
+        lows starts before every low."""
+        gate = threading.Event()
+        release = threading.Event()
+
+        class GatedService(StabilityService):
+            def submit_batch(self, requests, progress=None):
+                if requests and requests[0].label == "blocker":
+                    gate.set()
+                    release.wait(timeout=30)
+                return super().submit_batch(requests, progress=progress)
+
+        manager = JobManager(GatedService(backend="serial",
+                                          persistent=False),
+                             dispatchers=1, max_queue_depth=16)
+        blocker = manager.submit([_request("blocker")])
+        assert gate.wait(timeout=30)          # dispatcher is busy blocking
+        lows = [manager.submit([_request(f"low{i}")], priority="low")
+                for i in range(3)]
+        high = manager.submit([_request("high")], priority="high")
+        release.set()
+        for job in [blocker, high] + lows:
+            assert job.wait(timeout=60), job.status
+        assert high.started < min(job.started for job in lows)
+        manager.close()
+        manager.service.close()
+
+    def test_unknown_priority_rejected(self):
+        manager = JobManager(_service(), dispatchers=0)
+        with pytest.raises(ToolError):
+            manager.submit([_request()], priority="urgent")
+        with pytest.raises(ToolError):
+            Job([_request()], priority="URGENT")
+        assert Job([_request()], priority=" High ").priority == "high"
+        manager.close()
+        manager.service.close()
+
+
+class TestAdmission:
+    def test_watermark_rejects_with_retry_after(self):
+        manager = JobManager(_service(), dispatchers=0, max_queue_depth=2,
+                             retry_after_seconds=2.5)
+        manager.submit([_request("a")])
+        manager.submit([_request("b")])
+        with pytest.raises(QueueFullError) as excinfo:
+            manager.submit([_request("c")])
+        assert excinfo.value.retry_after_seconds == 2.5
+        assert excinfo.value.depth == 2
+        # Rejected jobs are not retained for polling.
+        assert len(manager.jobs()) == 2
+        manager.close()
+        manager.service.close()
+
+    def test_running_jobs_do_not_count_against_watermark(self):
+        manager = JobManager(_service(), dispatchers=0, max_queue_depth=1)
+        first = manager.submit([_request("a")])
+        claimed = manager.queue.get(timeout=1.0)
+        assert claimed is first and first.try_start()
+        second = manager.submit([_request("b")])   # queue is empty again
+        assert second.status == "queued"
+        manager.close()
+        manager.service.close()
+
+
+class TestFailureIsolation:
+    def test_failed_requests_leave_job_done_and_dispatcher_alive(self):
+        """Request-level failures surface as failed responses inside a
+        ``done`` job; the next job still runs."""
+        manager = JobManager(_service(), dispatchers=1, max_queue_depth=8)
+        mixed = manager.submit([_request("bad", netlist=BROKEN_NETLIST),
+                                _request("good")])
+        assert mixed.wait(timeout=60)
+        assert mixed.status == "done"
+        bad, good = mixed.results()
+        assert not bad.ok and good.ok
+        assert mixed.to_dict()["failed_requests"] == 1
+        follow_up = manager.submit([_request("after")])
+        assert follow_up.wait(timeout=60) and follow_up.status == "done"
+        manager.close()
+        manager.service.close()
+
+    def test_poisoned_job_marked_failed_dispatcher_survives(self):
+        """A defect below submit_batch fails THAT job only."""
+
+        class ExplodingService(StabilityService):
+            def submit_batch(self, requests, progress=None):
+                if requests and requests[0].label == "poison":
+                    raise RuntimeError("boom")
+                return super().submit_batch(requests, progress=progress)
+
+        manager = JobManager(ExplodingService(backend="serial",
+                                              persistent=False),
+                             dispatchers=1, max_queue_depth=8)
+        poisoned = manager.submit([_request("poison")])
+        assert poisoned.wait(timeout=60)
+        assert poisoned.status == "failed"
+        assert "boom" in poisoned.error
+        healthy = manager.submit([_request("healthy")])
+        assert healthy.wait(timeout=60) and healthy.status == "done"
+        manager.close()
+        manager.service.close()
+
+
+class TestLifecycleCorners:
+    def test_service_close_idempotent_when_pool_never_started(self):
+        """Regression (ISSUE 10 satellite): close() must be safe on a
+        service whose persistent pool never lazily started, repeatedly,
+        and on a half-constructed instance."""
+        service = StabilityService(backend="process", persistent=True)
+        assert service.engine.pool is None        # never started
+        service.close()
+        service.close()                           # double close, still fine
+        # close() → use → close() round-trips (the pool restarts lazily).
+        [response] = service.submit_batch([_request("revive")])
+        assert response.ok
+        service.close()
+        service.close()
+        # Half-constructed: no engine attribute at all.
+        husk = StabilityService.__new__(StabilityService)
+        husk.close()                              # must not raise
+
+    def test_engine_close_idempotent_without_pool(self):
+        engine = BatchEngine(backend="process", persistent=True)
+        engine.close()
+        engine.close()
+
+    def test_manager_close_idempotent_and_wakes_dispatchers(self):
+        manager = JobManager(_service(), dispatchers=2)
+        job = manager.submit([_request("last")])
+        assert manager.close() is True
+        assert job.status in ("done", "cancelled")   # drained, not dropped
+        assert job.status == "done"
+        assert manager.close() is True               # idempotent
+        with pytest.raises(ToolError):
+            manager.submit([_request("late")])       # closed to new work
+        manager.service.close()
+
+    def test_queue_close_unblocks_getters(self):
+        queue = JobQueue(watermark=4)
+        seen = {}
+
+        def getter():
+            seen["job"] = queue.get(timeout=30)
+
+        thread = threading.Thread(target=getter)
+        thread.start()
+        queue.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert seen["job"] is None
+        with pytest.raises(ToolError):
+            queue.put(Job([_request()]))
+
+
+class TestJobObject:
+    def test_needs_at_least_one_request(self):
+        with pytest.raises(ToolError):
+            Job([])
+
+    def test_wait_result_indexes(self):
+        job = Job([_request("a"), _request("b")])
+        assert job.wait_result(-1) is None and job.wait_result(7) is None
+        with pytest.raises(TimeoutError):
+            job.wait_result(0, timeout=0.01)
+        job.finish("cancelled")
+        assert job.wait_result(0, timeout=0.01) is None   # terminal, no result
+
+    def test_finish_first_transition_wins(self):
+        job = Job([_request()])
+        job.finish("failed", error="boom")
+        job.finish("done")
+        assert job.status == "failed" and job.error == "boom"
